@@ -1,0 +1,109 @@
+// Experiment A9 — the paper's §1.1 discussion quantified: process merging
+// (the traditional route to cross-process sharing) versus the modulo
+// method, on two elliptic wave filters.
+//
+//   (a) independent + local assignment      — the traditional floor;
+//   (b) independent + global modulo sharing — the paper's method;
+//   (c) merged into one process + classic scheduling.
+//
+// Merging wins on raw area when it applies (one joint activation gives the
+// scheduler full temporal knowledge) but destroys the independence the
+// paper cares about: a spontaneous event for one filter in the worst case
+// waits for a complete combined schedule, while the modulo method only
+// rounds the start up to the next grid point (paper §1: "implementing the
+// system by using independent processes is mandatory").
+#include <cstdio>
+
+#include "common/text_table.h"
+#include "model/process_merge.h"
+#include "modulo/baseline.h"
+#include "modulo/coupled_scheduler.h"
+#include "workloads/benchmarks.h"
+
+using namespace mshls;
+
+int main() {
+  std::printf("== A9: process merging vs modulo sharing (2x EWF) ==\n\n");
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  const int deadline = 25;
+  std::vector<ProcessId> procs;
+  for (int i = 0; i < 2; ++i) {
+    const ProcessId p = model.AddProcess("ewf" + std::to_string(i + 1),
+                                         deadline);
+    model.AddBlock(p, "main", BuildEwf(t), deadline);
+    procs.push_back(p);
+  }
+  model.MakeGlobal(t.add, procs);
+  model.MakeGlobal(t.mult, procs);
+  const int period = 5;
+  model.SetPeriod(t.add, period);
+  model.SetPeriod(t.mult, period);
+  if (!model.Validate().ok()) return 1;
+
+  TextTable table;
+  table.SetHeader({"configuration", "add", "mult", "area",
+                   "worst-case event response", "independent?"});
+  table.AlignRight(1);
+  table.AlignRight(2);
+  table.AlignRight(3);
+
+  // (a) independent + local.
+  {
+    auto run = ScheduleLocalBaseline(model, CoupledParams{});
+    if (!run.ok()) return 1;
+    const Allocation& a = run.value().allocation;
+    table.AddRow({"independent, local", std::to_string(a.TotalInstances(
+                                            t.add)),
+                  std::to_string(a.TotalInstances(t.mult)),
+                  std::to_string(a.TotalArea(model.library())),
+                  std::to_string(deadline) + " (start any time)", "yes"});
+  }
+  // (b) independent + modulo sharing.
+  {
+    CoupledScheduler scheduler(model, CoupledParams{});
+    auto run = scheduler.Run();
+    if (!run.ok()) return 1;
+    const Allocation& a = run.value().allocation;
+    table.AddRow(
+        {"independent, modulo-shared",
+         std::to_string(a.TotalInstances(t.add)),
+         std::to_string(a.TotalInstances(t.mult)),
+         std::to_string(a.TotalArea(model.library())),
+         std::to_string(deadline + period - 1) + " (grid wait <= " +
+             std::to_string(period - 1) + ")",
+         "yes"});
+  }
+  // (c) merged + traditional scheduling.
+  {
+    const ProcessId sources[] = {procs[0], procs[1]};
+    auto merged = MergeProcesses(model, sources, "ewf_pair");
+    if (!merged.ok()) {
+      std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+      return 1;
+    }
+    CoupledScheduler scheduler(merged.value(), CoupledParams{});
+    auto run = scheduler.Run();
+    if (!run.ok()) return 1;
+    const Allocation& a = run.value().allocation;
+    const ResourceLibrary& lib = merged.value().library();
+    table.AddRow(
+        {"merged, traditional",
+         std::to_string(a.TotalInstances(lib.FindByName("add"))),
+         std::to_string(a.TotalInstances(lib.FindByName("mult"))),
+         std::to_string(a.TotalArea(lib)),
+         std::to_string(2 * deadline - 1) + " (miss one joint start)",
+         "no (single activation)"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nexpected shape: merging (c) achieves the best area — with "
+              "a single joint activation the scheduler has full temporal "
+              "knowledge — but doubles the worst-case event response and "
+              "forfeits independence; the modulo method (b) recovers most "
+              "of the saving while keeping the processes independently "
+              "triggerable. The case merging cannot express at all is a "
+              "loop with unbound iteration count next to a reactive "
+              "process (see examples/unbound_loop) — exactly the paper's "
+              "motivation (section 1.1).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Experiment A5 — the resource-constrained companion formulation (paper
+// ref. [8], §3: "the method ... can also be applied to a resource
+// constrained algorithm"). Sweeps the shared multiplier pool size on the
+// paper system and reports the schedule length of every process: the dual
+// curve of the A1 period sweep (area fixed -> latency moves).
+#include <cstdio>
+
+#include "common/text_table.h"
+#include "modulo/resource_constrained.h"
+#include "workloads/paper_system.h"
+
+using namespace mshls;
+
+int main() {
+  std::printf("== A5: resource-constrained modulo scheduling "
+              "(pool size vs latency) ==\n\n");
+  PaperSystem sys = BuildPaperSystem();
+
+  TextTable table;
+  table.SetHeader({"adders", "subs", "mults", "ewf1", "ewf2", "ewf3",
+                   "deq1", "deq2", "sum"});
+  for (std::size_t c = 0; c < 9; ++c) table.AlignRight(c);
+
+  struct Pools {
+    int add, sub, mult;
+  };
+  const Pools sweeps[] = {
+      {6, 2, 5},  // the paper's local totals as one big pool
+      {4, 1, 3},  // the paper's global result
+      {3, 1, 2},  // tighter than the paper
+      {2, 1, 1},  // severe sharing
+      {1, 1, 1},  // minimum hardware
+  };
+  for (const Pools& pools : sweeps) {
+    RcModuloOptions options;
+    options.pool_limits.assign(sys.model.library().size(), 0);
+    options.pool_limits[sys.types.add.index()] = pools.add;
+    options.pool_limits[sys.types.sub.index()] = pools.sub;
+    options.pool_limits[sys.types.mult.index()] = pools.mult;
+    auto result = ScheduleResourceConstrainedModulo(sys.model, options);
+    std::vector<std::string> row = {std::to_string(pools.add),
+                                    std::to_string(pools.sub),
+                                    std::to_string(pools.mult)};
+    if (!result.ok()) {
+      row.push_back("infeasible: " + result.status().message());
+      table.AddRow(row);
+      continue;
+    }
+    int sum = 0;
+    for (const Block& b : sys.model.blocks()) {
+      const int len = result.value().lengths[b.id.index()];
+      row.push_back(std::to_string(len));
+      sum += len;
+    }
+    row.push_back(std::to_string(sum));
+    table.AddRow(row);
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nexpected shape: schedule lengths grow monotonically as the "
+              "pools shrink; the paper's global allocation (4/1/3) keeps "
+              "every process near its time-constrained deadline "
+              "(30/30/25/15/15).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment A2 — complexity/scaling check for the paper's §6 claim:
+// "the complexity of the IFDS algorithm is not increased by the additional
+// computation of the modulo-maximum transformation [...] the additional
+// effort is bound by a constant multiple."
+//
+// google-benchmark timings of (a) unmodified coupled IFDS vs the fully
+// modified algorithm on identical systems (the ratio must stay roughly
+// constant as the system grows) and (b) runtime growth over process count.
+#include <benchmark/benchmark.h>
+
+#include "modulo/coupled_scheduler.h"
+#include "workloads/benchmarks.h"
+
+using namespace mshls;
+
+namespace {
+
+/// n processes of `ops` independent-ish random ops each, one global mult
+/// pool and one global add pool with period 4, deadlines 16.
+SystemModel MakeSystem(int n_processes, int ops) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  Rng rng(42);
+  std::vector<ProcessId> procs;
+  for (int i = 0; i < n_processes; ++i) {
+    RandomDfgOptions options;
+    options.ops = ops;
+    options.layers = 3;
+    options.mult_probability = 0.3;
+    DataFlowGraph g = BuildRandomDfg(t, rng, options);
+    const ProcessId p = model.AddProcess("p" + std::to_string(i), 16);
+    model.AddBlock(p, "b", std::move(g), 16);
+    procs.push_back(p);
+  }
+  model.MakeGlobal(t.mult, procs);
+  model.SetPeriod(t.mult, 4);
+  model.MakeGlobal(t.add, procs);
+  model.SetPeriod(t.add, 4);
+  const Status s = model.Validate();
+  if (!s.ok()) std::abort();
+  return model;
+}
+
+void BM_CoupledModified(benchmark::State& state) {
+  SystemModel model = MakeSystem(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    CoupledScheduler scheduler(model, CoupledParams{});
+    auto result = scheduler.Run();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CoupledModified)->DenseRange(1, 6)->Complexity();
+
+void BM_CoupledUnmodified(benchmark::State& state) {
+  SystemModel model = MakeSystem(static_cast<int>(state.range(0)), 12);
+  CoupledParams params;
+  params.mode = GlobalForceMode::kIgnoreGlobal;
+  for (auto _ : state) {
+    CoupledScheduler scheduler(model, params);
+    auto result = scheduler.Run();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CoupledUnmodified)->DenseRange(1, 6)->Complexity();
+
+void BM_OpsScaling(benchmark::State& state) {
+  SystemModel model = MakeSystem(3, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    CoupledScheduler scheduler(model, CoupledParams{});
+    auto result = scheduler.Run();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OpsScaling)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+void BM_ModuloMaxOverheadPerForceEval(benchmark::State& state) {
+  // Isolated cost of one full-mode force evaluation relative to system
+  // size: dominated by frame propagation + profile deltas, with the
+  // modulo-max folding adding only O(T + lambda).
+  SystemModel model = MakeSystem(static_cast<int>(state.range(0)), 12);
+  for (auto _ : state) {
+    CoupledScheduler scheduler(model, CoupledParams{});
+    benchmark::DoNotOptimize(&scheduler);
+  }
+}
+BENCHMARK(BM_ModuloMaxOverheadPerForceEval)->DenseRange(1, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

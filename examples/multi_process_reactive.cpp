@@ -1,0 +1,74 @@
+// The paper's motivating scenario end-to-end: five independent reactive
+// processes (three elliptic wave filters, two differential-equation
+// solvers) triggered by spontaneous events, sharing adders, subtracters
+// and multipliers through static periodic access authorizations.
+//
+// Schedules the system, prints the Table-1 style report, then fires a
+// randomized activation storm through the cycle-accurate simulator to
+// demonstrate that no resource conflict can occur as long as activations
+// respect the start grid — and that a deliberately off-grid activation is
+// caught.
+//
+//   $ ./examples/multi_process_reactive [trace-seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "modulo/coupled_scheduler.h"
+#include "report/experiment_report.h"
+#include "sim/simulator.h"
+#include "workloads/paper_system.h"
+
+using namespace mshls;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 2026;
+
+  PaperSystem sys = BuildPaperSystem();
+  std::printf("system: %zu processes, grid spacings:", sys.model.process_count());
+  for (const Process& p : sys.model.processes())
+    std::printf(" %s=%lld", p.name.c_str(),
+                static_cast<long long>(sys.model.GridSpacing(p.id)));
+  std::printf("\n\n");
+
+  CoupledScheduler scheduler(sys.model, CoupledParams{});
+  auto result_or = scheduler.Run();
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const CoupledResult result = std::move(result_or).value();
+  std::printf("%s\n", RenderTable1(sys.model, result).c_str());
+  std::printf("allocation: %s\n\n",
+              SummarizeAllocation(sys.model, result.allocation).c_str());
+
+  // Reactive storm: every process is re-triggered at random grid-aligned
+  // times, heavily overlapping across processes.
+  SystemSimulator sim(sys.model, result.schedule, result.allocation);
+  TraceOptions options;
+  options.seed = seed;
+  options.activations_per_process = 16;
+  options.max_gap_units = 2;
+  const auto trace = RandomActivationTrace(sys.model, options);
+  const SimReport report = sim.Run(trace);
+  std::printf("reactive storm: %zu activations over %lld cycles -> %s\n",
+              trace.size(), static_cast<long long>(report.horizon),
+              report.ok ? "no conflicts" : "CONFLICTS (bug!)");
+  for (const SimTypeStats& st : report.stats) {
+    std::printf("  %-5s %d instance(s), utilization %.1f%%\n",
+                sys.model.library().type(st.type).name.c_str(), st.instances,
+                100.0 * st.utilization);
+  }
+
+  // Negative control: start one EWF off the 5-step grid.
+  std::vector<Activation> bad = {{BlockId{0}, 0}, {BlockId{1}, 3}};
+  const SimReport bad_report = sim.Run(bad);
+  std::printf("\noff-grid control (ewf2 started at t=3, grid=5): %zu "
+              "violation(s), first: %s\n",
+              bad_report.violations.size(),
+              bad_report.violations.empty()
+                  ? "-"
+                  : bad_report.violations[0].detail.c_str());
+  return report.ok && !bad_report.ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// The scenario traditional methods cannot handle (paper §1/§2): a loop
+// with UNBOUND iteration count running concurrently with another process,
+// both sharing expensive hardware.
+//
+// Process merging needs a fixed temporal relation; Interface Matching needs
+// blocking communication pairs. Here the DCT loop body is its own block
+// (paper condition C2: a loop body is a separate block) activated
+// back-to-back for an iteration count only known at runtime, while a
+// control process runs independently. The modulo authorization makes the
+// sharing safe for ANY iteration count — we demonstrate with runs of 1,
+// 7 and 200 iterations.
+//
+//   $ ./examples/unbound_loop
+#include <cstdio>
+
+#include "modulo/baseline.h"
+#include "modulo/coupled_scheduler.h"
+#include "report/experiment_report.h"
+#include "sim/simulator.h"
+#include "workloads/benchmarks.h"
+
+using namespace mshls;
+
+int main() {
+  SystemModel model;
+  const PaperTypes types = AddPaperTypes(model.library());
+
+  // Loop process: the body is one block of 8 steps; iterations run
+  // back-to-back (start times 0, 8, 16, ... all on the period grid).
+  DataFlowGraph body;
+  {
+    const OpId m1 = body.AddOp(types.mult, "m1");
+    const OpId m2 = body.AddOp(types.mult, "m2");
+    const OpId a1 = body.AddOp(types.add, "a1");
+    const OpId a2 = body.AddOp(types.add, "a2");
+    body.AddEdge(m1, a1);
+    body.AddEdge(m2, a1);
+    body.AddEdge(a1, a2);
+    if (!body.Validate().ok()) return 1;
+  }
+  const ProcessId loop_proc = model.AddProcess("dct_loop", 8);
+  const BlockId loop_body =
+      model.AddBlock(loop_proc, "body", std::move(body), 8);
+
+  // Independent control process with its own deadline.
+  DataFlowGraph ctrl;
+  {
+    const OpId m = ctrl.AddOp(types.mult, "gain");
+    const OpId a = ctrl.AddOp(types.add, "bias");
+    ctrl.AddEdge(m, a);
+    if (!ctrl.Validate().ok()) return 1;
+  }
+  const ProcessId ctrl_proc = model.AddProcess("control", 8);
+  const BlockId ctrl_block = model.AddBlock(ctrl_proc, "law",
+                                            std::move(ctrl), 8);
+
+  // One multiplier pool for both, period 4.
+  model.MakeGlobal(types.mult, {loop_proc, ctrl_proc});
+  model.SetPeriod(types.mult, 4);
+  if (Status s = model.Validate(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto result_or = scheduler.Run();
+  if (!result_or.ok()) return 1;
+  const CoupledResult result = std::move(result_or).value();
+  std::printf("%s\n", RenderTable1(model, result).c_str());
+  std::printf("shared multipliers: %d (traditional scheduling would build "
+              "one per process)\n\n",
+              result.allocation.FindGlobal(types.mult)->instances);
+
+  // The loop runs for an iteration count unknown at synthesis time; the
+  // control process fires at arbitrary grid-aligned times in parallel.
+  SystemSimulator sim(model, result.schedule, result.allocation);
+  for (int iterations : {1, 7, 200}) {
+    std::vector<Activation> trace;
+    for (int i = 0; i < iterations; ++i)
+      trace.push_back({loop_body, static_cast<std::int64_t>(8) * i});
+    // Control activations sprinkled across the loop's lifetime.
+    for (int i = 0; i < iterations; i += 3)
+      trace.push_back({ctrl_block, static_cast<std::int64_t>(8) * i + 4});
+    const SimReport report = sim.Run(trace);
+    std::printf("loop x%-4d + %zu control activations over %lld cycles: %s\n",
+                iterations, trace.size() - static_cast<std::size_t>(iterations),
+                static_cast<long long>(report.horizon),
+                report.ok ? "conflict-free" : "CONFLICT (bug!)");
+    if (!report.ok) return 1;
+  }
+  std::printf("\nthe access control is static (a free-running modulo-4 "
+              "counter) — no arbiter, no handshake, any iteration count.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "bind/area_report.h"
+
+namespace mshls {
+
+AreaBreakdown ComputeAreaBreakdown(const SystemModel& model,
+                                   const SystemSchedule& schedule,
+                                   const Allocation& allocation,
+                                   const SystemBinding& binding,
+                                   const AreaCostModel& cost) {
+  AreaBreakdown out;
+  out.fu_area = allocation.TotalArea(model.library());
+
+  for (const ProcessRegisterReport& r :
+       AllocateSystemRegisters(model, schedule))
+    out.register_count += r.register_count;
+  out.register_area = out.register_count * cost.register_area;
+
+  // Ops feeding each instance.
+  std::vector<int> fan_in(binding.instances.size(), 0);
+  for (const Block& b : model.blocks())
+    for (const Operation& op : b.graph.ops())
+      ++fan_in[binding.of(b.id, op.id).index()];
+  for (int k : fan_in)
+    if (k > 1) out.mux2_count += 2 * (k - 1);  // two operand ports
+  out.mux_area = out.mux2_count * cost.mux2_area;
+
+  out.total_area = out.fu_area + out.register_area + out.mux_area;
+  return out;
+}
+
+}  // namespace mshls

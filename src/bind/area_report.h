@@ -1,0 +1,40 @@
+// Area accounting beyond bare functional units.
+//
+// The paper reports FU area only and explicitly leaves open "whether or not
+// the area saving due to the global adders and subtracters is compensated
+// by additional multiplexors and wires" (§7). This report answers that
+// question for our implementation: it adds register and multiplexer cost
+// models on top of the FU area so the trade-off can be quantified
+// (bench_table1 prints both).
+#pragma once
+
+#include "bind/binding.h"
+#include "bind/registers.h"
+
+namespace mshls {
+
+struct AreaCostModel {
+  /// Area of one storage register (paper unit: adder = 1).
+  double register_area = 0.25;
+  /// Area of one 2:1 multiplexer slice; an n-input mux costs (n-1) slices.
+  double mux2_area = 0.125;
+};
+
+struct AreaBreakdown {
+  int fu_area = 0;              // the paper's metric
+  int register_count = 0;
+  double register_area = 0;
+  int mux2_count = 0;           // total 2:1 slices over all instance inputs
+  double mux_area = 0;
+  double total_area = 0;        // fu + registers + muxes
+};
+
+/// Computes the breakdown for a bound system. Mux model: an instance fed by
+/// k distinct operations needs a (k)-input mux per operand port (2 ports
+/// assumed), i.e. 2*(k-1) mux2 slices.
+[[nodiscard]] AreaBreakdown ComputeAreaBreakdown(
+    const SystemModel& model, const SystemSchedule& schedule,
+    const Allocation& allocation, const SystemBinding& binding,
+    const AreaCostModel& cost = {});
+
+}  // namespace mshls

@@ -1,0 +1,216 @@
+#include "bind/binding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "modulo/modulo_map.h"
+
+namespace mshls {
+namespace {
+
+/// Pool entitlement of user index u at residue tau: first index and count.
+struct Entitlement {
+  int first = 0;
+  int count = 0;
+};
+
+Entitlement EntitlementOf(const GlobalTypeAllocation& ga, std::size_t user,
+                          int tau) {
+  Entitlement e;
+  for (std::size_t v = 0; v < user; ++v)
+    e.first += ga.authorization[v][static_cast<std::size_t>(tau)];
+  e.count = ga.authorization[user][static_cast<std::size_t>(tau)];
+  return e;
+}
+
+int UserIndexOf(const GlobalTypeAllocation& ga, ProcessId p) {
+  for (std::size_t u = 0; u < ga.users.size(); ++u)
+    if (ga.users[u] == p) return static_cast<int>(u);
+  return -1;
+}
+
+}  // namespace
+
+StatusOr<SystemBinding> BindSystem(const SystemModel& model,
+                                   const SystemSchedule& schedule,
+                                   const Allocation& allocation) {
+  const ResourceLibrary& lib = model.library();
+  SystemBinding binding;
+
+  // Instance tables. pool_base[type] = id of pool instance 0;
+  // local_base[process][type] = id of local instance 0.
+  std::vector<int> pool_base(lib.size(), -1);
+  std::vector<std::vector<int>> local_base(
+      model.process_count(), std::vector<int>(lib.size(), -1));
+  auto new_instance = [&](ResourceTypeId type, bool global, ProcessId owner,
+                          int local_index, std::string name) {
+    const InstanceId id{static_cast<int>(binding.instances.size())};
+    binding.instances.push_back(
+        InstanceInfo{id, type, global, owner, local_index, std::move(name)});
+    return id;
+  };
+  for (const GlobalTypeAllocation& ga : allocation.global) {
+    pool_base[ga.type.index()] = static_cast<int>(binding.instances.size());
+    for (int i = 0; i < ga.instances; ++i)
+      new_instance(ga.type, true, ProcessId::invalid(), i,
+                   lib.type(ga.type).name + "_g" + std::to_string(i));
+  }
+  for (const Process& p : model.processes()) {
+    for (const ResourceType& t : lib.types()) {
+      const int n = allocation.local[p.id.index()][t.id.index()];
+      if (n == 0) continue;
+      local_base[p.id.index()][t.id.index()] =
+          static_cast<int>(binding.instances.size());
+      for (int i = 0; i < n; ++i)
+        new_instance(t.id, false, p.id, i,
+                     p.name + "_" + t.name + std::to_string(i));
+    }
+  }
+
+  binding.op_instance.resize(model.block_count());
+  for (const Block& b : model.blocks()) {
+    auto& per_op = binding.op_instance[b.id.index()];
+    per_op.assign(b.graph.op_count(), InstanceId::invalid());
+    const BlockSchedule& sched = schedule.of(b.id);
+
+    for (const ResourceType& t : lib.types()) {
+      // Ops of this type, earliest start first (stable by id).
+      std::vector<OpId> ops;
+      for (const Operation& op : b.graph.ops())
+        if (op.type == t.id) ops.push_back(op.id);
+      if (ops.empty()) continue;
+      std::sort(ops.begin(), ops.end(), [&](OpId a, OpId c) {
+        if (sched.start(a) != sched.start(c))
+          return sched.start(a) < sched.start(c);
+        return a < c;
+      });
+      const int dii = t.dii;
+
+      const GlobalTypeAllocation* pool =
+          (model.is_global(t.id) && model.InGroup(t.id, b.process))
+              ? allocation.FindGlobal(t.id)
+              : nullptr;
+
+      if (pool == nullptr) {
+        // Local interval assignment: lowest free instance.
+        const int base = local_base[b.process.index()][t.id.index()];
+        const int count = allocation.local[b.process.index()][t.id.index()];
+        std::vector<int> busy_until(static_cast<std::size_t>(count), 0);
+        for (OpId op : ops) {
+          const int s = sched.start(op);
+          int chosen = -1;
+          for (int i = 0; i < count; ++i) {
+            if (busy_until[static_cast<std::size_t>(i)] <= s) {
+              chosen = i;
+              break;
+            }
+          }
+          if (chosen < 0)
+            return Status{StatusCode::kInternal,
+                          "local allocation of '" + t.name +
+                              "' too small for block '" + b.name + "'"};
+          busy_until[static_cast<std::size_t>(chosen)] = s + dii;
+          per_op[op.index()] = InstanceId{base + chosen};
+        }
+        continue;
+      }
+
+      // Global pool: per-residue prefix partition.
+      const int user = UserIndexOf(*pool, b.process);
+      assert(user >= 0 && "scheduled op of a non-user process");
+      const int base = pool_base[t.id.index()];
+      // busy_until per pool instance within this block.
+      std::vector<int> busy_until(
+          static_cast<std::size_t>(pool->instances), 0);
+      for (OpId op : ops) {
+        const int s = sched.start(op);
+        int chosen = -1;
+        for (int i = 0; i < pool->instances && chosen < 0; ++i) {
+          if (busy_until[static_cast<std::size_t>(i)] > s) continue;
+          // Entitled at every residue the issue spans?
+          bool entitled = true;
+          for (int k = 0; k < dii; ++k) {
+            const int tau = ResidueOf(s + k, b.phase, pool->period);
+            const Entitlement e = EntitlementOf(*pool,
+                                                static_cast<std::size_t>(user),
+                                                tau);
+            if (i < e.first || i >= e.first + e.count) {
+              entitled = false;
+              break;
+            }
+          }
+          if (entitled) chosen = i;
+        }
+        if (chosen < 0)
+          return Status{
+              StatusCode::kInfeasible,
+              "no pool instance of '" + t.name +
+                  "' is entitled across all residues spanned by op " +
+                  std::to_string(op.value()) + " in block '" + b.name +
+                  "' (multicycle global sharing limitation)"};
+        busy_until[static_cast<std::size_t>(chosen)] = s + dii;
+        per_op[op.index()] = InstanceId{base + chosen};
+      }
+    }
+  }
+  return binding;
+}
+
+Status ValidateBinding(const SystemModel& model,
+                       const SystemSchedule& schedule,
+                       const Allocation& allocation,
+                       const SystemBinding& binding) {
+  const ResourceLibrary& lib = model.library();
+  for (const Block& b : model.blocks()) {
+    const BlockSchedule& sched = schedule.of(b.id);
+    // Intra-block: no instance claimed twice at one step.
+    std::vector<std::vector<bool>> busy(
+        binding.instances.size(),
+        std::vector<bool>(static_cast<std::size_t>(b.time_range), false));
+    for (const Operation& op : b.graph.ops()) {
+      const InstanceId inst = binding.of(b.id, op.id);
+      if (!inst.valid())
+        return {StatusCode::kInternal,
+                "op " + std::to_string(op.id.value()) + " in block '" +
+                    b.name + "' is unbound"};
+      const InstanceInfo& info = binding.info(inst);
+      if (info.type != op.type)
+        return {StatusCode::kInternal, "type mismatch in binding"};
+      if (!info.global && info.owner != b.process)
+        return {StatusCode::kInternal,
+                "local instance used by a foreign process"};
+      const int dii = lib.type(op.type).dii;
+      const int s = sched.start(op.id);
+      for (int k = 0; k < dii; ++k) {
+        auto cell = busy[inst.index()].begin() + s + k;
+        if (*cell)
+          return {StatusCode::kInternal,
+                  "instance '" + info.name + "' double-booked in block '" +
+                      b.name + "'"};
+        *cell = true;
+      }
+      if (info.global) {
+        const GlobalTypeAllocation* pool = allocation.FindGlobal(op.type);
+        assert(pool != nullptr);
+        const int user = UserIndexOf(*pool, b.process);
+        if (user < 0)
+          return {StatusCode::kInternal,
+                  "pool instance used by a process outside the group"};
+        for (int k = 0; k < dii; ++k) {
+          const int tau = ResidueOf(s + k, b.phase, pool->period);
+          const Entitlement e = EntitlementOf(
+              *pool, static_cast<std::size_t>(user), tau);
+          if (info.local_index < e.first ||
+              info.local_index >= e.first + e.count)
+            return {StatusCode::kInternal,
+                    "pool instance '" + info.name +
+                        "' used outside its entitled residue range"};
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mshls

@@ -1,0 +1,71 @@
+// Operation -> functional-unit-instance binding.
+//
+// Completes the synthesis story below the scheduler: every operation is
+// mapped onto a concrete unit instance such that no instance is ever
+// claimed twice at the same absolute time, for any legal (grid-aligned,
+// non-overlapping) activation of the processes.
+//
+//  * Local types: each process owns its instances; blocks of one process
+//    never overlap (C2), so instances are assigned per block with a
+//    classic earliest-start interval rule.
+//  * Global types: the pool instances are partitioned per residue tau by
+//    the authorization prefix sums — process u owns the index range
+//    [sum_{v<u} A_v(tau), sum_{v<=u} A_v(tau)) whenever the absolute time
+//    maps to tau. A physical instance thus serves different processes at
+//    different residues, which is exactly the paper's sharing model; the
+//    residue counter drives the input multiplexers (see rtl/).
+//
+// Limitation (documented): a *global* type whose dii > 1 spans several
+// residues per issue and needs one instance entitled across all of them;
+// the greedy binder reports kInfeasible if the prefix partition admits no
+// such instance. The paper's experiments only share fully pipelined or
+// unit-delay units (dii = 1), where the partition argument is exact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "modulo/allocation.h"
+
+namespace mshls {
+
+struct InstanceInfo {
+  InstanceId id;
+  ResourceTypeId type;
+  bool global = false;
+  /// Owning process for local instances; invalid for pool instances.
+  ProcessId owner;
+  /// Index within its pool / process-local group.
+  int local_index = 0;
+  std::string name;
+};
+
+struct SystemBinding {
+  std::vector<InstanceInfo> instances;
+  /// op_instance[block][op] -> InstanceId.
+  std::vector<std::vector<InstanceId>> op_instance;
+
+  [[nodiscard]] InstanceId of(BlockId b, OpId op) const {
+    return op_instance[b.index()][op.index()];
+  }
+  [[nodiscard]] const InstanceInfo& info(InstanceId id) const {
+    return instances[id.index()];
+  }
+};
+
+/// Binds every operation. `allocation` must come from ComputeAllocation on
+/// the same schedule (or dominate it).
+[[nodiscard]] StatusOr<SystemBinding> BindSystem(const SystemModel& model,
+                                                 const SystemSchedule& schedule,
+                                                 const Allocation& allocation);
+
+/// Independent re-check of a binding: type compatibility, ownership
+/// (local instances only used by their process; pool instances only within
+/// entitled residue ranges) and intra-block overlap freedom.
+[[nodiscard]] Status ValidateBinding(const SystemModel& model,
+                                     const SystemSchedule& schedule,
+                                     const Allocation& allocation,
+                                     const SystemBinding& binding);
+
+}  // namespace mshls

@@ -1,0 +1,93 @@
+#include "bind/registers.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mshls {
+
+std::vector<ValueLifetime> ComputeLifetimes(const Block& block,
+                                            const ResourceLibrary& lib,
+                                            const BlockSchedule& schedule) {
+  std::vector<ValueLifetime> out;
+  out.reserve(block.graph.op_count());
+  for (const Operation& op : block.graph.ops()) {
+    ValueLifetime v;
+    v.producer = op.id;
+    v.birth = schedule.start(op.id) + lib.type(op.type).delay;
+    const auto succs = block.graph.succs(op.id);
+    if (succs.empty()) {
+      // Block output: must remain observable after the last step, so it
+      // lives strictly beyond the time range (a sink finishing in the
+      // final step must not reuse the register of another sink).
+      v.death = block.time_range + 1;
+    } else {
+      int last_read = v.birth;
+      for (OpId s : succs)
+        last_read = std::max(last_read, schedule.start(s) + 1);
+      v.death = last_read;
+    }
+    // A value read in the same step it is born still occupies a register
+    // boundary; normalise to a non-empty interval.
+    v.death = std::max(v.death, v.birth + 1);
+    out.push_back(v);
+  }
+  return out;
+}
+
+BlockRegisterAllocation AllocateRegisters(
+    const std::vector<ValueLifetime>& lifetimes) {
+  BlockRegisterAllocation alloc;
+  if (lifetimes.empty()) return alloc;
+  std::size_t max_op = 0;
+  for (const ValueLifetime& v : lifetimes)
+    max_op = std::max(max_op, v.producer.index());
+  alloc.reg_of.assign(max_op + 1, RegisterId::invalid());
+
+  std::vector<std::size_t> order(lifetimes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lifetimes[a].birth != lifetimes[b].birth)
+      return lifetimes[a].birth < lifetimes[b].birth;
+    return lifetimes[a].producer < lifetimes[b].producer;
+  });
+
+  std::vector<int> free_at;  // per register: step it becomes free
+  for (std::size_t idx : order) {
+    const ValueLifetime& v = lifetimes[idx];
+    int chosen = -1;
+    for (std::size_t r = 0; r < free_at.size(); ++r) {
+      if (free_at[r] <= v.birth) {
+        chosen = static_cast<int>(r);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(free_at.size());
+      free_at.push_back(0);
+    }
+    free_at[static_cast<std::size_t>(chosen)] = v.death;
+    alloc.reg_of[v.producer.index()] = RegisterId{chosen};
+  }
+  alloc.register_count = static_cast<int>(free_at.size());
+  return alloc;
+}
+
+std::vector<ProcessRegisterReport> AllocateSystemRegisters(
+    const SystemModel& model, const SystemSchedule& schedule) {
+  std::vector<ProcessRegisterReport> out;
+  for (const Process& p : model.processes()) {
+    ProcessRegisterReport report;
+    report.process = p.id;
+    for (BlockId bid : p.blocks) {
+      const Block& b = model.block(bid);
+      const auto lifetimes =
+          ComputeLifetimes(b, model.library(), schedule.of(bid));
+      report.register_count = std::max(
+          report.register_count, AllocateRegisters(lifetimes).register_count);
+    }
+    out.push_back(report);
+  }
+  return out;
+}
+
+}  // namespace mshls

@@ -1,0 +1,50 @@
+// Value lifetime analysis and left-edge register allocation.
+//
+// Every operation result is a value born when its producer finishes
+// (start + delay) and dying when the last consumer has read it (consumer
+// start + 1); results of sink operations are block outputs and live
+// beyond the block's time range so they stay observable after completion.
+// Registers are assigned per process with the classic left-edge rule;
+// blocks of one process share one register file because they never
+// execute concurrently (condition C2).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "modulo/allocation.h"
+
+namespace mshls {
+
+struct ValueLifetime {
+  OpId producer;
+  int birth = 0;  // first step the value exists
+  int death = 0;  // first step the value is no longer needed (exclusive)
+};
+
+/// Lifetimes of all values of a block, by producer op id order.
+[[nodiscard]] std::vector<ValueLifetime> ComputeLifetimes(
+    const Block& block, const ResourceLibrary& lib,
+    const BlockSchedule& schedule);
+
+struct BlockRegisterAllocation {
+  int register_count = 0;
+  /// reg_of[op] — register holding op's result; invalid if the value has
+  /// zero-length lifetime (never the case with death > birth).
+  std::vector<RegisterId> reg_of;
+};
+
+/// Left-edge allocation: minimal register count for the given lifetimes.
+[[nodiscard]] BlockRegisterAllocation AllocateRegisters(
+    const std::vector<ValueLifetime>& lifetimes);
+
+struct ProcessRegisterReport {
+  ProcessId process;
+  int register_count = 0;  // max over the process' blocks
+};
+
+/// Registers per process for a complete system schedule.
+[[nodiscard]] std::vector<ProcessRegisterReport> AllocateSystemRegisters(
+    const SystemModel& model, const SystemSchedule& schedule);
+
+}  // namespace mshls

@@ -1,0 +1,77 @@
+// Strong identifier types used across the library.
+//
+// All entities (operations, resource types, processes, blocks, ...) are
+// referred to by small dense integer ids. Wrapping them in distinct types
+// prevents accidentally indexing one table with another table's id — a bug
+// class that is otherwise very easy to hit in scheduler code where half a
+// dozen id spaces are live at once.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mshls {
+
+/// CRTP-free strong id template. `Tag` only disambiguates the type.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::int32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  /// Dense index value; asserts nothing — invalid() yields a negative value.
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{-1}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  value_type value_ = -1;
+};
+
+struct OpIdTag {};
+struct EdgeIdTag {};
+struct ResourceTypeIdTag {};
+struct ProcessIdTag {};
+struct BlockIdTag {};
+struct InstanceIdTag {};
+struct RegisterIdTag {};
+struct ValueIdTag {};
+
+/// One operation node of a data-flow graph.
+using OpId = StrongId<OpIdTag>;
+/// One precedence edge of a data-flow graph.
+using EdgeId = StrongId<EdgeIdTag>;
+/// One resource (functional-unit) type of the resource library.
+using ResourceTypeId = StrongId<ResourceTypeIdTag>;
+/// One process of the system model.
+using ProcessId = StrongId<ProcessIdTag>;
+/// One block (statically scheduled region) of a process.
+using BlockId = StrongId<BlockIdTag>;
+/// One bound functional-unit instance.
+using InstanceId = StrongId<InstanceIdTag>;
+/// One allocated storage register.
+using RegisterId = StrongId<RegisterIdTag>;
+/// One data value (operation result) tracked by lifetime analysis.
+using ValueId = StrongId<ValueIdTag>;
+
+}  // namespace mshls
+
+namespace std {
+template <typename Tag>
+struct hash<mshls::StrongId<Tag>> {
+  size_t operator()(mshls::StrongId<Tag> id) const noexcept {
+    return std::hash<typename mshls::StrongId<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

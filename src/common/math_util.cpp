@@ -1,0 +1,20 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+
+namespace mshls {
+
+std::vector<std::int64_t> DivisorsOf(std::int64_t n) {
+  assert(n > 0);
+  std::vector<std::int64_t> low;
+  std::vector<std::int64_t> high;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d != 0) continue;
+    low.push_back(d);
+    if (d != n / d) high.push_back(n / d);
+  }
+  low.insert(low.end(), high.rbegin(), high.rend());
+  return low;
+}
+
+}  // namespace mshls

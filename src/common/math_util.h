@@ -1,0 +1,48 @@
+// Small integer math helpers used by period arithmetic (paper eq. 2/3).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace mshls {
+
+/// gcd of a non-empty range; gcd({}) is defined as 0 (identity element).
+[[nodiscard]] inline std::int64_t GcdOf(std::span<const std::int64_t> xs) {
+  std::int64_t g = 0;
+  for (std::int64_t x : xs) g = std::gcd(g, x);
+  return g;
+}
+
+/// lcm of a range; lcm({}) is defined as 1 (identity element).
+[[nodiscard]] inline std::int64_t LcmOf(std::span<const std::int64_t> xs) {
+  std::int64_t l = 1;
+  for (std::int64_t x : xs) {
+    assert(x > 0 && "lcm over non-positive value");
+    l = std::lcm(l, x);
+  }
+  return l;
+}
+
+/// All positive divisors of n (n > 0), ascending.
+[[nodiscard]] std::vector<std::int64_t> DivisorsOf(std::int64_t n);
+
+/// Floored modulo: result in [0, m) for m > 0, even for negative t.
+/// This is the mapping of paper eq. 1 extended to negative absolute times
+/// (a block may conceptually start before the observation origin).
+[[nodiscard]] constexpr std::int64_t FlooredMod(std::int64_t t,
+                                                std::int64_t m) {
+  assert(m > 0);
+  std::int64_t r = t % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Ceiling division for non-negative numerator, positive denominator.
+[[nodiscard]] constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  assert(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace mshls

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random source for workload generators and property
+// tests. A fixed, documented algorithm (splitmix64 + xoshiro-style mixing)
+// keeps generated graphs identical across platforms and standard libraries,
+// which std::mt19937 + distribution objects do not guarantee.
+#pragma once
+
+#include <cstdint>
+
+namespace mshls {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int NextInt(int lo, int hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(NextU64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mshls

@@ -1,0 +1,80 @@
+// Lightweight status / status-or types for fallible construction and
+// validation APIs. Algorithmic inner loops assert instead; only operations
+// whose failure is a *user input* problem (malformed graph, infeasible
+// constraint, parse error) report through Status.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mshls {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad graph, negative delay, ...)
+  kFailedPrecondition,// model not in the required state (unvalidated, ...)
+  kInfeasible,        // constraints admit no solution (deadline < critical path)
+  kNotFound,          // lookup by name/id failed
+  kParseError,        // frontend syntax/semantic error
+  kInternal,          // invariant violation that escaped an assert build
+};
+
+[[nodiscard]] const char* StatusCodeName(StatusCode code);
+
+/// Error-or-success result; cheap to copy on the success path.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() for OK");
+  }
+
+  [[nodiscard]] static Status Ok() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>" — for logs and test failure output.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-status. Kept deliberately minimal (no monadic API): call sites
+/// check ok() and either consume value() or propagate status().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "StatusOr(Status) requires an error status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mshls

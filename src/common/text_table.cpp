@@ -1,0 +1,78 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mshls {
+
+void TextTable::SetHeader(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  right_aligned_.assign(header_.size(), false);
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+void TextTable::AlignRight(std::size_t column) {
+  if (column >= right_aligned_.size()) right_aligned_.resize(column + 1, false);
+  right_aligned_[column] = true;
+}
+
+std::string TextTable::Render() const {
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.cells.size());
+
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      width[c] = std::max(width[c], cells[c].size());
+  };
+  widen(header_);
+  for (const Row& r : rows_) widen(r.cells);
+
+  auto rule = [&] {
+    std::string out = "+";
+    for (std::size_t c = 0; c < ncols; ++c)
+      out += std::string(width[c] + 2, '-') + "+";
+    out += "\n";
+    return out;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      const std::size_t pad = width[c] - cell.size();
+      const bool right = c < right_aligned_.size() && right_aligned_[c];
+      out += " ";
+      if (right) out += std::string(pad, ' ') + cell;
+      else out += cell + std::string(pad, ' ');
+      out += " |";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::string out = rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const Row& r : rows_) {
+    if (r.rule_before) out += rule();
+    out += line(r.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace mshls

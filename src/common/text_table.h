@@ -1,0 +1,42 @@
+// Plain-text table builder used by benches and reports to print paper-style
+// result tables (Table 1 of the paper) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mshls {
+
+class TextTable {
+ public:
+  /// Sets the header row; resets alignment to left for all columns.
+  void SetHeader(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header;
+  /// missing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  /// Marks a column (0-based) as right-aligned (numbers).
+  void AlignRight(std::size_t column);
+
+  /// Renders with unicode-free ASCII borders.
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<bool> right_aligned_;
+  bool pending_rule_ = false;
+};
+
+/// Formats a double with `digits` decimals (no trailing-zero stripping).
+[[nodiscard]] std::string FormatDouble(double v, int digits);
+
+}  // namespace mshls

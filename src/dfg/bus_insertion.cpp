@@ -1,0 +1,52 @@
+#include "dfg/bus_insertion.h"
+
+#include <cassert>
+#include <string>
+
+namespace mshls {
+
+DataFlowGraph InsertBusTransfers(const DataFlowGraph& graph,
+                                 const BusInsertionOptions& options) {
+  assert(graph.validated());
+  assert(options.bus_type.valid());
+  DataFlowGraph out;
+  // Clone ops in id order so original ids stay stable.
+  for (const Operation& op : graph.ops()) {
+    const OpId id = out.AddOp(op.type, op.name);
+    assert(id == op.id);
+    (void)id;
+  }
+  if (options.broadcast) {
+    // One transfer per producer with at least one consumer.
+    for (const Operation& op : graph.ops()) {
+      if (graph.succs(op.id).empty()) continue;
+      if (options.skip_sources && graph.preds(op.id).empty()) continue;
+      const OpId transfer = out.AddOp(
+          options.bus_type,
+          "bus_" + (op.name.empty() ? std::to_string(op.id.value())
+                                    : op.name));
+      out.AddEdge(op.id, transfer);
+      for (OpId consumer : graph.succs(op.id))
+        out.AddEdge(transfer, consumer);
+    }
+  } else {
+    for (const Edge& e : graph.edges()) {
+      if (options.skip_sources && graph.preds(e.from).empty()) {
+        out.AddEdge(e.from, e.to);
+        continue;
+      }
+      const OpId transfer = out.AddOp(
+          options.bus_type,
+          "bus_" + std::to_string(e.from.value()) + "_" +
+              std::to_string(e.to.value()));
+      out.AddEdge(e.from, transfer);
+      out.AddEdge(transfer, e.to);
+    }
+  }
+  const Status s = out.Validate();
+  assert(s.ok());
+  (void)s;
+  return out;
+}
+
+}  // namespace mshls

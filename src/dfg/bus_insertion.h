@@ -1,0 +1,37 @@
+// Explicit interconnect modelling: rewrites a data-flow graph so that every
+// value transport runs over a named transfer resource ("bus").
+//
+// The paper's resource model explicitly covers interconnect: "the
+// considered resources range from simple adders, memories or busses to
+// more complex functions" (§1.1). With this pass a bus becomes an ordinary
+// resource type — it can be assigned locally or globally (S1), gets a
+// period (S2), and the coupled scheduler balances transfer slots across
+// processes exactly like functional units, reproducing time-multiplexed
+// shared buses with static access control.
+#pragma once
+
+#include "common/ids.h"
+#include "dfg/graph.h"
+
+namespace mshls {
+
+struct BusInsertionOptions {
+  /// Resource type of the inserted transfer ops (typically delay 1,
+  /// dii 1, small area).
+  ResourceTypeId bus_type;
+  /// true: one broadcast transfer per produced value, feeding all its
+  /// consumers (a bus drives many readers in one slot);
+  /// false: one transfer per edge (point-to-point interconnect).
+  bool broadcast = true;
+  /// Skip transfers out of source ops (their operands arrive via input
+  /// ports, not the bus).
+  bool skip_sources = false;
+};
+
+/// Returns a new, validated graph: original ops keep their ids/order,
+/// transfer ops ("bus_<producer>" / "bus_<producer>_<consumer>") are
+/// appended; every original edge u->v becomes u->transfer->v.
+[[nodiscard]] DataFlowGraph InsertBusTransfers(
+    const DataFlowGraph& graph, const BusInsertionOptions& options);
+
+}  // namespace mshls

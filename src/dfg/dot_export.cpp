@@ -1,0 +1,35 @@
+#include "dfg/dot_export.h"
+
+#include <cassert>
+
+namespace mshls {
+
+std::string ToDot(const DataFlowGraph& graph, std::string_view name,
+                  const DotOptions& options) {
+  assert(graph.validated());
+  std::string out = "digraph \"";
+  out += name;
+  out += "\" {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  for (const Operation& op : graph.ops()) {
+    std::string label =
+        op.name.empty() ? "op" + std::to_string(op.id.value()) : op.name;
+    if (options.type_label) {
+      label += "\\n";
+      label += options.type_label(op.type);
+    }
+    if (options.start_step) {
+      const int s = options.start_step(op.id);
+      if (s >= 0) label += " @" + std::to_string(s);
+    }
+    out += "  n" + std::to_string(op.id.value()) + " [label=\"" + label +
+           "\"];\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    out += "  n" + std::to_string(e.from.value()) + " -> n" +
+           std::to_string(e.to.value()) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mshls

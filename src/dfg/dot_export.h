@@ -1,0 +1,24 @@
+// Graphviz DOT export for data-flow graphs — debugging and documentation aid.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dfg/graph.h"
+
+namespace mshls {
+
+struct DotOptions {
+  /// Returns the display label of a resource type (e.g. "+", "*").
+  std::function<std::string(ResourceTypeId)> type_label;
+  /// Optional schedule annotation: start step per op, -1 for unscheduled.
+  std::function<int(OpId)> start_step;
+};
+
+/// Renders the graph as a DOT digraph named `name`. Operations are labelled
+/// "<name>\n<type>[@step]"; multiplication-like high-area ops get a box.
+[[nodiscard]] std::string ToDot(const DataFlowGraph& graph,
+                                std::string_view name,
+                                const DotOptions& options);
+
+}  // namespace mshls

@@ -1,0 +1,136 @@
+#include "dfg/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mshls {
+
+OpId DataFlowGraph::AddOp(ResourceTypeId type, std::string_view name) {
+  const OpId id{static_cast<OpId::value_type>(ops_.size())};
+  ops_.push_back(Operation{id, type, std::string(name)});
+  validated_ = false;
+  return id;
+}
+
+EdgeId DataFlowGraph::AddEdge(OpId from, OpId to) {
+  const EdgeId id{static_cast<EdgeId::value_type>(edges_.size())};
+  edges_.push_back(Edge{id, from, to});
+  validated_ = false;
+  return id;
+}
+
+Status DataFlowGraph::Validate() {
+  const auto n = ops_.size();
+  for (const Edge& e : edges_) {
+    if (!e.from.valid() || e.from.index() >= n || !e.to.valid() ||
+        e.to.index() >= n) {
+      return {StatusCode::kInvalidArgument,
+              "edge " + std::to_string(e.id.value()) +
+                  " references an out-of-range operation"};
+    }
+    if (e.from == e.to) {
+      return {StatusCode::kInvalidArgument,
+              "self-loop on operation " + std::to_string(e.from.value())};
+    }
+  }
+  for (const Operation& op : ops_) {
+    if (!op.type.valid()) {
+      return {StatusCode::kInvalidArgument,
+              "operation " + std::to_string(op.id.value()) +
+                  " has no resource type"};
+    }
+  }
+
+  // Deduplicate parallel edges (keep first occurrence order).
+  std::vector<Edge> unique;
+  unique.reserve(edges_.size());
+  std::vector<std::vector<bool>> seen;  // lazily sized rows
+  seen.resize(n);
+  for (const Edge& e : edges_) {
+    auto& row = seen[e.from.index()];
+    if (row.empty()) row.resize(n, false);
+    if (row[e.to.index()]) continue;
+    row[e.to.index()] = true;
+    unique.push_back(e);
+  }
+  edges_ = std::move(unique);
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    edges_[i].id = EdgeId{static_cast<EdgeId::value_type>(i)};
+
+  preds_.assign(n, {});
+  succs_.assign(n, {});
+  for (const Edge& e : edges_) {
+    preds_[e.to.index()].push_back(e.from);
+    succs_[e.from.index()].push_back(e.to);
+  }
+  for (auto& v : preds_) std::sort(v.begin(), v.end());
+  for (auto& v : succs_) std::sort(v.begin(), v.end());
+
+  // Kahn's algorithm with a sorted ready set for a stable, id-ordered
+  // topological order (determinism matters: tie-breaking in the schedulers
+  // follows this order).
+  std::vector<int> indegree(n, 0);
+  for (const Edge& e : edges_) ++indegree[e.to.index()];
+  std::vector<OpId> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indegree[i] == 0) ready.push_back(OpId{static_cast<int>(i)});
+  topo_.clear();
+  topo_.reserve(n);
+  while (!ready.empty()) {
+    // Pop the smallest id (ready is kept sorted descending for O(1) pop).
+    std::sort(ready.begin(), ready.end(), std::greater<>());
+    const OpId cur = ready.back();
+    ready.pop_back();
+    topo_.push_back(cur);
+    for (OpId s : succs_[cur.index()]) {
+      if (--indegree[s.index()] == 0) ready.push_back(s);
+    }
+  }
+  if (topo_.size() != n) {
+    return {StatusCode::kInvalidArgument, "data-flow graph contains a cycle"};
+  }
+  validated_ = true;
+  return Status::Ok();
+}
+
+int DataFlowGraph::CriticalPathLength(const DelayFn& delay) const {
+  assert(validated_);
+  std::vector<int> finish(ops_.size(), 0);
+  int longest = 0;
+  for (OpId id : topo_) {
+    int start = 0;
+    for (OpId p : preds_[id.index()]) start = std::max(start, finish[p.index()]);
+    const int d = delay(id);
+    assert(d >= 1 && "operation delay must be positive");
+    finish[id.index()] = start + d;
+    longest = std::max(longest, finish[id.index()]);
+  }
+  return longest;
+}
+
+std::vector<OpId> DataFlowGraph::SourceOps() const {
+  assert(validated_);
+  std::vector<OpId> out;
+  for (const Operation& op : ops_)
+    if (preds_[op.id.index()].empty()) out.push_back(op.id);
+  return out;
+}
+
+std::vector<OpId> DataFlowGraph::SinkOps() const {
+  assert(validated_);
+  std::vector<OpId> out;
+  for (const Operation& op : ops_)
+    if (succs_[op.id.index()].empty()) out.push_back(op.id);
+  return out;
+}
+
+std::vector<int> CountOpsPerType(const DataFlowGraph& graph) {
+  int max_type = -1;
+  for (const Operation& op : graph.ops())
+    max_type = std::max(max_type, op.type.value());
+  std::vector<int> counts(static_cast<std::size_t>(max_type + 1), 0);
+  for (const Operation& op : graph.ops()) ++counts[op.type.index()];
+  return counts;
+}
+
+}  // namespace mshls

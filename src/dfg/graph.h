@@ -1,0 +1,93 @@
+// Data-flow graph: the operation/precedence representation every scheduler
+// in this library works on.
+//
+// An operation is typed by a ResourceTypeId into the resource library owned
+// by the surrounding model; the graph itself is delay-agnostic — latency
+// queries take a delay lookup so the same graph can be scheduled against
+// different libraries.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace mshls {
+
+/// Returns the precedence latency of an operation: the number of control
+/// steps between issuing the op and its result being available.
+using DelayFn = std::function<int(OpId)>;
+
+struct Operation {
+  OpId id;
+  ResourceTypeId type;
+  std::string name;  // optional, for diagnostics / DOT / RTL signal names
+};
+
+struct Edge {
+  EdgeId id;
+  OpId from;
+  OpId to;
+};
+
+class DataFlowGraph {
+ public:
+  /// Adds an operation of the given resource type; name may be empty.
+  OpId AddOp(ResourceTypeId type, std::string_view name = {});
+
+  /// Adds a precedence edge. Duplicate edges are permitted on input and
+  /// collapsed by Validate(); self-loops are rejected there.
+  EdgeId AddEdge(OpId from, OpId to);
+
+  [[nodiscard]] std::size_t op_count() const { return ops_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Operation& op(OpId id) const { return ops_[id.index()]; }
+  [[nodiscard]] std::span<const Operation> ops() const { return ops_; }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Direct predecessors / successors. Valid only after Validate().
+  [[nodiscard]] std::span<const OpId> preds(OpId id) const {
+    return preds_[id.index()];
+  }
+  [[nodiscard]] std::span<const OpId> succs(OpId id) const {
+    return succs_[id.index()];
+  }
+
+  /// Checks structural sanity (ids in range, no self loop, acyclic),
+  /// deduplicates parallel edges and builds adjacency. Must be called once
+  /// after construction and before any traversal query.
+  [[nodiscard]] Status Validate();
+  [[nodiscard]] bool validated() const { return validated_; }
+
+  /// Topological order of all operations (stable: ties broken by op id).
+  /// Requires a successful Validate().
+  [[nodiscard]] std::span<const OpId> topological_order() const {
+    return topo_;
+  }
+
+  /// Length of the longest delay-weighted path: the minimal schedule length
+  /// (sum of delays along the heaviest chain). Requires Validate().
+  [[nodiscard]] int CriticalPathLength(const DelayFn& delay) const;
+
+  /// Ops with no predecessors / successors. Requires Validate().
+  [[nodiscard]] std::vector<OpId> SourceOps() const;
+  [[nodiscard]] std::vector<OpId> SinkOps() const;
+
+ private:
+  std::vector<Operation> ops_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<OpId>> preds_;
+  std::vector<std::vector<OpId>> succs_;
+  std::vector<OpId> topo_;
+  bool validated_ = false;
+};
+
+/// Counts ops per resource type; index = type id, sized to max type + 1.
+[[nodiscard]] std::vector<int> CountOpsPerType(const DataFlowGraph& graph);
+
+}  // namespace mshls

@@ -1,0 +1,54 @@
+#include "fds/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mshls {
+
+void AddOccupancyProbability(Profile& p, const TimeFrame& f, int dii,
+                             double scale) {
+  assert(dii >= 1);
+  const double per_start = scale / f.width();
+  // Occupancy of start s covers [s, s+dii); summed over all starts this is
+  // a trapezoid. Accumulate directly — frames are small.
+  for (int s = f.asap; s <= f.alap; ++s) {
+    for (int t = s; t < s + dii; ++t) {
+      assert(static_cast<std::size_t>(t) < p.size());
+      p[static_cast<std::size_t>(t)] += per_start;
+    }
+  }
+}
+
+Profile BuildTypeProfile(const Block& block, const ResourceLibrary& lib,
+                         const TimeFrameSet& frames, ResourceTypeId type) {
+  Profile p(static_cast<std::size_t>(block.time_range), 0.0);
+  const int dii = lib.type(type).dii;
+  for (const Operation& op : block.graph.ops()) {
+    if (op.type != type) continue;
+    AddOccupancyProbability(p, frames.frame(op.id), dii, 1.0);
+  }
+  return p;
+}
+
+std::vector<Profile> BuildAllProfiles(const Block& block,
+                                      const ResourceLibrary& lib,
+                                      const TimeFrameSet& frames) {
+  std::vector<Profile> out(lib.size());
+  for (const ResourceType& t : lib.types())
+    out[t.id.index()] = BuildTypeProfile(block, lib, frames, t.id);
+  return out;
+}
+
+double ProfileMass(const Profile& p) {
+  double m = 0;
+  for (double v : p) m += v;
+  return m;
+}
+
+double ProfileMax(const Profile& p) {
+  double m = 0;
+  for (double v : p) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace mshls

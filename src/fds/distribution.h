@@ -1,0 +1,48 @@
+// Probability / distribution machinery of force-directed scheduling
+// (paper §4.1).
+//
+// An operation whose start is uniformly distributed over its time frame
+// [asap, alap] (probability 1/width per start step) occupies its resource
+// for `dii` consecutive steps from the start. The *occupancy probability*
+// at step t is therefore (number of starts s with s <= t < s+dii) / width.
+// The distribution function of a resource type is the sum of the occupancy
+// probabilities of all its operations (paper eq. 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "model/system_model.h"
+#include "sched/time_frames.h"
+
+namespace mshls {
+
+/// A real-valued profile over control steps (or over period residues).
+using Profile = std::vector<double>;
+
+/// Adds `scale` times the occupancy probability of an op with frame `f` and
+/// data-introduction interval `dii` into `p`. `p` must cover f.alap+dii-1.
+void AddOccupancyProbability(Profile& p, const TimeFrame& f, int dii,
+                             double scale);
+
+/// Distribution function of `type` for one block under `frames`
+/// (paper eq. 4), over [0, block.time_range).
+[[nodiscard]] Profile BuildTypeProfile(const Block& block,
+                                       const ResourceLibrary& lib,
+                                       const TimeFrameSet& frames,
+                                       ResourceTypeId type);
+
+/// All per-type distribution functions, indexed by resource type id.
+[[nodiscard]] std::vector<Profile> BuildAllProfiles(const Block& block,
+                                                    const ResourceLibrary& lib,
+                                                    const TimeFrameSet& frames);
+
+/// Sum of all values — equals the expected number of busy resource-steps;
+/// useful as a conservation check in tests.
+[[nodiscard]] double ProfileMass(const Profile& p);
+
+/// Maximum value — the (fractional) resource requirement estimate.
+[[nodiscard]] double ProfileMax(const Profile& p);
+
+}  // namespace mshls

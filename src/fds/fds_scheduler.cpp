@@ -1,0 +1,183 @@
+#include "fds/fds_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mshls {
+namespace {
+
+/// Applies `target` to a copy of `frames` and returns the copy. Narrowing
+/// to any sub-frame of a propagated frame set is always feasible, so a
+/// failure here indicates a bug, not an input problem.
+TimeFrameSet NarrowedCopy(const Block& block, const DelayFn& delay,
+                          const TimeFrameSet& frames, OpId op,
+                          TimeFrame target) {
+  TimeFrameSet next = frames;
+  const Status s = next.Narrow(block.graph, delay, op, target);
+  assert(s.ok() && "narrowing inside a propagated frame must stay feasible");
+  (void)s;
+  return next;
+}
+
+BlockSchedule ExtractSchedule(const TimeFrameSet& frames) {
+  BlockSchedule schedule(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const TimeFrame& f = frames.frames()[i];
+    assert(f.fixed());
+    schedule.set_start(OpId{static_cast<int>(i)}, f.asap);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+double EvaluateLocalNarrowForce(const Block& block, const ResourceLibrary& lib,
+                                const TimeFrameSet& frames,
+                                const std::vector<Profile>& profiles, OpId op,
+                                TimeFrame target, const FdsParams& params) {
+  const DelayFn delay = [&](OpId o) {
+    return lib.type(block.graph.op(o).type).delay;
+  };
+  const TimeFrameSet next = NarrowedCopy(block, delay, frames, op, target);
+
+  // Collect per-type displacement from every op whose frame changed
+  // (the op itself plus transitively constrained predecessors/successors).
+  std::vector<Profile> dq(lib.size());
+  std::vector<bool> touched(lib.size(), false);
+  for (const Operation& o : block.graph.ops()) {
+    const TimeFrame& before = frames.frame(o.id);
+    const TimeFrame& after = next.frame(o.id);
+    if (before == after) continue;
+    auto& d = dq[o.type.index()];
+    if (d.empty()) d.assign(static_cast<std::size_t>(block.time_range), 0.0);
+    const int dii = lib.type(o.type).dii;
+    AddOccupancyProbability(d, before, dii, -1.0);
+    AddOccupancyProbability(d, after, dii, +1.0);
+    touched[o.type.index()] = true;
+  }
+
+  double force = 0;
+  for (const ResourceType& t : lib.types()) {
+    if (!touched[t.id.index()]) continue;
+    force += SpringForce(profiles[t.id.index()], dq[t.id.index()], params,
+                         TypeWeight(lib, t.id, params));
+  }
+  return force;
+}
+
+std::vector<int> UsageOf(const Block& block, const ResourceLibrary& lib,
+                         const BlockSchedule& schedule) {
+  std::vector<int> usage(lib.size(), 0);
+  for (const ResourceType& t : lib.types()) {
+    const std::vector<int> profile =
+        OccupancyProfile(block, lib, schedule, t.id);
+    for (int v : profile)
+      usage[t.id.index()] = std::max(usage[t.id.index()], v);
+  }
+  return usage;
+}
+
+StatusOr<FdsResult> ScheduleBlockFds(const Block& block,
+                                     const ResourceLibrary& lib,
+                                     const FdsParams& params) {
+  const DelayFn delay = [&](OpId o) {
+    return lib.type(block.graph.op(o).type).delay;
+  };
+  auto frames_or = TimeFrameSet::Compute(block.graph, delay, block.time_range);
+  if (!frames_or.ok()) return frames_or.status();
+  TimeFrameSet frames = std::move(frames_or).value();
+
+  int iterations = 0;
+  while (!frames.AllFixed()) {
+    const std::vector<Profile> profiles = BuildAllProfiles(block, lib, frames);
+    double best_force = std::numeric_limits<double>::infinity();
+    OpId best_op = OpId::invalid();
+    int best_step = -1;
+    for (const Operation& op : block.graph.ops()) {
+      const TimeFrame& f = frames.frame(op.id);
+      if (f.fixed()) continue;
+      for (int t = f.asap; t <= f.alap; ++t) {
+        const double force = EvaluateLocalNarrowForce(
+            block, lib, frames, profiles, op.id, TimeFrame{t, t}, params);
+        if (force < best_force) {
+          best_force = force;
+          best_op = op.id;
+          best_step = t;
+        }
+      }
+    }
+    assert(best_op.valid());
+    if (Status s = frames.Narrow(block.graph, delay, best_op,
+                                 TimeFrame{best_step, best_step});
+        !s.ok())
+      return s;
+    ++iterations;
+  }
+
+  FdsResult result;
+  result.schedule = ExtractSchedule(frames);
+  result.usage = UsageOf(block, lib, result.schedule);
+  result.iterations = iterations;
+  return result;
+}
+
+StatusOr<FdsResult> ScheduleBlockIfds(const Block& block,
+                                      const ResourceLibrary& lib,
+                                      const FdsParams& params,
+                                      const IterationObserver& observer) {
+  const DelayFn delay = [&](OpId o) {
+    return lib.type(block.graph.op(o).type).delay;
+  };
+  auto frames_or = TimeFrameSet::Compute(block.graph, delay, block.time_range);
+  if (!frames_or.ok()) return frames_or.status();
+  TimeFrameSet frames = std::move(frames_or).value();
+
+  int iterations = 0;
+  while (!frames.AllFixed()) {
+    const std::vector<Profile> profiles = BuildAllProfiles(block, lib, frames);
+    IterationTrace trace;
+    trace.iteration = iterations;
+    double best_diff = -1.0;
+    for (const Operation& op : block.graph.ops()) {
+      const TimeFrame& f = frames.frame(op.id);
+      if (f.fixed()) continue;
+      CandidateEval eval;
+      eval.op = op.id;
+      eval.frame = f;
+      eval.force_begin = EvaluateLocalNarrowForce(
+          block, lib, frames, profiles, op.id, TimeFrame{f.asap, f.asap},
+          params);
+      eval.force_end = EvaluateLocalNarrowForce(
+          block, lib, frames, profiles, op.id, TimeFrame{f.alap, f.alap},
+          params);
+      eval.diff = std::abs(eval.force_begin - eval.force_end);
+      if (f.width() > 2) eval.diff *= params.mid_estimate;
+      trace.candidates.push_back(eval);
+      if (eval.diff > best_diff) {
+        best_diff = eval.diff;
+        trace.chosen = op.id;
+        trace.shrank_begin = eval.force_begin > eval.force_end;
+      }
+    }
+    assert(trace.chosen.valid());
+    const TimeFrame f = frames.frame(trace.chosen);
+    const TimeFrame next = trace.shrank_begin
+                               ? TimeFrame{f.asap + 1, f.alap}
+                               : TimeFrame{f.asap, f.alap - 1};
+    if (observer) observer(trace);
+    if (Status s = frames.Narrow(block.graph, delay, trace.chosen, next);
+        !s.ok())
+      return s;
+    ++iterations;
+  }
+
+  FdsResult result;
+  result.schedule = ExtractSchedule(frames);
+  result.usage = UsageOf(block, lib, result.schedule);
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace mshls

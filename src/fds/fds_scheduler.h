@@ -1,0 +1,74 @@
+// Single-block time-constrained schedulers:
+//  * ScheduleBlockFds  — classic Force-Directed Scheduling (Paulin/Knight
+//    1989, paper §4): every iteration evaluates all (op, step) placements
+//    and commits the minimum-force one.
+//  * ScheduleBlockIfds — Improved FDS (Verhaegh et al. 1995, paper §4):
+//    gradual time-frame reduction; every iteration evaluates placements at
+//    the two frame ends of every unfixed op and removes one step from the
+//    worst end of the op with the largest force difference.
+//
+// Both treat every resource type locally; the multi-process modulo
+// extension lives in modulo/coupled_scheduler.h and shares the same force
+// primitives.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "fds/force.h"
+#include "sched/schedule.h"
+#include "sched/time_frames.h"
+
+namespace mshls {
+
+struct FdsResult {
+  BlockSchedule schedule;
+  /// Instances per resource type id needed by the schedule.
+  std::vector<int> usage;
+  int iterations = 0;
+};
+
+/// One end-point evaluation of the IFDS selection rule, exposed so that
+/// benches/tests can trace the algorithm (paper Figure 2).
+struct CandidateEval {
+  OpId op;
+  TimeFrame frame;
+  double force_begin = 0;  // tentative placement at frame.asap
+  double force_end = 0;    // tentative placement at frame.alap
+  double diff = 0;         // |begin-end|, damped for wide frames
+};
+
+struct IterationTrace {
+  int iteration = 0;
+  std::vector<CandidateEval> candidates;
+  OpId chosen;
+  /// True if the chosen frame lost its begin step (begin force was worse).
+  bool shrank_begin = false;
+};
+
+using IterationObserver = std::function<void(const IterationTrace&)>;
+
+[[nodiscard]] StatusOr<FdsResult> ScheduleBlockFds(const Block& block,
+                                                   const ResourceLibrary& lib,
+                                                   const FdsParams& params);
+
+[[nodiscard]] StatusOr<FdsResult> ScheduleBlockIfds(
+    const Block& block, const ResourceLibrary& lib, const FdsParams& params,
+    const IterationObserver& observer = {});
+
+/// Force of tentatively narrowing `op` to `target`, measured on block-local
+/// distributions `profiles` (indexed by type id). Includes all implied
+/// predecessor/successor displacements via transitive frame propagation.
+/// Shared by both schedulers and by the modulo engine's local-type path.
+[[nodiscard]] double EvaluateLocalNarrowForce(
+    const Block& block, const ResourceLibrary& lib, const TimeFrameSet& frames,
+    const std::vector<Profile>& profiles, OpId op, TimeFrame target,
+    const FdsParams& params);
+
+/// Usage (max occupancy) per type id of a complete block schedule.
+[[nodiscard]] std::vector<int> UsageOf(const Block& block,
+                                       const ResourceLibrary& lib,
+                                       const BlockSchedule& schedule);
+
+}  // namespace mshls

@@ -1,0 +1,25 @@
+#include "fds/force.h"
+
+#include <cassert>
+
+namespace mshls {
+
+double SpringForce(std::span<const double> q, std::span<const double> dq,
+                   const FdsParams& params, double type_weight) {
+  assert(q.size() == dq.size());
+  double force = 0;
+  for (std::size_t t = 0; t < q.size(); ++t) {
+    if (dq[t] == 0.0) continue;
+    force += (q[t] + params.global_spring_constant +
+              params.lookahead * dq[t]) *
+             dq[t];
+  }
+  return force * type_weight;
+}
+
+double TypeWeight(const ResourceLibrary& lib, ResourceTypeId t,
+                  const FdsParams& params) {
+  return params.area_weighting ? static_cast<double>(lib.type(t).area) : 1.0;
+}
+
+}  // namespace mshls

@@ -1,0 +1,46 @@
+// Spring/force model (paper §4.2, eq. 5/6) with the IFDS refinements of
+// Verhaegh et al. (look-ahead and global spring constants).
+//
+// A distribution value q(t) acts as a spring whose constant equals the
+// value itself; displacing the distribution by dq(t) costs a force of
+// q(t)*dq(t) (Hooke). The refinements:
+//  * look-ahead factor eta: the spring constant anticipates a fraction of
+//    the displacement, q(t) + eta*dq(t) (Paulin/Knight used eta = 1/3);
+//  * global spring constant c: a constant stiffness added to every spring
+//    so that empty distribution regions still resist displacement;
+//  * optional area weighting: forces of a type scaled by its area cost so
+//    that expensive units dominate trade-offs (off by default — classic
+//    FDS/IFDS weights all types equally).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "fds/distribution.h"
+
+namespace mshls {
+
+struct FdsParams {
+  /// Look-ahead factor eta in F = sum (q + c + eta*dq) * dq.
+  double lookahead = 1.0 / 3.0;
+  /// Global spring constant c (uniform stiffness floor).
+  double global_spring_constant = 1.0;
+  /// Scale each type's force by its area cost.
+  bool area_weighting = false;
+  /// IFDS gradual reduction: when a frame allows more than two placements
+  /// the end-point force difference only estimates the interior, so it is
+  /// damped by this factor (paper §4.2, last paragraph).
+  double mid_estimate = 0.5;
+};
+
+/// Force of displacing distribution `q` by `dq` (same length), scaled by
+/// `type_weight`. Negative force = better smoothing (paper §4.2).
+[[nodiscard]] double SpringForce(std::span<const double> q,
+                                 std::span<const double> dq,
+                                 const FdsParams& params, double type_weight);
+
+/// Weight of a resource type under `params` (1 or its area).
+[[nodiscard]] double TypeWeight(const ResourceLibrary& lib, ResourceTypeId t,
+                                const FdsParams& params);
+
+}  // namespace mshls

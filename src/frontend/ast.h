@@ -1,0 +1,57 @@
+// Abstract syntax tree of the behavioral input language.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mshls {
+
+struct AstResource {
+  std::string name;
+  int delay = 1;
+  int dii = 1;
+  int area = 1;
+  int line = 0;
+};
+
+/// One single-assignment statement:
+///   t = a + b;                  (binary operator form)
+///   t = mac(a, b, c) using mult;  (call form, explicit resource)
+struct AstStatement {
+  std::string target;
+  /// Resource name ("add", "mult", ...) — operators are resolved to names
+  /// by the parser (+ -> add, - -> sub, * -> mult, / -> div, < -> cmp).
+  std::string resource;
+  std::vector<std::string> operands;
+  int line = 0;
+};
+
+struct AstBlock {
+  std::string name;
+  int time_range = 0;
+  int phase = 0;
+  std::vector<AstStatement> statements;
+  int line = 0;
+};
+
+struct AstProcess {
+  std::string name;
+  int deadline = 0;
+  std::vector<AstBlock> blocks;
+  int line = 0;
+};
+
+struct AstShare {
+  std::string resource;
+  std::vector<std::string> processes;
+  int period = 1;
+  int line = 0;
+};
+
+struct AstSystem {
+  std::vector<AstResource> resources;
+  std::vector<AstProcess> processes;
+  std::vector<AstShare> shares;
+};
+
+}  // namespace mshls

@@ -1,0 +1,19 @@
+// SystemModel -> input-language text. Round-trips with frontend/parser.h:
+// CompileSystem(EmitSystemText(model)) reproduces the model (up to
+// identifier naming of block inputs, which the language leaves implicit).
+// Useful for persisting generated/programmatic systems and for golden
+// tests of the whole frontend.
+#pragma once
+
+#include <string>
+
+#include "model/system_model.h"
+
+namespace mshls {
+
+/// Operation names are sanitized into identifiers; operations with more
+/// than two predecessors use the call form with their resource name.
+/// Operands that are block inputs are named in<op>_<slot>.
+[[nodiscard]] std::string EmitSystemText(const SystemModel& model);
+
+}  // namespace mshls

@@ -1,0 +1,120 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+namespace mshls {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count; ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < n && source[i + 1] == '/')) {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.column = column;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_'))
+        ++j;
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::string(source.substr(i, j - i));
+      advance(j - i);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      long value = 0;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+        value = value * 10 + (source[j] - '0');
+        ++j;
+      }
+      tok.kind = TokenKind::kInt;
+      tok.text = std::string(source.substr(i, j - i));
+      tok.value = value;
+      advance(j - i);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    switch (c) {
+      case '{': tok.kind = TokenKind::kLBrace; break;
+      case '}': tok.kind = TokenKind::kRBrace; break;
+      case '(': tok.kind = TokenKind::kLParen; break;
+      case ')': tok.kind = TokenKind::kRParen; break;
+      case ',': tok.kind = TokenKind::kComma; break;
+      case ';': tok.kind = TokenKind::kSemicolon; break;
+      case '=': tok.kind = TokenKind::kAssign; break;
+      case '+': tok.kind = TokenKind::kPlus; break;
+      case '-': tok.kind = TokenKind::kMinus; break;
+      case '*': tok.kind = TokenKind::kStar; break;
+      case '/': tok.kind = TokenKind::kSlash; break;
+      case '<': tok.kind = TokenKind::kLess; break;
+      default:
+        return Status{StatusCode::kParseError,
+                      "line " + std::to_string(line) +
+                          ": unexpected character '" + std::string(1, c) +
+                          "'"};
+    }
+    tok.text = std::string(1, c);
+    advance(1);
+    tokens.push_back(std::move(tok));
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace mshls

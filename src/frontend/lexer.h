@@ -1,0 +1,44 @@
+// Tokenizer for the behavioral input language (see frontend/parser.h for
+// the grammar). Supports '#' and '//' line comments.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mshls {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kLBrace,    // {
+  kRBrace,    // }
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kSemicolon, // ;
+  kAssign,    // =
+  kPlus,      // +
+  kMinus,     // -
+  kStar,      // *
+  kSlash,     // /
+  kLess,      // <
+  kEof,
+};
+
+[[nodiscard]] const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;
+  int column = 0;
+  long value = 0;  // for kInt
+};
+
+/// Tokenizes `source`; the result always ends with a kEof token.
+[[nodiscard]] StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace mshls

@@ -1,0 +1,100 @@
+#include "frontend/lowering.h"
+
+#include <map>
+
+#include "frontend/parser.h"
+
+namespace mshls {
+namespace {
+
+Status SemanticError(int line, const std::string& message) {
+  return {StatusCode::kParseError,
+          "line " + std::to_string(line) + ": " + message};
+}
+
+}  // namespace
+
+StatusOr<SystemModel> LowerSystem(const AstSystem& ast) {
+  SystemModel model;
+
+  for (const AstResource& r : ast.resources) {
+    if (model.library().FindByName(r.name).valid())
+      return SemanticError(r.line,
+                           "duplicate resource '" + r.name + "'");
+    model.library().AddType(r.name, r.delay, r.dii, r.area);
+  }
+
+  std::map<std::string, ProcessId> process_by_name;
+  for (const AstProcess& p : ast.processes) {
+    if (process_by_name.contains(p.name))
+      return SemanticError(p.line, "duplicate process '" + p.name + "'");
+    const ProcessId pid = model.AddProcess(p.name, p.deadline);
+    process_by_name.emplace(p.name, pid);
+
+    std::map<std::string, bool> block_names;
+    for (const AstBlock& b : p.blocks) {
+      if (block_names.contains(b.name))
+        return SemanticError(b.line, "duplicate block '" + b.name +
+                                         "' in process '" + p.name + "'");
+      block_names.emplace(b.name, true);
+
+      DataFlowGraph graph;
+      std::map<std::string, OpId> def;  // identifier -> producing op
+      for (const AstStatement& stmt : b.statements) {
+        const ResourceTypeId type =
+            model.library().FindByName(stmt.resource);
+        if (!type.valid())
+          return SemanticError(stmt.line, "unknown resource '" +
+                                              stmt.resource + "'");
+        if (def.contains(stmt.target))
+          return SemanticError(
+              stmt.line, "identifier '" + stmt.target +
+                             "' assigned more than once in block '" +
+                             b.name + "'");
+        const OpId op = graph.AddOp(type, stmt.target);
+        for (const std::string& operand : stmt.operands) {
+          if (operand == stmt.target)
+            return SemanticError(stmt.line,
+                                 "identifier '" + operand +
+                                     "' used in its own definition");
+          const auto it = def.find(operand);
+          // Unknown operands are block inputs: no edge.
+          if (it != def.end()) graph.AddEdge(it->second, op);
+        }
+        def.emplace(stmt.target, op);
+      }
+      if (Status s = graph.Validate(); !s.ok())
+        return SemanticError(b.line, "block '" + b.name + "': " +
+                                         s.message());
+      model.AddBlock(pid, b.name, std::move(graph), b.time_range, b.phase);
+    }
+  }
+
+  for (const AstShare& share : ast.shares) {
+    const ResourceTypeId type = model.library().FindByName(share.resource);
+    if (!type.valid())
+      return SemanticError(share.line, "unknown resource '" +
+                                           share.resource + "' in share");
+    std::vector<ProcessId> group;
+    for (const std::string& name : share.processes) {
+      const auto it = process_by_name.find(name);
+      if (it == process_by_name.end())
+        return SemanticError(share.line,
+                             "unknown process '" + name + "' in share");
+      group.push_back(it->second);
+    }
+    model.MakeGlobal(type, std::move(group));
+    model.SetPeriod(type, share.period);
+  }
+
+  if (Status s = model.Validate(); !s.ok()) return s;
+  return model;
+}
+
+StatusOr<SystemModel> CompileSystem(std::string_view source) {
+  auto ast = ParseSystemText(source);
+  if (!ast.ok()) return ast.status();
+  return LowerSystem(ast.value());
+}
+
+}  // namespace mshls

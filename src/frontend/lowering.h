@@ -1,0 +1,25 @@
+// AST -> SystemModel lowering with semantic checks.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "frontend/ast.h"
+#include "model/system_model.h"
+
+namespace mshls {
+
+/// Semantic checks performed:
+///  * duplicate resource / process / block names;
+///  * unknown resource in a statement ('using') or share declaration;
+///  * unknown process in a share declaration;
+///  * double assignment of an identifier within a block;
+///  * use of an identifier after its own definition only (an identifier
+///    never assigned in the block is a data input of the block).
+/// The resulting model has passed SystemModel::Validate().
+[[nodiscard]] StatusOr<SystemModel> LowerSystem(const AstSystem& ast);
+
+/// Parse + lower in one step.
+[[nodiscard]] StatusOr<SystemModel> CompileSystem(std::string_view source);
+
+}  // namespace mshls

@@ -1,0 +1,252 @@
+#include "frontend/parser.h"
+
+#include <optional>
+
+#include "frontend/lexer.h"
+
+namespace mshls {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<AstSystem> Parse() {
+    AstSystem system;
+    while (!At(TokenKind::kEof)) {
+      if (AtKeyword("resource")) {
+        auto r = ParseResource();
+        if (!r.ok()) return r.status();
+        system.resources.push_back(std::move(r).value());
+      } else if (AtKeyword("process")) {
+        auto p = ParseProcess();
+        if (!p.ok()) return p.status();
+        system.processes.push_back(std::move(p).value());
+      } else if (AtKeyword("share")) {
+        auto s = ParseShare();
+        if (!s.ok()) return s.status();
+        system.shares.push_back(std::move(s).value());
+      } else {
+        return Error("expected 'resource', 'process' or 'share'");
+      }
+    }
+    return system;
+  }
+
+ private:
+  [[nodiscard]] const Token& Peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool At(TokenKind kind) const { return Peek().kind == kind; }
+  [[nodiscard]] bool AtKeyword(std::string_view kw) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == kw;
+  }
+  Token Take() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return {StatusCode::kParseError,
+            "line " + std::to_string(Peek().line) + ": " + message +
+                " (found " + std::string(TokenKindName(Peek().kind)) +
+                (Peek().text.empty() ? "" : " '" + Peek().text + "'") + ")"};
+  }
+
+  StatusOr<Token> Expect(TokenKind kind, const std::string& what) {
+    if (!At(kind)) return Error("expected " + what);
+    return Take();
+  }
+
+  StatusOr<Token> ExpectKeyword(std::string_view kw) {
+    if (!AtKeyword(kw)) return Error("expected '" + std::string(kw) + "'");
+    return Take();
+  }
+
+  StatusOr<int> ExpectInt(const std::string& what) {
+    auto t = Expect(TokenKind::kInt, what);
+    if (!t.ok()) return t.status();
+    return static_cast<int>(t.value().value);
+  }
+
+  StatusOr<AstResource> ParseResource() {
+    AstResource r;
+    r.line = Peek().line;
+    if (auto s = ExpectKeyword("resource"); !s.ok()) return s.status();
+    auto name = Expect(TokenKind::kIdent, "resource name");
+    if (!name.ok()) return name.status();
+    r.name = name.value().text;
+    if (auto s = ExpectKeyword("delay"); !s.ok()) return s.status();
+    auto delay = ExpectInt("delay value");
+    if (!delay.ok()) return delay.status();
+    r.delay = delay.value();
+    if (AtKeyword("dii")) {
+      Take();
+      auto dii = ExpectInt("dii value");
+      if (!dii.ok()) return dii.status();
+      r.dii = dii.value();
+    }
+    if (auto s = ExpectKeyword("area"); !s.ok()) return s.status();
+    auto area = ExpectInt("area value");
+    if (!area.ok()) return area.status();
+    r.area = area.value();
+    if (auto s = Expect(TokenKind::kSemicolon, "';'"); !s.ok())
+      return s.status();
+    return r;
+  }
+
+  StatusOr<AstProcess> ParseProcess() {
+    AstProcess p;
+    p.line = Peek().line;
+    if (auto s = ExpectKeyword("process"); !s.ok()) return s.status();
+    auto name = Expect(TokenKind::kIdent, "process name");
+    if (!name.ok()) return name.status();
+    p.name = name.value().text;
+    if (AtKeyword("deadline")) {
+      Take();
+      auto d = ExpectInt("deadline value");
+      if (!d.ok()) return d.status();
+      p.deadline = d.value();
+    }
+    if (auto s = Expect(TokenKind::kLBrace, "'{'"); !s.ok())
+      return s.status();
+    while (!At(TokenKind::kRBrace)) {
+      auto b = ParseBlock();
+      if (!b.ok()) return b.status();
+      p.blocks.push_back(std::move(b).value());
+    }
+    Take();  // '}'
+    if (p.blocks.empty())
+      return Status{StatusCode::kParseError,
+                    "line " + std::to_string(p.line) + ": process '" +
+                        p.name + "' has no blocks"};
+    return p;
+  }
+
+  StatusOr<AstBlock> ParseBlock() {
+    AstBlock b;
+    b.line = Peek().line;
+    if (auto s = ExpectKeyword("block"); !s.ok()) return s.status();
+    auto name = Expect(TokenKind::kIdent, "block name");
+    if (!name.ok()) return name.status();
+    b.name = name.value().text;
+    if (auto s = ExpectKeyword("time"); !s.ok()) return s.status();
+    auto t = ExpectInt("time range");
+    if (!t.ok()) return t.status();
+    b.time_range = t.value();
+    if (AtKeyword("phase")) {
+      Take();
+      auto ph = ExpectInt("phase value");
+      if (!ph.ok()) return ph.status();
+      b.phase = ph.value();
+    }
+    if (auto s = Expect(TokenKind::kLBrace, "'{'"); !s.ok())
+      return s.status();
+    while (!At(TokenKind::kRBrace)) {
+      auto stmt = ParseStatement();
+      if (!stmt.ok()) return stmt.status();
+      b.statements.push_back(std::move(stmt).value());
+    }
+    Take();  // '}'
+    return b;
+  }
+
+  [[nodiscard]] static std::optional<std::string> OperatorResource(
+      TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kPlus: return "add";
+      case TokenKind::kMinus: return "sub";
+      case TokenKind::kStar: return "mult";
+      case TokenKind::kSlash: return "div";
+      case TokenKind::kLess: return "cmp";
+      default: return std::nullopt;
+    }
+  }
+
+  StatusOr<AstStatement> ParseStatement() {
+    AstStatement stmt;
+    stmt.line = Peek().line;
+    auto target = Expect(TokenKind::kIdent, "assignment target");
+    if (!target.ok()) return target.status();
+    stmt.target = target.value().text;
+    if (auto s = Expect(TokenKind::kAssign, "'='"); !s.ok())
+      return s.status();
+
+    auto first = Expect(TokenKind::kIdent, "operand or function name");
+    if (!first.ok()) return first.status();
+
+    if (At(TokenKind::kLParen)) {
+      // Call form: name(args...) using resource
+      Take();
+      stmt.operands.clear();
+      for (;;) {
+        auto arg = Expect(TokenKind::kIdent, "call argument");
+        if (!arg.ok()) return arg.status();
+        stmt.operands.push_back(arg.value().text);
+        if (At(TokenKind::kComma)) {
+          Take();
+          continue;
+        }
+        break;
+      }
+      if (auto s = Expect(TokenKind::kRParen, "')'"); !s.ok())
+        return s.status();
+      if (auto s = ExpectKeyword("using"); !s.ok()) return s.status();
+      auto res = Expect(TokenKind::kIdent, "resource name");
+      if (!res.ok()) return res.status();
+      stmt.resource = res.value().text;
+    } else {
+      // Binary operator form.
+      const auto resource = OperatorResource(Peek().kind);
+      if (!resource.has_value())
+        return Error("expected an operator (+ - * / <) or '('");
+      Take();
+      stmt.resource = *resource;
+      stmt.operands.push_back(first.value().text);
+      auto rhs = Expect(TokenKind::kIdent, "right operand");
+      if (!rhs.ok()) return rhs.status();
+      stmt.operands.push_back(rhs.value().text);
+    }
+    if (auto s = Expect(TokenKind::kSemicolon, "';'"); !s.ok())
+      return s.status();
+    return stmt;
+  }
+
+  StatusOr<AstShare> ParseShare() {
+    AstShare share;
+    share.line = Peek().line;
+    if (auto s = ExpectKeyword("share"); !s.ok()) return s.status();
+    auto res = Expect(TokenKind::kIdent, "resource name");
+    if (!res.ok()) return res.status();
+    share.resource = res.value().text;
+    if (auto s = ExpectKeyword("among"); !s.ok()) return s.status();
+    for (;;) {
+      auto p = Expect(TokenKind::kIdent, "process name");
+      if (!p.ok()) return p.status();
+      share.processes.push_back(p.value().text);
+      if (At(TokenKind::kComma)) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    if (AtKeyword("period")) {
+      Take();
+      auto period = ExpectInt("period value");
+      if (!period.ok()) return period.status();
+      share.period = period.value();
+    }
+    if (auto s = Expect(TokenKind::kSemicolon, "';'"); !s.ok())
+      return s.status();
+    return share;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<AstSystem> ParseSystemText(std::string_view source) {
+  auto tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace mshls

@@ -1,0 +1,34 @@
+// Recursive-descent parser for the behavioral input language.
+//
+// Grammar (EBNF; '#' and '//' start line comments):
+//
+//   system    := item*
+//   item      := resource | process | share
+//   resource  := "resource" IDENT "delay" INT ["dii" INT] "area" INT ";"
+//   process   := "process" IDENT ["deadline" INT] "{" block+ "}"
+//   block     := "block" IDENT "time" INT ["phase" INT] "{" stmt* "}"
+//   stmt      := IDENT "=" rhs ";"
+//   rhs       := IDENT op IDENT
+//              | IDENT "(" IDENT {"," IDENT} ")" "using" IDENT
+//   op        := "+" | "-" | "*" | "/" | "<"
+//   share     := "share" IDENT "among" IDENT {"," IDENT}
+//                ["period" INT] ";"
+//
+// Operators map to resource names: + -> add, - -> sub, * -> mult,
+// / -> div, < -> cmp. Identifiers used but never assigned in a block are
+// its data inputs; every identifier may be assigned at most once per block
+// and must be assigned before use (single-assignment dataflow).
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "frontend/ast.h"
+
+namespace mshls {
+
+/// Parses source text into an AST. Purely syntactic: name resolution and
+/// model construction happen in frontend/lowering.h.
+[[nodiscard]] StatusOr<AstSystem> ParseSystemText(std::string_view source);
+
+}  // namespace mshls

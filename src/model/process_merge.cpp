@@ -1,0 +1,78 @@
+#include "model/process_merge.h"
+
+#include <algorithm>
+
+namespace mshls {
+
+StatusOr<SystemModel> MergeProcesses(const SystemModel& model,
+                                     std::span<const ProcessId> sources,
+                                     std::string_view merged_name) {
+  if (sources.size() < 2)
+    return Status{StatusCode::kInvalidArgument,
+                  "process merge needs at least two source processes"};
+  for (ProcessId p : sources) {
+    if (!p.valid() || p.index() >= model.process_count())
+      return Status{StatusCode::kInvalidArgument,
+                    "process merge: unknown process id"};
+    if (model.process(p).blocks.size() != 1)
+      return Status{StatusCode::kInvalidArgument,
+                    "process merge requires single-block processes ('" +
+                        model.process(p).name + "' has " +
+                        std::to_string(model.process(p).blocks.size()) +
+                        " blocks)"};
+  }
+
+  SystemModel merged;
+  // Copy the resource library verbatim.
+  for (const ResourceType& t : model.library().types())
+    merged.library().AddType(t.name, t.delay, t.dii, t.area);
+
+  auto is_source = [&](ProcessId p) {
+    return std::find(sources.begin(), sources.end(), p) != sources.end();
+  };
+
+  // Merged block: disjoint union of the sources' graphs; the combined
+  // time range must admit every source's schedule — the max of the source
+  // ranges (all sources now share one activation, so the fast ones wait
+  // for the slow ones; that IS the cost of merging).
+  DataFlowGraph union_graph;
+  int merged_range = 0;
+  int merged_deadline = 0;
+  for (ProcessId pid : sources) {
+    const Process& p = model.process(pid);
+    const Block& b = model.block(p.blocks[0]);
+    merged_range = std::max(merged_range, b.time_range);
+    merged_deadline = std::max(merged_deadline, p.deadline);
+    std::vector<OpId> map(b.graph.op_count());
+    for (const Operation& op : b.graph.ops())
+      map[op.id.index()] =
+          union_graph.AddOp(op.type, p.name + "_" + op.name);
+    for (const Edge& e : b.graph.edges())
+      union_graph.AddEdge(map[e.from.index()], map[e.to.index()]);
+  }
+  if (Status s = union_graph.Validate(); !s.ok()) return s;
+
+  const ProcessId merged_pid =
+      merged.AddProcess(merged_name, merged_deadline);
+  merged.AddBlock(merged_pid, std::string(merged_name) + "_main",
+                  std::move(union_graph), merged_range);
+
+  // Copy the remaining processes.
+  for (const Process& p : model.processes()) {
+    if (is_source(p.id)) continue;
+    const ProcessId np = merged.AddProcess(p.name, p.deadline);
+    for (BlockId bid : p.blocks) {
+      const Block& b = model.block(bid);
+      DataFlowGraph g;
+      for (const Operation& op : b.graph.ops()) g.AddOp(op.type, op.name);
+      for (const Edge& e : b.graph.edges()) g.AddEdge(e.from, e.to);
+      if (Status s = g.Validate(); !s.ok()) return s;
+      merged.AddBlock(np, b.name, std::move(g), b.time_range, b.phase);
+    }
+  }
+
+  if (Status s = merged.Validate(); !s.ok()) return s;
+  return merged;
+}
+
+}  // namespace mshls

@@ -1,0 +1,36 @@
+// Process merging — the *traditional* route to cross-process sharing that
+// the paper discusses and rejects for reactive systems (§1.1): "merging
+// processes is not applicable in case of unpredictable block starting
+// times".
+//
+// This transformation implements that alternative so the benches can
+// compare it against modulo sharing: the blocks of the merged processes
+// are combined into ONE block of ONE process (disjoint graph union, time
+// range = the maximum of the sources). A conventional scheduler can then
+// share resources freely inside the merged block — but the original
+// processes lose their independence: they now share a single activation
+// and a single rhythm, so a spontaneous event for one of them must wait
+// for the combined schedule (the latency penalty bench A9 quantifies).
+//
+// Restriction (inherent to the transformation, not this implementation):
+// each source process must consist of a single block.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/status.h"
+#include "model/system_model.h"
+
+namespace mshls {
+
+/// Returns a NEW model in which `sources` are replaced by one process
+/// with one merged block; all other processes are copied unchanged. The
+/// S1/S2 assignment state is reset to all-local (merging exists precisely
+/// to avoid global assignments). Op names are prefixed with the source
+/// process name.
+[[nodiscard]] StatusOr<SystemModel> MergeProcesses(
+    const SystemModel& model, std::span<const ProcessId> sources,
+    std::string_view merged_name);
+
+}  // namespace mshls

@@ -1,0 +1,44 @@
+#include "model/resource.h"
+
+namespace mshls {
+
+ResourceTypeId ResourceLibrary::AddType(std::string_view name, int delay,
+                                        int dii, int area) {
+  const ResourceTypeId id{static_cast<ResourceTypeId::value_type>(
+      types_.size())};
+  types_.push_back(ResourceType{id, std::string(name), delay, dii, area});
+  return id;
+}
+
+ResourceTypeId ResourceLibrary::FindByName(std::string_view name) const {
+  for (const ResourceType& t : types_)
+    if (t.name == name) return t.id;
+  return ResourceTypeId::invalid();
+}
+
+Status ResourceLibrary::Validate() const {
+  for (const ResourceType& t : types_) {
+    if (t.name.empty())
+      return {StatusCode::kInvalidArgument, "resource type with empty name"};
+    if (t.delay < 1)
+      return {StatusCode::kInvalidArgument,
+              "resource type '" + t.name + "' has non-positive delay"};
+    if (t.dii < 1 || t.dii > t.delay)
+      return {StatusCode::kInvalidArgument,
+              "resource type '" + t.name +
+                  "' needs 1 <= dii <= delay (got dii=" +
+                  std::to_string(t.dii) + ", delay=" +
+                  std::to_string(t.delay) + ")"};
+    if (t.area < 0)
+      return {StatusCode::kInvalidArgument,
+              "resource type '" + t.name + "' has negative area"};
+    for (const ResourceType& u : types_) {
+      if (u.id != t.id && u.name == t.name)
+        return {StatusCode::kInvalidArgument,
+                "duplicate resource type name '" + t.name + "'"};
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mshls

@@ -1,0 +1,59 @@
+// Resource (functional-unit) library.
+//
+// A resource type models one kind of functional unit: its precedence delay
+// (result latency in control steps), its data-introduction interval (how many
+// consecutive steps an issue occupies the unit — 1 for a fully pipelined
+// unit, equal to the delay for a non-pipelined multicycle unit) and its
+// relative area cost. The paper's experiment uses add/sub with delay 1 and a
+// pipelined multiplier with delay 2, DII 1, areas 1/1/4.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace mshls {
+
+struct ResourceType {
+  ResourceTypeId id;
+  std::string name;
+  int delay = 1;  // precedence latency in control steps, >= 1
+  int dii = 1;    // data introduction interval (occupancy), 1 <= dii <= delay
+  int area = 1;   // relative area cost, >= 0
+};
+
+class ResourceLibrary {
+ public:
+  /// Registers a type; names must be unique (checked by Validate).
+  ResourceTypeId AddType(std::string_view name, int delay, int dii, int area);
+
+  /// Convenience for fully pipelined units (dii = 1).
+  ResourceTypeId AddPipelined(std::string_view name, int delay, int area) {
+    return AddType(name, delay, /*dii=*/1, area);
+  }
+  /// Convenience for non-pipelined units (dii = delay).
+  ResourceTypeId AddSimple(std::string_view name, int delay, int area) {
+    return AddType(name, delay, /*dii=*/delay, area);
+  }
+
+  [[nodiscard]] std::size_t size() const { return types_.size(); }
+  [[nodiscard]] const ResourceType& type(ResourceTypeId id) const {
+    return types_[id.index()];
+  }
+  [[nodiscard]] const std::vector<ResourceType>& types() const {
+    return types_;
+  }
+
+  /// Name lookup; invalid id if not present.
+  [[nodiscard]] ResourceTypeId FindByName(std::string_view name) const;
+
+  [[nodiscard]] Status Validate() const;
+
+ private:
+  std::vector<ResourceType> types_;
+};
+
+}  // namespace mshls

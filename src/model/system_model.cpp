@@ -1,0 +1,174 @@
+#include "model/system_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace mshls {
+
+ProcessId SystemModel::AddProcess(std::string_view name, int deadline) {
+  const ProcessId id{static_cast<ProcessId::value_type>(processes_.size())};
+  processes_.push_back(Process{id, std::string(name), {}, deadline});
+  return id;
+}
+
+BlockId SystemModel::AddBlock(ProcessId process, std::string_view name,
+                              DataFlowGraph graph, int time_range, int phase) {
+  assert(process.valid() && process.index() < processes_.size());
+  const BlockId id{static_cast<BlockId::value_type>(blocks_.size())};
+  blocks_.push_back(
+      Block{id, process, std::string(name), std::move(graph), time_range,
+            phase});
+  processes_[process.index()].blocks.push_back(id);
+  return id;
+}
+
+void SystemModel::EnsureAssignmentSize() {
+  if (assignments_.size() < library_.size())
+    assignments_.resize(library_.size());
+}
+
+void SystemModel::MakeGlobal(ResourceTypeId type,
+                             std::vector<ProcessId> group) {
+  EnsureAssignmentSize();
+  std::sort(group.begin(), group.end());
+  group.erase(std::unique(group.begin(), group.end()), group.end());
+  auto& a = assignments_[type.index()];
+  a.scope = AssignmentScope::kGlobal;
+  a.group = std::move(group);
+  if (a.period <= 0) a.period = 1;
+}
+
+void SystemModel::MakeLocal(ResourceTypeId type) {
+  EnsureAssignmentSize();
+  assignments_[type.index()] = TypeAssignment{};
+}
+
+void SystemModel::SetPeriod(ResourceTypeId type, int period) {
+  EnsureAssignmentSize();
+  assignments_[type.index()].period = period;
+}
+
+const TypeAssignment& SystemModel::assignment(ResourceTypeId type) const {
+  static const TypeAssignment kLocalDefault{};
+  if (type.index() >= assignments_.size()) return kLocalDefault;
+  return assignments_[type.index()];
+}
+
+std::vector<ResourceTypeId> SystemModel::GlobalTypes() const {
+  std::vector<ResourceTypeId> out;
+  for (std::size_t i = 0; i < assignments_.size(); ++i)
+    if (assignments_[i].scope == AssignmentScope::kGlobal)
+      out.push_back(ResourceTypeId{static_cast<int>(i)});
+  return out;
+}
+
+bool SystemModel::InGroup(ResourceTypeId type, ProcessId process) const {
+  const TypeAssignment& a = assignment(type);
+  if (a.scope != AssignmentScope::kGlobal) return false;
+  return std::binary_search(a.group.begin(), a.group.end(), process);
+}
+
+bool SystemModel::ProcessUsesType(ProcessId process,
+                                  ResourceTypeId type) const {
+  for (BlockId bid : processes_[process.index()].blocks) {
+    for (const Operation& op : blocks_[bid.index()].graph.ops())
+      if (op.type == type) return true;
+  }
+  return false;
+}
+
+std::vector<ProcessId> SystemModel::GlobalUsers(ResourceTypeId type) const {
+  std::vector<ProcessId> out;
+  const TypeAssignment& a = assignment(type);
+  if (a.scope != AssignmentScope::kGlobal) return out;
+  for (ProcessId p : a.group)
+    if (ProcessUsesType(p, type)) out.push_back(p);
+  return out;
+}
+
+std::vector<ResourceTypeId> SystemModel::GlobalTypesOf(
+    ProcessId process) const {
+  std::vector<ResourceTypeId> out;
+  for (ResourceTypeId g : GlobalTypes())
+    if (InGroup(g, process) && ProcessUsesType(process, g)) out.push_back(g);
+  return out;
+}
+
+std::int64_t SystemModel::GridSpacing(ProcessId process) const {
+  std::vector<std::int64_t> periods;
+  for (ResourceTypeId g : GlobalTypesOf(process))
+    periods.push_back(assignment(g).period);
+  if (periods.empty()) return 1;
+  return LcmOf(periods);
+}
+
+Status SystemModel::Validate() {
+  if (Status s = library_.Validate(); !s.ok()) return s;
+  EnsureAssignmentSize();
+
+  for (Block& b : blocks_) {
+    if (!b.graph.validated()) {
+      if (Status s = b.graph.Validate(); !s.ok())
+        return {s.code(), "block '" + b.name + "': " + s.message()};
+    }
+    if (b.graph.op_count() == 0)
+      return {StatusCode::kInvalidArgument,
+              "block '" + b.name + "' has no operations"};
+    for (const Operation& op : b.graph.ops()) {
+      if (op.type.index() >= library_.size())
+        return {StatusCode::kInvalidArgument,
+                "block '" + b.name + "' references unknown resource type " +
+                    std::to_string(op.type.value())};
+    }
+    if (b.time_range < 1)
+      return {StatusCode::kInvalidArgument,
+              "block '" + b.name + "' has non-positive time range"};
+    const int cp = b.graph.CriticalPathLength(DelayOf(b.id));
+    if (cp > b.time_range)
+      return {StatusCode::kInfeasible,
+              "block '" + b.name + "': critical path " + std::to_string(cp) +
+                  " exceeds time range " + std::to_string(b.time_range)};
+    if (b.phase < 0)
+      return {StatusCode::kInvalidArgument,
+              "block '" + b.name + "' has negative phase"};
+  }
+
+  for (std::size_t i = 0; i < assignments_.size(); ++i) {
+    const TypeAssignment& a = assignments_[i];
+    if (a.scope != AssignmentScope::kGlobal) continue;
+    const std::string& tn = library_.type(ResourceTypeId{static_cast<int>(i)})
+                                .name;
+    if (a.group.empty())
+      return {StatusCode::kInvalidArgument,
+              "global type '" + tn + "' has an empty process group"};
+    for (ProcessId p : a.group) {
+      if (!p.valid() || p.index() >= processes_.size())
+        return {StatusCode::kInvalidArgument,
+                "global type '" + tn + "' group references unknown process"};
+    }
+    if (a.period < 1)
+      return {StatusCode::kInvalidArgument,
+              "global type '" + tn + "' has no period (run step S2)"};
+  }
+
+  // Phases must lie inside the process grid so that the residue of a block
+  // start is well defined.
+  for (const Block& b : blocks_) {
+    const std::int64_t grid = GridSpacing(b.process);
+    if (b.phase >= grid && grid > 1)
+      return {StatusCode::kInvalidArgument,
+              "block '" + b.name + "': phase " + std::to_string(b.phase) +
+                  " outside grid spacing " + std::to_string(grid)};
+  }
+  return Status::Ok();
+}
+
+DelayFn SystemModel::DelayOf(BlockId block) const {
+  const Block* b = &blocks_[block.index()];
+  const ResourceLibrary* lib = &library_;
+  return [b, lib](OpId op) { return lib->type(b->graph.op(op).type).delay; };
+}
+
+}  // namespace mshls

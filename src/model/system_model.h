@@ -1,0 +1,142 @@
+// System model: processes, blocks and the resource-sharing assignment.
+//
+// This is the input structure of the paper's method:
+//  * A system is a set of independent *processes* (paper §1: reactive tasks
+//    with unpredictable activation times).
+//  * A process is composed of *blocks*: connected regions that are scheduled
+//    statically (condition C1). Blocks of one process sharing a resource
+//    must not overlap in execution (condition C2) — enforced at runtime by
+//    the activation rules, checked by the simulator substrate.
+//  * Step (S1): each resource type is either *local* (classic: every process
+//    gets its own instances) or *global* (one instance pool shared by a
+//    process group).
+//  * Step (S2): each global type g carries a period lambda_g; absolute time
+//    maps to the period by tau = t mod lambda_g (paper eq. 1). Block start
+//    times are then restricted to a grid with spacing
+//    lcm{lambda_g : g used globally by the process} (paper eq. 2/3).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "dfg/graph.h"
+#include "model/resource.h"
+
+namespace mshls {
+
+enum class AssignmentScope { kLocal, kGlobal };
+
+/// S1/S2 state of one resource type.
+struct TypeAssignment {
+  AssignmentScope scope = AssignmentScope::kLocal;
+  /// Sharing process group; meaningful only for kGlobal. A process that
+  /// uses the type but is not in the group falls back to local instances.
+  std::vector<ProcessId> group;
+  /// Period lambda_g (S2); meaningful only for kGlobal, >= 1.
+  int period = 0;
+};
+
+struct Block {
+  BlockId id;
+  ProcessId process;
+  std::string name;
+  DataFlowGraph graph;
+  /// Time range T_b: operations are scheduled into steps [0, time_range).
+  int time_range = 0;
+  /// Start residue: activations of this block must begin at absolute times
+  /// t0 with t0 ≡ phase (mod grid spacing of the owning process).
+  int phase = 0;
+};
+
+struct Process {
+  ProcessId id;
+  std::string name;
+  std::vector<BlockId> blocks;
+  /// Informative total execution-time constraint (the per-block time_range
+  /// values are the binding constraints; for single-block processes the two
+  /// coincide, as in the paper's experiment).
+  int deadline = 0;
+};
+
+class SystemModel {
+ public:
+  [[nodiscard]] ResourceLibrary& library() { return library_; }
+  [[nodiscard]] const ResourceLibrary& library() const { return library_; }
+
+  ProcessId AddProcess(std::string_view name, int deadline = 0);
+
+  /// Adds a block; the graph must already be Validate()d by the caller or
+  /// will be validated by SystemModel::Validate().
+  BlockId AddBlock(ProcessId process, std::string_view name,
+                   DataFlowGraph graph, int time_range, int phase = 0);
+
+  /// S1: marks `type` as globally shared by `group`.
+  void MakeGlobal(ResourceTypeId type, std::vector<ProcessId> group);
+  /// Reverts `type` to local assignment.
+  void MakeLocal(ResourceTypeId type);
+  /// S2: sets the period lambda of a global type.
+  void SetPeriod(ResourceTypeId type, int period);
+
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] const Process& process(ProcessId id) const {
+    return processes_[id.index()];
+  }
+  [[nodiscard]] const std::vector<Process>& processes() const {
+    return processes_;
+  }
+  [[nodiscard]] const Block& block(BlockId id) const {
+    return blocks_[id.index()];
+  }
+  [[nodiscard]] Block& mutable_block(BlockId id) { return blocks_[id.index()]; }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+  [[nodiscard]] const TypeAssignment& assignment(ResourceTypeId type) const;
+  [[nodiscard]] bool is_global(ResourceTypeId type) const {
+    return assignment(type).scope == AssignmentScope::kGlobal;
+  }
+  /// All globally assigned resource types, ascending by id.
+  [[nodiscard]] std::vector<ResourceTypeId> GlobalTypes() const;
+
+  /// True if `process` is a member of the sharing group of global `type`.
+  [[nodiscard]] bool InGroup(ResourceTypeId type, ProcessId process) const;
+
+  /// True if any block of `process` contains an op of `type`.
+  [[nodiscard]] bool ProcessUsesType(ProcessId process,
+                                     ResourceTypeId type) const;
+
+  /// Processes that use `type` through the global pool (group members with
+  /// at least one op of the type), ascending — the set uses(g) of §3.1.
+  [[nodiscard]] std::vector<ProcessId> GlobalUsers(ResourceTypeId type) const;
+
+  /// Global types whose group contains `process` and which the process
+  /// actually uses — the set G_p of §3.1.
+  [[nodiscard]] std::vector<ResourceTypeId> GlobalTypesOf(
+      ProcessId process) const;
+
+  /// Start-time grid spacing of a process: lcm of the periods of all global
+  /// types in G_p (paper eq. 3); 1 if the process uses no global type (its
+  /// blocks may start anywhere, paper §3.2).
+  [[nodiscard]] std::int64_t GridSpacing(ProcessId process) const;
+
+  /// Validates library, graphs, type references, C1 feasibility (the time
+  /// range of every block admits its critical path), group/period sanity and
+  /// phase ranges. Must pass before running any scheduler on the model.
+  [[nodiscard]] Status Validate();
+
+  /// Delay lookup for the ops of `block`, bound to this model's library.
+  [[nodiscard]] DelayFn DelayOf(BlockId block) const;
+
+ private:
+  ResourceLibrary library_;
+  std::vector<Process> processes_;
+  std::vector<Block> blocks_;
+  std::vector<TypeAssignment> assignments_;  // index = resource type id
+
+  void EnsureAssignmentSize();
+};
+
+}  // namespace mshls

@@ -1,0 +1,50 @@
+#include "model/type_merge.h"
+
+#include <algorithm>
+
+namespace mshls {
+
+StatusOr<ResourceTypeId> MergeTypes(SystemModel& model,
+                                    std::span<const ResourceTypeId> sources,
+                                    std::string_view merged_name,
+                                    int merged_area) {
+  if (sources.size() < 2)
+    return Status{StatusCode::kInvalidArgument,
+                  "type merge needs at least two source types"};
+  ResourceLibrary& lib = model.library();
+  const ResourceType& first = lib.type(sources[0]);
+  for (ResourceTypeId s : sources) {
+    const ResourceType& t = lib.type(s);
+    if (t.delay != first.delay || t.dii != first.dii)
+      return Status{StatusCode::kInvalidArgument,
+                    "cannot merge '" + t.name + "' into '" +
+                        std::string(merged_name) +
+                        "': delay/dii differ from '" + first.name + "'"};
+  }
+  if (lib.FindByName(merged_name).valid())
+    return Status{StatusCode::kInvalidArgument,
+                  "resource type '" + std::string(merged_name) +
+                      "' already exists"};
+
+  const ResourceTypeId merged =
+      lib.AddType(merged_name, first.delay, first.dii, merged_area);
+  for (const Block& b : model.blocks()) {
+    DataFlowGraph& g = model.mutable_block(b.id).graph;
+    // Operations are value types inside the graph; rebuild via a copy
+    // with retargeted types (ids and edges preserved).
+    DataFlowGraph next;
+    for (const Operation& op : g.ops()) {
+      const bool hit = std::find(sources.begin(), sources.end(), op.type) !=
+                       sources.end();
+      next.AddOp(hit ? merged : op.type, op.name);
+    }
+    for (const Edge& e : g.edges()) next.AddEdge(e.from, e.to);
+    if (Status s = next.Validate(); !s.ok()) return s;
+    g = std::move(next);
+  }
+  for (ResourceTypeId s : sources) model.MakeLocal(s);
+  if (Status s = model.Validate(); !s.ok()) return s;
+  return merged;
+}
+
+}  // namespace mshls

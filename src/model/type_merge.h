@@ -1,0 +1,32 @@
+// Multi-function unit modelling via type merging.
+//
+// Classic allocation trick: operations of several cheap types (add, sub,
+// compare) can share one ALU-style unit. In this library a multi-function
+// unit is simply a merged resource type: the transformation registers a
+// new type and retargets every operation of the source types onto it.
+// Scheduling, sharing (S1/S2/S3), binding and RTL then treat the ALU like
+// any other resource — including globally, so a process group can share
+// one ALU pool for all its add/sub traffic.
+//
+// Constraints: the merged types must agree on delay and dii (a unit has
+// one timing); the merged area is given by the caller (an ALU is usually
+// slightly bigger than an adder, much smaller than adder + subtracter).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/status.h"
+#include "model/system_model.h"
+
+namespace mshls {
+
+/// Retargets all ops of `sources` in every block of `model` onto a new
+/// type named `merged_name` with the given area. Existing S1/S2 state of
+/// the source types is dropped (they no longer have any ops); the new type
+/// starts local. Returns the new type id.
+[[nodiscard]] StatusOr<ResourceTypeId> MergeTypes(
+    SystemModel& model, std::span<const ResourceTypeId> sources,
+    std::string_view merged_name, int merged_area);
+
+}  // namespace mshls

@@ -1,0 +1,158 @@
+#include "modulo/allocation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "modulo/modulo_map.h"
+
+namespace mshls {
+
+const GlobalTypeAllocation* Allocation::FindGlobal(ResourceTypeId type) const {
+  for (const GlobalTypeAllocation& g : global)
+    if (g.type == type) return &g;
+  return nullptr;
+}
+
+int Allocation::TotalArea(const ResourceLibrary& lib) const {
+  int area = 0;
+  for (const auto& per_process : local)
+    for (std::size_t t = 0; t < per_process.size(); ++t)
+      area += per_process[t] * lib.type(ResourceTypeId{static_cast<int>(t)})
+                                   .area;
+  for (const GlobalTypeAllocation& g : global)
+    area += g.instances * lib.type(g.type).area;
+  return area;
+}
+
+int Allocation::TotalInstances(ResourceTypeId type) const {
+  int n = 0;
+  for (const auto& per_process : local)
+    if (type.index() < per_process.size()) n += per_process[type.index()];
+  if (const GlobalTypeAllocation* g = FindGlobal(type)) n += g->instances;
+  return n;
+}
+
+Status ValidateSystemSchedule(const SystemModel& model,
+                              const SystemSchedule& schedule) {
+  if (schedule.blocks.size() != model.block_count())
+    return {StatusCode::kInvalidArgument,
+            "system schedule block count mismatch"};
+  for (const Block& b : model.blocks()) {
+    if (Status s = ValidateBlockSchedule(b, model.DelayOf(b.id),
+                                         schedule.of(b.id));
+        !s.ok())
+      return s;
+  }
+  return Status::Ok();
+}
+
+Allocation ComputeAllocation(const SystemModel& model,
+                             const SystemSchedule& schedule) {
+  const ResourceLibrary& lib = model.library();
+  Allocation alloc;
+  alloc.local.assign(model.process_count(),
+                     std::vector<int>(lib.size(), 0));
+
+  // Local counts: per process and type, max occupancy over its blocks.
+  // Types routed through a global pool for this process are skipped.
+  for (const Process& p : model.processes()) {
+    for (const ResourceType& t : lib.types()) {
+      if (model.is_global(t.id) && model.InGroup(t.id, p.id)) continue;
+      int count = 0;
+      for (BlockId bid : p.blocks) {
+        const std::vector<int> occ =
+            OccupancyProfile(model.block(bid), lib, schedule.of(bid), t.id);
+        for (int v : occ) count = std::max(count, v);
+      }
+      alloc.local[p.id.index()][t.id.index()] = count;
+    }
+  }
+
+  // Global pools.
+  for (ResourceTypeId g : model.GlobalTypes()) {
+    const TypeAssignment& a = model.assignment(g);
+    GlobalTypeAllocation ga;
+    ga.type = g;
+    ga.period = a.period;
+    ga.users = model.GlobalUsers(g);
+    ga.profile.assign(static_cast<std::size_t>(a.period), 0);
+    for (ProcessId pid : ga.users) {
+      // A_p(tau): max over the process' blocks of the block occupancy
+      // folded into the period (blocks of one process never overlap).
+      std::vector<int> auth(static_cast<std::size_t>(a.period), 0);
+      for (BlockId bid : model.process(pid).blocks) {
+        const Block& b = model.block(bid);
+        const std::vector<int> occ =
+            OccupancyProfile(b, lib, schedule.of(bid), g);
+        const std::vector<int> folded =
+            ModuloMaxTransform(std::span<const int>(occ), b.phase, a.period);
+        auth = ElementwiseMax(std::span<const int>(auth),
+                              std::span<const int>(folded));
+      }
+      for (std::size_t tau = 0; tau < auth.size(); ++tau)
+        ga.profile[tau] += auth[tau];
+      ga.authorization.push_back(std::move(auth));
+    }
+    ga.instances = 0;
+    for (int v : ga.profile) ga.instances = std::max(ga.instances, v);
+    alloc.global.push_back(std::move(ga));
+  }
+  return alloc;
+}
+
+Status CheckAllocationCovers(const SystemModel& model,
+                             const SystemSchedule& schedule,
+                             const Allocation& allocation) {
+  const ResourceLibrary& lib = model.library();
+
+  // Local coverage.
+  for (const Process& p : model.processes()) {
+    for (const ResourceType& t : lib.types()) {
+      if (model.is_global(t.id) && model.InGroup(t.id, p.id)) continue;
+      for (BlockId bid : p.blocks) {
+        const std::vector<int> occ =
+            OccupancyProfile(model.block(bid), lib, schedule.of(bid), t.id);
+        for (int v : occ) {
+          if (v > allocation.local[p.id.index()][t.id.index()])
+            return {StatusCode::kInternal,
+                    "local allocation of '" + t.name + "' underestimates "
+                        "process '" + p.name + "'"};
+        }
+      }
+    }
+  }
+
+  // Global coverage: block occupancy fits the process authorization, and
+  // authorization sums fit the pool.
+  for (const GlobalTypeAllocation& ga : allocation.global) {
+    for (std::size_t u = 0; u < ga.users.size(); ++u) {
+      const Process& p = model.process(ga.users[u]);
+      for (BlockId bid : p.blocks) {
+        const Block& b = model.block(bid);
+        const std::vector<int> occ =
+            OccupancyProfile(b, lib, schedule.of(bid), ga.type);
+        for (std::size_t t = 0; t < occ.size(); ++t) {
+          const int tau = ResidueOf(static_cast<int>(t), b.phase, ga.period);
+          if (occ[t] > ga.authorization[u][static_cast<std::size_t>(tau)])
+            return {StatusCode::kInternal,
+                    "authorization of '" + lib.type(ga.type).name +
+                        "' underestimates process '" + p.name + "'"};
+        }
+      }
+    }
+    for (std::size_t tau = 0; tau < ga.profile.size(); ++tau) {
+      int sum = 0;
+      for (const auto& auth : ga.authorization) sum += auth[tau];
+      if (sum != ga.profile[tau])
+        return {StatusCode::kInternal, "global profile is not the sum of "
+                                       "authorizations"};
+      if (sum > ga.instances)
+        return {StatusCode::kInternal,
+                "global pool of '" + lib.type(ga.type).name +
+                    "' oversubscribed at residue " + std::to_string(tau)};
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mshls

@@ -1,0 +1,74 @@
+// Allocation extraction and system-level schedule validation.
+//
+// After the coupled scheduler fixes every operation, this module derives:
+//  * local instance counts per (process, type): max concurrent occupancy
+//    over the process' blocks (blocks never overlap, condition C2);
+//  * for every global type g: the per-process *access authorization table*
+//    A_p(tau) — the number of instances process p may claim at every
+//    absolute step with t mod lambda_g == tau — and the instance count
+//    N_g = max_tau sum_p A_p(tau);
+//  * the total area cost.
+//
+// The central static-sharing guarantee (checked by the sim/ substrate):
+// if every process obeys its authorization table, no global resource is
+// ever oversubscribed, for *any* grid-aligned activation times — no
+// runtime executive is needed.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "model/system_model.h"
+#include "sched/schedule.h"
+
+namespace mshls {
+
+struct GlobalTypeAllocation {
+  ResourceTypeId type;
+  int period = 0;
+  int instances = 0;
+  /// Group member processes that actually use the type (paper's uses(g)).
+  std::vector<ProcessId> users;
+  /// authorization[u][tau] for users[u]: instances claimable at residue tau.
+  std::vector<std::vector<int>> authorization;
+  /// Group demand profile G(tau) = sum_u authorization[u][tau];
+  /// instances == max over tau.
+  std::vector<int> profile;
+};
+
+struct Allocation {
+  /// local[process][type]: locally allocated instances (0 for types served
+  /// through a global pool for that process).
+  std::vector<std::vector<int>> local;
+  std::vector<GlobalTypeAllocation> global;
+
+  [[nodiscard]] const GlobalTypeAllocation* FindGlobal(
+      ResourceTypeId type) const;
+
+  /// Sum of area over all local and global instances.
+  [[nodiscard]] int TotalArea(const ResourceLibrary& lib) const;
+
+  /// Total number of instances of `type` across the system (global pool
+  /// plus all local allocations).
+  [[nodiscard]] int TotalInstances(ResourceTypeId type) const;
+};
+
+/// Validates precedence/range of every block schedule (resource legality is
+/// by construction of ComputeAllocation and re-checked by the simulator).
+[[nodiscard]] Status ValidateSystemSchedule(const SystemModel& model,
+                                            const SystemSchedule& schedule);
+
+/// Derives the allocation from a complete system schedule.
+[[nodiscard]] Allocation ComputeAllocation(const SystemModel& model,
+                                           const SystemSchedule& schedule);
+
+/// Cross-checks an allocation against a schedule: every block's occupancy
+/// must fit its process' authorization (global) or local count, and the
+/// group sums must not exceed the instance counts. Returns the first
+/// violation found. Used as a property check in tests.
+[[nodiscard]] Status CheckAllocationCovers(const SystemModel& model,
+                                           const SystemSchedule& schedule,
+                                           const Allocation& allocation);
+
+}  // namespace mshls

@@ -1,0 +1,168 @@
+#include "modulo/assignment_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mshls {
+namespace {
+
+/// Largest period that tiles every user's block time ranges: their gcd.
+int CompatiblePeriod(const SystemModel& model,
+                     const std::vector<ProcessId>& users) {
+  std::int64_t g = 0;
+  for (ProcessId pid : users)
+    for (BlockId bid : model.process(pid).blocks)
+      g = std::gcd(g, static_cast<std::int64_t>(
+                          model.block(bid).time_range));
+  return g == 0 ? 1 : static_cast<int>(g);
+}
+
+}  // namespace
+
+StatusOr<AssignmentSearchResult> SearchAssignments(
+    SystemModel& model, const CoupledParams& params,
+    const AssignmentSearchOptions& options) {
+  // Shareable types: used by >= 2 processes.
+  struct Shareable {
+    ResourceTypeId type;
+    std::vector<ProcessId> users;
+    int period;
+  };
+  std::vector<Shareable> shareable;
+  for (const ResourceType& t : model.library().types()) {
+    std::vector<ProcessId> users;
+    for (const Process& p : model.processes())
+      if (model.ProcessUsesType(p.id, t.id)) users.push_back(p.id);
+    if (users.size() >= 2) {
+      const int period = CompatiblePeriod(model, users);
+      shareable.push_back({t.id, std::move(users), period});
+    }
+  }
+  if (shareable.empty())
+    return Status{StatusCode::kFailedPrecondition,
+                  "no resource type is used by more than one process"};
+  if (shareable.size() > 20)
+    return Status{StatusCode::kInvalidArgument,
+                  "too many shareable types for exhaustive scope search"};
+
+  AssignmentSearchResult result;
+  result.combinations = 1L << shareable.size();
+
+  bool have_best = false;
+  std::vector<bool> best_mask;
+  for (long mask = 0; mask < result.combinations; ++mask) {
+    if (options.max_evaluations > 0 &&
+        result.evaluated >= options.max_evaluations)
+      break;
+    for (std::size_t i = 0; i < shareable.size(); ++i) {
+      if (mask & (1L << i)) {
+        model.MakeGlobal(shareable[i].type, shareable[i].users);
+        model.SetPeriod(shareable[i].type, shareable[i].period);
+      } else {
+        model.MakeLocal(shareable[i].type);
+      }
+    }
+    if (Status s = model.Validate(); !s.ok()) return s;
+    CoupledScheduler scheduler(model, params);
+    auto run_or = scheduler.Run();
+    if (!run_or.ok()) return run_or.status();
+    CoupledResult run = std::move(run_or).value();
+    const int area = run.allocation.TotalArea(model.library());
+    ++result.evaluated;
+    // Ties: prefer MORE sharing (larger mask popcount) — fewer physical
+    // units to verify and place even at equal area.
+    auto popcount = [](long m) {
+      int c = 0;
+      while (m) {
+        c += static_cast<int>(m & 1);
+        m >>= 1;
+      }
+      return c;
+    };
+    const bool better =
+        !have_best || area < result.area ||
+        (area == result.area &&
+         popcount(mask) > popcount([&] {
+           long bm = 0;
+           for (std::size_t i = 0; i < best_mask.size(); ++i)
+             if (best_mask[i]) bm |= 1L << i;
+           return bm;
+         }()));
+    if (better) {
+      have_best = true;
+      result.area = area;
+      result.best = std::move(run);
+      best_mask.assign(shareable.size(), false);
+      for (std::size_t i = 0; i < shareable.size(); ++i)
+        best_mask[i] = (mask & (1L << i)) != 0;
+    }
+  }
+  assert(have_best);
+
+  // Re-apply and report the winner.
+  result.choices.clear();
+  for (std::size_t i = 0; i < shareable.size(); ++i) {
+    AssignmentChoice choice;
+    choice.type = shareable[i].type;
+    choice.global = best_mask[i];
+    if (choice.global) {
+      choice.period = shareable[i].period;
+      model.MakeGlobal(shareable[i].type, shareable[i].users);
+      model.SetPeriod(shareable[i].type, shareable[i].period);
+    } else {
+      model.MakeLocal(shareable[i].type);
+    }
+    result.choices.push_back(choice);
+  }
+  if (Status s = model.Validate(); !s.ok()) return s;
+  return result;
+}
+
+double TypeUtilization(const SystemModel& model, ProcessId process,
+                       ResourceTypeId type) {
+  const ResourceLibrary& lib = model.library();
+  long work = 0;
+  long steps = 0;
+  for (BlockId bid : model.process(process).blocks) {
+    const Block& b = model.block(bid);
+    steps += b.time_range;
+    for (const Operation& op : b.graph.ops())
+      if (op.type == type) work += lib.type(type).dii;
+  }
+  if (steps == 0) return 0.0;
+  return static_cast<double>(work) / static_cast<double>(steps);
+}
+
+StatusOr<std::vector<AssignmentChoice>> SuggestAssignments(
+    SystemModel& model, double utilization_threshold) {
+  std::vector<AssignmentChoice> choices;
+  for (const ResourceType& t : model.library().types()) {
+    std::vector<ProcessId> users;
+    double group_utilization = 0;
+    for (const Process& p : model.processes()) {
+      if (!model.ProcessUsesType(p.id, t.id)) continue;
+      users.push_back(p.id);
+      group_utilization += TypeUtilization(model, p.id, t.id);
+    }
+    if (users.size() < 2) continue;
+    AssignmentChoice choice;
+    choice.type = t.id;
+    choice.global = group_utilization <= utilization_threshold;
+    if (choice.global) {
+      choice.period = CompatiblePeriod(model, users);
+      model.MakeGlobal(t.id, users);
+      model.SetPeriod(t.id, choice.period);
+    } else {
+      model.MakeLocal(t.id);
+    }
+    choices.push_back(choice);
+  }
+  if (choices.empty())
+    return Status{StatusCode::kFailedPrecondition,
+                  "no resource type is used by more than one process"};
+  if (Status s = model.Validate(); !s.ok()) return s;
+  return choices;
+}
+
+}  // namespace mshls

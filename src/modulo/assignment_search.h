@@ -1,0 +1,63 @@
+// Automatic selection of the assignment scope of each resource type —
+// the paper's conclusions name this as current work: "to automatically
+// select the assignment scope of each resource" (§8; step S1 is done
+// manually in their implementation, §7).
+//
+// For every resource type used by at least two processes, the scope is a
+// binary choice: local (classic) or global over all its users. The search
+// enumerates the scope combinations (2^T for T shareable types, T is
+// small in practice), assigns each chosen global type the largest eq.-3
+// compatible period (the gcd of its users' block time ranges — larger
+// periods discriminate more residues, paper §3.2), schedules with the
+// coupled engine and keeps the minimum-area combination.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "modulo/coupled_scheduler.h"
+
+namespace mshls {
+
+struct AssignmentChoice {
+  ResourceTypeId type;
+  bool global = false;
+  int period = 0;  // set when global
+};
+
+struct AssignmentSearchResult {
+  std::vector<AssignmentChoice> choices;  // one per shareable type
+  CoupledResult best;
+  int area = 0;
+  long combinations = 0;
+  long evaluated = 0;
+};
+
+struct AssignmentSearchOptions {
+  /// Cap on scheduled combinations; 0 = unlimited (2^T).
+  int max_evaluations = 0;
+};
+
+/// Overwrites any existing S1/S2 state of `model`; on success the model is
+/// left configured with the winning assignment.
+[[nodiscard]] StatusOr<AssignmentSearchResult> SearchAssignments(
+    SystemModel& model, const CoupledParams& params,
+    const AssignmentSearchOptions& options = {});
+
+/// Utilization of `type` by `process`: occupancy work of its ops divided
+/// by the process' available steps (sum of block time ranges). The paper's
+/// motivation in one number: "even if there is only low utilization of
+/// limited or high-cost resources ... one full resource is needed by each
+/// operation type and process" (§2).
+[[nodiscard]] double TypeUtilization(const SystemModel& model,
+                                     ProcessId process, ResourceTypeId type);
+
+/// Fast O(types x processes) heuristic alternative to the exhaustive
+/// search: marks a type global (over its users, gcd period) when the sum
+/// of its per-process utilizations stays below `utilization_threshold` —
+/// i.e. when one time-multiplexed instance pool plausibly covers the whole
+/// group. Returns the choices applied to the model.
+[[nodiscard]] StatusOr<std::vector<AssignmentChoice>> SuggestAssignments(
+    SystemModel& model, double utilization_threshold = 1.0);
+
+}  // namespace mshls

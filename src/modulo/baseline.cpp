@@ -1,0 +1,31 @@
+#include "modulo/baseline.h"
+
+namespace mshls {
+
+StatusOr<CoupledResult> ScheduleLocalBaseline(SystemModel& model,
+                                              const CoupledParams& params) {
+  // Save the S1/S2 state.
+  struct Saved {
+    ResourceTypeId type;
+    TypeAssignment assignment;
+  };
+  std::vector<Saved> saved;
+  for (ResourceTypeId g : model.GlobalTypes())
+    saved.push_back({g, model.assignment(g)});
+  for (const Saved& s : saved) model.MakeLocal(s.type);
+
+  if (Status st = model.Validate(); !st.ok()) return st;
+  CoupledParams local_params = params;
+  local_params.mode = GlobalForceMode::kIgnoreGlobal;
+  CoupledScheduler scheduler(model, std::move(local_params));
+  auto result = scheduler.Run();
+
+  // Restore regardless of outcome.
+  for (const Saved& s : saved) {
+    model.MakeGlobal(s.type, s.assignment.group);
+    model.SetPeriod(s.type, s.assignment.period);
+  }
+  return result;
+}
+
+}  // namespace mshls

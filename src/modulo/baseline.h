@@ -1,0 +1,19 @@
+// The traditional comparison point of the paper's experiment: "a pure local
+// assignment of the resource types with identical parameters" (§7) — every
+// process is scheduled independently with block-local IFDS forces and owns
+// at least one instance of every type it uses.
+#pragma once
+
+#include "common/status.h"
+#include "modulo/coupled_scheduler.h"
+
+namespace mshls {
+
+/// Clones the sharing assignment of `model` to all-local, schedules every
+/// block with unmodified IFDS, and restores the original assignment before
+/// returning. The result's allocation therefore contains only local
+/// instance counts.
+[[nodiscard]] StatusOr<CoupledResult> ScheduleLocalBaseline(
+    SystemModel& model, const CoupledParams& params);
+
+}  // namespace mshls

@@ -1,0 +1,243 @@
+#include "modulo/coupled_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "fds/distribution.h"
+#include "fds/force.h"
+#include "modulo/modulo_map.h"
+
+namespace mshls {
+
+CoupledScheduler::CoupledScheduler(const SystemModel& model,
+                                   CoupledParams params)
+    : model_(model), params_(std::move(params)) {
+  const ResourceLibrary& lib = model_.library();
+  blocks_.reserve(model_.block_count());
+  delays_.reserve(model_.block_count());
+  for (const Block& b : model_.blocks()) {
+    delays_.push_back(model_.DelayOf(b.id));
+    auto frames_or =
+        TimeFrameSet::Compute(b.graph, delays_.back(), b.time_range);
+    // Model validation guarantees feasibility of each block.
+    assert(frames_or.ok());
+    BlockState state;
+    state.frames = std::move(frames_or).value();
+    state.local.resize(lib.size());
+    state.modulo.resize(lib.size());
+    blocks_.push_back(std::move(state));
+  }
+  for (const Block& b : model_.blocks()) RebuildBlockState(b.id);
+  mp_.assign(model_.process_count(),
+             std::vector<Profile>(lib.size()));
+  group_.assign(lib.size(), {});
+  RebuildProcessAndGroupProfiles();
+}
+
+bool CoupledScheduler::GlobalForBlock(ResourceTypeId type,
+                                      BlockId block) const {
+  if (params_.mode == GlobalForceMode::kIgnoreGlobal) return false;
+  if (!model_.is_global(type)) return false;
+  return model_.InGroup(type, model_.block(block).process);
+}
+
+void CoupledScheduler::RebuildBlockState(BlockId bid) {
+  const Block& b = model_.block(bid);
+  const ResourceLibrary& lib = model_.library();
+  BlockState& state = blocks_[bid.index()];
+  for (const ResourceType& t : lib.types()) {
+    state.local[t.id.index()] =
+        BuildTypeProfile(b, lib, state.frames, t.id);
+    if (GlobalForBlock(t.id, bid)) {
+      const int lambda = model_.assignment(t.id).period;
+      state.modulo[t.id.index()] = ModuloMaxTransform(
+          std::span<const double>(state.local[t.id.index()]), b.phase,
+          lambda);
+    } else {
+      state.modulo[t.id.index()].clear();
+    }
+  }
+}
+
+void CoupledScheduler::RebuildProcessAndGroupProfiles() {
+  const ResourceLibrary& lib = model_.library();
+  for (const ResourceType& t : lib.types()) {
+    const std::size_t k = t.id.index();
+    if (!model_.is_global(t.id) ||
+        params_.mode == GlobalForceMode::kIgnoreGlobal) {
+      group_[k].clear();
+      for (auto& per_process : mp_) per_process[k].clear();
+      continue;
+    }
+    const int lambda = model_.assignment(t.id).period;
+    group_[k].assign(static_cast<std::size_t>(lambda), 0.0);
+    for (const Process& p : model_.processes()) {
+      Profile& m = mp_[p.id.index()][k];
+      if (!model_.InGroup(t.id, p.id)) {
+        m.clear();
+        continue;
+      }
+      m.assign(static_cast<std::size_t>(lambda), 0.0);
+      for (BlockId bid : p.blocks) {
+        const Profile& d = blocks_[bid.index()].modulo[k];
+        if (d.empty()) continue;
+        for (std::size_t tau = 0; tau < m.size(); ++tau)
+          m[tau] = std::max(m[tau], d[tau]);
+      }
+      for (std::size_t tau = 0; tau < m.size(); ++tau)
+        group_[k][tau] += m[tau];
+    }
+  }
+}
+
+const Profile& CoupledScheduler::GroupProfile(ResourceTypeId type) const {
+  return group_[type.index()];
+}
+
+double CoupledScheduler::EvaluateForce(BlockId bid, OpId op,
+                                       TimeFrame target) const {
+  const Block& b = model_.block(bid);
+  const ResourceLibrary& lib = model_.library();
+  const BlockState& state = blocks_[bid.index()];
+
+  TimeFrameSet next = state.frames;
+  {
+    const Status s = next.Narrow(b.graph, delays_[bid.index()], op, target);
+    assert(s.ok() && "narrowing inside a propagated frame must be feasible");
+    (void)s;
+  }
+
+  // Per-type displacement of the block-local distribution.
+  std::vector<Profile> dq(lib.size());
+  std::vector<bool> touched(lib.size(), false);
+  for (const Operation& o : b.graph.ops()) {
+    const TimeFrame& before = state.frames.frame(o.id);
+    const TimeFrame& after = next.frame(o.id);
+    if (before == after) continue;
+    auto& d = dq[o.type.index()];
+    if (d.empty()) d.assign(static_cast<std::size_t>(b.time_range), 0.0);
+    const int dii = lib.type(o.type).dii;
+    AddOccupancyProbability(d, before, dii, -1.0);
+    AddOccupancyProbability(d, after, dii, +1.0);
+    touched[o.type.index()] = true;
+  }
+
+  double force = 0;
+  for (const ResourceType& t : lib.types()) {
+    const std::size_t k = t.id.index();
+    if (!touched[k]) continue;
+    const double w = TypeWeight(lib, t.id, params_.fds);
+
+    if (!GlobalForBlock(t.id, bid)) {
+      force += SpringForce(state.local[k], dq[k], params_.fds, w);
+      continue;
+    }
+
+    // Displaced block distribution and its modulo-max transform (eq. 7/8).
+    const int lambda = model_.assignment(t.id).period;
+    Profile d_next = state.local[k];
+    for (std::size_t i = 0; i < d_next.size(); ++i) d_next[i] += dq[k][i];
+    const Profile modulo_next = ModuloMaxTransform(
+        std::span<const double>(d_next), b.phase, lambda);
+    const Profile& modulo_cur = state.modulo[k];
+
+    if (params_.mode == GlobalForceMode::kBlockModuloOnly) {
+      Profile delta(modulo_next.size());
+      for (std::size_t tau = 0; tau < delta.size(); ++tau)
+        delta[tau] = modulo_next[tau] - modulo_cur[tau];
+      force += SpringForce(modulo_cur, delta, params_.fds, w);
+      continue;
+    }
+
+    // Full chain (eq. 9): new process max, displacement of the group sum.
+    const ProcessId pid = b.process;
+    const Profile& m_cur = mp_[pid.index()][k];
+    Profile m_next(modulo_next);
+    for (BlockId other : model_.process(pid).blocks) {
+      if (other == bid) continue;
+      const Profile& od = blocks_[other.index()].modulo[k];
+      if (od.empty()) continue;
+      for (std::size_t tau = 0; tau < m_next.size(); ++tau)
+        m_next[tau] = std::max(m_next[tau], od[tau]);
+    }
+    Profile delta(m_next.size());
+    for (std::size_t tau = 0; tau < delta.size(); ++tau)
+      delta[tau] = m_next[tau] - m_cur[tau];
+    force += SpringForce(group_[k], delta, params_.fds, w);
+  }
+  return force;
+}
+
+StatusOr<CoupledResult> CoupledScheduler::Run() {
+  int iterations = 0;
+  for (;;) {
+    bool all_fixed = true;
+    for (const BlockState& s : blocks_)
+      if (!s.frames.AllFixed()) {
+        all_fixed = false;
+        break;
+      }
+    if (all_fixed) break;
+
+    CoupledIterationTrace trace;
+    trace.iteration = iterations;
+    double best_diff = -1.0;
+    for (const Block& b : model_.blocks()) {
+      const BlockState& state = blocks_[b.id.index()];
+      for (const Operation& op : b.graph.ops()) {
+        const TimeFrame& f = state.frames.frame(op.id);
+        if (f.fixed()) continue;
+        CoupledCandidate c;
+        c.block = b.id;
+        c.op = op.id;
+        c.frame = f;
+        c.force_begin =
+            EvaluateForce(b.id, op.id, TimeFrame{f.asap, f.asap});
+        c.force_end = EvaluateForce(b.id, op.id, TimeFrame{f.alap, f.alap});
+        c.diff = std::abs(c.force_begin - c.force_end);
+        if (f.width() > 2) c.diff *= params_.fds.mid_estimate;
+        if (params_.observer) trace.candidates.push_back(c);
+        if (c.diff > best_diff) {
+          best_diff = c.diff;
+          trace.chosen_block = c.block;
+          trace.chosen_op = c.op;
+          trace.shrank_begin = c.force_begin > c.force_end;
+        }
+      }
+    }
+    assert(trace.chosen_op.valid());
+
+    BlockState& chosen = blocks_[trace.chosen_block.index()];
+    const TimeFrame f = chosen.frames.frame(trace.chosen_op);
+    const TimeFrame next = trace.shrank_begin
+                               ? TimeFrame{f.asap + 1, f.alap}
+                               : TimeFrame{f.asap, f.alap - 1};
+    if (params_.observer) params_.observer(trace);
+    if (Status s = chosen.frames.Narrow(
+            model_.block(trace.chosen_block).graph,
+            delays_[trace.chosen_block.index()], trace.chosen_op, next);
+        !s.ok())
+      return s;
+    RebuildBlockState(trace.chosen_block);
+    RebuildProcessAndGroupProfiles();
+    ++iterations;
+  }
+
+  CoupledResult result;
+  result.iterations = iterations;
+  result.schedule.blocks.resize(model_.block_count());
+  for (const Block& b : model_.blocks()) {
+    BlockSchedule sched(b.graph.op_count());
+    const BlockState& state = blocks_[b.id.index()];
+    for (const Operation& op : b.graph.ops())
+      sched.set_start(op.id, state.frames.frame(op.id).asap);
+    result.schedule.of(b.id) = std::move(sched);
+  }
+  if (Status s = ValidateSystemSchedule(model_, result.schedule); !s.ok())
+    return s;
+  result.allocation = ComputeAllocation(model_, result.schedule);
+  return result;
+}
+
+}  // namespace mshls

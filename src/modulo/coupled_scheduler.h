@@ -1,0 +1,116 @@
+// Coupled multi-process Modulo Scheduling — step (S3) of the paper and its
+// two-part modification of Improved Force-Directed Scheduling (paper §5/§6).
+//
+// All blocks of all processes are scheduled *simultaneously*: a partial
+// solution is the set of time frames of every operation in the system, and
+// each iteration performs one IFDS-style gradual time-frame reduction on
+// the globally worst candidate.
+//
+// Forces for a locally assigned resource type are the classic block-local
+// spring forces. Forces for a globally assigned type g are evaluated on the
+// group demand profile (paper eq. 7–9):
+//
+//     d_b(t)   block-local distribution of g            (eq. 4)
+//     D_b(tau) = max{ d_b(t) : (phase_b + t) mod lambda_g = tau }   (eq. 7)
+//     M_p(tau) = max{ D_b(tau) : b in blocks(p) }       (eq. 9, inner max —
+//                blocks of one process never overlap, condition C2)
+//     G(tau)   = sum over group processes p of M_p(tau) (eq. 9, outer sum)
+//
+// Part 1 (periodic alignment) is the modulo-maximum transform D; part 2
+// (global balancing) is the max/sum chain to G. `GlobalForceMode` lets
+// benches ablate the parts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "fds/fds_scheduler.h"
+#include "modulo/allocation.h"
+#include "sched/time_frames.h"
+
+namespace mshls {
+
+enum class GlobalForceMode {
+  /// Part 1 + part 2: forces on the group profile G (the paper's method).
+  kFull,
+  /// Part 1 only: forces on the block's own modulo profile D_b.
+  kBlockModuloOnly,
+  /// Ignore global assignments in the force model (classic block-local
+  /// forces everywhere); allocation still honours the assignment.
+  kIgnoreGlobal,
+};
+
+struct CoupledCandidate {
+  BlockId block;
+  OpId op;
+  TimeFrame frame;
+  double force_begin = 0;
+  double force_end = 0;
+  double diff = 0;
+};
+
+struct CoupledIterationTrace {
+  int iteration = 0;
+  std::vector<CoupledCandidate> candidates;
+  BlockId chosen_block;
+  OpId chosen_op;
+  bool shrank_begin = false;
+};
+
+using CoupledObserver = std::function<void(const CoupledIterationTrace&)>;
+
+struct CoupledParams {
+  FdsParams fds;
+  GlobalForceMode mode = GlobalForceMode::kFull;
+  CoupledObserver observer;
+};
+
+struct CoupledResult {
+  SystemSchedule schedule;
+  Allocation allocation;
+  int iterations = 0;
+};
+
+class CoupledScheduler {
+ public:
+  /// The model must have passed Validate().
+  CoupledScheduler(const SystemModel& model, CoupledParams params);
+
+  /// Runs the coupled IFDS to completion. Deterministic.
+  [[nodiscard]] StatusOr<CoupledResult> Run();
+
+  /// Current group demand profile of a global type (for tracing); only
+  /// meaningful between construction and Run() or from the observer.
+  [[nodiscard]] const Profile& GroupProfile(ResourceTypeId type) const;
+
+ private:
+  struct BlockState {
+    TimeFrameSet frames;
+    /// Block-local distribution d per resource type id.
+    std::vector<Profile> local;
+    /// Modulo-max profile D per resource type id (empty when not global
+    /// for this block's process).
+    std::vector<Profile> modulo;
+  };
+
+  void RebuildBlockState(BlockId b);
+  void RebuildProcessAndGroupProfiles();
+
+  /// Force of tentatively narrowing `op` of block `b` to `target` under the
+  /// configured mode.
+  [[nodiscard]] double EvaluateForce(BlockId b, OpId op,
+                                     TimeFrame target) const;
+
+  /// True if `type` participates in global force evaluation for `block`.
+  [[nodiscard]] bool GlobalForBlock(ResourceTypeId type, BlockId block) const;
+
+  const SystemModel& model_;
+  CoupledParams params_;
+  std::vector<BlockState> blocks_;          // by block id
+  std::vector<std::vector<Profile>> mp_;    // [process][type] M_p
+  std::vector<Profile> group_;              // [type] G
+  std::vector<DelayFn> delays_;             // by block id
+};
+
+}  // namespace mshls

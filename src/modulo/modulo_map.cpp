@@ -1,0 +1,46 @@
+#include "modulo/modulo_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mshls {
+
+Profile ModuloMaxTransform(std::span<const double> d, int phase, int lambda) {
+  assert(lambda >= 1 && phase >= 0);
+  Profile out(static_cast<std::size_t>(lambda), 0.0);
+  for (std::size_t t = 0; t < d.size(); ++t) {
+    const int tau = ResidueOf(static_cast<int>(t), phase, lambda);
+    out[static_cast<std::size_t>(tau)] =
+        std::max(out[static_cast<std::size_t>(tau)], d[t]);
+  }
+  return out;
+}
+
+std::vector<int> ModuloMaxTransform(std::span<const int> d, int phase,
+                                    int lambda) {
+  assert(lambda >= 1 && phase >= 0);
+  std::vector<int> out(static_cast<std::size_t>(lambda), 0);
+  for (std::size_t t = 0; t < d.size(); ++t) {
+    const int tau = ResidueOf(static_cast<int>(t), phase, lambda);
+    out[static_cast<std::size_t>(tau)] =
+        std::max(out[static_cast<std::size_t>(tau)], d[t]);
+  }
+  return out;
+}
+
+Profile ElementwiseMax(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  Profile out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+std::vector<int> ElementwiseMax(std::span<const int> a,
+                                std::span<const int> b) {
+  assert(a.size() == b.size());
+  std::vector<int> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+}  // namespace mshls

@@ -1,0 +1,43 @@
+// Modulo time mapping (paper eq. 1) and the modulo-maximum transform
+// (paper eq. 7) — the first part of the two-part IFDS modification.
+//
+// Absolute time steps of the entire system map onto the period of a global
+// resource type by tau = t mod lambda. An access authorization granted for
+// residue tau is valid for every absolute step that maps to tau, which is
+// what makes a block's schedule invariant under moves by multiples of
+// lambda (paper eq. 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fds/distribution.h"
+
+namespace mshls {
+
+/// Residue of a block-relative step `t` for a block starting at a phase
+/// `phase` (mod lambda): tau = (phase + t) mod lambda.
+[[nodiscard]] constexpr int ResidueOf(int t, int phase, int lambda) {
+  return (phase + t) % lambda;
+}
+
+/// Modulo-maximum transform (paper eq. 7):
+///   D(tau) = max{ d(t) : ResidueOf(t) == tau }, 0 if the class is empty.
+/// The transform "hides" all distribution mass below the per-residue
+/// maximum; force evaluation on D is what produces the periodic alignment
+/// of operations (paper §5.1).
+[[nodiscard]] Profile ModuloMaxTransform(std::span<const double> d, int phase,
+                                         int lambda);
+
+/// Integer variant for final occupancy profiles.
+[[nodiscard]] std::vector<int> ModuloMaxTransform(std::span<const int> d,
+                                                  int phase, int lambda);
+
+/// Element-wise maximum of equal-length profiles, used for combining the
+/// non-overlapping blocks of one process (paper eq. 9, inner max).
+[[nodiscard]] Profile ElementwiseMax(std::span<const double> a,
+                                     std::span<const double> b);
+[[nodiscard]] std::vector<int> ElementwiseMax(std::span<const int> a,
+                                              std::span<const int> b);
+
+}  // namespace mshls

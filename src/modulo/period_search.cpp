@@ -1,0 +1,118 @@
+#include "modulo/period_search.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace mshls {
+
+std::vector<int> CandidatePeriods(const SystemModel& model,
+                                  ResourceTypeId type) {
+  const TypeAssignment& a = model.assignment(type);
+  assert(a.scope == AssignmentScope::kGlobal);
+  // Union of the divisors of every member's block time ranges: a period
+  // that tiles *some* member's activation window is a candidate. This is
+  // deliberately generous — the paper generates period sets "by a
+  // permutation" and lets equation 3 discard the incompatible ones before
+  // scheduling (§7); the eq.-3 filter in PeriodsCompatible() is what prunes
+  // candidates that do not tile every member.
+  std::vector<int> out;
+  for (ProcessId pid : a.group) {
+    for (BlockId bid : model.process(pid).blocks) {
+      for (std::int64_t d :
+           DivisorsOf(static_cast<std::int64_t>(
+               model.block(bid).time_range)))
+        out.push_back(static_cast<int>(d));
+    }
+  }
+  if (out.empty()) return {1};
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool PeriodsCompatible(const SystemModel& model) {
+  for (const Process& p : model.processes()) {
+    const std::int64_t grid = model.GridSpacing(p.id);
+    if (grid == 1) continue;
+    for (BlockId bid : p.blocks) {
+      if (model.block(bid).time_range % grid != 0) return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
+                                           const CoupledParams& params,
+                                           const PeriodSearchOptions& options) {
+  const std::vector<ResourceTypeId> globals = model.GlobalTypes();
+  if (globals.empty())
+    return Status{StatusCode::kFailedPrecondition,
+                  "no global resource types to assign periods to (run S1)"};
+
+  std::vector<std::vector<int>> candidates;
+  candidates.reserve(globals.size());
+  for (ResourceTypeId g : globals)
+    candidates.push_back(CandidatePeriods(model, g));
+
+  PeriodSearchResult result;
+  result.combinations = 1;
+  for (const auto& c : candidates) result.combinations *= static_cast<long>(
+      c.size());
+
+  std::vector<std::size_t> cursor(globals.size(), 0);
+  bool have_best = false;
+  std::vector<int> best_periods;
+
+  for (;;) {
+    for (std::size_t i = 0; i < globals.size(); ++i)
+      model.SetPeriod(globals[i], candidates[i][cursor[i]]);
+
+    if (!PeriodsCompatible(model)) {
+      ++result.filtered_out;
+    } else if (options.max_evaluations > 0 &&
+               result.evaluated >= options.max_evaluations) {
+      // Counted as a combination but not scheduled.
+    } else {
+      if (Status s = model.Validate(); !s.ok()) return s;
+      CoupledScheduler scheduler(model, params);
+      auto run_or = scheduler.Run();
+      if (!run_or.ok()) return run_or.status();
+      CoupledResult run = std::move(run_or).value();
+      const int area = run.allocation.TotalArea(model.library());
+      ++result.evaluated;
+
+      std::vector<int> periods(globals.size());
+      for (std::size_t i = 0; i < globals.size(); ++i)
+        periods[i] = candidates[i][cursor[i]];
+      const bool better =
+          !have_best || area < result.area ||
+          (area == result.area && periods > best_periods);
+      if (better) {
+        have_best = true;
+        result.area = area;
+        result.best = std::move(run);
+        best_periods = periods;
+      }
+    }
+
+    // Advance the mixed-radix cursor.
+    std::size_t i = 0;
+    for (; i < cursor.size(); ++i) {
+      if (++cursor[i] < candidates[i].size()) break;
+      cursor[i] = 0;
+    }
+    if (i == cursor.size()) break;
+  }
+
+  if (!have_best)
+    return Status{StatusCode::kInfeasible,
+                  "no period combination passed the eq.-3 grid filter"};
+  result.periods = best_periods;
+  for (std::size_t i = 0; i < globals.size(); ++i)
+    model.SetPeriod(globals[i], best_periods[i]);
+  return result;
+}
+
+}  // namespace mshls

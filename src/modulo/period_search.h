@@ -1,0 +1,57 @@
+// Step (S2): assigning a period to every global resource type.
+//
+// The paper generates candidate period sets "by a permutation" and filters
+// most of them "by equation 3 before scheduling" (§7). This module
+// implements that search:
+//  * candidate periods of a global type g are the union over its group of
+//    the divisors of each member's block time ranges (a period that tiles
+//    some member's activation window is worth permuting over);
+//  * a combination is kept only if, for every process p, the resulting grid
+//    spacing s_p = lcm{lambda_g : g in G_p} (paper eq. 3) divides every
+//    block time range of p — otherwise activations of p could not be
+//    scheduled back-to-back on the grid; this is the filter that discards
+//    "most sets before scheduling";
+//  * every surviving combination is scheduled with the coupled algorithm
+//    and the minimum-area result wins (ties: larger periods first, since a
+//    larger period lets more processes share one instance, paper §3.2).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "modulo/coupled_scheduler.h"
+
+namespace mshls {
+
+struct PeriodSearchOptions {
+  /// Cap on scheduled combinations (after filtering); 0 = unlimited.
+  int max_evaluations = 0;
+};
+
+struct PeriodSearchResult {
+  /// Chosen period per global type, aligned with model.GlobalTypes().
+  std::vector<int> periods;
+  CoupledResult best;
+  int area = 0;
+  /// Search statistics: raw combination count, how many eq.-3 filtering
+  /// removed, how many were actually scheduled.
+  long combinations = 0;
+  long filtered_out = 0;
+  long evaluated = 0;
+};
+
+/// Explores period assignments for the global types of `model` (S1 must be
+/// done; any pre-set periods are overwritten). On success the model's
+/// periods are left set to the winning combination.
+[[nodiscard]] StatusOr<PeriodSearchResult> SearchPeriods(
+    SystemModel& model, const CoupledParams& params,
+    const PeriodSearchOptions& options = {});
+
+/// Candidate periods of one global type under the divisor rule above.
+[[nodiscard]] std::vector<int> CandidatePeriods(const SystemModel& model,
+                                                ResourceTypeId type);
+
+/// The eq.-3 grid filter applied to the currently set periods.
+[[nodiscard]] bool PeriodsCompatible(const SystemModel& model);
+
+}  // namespace mshls

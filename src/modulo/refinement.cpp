@@ -1,0 +1,91 @@
+#include "modulo/refinement.h"
+
+#include <algorithm>
+
+namespace mshls {
+namespace {
+
+/// Lexicographic objective: FU area first, then the summed squares of the
+/// global demand profiles (a smoothness pressure that rewards moves which
+/// flatten a pool even when the peak has not dropped yet).
+struct Objective {
+  int area = 0;
+  long pressure = 0;
+
+  bool operator<(const Objective& other) const {
+    if (area != other.area) return area < other.area;
+    return pressure < other.pressure;
+  }
+};
+
+Objective Evaluate(const SystemModel& model, const SystemSchedule& schedule) {
+  const Allocation alloc = ComputeAllocation(model, schedule);
+  Objective obj;
+  obj.area = alloc.TotalArea(model.library());
+  for (const GlobalTypeAllocation& ga : alloc.global)
+    for (int v : ga.profile)
+      obj.pressure += static_cast<long>(v) * v * model.library()
+                                                    .type(ga.type)
+                                                    .area;
+  return obj;
+}
+
+}  // namespace
+
+StatusOr<RefineResult> RefineSchedule(const SystemModel& model,
+                                      const SystemSchedule& schedule,
+                                      const RefineOptions& options) {
+  if (Status s = ValidateSystemSchedule(model, schedule); !s.ok()) return s;
+
+  RefineResult result;
+  result.schedule = schedule;
+  result.area_before =
+      ComputeAllocation(model, schedule).TotalArea(model.library());
+
+  Objective current = Evaluate(model, result.schedule);
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+    bool improved = false;
+    for (const Block& b : model.blocks()) {
+      const DelayFn delay = model.DelayOf(b.id);
+      BlockSchedule& sched = result.schedule.of(b.id);
+      for (const Operation& op : b.graph.ops()) {
+        // Precedence-feasible window of this op with everything else
+        // fixed.
+        int lb = 0;
+        for (OpId p : b.graph.preds(op.id))
+          lb = std::max(lb, sched.start(p) + delay(p));
+        int ub = b.time_range - delay(op.id);
+        for (OpId s : b.graph.succs(op.id))
+          ub = std::min(ub, sched.start(s) - delay(op.id));
+        const int original = sched.start(op.id);
+        int best_step = original;
+        Objective best = current;
+        for (int step = lb; step <= ub; ++step) {
+          if (step == original) continue;
+          sched.set_start(op.id, step);
+          const Objective candidate = Evaluate(model, result.schedule);
+          if (candidate < best) {
+            best = candidate;
+            best_step = step;
+          }
+        }
+        sched.set_start(op.id, best_step);
+        if (best_step != original) {
+          current = best;
+          ++result.moves_accepted;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  if (Status s = ValidateSystemSchedule(model, result.schedule); !s.ok())
+    return s;
+  result.allocation = ComputeAllocation(model, result.schedule);
+  result.area_after = result.allocation.TotalArea(model.library());
+  return result;
+}
+
+}  // namespace mshls

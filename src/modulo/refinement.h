@@ -1,0 +1,39 @@
+// Post-scheduling refinement — deterministic hill climbing on a complete
+// coupled schedule.
+//
+// Force-directed scheduling is constructive: once a frame collapses it
+// never reopens, so the final schedule can sit one move away from a
+// cheaper allocation. This pass repeatedly tries to move a single
+// operation to another precedence-feasible step of its block, keeps the
+// move if it lowers (area, then summed pool-profile peaks as a
+// tie-breaker pressure), and stops at a local optimum. Every accepted
+// intermediate state is a valid system schedule, so the pass can be
+// bounded by `max_rounds` and still return a usable result.
+#pragma once
+
+#include "common/status.h"
+#include "modulo/coupled_scheduler.h"
+
+namespace mshls {
+
+struct RefineOptions {
+  /// Full sweeps over all operations; a sweep with no accepted move ends
+  /// the pass early.
+  int max_rounds = 10;
+};
+
+struct RefineResult {
+  SystemSchedule schedule;
+  Allocation allocation;
+  int area_before = 0;
+  int area_after = 0;
+  int moves_accepted = 0;
+  int rounds = 0;
+};
+
+/// Refines `schedule` (must be complete and valid for `model`).
+[[nodiscard]] StatusOr<RefineResult> RefineSchedule(
+    const SystemModel& model, const SystemSchedule& schedule,
+    const RefineOptions& options = {});
+
+}  // namespace mshls

@@ -1,0 +1,303 @@
+#include "modulo/resource_constrained.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "modulo/modulo_map.h"
+#include "sched/time_frames.h"
+
+namespace mshls {
+namespace {
+
+int LimitOf(const std::vector<int>& limits, ResourceTypeId type) {
+  if (type.index() >= limits.size()) return 1;
+  return limits[type.index()] <= 0 ? 1 : limits[type.index()];
+}
+
+}  // namespace
+
+StatusOr<RcModuloResult> ScheduleResourceConstrainedModulo(
+    const SystemModel& model, const RcModuloOptions& options) {
+  const ResourceLibrary& lib = model.library();
+
+  // Committed authorization per (process, global type): folded occupancy
+  // of the process' already-scheduled blocks.
+  std::vector<std::vector<std::vector<int>>> committed(
+      model.process_count(), std::vector<std::vector<int>>(lib.size()));
+  for (const Process& p : model.processes())
+    for (ResourceTypeId g : model.GlobalTypes())
+      if (model.InGroup(g, p.id))
+        committed[p.id.index()][g.index()].assign(
+            static_cast<std::size_t>(model.assignment(g).period), 0);
+
+  // Blocks in descending weighted-work order: the hungriest first so the
+  // cheap ones fill the leftover residues.
+  std::vector<BlockId> order;
+  for (const Block& b : model.blocks()) order.push_back(b.id);
+  auto work_of = [&](BlockId bid) {
+    long w = 0;
+    for (const Operation& op : model.block(bid).graph.ops())
+      w += static_cast<long>(lib.type(op.type).dii) * lib.type(op.type).area;
+    return w;
+  };
+  std::sort(order.begin(), order.end(), [&](BlockId a, BlockId b) {
+    const long wa = work_of(a);
+    const long wb = work_of(b);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+
+  RcModuloResult result;
+  result.schedule.blocks.resize(model.block_count());
+  result.lengths.assign(model.block_count(), 0);
+  // Observed local peaks per (process, type).
+  std::vector<std::vector<int>> local_peak(
+      model.process_count(), std::vector<int>(lib.size(), 0));
+
+  for (BlockId bid : order) {
+    const Block& b = model.block(bid);
+    const DataFlowGraph& g = b.graph;
+    const ProcessId pid = b.process;
+    const DelayFn delay = model.DelayOf(bid);
+
+    int max_length = options.max_length;
+    if (max_length <= 0) {
+      int total_dii = 0;
+      int max_period = 1;
+      for (const Operation& op : g.ops()) total_dii += lib.type(op.type).dii;
+      for (ResourceTypeId gt : model.GlobalTypes())
+        max_period = std::max(max_period, model.assignment(gt).period);
+      max_length = total_dii * max_period +
+                   g.CriticalPathLength(delay) + 1;
+    }
+
+    // Slack priorities from an unconstrained ALAP over the cap.
+    auto frames_or = TimeFrameSet::Compute(g, delay, max_length);
+    if (!frames_or.ok()) return frames_or.status();
+    const TimeFrameSet& frames = frames_or.value();
+
+    BlockSchedule schedule(g.op_count());
+    // Block-local occupancy per type over the horizon.
+    std::vector<std::vector<int>> busy(
+        lib.size(), std::vector<int>(static_cast<std::size_t>(max_length),
+                                     0));
+
+    // Current effective claim of this process at residue tau of a pooled
+    // type: committed authorizations of earlier blocks combined with the
+    // fold of what this block has issued so far.
+    auto effective_claim = [&](const Operation& op, int tau) {
+      const int lambda = model.assignment(op.type).period;
+      int claim = committed[pid.index()][op.type.index()]
+                           [static_cast<std::size_t>(tau)];
+      for (int u = tau >= b.phase ? tau - b.phase : tau - b.phase + lambda;
+           u < max_length; u += lambda) {
+        claim = std::max(
+            claim, busy[op.type.index()][static_cast<std::size_t>(u)]);
+      }
+      return claim;
+    };
+
+    enum class Issue { kNo, kFree, kNewClaim };
+    // Classifies an issue of `op` at step s: kFree = fits the existing
+    // claims/limits, kNewClaim = fits the pool but raises this process'
+    // authorization at some residue, kNo = violates a limit.
+    auto classify = [&](const Operation& op, int s) {
+      const ResourceType& rt = lib.type(op.type);
+      if (s + rt.delay > max_length) return Issue::kNo;
+      const bool pooled =
+          model.is_global(op.type) && model.InGroup(op.type, pid);
+      bool new_claim = false;
+      for (int k = 0; k < rt.dii; ++k) {
+        const int t = s + k;
+        const int with_op = busy[op.type.index()][static_cast<std::size_t>(
+                                t)] +
+                            1;
+        if (!pooled) {
+          if (with_op > LimitOf(options.local_limits, op.type))
+            return Issue::kNo;
+          continue;
+        }
+        const int lambda = model.assignment(op.type).period;
+        const int tau = ResidueOf(t, b.phase, lambda);
+        const int claim = effective_claim(op, tau);
+        if (with_op > claim) {
+          new_claim = true;
+          int others = 0;
+          for (const Process& q : model.processes()) {
+            if (q.id == pid) continue;
+            const auto& row = committed[q.id.index()][op.type.index()];
+            if (!row.empty()) others += row[static_cast<std::size_t>(tau)];
+          }
+          if (with_op + others > LimitOf(options.pool_limits, op.type))
+            return Issue::kNo;
+        }
+      }
+      return new_claim ? Issue::kNewClaim : Issue::kFree;
+    };
+
+    // Fair-share claim budget per pooled type: the pool offers
+    // pool * lambda claim slots (instances x residues); each user process
+    // is entitled to its work-proportional share up front. Within the
+    // budget a process claims freely (keeping its latency near the
+    // unconstrained value); beyond it, claim raises are deferred whenever
+    // a claim-free slot exists within the next period — the op simply
+    // rides an already-claimed residue, leaving room for the processes
+    // scheduled later. An op with no free slot in reach claims anyway
+    // (bounded waiting), subject to the pool check in classify().
+    std::vector<long> claim_budget(lib.size(), 0);
+    for (ResourceTypeId gt : model.GlobalTypes()) {
+      if (!model.InGroup(gt, pid)) continue;
+      const int lambda = model.assignment(gt).period;
+      const long slots =
+          static_cast<long>(LimitOf(options.pool_limits, gt)) * lambda;
+      long own_work = 0;
+      long total_work = 0;
+      long users = 0;
+      for (ProcessId q : model.GlobalUsers(gt)) {
+        long w = 0;
+        for (BlockId qb : model.process(q).blocks)
+          for (const Operation& op : model.block(qb).graph.ops())
+            if (op.type == gt) w += lib.type(gt).dii;
+        total_work += w;
+        ++users;
+        if (q == pid) own_work = w;
+      }
+      // Base share of one slot per user (so no process is ever starved by
+      // the budgets of the hungrier ones), remaining slots distributed
+      // proportionally to work.
+      const long extra = std::max<long>(0, slots - users);
+      claim_budget[gt.index()] =
+          total_work == 0 ? slots
+                          : 1 + extra * own_work / total_work;
+    }
+
+    auto total_claim = [&](const Operation& op) {
+      const int lambda = model.assignment(op.type).period;
+      long total = 0;
+      for (int tau = 0; tau < lambda; ++tau)
+        total += effective_claim(op, tau);
+      return total;
+    };
+    // New claim-units an issue at s would add.
+    auto claim_delta = [&](const Operation& op, int s) {
+      const ResourceType& rt = lib.type(op.type);
+      const int lambda = model.assignment(op.type).period;
+      long delta = 0;
+      for (int k = 0; k < rt.dii; ++k) {
+        const int t = s + k;
+        const int tau = ResidueOf(t, b.phase, lambda);
+        const int with_op =
+            busy[op.type.index()][static_cast<std::size_t>(t)] + 1;
+        const int claim = effective_claim(op, tau);
+        if (with_op > claim) delta += with_op - claim;
+      }
+      return delta;
+    };
+
+    auto can_issue = [&](const Operation& op, int s, int /*data_ready*/) {
+      const Issue kind = classify(op, s);
+      if (kind == Issue::kNo) return false;
+      if (kind == Issue::kFree) return true;
+      // Within the fair share: claim freely.
+      if (total_claim(op) + claim_delta(op, s) <=
+          claim_budget[op.type.index()])
+        return true;
+      const int lambda = model.assignment(op.type).period;
+      for (int c = s + 1; c <= s + lambda && c < max_length; ++c)
+        if (classify(op, c) == Issue::kFree) return false;  // defer
+      return true;
+    };
+
+    // Least-slack-first list scheduling over the capped horizon.
+    std::vector<int> unscheduled_preds(g.op_count(), 0);
+    std::vector<int> earliest(g.op_count(), 0);
+    for (const Operation& op : g.ops())
+      unscheduled_preds[op.id.index()] =
+          static_cast<int>(g.preds(op.id).size());
+    std::vector<OpId> ready;
+    for (const Operation& op : g.ops())
+      if (unscheduled_preds[op.id.index()] == 0) ready.push_back(op.id);
+
+    int scheduled = 0;
+    int length = 0;
+    for (int cycle = 0; scheduled < static_cast<int>(g.op_count());
+         ++cycle) {
+      if (cycle >= max_length)
+        return Status{StatusCode::kInfeasible,
+                      "block '" + b.name +
+                          "' does not fit the given pools within " +
+                          std::to_string(max_length) + " steps"};
+      std::vector<OpId> candidates;
+      for (OpId id : ready)
+        if (earliest[id.index()] <= cycle) candidates.push_back(id);
+      std::sort(candidates.begin(), candidates.end(),
+                [&](OpId x, OpId y) {
+                  if (frames.frame(x).alap != frames.frame(y).alap)
+                    return frames.frame(x).alap < frames.frame(y).alap;
+                  return x < y;
+                });
+      for (OpId id : candidates) {
+        const Operation& op = g.op(id);
+        if (!can_issue(op, cycle, earliest[id.index()])) continue;
+        const ResourceType& rt = lib.type(op.type);
+        for (int k = 0; k < rt.dii; ++k)
+          ++busy[op.type.index()][static_cast<std::size_t>(cycle + k)];
+        schedule.set_start(id, cycle);
+        length = std::max(length, cycle + rt.delay);
+        ++scheduled;
+        ready.erase(std::find(ready.begin(), ready.end(), id));
+        for (OpId s : g.succs(id)) {
+          earliest[s.index()] =
+              std::max(earliest[s.index()], cycle + rt.delay);
+          if (--unscheduled_preds[s.index()] == 0) ready.push_back(s);
+        }
+      }
+    }
+
+    // Commit this block: fold its occupancy into the process tables.
+    for (const ResourceType& t : lib.types()) {
+      const bool pooled = model.is_global(t.id) && model.InGroup(t.id, pid);
+      int peak = 0;
+      for (int v : busy[t.id.index()]) peak = std::max(peak, v);
+      if (!pooled) {
+        local_peak[pid.index()][t.id.index()] =
+            std::max(local_peak[pid.index()][t.id.index()], peak);
+        continue;
+      }
+      const int lambda = model.assignment(t.id).period;
+      auto& row = committed[pid.index()][t.id.index()];
+      const std::vector<int> folded = ModuloMaxTransform(
+          std::span<const int>(busy[t.id.index()]), b.phase, lambda);
+      for (int tau = 0; tau < lambda; ++tau)
+        row[static_cast<std::size_t>(tau)] =
+            std::max(row[static_cast<std::size_t>(tau)],
+                     folded[static_cast<std::size_t>(tau)]);
+    }
+
+    result.schedule.of(bid) = std::move(schedule);
+    result.lengths[bid.index()] = length;
+  }
+
+  // Assemble the Allocation from the committed tables.
+  result.allocation.local = std::move(local_peak);
+  for (ResourceTypeId gt : model.GlobalTypes()) {
+    GlobalTypeAllocation ga;
+    ga.type = gt;
+    ga.period = model.assignment(gt).period;
+    ga.users = model.GlobalUsers(gt);
+    ga.profile.assign(static_cast<std::size_t>(ga.period), 0);
+    for (ProcessId pid : ga.users) {
+      auto row = committed[pid.index()][gt.index()];
+      for (std::size_t tau = 0; tau < row.size(); ++tau)
+        ga.profile[tau] += row[tau];
+      ga.authorization.push_back(std::move(row));
+    }
+    ga.instances = 0;
+    for (int v : ga.profile) ga.instances = std::max(ga.instances, v);
+    result.allocation.global.push_back(std::move(ga));
+  }
+  return result;
+}
+
+}  // namespace mshls

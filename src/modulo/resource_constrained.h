@@ -1,0 +1,52 @@
+// Resource Constrained Modulo Scheduling with Global Resource Sharing —
+// the companion formulation the paper cites as [8] (Jäschke/Laur, ISSS
+// 1998) and says its method can also be applied to (§3).
+//
+// Dual problem of the time-constrained engine: the pool sizes of the
+// global types (and per-process local instance counts) are *given*, and
+// the scheduler minimizes each block's schedule length while keeping the
+// modulo access discipline: a process' occupancy of a global type g at
+// residue tau, folded over the period, plus the authorizations already
+// committed to the other processes at tau, must never exceed the pool.
+//
+// Implementation: blocks are scheduled one after another (most demanding
+// first) with a least-slack-first list scheduler whose resource check
+// works on residues. Each finished block commits its process' folded
+// occupancy as that process' authorization table, shrinking the residual
+// capacity seen by later processes. The result carries the same
+// Allocation structure as the time-constrained path, so binding,
+// simulation and RTL generation work unchanged.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "modulo/allocation.h"
+
+namespace mshls {
+
+struct RcModuloOptions {
+  /// Pool size per resource type id for globally assigned types. Types
+  /// not covered (or <= 0) default to 1 instance.
+  std::vector<int> pool_limits;
+  /// Local instance count per type id applied to every process for its
+  /// locally assigned types; <= 0 defaults to 1.
+  std::vector<int> local_limits;
+  /// Hard cap on any block's schedule length (0: sum of all op delays).
+  int max_length = 0;
+};
+
+struct RcModuloResult {
+  SystemSchedule schedule;
+  /// Schedule length per block id.
+  std::vector<int> lengths;
+  Allocation allocation;
+};
+
+/// The model must validate; periods come from the model's S2 state.
+/// Fails with kInfeasible if some block cannot fit the given pools within
+/// max_length (e.g. a pool smaller than one op's concurrent need).
+[[nodiscard]] StatusOr<RcModuloResult> ScheduleResourceConstrainedModulo(
+    const SystemModel& model, const RcModuloOptions& options);
+
+}  // namespace mshls

@@ -1,0 +1,104 @@
+#include "report/experiment_report.h"
+
+#include "common/text_table.h"
+
+namespace mshls {
+namespace {
+
+std::string ProfileString(const std::vector<int>& profile) {
+  std::string out;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (i) out += " ";
+    out += std::to_string(profile[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderTable1(const SystemModel& model,
+                         const CoupledResult& result) {
+  const ResourceLibrary& lib = model.library();
+  TextTable table;
+  table.SetHeader({"type", "process", "authorization A_p(tau)", "#insts"});
+  table.AlignRight(3);
+
+  for (const ResourceType& t : lib.types()) {
+    const GlobalTypeAllocation* pool = result.allocation.FindGlobal(t.id);
+    if (pool != nullptr) {
+      table.AddRule();
+      for (std::size_t u = 0; u < pool->users.size(); ++u) {
+        table.AddRow({u == 0 ? t.name : "",
+                      model.process(pool->users[u]).name,
+                      ProfileString(pool->authorization[u]), ""});
+      }
+      table.AddRow({"", "all (sum, G)", ProfileString(pool->profile),
+                    std::to_string(pool->instances)});
+    } else {
+      table.AddRule();
+      bool first = true;
+      int total = 0;
+      for (const Process& p : model.processes()) {
+        const int n = result.allocation.local[p.id.index()][t.id.index()];
+        if (n == 0) continue;
+        table.AddRow({first ? t.name : "", p.name, "(local)",
+                      std::to_string(n)});
+        total += n;
+        first = false;
+      }
+      if (!first)
+        table.AddRow({"", "all", "", std::to_string(total)});
+    }
+  }
+  return table.Render();
+}
+
+std::string SummarizeAllocation(const SystemModel& model,
+                                const Allocation& allocation) {
+  const ResourceLibrary& lib = model.library();
+  std::string out;
+  for (const ResourceType& t : lib.types()) {
+    const int n = allocation.TotalInstances(t.id);
+    if (n == 0) continue;
+    if (!out.empty()) out += " ";
+    out += t.name + "=" + std::to_string(n);
+  }
+  out += " area=" + std::to_string(allocation.TotalArea(lib));
+  return out;
+}
+
+std::string AllocationCsv(const SystemModel& model,
+                          const Allocation& allocation) {
+  const ResourceLibrary& lib = model.library();
+  std::string out = "type,process,scope,instances\n";
+  for (const ResourceType& t : lib.types()) {
+    if (const GlobalTypeAllocation* pool = allocation.FindGlobal(t.id)) {
+      out += t.name + ",all,global," + std::to_string(pool->instances) +
+             "\n";
+    }
+    for (const Process& p : model.processes()) {
+      const int n = allocation.local[p.id.index()][t.id.index()];
+      if (n == 0) continue;
+      out += t.name + "," + p.name + ",local," + std::to_string(n) + "\n";
+    }
+  }
+  out += "area,,," + std::to_string(allocation.TotalArea(lib)) + "\n";
+  return out;
+}
+
+std::string RenderAreaBreakdown(const AreaBreakdown& area) {
+  TextTable table;
+  table.SetHeader({"component", "count", "area"});
+  table.AlignRight(1);
+  table.AlignRight(2);
+  table.AddRow({"functional units", "", std::to_string(area.fu_area)});
+  table.AddRow({"registers", std::to_string(area.register_count),
+                FormatDouble(area.register_area, 2)});
+  table.AddRow({"mux (2:1 slices)", std::to_string(area.mux2_count),
+                FormatDouble(area.mux_area, 2)});
+  table.AddRule();
+  table.AddRow({"total", "", FormatDouble(area.total_area, 2)});
+  return table.Render();
+}
+
+}  // namespace mshls

@@ -1,0 +1,30 @@
+// Shared report formatting for benches and examples: paper-style result
+// tables (Table 1 layout), allocation summaries and CSV emission.
+#pragma once
+
+#include <string>
+
+#include "bind/area_report.h"
+#include "modulo/coupled_scheduler.h"
+
+namespace mshls {
+
+/// Paper Table-1 style: one section per resource type; per process the
+/// access-authorization profile over the period (global types) or the
+/// local instance count, then the per-type totals.
+[[nodiscard]] std::string RenderTable1(const SystemModel& model,
+                                       const CoupledResult& result);
+
+/// One-line allocation summary, e.g. "add=4 sub=1 mult=3 area=17".
+[[nodiscard]] std::string SummarizeAllocation(const SystemModel& model,
+                                              const Allocation& allocation);
+
+/// CSV with one row per (resource type, process) and the totals; suitable
+/// for plotting the sweep benches.
+[[nodiscard]] std::string AllocationCsv(const SystemModel& model,
+                                        const Allocation& allocation);
+
+/// Renders an area breakdown (functional units, registers, muxes).
+[[nodiscard]] std::string RenderAreaBreakdown(const AreaBreakdown& area);
+
+}  // namespace mshls

@@ -1,0 +1,83 @@
+#include "report/gantt.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mshls {
+namespace {
+
+constexpr int kCellWidth = 5;
+constexpr int kLabelWidth = 16;
+
+std::string Cell(const std::string& text) {
+  std::string out = text.substr(0, kCellWidth - 1);
+  out.resize(static_cast<std::size_t>(kCellWidth), ' ');
+  return out;
+}
+
+std::string Label(const std::string& text) {
+  std::string out = text.substr(0, kLabelWidth - 1);
+  out.resize(static_cast<std::size_t>(kLabelWidth), ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string RenderGantt(const SystemModel& model, BlockId block,
+                        const SystemSchedule& schedule,
+                        const SystemBinding& binding) {
+  const Block& b = model.block(block);
+  const ResourceLibrary& lib = model.library();
+  const BlockSchedule& sched = schedule.of(block);
+
+  std::set<InstanceId> used;
+  for (const Operation& op : b.graph.ops()) used.insert(binding.of(block,
+                                                                   op.id));
+
+  std::string out = "block '" + b.name + "' (time range " +
+                    std::to_string(b.time_range) + ")\n";
+  out += Label("t:");
+  for (int t = 0; t < b.time_range; ++t) out += Cell(std::to_string(t));
+  out += "\n";
+
+  for (InstanceId inst : used) {
+    const InstanceInfo& info = binding.info(inst);
+    std::vector<std::string> cells(static_cast<std::size_t>(b.time_range),
+                                   ".");
+    for (const Operation& op : b.graph.ops()) {
+      if (binding.of(block, op.id) != inst) continue;
+      const int s = sched.start(op.id);
+      const int dii = lib.type(op.type).dii;
+      const std::string label =
+          op.name.empty() ? "op" + std::to_string(op.id.value()) : op.name;
+      for (int k = 0; k < dii && s + k < b.time_range; ++k)
+        cells[static_cast<std::size_t>(s + k)] = k == 0 ? label : "~";
+    }
+    out += Label(info.name + ":");
+    for (const std::string& c : cells) out += Cell(c);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderOccupancy(const SystemModel& model, BlockId block,
+                            const SystemSchedule& schedule) {
+  const Block& b = model.block(block);
+  const ResourceLibrary& lib = model.library();
+  std::string out = "block '" + b.name + "' occupancy\n";
+  out += Label("t:");
+  for (int t = 0; t < b.time_range; ++t) out += Cell(std::to_string(t));
+  out += "\n";
+  for (const ResourceType& t : lib.types()) {
+    const auto prof = OccupancyProfile(b, lib, schedule.of(block), t.id);
+    bool any = false;
+    for (int v : prof) any |= v > 0;
+    if (!any) continue;
+    out += Label(t.name + ":");
+    for (int v : prof) out += Cell(v == 0 ? "." : std::to_string(v));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mshls

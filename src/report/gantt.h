@@ -1,0 +1,28 @@
+// ASCII Gantt rendering of block schedules — one row per bound functional
+// unit instance (or per resource type when no binding is given), one
+// column per control step. Used by the CLI driver and examples to make
+// schedules reviewable at a glance.
+#pragma once
+
+#include <string>
+
+#include "bind/binding.h"
+#include "model/system_model.h"
+#include "sched/schedule.h"
+
+namespace mshls {
+
+/// Rows are instances used by the block; cells show the op name (clipped)
+/// over its occupancy interval, '.' when idle. For pipelined units an
+/// issue occupies one cell even though the result arrives later.
+[[nodiscard]] std::string RenderGantt(const SystemModel& model, BlockId block,
+                                      const SystemSchedule& schedule,
+                                      const SystemBinding& binding);
+
+/// Binding-free variant: one row per resource type with the occupancy
+/// count per step.
+[[nodiscard]] std::string RenderOccupancy(const SystemModel& model,
+                                          BlockId block,
+                                          const SystemSchedule& schedule);
+
+}  // namespace mshls

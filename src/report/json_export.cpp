@@ -1,0 +1,223 @@
+#include "report/json_export.h"
+
+#include <cstdio>
+
+namespace mshls {
+namespace {
+
+/// Tiny append-only JSON builder: tracks whether a separator is needed.
+class Json {
+ public:
+  void BeginObject() { Sep(); out_ += '{'; fresh_ = true; }
+  void EndObject() { out_ += '}'; fresh_ = false; }
+  void BeginArray() { Sep(); out_ += '['; fresh_ = true; }
+  void EndArray() { out_ += ']'; fresh_ = false; }
+  void Key(const std::string& k) {
+    Sep();
+    out_ += '"' + JsonEscape(k) + "\":";
+    fresh_ = true;
+  }
+  void String(const std::string& v) {
+    Sep();
+    out_ += '"' + JsonEscape(v) + '"';
+    fresh_ = false;
+  }
+  void Int(long long v) {
+    Sep();
+    out_ += std::to_string(v);
+    fresh_ = false;
+  }
+  void Bool(bool v) {
+    Sep();
+    out_ += v ? "true" : "false";
+    fresh_ = false;
+  }
+  [[nodiscard]] std::string Take() { return std::move(out_); }
+
+ private:
+  void Sep() {
+    if (!fresh_ && !out_.empty()) {
+      const char last = out_.back();
+      if (last != '{' && last != '[' && last != ':') out_ += ',';
+    }
+    fresh_ = false;
+  }
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ResultToJson(const SystemModel& model,
+                         const CoupledResult& result) {
+  const ResourceLibrary& lib = model.library();
+  Json j;
+  j.BeginObject();
+  j.Key("processes");
+  j.BeginArray();
+  for (const Process& p : model.processes()) {
+    j.BeginObject();
+    j.Key("name");
+    j.String(p.name);
+    j.Key("deadline");
+    j.Int(p.deadline);
+    j.Key("blocks");
+    j.BeginArray();
+    for (BlockId bid : p.blocks) {
+      const Block& b = model.block(bid);
+      j.BeginObject();
+      j.Key("name");
+      j.String(b.name);
+      j.Key("time_range");
+      j.Int(b.time_range);
+      j.Key("phase");
+      j.Int(b.phase);
+      j.Key("ops");
+      j.BeginArray();
+      for (const Operation& op : b.graph.ops()) {
+        j.BeginObject();
+        j.Key("id");
+        j.Int(op.id.value());
+        j.Key("name");
+        j.String(op.name);
+        j.Key("type");
+        j.String(lib.type(op.type).name);
+        j.Key("start");
+        j.Int(result.schedule.of(bid).start(op.id));
+        j.EndObject();
+      }
+      j.EndArray();
+      j.EndObject();
+    }
+    j.EndArray();
+    j.EndObject();
+  }
+  j.EndArray();
+
+  j.Key("allocation");
+  j.BeginObject();
+  j.Key("local");
+  j.BeginArray();
+  for (const Process& p : model.processes()) {
+    for (const ResourceType& t : lib.types()) {
+      const int n = result.allocation.local[p.id.index()][t.id.index()];
+      if (n == 0) continue;
+      j.BeginObject();
+      j.Key("process");
+      j.String(p.name);
+      j.Key("type");
+      j.String(t.name);
+      j.Key("instances");
+      j.Int(n);
+      j.EndObject();
+    }
+  }
+  j.EndArray();
+  j.Key("global");
+  j.BeginArray();
+  for (const GlobalTypeAllocation& ga : result.allocation.global) {
+    j.BeginObject();
+    j.Key("type");
+    j.String(lib.type(ga.type).name);
+    j.Key("period");
+    j.Int(ga.period);
+    j.Key("instances");
+    j.Int(ga.instances);
+    j.Key("users");
+    j.BeginArray();
+    for (std::size_t u = 0; u < ga.users.size(); ++u) {
+      j.BeginObject();
+      j.Key("process");
+      j.String(model.process(ga.users[u]).name);
+      j.Key("authorization");
+      j.BeginArray();
+      for (int v : ga.authorization[u]) j.Int(v);
+      j.EndArray();
+      j.EndObject();
+    }
+    j.EndArray();
+    j.Key("profile");
+    j.BeginArray();
+    for (int v : ga.profile) j.Int(v);
+    j.EndArray();
+    j.EndObject();
+  }
+  j.EndArray();
+  j.EndObject();
+
+  j.Key("area");
+  j.Int(result.allocation.TotalArea(lib));
+  j.Key("iterations");
+  j.Int(result.iterations);
+  j.EndObject();
+  return j.Take();
+}
+
+std::string BindingToJson(const SystemModel& model,
+                          const SystemBinding& binding) {
+  Json j;
+  j.BeginObject();
+  j.Key("instances");
+  j.BeginArray();
+  for (const InstanceInfo& info : binding.instances) {
+    j.BeginObject();
+    j.Key("id");
+    j.Int(info.id.value());
+    j.Key("name");
+    j.String(info.name);
+    j.Key("type");
+    j.String(model.library().type(info.type).name);
+    j.Key("global");
+    j.Bool(info.global);
+    if (!info.global) {
+      j.Key("owner");
+      j.String(model.process(info.owner).name);
+    }
+    j.Key("index");
+    j.Int(info.local_index);
+    j.EndObject();
+  }
+  j.EndArray();
+  j.Key("ops");
+  j.BeginArray();
+  for (const Block& b : model.blocks()) {
+    for (const Operation& op : b.graph.ops()) {
+      j.BeginObject();
+      j.Key("block");
+      j.String(b.name);
+      j.Key("op");
+      j.Int(op.id.value());
+      j.Key("instance");
+      j.Int(binding.of(b.id, op.id).value());
+      j.EndObject();
+    }
+  }
+  j.EndArray();
+  j.EndObject();
+  return j.Take();
+}
+
+}  // namespace mshls

@@ -1,0 +1,31 @@
+// Machine-readable JSON export of scheduling results — the interface for
+// downstream tooling (visualizers, regression dashboards). Hand-rolled
+// writer (no third-party dependency); strings are escaped per RFC 8259.
+#pragma once
+
+#include <string>
+
+#include "bind/binding.h"
+#include "modulo/coupled_scheduler.h"
+
+namespace mshls {
+
+/// {"processes":[{name, deadline, blocks:[{name, time_range, phase,
+///   ops:[{id, name, type, start}]}]}],
+///  "allocation":{"local":[{process,type,instances}],
+///    "global":[{type, period, instances,
+///      users:[{process, authorization:[...]}], profile:[...]}]},
+///  "area": N, "iterations": N}
+[[nodiscard]] std::string ResultToJson(const SystemModel& model,
+                                       const CoupledResult& result);
+
+/// Instance table of a binding:
+/// {"instances":[{id, name, type, global, owner, index}],
+///  "ops":[{block, op, instance}]}
+[[nodiscard]] std::string BindingToJson(const SystemModel& model,
+                                        const SystemBinding& binding);
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+[[nodiscard]] std::string JsonEscape(const std::string& s);
+
+}  // namespace mshls

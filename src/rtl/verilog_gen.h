@@ -1,0 +1,49 @@
+// Verilog RTL generation from a scheduled, bound system.
+//
+// Emits one module per process (FSM controller + registers + local
+// functional units + operand multiplexers) and a top-level module that
+// instantiates the globally shared functional-unit pools. The top level
+// contains, per global type, a free-running modulo-lambda residue counter;
+// the counter plus the static authorization partition drive the input
+// multiplexers of every pool instance. This is the paper's access model in
+// hardware: purely static, periodic access control — no arbiter, no
+// request/grant handshake (paper §3.2/§8). Correctness requires processes
+// to be started grid-aligned (the `start_*` inputs must be asserted at
+// absolute times ≡ block phase mod grid), which is the same condition the
+// simulator substrate enforces.
+//
+// Functional-unit semantics by resource name: add -> a+b, sub/cmp -> a-b /
+// a<b, mult -> a*b with delay-1 internal pipeline stages, div -> a/b;
+// unknown names fall back to a+b with a comment. The generator's goal is a
+// structurally faithful, synthesizable netlist skeleton, not a verified
+// datapath; structural properties are covered by tests.
+#pragma once
+
+#include <string>
+
+#include "bind/binding.h"
+#include "bind/registers.h"
+#include "common/status.h"
+
+namespace mshls {
+
+struct RtlOptions {
+  int data_width = 16;
+  std::string top_name = "mshls_system";
+};
+
+struct RtlDesign {
+  /// Complete self-contained Verilog source (FU library + process modules
+  /// + top level).
+  std::string source;
+  /// Module names in emission order, top last.
+  std::vector<std::string> module_names;
+};
+
+[[nodiscard]] StatusOr<RtlDesign> GenerateRtl(const SystemModel& model,
+                                              const SystemSchedule& schedule,
+                                              const Allocation& allocation,
+                                              const SystemBinding& binding,
+                                              const RtlOptions& options = {});
+
+}  // namespace mshls

@@ -1,0 +1,158 @@
+#include "sched/exact_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math_util.h"
+#include "sched/time_frames.h"
+
+namespace mshls {
+namespace {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Block& block, const ResourceLibrary& lib,
+                 const ExactOptions& options)
+      : block_(block), lib_(lib), options_(options) {}
+
+  StatusOr<ExactResult> Run() {
+    const DataFlowGraph& g = block_.graph;
+    const DelayFn delay = [this](OpId op) {
+      return lib_.type(block_.graph.op(op).type).delay;
+    };
+    auto frames_or = TimeFrameSet::Compute(g, delay, block_.time_range);
+    if (!frames_or.ok()) return frames_or.status();
+    frames_ = std::move(frames_or).value();
+
+    order_.assign(g.topological_order().begin(),
+                  g.topological_order().end());
+    start_.assign(g.op_count(), -1);
+    busy_.assign(lib_.size(),
+                 std::vector<int>(static_cast<std::size_t>(
+                                      block_.time_range),
+                                  0));
+    peak_.assign(lib_.size(), 0);
+
+    // Per-type work lower bound: peaks can never drop below
+    // ceil(total occupancy work / time range).
+    floor_.assign(lib_.size(), 0);
+    for (const ResourceType& t : lib_.types()) {
+      std::int64_t work = 0;
+      for (const Operation& op : g.ops())
+        if (op.type == t.id) work += t.dii;
+      floor_[t.id.index()] = static_cast<int>(
+          CeilDiv(work, block_.time_range));
+    }
+    int floor_area = 0;
+    for (const ResourceType& t : lib_.types())
+      floor_area += floor_[t.id.index()] * t.area;
+
+    // Incumbent: worst case, everything maximally concurrent.
+    best_area_ = 1 << 28;
+
+    Dfs(0);
+
+    ExactResult result;
+    if (best_start_.empty())
+      return Status{StatusCode::kInternal, "exact search found no schedule"};
+    result.schedule = BlockSchedule(g.op_count());
+    for (const Operation& op : g.ops())
+      result.schedule.set_start(op.id, best_start_[op.id.index()]);
+    result.usage = UsageOfSchedule(result.schedule);
+    result.area = best_area_;
+    result.nodes = nodes_;
+    result.proven_optimal =
+        !aborted_ || best_area_ <= floor_area;  // floor hit = optimal anyway
+    return result;
+  }
+
+ private:
+  [[nodiscard]] std::vector<int> UsageOfSchedule(
+      const BlockSchedule& schedule) const {
+    std::vector<int> usage(lib_.size(), 0);
+    for (const ResourceType& t : lib_.types()) {
+      const auto prof = OccupancyProfile(block_, lib_, schedule, t.id);
+      for (int v : prof) usage[t.id.index()] = std::max(usage[t.id.index()],
+                                                        v);
+    }
+    return usage;
+  }
+
+  [[nodiscard]] int PartialArea() const {
+    int area = 0;
+    for (const ResourceType& t : lib_.types())
+      area += std::max(peak_[t.id.index()], floor_[t.id.index()]) * t.area;
+    return area;
+  }
+
+  void Dfs(std::size_t depth) {
+    if (aborted_) return;
+    if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) {
+      aborted_ = true;
+      return;
+    }
+    ++nodes_;
+    if (PartialArea() >= best_area_) return;  // bound
+    if (depth == order_.size()) {
+      best_area_ = PartialArea();
+      best_start_.assign(start_.begin(), start_.end());
+      return;
+    }
+
+    const OpId op = order_[depth];
+    const Operation& o = block_.graph.op(op);
+    const ResourceType& rt = lib_.type(o.type);
+    // Earliest start from already-fixed predecessors (topological order
+    // guarantees they are all fixed).
+    int earliest = frames_.frame(op).asap;
+    for (OpId p : block_.graph.preds(op)) {
+      assert(start_[p.index()] >= 0);
+      earliest = std::max(earliest,
+                          start_[p.index()] + lib_.type(
+                              block_.graph.op(p).type).delay);
+    }
+    const int latest = frames_.frame(op).alap;
+    for (int s = earliest; s <= latest; ++s) {
+      // Apply occupancy, track peak delta.
+      const int saved_peak = peak_[o.type.index()];
+      start_[op.index()] = s;
+      for (int k = 0; k < rt.dii; ++k) {
+        const int v = ++busy_[o.type.index()][static_cast<std::size_t>(
+            s + k)];
+        peak_[o.type.index()] = std::max(peak_[o.type.index()], v);
+      }
+      Dfs(depth + 1);
+      for (int k = 0; k < rt.dii; ++k)
+        --busy_[o.type.index()][static_cast<std::size_t>(s + k)];
+      peak_[o.type.index()] = saved_peak;
+      start_[op.index()] = -1;
+      if (aborted_) return;
+    }
+  }
+
+  const Block& block_;
+  const ResourceLibrary& lib_;
+  const ExactOptions& options_;
+  TimeFrameSet frames_;
+  std::vector<OpId> order_;
+  std::vector<int> start_;
+  std::vector<std::vector<int>> busy_;  // [type][t]
+  std::vector<int> peak_;               // current peaks
+  std::vector<int> floor_;              // work lower bounds
+  std::vector<int> best_start_;
+  int best_area_ = 0;
+  std::int64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+StatusOr<ExactResult> ScheduleBlockExact(const Block& block,
+                                         const ResourceLibrary& lib,
+                                         const ExactOptions& options) {
+  assert(block.graph.validated());
+  BranchAndBound search(block, lib, options);
+  return search.Run();
+}
+
+}  // namespace mshls

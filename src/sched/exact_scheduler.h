@@ -1,0 +1,41 @@
+// Exact (branch-and-bound) time-constrained scheduler for single blocks.
+//
+// Finds a schedule of provably minimal weighted area (sum over types of
+// peak occupancy * area) within the block's time range. Exponential in the
+// worst case — intended as an optimality oracle for the heuristic
+// schedulers on small/medium graphs (bench A6 measures the FDS/IFDS gap),
+// not as a production path. The search assigns operations in topological
+// order, earliest step first, and prunes on (a) the weighted area of the
+// partial solution's occupancy peaks (a valid lower bound: peaks never
+// shrink) and (b) a per-type work bound ceil(total work / time range).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/system_model.h"
+#include "sched/schedule.h"
+
+namespace mshls {
+
+struct ExactOptions {
+  /// Abort after this many search nodes; the best incumbent so far is
+  /// returned with proven_optimal = false. 0 = unlimited.
+  std::int64_t max_nodes = 2'000'000;
+};
+
+struct ExactResult {
+  BlockSchedule schedule;
+  std::vector<int> usage;  // per type id
+  int area = 0;
+  std::int64_t nodes = 0;
+  bool proven_optimal = false;
+};
+
+/// Requires a validated graph and a feasible time range (kInfeasible
+/// otherwise, like the heuristics).
+[[nodiscard]] StatusOr<ExactResult> ScheduleBlockExact(
+    const Block& block, const ResourceLibrary& lib,
+    const ExactOptions& options = {});
+
+}  // namespace mshls

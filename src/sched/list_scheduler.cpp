@@ -1,0 +1,197 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "sched/time_frames.h"
+
+namespace mshls {
+namespace {
+
+/// Occupancy tracker: per type, per step, how many instances are busy.
+class BusyTable {
+ public:
+  BusyTable(std::size_t types, std::size_t horizon)
+      : horizon_(horizon), busy_(types, std::vector<int>(horizon, 0)) {}
+
+  [[nodiscard]] bool CanIssue(ResourceTypeId type, int start, int dii,
+                              int limit) const {
+    for (int t = start; t < start + dii; ++t) {
+      if (static_cast<std::size_t>(t) >= horizon_) return false;
+      if (busy_[type.index()][static_cast<std::size_t>(t)] + 1 > limit)
+        return false;
+    }
+    return true;
+  }
+
+  void Issue(ResourceTypeId type, int start, int dii) {
+    for (int t = start; t < start + dii; ++t)
+      ++busy_[type.index()][static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] int MaxBusy(ResourceTypeId type) const {
+    int m = 0;
+    for (int v : busy_[type.index()]) m = std::max(m, v);
+    return m;
+  }
+
+ private:
+  std::size_t horizon_;
+  std::vector<std::vector<int>> busy_;
+};
+
+}  // namespace
+
+StatusOr<ListScheduleResult> ListScheduleResourceConstrained(
+    const Block& block, const ResourceLibrary& lib,
+    const std::vector<int>& limits) {
+  const DataFlowGraph& g = block.graph;
+  assert(g.validated());
+  const DelayFn delay = [&](OpId op) {
+    return lib.type(g.op(op).type).delay;
+  };
+
+  // Priorities from an unconstrained ALAP against the block range; ops that
+  // would miss the range under no contention still get scheduled (length may
+  // exceed time_range; the caller decides whether that is acceptable).
+  // Horizon: worst case fully serial execution.
+  int horizon = 0;
+  for (const Operation& op : g.ops()) horizon += lib.type(op.type).delay;
+  horizon = std::max(horizon, block.time_range) + 1;
+
+  auto frames_or = TimeFrameSet::Compute(g, delay, horizon);
+  if (!frames_or.ok()) return frames_or.status();
+  const TimeFrameSet& frames = frames_or.value();
+
+  auto limit_of = [&](ResourceTypeId type) {
+    if (type.index() >= limits.size()) return std::numeric_limits<int>::max();
+    return limits[type.index()] <= 0 ? std::numeric_limits<int>::max()
+                                     : limits[type.index()];
+  };
+
+  BlockSchedule schedule(g.op_count());
+  BusyTable busy(lib.size(), static_cast<std::size_t>(horizon));
+  std::vector<int> unscheduled_preds(g.op_count(), 0);
+  for (const Operation& op : g.ops())
+    unscheduled_preds[op.id.index()] =
+        static_cast<int>(g.preds(op.id).size());
+  std::vector<int> earliest(g.op_count(), 0);
+
+  std::vector<OpId> ready;
+  for (const Operation& op : g.ops())
+    if (unscheduled_preds[op.id.index()] == 0) ready.push_back(op.id);
+
+  int scheduled = 0;
+  int length = 0;
+  for (int cycle = 0; scheduled < static_cast<int>(g.op_count()); ++cycle) {
+    if (cycle >= horizon)
+      return Status{StatusCode::kInternal,
+                    "list scheduler exceeded its horizon"};
+    // Least-slack-first among ops whose data is ready this cycle.
+    std::vector<OpId> candidates;
+    for (OpId id : ready)
+      if (earliest[id.index()] <= cycle) candidates.push_back(id);
+    std::sort(candidates.begin(), candidates.end(), [&](OpId a, OpId b) {
+      const int sa = frames.frame(a).alap;
+      const int sb = frames.frame(b).alap;
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+    for (OpId id : candidates) {
+      const ResourceType& rt = lib.type(g.op(id).type);
+      if (!busy.CanIssue(rt.id, cycle, rt.dii, limit_of(rt.id))) continue;
+      busy.Issue(rt.id, cycle, rt.dii);
+      schedule.set_start(id, cycle);
+      length = std::max(length, cycle + rt.delay);
+      ++scheduled;
+      ready.erase(std::find(ready.begin(), ready.end(), id));
+      for (OpId s : g.succs(id)) {
+        earliest[s.index()] =
+            std::max(earliest[s.index()], cycle + rt.delay);
+        if (--unscheduled_preds[s.index()] == 0) ready.push_back(s);
+      }
+    }
+  }
+
+  ListScheduleResult result;
+  result.schedule = std::move(schedule);
+  result.length = length;
+  result.usage.assign(lib.size(), 0);
+  for (const ResourceType& t : lib.types())
+    result.usage[t.id.index()] = busy.MaxBusy(t.id);
+  return result;
+}
+
+StatusOr<TimeConstrainedResult> ListScheduleTimeConstrained(
+    const Block& block, const ResourceLibrary& lib) {
+  const DataFlowGraph& g = block.graph;
+  assert(g.validated());
+
+  std::vector<int> used_types(lib.size(), 0);
+  for (const Operation& op : g.ops()) used_types[op.type.index()] = 1;
+
+  std::vector<int> alloc(lib.size(), 0);
+  for (std::size_t i = 0; i < lib.size(); ++i)
+    if (used_types[i]) alloc[i] = 1;
+
+  // Grow one instance per round, each time picking the type whose extra
+  // instance shortens the schedule the most (ties: cheaper area, then
+  // lower id). Allocation of a type is capped at its op count, so the loop
+  // is bounded by the total op count; the all-parallel allocation
+  // reproduces unconstrained ASAP = critical path <= range (guaranteed by
+  // model validation), so the loop always terminates with a result.
+  std::vector<int> ops_of_type(lib.size(), 0);
+  for (const Operation& op : g.ops()) ++ops_of_type[op.type.index()];
+
+  for (;;) {
+    auto res_or = ListScheduleResourceConstrained(block, lib, alloc);
+    if (!res_or.ok()) return res_or.status();
+    ListScheduleResult& res = res_or.value();
+    if (res.length <= block.time_range) {
+      TimeConstrainedResult out;
+      out.schedule = std::move(res.schedule);
+      out.allocation = std::move(res.usage);  // trim to what was used
+      out.length = res.length;
+      return out;
+    }
+
+    std::size_t best = lib.size();
+    int best_length = res.length;
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+      if (!used_types[i] || alloc[i] >= ops_of_type[i]) continue;
+      ++alloc[i];
+      auto trial_or = ListScheduleResourceConstrained(block, lib, alloc);
+      --alloc[i];
+      if (!trial_or.ok()) return trial_or.status();
+      const int len = trial_or.value().length;
+      const bool better =
+          best == lib.size()
+              ? len < res.length
+              : (len < best_length ||
+                 (len == best_length &&
+                  lib.types()[i].area < lib.types()[best].area));
+      if (better) {
+        best = i;
+        best_length = len;
+      }
+    }
+    if (best == lib.size()) {
+      // No single increment helps; grow the cheapest still-growable type
+      // to make progress towards the all-parallel allocation.
+      for (std::size_t i = 0; i < lib.size(); ++i) {
+        if (!used_types[i] || alloc[i] >= ops_of_type[i]) continue;
+        if (best == lib.size() ||
+            lib.types()[i].area < lib.types()[best].area)
+          best = i;
+      }
+    }
+    if (best == lib.size())
+      return Status{StatusCode::kInfeasible,
+                    "block '" + block.name +
+                        "' cannot meet its time range by adding resources"};
+    ++alloc[best];
+  }
+}
+
+}  // namespace mshls

@@ -1,0 +1,48 @@
+// List-scheduling baselines (paper §1.1: "common static scheduling
+// algorithms ... assign a control step to each operation of a block").
+//
+// Two classic variants are provided:
+//  * resource constrained: instance limits per type -> shortest schedule the
+//    greedy priority rule finds (priority = least ALAP slack first);
+//  * time constrained: deadline -> a small allocation meeting it, found by
+//    starting from one instance per used type and growing the type with the
+//    highest pressure until the deadline is met.
+//
+// They serve as the non-force-directed comparison point of bench A3 and as
+// an independent feasibility oracle in tests.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/system_model.h"
+#include "sched/schedule.h"
+
+namespace mshls {
+
+struct ListScheduleResult {
+  BlockSchedule schedule;
+  int length = 0;
+  /// Instance count per resource type id actually used at some step.
+  std::vector<int> usage;
+};
+
+/// Schedules `block` under `limits` (instances per type id; types beyond the
+/// vector are unconstrained). Delay/occupancy are taken from `lib`.
+[[nodiscard]] StatusOr<ListScheduleResult> ListScheduleResourceConstrained(
+    const Block& block, const ResourceLibrary& lib,
+    const std::vector<int>& limits);
+
+struct TimeConstrainedResult {
+  BlockSchedule schedule;
+  std::vector<int> allocation;  // instances per type id
+  int length = 0;
+};
+
+/// Finds an allocation meeting block.time_range and the schedule that
+/// proves it. Fails with kInfeasible only if even unconstrained ASAP does
+/// not fit (i.e. model validation was skipped).
+[[nodiscard]] StatusOr<TimeConstrainedResult> ListScheduleTimeConstrained(
+    const Block& block, const ResourceLibrary& lib);
+
+}  // namespace mshls

@@ -1,0 +1,79 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+namespace mshls {
+
+bool BlockSchedule::Complete() const {
+  return std::all_of(start_.begin(), start_.end(),
+                     [](int s) { return s >= 0; });
+}
+
+int BlockSchedule::Length(const DataFlowGraph& graph,
+                          const DelayFn& delay) const {
+  int len = 0;
+  for (const Operation& op : graph.ops()) {
+    const int s = start_[op.id.index()];
+    if (s >= 0) len = std::max(len, s + delay(op.id));
+  }
+  return len;
+}
+
+Status ValidateBlockSchedule(const Block& block, const DelayFn& delay,
+                             const BlockSchedule& schedule) {
+  const DataFlowGraph& g = block.graph;
+  if (schedule.size() != g.op_count())
+    return {StatusCode::kInvalidArgument,
+            "schedule size does not match block '" + block.name + "'"};
+  for (const Operation& op : g.ops()) {
+    const int s = schedule.start(op.id);
+    if (s < 0)
+      return {StatusCode::kFailedPrecondition,
+              "op " + std::to_string(op.id.value()) + " in block '" +
+                  block.name + "' is unscheduled"};
+    if (s + delay(op.id) > block.time_range)
+      return {StatusCode::kInvalidArgument,
+              "op " + std::to_string(op.id.value()) + " in block '" +
+                  block.name + "' finishes after the time range"};
+  }
+  for (const Edge& e : g.edges()) {
+    const int from_end = schedule.start(e.from) + delay(e.from);
+    if (schedule.start(e.to) < from_end)
+      return {StatusCode::kInvalidArgument,
+              "precedence violation " + std::to_string(e.from.value()) +
+                  " -> " + std::to_string(e.to.value()) + " in block '" +
+                  block.name + "'"};
+  }
+  return Status::Ok();
+}
+
+int OccupancyAt(const Block& block, const ResourceLibrary& lib,
+                const BlockSchedule& schedule, ResourceTypeId type, int t) {
+  int count = 0;
+  for (const Operation& op : block.graph.ops()) {
+    if (op.type != type) continue;
+    const int s = schedule.start(op.id);
+    if (s < 0) continue;
+    const int dii = lib.type(type).dii;
+    if (s <= t && t < s + dii) ++count;
+  }
+  return count;
+}
+
+std::vector<int> OccupancyProfile(const Block& block,
+                                  const ResourceLibrary& lib,
+                                  const BlockSchedule& schedule,
+                                  ResourceTypeId type) {
+  std::vector<int> profile(static_cast<std::size_t>(block.time_range), 0);
+  const int dii = lib.type(type).dii;
+  for (const Operation& op : block.graph.ops()) {
+    if (op.type != type) continue;
+    const int s = schedule.start(op.id);
+    if (s < 0) continue;
+    for (int t = s; t < s + dii && t < block.time_range; ++t)
+      ++profile[static_cast<std::size_t>(t)];
+  }
+  return profile;
+}
+
+}  // namespace mshls

@@ -1,0 +1,61 @@
+// Schedule containers and block-level validation.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "model/system_model.h"
+
+namespace mshls {
+
+/// Start step per operation of one block; -1 = unscheduled.
+class BlockSchedule {
+ public:
+  BlockSchedule() = default;
+  explicit BlockSchedule(std::size_t op_count) : start_(op_count, -1) {}
+
+  [[nodiscard]] int start(OpId op) const { return start_[op.index()]; }
+  void set_start(OpId op, int step) { start_[op.index()] = step; }
+  [[nodiscard]] std::size_t size() const { return start_.size(); }
+  [[nodiscard]] bool Complete() const;
+
+  /// Schedule length: max over ops of start + delay.
+  [[nodiscard]] int Length(const DataFlowGraph& graph,
+                           const DelayFn& delay) const;
+
+ private:
+  std::vector<int> start_;
+};
+
+/// Per-block schedules for a whole system, indexed by BlockId.
+struct SystemSchedule {
+  std::vector<BlockSchedule> blocks;
+
+  [[nodiscard]] const BlockSchedule& of(BlockId b) const {
+    return blocks[b.index()];
+  }
+  [[nodiscard]] BlockSchedule& of(BlockId b) { return blocks[b.index()]; }
+};
+
+/// Checks that a block schedule is complete, within [0, time_range) and
+/// respects every precedence edge. Resource legality is checked separately
+/// (it depends on the allocation and, for global types, on the modulo
+/// authorization model — see modulo/allocation.h).
+[[nodiscard]] Status ValidateBlockSchedule(const Block& block,
+                                           const DelayFn& delay,
+                                           const BlockSchedule& schedule);
+
+/// Number of ops of `type` in `block` occupying their resource at relative
+/// step t (start <= t < start + dii) under `schedule`.
+[[nodiscard]] int OccupancyAt(const Block& block, const ResourceLibrary& lib,
+                              const BlockSchedule& schedule,
+                              ResourceTypeId type, int t);
+
+/// Occupancy profile over the whole time range of the block.
+[[nodiscard]] std::vector<int> OccupancyProfile(const Block& block,
+                                                const ResourceLibrary& lib,
+                                                const BlockSchedule& schedule,
+                                                ResourceTypeId type);
+
+}  // namespace mshls

@@ -1,0 +1,80 @@
+#include "sched/time_frames.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mshls {
+
+StatusOr<TimeFrameSet> TimeFrameSet::Compute(const DataFlowGraph& graph,
+                                             const DelayFn& delay,
+                                             int time_range) {
+  assert(graph.validated());
+  TimeFrameSet set;
+  set.frames_.assign(graph.op_count(), TimeFrame{});
+  for (const Operation& op : graph.ops()) {
+    const int d = delay(op.id);
+    if (d < 1)
+      return Status{StatusCode::kInvalidArgument,
+                    "non-positive delay for op " + std::to_string(
+                        op.id.value())};
+    const int latest = time_range - d;
+    if (latest < 0)
+      return Status{StatusCode::kInfeasible,
+                    "op " + std::to_string(op.id.value()) +
+                        " cannot finish within the time range"};
+    set.frames_[op.id.index()] = TimeFrame{0, latest};
+  }
+  if (Status s = set.Propagate(graph, delay); !s.ok()) return s;
+  return set;
+}
+
+Status TimeFrameSet::Propagate(const DataFlowGraph& graph,
+                               const DelayFn& delay) {
+  // Forward pass: tighten ASAP from predecessors.
+  for (OpId id : graph.topological_order()) {
+    TimeFrame& f = frames_[id.index()];
+    for (OpId p : graph.preds(id)) {
+      const TimeFrame& pf = frames_[p.index()];
+      f.asap = std::max(f.asap, pf.asap + delay(p));
+    }
+    if (f.asap > f.alap)
+      return {StatusCode::kInfeasible,
+              "empty time frame for op " + std::to_string(id.value())};
+  }
+  // Backward pass: tighten ALAP from successors.
+  const auto topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const OpId id = *it;
+    TimeFrame& f = frames_[id.index()];
+    const int d = delay(id);
+    for (OpId s : graph.succs(id)) {
+      const TimeFrame& sf = frames_[s.index()];
+      f.alap = std::min(f.alap, sf.alap - d);
+    }
+    if (f.asap > f.alap)
+      return {StatusCode::kInfeasible,
+              "empty time frame for op " + std::to_string(id.value())};
+  }
+  return Status::Ok();
+}
+
+Status TimeFrameSet::Narrow(const DataFlowGraph& graph, const DelayFn& delay,
+                            OpId op, TimeFrame next) {
+  TimeFrame& f = frames_[op.index()];
+  assert(next.asap >= f.asap && next.alap <= f.alap && next.asap <= next.alap);
+  f = next;
+  return Propagate(graph, delay);
+}
+
+bool TimeFrameSet::AllFixed() const {
+  return std::all_of(frames_.begin(), frames_.end(),
+                     [](const TimeFrame& f) { return f.fixed(); });
+}
+
+int TimeFrameSet::TotalSlack() const {
+  int total = 0;
+  for (const TimeFrame& f : frames_) total += f.width() - 1;
+  return total;
+}
+
+}  // namespace mshls

@@ -1,0 +1,63 @@
+// ASAP/ALAP time frames — the state a force-directed scheduler iterates on.
+//
+// A frame [asap, alap] holds the feasible *start* steps of an operation under
+// the precedence constraints, the block time range, and any narrowing the
+// scheduler has committed so far. The probability model of FDS (paper §4.1)
+// is uniform over the frame.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "dfg/graph.h"
+
+namespace mshls {
+
+struct TimeFrame {
+  int asap = 0;
+  int alap = 0;
+  [[nodiscard]] int width() const { return alap - asap + 1; }
+  [[nodiscard]] bool fixed() const { return asap == alap; }
+  [[nodiscard]] bool contains(int t) const { return asap <= t && t <= alap; }
+  friend bool operator==(const TimeFrame&, const TimeFrame&) = default;
+};
+
+class TimeFrameSet {
+ public:
+  /// Computes initial frames for `graph` in time range [0, time_range).
+  /// An op must finish inside the range: start <= time_range - delay(op).
+  /// Fails with kInfeasible if the critical path does not fit.
+  [[nodiscard]] static StatusOr<TimeFrameSet> Compute(
+      const DataFlowGraph& graph, const DelayFn& delay, int time_range);
+
+  [[nodiscard]] const TimeFrame& frame(OpId op) const {
+    return frames_[op.index()];
+  }
+  [[nodiscard]] std::span<const TimeFrame> frames() const { return frames_; }
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+
+  /// Narrows one frame (caller guarantees new [asap,alap] ⊆ old frame and
+  /// asap <= alap) and transitively re-propagates precedence constraints
+  /// through the graph. Returns kInfeasible if some frame becomes empty —
+  /// in that case the set is left in an unspecified state and must be
+  /// discarded (force-directed callers only apply reductions that are known
+  /// feasible, so this is a programming-error guard, not a control path).
+  [[nodiscard]] Status Narrow(const DataFlowGraph& graph, const DelayFn& delay,
+                              OpId op, TimeFrame next);
+
+  [[nodiscard]] bool AllFixed() const;
+
+  /// Sum over ops of (width - 1): the number of single-step reductions an
+  /// IFDS run still needs — its remaining iteration count.
+  [[nodiscard]] int TotalSlack() const;
+
+ private:
+  [[nodiscard]] Status Propagate(const DataFlowGraph& graph,
+                                 const DelayFn& delay);
+
+  std::vector<TimeFrame> frames_;
+};
+
+}  // namespace mshls

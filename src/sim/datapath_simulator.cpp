@@ -1,0 +1,198 @@
+#include "sim/datapath_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/math_util.h"
+#include "sim/op_semantics.h"
+#include "sim/value_executor.h"
+
+namespace mshls {
+namespace {
+
+/// Owner process (user index) of pool instance `index` at residue `tau`
+/// under the authorization prefix partition; -1 if the instance is idle.
+int PoolOwnerAt(const GlobalTypeAllocation& pool, int tau, int index) {
+  int prefix = 0;
+  for (std::size_t u = 0; u < pool.users.size(); ++u) {
+    const int count = pool.authorization[u][static_cast<std::size_t>(tau)];
+    if (index >= prefix && index < prefix + count) return static_cast<int>(u);
+    prefix += count;
+  }
+  return -1;
+}
+
+}  // namespace
+
+DatapathSimulator::DatapathSimulator(const SystemModel& model,
+                                     const SystemSchedule& schedule,
+                                     const Allocation& allocation,
+                                     const SystemBinding& binding)
+    : model_(model),
+      schedule_(schedule),
+      allocation_(allocation),
+      binding_(binding) {}
+
+DatapathReport DatapathSimulator::Run(
+    const std::vector<DatapathActivation>& trace,
+    const DatapathOptions& options) const {
+  const ResourceLibrary& lib = model_.library();
+  DatapathReport report;
+
+  // Per-block register allocations (cache by block id).
+  std::vector<BlockRegisterAllocation> regalloc(model_.block_count());
+  std::vector<int> proc_regs(model_.process_count(), 0);
+  for (const Block& b : model_.blocks()) {
+    regalloc[b.id.index()] = AllocateRegisters(
+        ComputeLifetimes(b, lib, schedule_.of(b.id)));
+    proc_regs[b.process.index()] =
+        std::max(proc_regs[b.process.index()],
+                 regalloc[b.id.index()].register_count);
+  }
+
+  // Reference values per activation (inputs vary with the activation
+  // index so cross-activation leakage cannot cancel out).
+  struct ActState {
+    std::uint64_t seed = 0;
+    std::vector<std::int64_t> reference;
+    std::vector<std::int64_t> captured;
+  };
+  std::vector<ActState> acts(trace.size());
+  std::int64_t horizon = 0;
+  for (std::size_t a = 0; a < trace.size(); ++a) {
+    const Block& b = model_.block(trace[a].block);
+    assert(trace[a].start >= 0);
+    acts[a].seed = options.input_seed * 1000003ULL + a;
+    ValueExecOptions exec;
+    exec.input_seed = acts[a].seed;
+    acts[a].reference = EvaluateGraph(b, lib, exec);
+    acts[a].captured.assign(b.graph.op_count(), 0);
+    horizon = std::max(horizon, trace[a].start + b.time_range);
+  }
+  report.cycles = horizon;
+
+  // Register files per process: value + (activation, producer) tag.
+  struct RegState {
+    std::int64_t value = 0;
+    long act = -1;
+    OpId owner = OpId::invalid();
+  };
+  std::vector<std::vector<RegState>> regfile(model_.process_count());
+  for (std::size_t p = 0; p < regfile.size(); ++p)
+    regfile[p].assign(static_cast<std::size_t>(proc_regs[p]), RegState{});
+
+  // Instance occupancy for hardware-conflict detection.
+  std::vector<std::int64_t> busy_until(binding_.instances.size(), 0);
+
+  auto fail = [&](std::string message) {
+    report.ok = false;
+    report.mismatch = std::move(message);
+    return report;
+  };
+
+  // Event-driven over activations sorted by start would be nicer; the
+  // horizon loop keeps the mux/conflict logic literal and is fast enough.
+  for (std::int64_t t = 0; t < horizon; ++t) {
+    // Issues this cycle.
+    for (std::size_t a = 0; a < trace.size(); ++a) {
+      const Block& b = model_.block(trace[a].block);
+      const std::int64_t rel64 = t - trace[a].start;
+      if (rel64 < 0 || rel64 >= b.time_range) continue;
+      const int rel = static_cast<int>(rel64);
+      const BlockSchedule& sched = schedule_.of(trace[a].block);
+      for (const Operation& op : b.graph.ops()) {
+        if (sched.start(op.id) != rel) continue;
+        const InstanceId inst = binding_.of(trace[a].block, op.id);
+        const InstanceInfo& info = binding_.info(inst);
+        const ResourceType& rt = lib.type(op.type);
+
+        // Hardware conflict: the unit must be free.
+        if (busy_until[inst.index()] > t)
+          return fail("instance '" + info.name +
+                      "' driven twice at t=" + std::to_string(t));
+        busy_until[inst.index()] = t + rt.dii;
+
+        // Mux ownership for pool instances, over the whole occupancy.
+        if (info.global) {
+          const GlobalTypeAllocation* pool = allocation_.FindGlobal(op.type);
+          assert(pool != nullptr);
+          for (int k = 0; k < rt.dii; ++k) {
+            const int tau =
+                static_cast<int>(FlooredMod(t + k, pool->period));
+            const int owner = PoolOwnerAt(*pool, tau, info.local_index);
+            if (owner < 0 || pool->users[static_cast<std::size_t>(owner)] !=
+                                 b.process)
+              return fail("process '" + model_.process(b.process).name +
+                          "' drives pool instance '" + info.name +
+                          "' at residue " + std::to_string(tau) +
+                          " owned by " +
+                          (owner < 0 ? "nobody"
+                                     : "'" + model_.process(
+                                           pool->users[static_cast<
+                                               std::size_t>(owner)]).name +
+                                           "'") +
+                          " (mux conflict at t=" + std::to_string(t) + ")");
+          }
+          ++report.shared_issues;
+        }
+
+        // Operand reads from the process register file.
+        std::vector<std::int64_t> operands;
+        for (OpId pred : b.graph.preds(op.id)) {
+          const RegisterId r =
+              regalloc[trace[a].block.index()].reg_of[pred.index()];
+          const RegState& state = regfile[b.process.index()][r.index()];
+          if (state.act != static_cast<long>(a) || state.owner != pred)
+            return fail("activation " + std::to_string(a) + " op " +
+                        std::to_string(op.id.value()) +
+                        " reads a stale register at t=" + std::to_string(t));
+          operands.push_back(state.value);
+        }
+        acts[a].captured[op.id.index()] =
+            EvaluateOpValue(b, lib, operands, op.id, acts[a].seed);
+      }
+    }
+
+    // End-of-cycle write-backs (result latched delay-1 cycles after
+    // issue, matching the RTL pipeline).
+    for (std::size_t a = 0; a < trace.size(); ++a) {
+      const Block& b = model_.block(trace[a].block);
+      const std::int64_t rel64 = t - trace[a].start;
+      if (rel64 < 0 || rel64 >= b.time_range) continue;
+      const int rel = static_cast<int>(rel64);
+      const BlockSchedule& sched = schedule_.of(trace[a].block);
+      for (const Operation& op : b.graph.ops()) {
+        if (sched.start(op.id) + lib.type(op.type).delay - 1 != rel)
+          continue;
+        const RegisterId r =
+            regalloc[trace[a].block.index()].reg_of[op.id.index()];
+        regfile[b.process.index()][r.index()] =
+            RegState{acts[a].captured[op.id.index()],
+                     static_cast<long>(a), op.id};
+      }
+    }
+
+    // Completed activations: compare against the reference.
+    for (std::size_t a = 0; a < trace.size(); ++a) {
+      const Block& b = model_.block(trace[a].block);
+      if (trace[a].start + b.time_range - 1 != t) continue;
+      for (const Operation& op : b.graph.ops()) {
+        if (acts[a].captured[op.id.index()] !=
+            acts[a].reference[op.id.index()])
+          return fail("activation " + std::to_string(a) + " ('" + b.name +
+                      "'): op " + std::to_string(op.id.value()) +
+                      " produced " +
+                      std::to_string(acts[a].captured[op.id.index()]) +
+                      ", reference " +
+                      std::to_string(acts[a].reference[op.id.index()]));
+      }
+      ++report.activations_checked;
+    }
+  }
+
+  report.ok = true;
+  return report;
+}
+
+}  // namespace mshls

@@ -1,0 +1,42 @@
+#include "sim/op_semantics.h"
+
+#include "common/rng.h"
+
+namespace mshls {
+
+std::int64_t ApplyOpSemantics(const std::string& op_name, std::int64_t a,
+                              std::int64_t b) {
+  if (op_name == "add") return a + b;
+  if (op_name == "sub") return a - b;
+  if (op_name == "mult" || op_name == "mul") return a * b;
+  if (op_name == "div") return b == 0 ? 0 : a / b;
+  if (op_name == "cmp") return a < b ? 1 : 0;
+  return a + b;
+}
+
+std::int64_t SynthesizedInput(std::uint64_t seed, OpId op, std::size_t k) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(op.value()) * 0x9E37u + k));
+  // Small values keep products within int64 for graphs of modest depth.
+  return rng.NextInt(1, 9);
+}
+
+std::int64_t EvaluateOpValue(const Block& block, const ResourceLibrary& lib,
+                             std::span<const std::int64_t> operand_values,
+                             OpId op, std::uint64_t seed) {
+  const std::string& name = lib.type(block.graph.op(op).type).name;
+  const auto preds = block.graph.preds(op);
+  std::int64_t acc;
+  if (preds.empty()) {
+    acc = SynthesizedInput(seed, op, 0);
+    acc = ApplyOpSemantics(name, acc, SynthesizedInput(seed, op, 1));
+    return acc;
+  }
+  acc = operand_values[0];
+  for (std::size_t k = 1; k < operand_values.size(); ++k)
+    acc = ApplyOpSemantics(name, acc, operand_values[k]);
+  if (preds.size() == 1)  // second operand is a block input
+    acc = ApplyOpSemantics(name, acc, SynthesizedInput(seed, op, 1));
+  return acc;
+}
+
+}  // namespace mshls

@@ -1,0 +1,32 @@
+// Integer value semantics of operations, shared by the value executor and
+// the datapath simulator: add (+), sub (-), mult/mul (*), div (/ with
+// x/0 = 0), cmp (<), anything else falls back to +. Operand lists fold
+// left; missing operands (block inputs) are synthesized deterministically
+// from a seed so reference and execution always agree on the stimulus.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/system_model.h"
+
+namespace mshls {
+
+[[nodiscard]] std::int64_t ApplyOpSemantics(const std::string& op_name,
+                                            std::int64_t a, std::int64_t b);
+
+/// Deterministic synthesized input for operand slot `k` of `op`.
+[[nodiscard]] std::int64_t SynthesizedInput(std::uint64_t seed, OpId op,
+                                            std::size_t k);
+
+/// Value of `op` given the values of its predecessors (in pred order).
+/// Ops with fewer than two predecessors consume synthesized inputs for
+/// the missing slots.
+[[nodiscard]] std::int64_t EvaluateOpValue(
+    const Block& block, const ResourceLibrary& lib,
+    std::span<const std::int64_t> operand_values, OpId op,
+    std::uint64_t seed);
+
+}  // namespace mshls

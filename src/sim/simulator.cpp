@@ -1,0 +1,185 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math_util.h"
+#include "modulo/modulo_map.h"
+
+namespace mshls {
+namespace {
+
+std::string TimedDetail(const std::string& what, std::int64_t t) {
+  return what + " at t=" + std::to_string(t);
+}
+
+}  // namespace
+
+SystemSimulator::SystemSimulator(const SystemModel& model,
+                                 const SystemSchedule& schedule,
+                                 const Allocation& allocation)
+    : model_(model), schedule_(schedule), allocation_(allocation) {}
+
+SimReport SystemSimulator::Run(const std::vector<Activation>& trace,
+                               int max_violations) const {
+  const ResourceLibrary& lib = model_.library();
+  SimReport report;
+  auto add_violation = [&](SimViolationKind kind, std::int64_t t,
+                           std::string detail) {
+    if (max_violations > 0 &&
+        static_cast<int>(report.violations.size()) >= max_violations)
+      return;
+    report.violations.push_back(SimViolation{kind, t, std::move(detail)});
+  };
+
+  // Horizon.
+  std::int64_t horizon = 0;
+  for (const Activation& a : trace) {
+    assert(a.start >= 0 && "activations must not start before t=0");
+    horizon = std::max(horizon,
+                       a.start + model_.block(a.block).time_range);
+  }
+  report.horizon = horizon;
+
+  // Trace legality: grid alignment and per-process overlap.
+  for (const Activation& a : trace) {
+    const Block& b = model_.block(a.block);
+    const std::int64_t grid = model_.GridSpacing(b.process);
+    if (grid > 1 && FlooredMod(a.start, grid) != b.phase % grid) {
+      add_violation(SimViolationKind::kGridMisaligned, a.start,
+                    TimedDetail("block '" + b.name + "' starts off-grid " +
+                                    "(grid " + std::to_string(grid) + ")",
+                                a.start));
+    }
+  }
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Block& bi = model_.block(trace[i].block);
+    for (std::size_t j = i + 1; j < trace.size(); ++j) {
+      const Block& bj = model_.block(trace[j].block);
+      if (bi.process != bj.process) continue;
+      const std::int64_t ei = trace[i].start + bi.time_range;
+      const std::int64_t ej = trace[j].start + bj.time_range;
+      if (trace[i].start < ej && trace[j].start < ei) {
+        add_violation(
+            SimViolationKind::kProcessOverlap,
+            std::max(trace[i].start, trace[j].start),
+            "blocks '" + bi.name + "' and '" + bj.name +
+                "' of one process overlap (condition C2 violated)");
+      }
+    }
+  }
+
+  // Demand accumulation: demand[process][type][t].
+  const std::size_t nproc = model_.process_count();
+  const std::size_t ntype = lib.size();
+  std::vector<std::vector<std::vector<int>>> demand(
+      nproc, std::vector<std::vector<int>>(
+                 ntype, std::vector<int>(static_cast<std::size_t>(horizon),
+                                         0)));
+  for (const Activation& a : trace) {
+    const Block& b = model_.block(a.block);
+    const BlockSchedule& sched = schedule_.of(a.block);
+    for (const Operation& op : b.graph.ops()) {
+      const int s = sched.start(op.id);
+      const int dii = lib.type(op.type).dii;
+      for (int k = 0; k < dii; ++k) {
+        const std::int64_t t = a.start + s + k;
+        assert(t < horizon);
+        ++demand[b.process.index()][op.type.index()]
+                [static_cast<std::size_t>(t)];
+      }
+    }
+  }
+
+  // Resource checks, cycle by cycle.
+  report.stats.resize(ntype);
+  for (const ResourceType& rt : lib.types()) {
+    SimTypeStats& st = report.stats[rt.id.index()];
+    st.type = rt.id;
+    const GlobalTypeAllocation* pool = nullptr;
+    if (model_.is_global(rt.id)) pool = allocation_.FindGlobal(rt.id);
+
+    int total_instances = pool ? pool->instances : 0;
+    for (std::size_t p = 0; p < nproc; ++p)
+      total_instances += allocation_.local[p][rt.id.index()];
+    st.instances = total_instances;
+
+    for (std::int64_t t = 0; t < horizon; ++t) {
+      int group_demand = 0;
+      for (std::size_t p = 0; p < nproc; ++p) {
+        const int d = demand[p][rt.id.index()][static_cast<std::size_t>(t)];
+        if (d == 0) continue;
+        st.busy_instance_cycles += d;
+        const ProcessId pid{static_cast<int>(p)};
+        const bool via_pool = pool != nullptr && model_.InGroup(rt.id, pid);
+        if (via_pool) {
+          group_demand += d;
+          const int tau =
+              static_cast<int>(FlooredMod(t, pool->period));
+          // Find the authorization row of this process.
+          int allowed = 0;
+          for (std::size_t u = 0; u < pool->users.size(); ++u)
+            if (pool->users[u] == pid)
+              allowed = pool->authorization[u][static_cast<std::size_t>(tau)];
+          if (d > allowed) {
+            add_violation(
+                SimViolationKind::kAuthorizationExceeded, t,
+                "process '" + model_.process(pid).name + "' claims " +
+                    std::to_string(d) + " x '" + rt.name +
+                    "' but is authorized " + std::to_string(allowed) +
+                    " at residue " + std::to_string(tau));
+          }
+        } else {
+          if (d > allocation_.local[p][rt.id.index()]) {
+            add_violation(SimViolationKind::kLocalExceeded, t,
+                          "process '" + model_.process(pid).name +
+                              "' exceeds its local '" + rt.name +
+                              "' allocation");
+          }
+        }
+      }
+      if (pool != nullptr && group_demand > pool->instances) {
+        add_violation(SimViolationKind::kPoolOversubscribed, t,
+                      "global pool '" + rt.name + "' demand " +
+                          std::to_string(group_demand) + " exceeds " +
+                          std::to_string(pool->instances) + " instances");
+      }
+    }
+    st.utilization =
+        (horizon > 0 && st.instances > 0)
+            ? static_cast<double>(st.busy_instance_cycles) /
+                  (static_cast<double>(st.instances) *
+                   static_cast<double>(horizon))
+            : 0.0;
+  }
+
+  report.ok = report.violations.empty();
+  return report;
+}
+
+std::vector<Activation> RandomActivationTrace(const SystemModel& model,
+                                              const TraceOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Activation> trace;
+  for (const Process& p : model.processes()) {
+    const std::int64_t grid = model.GridSpacing(p.id);
+    std::int64_t next_free = 0;
+    for (int i = 0; i < options.activations_per_process; ++i) {
+      for (BlockId bid : p.blocks) {
+        const Block& b = model.block(bid);
+        // First grid-aligned start with the block's phase at or after
+        // next_free, plus a random whole-grid gap.
+        const std::int64_t gap =
+            grid * rng.NextInt(0, options.max_gap_units);
+        std::int64_t start = next_free + gap;
+        const std::int64_t mis = FlooredMod(start - b.phase, grid);
+        if (mis != 0) start += grid - mis;
+        trace.push_back(Activation{bid, start});
+        next_free = start + b.time_range;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace mshls

@@ -1,0 +1,127 @@
+#include "sim/value_executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/op_semantics.h"
+
+namespace mshls {
+namespace {
+}  // namespace
+
+std::vector<std::int64_t> EvaluateGraph(const Block& block,
+                                        const ResourceLibrary& lib,
+                                        const ValueExecOptions& options) {
+  assert(block.graph.validated());
+  std::vector<std::int64_t> value(block.graph.op_count(), 0);
+  for (OpId op : block.graph.topological_order()) {
+    std::vector<std::int64_t> operands;
+    for (OpId p : block.graph.preds(op)) operands.push_back(value[p.index()]);
+    value[op.index()] =
+        EvaluateOpValue(block, lib, operands, op, options.input_seed);
+  }
+  return value;
+}
+
+ValueExecReport ExecuteBlockWithRegisters(
+    const Block& block, const ResourceLibrary& lib,
+    const BlockSchedule& schedule, const BlockRegisterAllocation& registers,
+    const ValueExecOptions& options) {
+  ValueExecReport report;
+  report.reference = EvaluateGraph(block, lib, options);
+  report.executed.assign(block.graph.op_count(), 0);
+
+  struct RegState {
+    std::int64_t value = 0;
+    OpId owner = OpId::invalid();  // producer whose value is held
+  };
+  std::vector<RegState> regs(
+      static_cast<std::size_t>(registers.register_count));
+
+  // Events per cycle.
+  const DataFlowGraph& g = block.graph;
+  std::vector<std::vector<OpId>> issue(static_cast<std::size_t>(
+      block.time_range));
+  // A unit finishing after `delay` cycles latches its destination register
+  // at the END of cycle start+delay-1 (matching the RTL write-back and the
+  // lifetime convention birth = start+delay).
+  std::vector<std::vector<OpId>> writeback(static_cast<std::size_t>(
+      block.time_range));
+  for (const Operation& op : g.ops()) {
+    const int s = schedule.start(op.id);
+    assert(s >= 0);
+    issue[static_cast<std::size_t>(s)].push_back(op.id);
+    writeback[static_cast<std::size_t>(s + lib.type(op.type).delay - 1)]
+        .push_back(op.id);
+  }
+  // In-flight operand captures: the unit latches operands at issue.
+  std::vector<std::int64_t> captured(g.op_count(), 0);
+
+  for (int cycle = 0; cycle < block.time_range; ++cycle) {
+    // Reads happen during the cycle, before end-of-cycle register writes
+    // (no transparent producer->consumer forwarding within one cycle —
+    // the schedule guarantees consumer.start >= producer start+delay, so
+    // the producer's write lands at the end of cycle start+delay-1 and is
+    // visible from cycle start+delay onward).
+    for (OpId op : issue[static_cast<std::size_t>(cycle)]) {
+      std::vector<std::int64_t> operands;
+      for (OpId p : g.preds(op)) {
+        const RegisterId r = registers.reg_of[p.index()];
+        const RegState& state = regs[r.index()];
+        if (state.owner != p) {
+          report.ok = false;
+          report.mismatch =
+              "op " + std::to_string(op.value()) + " reads register r" +
+              std::to_string(r.value()) + " expecting the value of op " +
+              std::to_string(p.value()) + " but it holds " +
+              (state.owner.valid()
+                   ? "op " + std::to_string(state.owner.value())
+                   : "nothing") +
+              " (live value clobbered)";
+          return report;
+        }
+        operands.push_back(state.value);
+      }
+      captured[op.index()] =
+          EvaluateOpValue(block, lib, operands, op, options.input_seed);
+    }
+    // End-of-cycle write-back of every op finishing now.
+    for (OpId op : writeback[static_cast<std::size_t>(cycle)]) {
+      report.executed[op.index()] = captured[op.index()];
+      const RegisterId r = registers.reg_of[op.index()];
+      regs[r.index()] = RegState{captured[op.index()], op};
+    }
+  }
+
+  for (const Operation& op : g.ops()) {
+    if (report.executed[op.id.index()] != report.reference[op.id.index()]) {
+      report.ok = false;
+      report.mismatch = "op " + std::to_string(op.id.value()) +
+                        " produced " +
+                        std::to_string(report.executed[op.id.index()]) +
+                        ", reference " +
+                        std::to_string(report.reference[op.id.index()]);
+      return report;
+    }
+  }
+  // Block outputs must still be observable in their registers at the end
+  // of the time range (a later value reusing a sink's register would have
+  // clobbered an output the environment reads after completion).
+  for (const Operation& op : g.ops()) {
+    if (!g.succs(op.id).empty()) continue;
+    const RegisterId r = registers.reg_of[op.id.index()];
+    const RegState& state = regs[r.index()];
+    if (state.owner != op.id) {
+      report.ok = false;
+      report.mismatch =
+          "block output of op " + std::to_string(op.id.value()) +
+          " clobbered in register r" + std::to_string(r.value()) +
+          " before the end of the block";
+      return report;
+    }
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace mshls

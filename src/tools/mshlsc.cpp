@@ -1,0 +1,275 @@
+// mshlsc — command-line driver for the whole flow.
+//
+//   mshlsc <design.hls> [options]
+//
+//   --search-periods       run step S2 automatically (default: use the
+//                          periods written in the source)
+//   --search-assignments   run step S1+S2 automatically (overrides any
+//                          share declarations in the source)
+//   --local                schedule with the traditional pure-local
+//                          assignment instead (comparison baseline)
+//   --table                print the Table-1 style allocation report
+//   --gantt                print per-block instance Gantt charts
+//   --dot <dir>            write one Graphviz file per block into <dir>
+//   --rtl <file>           write the Verilog netlist
+//   --json <file>          write schedule + allocation as JSON
+//   --simulate <n>         run n random grid-aligned activations per
+//                          process through the conflict simulator
+//   --seed <s>             seed for --simulate (default 1)
+//
+// Exit code 0 on success (including a conflict-free simulation), 1 on any
+// error or detected conflict.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bind/area_report.h"
+#include "bind/binding.h"
+#include "dfg/dot_export.h"
+#include "frontend/lowering.h"
+#include "modulo/assignment_search.h"
+#include "modulo/baseline.h"
+#include "modulo/coupled_scheduler.h"
+#include "modulo/period_search.h"
+#include "report/experiment_report.h"
+#include "report/gantt.h"
+#include "report/json_export.h"
+#include "rtl/verilog_gen.h"
+#include "sim/simulator.h"
+
+using namespace mshls;
+
+namespace {
+
+struct Args {
+  std::string input;
+  bool search_periods = false;
+  bool search_assignments = false;
+  bool local = false;
+  bool table = false;
+  bool gantt = false;
+  std::string dot_dir;
+  std::string rtl_file;
+  std::string json_file;
+  int simulate = 0;
+  std::uint64_t seed = 1;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <design.hls> [--search-periods] "
+               "[--search-assignments] [--local] [--table] [--gantt] "
+               "[--dot <dir>] [--rtl <file>] [--json <file>] [--simulate <n>] [--seed <s>]\n",
+               argv0);
+  return 1;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->input = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--search-periods") args->search_periods = true;
+    else if (flag == "--search-assignments") args->search_assignments = true;
+    else if (flag == "--local") args->local = true;
+    else if (flag == "--table") args->table = true;
+    else if (flag == "--gantt") args->gantt = true;
+    else if (flag == "--dot") {
+      const char* v = next();
+      if (!v) return false;
+      args->dot_dir = v;
+    } else if (flag == "--rtl") {
+      const char* v = next();
+      if (!v) return false;
+      args->rtl_file = v;
+    } else if (flag == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      args->json_file = v;
+    } else if (flag == "--simulate") {
+      const char* v = next();
+      if (!v) return false;
+      args->simulate = std::atoi(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  std::ifstream in(args.input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.input.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto model_or = CompileSystem(buf.str());
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.input.c_str(),
+                 model_or.status().ToString().c_str());
+    return 1;
+  }
+  SystemModel model = std::move(model_or).value();
+  std::printf("compiled %s: %zu process(es), %zu block(s), %zu resource "
+              "type(s)\n",
+              args.input.c_str(), model.process_count(), model.block_count(),
+              model.library().size());
+
+  // Schedule per the requested mode.
+  CoupledResult result;
+  if (args.local) {
+    auto run = ScheduleLocalBaseline(model, CoupledParams{});
+    if (!run.ok()) {
+      std::fprintf(stderr, "scheduling failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(run).value();
+    std::printf("mode: traditional pure-local scheduling\n");
+  } else if (args.search_assignments) {
+    auto search = SearchAssignments(model, CoupledParams{});
+    if (!search.ok()) {
+      std::fprintf(stderr, "assignment search failed: %s\n",
+                   search.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("assignment search: %ld combinations, best area %d\n",
+                search.value().combinations, search.value().area);
+    for (const AssignmentChoice& c : search.value().choices)
+      std::printf("  %-8s -> %s%s\n",
+                  model.library().type(c.type).name.c_str(),
+                  c.global ? "global, period " : "local",
+                  c.global ? std::to_string(c.period).c_str() : "");
+    result = std::move(search.value().best);
+  } else if (args.search_periods) {
+    auto search = SearchPeriods(model, CoupledParams{});
+    if (!search.ok()) {
+      std::fprintf(stderr, "period search failed: %s\n",
+                   search.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("period search: %ld combinations, %ld filtered (eq. 3), "
+                "%ld scheduled\n",
+                search.value().combinations, search.value().filtered_out,
+                search.value().evaluated);
+    result = std::move(search.value().best);
+  } else {
+    CoupledScheduler scheduler(model, CoupledParams{});
+    auto run = scheduler.Run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "scheduling failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(run).value();
+  }
+  std::printf("allocation: %s  (%d iterations)\n",
+              SummarizeAllocation(model, result.allocation).c_str(),
+              result.iterations);
+
+  if (args.table)
+    std::printf("\n%s", RenderTable1(model, result).c_str());
+
+  // Binding (needed by gantt/rtl).
+  auto binding = BindSystem(model, result.schedule, result.allocation);
+  if (!binding.ok()) {
+    std::fprintf(stderr, "binding failed: %s\n",
+                 binding.status().ToString().c_str());
+    return 1;
+  }
+  const AreaBreakdown area = ComputeAreaBreakdown(
+      model, result.schedule, result.allocation, binding.value());
+  std::printf("full area (FUs + registers + muxes): %.2f\n", area.total_area);
+
+  if (args.gantt) {
+    for (const Block& b : model.blocks())
+      std::printf("\n%s",
+                  RenderGantt(model, b.id, result.schedule, binding.value())
+                      .c_str());
+  }
+
+  if (!args.dot_dir.empty()) {
+    for (const Block& b : model.blocks()) {
+      DotOptions options;
+      options.type_label = [&](ResourceTypeId t) {
+        return model.library().type(t).name;
+      };
+      const BlockSchedule* sched = &result.schedule.of(b.id);
+      options.start_step = [sched](OpId op) { return sched->start(op); };
+      const std::string path = args.dot_dir + "/" + b.name + ".dot";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      out << ToDot(b.graph, b.name, options);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+
+  if (!args.rtl_file.empty()) {
+    auto design = GenerateRtl(model, result.schedule, result.allocation,
+                              binding.value());
+    if (!design.ok()) {
+      std::fprintf(stderr, "rtl failed: %s\n",
+                   design.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(args.rtl_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.rtl_file.c_str());
+      return 1;
+    }
+    out << design.value().source;
+    std::printf("wrote %s (%zu modules)\n", args.rtl_file.c_str(),
+                design.value().module_names.size());
+  }
+
+  if (!args.json_file.empty()) {
+    std::ofstream out(args.json_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_file.c_str());
+      return 1;
+    }
+    out << ResultToJson(model, result);
+    std::printf("wrote %s\n", args.json_file.c_str());
+  }
+
+  if (args.simulate > 0) {
+    SystemSimulator sim(model, result.schedule, result.allocation);
+    TraceOptions options;
+    options.seed = args.seed;
+    options.activations_per_process = args.simulate;
+    const auto trace = RandomActivationTrace(model, options);
+    const SimReport report = sim.Run(trace);
+    std::printf("simulated %zu activations over %lld cycles: %s\n",
+                trace.size(), static_cast<long long>(report.horizon),
+                report.ok ? "conflict-free" : "CONFLICTS");
+    if (!report.ok) {
+      for (const SimViolation& v : report.violations)
+        std::fprintf(stderr, "  t=%lld: %s\n",
+                     static_cast<long long>(v.time), v.detail.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,1206 @@
+#include "vsim/vsim.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+#include <optional>
+
+namespace mshls {
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+enum class VTok {
+  kIdent,
+  kNumber,
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kSemicolon, kComma, kDot, kHash, kColon, kQuestion, kAt,
+  kAssignEq,      // =
+  kNonBlocking,   // <=
+  kEqEq,          // ==
+  kLess,          // <
+  kNot,           // !
+  kAndAnd,        // &&
+  kOrOr,          // ||
+  kOr,            // |
+  kPlus, kMinus, kStar, kSlash,
+  kEof,
+};
+
+struct VToken {
+  VTok kind = VTok::kEof;
+  std::string text;
+  std::uint64_t number = 0;
+  int line = 0;
+};
+
+StatusOr<std::vector<VToken>> VTokenize(std::string_view src) {
+  std::vector<VToken> out;
+  int line = 1;
+  std::size_t i = 0;
+  auto push = [&](VTok kind, std::string text = {}, std::uint64_t num = 0) {
+    out.push_back(VToken{kind, std::move(text), num, line});
+  };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') { ++line; ++i; continue; }
+    if (c == ' ' || c == '\t' || c == '\r') { ++i; continue; }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '`') {  // compiler directive (`timescale ...): skip line
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) ||
+              src[j] == '_'))
+        ++j;
+      push(VTok::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // plain decimal, possibly a sized literal: 16'd0, 1'b0.
+      std::size_t j = i;
+      std::uint64_t value = 0;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(
+                                   src[j]))) {
+        value = value * 10 + static_cast<std::uint64_t>(src[j] - '0');
+        ++j;
+      }
+      if (j < src.size() && src[j] == '\'') {
+        ++j;  // size prefix consumed; parse base + digits
+        if (j >= src.size())
+          return Status{StatusCode::kParseError,
+                        "line " + std::to_string(line) +
+                            ": dangling literal base"};
+        const char base = src[j++];
+        std::uint64_t v = 0;
+        if (base == 'd') {
+          while (j < src.size() && std::isdigit(static_cast<unsigned char>(
+                                       src[j])))
+            v = v * 10 + static_cast<std::uint64_t>(src[j++] - '0');
+        } else if (base == 'b') {
+          while (j < src.size() && (src[j] == '0' || src[j] == '1'))
+            v = v * 2 + static_cast<std::uint64_t>(src[j++] - '0');
+        } else if (base == 'h') {
+          while (j < src.size() && std::isxdigit(static_cast<unsigned char>(
+                                       src[j]))) {
+            const char h = src[j++];
+            v = v * 16 + static_cast<std::uint64_t>(
+                             std::isdigit(static_cast<unsigned char>(h))
+                                 ? h - '0'
+                                 : std::tolower(h) - 'a' + 10);
+          }
+        } else {
+          return Status{StatusCode::kParseError,
+                        "line " + std::to_string(line) +
+                            ": unsupported literal base '" +
+                            std::string(1, base) + "'"};
+        }
+        push(VTok::kNumber, {}, v);
+      } else {
+        push(VTok::kNumber, {}, value);
+      }
+      i = j;
+      continue;
+    }
+    // multi-char operators
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two('<', '=')) { push(VTok::kNonBlocking); i += 2; continue; }
+    if (two('=', '=')) { push(VTok::kEqEq); i += 2; continue; }
+    if (two('&', '&')) { push(VTok::kAndAnd); i += 2; continue; }
+    if (two('|', '|')) { push(VTok::kOrOr); i += 2; continue; }
+    switch (c) {
+      case '(': push(VTok::kLParen); break;
+      case ')': push(VTok::kRParen); break;
+      case '[': push(VTok::kLBracket); break;
+      case ']': push(VTok::kRBracket); break;
+      case '{': push(VTok::kLBrace); break;
+      case '}': push(VTok::kRBrace); break;
+      case ';': push(VTok::kSemicolon); break;
+      case ',': push(VTok::kComma); break;
+      case '.': push(VTok::kDot); break;
+      case '#': push(VTok::kHash); break;
+      case ':': push(VTok::kColon); break;
+      case '?': push(VTok::kQuestion); break;
+      case '@': push(VTok::kAt); break;
+      case '=': push(VTok::kAssignEq); break;
+      case '<': push(VTok::kLess); break;
+      case '!': push(VTok::kNot); break;
+      case '|': push(VTok::kOr); break;
+      case '+': push(VTok::kPlus); break;
+      case '-': push(VTok::kMinus); break;
+      case '*': push(VTok::kStar); break;
+      case '/': push(VTok::kSlash); break;
+      default:
+        return Status{StatusCode::kParseError,
+                      "line " + std::to_string(line) +
+                          ": unexpected character '" + std::string(1, c) +
+                          "'"};
+    }
+    ++i;
+  }
+  out.push_back(VToken{VTok::kEof, {}, 0, line});
+  return out;
+}
+
+// ----------------------------------------------------------------- AST --
+
+struct VExpr;
+using VExprPtr = std::unique_ptr<VExpr>;
+
+struct VExpr {
+  enum class Kind { kConst, kIdent, kUnary, kBinary, kTernary, kConcat,
+                    kRepl };
+  Kind kind = Kind::kConst;
+  std::uint64_t value = 0;       // kConst
+  std::string ident;             // kIdent
+  VTok op = VTok::kEof;          // kUnary/kBinary operator token
+  std::vector<VExprPtr> args;
+};
+
+struct VStmt {
+  enum class Kind { kAssign, kNonBlocking, kIf, kCase };
+  Kind kind = Kind::kAssign;
+  std::string lhs;               // assignment target
+  VExprPtr rhs;
+  VExprPtr cond;                 // kIf / kCase selector
+  std::vector<VStmt> then_body;
+  std::vector<VStmt> else_body;
+  struct CaseItem {
+    std::uint64_t label = 0;
+    std::vector<VStmt> body;
+  };
+  std::vector<CaseItem> items;
+};
+
+struct VPort {
+  std::string name;
+  bool is_input = true;
+  VExprPtr msb;  // null: 1-bit
+};
+
+struct VNet {
+  std::string name;
+  bool is_reg = false;
+  VExprPtr msb;
+};
+
+struct VContAssign {
+  std::string lhs;
+  VExprPtr rhs;
+};
+
+struct VAlways {
+  bool clocked = false;  // true: @(posedge clk); false: @*
+  std::vector<VStmt> body;
+};
+
+struct VInstance {
+  std::string module_name;
+  std::string instance_name;
+  std::vector<std::pair<std::string, std::string>> connections;  // .p(sig)
+};
+
+struct VModule {
+  std::string name;
+  std::string param_name;  // empty if none
+  std::uint64_t param_default = 0;
+  std::vector<VPort> ports;
+  std::vector<VNet> nets;
+  std::vector<VContAssign> assigns;
+  std::vector<VAlways> always_blocks;
+  std::vector<VInstance> instances;
+};
+
+// --------------------------------------------------------------- parser --
+
+class VParser {
+ public:
+  explicit VParser(std::vector<VToken> tokens) : toks_(std::move(tokens)) {}
+
+  StatusOr<std::vector<VModule>> Parse() {
+    std::vector<VModule> modules;
+    while (!At(VTok::kEof)) {
+      if (!AtKeyword("module")) return Error("expected 'module'");
+      auto m = ParseModule();
+      if (!m.ok()) return m.status();
+      modules.push_back(std::move(m).value());
+    }
+    return modules;
+  }
+
+ private:
+  const VToken& Peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool At(VTok kind) const { return Peek().kind == kind; }
+  bool AtKeyword(std::string_view kw) const {
+    return Peek().kind == VTok::kIdent && Peek().text == kw;
+  }
+  VToken Take() { return toks_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return {StatusCode::kParseError,
+            "verilog line " + std::to_string(Peek().line) + ": " + message};
+  }
+  StatusOr<VToken> Expect(VTok kind, const char* what) {
+    if (!At(kind)) return Error(std::string("expected ") + what);
+    return Take();
+  }
+  StatusOr<VToken> ExpectKeyword(const char* kw) {
+    if (!AtKeyword(kw)) return Error(std::string("expected '") + kw + "'");
+    return Take();
+  }
+
+  // --- expressions (precedence climbing) ---
+  // ternary < || < && < | < == < '<' < +- < */ < unary < primary
+  StatusOr<VExprPtr> ParseExpr() { return ParseTernary(); }
+
+  StatusOr<VExprPtr> ParseTernary() {
+    auto cond = ParseOrOr();
+    if (!cond.ok()) return cond.status();
+    if (!At(VTok::kQuestion)) return cond;
+    Take();
+    auto then_e = ParseTernary();
+    if (!then_e.ok()) return then_e.status();
+    if (auto s = Expect(VTok::kColon, "':'"); !s.ok()) return s.status();
+    auto else_e = ParseTernary();
+    if (!else_e.ok()) return else_e.status();
+    auto e = std::make_unique<VExpr>();
+    e->kind = VExpr::Kind::kTernary;
+    e->args.push_back(std::move(cond).value());
+    e->args.push_back(std::move(then_e).value());
+    e->args.push_back(std::move(else_e).value());
+    return e;
+  }
+
+  template <typename Next>
+  StatusOr<VExprPtr> ParseBinaryLevel(std::initializer_list<VTok> ops,
+                                      Next next) {
+    auto lhs = next();
+    if (!lhs.ok()) return lhs.status();
+    VExprPtr acc = std::move(lhs).value();
+    for (;;) {
+      bool matched = false;
+      for (VTok op : ops) {
+        if (At(op)) {
+          Take();
+          auto rhs = next();
+          if (!rhs.ok()) return rhs.status();
+          auto e = std::make_unique<VExpr>();
+          e->kind = VExpr::Kind::kBinary;
+          e->op = op;
+          e->args.push_back(std::move(acc));
+          e->args.push_back(std::move(rhs).value());
+          acc = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return acc;
+    }
+  }
+
+  StatusOr<VExprPtr> ParseOrOr() {
+    return ParseBinaryLevel({VTok::kOrOr}, [this] { return ParseAndAnd(); });
+  }
+  StatusOr<VExprPtr> ParseAndAnd() {
+    return ParseBinaryLevel({VTok::kAndAnd}, [this] { return ParseBitOr(); });
+  }
+  StatusOr<VExprPtr> ParseBitOr() {
+    return ParseBinaryLevel({VTok::kOr}, [this] { return ParseEquality(); });
+  }
+  StatusOr<VExprPtr> ParseEquality() {
+    return ParseBinaryLevel({VTok::kEqEq},
+                            [this] { return ParseRelational(); });
+  }
+  StatusOr<VExprPtr> ParseRelational() {
+    return ParseBinaryLevel({VTok::kLess},
+                            [this] { return ParseAdditive(); });
+  }
+  StatusOr<VExprPtr> ParseAdditive() {
+    return ParseBinaryLevel({VTok::kPlus, VTok::kMinus},
+                            [this] { return ParseMultiplicative(); });
+  }
+  StatusOr<VExprPtr> ParseMultiplicative() {
+    return ParseBinaryLevel({VTok::kStar, VTok::kSlash},
+                            [this] { return ParseUnary(); });
+  }
+
+  StatusOr<VExprPtr> ParseUnary() {
+    if (At(VTok::kNot)) {
+      Take();
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      auto e = std::make_unique<VExpr>();
+      e->kind = VExpr::Kind::kUnary;
+      e->op = VTok::kNot;
+      e->args.push_back(std::move(inner).value());
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<VExprPtr> ParsePrimary() {
+    if (At(VTok::kNumber)) {
+      auto e = std::make_unique<VExpr>();
+      e->kind = VExpr::Kind::kConst;
+      e->value = Take().number;
+      return e;
+    }
+    if (At(VTok::kIdent)) {
+      auto e = std::make_unique<VExpr>();
+      e->kind = VExpr::Kind::kIdent;
+      e->ident = Take().text;
+      return e;
+    }
+    if (At(VTok::kLParen)) {
+      Take();
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner.status();
+      if (auto s = Expect(VTok::kRParen, "')'"); !s.ok()) return s.status();
+      return inner;
+    }
+    if (At(VTok::kLBrace)) {
+      // Concatenation {a, b, ...} or replication {count{expr}}.
+      Take();
+      auto first = ParseExpr();
+      if (!first.ok()) return first.status();
+      if (At(VTok::kLBrace)) {
+        // replication: first is the count
+        Take();
+        auto inner = ParseExpr();
+        if (!inner.ok()) return inner.status();
+        if (auto s = Expect(VTok::kRBrace, "'}'"); !s.ok())
+          return s.status();
+        if (auto s = Expect(VTok::kRBrace, "'}'"); !s.ok())
+          return s.status();
+        auto e = std::make_unique<VExpr>();
+        e->kind = VExpr::Kind::kRepl;
+        e->args.push_back(std::move(first).value());
+        e->args.push_back(std::move(inner).value());
+        return e;
+      }
+      auto e = std::make_unique<VExpr>();
+      e->kind = VExpr::Kind::kConcat;
+      e->args.push_back(std::move(first).value());
+      while (At(VTok::kComma)) {
+        Take();
+        auto part = ParseExpr();
+        if (!part.ok()) return part.status();
+        e->args.push_back(std::move(part).value());
+      }
+      if (auto s = Expect(VTok::kRBrace, "'}'"); !s.ok()) return s.status();
+      return e;
+    }
+    return Error("expected an expression");
+  }
+
+  // --- declarations & statements ---
+
+  /// Optional [msb:0] range; returns msb expression or null.
+  StatusOr<VExprPtr> ParseOptionalRange() {
+    if (!At(VTok::kLBracket)) return VExprPtr{};
+    Take();
+    auto msb = ParseExpr();
+    if (!msb.ok()) return msb.status();
+    if (auto s = Expect(VTok::kColon, "':'"); !s.ok()) return s.status();
+    auto lsb = Expect(VTok::kNumber, "0");
+    if (!lsb.ok()) return lsb.status();
+    if (lsb.value().number != 0) return Error("only [msb:0] ranges");
+    if (auto s = Expect(VTok::kRBracket, "']'"); !s.ok()) return s.status();
+    return msb;
+  }
+
+  StatusOr<VStmt> ParseStatement() {
+    if (AtKeyword("if")) {
+      Take();
+      VStmt stmt;
+      stmt.kind = VStmt::Kind::kIf;
+      if (auto s = Expect(VTok::kLParen, "'('"); !s.ok()) return s.status();
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond.status();
+      stmt.cond = std::move(cond).value();
+      if (auto s = Expect(VTok::kRParen, "')'"); !s.ok()) return s.status();
+      auto then_body = ParseStatementOrBlock();
+      if (!then_body.ok()) return then_body.status();
+      stmt.then_body = std::move(then_body).value();
+      if (AtKeyword("else")) {
+        Take();
+        auto else_body = ParseStatementOrBlock();
+        if (!else_body.ok()) return else_body.status();
+        stmt.else_body = std::move(else_body).value();
+      }
+      return stmt;
+    }
+    if (AtKeyword("case")) {
+      Take();
+      VStmt stmt;
+      stmt.kind = VStmt::Kind::kCase;
+      if (auto s = Expect(VTok::kLParen, "'('"); !s.ok()) return s.status();
+      auto sel = ParseExpr();
+      if (!sel.ok()) return sel.status();
+      stmt.cond = std::move(sel).value();
+      if (auto s = Expect(VTok::kRParen, "')'"); !s.ok()) return s.status();
+      while (!AtKeyword("endcase")) {
+        VStmt::CaseItem item;
+        auto label = Expect(VTok::kNumber, "case label");
+        if (!label.ok()) return label.status();
+        item.label = label.value().number;
+        if (auto s = Expect(VTok::kColon, "':'"); !s.ok())
+          return s.status();
+        auto body = ParseStatementOrBlock();
+        if (!body.ok()) return body.status();
+        item.body = std::move(body).value();
+        stmt.items.push_back(std::move(item));
+      }
+      Take();  // endcase
+      return stmt;
+    }
+    // assignment: ident (= | <=) expr ;
+    auto lhs = Expect(VTok::kIdent, "assignment target");
+    if (!lhs.ok()) return lhs.status();
+    VStmt stmt;
+    if (At(VTok::kNonBlocking)) {
+      Take();
+      stmt.kind = VStmt::Kind::kNonBlocking;
+    } else if (At(VTok::kAssignEq)) {
+      Take();
+      stmt.kind = VStmt::Kind::kAssign;
+    } else {
+      return Error("expected '=' or '<='");
+    }
+    stmt.lhs = lhs.value().text;
+    auto rhs = ParseExpr();
+    if (!rhs.ok()) return rhs.status();
+    stmt.rhs = std::move(rhs).value();
+    if (auto s = Expect(VTok::kSemicolon, "';'"); !s.ok())
+      return s.status();
+    return stmt;
+  }
+
+  StatusOr<std::vector<VStmt>> ParseStatementOrBlock() {
+    std::vector<VStmt> body;
+    if (AtKeyword("begin")) {
+      Take();
+      while (!AtKeyword("end")) {
+        auto stmt = ParseStatement();
+        if (!stmt.ok()) return stmt.status();
+        body.push_back(std::move(stmt).value());
+      }
+      Take();  // end
+    } else {
+      auto stmt = ParseStatement();
+      if (!stmt.ok()) return stmt.status();
+      body.push_back(std::move(stmt).value());
+    }
+    return body;
+  }
+
+  StatusOr<VModule> ParseModule() {
+    VModule m;
+    if (auto s = ExpectKeyword("module"); !s.ok()) return s.status();
+    auto name = Expect(VTok::kIdent, "module name");
+    if (!name.ok()) return name.status();
+    m.name = name.value().text;
+    if (At(VTok::kHash)) {
+      Take();
+      if (auto s = Expect(VTok::kLParen, "'('"); !s.ok()) return s.status();
+      if (auto s = ExpectKeyword("parameter"); !s.ok()) return s.status();
+      auto pname = Expect(VTok::kIdent, "parameter name");
+      if (!pname.ok()) return pname.status();
+      m.param_name = pname.value().text;
+      if (auto s = Expect(VTok::kAssignEq, "'='"); !s.ok())
+        return s.status();
+      auto pval = Expect(VTok::kNumber, "parameter value");
+      if (!pval.ok()) return pval.status();
+      m.param_default = pval.value().number;
+      if (auto s = Expect(VTok::kRParen, "')'"); !s.ok()) return s.status();
+    }
+    if (auto s = Expect(VTok::kLParen, "'('"); !s.ok()) return s.status();
+    while (!At(VTok::kRParen)) {
+      VPort port;
+      if (AtKeyword("input")) port.is_input = true;
+      else if (AtKeyword("output")) port.is_input = false;
+      else return Error("expected 'input' or 'output'");
+      Take();
+      if (AtKeyword("wire") || AtKeyword("reg")) {
+        // reg outputs behave like regs inside the module.
+        if (Peek().text == "reg") {
+          VNet net;
+          net.is_reg = true;
+          Take();
+          auto msb = ParseOptionalRange();
+          if (!msb.ok()) return msb.status();
+          auto port_name = Expect(VTok::kIdent, "port name");
+          if (!port_name.ok()) return port_name.status();
+          port.name = port_name.value().text;
+          port.msb = msb.value() ? CloneExpr(*msb.value()) : nullptr;
+          net.name = port.name;
+          net.msb = std::move(msb).value();
+          m.nets.push_back(std::move(net));
+          m.ports.push_back(std::move(port));
+          if (At(VTok::kComma)) Take();
+          continue;
+        }
+        Take();  // wire
+      }
+      auto msb = ParseOptionalRange();
+      if (!msb.ok()) return msb.status();
+      auto port_name = Expect(VTok::kIdent, "port name");
+      if (!port_name.ok()) return port_name.status();
+      port.name = port_name.value().text;
+      port.msb = std::move(msb).value();
+      m.ports.push_back(std::move(port));
+      if (At(VTok::kComma)) Take();
+    }
+    Take();  // ')'
+    if (auto s = Expect(VTok::kSemicolon, "';'"); !s.ok())
+      return s.status();
+
+    while (!AtKeyword("endmodule")) {
+      if (AtKeyword("wire") || AtKeyword("reg")) {
+        const bool is_reg = Peek().text == "reg";
+        Take();
+        auto msb = ParseOptionalRange();
+        if (!msb.ok()) return msb.status();
+        auto net_name = Expect(VTok::kIdent, "net name");
+        if (!net_name.ok()) return net_name.status();
+        VNet net;
+        net.name = net_name.value().text;
+        net.is_reg = is_reg;
+        net.msb = std::move(msb).value();
+        if (At(VTok::kAssignEq)) {
+          Take();  // initialised wire == continuous assign
+          auto rhs = ParseExpr();
+          if (!rhs.ok()) return rhs.status();
+          m.assigns.push_back(VContAssign{net.name, std::move(rhs).value()});
+        }
+        m.nets.push_back(std::move(net));
+        if (auto s = Expect(VTok::kSemicolon, "';'"); !s.ok())
+          return s.status();
+        continue;
+      }
+      if (AtKeyword("assign")) {
+        Take();
+        auto lhs = Expect(VTok::kIdent, "assign target");
+        if (!lhs.ok()) return lhs.status();
+        if (auto s = Expect(VTok::kAssignEq, "'='"); !s.ok())
+          return s.status();
+        auto rhs = ParseExpr();
+        if (!rhs.ok()) return rhs.status();
+        m.assigns.push_back(
+            VContAssign{lhs.value().text, std::move(rhs).value()});
+        if (auto s = Expect(VTok::kSemicolon, "';'"); !s.ok())
+          return s.status();
+        continue;
+      }
+      if (AtKeyword("always")) {
+        Take();
+        if (auto s = Expect(VTok::kAt, "'@'"); !s.ok()) return s.status();
+        VAlways always;
+        if (At(VTok::kStar)) {
+          Take();
+          always.clocked = false;
+        } else {
+          if (auto s = Expect(VTok::kLParen, "'('"); !s.ok())
+            return s.status();
+          if (auto s = ExpectKeyword("posedge"); !s.ok()) return s.status();
+          auto clk = Expect(VTok::kIdent, "clock signal");
+          if (!clk.ok()) return clk.status();
+          if (clk.value().text != "clk")
+            return Error("only 'posedge clk' is supported");
+          if (auto s = Expect(VTok::kRParen, "')'"); !s.ok())
+            return s.status();
+          always.clocked = true;
+        }
+        auto body = ParseStatementOrBlock();
+        if (!body.ok()) return body.status();
+        always.body = std::move(body).value();
+        m.always_blocks.push_back(std::move(always));
+        continue;
+      }
+      if (At(VTok::kIdent)) {
+        // instantiation: Module [#(IDENT)] name (.p(sig), ...);
+        VInstance inst;
+        inst.module_name = Take().text;
+        if (At(VTok::kHash)) {
+          Take();
+          if (auto s = Expect(VTok::kLParen, "'('"); !s.ok())
+            return s.status();
+          // parameter pass-through: an identifier (parent's parameter)
+          // or a number; our generator always passes WIDTH.
+          if (At(VTok::kIdent)) Take();
+          else if (At(VTok::kNumber)) Take();
+          else return Error("expected parameter value");
+          if (auto s = Expect(VTok::kRParen, "')'"); !s.ok())
+            return s.status();
+        }
+        auto inst_name = Expect(VTok::kIdent, "instance name");
+        if (!inst_name.ok()) return inst_name.status();
+        inst.instance_name = inst_name.value().text;
+        if (auto s = Expect(VTok::kLParen, "'('"); !s.ok())
+          return s.status();
+        while (!At(VTok::kRParen)) {
+          if (auto s = Expect(VTok::kDot, "'.'"); !s.ok())
+            return s.status();
+          auto port = Expect(VTok::kIdent, "port name");
+          if (!port.ok()) return port.status();
+          if (auto s = Expect(VTok::kLParen, "'('"); !s.ok())
+            return s.status();
+          auto sig = Expect(VTok::kIdent, "connected signal");
+          if (!sig.ok()) return sig.status();
+          if (auto s = Expect(VTok::kRParen, "')'"); !s.ok())
+            return s.status();
+          inst.connections.emplace_back(port.value().text,
+                                        sig.value().text);
+          if (At(VTok::kComma)) Take();
+        }
+        Take();  // ')'
+        if (auto s = Expect(VTok::kSemicolon, "';'"); !s.ok())
+          return s.status();
+        m.instances.push_back(std::move(inst));
+        continue;
+      }
+      return Error("unexpected token in module body");
+    }
+    Take();  // endmodule
+    return m;
+  }
+
+  static VExprPtr CloneExpr(const VExpr& e) {
+    auto out = std::make_unique<VExpr>();
+    out->kind = e.kind;
+    out->value = e.value;
+    out->ident = e.ident;
+    out->op = e.op;
+    for (const VExprPtr& a : e.args) out->args.push_back(CloneExpr(*a));
+    return out;
+  }
+
+  std::vector<VToken> toks_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------- elaboration/sim --
+
+struct Signal {
+  std::string name;
+  int width = 1;
+  std::uint64_t value = 0;
+  bool driven_by_comb = false;  // target of assign / always @*
+};
+
+/// Expression with identifiers resolved to signal indices.
+struct RExpr {
+  VExpr::Kind kind;
+  std::uint64_t value = 0;
+  int signal = -1;
+  VTok op = VTok::kEof;
+  std::vector<RExpr> args;
+  std::vector<int> widths;  // kConcat: widths of the parts (args order)
+  int repl_count = 0;       // kRepl (resolved at elaboration)
+  int repl_width = 1;       // kRepl: width of the replicated expr
+};
+
+struct RStmt {
+  VStmt::Kind kind;
+  int lhs = -1;
+  RExpr rhs;
+  RExpr cond;
+  std::vector<RStmt> then_body;
+  std::vector<RStmt> else_body;
+  struct CaseItem {
+    std::uint64_t label;
+    std::vector<RStmt> body;
+  };
+  std::vector<CaseItem> items;
+};
+
+struct RProcess {
+  bool clocked = false;
+  std::vector<RStmt> body;
+};
+
+struct RAssign {
+  int lhs = -1;
+  RExpr rhs;
+};
+
+std::uint64_t MaskOf(int width) {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+}  // namespace
+
+struct VerilogSimulator::Impl {
+  std::vector<Signal> signals;
+  std::map<std::string, int> by_name;
+  std::vector<RAssign> assigns;       // continuous, in elaboration order
+  std::vector<RProcess> processes;    // comb + clocked
+  std::vector<std::pair<int, std::uint64_t>> nb_queue;
+
+  // ---- elaboration ----
+  const std::map<std::string, const VModule*>* modules = nullptr;
+  Status error;
+
+  int AddSignal(const std::string& name, int width) {
+    const int id = static_cast<int>(signals.size());
+    signals.push_back(Signal{name, width, 0, false});
+    by_name.emplace(name, id);
+    return id;
+  }
+
+  StatusOr<int> Lookup(const std::string& prefix,
+                       const std::string& ident) const {
+    const auto it = by_name.find(prefix + ident);
+    if (it == by_name.end())
+      return Status{StatusCode::kNotFound,
+                    "unknown signal '" + prefix + ident + "'"};
+    return it->second;
+  }
+
+  /// Width of an expression for concat purposes.
+  int WidthOf(const RExpr& e) const {
+    switch (e.kind) {
+      case VExpr::Kind::kIdent:
+        return signals[static_cast<std::size_t>(e.signal)].width;
+      case VExpr::Kind::kRepl:
+        return e.repl_count * e.repl_width;
+      case VExpr::Kind::kConcat: {
+        int total = 0;
+        for (int w : e.widths) total += w;
+        return total;
+      }
+      default:
+        return 64;  // constants/arithmetic: natural width
+    }
+  }
+
+  /// Evaluates a constant expression (widths, replication counts) with
+  /// the parameter environment.
+  static StatusOr<std::uint64_t> EvalConst(
+      const VExpr& e, const std::map<std::string, std::uint64_t>& env) {
+    switch (e.kind) {
+      case VExpr::Kind::kConst:
+        return e.value;
+      case VExpr::Kind::kIdent: {
+        const auto it = env.find(e.ident);
+        if (it == env.end())
+          return Status{StatusCode::kParseError,
+                        "non-constant identifier '" + e.ident +
+                            "' in constant context"};
+        return it->second;
+      }
+      case VExpr::Kind::kBinary: {
+        auto a = EvalConst(*e.args[0], env);
+        auto b = EvalConst(*e.args[1], env);
+        if (!a.ok()) return a.status();
+        if (!b.ok()) return b.status();
+        switch (e.op) {
+          case VTok::kPlus: return a.value() + b.value();
+          case VTok::kMinus: return a.value() - b.value();
+          case VTok::kStar: return a.value() * b.value();
+          case VTok::kSlash:
+            return b.value() ? a.value() / b.value() : 0;
+          default: break;
+        }
+        return Status{StatusCode::kParseError,
+                      "unsupported constant operator"};
+      }
+      default:
+        return Status{StatusCode::kParseError,
+                      "unsupported constant expression"};
+    }
+  }
+
+  StatusOr<RExpr> Resolve(const VExpr& e, const std::string& prefix,
+                          const std::map<std::string, std::uint64_t>& env) {
+    RExpr out;
+    out.kind = e.kind;
+    out.op = e.op;
+    switch (e.kind) {
+      case VExpr::Kind::kConst:
+        out.value = e.value;
+        break;
+      case VExpr::Kind::kIdent: {
+        // The parameter name may appear in run-time expressions too
+        // (never emitted today, but cheap to support as a constant).
+        const auto env_it = env.find(e.ident);
+        if (env_it != env.end() && by_name.find(prefix + e.ident) ==
+                                       by_name.end()) {
+          out.kind = VExpr::Kind::kConst;
+          out.value = env_it->second;
+          break;
+        }
+        auto sig = Lookup(prefix, e.ident);
+        if (!sig.ok()) return sig.status();
+        out.signal = sig.value();
+        break;
+      }
+      case VExpr::Kind::kRepl: {
+        auto count = EvalConst(*e.args[0], env);
+        if (!count.ok()) return count.status();
+        out.repl_count = static_cast<int>(count.value());
+        auto inner = Resolve(*e.args[1], prefix, env);
+        if (!inner.ok()) return inner.status();
+        out.repl_width = WidthOf(inner.value());
+        // A replicated sized literal like 1'b0 has width 1.
+        if (inner.value().kind == VExpr::Kind::kConst) out.repl_width = 1;
+        out.args.push_back(std::move(inner).value());
+        break;
+      }
+      case VExpr::Kind::kConcat: {
+        for (const VExprPtr& part : e.args) {
+          auto r = Resolve(*part, prefix, env);
+          if (!r.ok()) return r.status();
+          int w = WidthOf(r.value());
+          if (r.value().kind == VExpr::Kind::kConst) w = 1;
+          out.widths.push_back(w);
+          out.args.push_back(std::move(r).value());
+        }
+        break;
+      }
+      default:
+        for (const VExprPtr& a : e.args) {
+          auto r = Resolve(*a, prefix, env);
+          if (!r.ok()) return r.status();
+          out.args.push_back(std::move(r).value());
+        }
+    }
+    return out;
+  }
+
+  StatusOr<RStmt> ResolveStmt(const VStmt& s, const std::string& prefix,
+                              const std::map<std::string, std::uint64_t>&
+                                  env) {
+    RStmt out;
+    out.kind = s.kind;
+    if (s.kind == VStmt::Kind::kAssign ||
+        s.kind == VStmt::Kind::kNonBlocking) {
+      auto lhs = Lookup(prefix, s.lhs);
+      if (!lhs.ok()) return lhs.status();
+      out.lhs = lhs.value();
+      auto rhs = Resolve(*s.rhs, prefix, env);
+      if (!rhs.ok()) return rhs.status();
+      out.rhs = std::move(rhs).value();
+      return out;
+    }
+    auto cond = Resolve(*s.cond, prefix, env);
+    if (!cond.ok()) return cond.status();
+    out.cond = std::move(cond).value();
+    if (s.kind == VStmt::Kind::kIf) {
+      for (const VStmt& t : s.then_body) {
+        auto r = ResolveStmt(t, prefix, env);
+        if (!r.ok()) return r.status();
+        out.then_body.push_back(std::move(r).value());
+      }
+      for (const VStmt& t : s.else_body) {
+        auto r = ResolveStmt(t, prefix, env);
+        if (!r.ok()) return r.status();
+        out.else_body.push_back(std::move(r).value());
+      }
+      return out;
+    }
+    for (const VStmt::CaseItem& item : s.items) {
+      RStmt::CaseItem out_item;
+      out_item.label = item.label;
+      for (const VStmt& t : item.body) {
+        auto r = ResolveStmt(t, prefix, env);
+        if (!r.ok()) return r.status();
+        out_item.body.push_back(std::move(r).value());
+      }
+      out.items.push_back(std::move(out_item));
+    }
+    return out;
+  }
+
+  /// Recursively elaborates `module` under `prefix` with parameter value
+  /// `width`.
+  Status ElaborateModule(const VModule& module, const std::string& prefix,
+                         std::uint64_t width) {
+    std::map<std::string, std::uint64_t> env;
+    if (!module.param_name.empty())
+      env[module.param_name] = width ? width : module.param_default;
+
+    auto width_of = [&](const VExprPtr& msb) -> StatusOr<int> {
+      if (!msb) return 1;
+      auto v = EvalConst(*msb, env);
+      if (!v.ok()) return v.status();
+      return static_cast<int>(v.value()) + 1;
+    };
+
+    // Ports (reg output ports were also added to nets; skip duplicates).
+    for (const VPort& port : module.ports) {
+      if (by_name.contains(prefix + port.name)) continue;
+      auto w = width_of(port.msb);
+      if (!w.ok()) return w.status();
+      AddSignal(prefix + port.name, w.value());
+    }
+    for (const VNet& net : module.nets) {
+      if (by_name.contains(prefix + net.name)) continue;
+      auto w = width_of(net.msb);
+      if (!w.ok()) return w.status();
+      AddSignal(prefix + net.name, w.value());
+    }
+
+    for (const VContAssign& ca : module.assigns) {
+      auto lhs = Lookup(prefix, ca.lhs);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = Resolve(*ca.rhs, prefix, env);
+      if (!rhs.ok()) return rhs.status();
+      signals[static_cast<std::size_t>(lhs.value())].driven_by_comb = true;
+      assigns.push_back(RAssign{lhs.value(), std::move(rhs).value()});
+    }
+    for (const VAlways& a : module.always_blocks) {
+      RProcess proc;
+      proc.clocked = a.clocked;
+      for (const VStmt& s : a.body) {
+        auto r = ResolveStmt(s, prefix, env);
+        if (!r.ok()) return r.status();
+        proc.body.push_back(std::move(r).value());
+      }
+      processes.push_back(std::move(proc));
+    }
+
+    for (const VInstance& inst : module.instances) {
+      const auto it = modules->find(inst.module_name);
+      if (it == modules->end())
+        return Status{StatusCode::kNotFound,
+                      "unknown module '" + inst.module_name + "'"};
+      const VModule& child = *it->second;
+      const std::string child_prefix =
+          prefix + inst.instance_name + ".";
+      const std::uint64_t child_width =
+          module.param_name.empty() ? 0 : env[module.param_name];
+      if (Status s = ElaborateModule(child, child_prefix, child_width);
+          !s.ok())
+        return s;
+      // Port connections as continuous assigns in the right direction.
+      for (const auto& [port_name, parent_sig] : inst.connections) {
+        const VPort* port = nullptr;
+        for (const VPort& p : child.ports)
+          if (p.name == port_name) port = &p;
+        if (port == nullptr)
+          return Status{StatusCode::kNotFound,
+                        "module '" + child.name + "' has no port '" +
+                            port_name + "'"};
+        auto child_sig = Lookup(child_prefix, port_name);
+        if (!child_sig.ok()) return child_sig.status();
+        auto parent = Lookup(prefix, parent_sig);
+        if (!parent.ok()) return parent.status();
+        RExpr src;
+        src.kind = VExpr::Kind::kIdent;
+        if (port->is_input) {
+          src.signal = parent.value();
+          signals[static_cast<std::size_t>(child_sig.value())]
+              .driven_by_comb = true;
+          assigns.push_back(RAssign{child_sig.value(), std::move(src)});
+        } else {
+          src.signal = child_sig.value();
+          signals[static_cast<std::size_t>(parent.value())]
+              .driven_by_comb = true;
+          assigns.push_back(RAssign{parent.value(), std::move(src)});
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  // ---- simulation ----
+
+  std::uint64_t Eval(const RExpr& e) const {
+    switch (e.kind) {
+      case VExpr::Kind::kConst:
+        return e.value;
+      case VExpr::Kind::kIdent:
+        return signals[static_cast<std::size_t>(e.signal)].value;
+      case VExpr::Kind::kUnary:
+        return Eval(e.args[0]) == 0 ? 1 : 0;  // only '!'
+      case VExpr::Kind::kBinary: {
+        const std::uint64_t a = Eval(e.args[0]);
+        const std::uint64_t b = Eval(e.args[1]);
+        switch (e.op) {
+          case VTok::kPlus: return a + b;
+          case VTok::kMinus: return a - b;
+          case VTok::kStar: return a * b;
+          case VTok::kSlash: return b ? a / b : 0;
+          case VTok::kEqEq: return a == b ? 1 : 0;
+          case VTok::kLess: return a < b ? 1 : 0;
+          case VTok::kAndAnd: return (a != 0 && b != 0) ? 1 : 0;
+          case VTok::kOrOr: return (a != 0 || b != 0) ? 1 : 0;
+          case VTok::kOr: return a | b;
+          default: return 0;
+        }
+      }
+      case VExpr::Kind::kTernary:
+        return Eval(e.args[0]) != 0 ? Eval(e.args[1]) : Eval(e.args[2]);
+      case VExpr::Kind::kRepl: {
+        const std::uint64_t bit = Eval(e.args[0]) & MaskOf(e.repl_width);
+        std::uint64_t out = 0;
+        for (int i = 0; i < e.repl_count && i * e.repl_width < 64; ++i)
+          out |= bit << (i * e.repl_width);
+        return out;
+      }
+      case VExpr::Kind::kConcat: {
+        // Verilog concatenation: first part is the most significant.
+        std::uint64_t out = 0;
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          const int w = e.widths[i];
+          out = (out << w) | (Eval(e.args[i]) & MaskOf(w));
+        }
+        return out;
+      }
+    }
+    return 0;
+  }
+
+  void Write(int sig, std::uint64_t v) {
+    Signal& s = signals[static_cast<std::size_t>(sig)];
+    s.value = v & MaskOf(s.width);
+  }
+
+  void ExecBlocking(const std::vector<RStmt>& body) {
+    for (const RStmt& s : body) ExecStmt(s, /*nonblocking=*/false);
+  }
+
+  void ExecStmt(const RStmt& s, bool nonblocking) {
+    switch (s.kind) {
+      case VStmt::Kind::kAssign:
+        Write(s.lhs, Eval(s.rhs));
+        return;
+      case VStmt::Kind::kNonBlocking: {
+        const Signal& sig = signals[static_cast<std::size_t>(s.lhs)];
+        nb_queue.emplace_back(s.lhs, Eval(s.rhs) & MaskOf(sig.width));
+        return;
+      }
+      case VStmt::Kind::kIf: {
+        const auto& body = Eval(s.cond) != 0 ? s.then_body : s.else_body;
+        for (const RStmt& t : body) ExecStmt(t, nonblocking);
+        return;
+      }
+      case VStmt::Kind::kCase: {
+        const std::uint64_t sel = Eval(s.cond);
+        for (const auto& item : s.items) {
+          if (item.label == sel) {
+            for (const RStmt& t : item.body) ExecStmt(t, nonblocking);
+            return;
+          }
+        }
+        return;
+      }
+    }
+  }
+
+  Status SettleComb() {
+    // Fixed point on sweep level: blocking assignments inside @* blocks
+    // may write intermediate values (default-then-override), so change
+    // detection compares the whole signal state before/after each sweep.
+    std::vector<std::uint64_t> before(signals.size());
+    for (int round = 0; round < 1000; ++round) {
+      for (std::size_t i = 0; i < signals.size(); ++i)
+        before[i] = signals[i].value;
+      for (const RAssign& a : assigns) Write(a.lhs, Eval(a.rhs));
+      for (const RProcess& p : processes) {
+        if (p.clocked) continue;
+        for (const RStmt& s : p.body) ExecStmt(s, /*nonblocking=*/false);
+      }
+      bool changed = false;
+      for (std::size_t i = 0; i < signals.size(); ++i)
+        changed |= before[i] != signals[i].value;
+      if (!changed) return Status::Ok();
+    }
+    return {StatusCode::kInternal,
+            "combinational logic did not settle (loop?)"};
+  }
+
+  Status ClockEdge() {
+    nb_queue.clear();
+    for (const RProcess& p : processes) {
+      if (!p.clocked) continue;
+      for (const RStmt& s : p.body) ExecStmt(s, /*nonblocking=*/true);
+    }
+    for (const auto& [sig, value] : nb_queue) Write(sig, value);
+    return Status::Ok();
+  }
+
+  bool change_flag_ = false;
+};
+
+VerilogSimulator::VerilogSimulator(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+VerilogSimulator::VerilogSimulator(VerilogSimulator&&) noexcept = default;
+VerilogSimulator& VerilogSimulator::operator=(VerilogSimulator&&) noexcept =
+    default;
+VerilogSimulator::~VerilogSimulator() = default;
+
+StatusOr<VerilogSimulator> VerilogSimulator::Elaborate(
+    std::string_view source, const std::string& top, int width) {
+  auto tokens = VTokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  VParser parser(std::move(tokens).value());
+  auto modules_or = parser.Parse();
+  if (!modules_or.ok()) return modules_or.status();
+  // Keep module storage alive during elaboration only; everything needed
+  // afterwards is flattened into Impl.
+  const std::vector<VModule> modules = std::move(modules_or).value();
+  std::map<std::string, const VModule*> by_name;
+  for (const VModule& m : modules) by_name.emplace(m.name, &m);
+  const auto it = by_name.find(top);
+  if (it == by_name.end())
+    return Status{StatusCode::kNotFound, "no module named '" + top + "'"};
+
+  auto impl = std::make_unique<Impl>();
+  impl->modules = &by_name;
+  if (Status s = impl->ElaborateModule(
+          *it->second, "", static_cast<std::uint64_t>(width));
+      !s.ok())
+    return s;
+  impl->modules = nullptr;
+  VerilogSimulator sim(std::move(impl));
+  if (Status s = sim.Settle(); !s.ok()) return s;
+  return sim;
+}
+
+Status VerilogSimulator::Poke(const std::string& port, std::uint64_t value) {
+  const auto it = impl_->by_name.find(port);
+  if (it == impl_->by_name.end())
+    return {StatusCode::kNotFound, "unknown port '" + port + "'"};
+  const Signal& sig = impl_->signals[static_cast<std::size_t>(it->second)];
+  if (sig.driven_by_comb)
+    return {StatusCode::kInvalidArgument,
+            "'" + port + "' is driven by the design, not pokeable"};
+  impl_->Write(it->second, value);
+  return Status::Ok();
+}
+
+StatusOr<std::uint64_t> VerilogSimulator::Peek(
+    const std::string& name) const {
+  const auto it = impl_->by_name.find(name);
+  if (it == impl_->by_name.end())
+    return Status{StatusCode::kNotFound, "unknown signal '" + name + "'"};
+  return impl_->signals[static_cast<std::size_t>(it->second)].value;
+}
+
+Status VerilogSimulator::Settle() { return impl_->SettleComb(); }
+
+Status VerilogSimulator::Step() {
+  if (Status s = impl_->SettleComb(); !s.ok()) return s;
+  if (Status s = impl_->ClockEdge(); !s.ok()) return s;
+  return impl_->SettleComb();
+}
+
+std::size_t VerilogSimulator::signal_count() const {
+  return impl_->signals.size();
+}
+
+}  // namespace mshls

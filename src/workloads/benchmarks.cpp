@@ -1,0 +1,224 @@
+#include "workloads/benchmarks.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace mshls {
+namespace {
+
+/// Validates and returns; all builders produce well-formed graphs.
+DataFlowGraph Finish(DataFlowGraph g) {
+  const Status s = g.Validate();
+  assert(s.ok());
+  (void)s;
+  return g;
+}
+
+}  // namespace
+
+PaperTypes AddPaperTypes(ResourceLibrary& lib) {
+  PaperTypes t;
+  t.add = lib.AddType("add", /*delay=*/1, /*dii=*/1, /*area=*/1);
+  t.sub = lib.AddType("sub", /*delay=*/1, /*dii=*/1, /*area=*/1);
+  t.mult = lib.AddPipelined("mult", /*delay=*/2, /*area=*/4);
+  return t;
+}
+
+DataFlowGraph BuildEwf(const PaperTypes& t) {
+  DataFlowGraph g;
+  // Main adaptor chain: 11 additions and 3 multiplications. ASAP start
+  // times with add=1 / mult=2 are annotated; the chain fixes the critical
+  // path at 17.
+  const OpId c1 = g.AddOp(t.add, "c1");     // @0
+  const OpId c2 = g.AddOp(t.add, "c2");     // @1
+  const OpId m1 = g.AddOp(t.mult, "m1");    // @2
+  const OpId c3 = g.AddOp(t.add, "c3");     // @4
+  const OpId c4 = g.AddOp(t.add, "c4");     // @5
+  const OpId c5 = g.AddOp(t.add, "c5");     // @6
+  const OpId m2 = g.AddOp(t.mult, "m2");    // @7
+  const OpId c6 = g.AddOp(t.add, "c6");     // @9
+  const OpId c7 = g.AddOp(t.add, "c7");     // @10
+  const OpId c8 = g.AddOp(t.add, "c8");     // @11
+  const OpId m3 = g.AddOp(t.mult, "m3");    // @12
+  const OpId c9 = g.AddOp(t.add, "c9");     // @14
+  const OpId c10 = g.AddOp(t.add, "c10");   // @15
+  const OpId c11 = g.AddOp(t.add, "c11");   // @16, ends @17
+  g.AddEdge(c1, c2);
+  g.AddEdge(c2, m1);
+  g.AddEdge(m1, c3);
+  g.AddEdge(c3, c4);
+  g.AddEdge(c4, c5);
+  g.AddEdge(c5, m2);
+  g.AddEdge(m2, c6);
+  g.AddEdge(c6, c7);
+  g.AddEdge(c7, c8);
+  g.AddEdge(c8, m3);
+  g.AddEdge(m3, c9);
+  g.AddEdge(c9, c10);
+  g.AddEdge(c10, c11);
+
+  // Five multiplier side arms (add -> mult -> add) joining the chain; each
+  // arm stays inside the 17-step envelope.
+  struct Arm {
+    const char* base;
+    OpId source;  // invalid = state-variable input (graph source)
+    OpId target;
+  };
+  const Arm arms[] = {
+      {"a1", OpId::invalid(), c4}, {"a2", OpId::invalid(), c5},
+      {"a3", c2, c6},              {"a4", c4, c9},
+      {"a5", c6, c10},
+  };
+  std::vector<OpId> arm_tail;
+  for (const Arm& arm : arms) {
+    const std::string base = arm.base;
+    const OpId s = g.AddOp(t.add, base + "_s");
+    const OpId m = g.AddOp(t.mult, base + "_m");
+    const OpId e = g.AddOp(t.add, base + "_e");
+    if (arm.source.valid()) g.AddEdge(arm.source, s);
+    g.AddEdge(s, m);
+    g.AddEdge(m, e);
+    g.AddEdge(e, arm.target);
+    arm_tail.push_back(e);
+  }
+
+  // Five state-variable write-back additions (graph sinks).
+  const OpId u1 = g.AddOp(t.add, "u1");
+  g.AddEdge(c5, u1);
+  g.AddEdge(arm_tail[0], u1);
+  const OpId u2 = g.AddOp(t.add, "u2");
+  g.AddEdge(c8, u2);
+  const OpId u3 = g.AddOp(t.add, "u3");
+  g.AddEdge(m2, u3);
+  const OpId u4 = g.AddOp(t.add, "u4");
+  g.AddEdge(c7, u4);
+  g.AddEdge(arm_tail[2], u4);
+  const OpId u5 = g.AddOp(t.add, "u5");
+  g.AddEdge(m3, u5);
+  g.AddEdge(c8, u5);
+
+  return Finish(std::move(g));
+}
+
+DataFlowGraph BuildDiffeq(const PaperTypes& t) {
+  // HAL loop body: x1 = x+dx; u1 = u - 3*x*u*dx - 3*y*dx; y1 = y + u*dx;
+  // c = x1 < a, with the comparator substituted by a subtraction (paper §7).
+  DataFlowGraph g;
+  const OpId t1 = g.AddOp(t.mult, "3x");      // 3*x
+  const OpId t2 = g.AddOp(t.mult, "3xu");     // (3x)*u
+  const OpId t3 = g.AddOp(t.mult, "3xudx");   // (3xu)*dx
+  const OpId t4 = g.AddOp(t.mult, "3y");      // 3*y
+  const OpId t5 = g.AddOp(t.mult, "3ydx");    // (3y)*dx
+  const OpId t6 = g.AddOp(t.sub, "u_m1");     // u - t3
+  const OpId t7 = g.AddOp(t.sub, "u1");       // t6 - t5
+  const OpId t8 = g.AddOp(t.mult, "udx");     // u*dx
+  const OpId t9 = g.AddOp(t.add, "y1");       // y + t8
+  const OpId t10 = g.AddOp(t.add, "x1");      // x + dx
+  const OpId t11 = g.AddOp(t.sub, "c");       // x1 - a (was x1 < a)
+  g.AddEdge(t1, t2);
+  g.AddEdge(t2, t3);
+  g.AddEdge(t3, t6);
+  g.AddEdge(t4, t5);
+  g.AddEdge(t5, t7);
+  g.AddEdge(t6, t7);
+  g.AddEdge(t8, t9);
+  g.AddEdge(t10, t11);
+  return Finish(std::move(g));
+}
+
+DataFlowGraph BuildFir16(const PaperTypes& t) {
+  DataFlowGraph g;
+  std::vector<OpId> level;
+  for (int i = 0; i < 16; ++i)
+    level.push_back(g.AddOp(t.mult, "m" + std::to_string(i)));
+  int add_index = 0;
+  while (level.size() > 1) {
+    std::vector<OpId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const OpId a = g.AddOp(t.add, "a" + std::to_string(add_index++));
+      g.AddEdge(level[i], a);
+      g.AddEdge(level[i + 1], a);
+      next.push_back(a);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return Finish(std::move(g));
+}
+
+DataFlowGraph BuildArLattice(const PaperTypes& t) {
+  DataFlowGraph g;
+  OpId f = OpId::invalid();
+  OpId gg = OpId::invalid();
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::string s = "s" + std::to_string(stage);
+    const OpId m1 = g.AddOp(t.mult, s + "_m1");
+    const OpId m2 = g.AddOp(t.mult, s + "_m2");
+    const OpId m3 = g.AddOp(t.mult, s + "_m3");
+    const OpId m4 = g.AddOp(t.mult, s + "_m4");
+    if (f.valid()) {
+      g.AddEdge(f, m1);
+      g.AddEdge(f, m3);
+    }
+    if (gg.valid()) {
+      g.AddEdge(gg, m2);
+      g.AddEdge(gg, m4);
+    }
+    const OpId a1 = g.AddOp(t.add, s + "_a1");
+    g.AddEdge(m1, a1);
+    g.AddEdge(m4, a1);
+    const OpId a2 = g.AddOp(t.add, s + "_a2");
+    g.AddEdge(m2, a2);
+    g.AddEdge(m3, a2);
+    const OpId a3 = g.AddOp(t.add, s + "_a3");
+    g.AddEdge(a1, a3);
+    g.AddEdge(a2, a3);
+    f = a3;
+    gg = a2;
+  }
+  return Finish(std::move(g));
+}
+
+DataFlowGraph BuildRandomDfg(const PaperTypes& t, Rng& rng,
+                             const RandomDfgOptions& options) {
+  assert(options.ops >= 1 && options.layers >= 1);
+  DataFlowGraph g;
+  std::vector<std::vector<OpId>> layers(
+      static_cast<std::size_t>(options.layers));
+  for (int i = 0; i < options.ops; ++i) {
+    ResourceTypeId type;
+    if (rng.NextBool(options.mult_probability)) type = t.mult;
+    else type = rng.NextBool(0.5) ? t.add : t.sub;
+    const OpId id = g.AddOp(type, "r" + std::to_string(i));
+    layers[static_cast<std::size_t>(
+        rng.NextInt(0, options.layers - 1))].push_back(id);
+  }
+  // All benchmark operations are binary (two operand ports), so fan-in is
+  // capped at 2; fan-out is unrestricted.
+  std::vector<int> fan_in(static_cast<std::size_t>(options.ops), 0);
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    for (OpId from : layers[l]) {
+      bool connected = false;
+      for (OpId to : layers[l + 1]) {
+        if (fan_in[to.index()] >= 2) continue;
+        if (rng.NextBool(options.edge_probability)) {
+          g.AddEdge(from, to);
+          ++fan_in[to.index()];
+          connected = true;
+        }
+      }
+      if (connected) continue;
+      // Guarantee at least one edge forward so layers stay meaningful.
+      for (OpId to : layers[l + 1]) {
+        if (fan_in[to.index()] >= 2) continue;
+        g.AddEdge(from, to);
+        ++fan_in[to.index()];
+        break;
+      }
+    }
+  }
+  return Finish(std::move(g));
+}
+
+}  // namespace mshls

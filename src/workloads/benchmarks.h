@@ -1,0 +1,62 @@
+// Benchmark data-flow graphs.
+//
+// The paper evaluates on the "HLS workshop benchmarks '92": the fifth-order
+// elliptic wave filter (EWF) and the main loop of the differential-equation
+// solver (HAL diffeq) with the comparator substituted by a subtraction
+// (paper §7). The diffeq graph below is the exact HAL graph; the EWF graph
+// is a structural reconstruction of the benchmark (the original SIF file is
+// not reproduced in the paper): it has the canonical operation mix of
+// 26 additions + 8 multiplications = 34 operations and the canonical
+// critical path of 17 steps under the paper's delays (add/sub = 1,
+// pipelined multiply = 2), with the same chain-plus-side-arm shape.
+// FIR16 and an AR-lattice-like filter are provided for the wider baseline
+// benches, plus a deterministic random-graph generator for property tests.
+#pragma once
+
+#include "common/rng.h"
+#include "dfg/graph.h"
+#include "model/resource.h"
+
+namespace mshls {
+
+/// The paper's resource types: add/sub with delay 1 and area 1, pipelined
+/// multiplier with delay 2 (DII 1) and area 4.
+struct PaperTypes {
+  ResourceTypeId add;
+  ResourceTypeId sub;
+  ResourceTypeId mult;
+};
+
+/// Registers the paper's three types into `lib` and returns their ids.
+PaperTypes AddPaperTypes(ResourceLibrary& lib);
+
+/// Fifth-order elliptic wave filter: 34 ops (26 add, 8 mult),
+/// critical path 17 with the paper's delays. Returned validated.
+[[nodiscard]] DataFlowGraph BuildEwf(const PaperTypes& t);
+
+/// HAL differential-equation solver main loop, comparator replaced by a
+/// subtraction: 11 ops (6 mult, 2 add, 3 sub), critical path 8.
+[[nodiscard]] DataFlowGraph BuildDiffeq(const PaperTypes& t);
+
+/// 16-tap FIR filter: 16 mult + 15-add balanced reduction tree,
+/// critical path 6.
+[[nodiscard]] DataFlowGraph BuildFir16(const PaperTypes& t);
+
+/// Four-stage AR-lattice-like filter: 28 ops (16 mult, 12 add),
+/// critical path 16.
+[[nodiscard]] DataFlowGraph BuildArLattice(const PaperTypes& t);
+
+struct RandomDfgOptions {
+  int ops = 20;
+  int layers = 5;
+  /// Probability of an edge between ops in adjacent layers.
+  double edge_probability = 0.4;
+  /// Probability that an op is a multiplication (else add/sub evenly).
+  double mult_probability = 0.3;
+};
+
+/// Deterministic layered random DAG over the paper's types.
+[[nodiscard]] DataFlowGraph BuildRandomDfg(const PaperTypes& t, Rng& rng,
+                                           const RandomDfgOptions& options);
+
+}  // namespace mshls

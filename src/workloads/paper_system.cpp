@@ -1,0 +1,43 @@
+#include "workloads/paper_system.h"
+
+#include <cassert>
+
+namespace mshls {
+
+PaperSystem BuildPaperSystem(const PaperSystemOptions& options) {
+  PaperSystem sys;
+  sys.types = AddPaperTypes(sys.model.library());
+
+  const int ewf_deadline[3] = {options.ewf_deadline_a, options.ewf_deadline_a,
+                               options.ewf_deadline_b};
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "ewf" + std::to_string(i + 1);
+    sys.ewf[i] = sys.model.AddProcess(name, ewf_deadline[i]);
+    sys.model.AddBlock(sys.ewf[i], name + "_main", BuildEwf(sys.types),
+                       ewf_deadline[i]);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const std::string name = "diffeq" + std::to_string(i + 1);
+    sys.diffeq[i] = sys.model.AddProcess(name, options.diffeq_deadline);
+    sys.model.AddBlock(sys.diffeq[i], name + "_main", BuildDiffeq(sys.types),
+                       options.diffeq_deadline);
+  }
+
+  if (options.make_global) {
+    const std::vector<ProcessId> all = {sys.ewf[0], sys.ewf[1], sys.ewf[2],
+                                        sys.diffeq[0], sys.diffeq[1]};
+    sys.model.MakeGlobal(sys.types.add, all);
+    sys.model.MakeGlobal(sys.types.mult, all);
+    sys.model.MakeGlobal(sys.types.sub, {sys.diffeq[0], sys.diffeq[1]});
+    sys.model.SetPeriod(sys.types.add, options.period);
+    sys.model.SetPeriod(sys.types.mult, options.period);
+    sys.model.SetPeriod(sys.types.sub, options.period);
+  }
+
+  const Status s = sys.model.Validate();
+  assert(s.ok());
+  (void)s;
+  return sys;
+}
+
+}  // namespace mshls

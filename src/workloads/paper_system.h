@@ -1,0 +1,40 @@
+// The multi-process example of the paper's experimental section (§7):
+// five independently running processes — three elliptic wave filters
+// (P1–P3) and two differential-equation solver loops (P4, P5) — with the
+// adder and multiplier shared globally by all five processes and the
+// subtracter shared by P4 + P5, one common period for all global types.
+//
+// The paper's scan lost most digits; the reconstruction used here
+// (documented in DESIGN.md) is:
+//   deadlines: P1 = P2 = 30, P3 = 25, P4 = P5 = 15;  common period 5.
+// All knobs are parameters so benches can sweep them.
+#pragma once
+
+#include "model/system_model.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+
+struct PaperSystemOptions {
+  int ewf_deadline_a = 30;  // P1, P2
+  int ewf_deadline_b = 25;  // P3
+  int diffeq_deadline = 15; // P4, P5
+  int period = 5;           // lambda for every global type
+  /// Apply the paper's S1 choice (adder+multiplier global to all five,
+  /// subtracter global to P4+P5). When false all types stay local.
+  bool make_global = true;
+};
+
+struct PaperSystem {
+  SystemModel model;
+  PaperTypes types;
+  ProcessId ewf[3];
+  ProcessId diffeq[2];
+};
+
+/// Builds and validates the system; asserts on internal inconsistency
+/// (the options are compile-time style knobs, not user input).
+[[nodiscard]] PaperSystem BuildPaperSystem(
+    const PaperSystemOptions& options = {});
+
+}  // namespace mshls

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "modulo/assignment_search.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+class AssignmentSearchTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  ProcessId AddProcessOf(const std::string& name, int adds, int mults,
+                         int range) {
+    DataFlowGraph g;
+    for (int i = 0; i < adds; ++i)
+      g.AddOp(types_.add, name + "_a" + std::to_string(i));
+    for (int i = 0; i < mults; ++i)
+      g.AddOp(types_.mult, name + "_m" + std::to_string(i));
+    EXPECT_TRUE(g.Validate().ok());
+    const ProcessId p = model_.AddProcess(name, range);
+    model_.AddBlock(p, name + "_main", std::move(g), range);
+    return p;
+  }
+};
+
+TEST_F(AssignmentSearchTest, PrefersSharingWhenItSavesArea) {
+  // Two low-utilization processes: sharing the multiplier saves 4 area
+  // units, sharing the adder saves 1.
+  AddProcessOf("p1", 2, 1, 8);
+  AddProcessOf("p2", 2, 1, 8);
+  ASSERT_TRUE(model_.Validate().ok());
+  auto result = SearchAssignments(model_, CoupledParams{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().combinations, 4);  // 2 shareable types
+  EXPECT_EQ(result.value().evaluated, 4);
+  for (const AssignmentChoice& c : result.value().choices) {
+    EXPECT_TRUE(c.global) << model_.library().type(c.type).name;
+    EXPECT_EQ(c.period, 8);  // gcd of the deadlines
+  }
+  // area: 1 adder + 1 mult = 5 vs all-local 2 + 8 = 10.
+  EXPECT_EQ(result.value().area, 5);
+}
+
+TEST_F(AssignmentSearchTest, ModelLeftConfiguredWithWinner) {
+  AddProcessOf("p1", 1, 1, 6);
+  AddProcessOf("p2", 1, 1, 6);
+  ASSERT_TRUE(model_.Validate().ok());
+  auto result = SearchAssignments(model_, CoupledParams{});
+  ASSERT_TRUE(result.ok());
+  for (const AssignmentChoice& c : result.value().choices)
+    EXPECT_EQ(model_.is_global(c.type), c.global);
+}
+
+TEST_F(AssignmentSearchTest, TypeUsedByOneProcessIsNotShareable) {
+  AddProcessOf("p1", 2, 0, 6);
+  AddProcessOf("p2", 2, 1, 6);  // only p2 multiplies
+  ASSERT_TRUE(model_.Validate().ok());
+  auto result = SearchAssignments(model_, CoupledParams{});
+  ASSERT_TRUE(result.ok());
+  // Only the adder is shareable.
+  ASSERT_EQ(result.value().choices.size(), 1u);
+  EXPECT_EQ(result.value().choices[0].type, types_.add);
+  EXPECT_FALSE(model_.is_global(types_.mult));
+}
+
+TEST_F(AssignmentSearchTest, NoShareableTypesIsAnError) {
+  AddProcessOf("p1", 1, 0, 4);
+  ASSERT_TRUE(model_.Validate().ok());
+  auto result = SearchAssignments(model_, CoupledParams{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AssignmentSearchTest, EvaluationCapRespected) {
+  AddProcessOf("p1", 2, 1, 8);
+  AddProcessOf("p2", 2, 1, 8);
+  ASSERT_TRUE(model_.Validate().ok());
+  AssignmentSearchOptions options;
+  options.max_evaluations = 2;
+  auto result = SearchAssignments(model_, CoupledParams{}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().evaluated, 2);
+}
+
+TEST_F(AssignmentSearchTest, SearchNeverWorseThanAllLocal) {
+  // The all-local combination (mask 0) is part of the search space, so
+  // the winner's area is a lower bound of it.
+  AddProcessOf("p1", 3, 2, 10);
+  AddProcessOf("p2", 1, 1, 10);
+  AddProcessOf("p3", 2, 1, 20);
+  ASSERT_TRUE(model_.Validate().ok());
+
+  // All-local area first.
+  CoupledParams params;
+  params.mode = GlobalForceMode::kIgnoreGlobal;
+  CoupledScheduler local(model_, params);
+  auto local_run = local.Run();
+  ASSERT_TRUE(local_run.ok());
+  const int local_area =
+      local_run.value().allocation.TotalArea(model_.library());
+
+  auto result = SearchAssignments(model_, CoupledParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().area, local_area);
+}
+
+TEST_F(AssignmentSearchTest, PaperSystemSharesTheExpensiveTypes) {
+  // On the paper system the search explores all 8 scope combinations.
+  // With its gcd-period heuristic (sub period 15 instead of the paper's
+  // common 5) the exact winner may differ in the cheap subtracter, but the
+  // expensive multiplier must be shared and the area must match or beat
+  // the paper's hand assignment (17).
+  PaperSystem sys = BuildPaperSystem();
+  auto result = SearchAssignments(sys.model, CoupledParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().combinations, 8);
+  bool mult_global = false;
+  int global_count = 0;
+  for (const AssignmentChoice& c : result.value().choices) {
+    global_count += c.global ? 1 : 0;
+    if (c.type == sys.types.mult) mult_global = c.global;
+  }
+  EXPECT_TRUE(mult_global);
+  EXPECT_GE(global_count, 2);
+  EXPECT_LE(result.value().area, 17);
+}
+
+// ---- utilization heuristic ----
+
+TEST_F(AssignmentSearchTest, TypeUtilizationIsWorkOverSteps) {
+  const ProcessId p = AddProcessOf("p1", 4, 2, 8);
+  ASSERT_TRUE(model_.Validate().ok());
+  // 4 add occupancy-steps / 8 steps; 2 pipelined mult issues / 8 steps.
+  EXPECT_DOUBLE_EQ(TypeUtilization(model_, p, types_.add), 0.5);
+  EXPECT_DOUBLE_EQ(TypeUtilization(model_, p, types_.mult), 0.25);
+  EXPECT_DOUBLE_EQ(TypeUtilization(model_, p, types_.sub), 0.0);
+}
+
+TEST_F(AssignmentSearchTest, SuggestSharesLowUtilizationTypes) {
+  AddProcessOf("p1", 2, 1, 8);  // add 0.25, mult 0.125
+  AddProcessOf("p2", 2, 1, 8);
+  ASSERT_TRUE(model_.Validate().ok());
+  auto choices = SuggestAssignments(model_, /*utilization_threshold=*/1.0);
+  ASSERT_TRUE(choices.ok());
+  for (const AssignmentChoice& c : choices.value()) {
+    EXPECT_TRUE(c.global);
+    EXPECT_EQ(c.period, 8);
+    EXPECT_TRUE(model_.is_global(c.type));
+  }
+}
+
+TEST_F(AssignmentSearchTest, SuggestKeepsHighUtilizationTypesLocal) {
+  // 7 adds in 8 steps per process: utilization 0.875 each, sum 1.75 > 1
+  // -> one shared adder cannot absorb both, keep local.
+  AddProcessOf("p1", 7, 0, 8);
+  AddProcessOf("p2", 7, 0, 8);
+  ASSERT_TRUE(model_.Validate().ok());
+  auto choices = SuggestAssignments(model_, 1.0);
+  ASSERT_TRUE(choices.ok());
+  ASSERT_EQ(choices.value().size(), 1u);
+  EXPECT_FALSE(choices.value()[0].global);
+  EXPECT_FALSE(model_.is_global(types_.add));
+}
+
+TEST_F(AssignmentSearchTest, SuggestMatchesPaperChoiceOnPaperSystem) {
+  // Group utilizations on the paper system: adds 26/30+26/30+26/25 +
+  // 2/15+2/15 ~ 3.04 > 1 would stay local... with a threshold at the
+  // pool-size level the paper's choice corresponds to allowing sums up to
+  // ~4 (it builds 4 adders). The check here: with threshold 4 every type
+  // is shared, matching the paper's S1.
+  PaperSystem sys = BuildPaperSystem();
+  auto choices = SuggestAssignments(sys.model, /*utilization_threshold=*/4.0);
+  ASSERT_TRUE(choices.ok());
+  ASSERT_EQ(choices.value().size(), 3u);
+  for (const AssignmentChoice& c : choices.value()) EXPECT_TRUE(c.global);
+  // And the resulting model still schedules to the paper's area.
+  CoupledScheduler scheduler(sys.model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().allocation.TotalArea(sys.model.library()), 20);
+}
+
+}  // namespace
+}  // namespace mshls

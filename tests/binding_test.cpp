@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "bind/binding.h"
+#include "bind/registers.h"
+#include "modulo/coupled_scheduler.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+class BindingTest : public ::testing::Test {
+ protected:
+  CoupledResult Run(SystemModel& model) {
+    EXPECT_TRUE(model.Validate().ok());
+    CoupledScheduler scheduler(model, CoupledParams{});
+    auto result = scheduler.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+};
+
+TEST_F(BindingTest, PaperSystemBindsAndValidates) {
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult result = Run(sys.model);
+  auto binding = BindSystem(sys.model, result.schedule, result.allocation);
+  ASSERT_TRUE(binding.ok()) << binding.status().ToString();
+  EXPECT_TRUE(ValidateBinding(sys.model, result.schedule, result.allocation,
+                              binding.value())
+                  .ok());
+  // Instance count equals pools + locals.
+  std::size_t expected = 0;
+  for (const GlobalTypeAllocation& ga : result.allocation.global)
+    expected += static_cast<std::size_t>(ga.instances);
+  for (const auto& per_process : result.allocation.local)
+    for (int n : per_process) expected += static_cast<std::size_t>(n);
+  EXPECT_EQ(binding.value().instances.size(), expected);
+}
+
+TEST_F(BindingTest, EveryOpBoundToMatchingType) {
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult result = Run(sys.model);
+  auto binding = BindSystem(sys.model, result.schedule, result.allocation);
+  ASSERT_TRUE(binding.ok());
+  for (const Block& b : sys.model.blocks()) {
+    for (const Operation& op : b.graph.ops()) {
+      const InstanceId inst = binding.value().of(b.id, op.id);
+      ASSERT_TRUE(inst.valid());
+      EXPECT_EQ(binding.value().info(inst).type, op.type);
+    }
+  }
+}
+
+TEST_F(BindingTest, LocalIntervalAssignmentSharesSequentially) {
+  // Four sequential adds must all land on one local adder instance.
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  DataFlowGraph g;
+  OpId prev = OpId::invalid();
+  for (int i = 0; i < 4; ++i) {
+    const OpId cur = g.AddOp(t.add, "a" + std::to_string(i));
+    if (prev.valid()) g.AddEdge(prev, cur);
+    prev = cur;
+  }
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = m.AddProcess("p", 4);
+  const BlockId b = m.AddBlock(p, "b", std::move(g), 4);
+  const CoupledResult result = Run(m);
+  auto binding = BindSystem(m, result.schedule, result.allocation);
+  ASSERT_TRUE(binding.ok());
+  const InstanceId first = binding.value().of(b, OpId{0});
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(binding.value().of(b, OpId{i}), first);
+  EXPECT_FALSE(binding.value().info(first).global);
+  EXPECT_EQ(binding.value().info(first).owner, p);
+}
+
+TEST_F(BindingTest, GlobalPoolInstancesPartitionedByResidue) {
+  // Two processes, each two adds, period 2, aligned on opposite residues:
+  // both processes must use the same physical pool instance.
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  std::vector<ProcessId> procs;
+  std::vector<BlockId> blocks;
+  for (int pi = 0; pi < 2; ++pi) {
+    DataFlowGraph g;
+    g.AddOp(t.add, "a0");
+    g.AddOp(t.add, "a1");
+    EXPECT_TRUE(g.Validate().ok());
+    const ProcessId p = m.AddProcess("p" + std::to_string(pi), 4);
+    blocks.push_back(m.AddBlock(p, "b", std::move(g), 4));
+    procs.push_back(p);
+  }
+  m.MakeGlobal(t.add, procs);
+  m.SetPeriod(t.add, 2);
+  const CoupledResult result = Run(m);
+  ASSERT_EQ(result.allocation.FindGlobal(t.add)->instances, 1);
+  auto binding = BindSystem(m, result.schedule, result.allocation);
+  ASSERT_TRUE(binding.ok());
+  EXPECT_TRUE(ValidateBinding(m, result.schedule, result.allocation,
+                              binding.value())
+                  .ok());
+  // All four ops on the single pool instance.
+  for (BlockId b : blocks)
+    for (int i = 0; i < 2; ++i) {
+      const InstanceInfo& info =
+          binding.value().info(binding.value().of(b, OpId{i}));
+      EXPECT_TRUE(info.global);
+      EXPECT_EQ(info.local_index, 0);
+    }
+}
+
+TEST_F(BindingTest, ValidateBindingDetectsForgedOwnership) {
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult result = Run(sys.model);
+  auto binding = BindSystem(sys.model, result.schedule, result.allocation);
+  ASSERT_TRUE(binding.ok());
+  // Forge: rebind some op to a wrong-type instance.
+  SystemBinding forged = std::move(binding).value();
+  const Block& b0 = sys.model.block(BlockId{0});
+  OpId add_op = OpId::invalid();
+  InstanceId mult_inst = InstanceId::invalid();
+  for (const Operation& op : b0.graph.ops())
+    if (op.type == sys.types.add) add_op = op.id;
+  for (const InstanceInfo& info : forged.instances)
+    if (info.type == sys.types.mult) mult_inst = info.id;
+  ASSERT_TRUE(add_op.valid());
+  ASSERT_TRUE(mult_inst.valid());
+  forged.op_instance[0][add_op.index()] = mult_inst;
+  EXPECT_FALSE(ValidateBinding(sys.model, result.schedule, result.allocation,
+                               forged)
+                   .ok());
+}
+
+// ---- register allocation ----
+
+TEST(RegistersTest, LifetimesFollowScheduleAndConsumers) {
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  DataFlowGraph g;
+  const OpId a = g.AddOp(t.add, "a");
+  const OpId mu = g.AddOp(t.mult, "m");
+  const OpId b = g.AddOp(t.add, "b");
+  g.AddEdge(a, mu);
+  g.AddEdge(mu, b);
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = m.AddProcess("p", 6);
+  const BlockId bid = m.AddBlock(p, "b", std::move(g), 6);
+  ASSERT_TRUE(m.Validate().ok());
+  BlockSchedule s(3);
+  s.set_start(a, 0);
+  s.set_start(mu, 1);
+  s.set_start(b, 3);
+  const auto lifetimes = ComputeLifetimes(m.block(bid), m.library(), s);
+  // a: born 1 (end of add), read by m starting at 1 -> death max(1+1,
+  // birth+1) = 2.
+  EXPECT_EQ(lifetimes[a.index()].birth, 1);
+  EXPECT_EQ(lifetimes[a.index()].death, 2);
+  // m: born 3, read by b at 3 -> death 4.
+  EXPECT_EQ(lifetimes[mu.index()].birth, 3);
+  EXPECT_EQ(lifetimes[mu.index()].death, 4);
+  // b: sink -> lives to block end.
+  EXPECT_EQ(lifetimes[b.index()].birth, 4);
+  EXPECT_EQ(lifetimes[b.index()].death, 7);  // beyond the range: observable
+}
+
+TEST(RegistersTest, LeftEdgePacksDisjointLifetimes) {
+  std::vector<ValueLifetime> lifetimes = {
+      {OpId{0}, 0, 2},
+      {OpId{1}, 2, 4},
+      {OpId{2}, 4, 6},
+  };
+  const auto alloc = AllocateRegisters(lifetimes);
+  EXPECT_EQ(alloc.register_count, 1);
+  EXPECT_EQ(alloc.reg_of[0], alloc.reg_of[1]);
+}
+
+TEST(RegistersTest, LeftEdgeNeedsMaxOverlap) {
+  std::vector<ValueLifetime> lifetimes = {
+      {OpId{0}, 0, 4},
+      {OpId{1}, 1, 3},
+      {OpId{2}, 2, 5},
+      {OpId{3}, 4, 6},  // can reuse the register of op1
+  };
+  const auto alloc = AllocateRegisters(lifetimes);
+  EXPECT_EQ(alloc.register_count, 3);
+  // No two overlapping values share a register.
+  for (std::size_t i = 0; i < lifetimes.size(); ++i)
+    for (std::size_t j = i + 1; j < lifetimes.size(); ++j) {
+      const bool overlap = lifetimes[i].birth < lifetimes[j].death &&
+                           lifetimes[j].birth < lifetimes[i].death;
+      if (overlap)
+        EXPECT_NE(alloc.reg_of[lifetimes[i].producer.index()],
+                  alloc.reg_of[lifetimes[j].producer.index()]);
+    }
+}
+
+TEST(RegistersTest, EmptyLifetimes) {
+  const auto alloc = AllocateRegisters({});
+  EXPECT_EQ(alloc.register_count, 0);
+}
+
+TEST(RegistersTest, SystemRegistersTakeMaxOverBlocks) {
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  const ProcessId p = m.AddProcess("p", 8);
+  for (int blk = 0; blk < 2; ++blk) {
+    DataFlowGraph g;
+    for (int i = 0; i < (blk == 0 ? 1 : 3); ++i)
+      g.AddOp(t.add, "a" + std::to_string(i));
+    ASSERT_TRUE(g.Validate().ok());
+    m.AddBlock(p, "b" + std::to_string(blk), std::move(g), 4);
+  }
+  ASSERT_TRUE(m.Validate().ok());
+  SystemSchedule sched;
+  sched.blocks.resize(2);
+  sched.of(BlockId{0}) = BlockSchedule(1);
+  sched.of(BlockId{0}).set_start(OpId{0}, 0);
+  sched.of(BlockId{1}) = BlockSchedule(3);
+  for (int i = 0; i < 3; ++i) sched.of(BlockId{1}).set_start(OpId{i}, 0);
+  const auto reports = AllocateSystemRegisters(m, sched);
+  ASSERT_EQ(reports.size(), 1u);
+  // Block 1 needs 3 registers (all values live to block end), block 0
+  // needs 1: process register file = 3.
+  EXPECT_EQ(reports[0].register_count, 3);
+}
+
+}  // namespace
+}  // namespace mshls

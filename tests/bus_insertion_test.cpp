@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "dfg/bus_insertion.h"
+#include "modulo/coupled_scheduler.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+class BusInsertionTest : public ::testing::Test {
+ protected:
+  ResourceLibrary lib_;
+  PaperTypes types_ = AddPaperTypes(lib_);
+  ResourceTypeId bus_ = lib_.AddType("bus", /*delay=*/1, /*dii=*/1,
+                                     /*area=*/1);
+
+  DelayFn DelayOf(const DataFlowGraph& g) {
+    return [this, &g](OpId op) { return lib_.type(g.op(op).type).delay; };
+  }
+
+  /// a -> m -> b chain plus a second consumer of a.
+  DataFlowGraph Diamond() {
+    DataFlowGraph g;
+    const OpId a = g.AddOp(types_.add, "a");
+    const OpId m = g.AddOp(types_.mult, "m");
+    const OpId b = g.AddOp(types_.add, "b");
+    g.AddEdge(a, m);
+    g.AddEdge(a, b);
+    g.AddEdge(m, b);
+    EXPECT_TRUE(g.Validate().ok());
+    return g;
+  }
+};
+
+TEST_F(BusInsertionTest, BroadcastInsertsOneTransferPerValue) {
+  BusInsertionOptions options;
+  options.bus_type = bus_;
+  const DataFlowGraph out = InsertBusTransfers(Diamond(), options);
+  // a and m have consumers -> 2 transfers; b is a sink -> none.
+  EXPECT_EQ(out.op_count(), 3u + 2u);
+  int bus_ops = 0;
+  for (const Operation& op : out.ops())
+    if (op.type == bus_) ++bus_ops;
+  EXPECT_EQ(bus_ops, 2);
+  // a's transfer feeds both consumers.
+  const OpId bus_a = OpId{3};
+  EXPECT_EQ(out.op(bus_a).name, "bus_a");
+  EXPECT_EQ(out.succs(bus_a).size(), 2u);
+}
+
+TEST_F(BusInsertionTest, PointToPointInsertsOneTransferPerEdge) {
+  BusInsertionOptions options;
+  options.bus_type = bus_;
+  options.broadcast = false;
+  const DataFlowGraph out = InsertBusTransfers(Diamond(), options);
+  EXPECT_EQ(out.op_count(), 3u + 3u);  // one per original edge
+  EXPECT_EQ(out.edge_count(), 6u);
+}
+
+TEST_F(BusInsertionTest, OriginalIdsAndTypesPreserved) {
+  BusInsertionOptions options;
+  options.bus_type = bus_;
+  const DataFlowGraph in = Diamond();
+  const DataFlowGraph out = InsertBusTransfers(in, options);
+  for (const Operation& op : in.ops()) {
+    EXPECT_EQ(out.op(op.id).type, op.type);
+    EXPECT_EQ(out.op(op.id).name, op.name);
+  }
+}
+
+TEST_F(BusInsertionTest, EveryOriginalEdgeRoutedThroughBus) {
+  BusInsertionOptions options;
+  options.bus_type = bus_;
+  const DataFlowGraph in = Diamond();
+  const DataFlowGraph out = InsertBusTransfers(in, options);
+  // No direct edge between two original (non-bus) ops survives.
+  for (const Edge& e : out.edges()) {
+    const bool from_bus = out.op(e.from).type == bus_;
+    const bool to_bus = out.op(e.to).type == bus_;
+    EXPECT_TRUE(from_bus || to_bus)
+        << e.from.value() << " -> " << e.to.value();
+  }
+}
+
+TEST_F(BusInsertionTest, CriticalPathGrowsByTransferDelays) {
+  const DataFlowGraph in = Diamond();
+  const int cp_in = in.CriticalPathLength(DelayOf(in));
+  BusInsertionOptions options;
+  options.bus_type = bus_;
+  const DataFlowGraph out = InsertBusTransfers(in, options);
+  const int cp_out = out.CriticalPathLength(DelayOf(out));
+  // Chain a -> m -> b has two transfers inserted: +2.
+  EXPECT_EQ(cp_in, 1 + 2 + 1);
+  EXPECT_EQ(cp_out, cp_in + 2);
+}
+
+TEST_F(BusInsertionTest, SkipSourcesLeavesInputsDirect) {
+  BusInsertionOptions options;
+  options.bus_type = bus_;
+  options.skip_sources = true;
+  const DataFlowGraph out = InsertBusTransfers(Diamond(), options);
+  // Only m (non-source with consumers) gets a transfer.
+  int bus_ops = 0;
+  for (const Operation& op : out.ops())
+    if (op.type == bus_) ++bus_ops;
+  EXPECT_EQ(bus_ops, 1);
+}
+
+TEST_F(BusInsertionTest, SharedGlobalBusAcrossProcesses) {
+  // Two processes whose transfers run over one globally shared bus: the
+  // coupled scheduler time-multiplexes the transfer slots by residue.
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  const ResourceTypeId bus = model.library().AddType("bus", 1, 1, 1);
+  std::vector<ProcessId> procs;
+  for (int i = 0; i < 2; ++i) {
+    DataFlowGraph g;
+    const OpId a = g.AddOp(t.add, "a");
+    const OpId b = g.AddOp(t.add, "b");
+    g.AddEdge(a, b);
+    ASSERT_TRUE(g.Validate().ok());
+    BusInsertionOptions options;
+    options.bus_type = bus;
+    DataFlowGraph with_bus = InsertBusTransfers(g, options);
+    const ProcessId p = model.AddProcess("p" + std::to_string(i), 8);
+    model.AddBlock(p, "b", std::move(with_bus), 8);
+    procs.push_back(p);
+  }
+  model.MakeGlobal(bus, procs);
+  model.SetPeriod(bus, 2);
+  ASSERT_TRUE(model.Validate().ok());
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  const GlobalTypeAllocation* pool = result.value().allocation.FindGlobal(bus);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->instances, 1);  // one shared bus suffices
+  EXPECT_TRUE(CheckAllocationCovers(model, result.value().schedule,
+                                    result.value().allocation)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/text_table.h"
+
+namespace mshls {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  OpId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, OpId::invalid());
+}
+
+TEST(StrongIdTest, ValueRoundTrip) {
+  OpId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7);
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(StrongIdTest, Ordering) {
+  EXPECT_LT(OpId{1}, OpId{2});
+  EXPECT_EQ(OpId{3}, OpId{3});
+  EXPECT_NE(OpId{3}, OpId{4});
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<OpId, BlockId>);
+  static_assert(!std::is_same_v<ProcessId, ResourceTypeId>);
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<OpId> set;
+  set.insert(OpId{1});
+  set.insert(OpId{1});
+  set.insert(OpId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s{StatusCode::kInfeasible, "deadline too tight"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.ToString(), "INFEASIBLE: deadline too tight");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kInfeasible,
+        StatusCode::kNotFound, StatusCode::kParseError,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status{StatusCode::kNotFound, "nope"};
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(MathTest, GcdOfRange) {
+  const std::int64_t xs[] = {30, 25, 15};
+  EXPECT_EQ(GcdOf(xs), 5);
+  const std::int64_t ys[] = {7};
+  EXPECT_EQ(GcdOf(ys), 7);
+  EXPECT_EQ(GcdOf(std::span<const std::int64_t>{}), 0);
+}
+
+TEST(MathTest, LcmOfRange) {
+  const std::int64_t xs[] = {4, 6};
+  EXPECT_EQ(LcmOf(xs), 12);
+  EXPECT_EQ(LcmOf(std::span<const std::int64_t>{}), 1);
+}
+
+TEST(MathTest, Divisors) {
+  EXPECT_EQ(DivisorsOf(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(DivisorsOf(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(DivisorsOf(15), (std::vector<std::int64_t>{1, 3, 5, 15}));
+  EXPECT_EQ(DivisorsOf(16), (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+  // Perfect square: the root appears once.
+  EXPECT_EQ(DivisorsOf(36),
+            (std::vector<std::int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(MathTest, FlooredMod) {
+  EXPECT_EQ(FlooredMod(7, 5), 2);
+  EXPECT_EQ(FlooredMod(-1, 5), 4);
+  EXPECT_EQ(FlooredMod(-5, 5), 0);
+  EXPECT_EQ(FlooredMod(0, 3), 0);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, IntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.NextInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoolRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.5) ? 1 : 0;
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.SetHeader({"name", "count"});
+  t.AlignRight(1);
+  t.AddRow({"adder", "4"});
+  t.AddRow({"multiplier", "17"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| name       | count |"), std::string::npos);
+  EXPECT_NE(out.find("| adder      |     4 |"), std::string::npos);
+  EXPECT_NE(out.find("| multiplier |    17 |"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleSeparatesSections) {
+  TextTable t;
+  t.SetHeader({"a"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // Header rule + top + bottom + the explicit one = 4 horizontal rules.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+       ++pos)
+    ++rules;
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t;
+  t.SetHeader({"x", "y"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.Render().find("| only |"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace mshls

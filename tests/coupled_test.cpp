@@ -1,0 +1,291 @@
+// Tests of the paper's core contribution: the coupled multi-process modulo
+// scheduler (S3) with its two-part IFDS modification.
+#include <gtest/gtest.h>
+
+#include "modulo/baseline.h"
+#include "modulo/coupled_scheduler.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+class CoupledTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  /// Process with `n` independent add operations in `range` steps.
+  ProcessId AddIndependentAdds(const std::string& name, int n, int range) {
+    DataFlowGraph g;
+    for (int i = 0; i < n; ++i)
+      g.AddOp(types_.add, name + "_a" + std::to_string(i));
+    EXPECT_TRUE(g.Validate().ok());
+    const ProcessId p = model_.AddProcess(name, range);
+    model_.AddBlock(p, name + "_main", std::move(g), range);
+    return p;
+  }
+
+  CoupledResult RunOn(SystemModel& model,
+                      GlobalForceMode mode = GlobalForceMode::kFull) {
+    EXPECT_TRUE(model.Validate().ok());
+    CoupledParams params;
+    params.mode = mode;
+    CoupledScheduler scheduler(model, std::move(params));
+    auto result = scheduler.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+};
+
+// ---- paper Figure 2: periodic alignment by the modulo-max transform ----
+
+TEST_F(CoupledTest, Figure2AlignmentOfTwoOperations) {
+  // One block, two independent operations of one global type, time range 4,
+  // period 2. The modified algorithm must align both ops on the same
+  // residue class so that the other residue stays free for other processes
+  // (paper §5.1, Figure 2).
+  const ProcessId p = AddIndependentAdds("p", 2, 4);
+  model_.MakeGlobal(types_.add, {p});
+  model_.SetPeriod(types_.add, 2);
+  const CoupledResult result = RunOn(model_);
+
+  const BlockSchedule& s = result.schedule.of(BlockId{0});
+  EXPECT_EQ(s.start(OpId{0}) % 2, s.start(OpId{1}) % 2)
+      << "ops at " << s.start(OpId{0}) << " and " << s.start(OpId{1});
+  // They must not collide outright.
+  EXPECT_NE(s.start(OpId{0}), s.start(OpId{1}));
+  // One residue is completely free.
+  const GlobalTypeAllocation* pool = result.allocation.FindGlobal(types_.add);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->instances, 1);
+  const int used = pool->profile[0] > 0 ? 0 : 1;
+  EXPECT_EQ(pool->profile[1 - used], 0);
+}
+
+TEST_F(CoupledTest, UnmodifiedSchedulerDoesNotAlign) {
+  // Contrast to the above: with global forces ignored (classic IFDS), the
+  // smoothing objective places the two ops on *different* residues (flat
+  // block-local distribution), demonstrating why the modification matters.
+  const ProcessId p = AddIndependentAdds("p", 2, 4);
+  model_.MakeGlobal(types_.add, {p});
+  model_.SetPeriod(types_.add, 2);
+  const CoupledResult result = RunOn(model_, GlobalForceMode::kIgnoreGlobal);
+  const BlockSchedule& s = result.schedule.of(BlockId{0});
+  EXPECT_NE(s.start(OpId{0}) % 2, s.start(OpId{1}) % 2);
+}
+
+TEST_F(CoupledTest, TwoProcessesShareOneAdderOnOppositeResidues) {
+  // Global balancing (part 2) must push two identical processes onto
+  // different residue classes so a single instance serves both.
+  const ProcessId p1 = AddIndependentAdds("p1", 2, 4);
+  const ProcessId p2 = AddIndependentAdds("p2", 2, 4);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  model_.SetPeriod(types_.add, 2);
+  const CoupledResult result = RunOn(model_);
+  const GlobalTypeAllocation* pool = result.allocation.FindGlobal(types_.add);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->instances, 1)
+      << "profile: " << pool->profile[0] << "," << pool->profile[1];
+  // The local baseline needs one adder per process.
+  auto baseline = ScheduleLocalBaseline(model_, CoupledParams{});
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline.value().allocation.TotalInstances(types_.add), 2);
+}
+
+// ---- structural invariants ----
+
+TEST_F(CoupledTest, ScheduleIsValidAndAllocationCovers) {
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult result = RunOn(sys.model);
+  EXPECT_TRUE(ValidateSystemSchedule(sys.model, result.schedule).ok());
+  EXPECT_TRUE(
+      CheckAllocationCovers(sys.model, result.schedule, result.allocation)
+          .ok());
+}
+
+TEST_F(CoupledTest, Deterministic) {
+  PaperSystem sys1 = BuildPaperSystem();
+  PaperSystem sys2 = BuildPaperSystem();
+  const CoupledResult r1 = RunOn(sys1.model);
+  const CoupledResult r2 = RunOn(sys2.model);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  for (const Block& b : sys1.model.blocks())
+    for (const Operation& op : b.graph.ops())
+      EXPECT_EQ(r1.schedule.of(b.id).start(op.id),
+                r2.schedule.of(b.id).start(op.id));
+}
+
+TEST_F(CoupledTest, GlobalPoolSatisfiesResidueInequality) {
+  // N_g = max_tau sum_p A_p(tau) by construction; re-verify by hand.
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult result = RunOn(sys.model);
+  for (const GlobalTypeAllocation& ga : result.allocation.global) {
+    for (std::size_t tau = 0; tau < ga.profile.size(); ++tau) {
+      int sum = 0;
+      for (const auto& auth : ga.authorization) sum += auth[tau];
+      EXPECT_EQ(sum, ga.profile[tau]);
+      EXPECT_LE(sum, ga.instances);
+    }
+  }
+}
+
+TEST_F(CoupledTest, ObserverTracesEveryIteration) {
+  const ProcessId p1 = AddIndependentAdds("p1", 3, 5);
+  (void)p1;
+  ASSERT_TRUE(model_.Validate().ok());
+  int calls = 0;
+  CoupledParams params;
+  params.observer = [&](const CoupledIterationTrace& trace) {
+    EXPECT_EQ(trace.iteration, calls);
+    EXPECT_FALSE(trace.candidates.empty());
+    EXPECT_TRUE(trace.chosen_op.valid());
+    ++calls;
+  };
+  CoupledScheduler scheduler(model_, std::move(params));
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, result.value().iterations);
+}
+
+// ---- the headline claim: less than one resource per type and process ----
+
+TEST_F(CoupledTest, PaperSystemBeatsLocalBaselineOnArea) {
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult global = RunOn(sys.model);
+  auto baseline = ScheduleLocalBaseline(sys.model, CoupledParams{});
+  ASSERT_TRUE(baseline.ok());
+  const int global_area = global.allocation.TotalArea(sys.model.library());
+  const int local_area =
+      baseline.value().allocation.TotalArea(sys.model.library());
+  // Paper: 17 vs 28 (39% saving). Exact counts are heuristic-dependent;
+  // the shape that must hold: a clear area win.
+  EXPECT_LT(global_area, local_area);
+  EXPECT_LE(static_cast<double>(global_area) / local_area, 0.85)
+      << "global " << global_area << " vs local " << local_area;
+}
+
+TEST_F(CoupledTest, PaperSystemSharesBelowOnePerProcess) {
+  // The impossible-for-traditional-scheduling property: fewer multiplier
+  // instances than processes using multipliers (5), and fewer subtracters
+  // than subtracter-using processes (2).
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult global = RunOn(sys.model);
+  const GlobalTypeAllocation* mult =
+      global.allocation.FindGlobal(sys.types.mult);
+  ASSERT_NE(mult, nullptr);
+  EXPECT_LT(mult->instances, 5);
+  const GlobalTypeAllocation* sub =
+      global.allocation.FindGlobal(sys.types.sub);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_LT(sub->instances, 2);
+  EXPECT_EQ(sub->users.size(), 2u);
+}
+
+TEST_F(CoupledTest, BlockModuloOnlyModeStillAligns) {
+  // Part-1-only ablation: alignment happens, but no cross-process
+  // balancing; the result must still be a valid covered schedule.
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult result =
+      RunOn(sys.model, GlobalForceMode::kBlockModuloOnly);
+  EXPECT_TRUE(
+      CheckAllocationCovers(sys.model, result.schedule, result.allocation)
+          .ok());
+}
+
+TEST_F(CoupledTest, FullModeNotWorseThanIgnoreGlobalOnPool) {
+  PaperSystem sys = BuildPaperSystem();
+  const CoupledResult full = RunOn(sys.model, GlobalForceMode::kFull);
+  const CoupledResult naive = RunOn(sys.model, GlobalForceMode::kIgnoreGlobal);
+  // Scheduling blind to the modulo profiles cannot beat the modified
+  // algorithm on pooled area (same allocation rule applied after the fact).
+  EXPECT_LE(full.allocation.TotalArea(sys.model.library()),
+            naive.allocation.TotalArea(sys.model.library()));
+}
+
+// ---- grid-move invariance (paper eq. 2) ----
+
+TEST_F(CoupledTest, PhaseShiftByPeriodKeepsInstanceCount) {
+  // Shifting a block's phase by a full period must not change anything;
+  // shifting by a partial period changes residues but the allocation must
+  // still cover the schedule.
+  const ProcessId p1 = AddIndependentAdds("p1", 2, 4);
+  const ProcessId p2 = AddIndependentAdds("p2", 2, 4);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  model_.SetPeriod(types_.add, 2);
+  const CoupledResult base = RunOn(model_);
+
+  model_.mutable_block(BlockId{1}).phase = 0;  // unchanged reference
+  const CoupledResult same = RunOn(model_);
+  EXPECT_EQ(base.allocation.FindGlobal(types_.add)->instances,
+            same.allocation.FindGlobal(types_.add)->instances);
+
+  model_.mutable_block(BlockId{1}).phase = 1;  // half-period offset
+  const CoupledResult shifted = RunOn(model_);
+  EXPECT_TRUE(CheckAllocationCovers(model_, shifted.schedule,
+                                    shifted.allocation)
+                  .ok());
+  // The scheduler exploits the offset as well: still one adder.
+  EXPECT_EQ(shifted.allocation.FindGlobal(types_.add)->instances, 1);
+}
+
+TEST_F(CoupledTest, SingleBlockNoGlobalsDegeneratesToIfds) {
+  // With one block and no global types the coupled engine must equal the
+  // plain single-block IFDS result exactly.
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  const ProcessId p = m.AddProcess("p", 12);
+  const BlockId b = m.AddBlock(p, "main", BuildDiffeq(t), 12);
+  ASSERT_TRUE(m.Validate().ok());
+
+  CoupledScheduler scheduler(m, CoupledParams{});
+  auto coupled = scheduler.Run();
+  ASSERT_TRUE(coupled.ok());
+  auto single = ScheduleBlockIfds(m.block(b), m.library(), {});
+  ASSERT_TRUE(single.ok());
+  for (const Operation& op : m.block(b).graph.ops())
+    EXPECT_EQ(coupled.value().schedule.of(b).start(op.id),
+              single.value().schedule.start(op.id));
+  EXPECT_EQ(coupled.value().iterations, single.value().iterations);
+}
+
+TEST_F(CoupledTest, MultiBlockProcessUsesMaxNotSum) {
+  // Two blocks of ONE process never overlap (C2): the process max rule
+  // (paper eq. 9) must not add their demands.
+  const ProcessId p = model_.AddProcess("p", 8);
+  for (int blk = 0; blk < 2; ++blk) {
+    DataFlowGraph g;
+    for (int i = 0; i < 2; ++i)
+      g.AddOp(types_.add, "b" + std::to_string(blk) + "_a" +
+                              std::to_string(i));
+    ASSERT_TRUE(g.Validate().ok());
+    model_.AddBlock(p, "blk" + std::to_string(blk), std::move(g), 4);
+  }
+  model_.MakeGlobal(types_.add, {p});
+  model_.SetPeriod(types_.add, 2);
+  const CoupledResult result = RunOn(model_);
+  const GlobalTypeAllocation* pool = result.allocation.FindGlobal(types_.add);
+  ASSERT_NE(pool, nullptr);
+  // Each block fits in one adder per residue; with max-combining the pool
+  // must stay at 1 even though the summed demand would be 2.
+  EXPECT_EQ(pool->instances, 1);
+}
+
+TEST_F(CoupledTest, GroupProfileMatchesAllocationAfterRun) {
+  PaperSystem sys = BuildPaperSystem();
+  ASSERT_TRUE(sys.model.Validate().ok());
+  CoupledScheduler scheduler(sys.model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  // Once every frame is fixed, the engine's G profile equals the integer
+  // occupancy profile of the allocation.
+  for (const GlobalTypeAllocation& ga : result.value().allocation.global) {
+    const Profile& g = scheduler.GroupProfile(ga.type);
+    ASSERT_EQ(g.size(), ga.profile.size());
+    for (std::size_t tau = 0; tau < g.size(); ++tau)
+      EXPECT_NEAR(g[tau], ga.profile[tau], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mshls

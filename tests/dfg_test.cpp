@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "dfg/dot_export.h"
+#include "dfg/graph.h"
+#include "model/resource.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+class DfgTest : public ::testing::Test {
+ protected:
+  ResourceLibrary lib_;
+  ResourceTypeId add_ = lib_.AddType("add", 1, 1, 1);
+  ResourceTypeId mult_ = lib_.AddPipelined("mult", 2, 4);
+
+  DelayFn DelayOf(const DataFlowGraph& g) {
+    return [this, &g](OpId op) { return lib_.type(g.op(op).type).delay; };
+  }
+};
+
+TEST_F(DfgTest, AddOpAssignsDenseIds) {
+  DataFlowGraph g;
+  EXPECT_EQ(g.AddOp(add_).value(), 0);
+  EXPECT_EQ(g.AddOp(mult_).value(), 1);
+  EXPECT_EQ(g.op_count(), 2u);
+}
+
+TEST_F(DfgTest, ValidateBuildsAdjacency) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_, "a");
+  const OpId b = g.AddOp(add_, "b");
+  const OpId c = g.AddOp(mult_, "c");
+  g.AddEdge(a, c);
+  g.AddEdge(b, c);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.preds(c).size(), 2u);
+  EXPECT_EQ(g.succs(a).size(), 1u);
+  EXPECT_EQ(g.succs(a)[0], c);
+}
+
+TEST_F(DfgTest, ValidateRejectsSelfLoop) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_);
+  g.AddEdge(a, a);
+  const Status s = g.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DfgTest, ValidateRejectsCycle) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_);
+  const OpId b = g.AddOp(add_);
+  const OpId c = g.AddOp(add_);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(c, a);
+  const Status s = g.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cycle"), std::string::npos);
+}
+
+TEST_F(DfgTest, ValidateRejectsOutOfRangeEdge) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_);
+  g.AddEdge(a, OpId{5});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST_F(DfgTest, ValidateDeduplicatesParallelEdges) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_);
+  const OpId b = g.AddOp(add_);
+  g.AddEdge(a, b);
+  g.AddEdge(a, b);
+  g.AddEdge(a, b);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.preds(b).size(), 1u);
+}
+
+TEST_F(DfgTest, TopologicalOrderRespectsEdgesAndIsStable) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_);  // 0
+  const OpId b = g.AddOp(add_);  // 1
+  const OpId c = g.AddOp(add_);  // 2
+  const OpId d = g.AddOp(add_);  // 3
+  g.AddEdge(c, a);
+  g.AddEdge(d, b);
+  ASSERT_TRUE(g.Validate().ok());
+  const auto topo = g.topological_order();
+  // Lexicographically smallest order: c(2) unblocks a(0), which precedes
+  // the remaining source d(3).
+  EXPECT_EQ(topo[0], c);
+  EXPECT_EQ(topo[1], a);
+  EXPECT_EQ(topo[2], d);
+  EXPECT_EQ(topo[3], b);
+  // Positions respect edges.
+  std::vector<int> pos(g.op_count());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i].index()] = int(i);
+  for (const Edge& e : g.edges())
+    EXPECT_LT(pos[e.from.index()], pos[e.to.index()]);
+}
+
+TEST_F(DfgTest, CriticalPathSingleChain) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_);
+  const OpId m = g.AddOp(mult_);
+  const OpId b = g.AddOp(add_);
+  g.AddEdge(a, m);
+  g.AddEdge(m, b);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.CriticalPathLength(DelayOf(g)), 1 + 2 + 1);
+}
+
+TEST_F(DfgTest, CriticalPathTakesHeaviestBranch) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_);
+  const OpId m1 = g.AddOp(mult_);
+  const OpId m2 = g.AddOp(mult_);
+  const OpId b = g.AddOp(add_);
+  g.AddEdge(a, m1);
+  g.AddEdge(m1, m2);
+  g.AddEdge(m2, b);
+  g.AddEdge(a, b);  // light branch
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.CriticalPathLength(DelayOf(g)), 1 + 2 + 2 + 1);
+}
+
+TEST_F(DfgTest, SourceAndSinkOps) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_);
+  const OpId b = g.AddOp(add_);
+  const OpId c = g.AddOp(add_);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.SourceOps(), std::vector<OpId>{a});
+  EXPECT_EQ(g.SinkOps(), std::vector<OpId>{c});
+}
+
+TEST_F(DfgTest, CountOpsPerType) {
+  DataFlowGraph g;
+  g.AddOp(add_);
+  g.AddOp(mult_);
+  g.AddOp(add_);
+  const auto counts = CountOpsPerType(g);
+  EXPECT_EQ(counts[add_.index()], 2);
+  EXPECT_EQ(counts[mult_.index()], 1);
+}
+
+TEST_F(DfgTest, DotExportContainsNodesAndEdges) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(add_, "x");
+  const OpId b = g.AddOp(mult_, "y");
+  g.AddEdge(a, b);
+  ASSERT_TRUE(g.Validate().ok());
+  DotOptions options;
+  options.type_label = [this](ResourceTypeId t) { return lib_.type(t).name; };
+  const std::string dot = ToDot(g, "test", options);
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"x\\nadd\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+}
+
+// --- benchmark graph properties (paper workload fidelity) ---
+
+class BenchmarkGraphTest : public ::testing::Test {
+ protected:
+  ResourceLibrary lib_;
+  PaperTypes types_ = AddPaperTypes(lib_);
+
+  DelayFn DelayOf(const DataFlowGraph& g) {
+    return [this, &g](OpId op) { return lib_.type(g.op(op).type).delay; };
+  }
+
+  int CountType(const DataFlowGraph& g, ResourceTypeId t) {
+    int n = 0;
+    for (const Operation& op : g.ops())
+      if (op.type == t) ++n;
+    return n;
+  }
+};
+
+TEST_F(BenchmarkGraphTest, PaperTypesMatchPaperParameters) {
+  EXPECT_EQ(lib_.type(types_.add).delay, 1);
+  EXPECT_EQ(lib_.type(types_.add).area, 1);
+  EXPECT_EQ(lib_.type(types_.sub).delay, 1);
+  EXPECT_EQ(lib_.type(types_.sub).area, 1);
+  EXPECT_EQ(lib_.type(types_.mult).delay, 2);
+  EXPECT_EQ(lib_.type(types_.mult).dii, 1);  // pipelined
+  EXPECT_EQ(lib_.type(types_.mult).area, 4);
+}
+
+TEST_F(BenchmarkGraphTest, EwfHasCanonicalOperationMix) {
+  const DataFlowGraph g = BuildEwf(types_);
+  EXPECT_EQ(g.op_count(), 34u);
+  EXPECT_EQ(CountType(g, types_.add), 26);
+  EXPECT_EQ(CountType(g, types_.mult), 8);
+  EXPECT_EQ(CountType(g, types_.sub), 0);
+}
+
+TEST_F(BenchmarkGraphTest, EwfHasCanonicalCriticalPath) {
+  const DataFlowGraph g = BuildEwf(types_);
+  EXPECT_EQ(g.CriticalPathLength(DelayOf(g)), 17);
+}
+
+TEST_F(BenchmarkGraphTest, DiffeqHasCanonicalOperationMix) {
+  const DataFlowGraph g = BuildDiffeq(types_);
+  EXPECT_EQ(g.op_count(), 11u);
+  EXPECT_EQ(CountType(g, types_.mult), 6);
+  EXPECT_EQ(CountType(g, types_.add), 2);
+  // Two subtractions plus the comparator-substituted one (paper §7).
+  EXPECT_EQ(CountType(g, types_.sub), 3);
+}
+
+TEST_F(BenchmarkGraphTest, DiffeqCriticalPath) {
+  const DataFlowGraph g = BuildDiffeq(types_);
+  EXPECT_EQ(g.CriticalPathLength(DelayOf(g)), 8);
+}
+
+TEST_F(BenchmarkGraphTest, Fir16Structure) {
+  const DataFlowGraph g = BuildFir16(types_);
+  EXPECT_EQ(CountType(g, types_.mult), 16);
+  EXPECT_EQ(CountType(g, types_.add), 15);
+  EXPECT_EQ(g.CriticalPathLength(DelayOf(g)), 2 + 4);
+}
+
+TEST_F(BenchmarkGraphTest, ArLatticeStructure) {
+  const DataFlowGraph g = BuildArLattice(types_);
+  EXPECT_EQ(g.op_count(), 28u);
+  EXPECT_EQ(CountType(g, types_.mult), 16);
+  EXPECT_EQ(CountType(g, types_.add), 12);
+  EXPECT_EQ(g.CriticalPathLength(DelayOf(g)), 16);
+}
+
+TEST_F(BenchmarkGraphTest, RandomDfgIsDeterministicInSeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const DataFlowGraph a = BuildRandomDfg(types_, rng1, {});
+  const DataFlowGraph b = BuildRandomDfg(types_, rng2, {});
+  ASSERT_EQ(a.op_count(), b.op_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[i].from, b.edges()[i].from);
+    EXPECT_EQ(a.edges()[i].to, b.edges()[i].to);
+  }
+}
+
+TEST_F(BenchmarkGraphTest, RandomDfgRespectsOpCount) {
+  Rng rng(7);
+  RandomDfgOptions options;
+  options.ops = 37;
+  const DataFlowGraph g = BuildRandomDfg(types_, rng, options);
+  EXPECT_EQ(g.op_count(), 37u);
+  EXPECT_TRUE(g.validated());
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "fds/fds_scheduler.h"
+#include "sched/exact_scheduler.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+class ExactTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  const Block& AddBlockOf(DataFlowGraph g, int range) {
+    const ProcessId p = model_.AddProcess(
+        "p" + std::to_string(model_.process_count()));
+    const BlockId b = model_.AddBlock(p, "b", std::move(g), range);
+    EXPECT_TRUE(model_.Validate().ok());
+    return model_.block(b);
+  }
+
+  int AreaOf(const std::vector<int>& usage) {
+    int area = 0;
+    for (const ResourceType& t : model_.library().types())
+      area += usage[t.id.index()] * t.area;
+    return area;
+  }
+};
+
+TEST_F(ExactTest, TrivialChainIsOptimal) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(types_.add, "a");
+  const OpId m = g.AddOp(types_.mult, "m");
+  g.AddEdge(a, m);
+  ASSERT_TRUE(g.Validate().ok());
+  const Block& b = AddBlockOf(std::move(g), 5);
+  auto res = ScheduleBlockExact(b, model_.library());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().proven_optimal);
+  EXPECT_EQ(res.value().area, 1 + 4);
+  EXPECT_TRUE(
+      ValidateBlockSchedule(b, model_.DelayOf(b.id), res.value().schedule)
+          .ok());
+}
+
+TEST_F(ExactTest, SerializesIndependentOpsWhenTimeAllows) {
+  // 3 independent adds in 3 steps: optimal is one adder.
+  DataFlowGraph g;
+  for (int i = 0; i < 3; ++i) g.AddOp(types_.add, "a" + std::to_string(i));
+  ASSERT_TRUE(g.Validate().ok());
+  const Block& b = AddBlockOf(std::move(g), 3);
+  auto res = ScheduleBlockExact(b, model_.library());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().usage[types_.add.index()], 1);
+  EXPECT_TRUE(res.value().proven_optimal);
+}
+
+TEST_F(ExactTest, KnowsWhenTwoUnitsAreForced) {
+  // 4 adds in 2 steps: 2 adders are unavoidable.
+  DataFlowGraph g;
+  for (int i = 0; i < 4; ++i) g.AddOp(types_.add, "a" + std::to_string(i));
+  ASSERT_TRUE(g.Validate().ok());
+  const Block& b = AddBlockOf(std::move(g), 2);
+  auto res = ScheduleBlockExact(b, model_.library());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().usage[types_.add.index()], 2);
+}
+
+TEST_F(ExactTest, InfeasibleRangeRejected) {
+  DataFlowGraph g;
+  const OpId a = g.AddOp(types_.mult, "a");
+  const OpId b2 = g.AddOp(types_.mult, "b");
+  g.AddEdge(a, b2);
+  ASSERT_TRUE(g.Validate().ok());
+  Block block{BlockId{0}, ProcessId{0}, "x", std::move(g), 3, 0};
+  ASSERT_TRUE(block.graph.validated());
+  auto res = ScheduleBlockExact(block, model_.library());
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(ExactTest, DiffeqOptimum) {
+  const Block& b = AddBlockOf(BuildDiffeq(types_), 12);
+  auto res = ScheduleBlockExact(b, model_.library());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().proven_optimal);
+  // 6 pipelined mults, 2 adds, 3 subs in 12 steps: one of each suffices.
+  EXPECT_EQ(res.value().area, 1 + 1 + 4);
+}
+
+TEST_F(ExactTest, NodeCapReturnsIncumbent) {
+  const Block& b = AddBlockOf(BuildDiffeq(types_), 12);
+  ExactOptions options;
+  options.max_nodes = 50;
+  auto res = ScheduleBlockExact(b, model_.library(), options);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res.value().nodes, 50 + 1);
+  // Incumbent still a valid schedule.
+  EXPECT_TRUE(
+      ValidateBlockSchedule(b, model_.DelayOf(b.id), res.value().schedule)
+          .ok());
+}
+
+TEST_F(ExactTest, HeuristicsAreNeverBetterThanOptimal) {
+  // The optimality-gap property: on every small graph, FDS/IFDS area >=
+  // exact area.
+  Rng rng(321);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomDfgOptions options;
+    options.ops = rng.NextInt(4, 9);
+    options.layers = rng.NextInt(2, 3);
+    DataFlowGraph g = BuildRandomDfg(types_, rng, options);
+    const DelayFn delay = [&](OpId op) {
+      return model_.library().type(g.op(op).type).delay;
+    };
+    const int range = g.CriticalPathLength(delay) + rng.NextInt(1, 4);
+    const Block& b = AddBlockOf(std::move(g), range);
+    auto exact = ScheduleBlockExact(b, model_.library());
+    auto fds = ScheduleBlockFds(b, model_.library(), {});
+    auto ifds = ScheduleBlockIfds(b, model_.library(), {});
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(fds.ok());
+    ASSERT_TRUE(ifds.ok());
+    ASSERT_TRUE(exact.value().proven_optimal);
+    EXPECT_GE(AreaOf(fds.value().usage), exact.value().area) << trial;
+    EXPECT_GE(AreaOf(ifds.value().usage), exact.value().area) << trial;
+  }
+}
+
+TEST_F(ExactTest, WorkFloorBoundIsRespected) {
+  // 5 adds in 3 steps: floor = ceil(5/3) = 2 and the optimum hits it.
+  DataFlowGraph g;
+  for (int i = 0; i < 5; ++i) g.AddOp(types_.add, "a" + std::to_string(i));
+  ASSERT_TRUE(g.Validate().ok());
+  const Block& b = AddBlockOf(std::move(g), 3);
+  auto res = ScheduleBlockExact(b, model_.library());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().usage[types_.add.index()], 2);
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "frontend/emitter.h"
+#include "frontend/lexer.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+// ---- lexer ----
+
+TEST(LexerTest, TokenizesAllKinds) {
+  auto tokens = Tokenize("foo 42 { } ( ) , ; = + - * / <");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  ASSERT_EQ(t.size(), 15u);  // 14 tokens + EOF
+  EXPECT_EQ(t[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(t[0].text, "foo");
+  EXPECT_EQ(t[1].kind, TokenKind::kInt);
+  EXPECT_EQ(t[1].value, 42);
+  EXPECT_EQ(t[2].kind, TokenKind::kLBrace);
+  EXPECT_EQ(t[13].kind, TokenKind::kLess);
+  EXPECT_EQ(t.back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Tokenize("a\nb\n  c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].line, 1);
+  EXPECT_EQ(tokens.value()[1].line, 2);
+  EXPECT_EQ(tokens.value()[2].line, 3);
+  EXPECT_EQ(tokens.value()[2].column, 3);
+}
+
+TEST(LexerTest, SkipsComments) {
+  auto tokens = Tokenize("a # comment\nb // another\nc");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 4u);
+  EXPECT_EQ(tokens.value()[1].text, "b");
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  auto tokens = Tokenize("a @ b");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+  EXPECT_NE(tokens.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexerTest, IdentifiersWithUnderscoresAndDigits) {
+  auto tokens = Tokenize("_x y_2 z3z");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "_x");
+  EXPECT_EQ(tokens.value()[1].text, "y_2");
+  EXPECT_EQ(tokens.value()[2].text, "z3z");
+}
+
+// ---- parser ----
+
+constexpr const char* kGoodSource = R"(
+resource add delay 1 area 1;
+resource mult delay 2 dii 1 area 4;
+
+process deq deadline 12 {
+  block main time 12 {
+    t1 = a * b;
+    t2 = t1 + c;
+    t3 = mac(t1, t2, d) using mult;
+  }
+}
+process other {
+  block only time 4 phase 1 {
+    u = x + y;
+  }
+}
+share mult among deq, other period 4;
+)";
+
+TEST(ParserTest, ParsesFullSystem) {
+  auto ast = ParseSystemText(kGoodSource);
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  const AstSystem& sys = ast.value();
+  ASSERT_EQ(sys.resources.size(), 2u);
+  EXPECT_EQ(sys.resources[1].name, "mult");
+  EXPECT_EQ(sys.resources[1].delay, 2);
+  EXPECT_EQ(sys.resources[1].dii, 1);
+  EXPECT_EQ(sys.resources[1].area, 4);
+  ASSERT_EQ(sys.processes.size(), 2u);
+  EXPECT_EQ(sys.processes[0].deadline, 12);
+  ASSERT_EQ(sys.processes[0].blocks.size(), 1u);
+  const AstBlock& main = sys.processes[0].blocks[0];
+  EXPECT_EQ(main.time_range, 12);
+  ASSERT_EQ(main.statements.size(), 3u);
+  EXPECT_EQ(main.statements[0].resource, "mult");  // '*'
+  EXPECT_EQ(main.statements[1].resource, "add");   // '+'
+  EXPECT_EQ(main.statements[2].resource, "mult");  // using
+  EXPECT_EQ(main.statements[2].operands,
+            (std::vector<std::string>{"t1", "t2", "d"}));
+  EXPECT_EQ(sys.processes[1].blocks[0].phase, 1);
+  ASSERT_EQ(sys.shares.size(), 1u);
+  EXPECT_EQ(sys.shares[0].resource, "mult");
+  EXPECT_EQ(sys.shares[0].period, 4);
+  EXPECT_EQ(sys.shares[0].processes,
+            (std::vector<std::string>{"deq", "other"}));
+}
+
+TEST(ParserTest, OperatorMapping) {
+  auto ast = ParseSystemText(R"(
+process p { block b time 9 {
+  s = a - b;
+  d = a / b;
+  c = a < b;
+}})");
+  ASSERT_TRUE(ast.ok());
+  const auto& stmts = ast.value().processes[0].blocks[0].statements;
+  EXPECT_EQ(stmts[0].resource, "sub");
+  EXPECT_EQ(stmts[1].resource, "div");
+  EXPECT_EQ(stmts[2].resource, "cmp");
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto ast = ParseSystemText("resource add delay 1\narea 1;");
+  ASSERT_TRUE(ast.ok());  // newline is whitespace; this actually parses
+  auto bad = ParseSystemText("resource add delay;\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsProcessWithoutBlocks) {
+  auto ast = ParseSystemText("process p { }");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_NE(ast.status().message().find("no blocks"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMissingSemicolon) {
+  auto ast = ParseSystemText("process p { block b time 4 { x = a + b } }");
+  EXPECT_FALSE(ast.ok());
+}
+
+TEST(ParserTest, RejectsGarbageTopLevel) {
+  auto ast = ParseSystemText("banana");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_NE(ast.status().message().find("expected"), std::string::npos);
+}
+
+TEST(ParserTest, DefaultPeriodIsOne) {
+  auto ast = ParseSystemText(R"(
+process p { block b time 4 { x = a + b; } }
+share add among p;
+)");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(ast.value().shares[0].period, 1);
+}
+
+// ---- lowering ----
+
+TEST(LoweringTest, BuildsValidatedModel) {
+  auto model = CompileSystem(kGoodSource);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const SystemModel& m = model.value();
+  EXPECT_EQ(m.process_count(), 2u);
+  EXPECT_EQ(m.block_count(), 2u);
+  const ResourceTypeId mult = m.library().FindByName("mult");
+  ASSERT_TRUE(mult.valid());
+  EXPECT_TRUE(m.is_global(mult));
+  EXPECT_EQ(m.assignment(mult).period, 4);
+  EXPECT_EQ(m.assignment(mult).group.size(), 2u);
+}
+
+TEST(LoweringTest, DataflowEdgesFollowDefUse) {
+  auto model = CompileSystem(R"(
+resource add delay 1 area 1;
+process p { block b time 6 {
+  t1 = a + b;
+  t2 = t1 + c;
+  t3 = t1 + t2;
+}})");
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const DataFlowGraph& g = model.value().block(BlockId{0}).graph;
+  EXPECT_EQ(g.op_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);  // t1->t2, t1->t3, t2->t3
+  EXPECT_EQ(g.preds(OpId{2}).size(), 2u);
+}
+
+TEST(LoweringTest, UndefinedOperandsAreBlockInputs) {
+  auto model = CompileSystem(R"(
+resource add delay 1 area 1;
+process p { block b time 4 { t = x + y; } })");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().block(BlockId{0}).graph.edge_count(), 0u);
+}
+
+TEST(LoweringTest, RejectsDoubleAssignment) {
+  auto model = CompileSystem(R"(
+resource add delay 1 area 1;
+process p { block b time 8 {
+  t = a + b;
+  t = c + d;
+}})");
+  ASSERT_FALSE(model.ok());
+  EXPECT_NE(model.status().message().find("assigned more than once"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, RejectsSelfReference) {
+  auto model = CompileSystem(R"(
+resource add delay 1 area 1;
+process p { block b time 4 { t = t + a; } })");
+  ASSERT_FALSE(model.ok());
+  EXPECT_NE(model.status().message().find("own definition"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, RejectsUnknownResource) {
+  auto model = CompileSystem(R"(
+process p { block b time 4 { t = a + b; } })");
+  ASSERT_FALSE(model.ok());
+  EXPECT_NE(model.status().message().find("unknown resource 'add'"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, RejectsUnknownProcessInShare) {
+  auto model = CompileSystem(R"(
+resource add delay 1 area 1;
+process p { block b time 4 { t = a + b; } }
+share add among p, ghost;
+)");
+  ASSERT_FALSE(model.ok());
+  EXPECT_NE(model.status().message().find("unknown process 'ghost'"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, RejectsDuplicateProcessNames) {
+  auto model = CompileSystem(R"(
+resource add delay 1 area 1;
+process p { block b time 4 { t = a + b; } }
+process p { block b time 4 { t = a + b; } }
+)");
+  ASSERT_FALSE(model.ok());
+}
+
+TEST(LoweringTest, RejectsInfeasibleTimeRangeThroughModelValidate) {
+  auto model = CompileSystem(R"(
+resource add delay 1 area 1;
+process p { block b time 1 {
+  t1 = a + b;
+  t2 = t1 + c;
+}})");
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInfeasible);
+}
+
+// ---- emitter round-trips ----
+
+namespace emitter_detail {
+
+/// Structural equivalence of two models. The emitter writes statements in
+/// topological order (def before use, as the language requires), so the
+/// re-parsed graph's op `i` corresponds to the original's i-th topological
+/// op; types and edges are compared under that mapping.
+void ExpectEquivalent(const SystemModel& a, const SystemModel& b) {
+  ASSERT_EQ(a.library().size(), b.library().size());
+  for (std::size_t i = 0; i < a.library().size(); ++i) {
+    const ResourceType& ta = a.library().types()[i];
+    const ResourceType& tb = b.library().types()[i];
+    EXPECT_EQ(ta.name, tb.name);
+    EXPECT_EQ(ta.delay, tb.delay);
+    EXPECT_EQ(ta.dii, tb.dii);
+    EXPECT_EQ(ta.area, tb.area);
+  }
+  ASSERT_EQ(a.process_count(), b.process_count());
+  ASSERT_EQ(a.block_count(), b.block_count());
+  for (const Block& ba : a.blocks()) {
+    const Block& bb = b.block(ba.id);
+    EXPECT_EQ(ba.name, bb.name);
+    EXPECT_EQ(ba.time_range, bb.time_range);
+    EXPECT_EQ(ba.phase, bb.phase);
+    ASSERT_EQ(ba.graph.op_count(), bb.graph.op_count());
+    ASSERT_EQ(ba.graph.edge_count(), bb.graph.edge_count());
+    // map[a-op] -> b-op via topological position.
+    const auto topo = ba.graph.topological_order();
+    std::vector<OpId> map(ba.graph.op_count());
+    for (std::size_t i = 0; i < topo.size(); ++i)
+      map[topo[i].index()] = OpId{static_cast<int>(i)};
+    for (const Operation& op : ba.graph.ops())
+      EXPECT_EQ(op.type, bb.graph.op(map[op.id.index()]).type);
+    std::set<std::pair<int, int>> ea;
+    std::set<std::pair<int, int>> eb;
+    for (const Edge& e : ba.graph.edges())
+      ea.insert({map[e.from.index()].value(), map[e.to.index()].value()});
+    for (const Edge& e : bb.graph.edges())
+      eb.insert({e.from.value(), e.to.value()});
+    EXPECT_EQ(ea, eb);
+  }
+  for (const ResourceType& t : a.library().types()) {
+    EXPECT_EQ(a.is_global(t.id), b.is_global(t.id));
+    if (a.is_global(t.id)) {
+      EXPECT_EQ(a.assignment(t.id).group, b.assignment(t.id).group);
+      EXPECT_EQ(a.assignment(t.id).period, b.assignment(t.id).period);
+    }
+  }
+}
+
+}  // namespace emitter_detail
+
+TEST(EmitterTest, RoundTripsTheGoodSource) {
+  auto model = CompileSystem(kGoodSource);
+  ASSERT_TRUE(model.ok());
+  const std::string text = EmitSystemText(model.value());
+  auto again = CompileSystem(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+  emitter_detail::ExpectEquivalent(model.value(), again.value());
+}
+
+TEST(EmitterTest, RoundTripsTheProgrammaticPaperSystem) {
+  PaperSystem sys = BuildPaperSystem();
+  const std::string text = EmitSystemText(sys.model);
+  auto again = CompileSystem(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  emitter_detail::ExpectEquivalent(sys.model, again.value());
+}
+
+TEST(EmitterTest, EmitsCallFormForNonOperatorResources) {
+  SystemModel model;
+  model.library().AddType("mac", 2, 1, 5);
+  DataFlowGraph g;
+  g.AddOp(model.library().FindByName("mac"), "x");
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = model.AddProcess("p");
+  model.AddBlock(p, "b", std::move(g), 4);
+  ASSERT_TRUE(model.Validate().ok());
+  const std::string text = EmitSystemText(model);
+  EXPECT_NE(text.find(") using mac;"), std::string::npos);
+  auto again = CompileSystem(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(EmitterTest, SanitizesAwkwardOpNames) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  DataFlowGraph g;
+  const OpId a = g.AddOp(t.add, "3x");   // starts with a digit
+  const OpId b = g.AddOp(t.add, "3x");   // duplicate name
+  const OpId c = g.AddOp(t.add, "u-m");  // illegal char
+  g.AddEdge(a, c);
+  g.AddEdge(b, c);
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = model.AddProcess("p");
+  model.AddBlock(p, "b", std::move(g), 6);
+  ASSERT_TRUE(model.Validate().ok());
+  auto again = CompileSystem(EmitSystemText(model));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().block(BlockId{0}).graph.op_count(), 3u);
+  EXPECT_EQ(again.value().block(BlockId{0}).graph.edge_count(), 2u);
+}
+
+TEST(LoweringTest, EquivalentToHandBuiltModel) {
+  // The DSL route and the C++ route must produce the same graph shape.
+  auto compiled = CompileSystem(R"(
+resource add delay 1 area 1;
+resource mult delay 2 dii 1 area 4;
+process p deadline 8 { block main time 8 {
+  m = a * b;
+  s = m + c;
+}})");
+  ASSERT_TRUE(compiled.ok());
+  const DataFlowGraph& g = compiled.value().block(BlockId{0}).graph;
+  ASSERT_EQ(g.op_count(), 2u);
+  EXPECT_EQ(compiled.value()
+                .library()
+                .type(g.op(OpId{0}).type)
+                .name,
+            "mult");
+  EXPECT_EQ(g.succs(OpId{0}).size(), 1u);
+  EXPECT_EQ(g.succs(OpId{0})[0], OpId{1});
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "bind/binding.h"
+#include "modulo/coupled_scheduler.h"
+#include "report/json_export.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+class JsonExportTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+  CoupledResult result_;
+
+  void SetUp() override {
+    std::vector<ProcessId> procs;
+    for (int i = 0; i < 2; ++i) {
+      DataFlowGraph g;
+      const OpId a = g.AddOp(types_.add, "a");
+      const OpId m = g.AddOp(types_.mult, "m");
+      g.AddEdge(a, m);
+      ASSERT_TRUE(g.Validate().ok());
+      const ProcessId p = model_.AddProcess("p" + std::to_string(i), 8);
+      model_.AddBlock(p, "b" + std::to_string(i), std::move(g), 8);
+      procs.push_back(p);
+    }
+    model_.MakeGlobal(types_.mult, procs);
+    model_.SetPeriod(types_.mult, 4);
+    ASSERT_TRUE(model_.Validate().ok());
+    CoupledScheduler scheduler(model_, CoupledParams{});
+    auto result = scheduler.Run();
+    ASSERT_TRUE(result.ok());
+    result_ = std::move(result).value();
+  }
+
+  /// Extremely small structural well-formedness check: balanced braces
+  /// and brackets outside of strings.
+  static bool Balanced(const std::string& json) {
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+      const char c = json[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      else if (c == '{' || c == '[') ++depth;
+      else if (c == '}' || c == ']') --depth;
+      if (depth < 0) return false;
+    }
+    return depth == 0 && !in_string;
+  }
+};
+
+TEST_F(JsonExportTest, ResultJsonIsBalancedAndComplete) {
+  const std::string json = ResultToJson(model_, result_);
+  EXPECT_TRUE(Balanced(json)) << json;
+  EXPECT_NE(json.find("\"processes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"p0\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"mult\""), std::string::npos);
+  EXPECT_NE(json.find("\"period\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"authorization\":["), std::string::npos);
+  EXPECT_NE(json.find("\"area\":"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":"), std::string::npos);
+  // Local adders appear as local allocations.
+  EXPECT_NE(json.find("\"local\":[{\"process\":\"p0\",\"type\":\"add\""),
+            std::string::npos);
+}
+
+TEST_F(JsonExportTest, ScheduleStartsMatch) {
+  const std::string json = ResultToJson(model_, result_);
+  // Every op's start value appears as emitted by the scheduler.
+  for (const Block& b : model_.blocks()) {
+    for (const Operation& op : b.graph.ops()) {
+      const std::string needle =
+          "\"name\":\"" + op.name + "\",\"type\":\"" +
+          model_.library().type(op.type).name + "\",\"start\":" +
+          std::to_string(result_.schedule.of(b.id).start(op.id));
+      EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+  }
+}
+
+TEST_F(JsonExportTest, BindingJsonListsAllInstancesAndOps) {
+  auto binding = BindSystem(model_, result_.schedule, result_.allocation);
+  ASSERT_TRUE(binding.ok());
+  const std::string json = BindingToJson(model_, binding.value());
+  EXPECT_TRUE(Balanced(json)) << json;
+  for (const InstanceInfo& info : binding.value().instances)
+    EXPECT_NE(json.find("\"name\":\"" + info.name + "\""),
+              std::string::npos);
+  // 4 ops bound in total (2 per block).
+  int count = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"instance\":", pos)) != std::string::npos; ++pos)
+    ++count;
+  EXPECT_EQ(count, 4);
+  EXPECT_NE(json.find("\"global\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"owner\":\"p0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mshls

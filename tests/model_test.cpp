@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "model/system_model.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+TEST(ResourceLibraryTest, AddAndFind) {
+  ResourceLibrary lib;
+  const ResourceTypeId add = lib.AddType("add", 1, 1, 1);
+  EXPECT_EQ(lib.FindByName("add"), add);
+  EXPECT_FALSE(lib.FindByName("mult").valid());
+  EXPECT_TRUE(lib.Validate().ok());
+}
+
+TEST(ResourceLibraryTest, RejectsDuplicateName) {
+  ResourceLibrary lib;
+  lib.AddType("add", 1, 1, 1);
+  lib.AddType("add", 2, 1, 2);
+  EXPECT_FALSE(lib.Validate().ok());
+}
+
+TEST(ResourceLibraryTest, RejectsBadDelayAndDii) {
+  {
+    ResourceLibrary lib;
+    lib.AddType("x", 0, 1, 1);
+    EXPECT_FALSE(lib.Validate().ok());
+  }
+  {
+    ResourceLibrary lib;
+    lib.AddType("x", 2, 3, 1);  // dii > delay
+    EXPECT_FALSE(lib.Validate().ok());
+  }
+  {
+    ResourceLibrary lib;
+    lib.AddType("x", 2, 0, 1);  // dii < 1
+    EXPECT_FALSE(lib.Validate().ok());
+  }
+}
+
+TEST(ResourceLibraryTest, ConvenienceConstructors) {
+  ResourceLibrary lib;
+  const ResourceTypeId p = lib.AddPipelined("p", 3, 2);
+  const ResourceTypeId s = lib.AddSimple("s", 3, 2);
+  EXPECT_EQ(lib.type(p).dii, 1);
+  EXPECT_EQ(lib.type(s).dii, 3);
+}
+
+class SystemModelTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  DataFlowGraph TinyGraph() {
+    DataFlowGraph g;
+    const OpId a = g.AddOp(types_.add, "a");
+    const OpId b = g.AddOp(types_.mult, "b");
+    g.AddEdge(a, b);
+    return g;
+  }
+};
+
+TEST_F(SystemModelTest, AddProcessAndBlock) {
+  const ProcessId p = model_.AddProcess("p", 10);
+  const BlockId b = model_.AddBlock(p, "main", TinyGraph(), 10);
+  EXPECT_EQ(model_.process_count(), 1u);
+  EXPECT_EQ(model_.block_count(), 1u);
+  EXPECT_EQ(model_.block(b).process, p);
+  EXPECT_EQ(model_.process(p).blocks.size(), 1u);
+  EXPECT_TRUE(model_.Validate().ok());
+}
+
+TEST_F(SystemModelTest, ValidateRejectsInfeasibleTimeRange) {
+  const ProcessId p = model_.AddProcess("p");
+  model_.AddBlock(p, "main", TinyGraph(), 2);  // critical path is 3
+  const Status s = model_.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+}
+
+TEST_F(SystemModelTest, ValidateRejectsEmptyBlock) {
+  const ProcessId p = model_.AddProcess("p");
+  model_.AddBlock(p, "main", DataFlowGraph{}, 10);
+  EXPECT_FALSE(model_.Validate().ok());
+}
+
+TEST_F(SystemModelTest, DefaultAssignmentIsLocal) {
+  model_.AddProcess("p");
+  EXPECT_FALSE(model_.is_global(types_.add));
+  EXPECT_TRUE(model_.GlobalTypes().empty());
+}
+
+TEST_F(SystemModelTest, MakeGlobalDeduplicatesGroup) {
+  const ProcessId p1 = model_.AddProcess("p1");
+  const ProcessId p2 = model_.AddProcess("p2");
+  model_.MakeGlobal(types_.add, {p2, p1, p2});
+  const TypeAssignment& a = model_.assignment(types_.add);
+  EXPECT_EQ(a.group, (std::vector<ProcessId>{p1, p2}));
+  EXPECT_TRUE(model_.InGroup(types_.add, p1));
+  EXPECT_TRUE(model_.is_global(types_.add));
+}
+
+TEST_F(SystemModelTest, MakeLocalReverts) {
+  const ProcessId p = model_.AddProcess("p");
+  model_.MakeGlobal(types_.add, {p});
+  model_.MakeLocal(types_.add);
+  EXPECT_FALSE(model_.is_global(types_.add));
+}
+
+TEST_F(SystemModelTest, ValidateRequiresPeriodForGlobal) {
+  const ProcessId p = model_.AddProcess("p");
+  model_.AddBlock(p, "main", TinyGraph(), 10);
+  model_.MakeGlobal(types_.add, {p});
+  model_.SetPeriod(types_.add, 0);
+  EXPECT_FALSE(model_.Validate().ok());
+  model_.SetPeriod(types_.add, 5);
+  EXPECT_TRUE(model_.Validate().ok());
+}
+
+TEST_F(SystemModelTest, ProcessUsesType) {
+  const ProcessId p = model_.AddProcess("p");
+  model_.AddBlock(p, "main", TinyGraph(), 10);
+  EXPECT_TRUE(model_.ProcessUsesType(p, types_.add));
+  EXPECT_TRUE(model_.ProcessUsesType(p, types_.mult));
+  EXPECT_FALSE(model_.ProcessUsesType(p, types_.sub));
+}
+
+TEST_F(SystemModelTest, GlobalUsersExcludesNonUsingGroupMembers) {
+  const ProcessId p1 = model_.AddProcess("p1");
+  model_.AddBlock(p1, "b1", TinyGraph(), 10);
+  const ProcessId p2 = model_.AddProcess("p2");
+  DataFlowGraph only_add;
+  only_add.AddOp(types_.add, "a");
+  model_.AddBlock(p2, "b2", std::move(only_add), 10);
+  // p2 never multiplies but is in the group.
+  model_.MakeGlobal(types_.mult, {p1, p2});
+  model_.SetPeriod(types_.mult, 5);
+  EXPECT_EQ(model_.GlobalUsers(types_.mult), (std::vector<ProcessId>{p1}));
+}
+
+TEST_F(SystemModelTest, GridSpacingIsLcmOfUsedGlobalPeriods) {
+  const ProcessId p = model_.AddProcess("p");
+  model_.AddBlock(p, "main", TinyGraph(), 60);
+  model_.MakeGlobal(types_.add, {p});
+  model_.SetPeriod(types_.add, 4);
+  model_.MakeGlobal(types_.mult, {p});
+  model_.SetPeriod(types_.mult, 6);
+  EXPECT_EQ(model_.GridSpacing(p), 12);  // lcm(4, 6), paper eq. 3
+}
+
+TEST_F(SystemModelTest, GridSpacingOneWithoutGlobals) {
+  const ProcessId p = model_.AddProcess("p");
+  model_.AddBlock(p, "main", TinyGraph(), 10);
+  EXPECT_EQ(model_.GridSpacing(p), 1);
+}
+
+TEST_F(SystemModelTest, GridSpacingIgnoresUnusedGlobalTypes) {
+  const ProcessId p = model_.AddProcess("p");
+  model_.AddBlock(p, "main", TinyGraph(), 10);  // no sub ops
+  model_.MakeGlobal(types_.sub, {p});
+  model_.SetPeriod(types_.sub, 7);
+  EXPECT_EQ(model_.GridSpacing(p), 1);
+}
+
+TEST_F(SystemModelTest, DelayOfUsesLibrary) {
+  const ProcessId p = model_.AddProcess("p");
+  const BlockId b = model_.AddBlock(p, "main", TinyGraph(), 10);
+  const DelayFn delay = model_.DelayOf(b);
+  EXPECT_EQ(delay(OpId{0}), 1);  // add
+  EXPECT_EQ(delay(OpId{1}), 2);  // mult
+}
+
+TEST(PaperSystemTest, MatchesPaperSetup) {
+  const PaperSystem sys = BuildPaperSystem();
+  EXPECT_EQ(sys.model.process_count(), 5u);
+  EXPECT_EQ(sys.model.block_count(), 5u);
+  // Adder and multiplier global to all five, subtracter to the two diffeqs.
+  EXPECT_TRUE(sys.model.is_global(sys.types.add));
+  EXPECT_TRUE(sys.model.is_global(sys.types.mult));
+  EXPECT_TRUE(sys.model.is_global(sys.types.sub));
+  EXPECT_EQ(sys.model.assignment(sys.types.add).group.size(), 5u);
+  EXPECT_EQ(sys.model.assignment(sys.types.sub).group.size(), 2u);
+  EXPECT_EQ(sys.model.assignment(sys.types.add).period, 5);
+  // Deadlines (reconstruction documented in DESIGN.md).
+  EXPECT_EQ(sys.model.process(sys.ewf[0]).deadline, 30);
+  EXPECT_EQ(sys.model.process(sys.ewf[2]).deadline, 25);
+  EXPECT_EQ(sys.model.process(sys.diffeq[0]).deadline, 15);
+  // Grid spacings divide every deadline (eq. 3 compatibility).
+  for (const Process& p : sys.model.processes())
+    EXPECT_EQ(p.deadline % sys.model.GridSpacing(p.id), 0);
+}
+
+TEST(PaperSystemTest, LocalVariantHasNoGlobalTypes) {
+  PaperSystemOptions options;
+  options.make_global = false;
+  const PaperSystem sys = BuildPaperSystem(options);
+  EXPECT_TRUE(sys.model.GlobalTypes().empty());
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "modulo/modulo_map.h"
+
+namespace mshls {
+namespace {
+
+TEST(ResidueTest, BasicMapping) {
+  // Paper eq. 1: tau = t mod lambda (phase 0).
+  EXPECT_EQ(ResidueOf(0, 0, 5), 0);
+  EXPECT_EQ(ResidueOf(7, 0, 5), 2);
+  EXPECT_EQ(ResidueOf(5, 0, 5), 0);
+}
+
+TEST(ResidueTest, PhaseShiftsResidue) {
+  EXPECT_EQ(ResidueOf(0, 3, 5), 3);
+  EXPECT_EQ(ResidueOf(2, 3, 5), 0);
+  EXPECT_EQ(ResidueOf(4, 4, 5), 3);
+}
+
+TEST(ModuloMaxTest, TakesMaximumPerResidueClass) {
+  // d over 6 steps, lambda 3: classes {0,3}, {1,4}, {2,5}.
+  const Profile d{1.0, 0.5, 0.0, 2.0, 0.25, 3.0};
+  const Profile out = ModuloMaxTransform(std::span<const double>(d), 0, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(ModuloMaxTest, PhaseRotatesClasses) {
+  const Profile d{1.0, 0.0, 0.0, 0.0};
+  const Profile out = ModuloMaxTransform(std::span<const double>(d), 2, 4);
+  // Step 0 maps to residue 2.
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(ModuloMaxTest, PeriodOneCollapsesToGlobalMax) {
+  const Profile d{0.25, 4.0, 1.0};
+  const Profile out = ModuloMaxTransform(std::span<const double>(d), 0, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+}
+
+TEST(ModuloMaxTest, PeriodBeyondLengthIsIdentityPlusZeros) {
+  const Profile d{1.0, 2.0};
+  const Profile out = ModuloMaxTransform(std::span<const double>(d), 0, 4);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+}
+
+TEST(ModuloMaxTest, IntegerVariantAgrees) {
+  const std::vector<int> d{1, 0, 3, 2, 0, 1};
+  const std::vector<int> out =
+      ModuloMaxTransform(std::span<const int>(d), 1, 2);
+  ASSERT_EQ(out.size(), 2u);
+  // Residues with phase 1: t0->1, t1->0, t2->1, t3->0, t4->1, t5->0.
+  EXPECT_EQ(out[1], 3);  // max(1, 3, 0)
+  EXPECT_EQ(out[0], 2);  // max(0, 2, 1)
+}
+
+TEST(ModuloMaxTest, MatchesBruteForceOnRandomProfiles) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int len = rng.NextInt(1, 40);
+    const int lambda = rng.NextInt(1, 12);
+    const int phase = rng.NextInt(0, lambda - 1);
+    Profile d(static_cast<std::size_t>(len));
+    for (double& v : d) v = rng.NextDouble() * 10;
+    const Profile out = ModuloMaxTransform(std::span<const double>(d), phase,
+                                           lambda);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(lambda));
+    for (int tau = 0; tau < lambda; ++tau) {
+      double expect = 0;
+      for (int t = 0; t < len; ++t)
+        if ((phase + t) % lambda == tau)
+          expect = std::max(expect, d[static_cast<std::size_t>(t)]);
+      EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(tau)], expect);
+    }
+  }
+}
+
+TEST(ModuloMaxTest, IdempotentOnPeriodicProfiles) {
+  // Folding a profile that is already one period long is the identity.
+  const Profile d{1.5, 0.5, 2.5};
+  const Profile once = ModuloMaxTransform(std::span<const double>(d), 0, 3);
+  const Profile twice =
+      ModuloMaxTransform(std::span<const double>(once), 0, 3);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ElementwiseMaxTest, DoubleAndIntVariants) {
+  const Profile a{1.0, 5.0, 0.0};
+  const Profile b{2.0, 4.0, 0.0};
+  EXPECT_EQ(ElementwiseMax(std::span<const double>(a),
+                           std::span<const double>(b)),
+            (Profile{2.0, 5.0, 0.0}));
+  const std::vector<int> ia{1, 5, 0};
+  const std::vector<int> ib{2, 4, 0};
+  EXPECT_EQ(
+      ElementwiseMax(std::span<const int>(ia), std::span<const int>(ib)),
+      (std::vector<int>{2, 5, 0}));
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "modulo/period_search.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+class PeriodSearchTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  ProcessId AddAddsProcess(const std::string& name, int n, int range) {
+    DataFlowGraph g;
+    for (int i = 0; i < n; ++i)
+      g.AddOp(types_.add, name + "_a" + std::to_string(i));
+    EXPECT_TRUE(g.Validate().ok());
+    const ProcessId p = model_.AddProcess(name, range);
+    model_.AddBlock(p, name + "_main", std::move(g), range);
+    return p;
+  }
+};
+
+TEST_F(PeriodSearchTest, CandidatesAreUnionOfMemberDivisors) {
+  const ProcessId p1 = AddAddsProcess("p1", 2, 30);
+  const ProcessId p2 = AddAddsProcess("p2", 2, 25);
+  const ProcessId p3 = AddAddsProcess("p3", 2, 15);
+  model_.MakeGlobal(types_.add, {p1, p2, p3});
+  model_.SetPeriod(types_.add, 1);
+  // divisors(30) u divisors(25) u divisors(15); eq. 3 later discards the
+  // values that do not tile every member (only 1 and 5 survive).
+  EXPECT_EQ(CandidatePeriods(model_, types_.add),
+            (std::vector<int>{1, 2, 3, 5, 6, 10, 15, 25, 30}));
+}
+
+TEST_F(PeriodSearchTest, CandidatesForEqualDeadlines) {
+  const ProcessId p1 = AddAddsProcess("p1", 2, 12);
+  const ProcessId p2 = AddAddsProcess("p2", 2, 12);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  EXPECT_EQ(CandidatePeriods(model_, types_.add),
+            (std::vector<int>{1, 2, 3, 4, 6, 12}));
+}
+
+TEST_F(PeriodSearchTest, SearchRunsOnlySurvivingCombinations) {
+  const ProcessId p1 = AddAddsProcess("p1", 2, 6);
+  const ProcessId p2 = AddAddsProcess("p2", 2, 4);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  ASSERT_TRUE(model_.Validate().ok());
+  auto result = SearchPeriods(model_, CoupledParams{});
+  ASSERT_TRUE(result.ok());
+  // Candidates div(6) u div(4) = {1,2,3,4,6}; only {1,2} tile both.
+  EXPECT_EQ(result.value().combinations, 5);
+  EXPECT_EQ(result.value().filtered_out, 3);
+  EXPECT_EQ(result.value().evaluated, 2);
+}
+
+TEST_F(PeriodSearchTest, CompatibilityAcceptsDividingGrid) {
+  const ProcessId p1 = AddAddsProcess("p1", 2, 12);
+  model_.MakeGlobal(types_.add, {p1});
+  model_.SetPeriod(types_.add, 4);
+  EXPECT_TRUE(PeriodsCompatible(model_));
+  model_.SetPeriod(types_.add, 5);  // 5 does not divide 12
+  EXPECT_FALSE(PeriodsCompatible(model_));
+}
+
+TEST_F(PeriodSearchTest, CompatibilityUsesLcmAcrossTypes) {
+  // One process sharing two types: grid = lcm of the two periods must
+  // divide the time range (paper eq. 3).
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  DataFlowGraph g;
+  g.AddOp(t.add, "a");
+  g.AddOp(t.mult, "m");
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = m.AddProcess("p", 12);
+  m.AddBlock(p, "b", std::move(g), 12);
+  m.MakeGlobal(t.add, {p});
+  m.MakeGlobal(t.mult, {p});
+  m.SetPeriod(t.add, 4);
+  m.SetPeriod(t.mult, 6);  // lcm(4,6) = 12 divides 12
+  EXPECT_TRUE(PeriodsCompatible(m));
+  m.SetPeriod(t.mult, 3);  // lcm(4,3) = 12, still fine
+  EXPECT_TRUE(PeriodsCompatible(m));
+  m.SetPeriod(t.add, 8);   // 8 does not divide 12 -> lcm 24 infeasible
+  EXPECT_FALSE(PeriodsCompatible(m));
+}
+
+TEST_F(PeriodSearchTest, SearchFindsCompatibleMinimumAreaAssignment) {
+  const ProcessId p1 = AddAddsProcess("p1", 2, 4);
+  const ProcessId p2 = AddAddsProcess("p2", 2, 4);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  ASSERT_TRUE(model_.Validate().ok());
+  auto result = SearchPeriods(model_, CoupledParams{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Candidates {1,2,4}; period >= 2 lets one adder serve both processes.
+  EXPECT_EQ(result.value().best.allocation.TotalInstances(types_.add), 1);
+  EXPECT_GE(result.value().periods[0], 2);
+  // Model left configured with the winner.
+  EXPECT_EQ(model_.assignment(types_.add).period, result.value().periods[0]);
+  EXPECT_EQ(result.value().combinations, 3);
+  EXPECT_EQ(result.value().filtered_out, 0);
+  EXPECT_EQ(result.value().evaluated, 3);
+}
+
+TEST_F(PeriodSearchTest, FilterPrunesBeforeScheduling) {
+  const ProcessId p1 = AddAddsProcess("p1", 1, 6);
+  const ProcessId p2 = AddAddsProcess("p2", 1, 9);
+  // A disjoint multiplier group with different time ranges.
+  DataFlowGraph g;
+  g.AddOp(types_.mult, "m");
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p3 = model_.AddProcess("p3", 4);
+  model_.AddBlock(p3, "b", std::move(g), 4);
+  DataFlowGraph g1;
+  g1.AddOp(types_.mult, "m1");
+  ASSERT_TRUE(g1.Validate().ok());
+  const ProcessId p4 = model_.AddProcess("p4", 6);
+  model_.AddBlock(p4, "b", std::move(g1), 6);
+
+  // add candidates: div(6) u div(9) = {1,2,3,6,9} (5 values);
+  // mult candidates: div(4) u div(6) = {1,2,3,4,6} (5 values).
+  model_.MakeGlobal(types_.add, {p1, p2});
+  model_.MakeGlobal(types_.mult, {p3, p4});
+  ASSERT_TRUE(model_.Validate().ok());
+  auto result = SearchPeriods(model_, CoupledParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().combinations, 25);
+  // Survivors: add must tile both 6 and 9 -> {1,3}; mult must tile both 4
+  // and 6 -> {1,2}: 4 combinations scheduled, 21 filtered by eq. 3 —
+  // "typically most sets are filtered out before scheduling" (paper §7).
+  EXPECT_EQ(result.value().filtered_out, 21);
+  EXPECT_EQ(result.value().evaluated, 4);
+  EXPECT_EQ(result.value().periods, (std::vector<int>{3, 2}));
+}
+
+TEST_F(PeriodSearchTest, FilterHandlesSharedMemberAcrossGroups) {
+  // q1 shares add AND mult: the lcm of the chosen periods must tile q1's
+  // range even when each period alone would.
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  auto add_proc = [&](const std::string& name, int range, bool mult) {
+    DataFlowGraph g;
+    g.AddOp(t.add, name + "_a");
+    if (mult) g.AddOp(t.mult, name + "_m");
+    EXPECT_TRUE(g.Validate().ok());
+    const ProcessId p = m.AddProcess(name, range);
+    m.AddBlock(p, name + "_b", std::move(g), range);
+    return p;
+  };
+  const ProcessId q1 = add_proc("q1", 6, true);
+  const ProcessId q2 = add_proc("q2", 4, false);
+  m.MakeGlobal(t.add, {q1, q2});  // candidates div(6) u div(4) = {1,2,3,4,6}
+  m.MakeGlobal(t.mult, {q1});     // candidates div(6) = {1,2,3,6}
+  ASSERT_TRUE(m.Validate().ok());
+  auto result = SearchPeriods(m, CoupledParams{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().combinations, 20);
+  // add must tile 4 and 6 -> {1,2}; mult anything tiling 6 -> 4 values;
+  // lcm(add, mult) | 6 always holds for those: 8 scheduled, 12 filtered.
+  EXPECT_EQ(result.value().filtered_out, 12);
+  EXPECT_EQ(result.value().evaluated, 8);
+}
+
+TEST_F(PeriodSearchTest, MaxEvaluationsCapsWork) {
+  const ProcessId p1 = AddAddsProcess("p1", 2, 12);
+  const ProcessId p2 = AddAddsProcess("p2", 2, 12);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  ASSERT_TRUE(model_.Validate().ok());
+  PeriodSearchOptions options;
+  options.max_evaluations = 2;
+  auto result = SearchPeriods(model_, CoupledParams{}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().evaluated, 2);
+}
+
+TEST_F(PeriodSearchTest, FailsWithoutGlobalTypes) {
+  AddAddsProcess("p1", 2, 4);
+  ASSERT_TRUE(model_.Validate().ok());
+  auto result = SearchPeriods(model_, CoupledParams{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PeriodSearchTest, PaperSystemCandidateSets) {
+  // Candidates on the paper system: add/mult groups span all five
+  // processes, gcd(30, 30, 25, 15, 15) = 5 -> {1, 5}; the subtracter group
+  // is the two diffeq processes, gcd(15, 15) = 15 -> {1, 3, 5, 15}.
+  PaperSystem sys = BuildPaperSystem();
+  const std::vector<int> ewf_union{1, 2, 3, 5, 6, 10, 15, 25, 30};
+  EXPECT_EQ(CandidatePeriods(sys.model, sys.types.add), ewf_union);
+  EXPECT_EQ(CandidatePeriods(sys.model, sys.types.mult), ewf_union);
+  EXPECT_EQ(CandidatePeriods(sys.model, sys.types.sub),
+            (std::vector<int>{1, 3, 5, 15}));
+  // The paper's choice (all periods 5) passes the eq.-3 filter; a period
+  // of 2 for the adder would not (2 does not tile 25 or 15).
+  EXPECT_TRUE(PeriodsCompatible(sys.model));
+  sys.model.SetPeriod(sys.types.add, 2);
+  EXPECT_FALSE(PeriodsCompatible(sys.model));
+  sys.model.SetPeriod(sys.types.add, 5);
+}
+
+}  // namespace
+}  // namespace mshls

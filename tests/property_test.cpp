@@ -1,0 +1,223 @@
+// Property-based sweeps: randomized systems run through the full
+// scheduling stack, checking the invariants that must hold for *every*
+// input, not just the curated benchmarks.
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "fds/fds_scheduler.h"
+#include "modulo/baseline.h"
+#include "modulo/coupled_scheduler.h"
+#include "sim/simulator.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+// ---- single-block scheduler properties over random graphs ----
+
+class RandomBlockProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  const Block& MakeRandomBlock(Rng& rng) {
+    RandomDfgOptions options;
+    options.ops = rng.NextInt(5, 30);
+    options.layers = rng.NextInt(2, 6);
+    options.edge_probability = 0.2 + rng.NextDouble() * 0.5;
+    options.mult_probability = 0.1 + rng.NextDouble() * 0.5;
+    DataFlowGraph g = BuildRandomDfg(types_, rng, options);
+    const DelayFn delay = [&](OpId op) {
+      return model_.library().type(g.op(op).type).delay;
+    };
+    const int cp = g.CriticalPathLength(delay);
+    const int range = cp + rng.NextInt(0, cp);
+    const ProcessId p = model_.AddProcess(
+        "p" + std::to_string(model_.process_count()));
+    const BlockId b = model_.AddBlock(p, "b", std::move(g), range);
+    EXPECT_TRUE(model_.Validate().ok());
+    return model_.block(b);
+  }
+};
+
+TEST_P(RandomBlockProperty, IfdsSchedulesAreValidAndUsageIsTight) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const Block& b = MakeRandomBlock(rng);
+    auto res = ScheduleBlockIfds(b, model_.library(), {});
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(
+        ValidateBlockSchedule(b, model_.DelayOf(b.id), res.value().schedule)
+            .ok());
+    // Usage is exactly the occupancy maximum (not an over-approximation),
+    // and meets the trivial lower bound ceil(ops * dii / range).
+    for (const ResourceType& t : model_.library().types()) {
+      const auto prof = OccupancyProfile(b, model_.library(),
+                                         res.value().schedule, t.id);
+      int peak = 0;
+      std::int64_t work = 0;
+      for (int v : prof) {
+        peak = std::max(peak, v);
+        work += v;
+      }
+      EXPECT_EQ(res.value().usage[t.id.index()], peak);
+      EXPECT_GE(peak, CeilDiv(work, b.time_range));
+    }
+  }
+}
+
+TEST_P(RandomBlockProperty, ClassicFdsAgreesOnValidity) {
+  Rng rng(GetParam() * 77 + 1);
+  const Block& b = MakeRandomBlock(rng);
+  auto res = ScheduleBlockFds(b, model_.library(), {});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(
+      ValidateBlockSchedule(b, model_.DelayOf(b.id), res.value().schedule)
+          .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBlockProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- whole-system properties over random multi-process systems ----
+
+class RandomSystemProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Builds 2-4 processes of random graphs with deadlines that share a
+  /// common divisor, marks 1-2 types global over random groups with an
+  /// eq.-3-compatible period.
+  SystemModel BuildRandomSystem(Rng& rng) {
+    SystemModel model;
+    const PaperTypes t = AddPaperTypes(model.library());
+    const int nproc = rng.NextInt(2, 4);
+    const int unit = rng.NextInt(2, 4);  // common divisor of deadlines
+    std::vector<ProcessId> procs;
+    for (int i = 0; i < nproc; ++i) {
+      RandomDfgOptions options;
+      options.ops = rng.NextInt(4, 16);
+      options.layers = rng.NextInt(2, 4);
+      options.mult_probability = 0.3;
+      DataFlowGraph g = BuildRandomDfg(t, rng, options);
+      const DelayFn delay = [&](OpId op) {
+        return model.library().type(g.op(op).type).delay;
+      };
+      const int cp = g.CriticalPathLength(delay);
+      // Round the range up to a multiple of `unit`, plus random slack.
+      const int range = static_cast<int>(
+          CeilDiv(cp + rng.NextInt(0, cp), unit) * unit);
+      const ProcessId p = model.AddProcess("p" + std::to_string(i), range);
+      model.AddBlock(p, "b" + std::to_string(i), std::move(g), range);
+      procs.push_back(p);
+    }
+    // Global multiplier over a random subgroup of size >= 2 when possible.
+    std::vector<ProcessId> group;
+    for (ProcessId p : procs)
+      if (rng.NextBool(0.8)) group.push_back(p);
+    if (group.size() < 2) group = procs;
+    model.MakeGlobal(t.mult, group);
+    model.SetPeriod(t.mult, unit);
+    if (rng.NextBool(0.5)) {
+      model.MakeGlobal(t.add, procs);
+      model.SetPeriod(t.add, unit);
+    }
+    EXPECT_TRUE(model.Validate().ok());
+    return model;
+  }
+};
+
+TEST_P(RandomSystemProperty, CoupledRunSatisfiesAllInvariants) {
+  Rng rng(GetParam());
+  SystemModel model = BuildRandomSystem(rng);
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CoupledResult& run = result.value();
+
+  EXPECT_TRUE(ValidateSystemSchedule(model, run.schedule).ok());
+  EXPECT_TRUE(CheckAllocationCovers(model, run.schedule, run.allocation).ok());
+
+  // Pool invariants: instances equal the profile max; each user's
+  // authorization is the folded occupancy max of its blocks.
+  for (const GlobalTypeAllocation& ga : run.allocation.global) {
+    int peak = 0;
+    for (int v : ga.profile) peak = std::max(peak, v);
+    EXPECT_EQ(ga.instances, peak);
+  }
+}
+
+TEST_P(RandomSystemProperty, RandomTracesNeverConflict) {
+  Rng rng(GetParam() * 31 + 7);
+  SystemModel model = BuildRandomSystem(rng);
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  SystemSimulator sim(model, result.value().schedule,
+                      result.value().allocation);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    TraceOptions options;
+    options.seed = seed * 1000 + GetParam();
+    options.activations_per_process = 5;
+    const auto trace = RandomActivationTrace(model, options);
+    const SimReport report = sim.Run(trace);
+    EXPECT_TRUE(report.ok)
+        << "trace seed " << options.seed << ": "
+        << (report.violations.empty() ? "" : report.violations[0].detail);
+  }
+}
+
+TEST_P(RandomSystemProperty, GlobalSharingNeverIncreasesPoolBeyondLocalSum) {
+  // The pooled instance count of a global type can never exceed what the
+  // pure local assignment would build in total for the group (each process
+  // would get its own peak).
+  Rng rng(GetParam() * 13 + 3);
+  SystemModel model = BuildRandomSystem(rng);
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  auto baseline = ScheduleLocalBaseline(model, CoupledParams{});
+  ASSERT_TRUE(baseline.ok());
+  for (const GlobalTypeAllocation& ga : result.value().allocation.global) {
+    int local_sum = 0;
+    for (ProcessId p : ga.users)
+      local_sum += baseline.value().allocation.local[p.index()]
+                                                    [ga.type.index()];
+    // Pool <= sum of local peaks + slack of 1 for heuristic noise (the
+    // pool bound per residue is the sum of per-process peaks).
+    EXPECT_LE(ga.instances, local_sum + 1);
+  }
+}
+
+TEST_P(RandomSystemProperty, SchedulesAreGridMoveInvariant) {
+  // The core soundness argument of the paper (eq. 2): delaying any single
+  // activation by one grid step changes nothing. Verify via the simulator
+  // by shifting activations by random multiples of the grid.
+  Rng rng(GetParam() * 101 + 9);
+  SystemModel model = BuildRandomSystem(rng);
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  SystemSimulator sim(model, result.value().schedule,
+                      result.value().allocation);
+  // Base trace: everything starts at 0.
+  std::vector<Activation> trace;
+  for (const Block& b : model.blocks()) trace.push_back({b.id, 0});
+  ASSERT_TRUE(sim.Run(trace).ok);
+  for (int round = 0; round < 16; ++round) {
+    std::vector<Activation> shifted = trace;
+    for (Activation& a : shifted) {
+      const std::int64_t grid =
+          model.GridSpacing(model.block(a.block).process);
+      a.start += grid * rng.NextInt(0, 6);
+    }
+    const SimReport report = sim.Run(shifted);
+    EXPECT_TRUE(report.ok)
+        << (report.violations.empty() ? "" : report.violations[0].detail);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystemProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace mshls

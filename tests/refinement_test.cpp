@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "modulo/coupled_scheduler.h"
+#include "common/math_util.h"
+#include "modulo/refinement.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+class RefinementTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+};
+
+TEST_F(RefinementTest, FixesDeliberatelyBadSchedule) {
+  // Two independent adds scheduled on the SAME step need two adders; the
+  // refiner must find the one-adder placement.
+  DataFlowGraph g;
+  g.AddOp(types_.add, "a0");
+  g.AddOp(types_.add, "a1");
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = model_.AddProcess("p", 4);
+  const BlockId b = model_.AddBlock(p, "b", std::move(g), 4);
+  ASSERT_TRUE(model_.Validate().ok());
+  SystemSchedule bad;
+  bad.blocks.resize(1);
+  bad.of(b) = BlockSchedule(2);
+  bad.of(b).set_start(OpId{0}, 1);
+  bad.of(b).set_start(OpId{1}, 1);
+  auto refined = RefineSchedule(model_, bad);
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_EQ(refined.value().area_before, 2);
+  EXPECT_EQ(refined.value().area_after, 1);
+  EXPECT_GE(refined.value().moves_accepted, 1);
+}
+
+TEST_F(RefinementTest, PreservesPrecedence) {
+  const ProcessId p = model_.AddProcess("p", 14);
+  const BlockId b = model_.AddBlock(p, "b", BuildDiffeq(types_), 14);
+  ASSERT_TRUE(model_.Validate().ok());
+  CoupledScheduler scheduler(model_, CoupledParams{});
+  auto run = scheduler.Run();
+  ASSERT_TRUE(run.ok());
+  auto refined = RefineSchedule(model_, run.value().schedule);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_TRUE(
+      ValidateSystemSchedule(model_, refined.value().schedule).ok());
+  (void)b;
+}
+
+TEST_F(RefinementTest, NeverIncreasesArea) {
+  // Over random systems the refined area is <= the heuristic's area.
+  Rng rng(4242);
+  for (int trial = 0; trial < 5; ++trial) {
+    SystemModel model;
+    const PaperTypes t = AddPaperTypes(model.library());
+    std::vector<ProcessId> procs;
+    for (int i = 0; i < 3; ++i) {
+      RandomDfgOptions options;
+      options.ops = rng.NextInt(5, 12);
+      options.layers = 3;
+      DataFlowGraph g = BuildRandomDfg(t, rng, options);
+      const DelayFn delay = [&](OpId op) {
+        return model.library().type(g.op(op).type).delay;
+      };
+      const int range = static_cast<int>(
+          CeilDiv(g.CriticalPathLength(delay) + rng.NextInt(2, 6), 4) * 4);
+      const ProcessId p = model.AddProcess("p" + std::to_string(i), range);
+      model.AddBlock(p, "b", std::move(g), range);
+      procs.push_back(p);
+    }
+    model.MakeGlobal(t.mult, procs);
+    model.SetPeriod(t.mult, 4);
+    ASSERT_TRUE(model.Validate().ok());
+    CoupledScheduler scheduler(model, CoupledParams{});
+    auto run = scheduler.Run();
+    ASSERT_TRUE(run.ok());
+    auto refined = RefineSchedule(model, run.value().schedule);
+    ASSERT_TRUE(refined.ok());
+    EXPECT_LE(refined.value().area_after, refined.value().area_before);
+    EXPECT_TRUE(CheckAllocationCovers(model, refined.value().schedule,
+                                      refined.value().allocation)
+                    .ok());
+  }
+}
+
+TEST_F(RefinementTest, PaperSystemIsAlreadyLocallyOptimal) {
+  // The coupled heuristic's 17 equals the paper's result; the hill
+  // climber must not find a cheaper neighbour (and must not regress).
+  PaperSystem sys = BuildPaperSystem();
+  CoupledScheduler scheduler(sys.model, CoupledParams{});
+  auto run = scheduler.Run();
+  ASSERT_TRUE(run.ok());
+  RefineOptions options;
+  options.max_rounds = 2;  // keep the test fast
+  auto refined = RefineSchedule(sys.model, run.value().schedule, options);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_LE(refined.value().area_after, 17);
+}
+
+TEST_F(RefinementTest, RejectsIncompleteSchedule) {
+  DataFlowGraph g;
+  g.AddOp(types_.add, "a");
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = model_.AddProcess("p", 4);
+  const BlockId b = model_.AddBlock(p, "b", std::move(g), 4);
+  ASSERT_TRUE(model_.Validate().ok());
+  SystemSchedule incomplete;
+  incomplete.blocks.resize(1);
+  incomplete.of(b) = BlockSchedule(1);  // op unscheduled
+  EXPECT_FALSE(RefineSchedule(model_, incomplete).ok());
+}
+
+// ---- exact sharing oracle on tiny systems ----
+
+TEST_F(RefinementTest, CoupledHeuristicNearExactSharingOptimum) {
+  // Brute force over ALL schedule pairs of two tiny blocks gives the true
+  // minimum pool size; the coupled heuristic (plus refinement) must land
+  // within one area unit of it.
+  Rng rng(99);
+  for (int trial = 0; trial < 4; ++trial) {
+    SystemModel model;
+    const PaperTypes t = AddPaperTypes(model.library());
+    std::vector<ProcessId> procs;
+    std::vector<BlockId> blocks;
+    const int range = 4;
+    for (int i = 0; i < 2; ++i) {
+      DataFlowGraph g;
+      const int n = rng.NextInt(2, 3);
+      for (int k = 0; k < n; ++k)
+        g.AddOp(t.add, "a" + std::to_string(k));
+      ASSERT_TRUE(g.Validate().ok());
+      const ProcessId p = model.AddProcess("p" + std::to_string(i), range);
+      blocks.push_back(model.AddBlock(p, "b", std::move(g), range));
+      procs.push_back(p);
+    }
+    model.MakeGlobal(t.add, procs);
+    model.SetPeriod(t.add, 2);
+    ASSERT_TRUE(model.Validate().ok());
+
+    // Enumerate every (independent-op) schedule of both blocks.
+    auto enumerate = [&](BlockId bid) {
+      const std::size_t ops = model.block(bid).graph.op_count();
+      std::vector<BlockSchedule> all;
+      std::vector<int> starts(ops, 0);
+      for (;;) {
+        BlockSchedule s(ops);
+        for (std::size_t k = 0; k < ops; ++k)
+          s.set_start(OpId{static_cast<int>(k)}, starts[k]);
+        all.push_back(s);
+        std::size_t k = 0;
+        for (; k < ops; ++k) {
+          if (++starts[k] < range) break;
+          starts[k] = 0;
+        }
+        if (k == ops) break;
+      }
+      return all;
+    };
+    const auto all0 = enumerate(blocks[0]);
+    const auto all1 = enumerate(blocks[1]);
+    int best = 1 << 20;
+    for (const BlockSchedule& s0 : all0) {
+      for (const BlockSchedule& s1 : all1) {
+        SystemSchedule sys_sched;
+        sys_sched.blocks.resize(2);
+        sys_sched.of(blocks[0]) = s0;
+        sys_sched.of(blocks[1]) = s1;
+        best = std::min(
+            best,
+            ComputeAllocation(model, sys_sched).TotalArea(model.library()));
+      }
+    }
+
+    CoupledScheduler scheduler(model, CoupledParams{});
+    auto run = scheduler.Run();
+    ASSERT_TRUE(run.ok());
+    auto refined = RefineSchedule(model, run.value().schedule);
+    ASSERT_TRUE(refined.ok());
+    EXPECT_LE(refined.value().area_after, best + 1)
+        << "trial " << trial << ": exact sharing optimum " << best;
+  }
+}
+
+}  // namespace
+}  // namespace mshls

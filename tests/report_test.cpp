@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "bind/binding.h"
+#include "modulo/coupled_scheduler.h"
+#include "report/experiment_report.h"
+#include "report/gantt.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+  BlockId block_;
+
+  void SetUp() override {
+    DataFlowGraph g;
+    const OpId a = g.AddOp(types_.add, "acc");
+    const OpId m = g.AddOp(types_.mult, "scale");
+    g.AddEdge(a, m);
+    ASSERT_TRUE(g.Validate().ok());
+    const ProcessId p = model_.AddProcess("dsp", 6);
+    block_ = model_.AddBlock(p, "main", std::move(g), 6);
+    ASSERT_TRUE(model_.Validate().ok());
+  }
+
+  CoupledResult Run() {
+    CoupledScheduler scheduler(model_, CoupledParams{});
+    auto result = scheduler.Run();
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }
+};
+
+TEST_F(ReportTest, SummarizeAllocationListsNonZeroTypes) {
+  const CoupledResult result = Run();
+  const std::string s = SummarizeAllocation(model_, result.allocation);
+  EXPECT_NE(s.find("add=1"), std::string::npos);
+  EXPECT_NE(s.find("mult=1"), std::string::npos);
+  EXPECT_EQ(s.find("sub="), std::string::npos);  // unused type omitted
+  EXPECT_NE(s.find("area=5"), std::string::npos);
+}
+
+TEST_F(ReportTest, CsvHasHeaderAndAreaRow) {
+  const CoupledResult result = Run();
+  const std::string csv = AllocationCsv(model_, result.allocation);
+  EXPECT_EQ(csv.find("type,process,scope,instances\n"), 0u);
+  EXPECT_NE(csv.find("add,dsp,local,1"), std::string::npos);
+  EXPECT_NE(csv.find("area,,,5"), std::string::npos);
+}
+
+TEST_F(ReportTest, GanttShowsInstanceRowsAndLabels) {
+  const CoupledResult result = Run();
+  auto binding = BindSystem(model_, result.schedule, result.allocation);
+  ASSERT_TRUE(binding.ok());
+  const std::string gantt =
+      RenderGantt(model_, block_, result.schedule, binding.value());
+  EXPECT_NE(gantt.find("block 'main'"), std::string::npos);
+  EXPECT_NE(gantt.find("acc"), std::string::npos);
+  EXPECT_NE(gantt.find("scal"), std::string::npos);  // clipped to 4 chars
+  EXPECT_NE(gantt.find("dsp_add0"), std::string::npos);
+}
+
+TEST_F(ReportTest, OccupancyRendersBusyTypesOnly) {
+  const CoupledResult result = Run();
+  const std::string occ = RenderOccupancy(model_, block_, result.schedule);
+  EXPECT_NE(occ.find("add"), std::string::npos);
+  EXPECT_NE(occ.find("mult"), std::string::npos);
+  EXPECT_EQ(occ.find("sub"), std::string::npos);
+}
+
+TEST_F(ReportTest, GanttMarksMulticycleOccupancy) {
+  // A non-pipelined 2-cycle unit shows the continuation marker '~'.
+  SystemModel m;
+  const ResourceTypeId slow = m.library().AddSimple("slow", 2, 2);
+  DataFlowGraph g;
+  g.AddOp(slow, "crunch");
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = m.AddProcess("p", 4);
+  const BlockId b = m.AddBlock(p, "b", std::move(g), 4);
+  ASSERT_TRUE(m.Validate().ok());
+  CoupledScheduler scheduler(m, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  auto binding =
+      BindSystem(m, result.value().schedule, result.value().allocation);
+  ASSERT_TRUE(binding.ok());
+  const std::string gantt =
+      RenderGantt(m, b, result.value().schedule, binding.value());
+  EXPECT_NE(gantt.find("crun"), std::string::npos);
+  EXPECT_NE(gantt.find("~"), std::string::npos);
+}
+
+TEST_F(ReportTest, AreaBreakdownRenders) {
+  AreaBreakdown area;
+  area.fu_area = 17;
+  area.register_count = 3;
+  area.register_area = 0.75;
+  area.mux2_count = 8;
+  area.mux_area = 1.0;
+  area.total_area = 18.75;
+  const std::string s = RenderAreaBreakdown(area);
+  EXPECT_NE(s.find("17"), std::string::npos);
+  EXPECT_NE(s.find("0.75"), std::string::npos);
+  EXPECT_NE(s.find("18.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mshls

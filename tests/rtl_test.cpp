@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "bind/binding.h"
+#include "modulo/coupled_scheduler.h"
+#include "rtl/verilog_gen.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = 0;
+       (pos = haystack.find(needle, pos)) != std::string::npos;
+       pos += needle.size())
+    ++count;
+  return count;
+}
+
+class RtlTest : public ::testing::Test {
+ protected:
+  /// Two processes sharing one adder pool on period 2.
+  void BuildShared() {
+    types_ = AddPaperTypes(model_.library());
+    for (int pi = 0; pi < 2; ++pi) {
+      DataFlowGraph g;
+      const OpId a = g.AddOp(types_.add, "a0");
+      const OpId b = g.AddOp(types_.add, "a1");
+      g.AddEdge(a, b);
+      ASSERT_TRUE(g.Validate().ok());
+      const ProcessId p = model_.AddProcess("proc" + std::to_string(pi), 4);
+      model_.AddBlock(p, "main", std::move(g), 4);
+    }
+    model_.MakeGlobal(types_.add,
+                      {model_.processes()[0].id, model_.processes()[1].id});
+    model_.SetPeriod(types_.add, 2);
+    ASSERT_TRUE(model_.Validate().ok());
+  }
+
+  RtlDesign Generate() {
+    CoupledScheduler scheduler(model_, CoupledParams{});
+    auto result = scheduler.Run();
+    EXPECT_TRUE(result.ok());
+    auto binding = BindSystem(model_, result.value().schedule,
+                              result.value().allocation);
+    EXPECT_TRUE(binding.ok()) << binding.status().ToString();
+    auto design = GenerateRtl(model_, result.value().schedule,
+                              result.value().allocation, binding.value());
+    EXPECT_TRUE(design.ok());
+    return std::move(design).value();
+  }
+
+  SystemModel model_;
+  PaperTypes types_;
+};
+
+TEST_F(RtlTest, EmitsOneModulePerProcessPlusLibraryAndTop) {
+  BuildShared();
+  const RtlDesign design = Generate();
+  // 3 FU library modules (add, sub, mult) + 2 processes + top.
+  EXPECT_EQ(design.module_names.size(), 6u);
+  EXPECT_EQ(design.module_names.back(), "mshls_system");
+  EXPECT_EQ(CountOccurrences(design.source, "\nmodule "), 6);
+  EXPECT_NE(design.source.find("module mshls_fu_add"), std::string::npos);
+  EXPECT_NE(design.source.find("module proc_proc0"), std::string::npos);
+  EXPECT_NE(design.source.find("module proc_proc1"), std::string::npos);
+  EXPECT_NE(design.source.find("module mshls_system"), std::string::npos);
+}
+
+TEST_F(RtlTest, BalancedModuleEndmoduleAndBeginEnd) {
+  BuildShared();
+  const RtlDesign design = Generate();
+  const int modules = CountOccurrences(design.source, "\nmodule ");
+  EXPECT_EQ(CountOccurrences(design.source, "endmodule"), modules);
+  EXPECT_EQ(CountOccurrences(design.source, "begin"),
+            CountOccurrences(design.source, "end") -
+                CountOccurrences(design.source, "endcase") -
+                CountOccurrences(design.source, "endmodule"));
+}
+
+TEST_F(RtlTest, PipelinedMultiplierHasInternalStage) {
+  BuildShared();
+  const RtlDesign design = Generate();
+  // delay 2 -> exactly one internal pipeline register p0 in the mult FU.
+  const std::size_t mult_pos = design.source.find("module mshls_fu_mult");
+  ASSERT_NE(mult_pos, std::string::npos);
+  const std::size_t mult_end = design.source.find("endmodule", mult_pos);
+  const std::string mult_src =
+      design.source.substr(mult_pos, mult_end - mult_pos);
+  EXPECT_NE(mult_src.find("reg [WIDTH-1:0] p0;"), std::string::npos);
+  EXPECT_EQ(mult_src.find("p1"), std::string::npos);
+  EXPECT_NE(mult_src.find("a * b"), std::string::npos);
+}
+
+TEST_F(RtlTest, AdderIsCombinational) {
+  BuildShared();
+  const RtlDesign design = Generate();
+  const std::size_t pos = design.source.find("module mshls_fu_add");
+  const std::size_t end = design.source.find("endmodule", pos);
+  const std::string add_src = design.source.substr(pos, end - pos);
+  EXPECT_NE(add_src.find("assign y = result;"), std::string::npos);
+  EXPECT_EQ(add_src.find("always"), std::string::npos);
+}
+
+TEST_F(RtlTest, TopHasResidueCounterAndPoolMux) {
+  BuildShared();
+  const RtlDesign design = Generate();
+  EXPECT_NE(design.source.find("reg [15:0] cnt_add;"), std::string::npos);
+  // Counter wraps at period-1 = 1.
+  EXPECT_NE(design.source.find("cnt_add == 1"), std::string::npos);
+  // Pool instance muxed by residue: case over cnt_add with both residues
+  // present (each process owns one residue after alignment).
+  EXPECT_NE(design.source.find("case (cnt_add)"), std::string::npos);
+  EXPECT_NE(design.source.find("proc0_add_g0_a"), std::string::npos);
+  EXPECT_NE(design.source.find("proc1_add_g0_a"), std::string::npos);
+}
+
+TEST_F(RtlTest, ProcessModuleHasFsmAndStartPorts) {
+  BuildShared();
+  const RtlDesign design = Generate();
+  EXPECT_NE(design.source.find("input  wire start_main,"),
+            std::string::npos);
+  EXPECT_NE(design.source.find("reg running_main;"), std::string::npos);
+  EXPECT_NE(design.source.find("assign busy = running_main;"),
+            std::string::npos);
+  // Block length 4: the FSM clears running at cstep == 3.
+  EXPECT_NE(design.source.find("cstep == 3"), std::string::npos);
+}
+
+TEST_F(RtlTest, SequentialAddsWriteDifferentCsteps) {
+  BuildShared();
+  const RtlDesign design = Generate();
+  // Each process has a 2-op chain: two distinct write-back case labels.
+  const std::size_t pos = design.source.find("module proc_proc0");
+  const std::size_t end = design.source.find("endmodule", pos);
+  const std::string proc = design.source.substr(pos, end - pos);
+  EXPECT_GE(CountOccurrences(proc, ": begin r"), 2);
+}
+
+TEST_F(RtlTest, PaperSystemGeneratesCompleteDesign) {
+  PaperSystem sys = BuildPaperSystem();
+  CoupledScheduler scheduler(sys.model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  auto binding = BindSystem(sys.model, result.value().schedule,
+                            result.value().allocation);
+  ASSERT_TRUE(binding.ok());
+  auto design = GenerateRtl(sys.model, result.value().schedule,
+                            result.value().allocation, binding.value());
+  ASSERT_TRUE(design.ok());
+  // 3 FU modules + 5 process modules + top.
+  EXPECT_EQ(design.value().module_names.size(), 9u);
+  // All three global pools have residue counters.
+  EXPECT_NE(design.value().source.find("cnt_add"), std::string::npos);
+  EXPECT_NE(design.value().source.find("cnt_mult"), std::string::npos);
+  EXPECT_NE(design.value().source.find("cnt_sub"), std::string::npos);
+  // Every process instantiated in the top level.
+  for (const Process& p : sys.model.processes())
+    EXPECT_NE(design.value().source.find("u_" + p.name),
+              std::string::npos);
+}
+
+TEST_F(RtlTest, CustomOptionsRespected) {
+  BuildShared();
+  CoupledScheduler scheduler(model_, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  auto binding = BindSystem(model_, result.value().schedule,
+                            result.value().allocation);
+  ASSERT_TRUE(binding.ok());
+  RtlOptions options;
+  options.data_width = 32;
+  options.top_name = "my_top";
+  auto design = GenerateRtl(model_, result.value().schedule,
+                            result.value().allocation, binding.value(),
+                            options);
+  ASSERT_TRUE(design.ok());
+  EXPECT_NE(design.value().source.find("module my_top"), std::string::npos);
+  EXPECT_NE(design.value().source.find("parameter WIDTH = 32"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mshls

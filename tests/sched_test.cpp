@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "model/system_model.h"
+#include "sched/list_scheduler.h"
+#include "sched/schedule.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+class SchedTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  BlockId AddBlockOf(DataFlowGraph g, int range) {
+    const ProcessId p = model_.AddProcess("p" +
+                                          std::to_string(model_.process_count()));
+    const BlockId b = model_.AddBlock(p, "b", std::move(g), range);
+    EXPECT_TRUE(model_.Validate().ok());
+    return b;
+  }
+
+  DataFlowGraph Chain() {
+    DataFlowGraph g;
+    const OpId a = g.AddOp(types_.add, "a");
+    const OpId m = g.AddOp(types_.mult, "m");
+    const OpId b = g.AddOp(types_.add, "b");
+    g.AddEdge(a, m);
+    g.AddEdge(m, b);
+    EXPECT_TRUE(g.Validate().ok());
+    return g;
+  }
+};
+
+TEST_F(SchedTest, ValidateAcceptsLegalSchedule) {
+  const BlockId bid = AddBlockOf(Chain(), 6);
+  BlockSchedule s(3);
+  s.set_start(OpId{0}, 0);
+  s.set_start(OpId{1}, 1);
+  s.set_start(OpId{2}, 3);
+  EXPECT_TRUE(
+      ValidateBlockSchedule(model_.block(bid), model_.DelayOf(bid), s).ok());
+  EXPECT_TRUE(s.Complete());
+  EXPECT_EQ(s.Length(model_.block(bid).graph, model_.DelayOf(bid)), 4);
+}
+
+TEST_F(SchedTest, ValidateRejectsPrecedenceViolation) {
+  const BlockId bid = AddBlockOf(Chain(), 6);
+  BlockSchedule s(3);
+  s.set_start(OpId{0}, 0);
+  s.set_start(OpId{1}, 1);
+  s.set_start(OpId{2}, 2);  // mult result not ready before step 3
+  const Status st =
+      ValidateBlockSchedule(model_.block(bid), model_.DelayOf(bid), s);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("precedence"), std::string::npos);
+}
+
+TEST_F(SchedTest, ValidateRejectsUnscheduledOp) {
+  const BlockId bid = AddBlockOf(Chain(), 6);
+  BlockSchedule s(3);
+  s.set_start(OpId{0}, 0);
+  EXPECT_FALSE(
+      ValidateBlockSchedule(model_.block(bid), model_.DelayOf(bid), s).ok());
+}
+
+TEST_F(SchedTest, ValidateRejectsOutOfRangeFinish) {
+  const BlockId bid = AddBlockOf(Chain(), 6);
+  BlockSchedule s(3);
+  s.set_start(OpId{0}, 0);
+  s.set_start(OpId{1}, 4);  // mult ends at 6 == range is fine
+  s.set_start(OpId{2}, 6);  // add ends at 7 > 6
+  EXPECT_FALSE(
+      ValidateBlockSchedule(model_.block(bid), model_.DelayOf(bid), s).ok());
+}
+
+TEST_F(SchedTest, OccupancyRespectsNonPipelinedDii) {
+  // A non-pipelined two-cycle unit occupies both steps.
+  const ResourceTypeId slow = model_.library().AddSimple("slow", 2, 3);
+  DataFlowGraph g;
+  g.AddOp(slow, "s1");
+  g.AddOp(slow, "s2");
+  ASSERT_TRUE(g.Validate().ok());
+  const BlockId bid = AddBlockOf(std::move(g), 6);
+  BlockSchedule s(2);
+  s.set_start(OpId{0}, 0);
+  s.set_start(OpId{1}, 1);
+  const auto prof =
+      OccupancyProfile(model_.block(bid), model_.library(), s, slow);
+  EXPECT_EQ(prof, (std::vector<int>{1, 2, 1, 0, 0, 0}));
+  EXPECT_EQ(OccupancyAt(model_.block(bid), model_.library(), s, slow, 1), 2);
+}
+
+TEST_F(SchedTest, PipelinedMultOccupiesIssueSlotOnly) {
+  DataFlowGraph g;
+  g.AddOp(types_.mult, "m1");
+  g.AddOp(types_.mult, "m2");
+  ASSERT_TRUE(g.Validate().ok());
+  const BlockId bid = AddBlockOf(std::move(g), 6);
+  BlockSchedule s(2);
+  s.set_start(OpId{0}, 0);
+  s.set_start(OpId{1}, 1);  // back-to-back issue on one pipelined unit
+  const auto prof =
+      OccupancyProfile(model_.block(bid), model_.library(), s, types_.mult);
+  EXPECT_EQ(prof, (std::vector<int>{1, 1, 0, 0, 0, 0}));
+}
+
+// ---- list scheduling ----
+
+TEST_F(SchedTest, ResourceConstrainedSerializesOnOneUnit) {
+  DataFlowGraph g;
+  for (int i = 0; i < 4; ++i) g.AddOp(types_.add, "a" + std::to_string(i));
+  ASSERT_TRUE(g.Validate().ok());
+  const BlockId bid = AddBlockOf(std::move(g), 10);
+  std::vector<int> limits(model_.library().size(), 0);
+  limits[types_.add.index()] = 1;
+  auto res = ListScheduleResourceConstrained(model_.block(bid),
+                                             model_.library(), limits);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().length, 4);
+  EXPECT_EQ(res.value().usage[types_.add.index()], 1);
+  EXPECT_TRUE(ValidateBlockSchedule(model_.block(bid), model_.DelayOf(bid),
+                                    res.value().schedule)
+                  .ok());
+}
+
+TEST_F(SchedTest, ResourceConstrainedUsesParallelism) {
+  DataFlowGraph g;
+  for (int i = 0; i < 4; ++i) g.AddOp(types_.add, "a" + std::to_string(i));
+  ASSERT_TRUE(g.Validate().ok());
+  const BlockId bid = AddBlockOf(std::move(g), 10);
+  std::vector<int> limits(model_.library().size(), 0);
+  limits[types_.add.index()] = 2;
+  auto res = ListScheduleResourceConstrained(model_.block(bid),
+                                             model_.library(), limits);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().length, 2);
+}
+
+TEST_F(SchedTest, ResourceConstrainedHonoursNonPipelinedOccupancy) {
+  const ResourceTypeId slow = model_.library().AddSimple("slow2", 2, 3);
+  DataFlowGraph g;
+  g.AddOp(slow, "s1");
+  g.AddOp(slow, "s2");
+  ASSERT_TRUE(g.Validate().ok());
+  const BlockId bid = AddBlockOf(std::move(g), 10);
+  std::vector<int> limits(model_.library().size(), 0);
+  limits[slow.index()] = 1;
+  auto res = ListScheduleResourceConstrained(model_.block(bid),
+                                             model_.library(), limits);
+  ASSERT_TRUE(res.ok());
+  // Two 2-cycle ops on one non-pipelined unit: 4 cycles.
+  EXPECT_EQ(res.value().length, 4);
+}
+
+TEST_F(SchedTest, ResourceConstrainedPipelinedBackToBack) {
+  DataFlowGraph g;
+  for (int i = 0; i < 3; ++i) g.AddOp(types_.mult, "m" + std::to_string(i));
+  ASSERT_TRUE(g.Validate().ok());
+  const BlockId bid = AddBlockOf(std::move(g), 10);
+  std::vector<int> limits(model_.library().size(), 0);
+  limits[types_.mult.index()] = 1;
+  auto res = ListScheduleResourceConstrained(model_.block(bid),
+                                             model_.library(), limits);
+  ASSERT_TRUE(res.ok());
+  // Pipelined: issue at 0,1,2; last finishes at 4.
+  EXPECT_EQ(res.value().length, 4);
+}
+
+TEST_F(SchedTest, ResourceConstrainedPrioritizesCriticalOps) {
+  // Chain a->b->c (urgent) plus independent d; one adder. Least-slack-first
+  // must start the chain immediately.
+  DataFlowGraph g;
+  const OpId a = g.AddOp(types_.add, "a");
+  const OpId b = g.AddOp(types_.add, "b");
+  const OpId c = g.AddOp(types_.add, "c");
+  g.AddOp(types_.add, "d");
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  ASSERT_TRUE(g.Validate().ok());
+  const BlockId bid = AddBlockOf(std::move(g), 4);
+  std::vector<int> limits(model_.library().size(), 0);
+  limits[types_.add.index()] = 1;
+  auto res = ListScheduleResourceConstrained(model_.block(bid),
+                                             model_.library(), limits);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().schedule.start(a), 0);
+  EXPECT_EQ(res.value().length, 4);
+}
+
+TEST_F(SchedTest, TimeConstrainedMeetsDeadline) {
+  const DataFlowGraph g = BuildEwf(types_);
+  const BlockId bid = AddBlockOf(BuildEwf(types_), 19);
+  (void)g;
+  auto res = ListScheduleTimeConstrained(model_.block(bid), model_.library());
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res.value().length, 19);
+  EXPECT_TRUE(ValidateBlockSchedule(model_.block(bid), model_.DelayOf(bid),
+                                    res.value().schedule)
+                  .ok());
+  EXPECT_GE(res.value().allocation[types_.add.index()], 1);
+  EXPECT_GE(res.value().allocation[types_.mult.index()], 1);
+}
+
+TEST_F(SchedTest, TimeConstrainedUsesFewerResourcesWithLooserDeadline) {
+  const BlockId tight = AddBlockOf(BuildEwf(types_), 17);
+  const BlockId loose = AddBlockOf(BuildEwf(types_), 34);
+  auto rt = ListScheduleTimeConstrained(model_.block(tight),
+                                        model_.library());
+  auto rl = ListScheduleTimeConstrained(model_.block(loose),
+                                        model_.library());
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rl.ok());
+  int tight_total = 0;
+  int loose_total = 0;
+  for (std::size_t i = 0; i < model_.library().size(); ++i) {
+    tight_total += rt.value().allocation[i];
+    loose_total += rl.value().allocation[i];
+  }
+  EXPECT_LE(loose_total, tight_total);
+}
+
+}  // namespace
+}  // namespace mshls

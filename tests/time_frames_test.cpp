@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "sched/time_frames.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+class TimeFramesTest : public ::testing::Test {
+ protected:
+  ResourceLibrary lib_;
+  PaperTypes types_ = AddPaperTypes(lib_);
+
+  DelayFn DelayOf(const DataFlowGraph& g) {
+    return [this, &g](OpId op) { return lib_.type(g.op(op).type).delay; };
+  }
+
+  /// a(add) -> m(mult) -> b(add), critical path 4.
+  DataFlowGraph Chain() {
+    DataFlowGraph g;
+    const OpId a = g.AddOp(types_.add, "a");
+    const OpId m = g.AddOp(types_.mult, "m");
+    const OpId b = g.AddOp(types_.add, "b");
+    g.AddEdge(a, m);
+    g.AddEdge(m, b);
+    EXPECT_TRUE(g.Validate().ok());
+    return g;
+  }
+};
+
+TEST_F(TimeFramesTest, ChainFramesExact) {
+  const DataFlowGraph g = Chain();
+  auto frames_or = TimeFrameSet::Compute(g, DelayOf(g), 6);
+  ASSERT_TRUE(frames_or.ok());
+  const TimeFrameSet& f = frames_or.value();
+  // Slack of 2: every frame has width 3.
+  EXPECT_EQ(f.frame(OpId{0}), (TimeFrame{0, 2}));
+  EXPECT_EQ(f.frame(OpId{1}), (TimeFrame{1, 3}));
+  EXPECT_EQ(f.frame(OpId{2}), (TimeFrame{3, 5}));
+  EXPECT_EQ(f.TotalSlack(), 6);
+  EXPECT_FALSE(f.AllFixed());
+}
+
+TEST_F(TimeFramesTest, TightDeadlineFixesEverything) {
+  const DataFlowGraph g = Chain();
+  auto frames_or = TimeFrameSet::Compute(g, DelayOf(g), 4);
+  ASSERT_TRUE(frames_or.ok());
+  EXPECT_TRUE(frames_or.value().AllFixed());
+  EXPECT_EQ(frames_or.value().frame(OpId{1}), (TimeFrame{1, 1}));
+}
+
+TEST_F(TimeFramesTest, InfeasibleDeadlineReported) {
+  const DataFlowGraph g = Chain();
+  auto frames_or = TimeFrameSet::Compute(g, DelayOf(g), 3);
+  ASSERT_FALSE(frames_or.ok());
+  EXPECT_EQ(frames_or.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(TimeFramesTest, IndependentOpsGetFullRange) {
+  DataFlowGraph g;
+  g.AddOp(types_.add, "a");
+  g.AddOp(types_.mult, "m");
+  ASSERT_TRUE(g.Validate().ok());
+  auto frames_or = TimeFrameSet::Compute(g, DelayOf(g), 5);
+  ASSERT_TRUE(frames_or.ok());
+  EXPECT_EQ(frames_or.value().frame(OpId{0}), (TimeFrame{0, 4}));
+  // Multiplier must finish by 5: latest start is 3.
+  EXPECT_EQ(frames_or.value().frame(OpId{1}), (TimeFrame{0, 3}));
+}
+
+TEST_F(TimeFramesTest, NarrowPropagatesForward) {
+  const DataFlowGraph g = Chain();
+  auto frames_or = TimeFrameSet::Compute(g, DelayOf(g), 6);
+  ASSERT_TRUE(frames_or.ok());
+  TimeFrameSet f = std::move(frames_or).value();
+  // Fix a to 2: m must start at 3, b at 5.
+  ASSERT_TRUE(f.Narrow(g, DelayOf(g), OpId{0}, TimeFrame{2, 2}).ok());
+  EXPECT_EQ(f.frame(OpId{1}), (TimeFrame{3, 3}));
+  EXPECT_EQ(f.frame(OpId{2}), (TimeFrame{5, 5}));
+  EXPECT_TRUE(f.AllFixed());
+}
+
+TEST_F(TimeFramesTest, NarrowPropagatesBackward) {
+  const DataFlowGraph g = Chain();
+  auto frames_or = TimeFrameSet::Compute(g, DelayOf(g), 6);
+  ASSERT_TRUE(frames_or.ok());
+  TimeFrameSet f = std::move(frames_or).value();
+  // Fix b to 3: m must start at 1, a at 0.
+  ASSERT_TRUE(f.Narrow(g, DelayOf(g), OpId{2}, TimeFrame{3, 3}).ok());
+  EXPECT_EQ(f.frame(OpId{1}), (TimeFrame{1, 1}));
+  EXPECT_EQ(f.frame(OpId{0}), (TimeFrame{0, 0}));
+}
+
+TEST_F(TimeFramesTest, PartialNarrowKeepsWidth) {
+  const DataFlowGraph g = Chain();
+  auto frames_or = TimeFrameSet::Compute(g, DelayOf(g), 6);
+  ASSERT_TRUE(frames_or.ok());
+  TimeFrameSet f = std::move(frames_or).value();
+  ASSERT_TRUE(f.Narrow(g, DelayOf(g), OpId{0}, TimeFrame{1, 2}).ok());
+  EXPECT_EQ(f.frame(OpId{0}), (TimeFrame{1, 2}));
+  EXPECT_EQ(f.frame(OpId{1}), (TimeFrame{2, 3}));
+}
+
+TEST_F(TimeFramesTest, FramesMatchBruteForceOnEwf) {
+  // Cross-check ASAP/ALAP against longest-path recurrences evaluated
+  // independently (forward/backward DP over the topological order).
+  const DataFlowGraph g = BuildEwf(types_);
+  const DelayFn delay = DelayOf(g);
+  const int range = 25;
+  auto frames_or = TimeFrameSet::Compute(g, delay, range);
+  ASSERT_TRUE(frames_or.ok());
+  const TimeFrameSet& f = frames_or.value();
+
+  std::vector<int> asap(g.op_count(), 0);
+  for (OpId id : g.topological_order())
+    for (OpId p : g.preds(id))
+      asap[id.index()] =
+          std::max(asap[id.index()], asap[p.index()] + delay(p));
+  std::vector<int> alap(g.op_count(), 0);
+  const auto topo = g.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    int latest = range - delay(*it);
+    for (OpId s : g.succs(*it))
+      latest = std::min(latest, alap[s.index()] - delay(*it));
+    alap[it->index()] = latest;
+  }
+  for (const Operation& op : g.ops()) {
+    EXPECT_EQ(f.frame(op.id).asap, asap[op.id.index()]) << op.name;
+    EXPECT_EQ(f.frame(op.id).alap, alap[op.id.index()]) << op.name;
+  }
+}
+
+TEST_F(TimeFramesTest, WidthAndContains) {
+  const TimeFrame f{2, 5};
+  EXPECT_EQ(f.width(), 4);
+  EXPECT_FALSE(f.fixed());
+  EXPECT_TRUE(f.contains(2));
+  EXPECT_TRUE(f.contains(5));
+  EXPECT_FALSE(f.contains(6));
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "model/type_merge.h"
+#include "modulo/baseline.h"
+#include "modulo/coupled_scheduler.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+class TypeMergeTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  void AddMixedProcess(const std::string& name, int range) {
+    DataFlowGraph g;
+    const OpId a = g.AddOp(types_.add, name + "_a");
+    const OpId s = g.AddOp(types_.sub, name + "_s");
+    const OpId m = g.AddOp(types_.mult, name + "_m");
+    g.AddEdge(a, m);
+    g.AddEdge(s, m);
+    ASSERT_TRUE(g.Validate().ok());
+    const ProcessId p = model_.AddProcess(name, range);
+    model_.AddBlock(p, name + "_b", std::move(g), range);
+  }
+};
+
+TEST_F(TypeMergeTest, RetargetsAllOps) {
+  AddMixedProcess("p1", 8);
+  ASSERT_TRUE(model_.Validate().ok());
+  const ResourceTypeId sources[] = {types_.add, types_.sub};
+  auto alu = MergeTypes(model_, sources, "alu", 1);
+  ASSERT_TRUE(alu.ok()) << alu.status().ToString();
+  int alu_ops = 0;
+  for (const Operation& op : model_.block(BlockId{0}).graph.ops()) {
+    EXPECT_NE(op.type, types_.add);
+    EXPECT_NE(op.type, types_.sub);
+    if (op.type == alu.value()) ++alu_ops;
+  }
+  EXPECT_EQ(alu_ops, 2);
+  // Graph structure survives.
+  EXPECT_EQ(model_.block(BlockId{0}).graph.edge_count(), 2u);
+  EXPECT_EQ(model_.library().type(alu.value()).name, "alu");
+  EXPECT_EQ(model_.library().type(alu.value()).delay, 1);
+}
+
+TEST_F(TypeMergeTest, RejectsIncompatibleTimings) {
+  AddMixedProcess("p1", 8);
+  const ResourceTypeId sources[] = {types_.add, types_.mult};  // delay 1 vs 2
+  auto alu = MergeTypes(model_, sources, "alu", 2);
+  ASSERT_FALSE(alu.ok());
+  EXPECT_EQ(alu.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TypeMergeTest, RejectsDuplicateName) {
+  AddMixedProcess("p1", 8);
+  const ResourceTypeId sources[] = {types_.add, types_.sub};
+  auto bad = MergeTypes(model_, sources, "mult", 1);
+  ASSERT_FALSE(bad.ok());
+}
+
+TEST_F(TypeMergeTest, RejectsSingleSource) {
+  AddMixedProcess("p1", 8);
+  const ResourceTypeId sources[] = {types_.add};
+  EXPECT_FALSE(MergeTypes(model_, sources, "alu", 1).ok());
+}
+
+TEST_F(TypeMergeTest, MergedTypeSchedulesAndShares) {
+  AddMixedProcess("p1", 8);
+  AddMixedProcess("p2", 8);
+  ASSERT_TRUE(model_.Validate().ok());
+  const ResourceTypeId sources[] = {types_.add, types_.sub};
+  auto alu = MergeTypes(model_, sources, "alu", 1);
+  ASSERT_TRUE(alu.ok());
+  model_.MakeGlobal(alu.value(),
+                    {model_.processes()[0].id, model_.processes()[1].id});
+  model_.SetPeriod(alu.value(), 4);
+  ASSERT_TRUE(model_.Validate().ok());
+  CoupledScheduler scheduler(model_, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  const GlobalTypeAllocation* pool =
+      result.value().allocation.FindGlobal(alu.value());
+  ASSERT_NE(pool, nullptr);
+  // Four ALU-ops across 2 processes in 8 steps: one shared ALU suffices.
+  EXPECT_EQ(pool->instances, 1);
+}
+
+TEST_F(TypeMergeTest, AluMergeOnPaperSystemSavesArea) {
+  // The paper counts adders and subtracters separately (4 + 1 = 5 units
+  // of area 1). Merging add+sub into one ALU class lets the subtraction
+  // traffic reuse adder slots: the merged pool needs at most 5 and
+  // typically fewer units.
+  PaperSystem sys = BuildPaperSystem();
+  const ResourceTypeId sources[] = {sys.types.add, sys.types.sub};
+  auto alu = MergeTypes(sys.model, sources, "alu", 1);
+  ASSERT_TRUE(alu.ok()) << alu.status().ToString();
+  std::vector<ProcessId> all;
+  for (const Process& p : sys.model.processes()) all.push_back(p.id);
+  sys.model.MakeGlobal(alu.value(), all);
+  sys.model.SetPeriod(alu.value(), 5);
+  ASSERT_TRUE(sys.model.Validate().ok());
+  CoupledScheduler scheduler(sys.model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  const int alus =
+      result.value().allocation.FindGlobal(alu.value())->instances;
+  EXPECT_LE(alus, 5);
+  EXPECT_GE(alus, 4);  // the add traffic alone needs 4
+  const int area = result.value().allocation.TotalArea(sys.model.library());
+  EXPECT_LE(area, 17);
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "fds/fds_scheduler.h"
+#include "sim/value_executor.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+class ValueExecutorTest : public ::testing::Test {
+ protected:
+  SystemModel model_;
+  PaperTypes types_ = AddPaperTypes(model_.library());
+
+  const Block& AddBlockOf(DataFlowGraph g, int range) {
+    const ProcessId p = model_.AddProcess(
+        "p" + std::to_string(model_.process_count()));
+    const BlockId b = model_.AddBlock(p, "b", std::move(g), range);
+    EXPECT_TRUE(model_.Validate().ok());
+    return model_.block(b);
+  }
+
+  /// Schedules with IFDS and allocates registers.
+  std::pair<BlockSchedule, BlockRegisterAllocation> Prepare(const Block& b) {
+    auto res = ScheduleBlockIfds(b, model_.library(), {});
+    EXPECT_TRUE(res.ok());
+    const auto lifetimes =
+        ComputeLifetimes(b, model_.library(), res.value().schedule);
+    return {res.value().schedule, AllocateRegisters(lifetimes)};
+  }
+};
+
+TEST_F(ValueExecutorTest, ReferenceEvaluationIsDeterministic) {
+  const Block& b = AddBlockOf(BuildDiffeq(types_), 10);
+  const auto v1 = EvaluateGraph(b, model_.library());
+  const auto v2 = EvaluateGraph(b, model_.library());
+  EXPECT_EQ(v1, v2);
+  ValueExecOptions other;
+  other.input_seed = 99;
+  const auto v3 = EvaluateGraph(b, model_.library(), other);
+  EXPECT_NE(v1, v3);  // different inputs, different values
+}
+
+TEST_F(ValueExecutorTest, HandComputedChain) {
+  // a = in0 + in1; m = a * (input); inputs are deterministic in the seed,
+  // so just check consistency between direct and register execution and
+  // the add/mult semantics on a fixed tiny case.
+  DataFlowGraph g;
+  const OpId a = g.AddOp(types_.add, "a");
+  const OpId m = g.AddOp(types_.mult, "m");
+  g.AddEdge(a, m);
+  ASSERT_TRUE(g.Validate().ok());
+  const Block& b = AddBlockOf(std::move(g), 5);
+  auto [schedule, regs] = Prepare(b);
+  const auto report =
+      ExecuteBlockWithRegisters(b, model_.library(), schedule, regs);
+  EXPECT_TRUE(report.ok) << report.mismatch;
+  EXPECT_EQ(report.executed[a.index()], report.reference[a.index()]);
+  EXPECT_EQ(report.executed[m.index()], report.reference[m.index()]);
+}
+
+TEST_F(ValueExecutorTest, BenchmarkGraphsExecuteCorrectly) {
+  struct Case {
+    DataFlowGraph graph;
+    int range;
+  };
+  std::vector<Case> cases;
+  cases.push_back({BuildDiffeq(types_), 12});
+  cases.push_back({BuildEwf(types_), 21});
+  cases.push_back({BuildFir16(types_), 10});
+  cases.push_back({BuildArLattice(types_), 20});
+  for (Case& c : cases) {
+    const Block& b = AddBlockOf(std::move(c.graph), c.range);
+    auto [schedule, regs] = Prepare(b);
+    const auto report =
+        ExecuteBlockWithRegisters(b, model_.library(), schedule, regs);
+    EXPECT_TRUE(report.ok) << b.time_range << ": " << report.mismatch;
+  }
+}
+
+TEST_F(ValueExecutorTest, RandomGraphsUnderRandomSeedsProperty) {
+  Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomDfgOptions options;
+    options.ops = rng.NextInt(5, 20);
+    options.layers = rng.NextInt(2, 5);
+    DataFlowGraph g = BuildRandomDfg(types_, rng, options);
+    const DelayFn delay = [&](OpId op) {
+      return model_.library().type(g.op(op).type).delay;
+    };
+    const int range = g.CriticalPathLength(delay) + rng.NextInt(0, 6);
+    const Block& b = AddBlockOf(std::move(g), range);
+    auto [schedule, regs] = Prepare(b);
+    ValueExecOptions exec;
+    exec.input_seed = rng.NextU64();
+    const auto report =
+        ExecuteBlockWithRegisters(b, model_.library(), schedule, regs, exec);
+    EXPECT_TRUE(report.ok) << "trial " << trial << ": " << report.mismatch;
+  }
+}
+
+TEST_F(ValueExecutorTest, ClobberedRegisterIsDetected) {
+  // Forge an undersized allocation: everything into register 0. Two live
+  // values must collide and be reported as a clobber, not as silence.
+  DataFlowGraph g;
+  const OpId a = g.AddOp(types_.add, "a");
+  const OpId b2 = g.AddOp(types_.add, "b");
+  const OpId c = g.AddOp(types_.add, "c");
+  g.AddEdge(a, c);
+  g.AddEdge(b2, c);
+  ASSERT_TRUE(g.Validate().ok());
+  const Block& blk = AddBlockOf(std::move(g), 4);
+  auto [schedule, regs] = Prepare(blk);
+  ASSERT_GE(regs.register_count, 2);
+  BlockRegisterAllocation forged = regs;
+  forged.register_count = 1;
+  for (auto& r : forged.reg_of) r = RegisterId{0};
+  const auto report =
+      ExecuteBlockWithRegisters(blk, model_.library(), schedule, forged);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.mismatch.find("clobbered"), std::string::npos);
+}
+
+TEST_F(ValueExecutorTest, PipelinedMultiplierLatencyRespected) {
+  // Two mults back-to-back on the dependence chain: the consumer must see
+  // the producer's value exactly delay cycles later, not earlier.
+  DataFlowGraph g;
+  const OpId m1 = g.AddOp(types_.mult, "m1");
+  const OpId m2 = g.AddOp(types_.mult, "m2");
+  g.AddEdge(m1, m2);
+  ASSERT_TRUE(g.Validate().ok());
+  const Block& b = AddBlockOf(std::move(g), 4);
+  BlockSchedule schedule(2);
+  schedule.set_start(m1, 0);
+  schedule.set_start(m2, 2);  // exactly at the latency edge
+  const auto lifetimes =
+      ComputeLifetimes(b, model_.library(), schedule);
+  const auto regs = AllocateRegisters(lifetimes);
+  const auto report =
+      ExecuteBlockWithRegisters(b, model_.library(), schedule, regs);
+  EXPECT_TRUE(report.ok) << report.mismatch;
+}
+
+TEST_F(ValueExecutorTest, RegisterReuseAtLifetimeBoundaryIsSafe) {
+  // a's value dies exactly when c is born; left-edge gives them one
+  // register; the executor must confirm the timing convention is
+  // consistent (write at end of the consumer's read cycle).
+  DataFlowGraph g;
+  const OpId a = g.AddOp(types_.add, "a");
+  const OpId b2 = g.AddOp(types_.add, "b");   // reads a
+  const OpId c = g.AddOp(types_.add, "c");    // reads b
+  g.AddEdge(a, b2);
+  g.AddEdge(b2, c);
+  ASSERT_TRUE(g.Validate().ok());
+  const Block& blk = AddBlockOf(std::move(g), 3);
+  BlockSchedule schedule(3);
+  schedule.set_start(a, 0);
+  schedule.set_start(b2, 1);
+  schedule.set_start(c, 2);
+  const auto lifetimes = ComputeLifetimes(blk, model_.library(), schedule);
+  const auto regs = AllocateRegisters(lifetimes);
+  // a: [1,2), b: [2,3), c: [3,...): a and b can share a register with c.
+  EXPECT_LE(regs.register_count, 2);
+  const auto report =
+      ExecuteBlockWithRegisters(blk, model_.library(), schedule, regs);
+  EXPECT_TRUE(report.ok) << report.mismatch;
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,491 @@
+// Tests of the in-tree Verilog-subset simulator, culminating in the full
+// loop: model -> coupled modulo scheduling -> binding -> emitted Verilog
+// -> parsed back -> simulated -> outputs equal the data-flow reference.
+#include <gtest/gtest.h>
+
+#include "bind/binding.h"
+#include "modulo/coupled_scheduler.h"
+#include "rtl/verilog_gen.h"
+#include "sim/op_semantics.h"
+#include "sim/value_executor.h"
+#include "vsim/vsim.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+// ---- interpreter unit tests on handwritten snippets ----
+
+TEST(VsimUnitTest, FreeRunningCounter) {
+  constexpr const char* kSrc = R"(
+module top (
+  input  wire clk,
+  input  wire rst,
+  output wire [15:0] value
+);
+  reg [15:0] c;
+  always @(posedge clk) begin
+    if (rst) c <= 0;
+    else c <= c + 1;
+  end
+  assign value = c;
+endmodule
+)";
+  auto sim_or = VerilogSimulator::Elaborate(kSrc, "top");
+  ASSERT_TRUE(sim_or.ok()) << sim_or.status().ToString();
+  VerilogSimulator sim = std::move(sim_or).value();
+  ASSERT_TRUE(sim.Poke("rst", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("rst", 0).ok());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(sim.Step().ok());
+    EXPECT_EQ(sim.Peek("value").value(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(VsimUnitTest, WrappingModuloCounter) {
+  constexpr const char* kSrc = R"(
+module top (
+  input wire clk,
+  input wire rst,
+  output wire [15:0] value
+);
+  reg [15:0] c;
+  always @(posedge clk) begin
+    if (rst) c <= 0;
+    else c <= (c == 2) ? 16'd0 : c + 16'd1;
+  end
+  assign value = c;
+endmodule
+)";
+  auto sim_or = VerilogSimulator::Elaborate(kSrc, "top");
+  ASSERT_TRUE(sim_or.ok());
+  VerilogSimulator sim = std::move(sim_or).value();
+  ASSERT_TRUE(sim.Poke("rst", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("rst", 0).ok());
+  std::vector<std::uint64_t> seen;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(sim.Step().ok());
+    seen.push_back(sim.Peek("value").value());
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 0, 1, 2, 0}));
+}
+
+TEST(VsimUnitTest, CombinationalCaseMux) {
+  constexpr const char* kSrc = R"(
+module top (
+  input wire [1:0] sel,
+  input wire [15:0] a,
+  input wire [15:0] b,
+  output wire [15:0] y
+);
+  reg [15:0] t;
+  always @* begin
+    t = {16{1'b0}};
+    case (sel)
+      0: t = a;
+      1: t = b;
+      2: begin t = a + b; end
+    endcase
+  end
+  assign y = t;
+endmodule
+)";
+  auto sim_or = VerilogSimulator::Elaborate(kSrc, "top");
+  ASSERT_TRUE(sim_or.ok()) << sim_or.status().ToString();
+  VerilogSimulator sim = std::move(sim_or).value();
+  ASSERT_TRUE(sim.Poke("a", 7).ok());
+  ASSERT_TRUE(sim.Poke("b", 5).ok());
+  ASSERT_TRUE(sim.Poke("sel", 0).ok());
+  ASSERT_TRUE(sim.Settle().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 7u);
+  ASSERT_TRUE(sim.Poke("sel", 1).ok());
+  ASSERT_TRUE(sim.Settle().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 5u);
+  ASSERT_TRUE(sim.Poke("sel", 2).ok());
+  ASSERT_TRUE(sim.Settle().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 12u);
+  ASSERT_TRUE(sim.Poke("sel", 3).ok());  // default: zero
+  ASSERT_TRUE(sim.Settle().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 0u);
+}
+
+TEST(VsimUnitTest, HierarchyAndParameterPropagation) {
+  constexpr const char* kSrc = R"(
+module adder #(parameter WIDTH = 16) (
+  input wire clk,
+  input wire [WIDTH-1:0] a,
+  input wire [WIDTH-1:0] b,
+  output wire [WIDTH-1:0] y
+);
+  assign y = a + b;
+endmodule
+module top #(parameter WIDTH = 16) (
+  input wire clk,
+  input wire [WIDTH-1:0] x,
+  output wire [WIDTH-1:0] y
+);
+  wire [WIDTH-1:0] t;
+  adder #(WIDTH) u1 (.clk(clk), .a(x), .b(x), .y(t));
+  adder #(WIDTH) u2 (.clk(clk), .a(t), .b(x), .y(y));
+endmodule
+)";
+  auto sim_or = VerilogSimulator::Elaborate(kSrc, "top", /*width=*/8);
+  ASSERT_TRUE(sim_or.ok()) << sim_or.status().ToString();
+  VerilogSimulator sim = std::move(sim_or).value();
+  ASSERT_TRUE(sim.Poke("x", 100).ok());
+  ASSERT_TRUE(sim.Settle().ok());
+  // 3 * 100 = 300, masked to 8 bits = 44.
+  EXPECT_EQ(sim.Peek("y").value(), 300u & 0xFF);
+  EXPECT_EQ(sim.Peek("u1.y").value(), 200u & 0xFF);
+}
+
+TEST(VsimUnitTest, PipelinedUnitDelaysOneCycle) {
+  constexpr const char* kSrc = R"(
+module top (
+  input wire clk,
+  input wire [15:0] a,
+  input wire [15:0] b,
+  output wire [15:0] y
+);
+  wire [15:0] result = a * b;
+  reg [15:0] p0;
+  always @(posedge clk) begin
+    p0 <= result;
+  end
+  assign y = p0;
+endmodule
+)";
+  auto sim_or = VerilogSimulator::Elaborate(kSrc, "top");
+  ASSERT_TRUE(sim_or.ok());
+  VerilogSimulator sim = std::move(sim_or).value();
+  ASSERT_TRUE(sim.Poke("a", 6).ok());
+  ASSERT_TRUE(sim.Poke("b", 7).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 42u);
+  ASSERT_TRUE(sim.Poke("a", 3).ok());
+  EXPECT_EQ(sim.Peek("y").value(), 42u);  // not yet clocked
+  ASSERT_TRUE(sim.Step().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 21u);
+}
+
+TEST(VsimUnitTest, ConcatAndComparison) {
+  constexpr const char* kSrc = R"(
+module top (
+  input wire [15:0] a,
+  input wire [15:0] b,
+  output wire [15:0] y
+);
+  assign y = {{(16-1){1'b0}}, (a < b)};
+endmodule
+)";
+  auto sim_or = VerilogSimulator::Elaborate(kSrc, "top");
+  ASSERT_TRUE(sim_or.ok()) << sim_or.status().ToString();
+  VerilogSimulator sim = std::move(sim_or).value();
+  ASSERT_TRUE(sim.Poke("a", 2).ok());
+  ASSERT_TRUE(sim.Poke("b", 9).ok());
+  ASSERT_TRUE(sim.Settle().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 1u);
+  ASSERT_TRUE(sim.Poke("a", 9).ok());
+  ASSERT_TRUE(sim.Settle().ok());
+  EXPECT_EQ(sim.Peek("y").value(), 0u);
+}
+
+TEST(VsimUnitTest, ReportsUnknownTopAndSyntaxErrors) {
+  EXPECT_FALSE(VerilogSimulator::Elaborate("module a (); endmodule", "b")
+                   .ok());
+  auto bad = VerilogSimulator::Elaborate("module a ( banana ", "a");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+}
+
+TEST(VsimUnitTest, DetectsCombinationalLoop) {
+  constexpr const char* kSrc = R"(
+module top (
+  input wire clk,
+  output wire [15:0] y
+);
+  wire [15:0] a;
+  assign a = a + 1;
+  assign y = a;
+endmodule
+)";
+  auto sim = VerilogSimulator::Elaborate(kSrc, "top");
+  ASSERT_FALSE(sim.ok());
+  EXPECT_EQ(sim.status().code(), StatusCode::kInternal);
+}
+
+TEST(VsimUnitTest, PokingDrivenSignalRejected) {
+  constexpr const char* kSrc = R"(
+module top (
+  input wire [15:0] a,
+  output wire [15:0] y
+);
+  assign y = a;
+endmodule
+)";
+  auto sim_or = VerilogSimulator::Elaborate(kSrc, "top");
+  ASSERT_TRUE(sim_or.ok());
+  VerilogSimulator sim = std::move(sim_or).value();
+  EXPECT_FALSE(sim.Poke("y", 1).ok());
+  EXPECT_FALSE(sim.Poke("ghost", 1).ok());
+}
+
+// ---- the full loop: generated RTL computes the reference values ----
+
+class RtlLoopTest : public ::testing::Test {
+ protected:
+  static constexpr int kWidth = 16;
+  static constexpr std::uint64_t kMask = 0xFFFF;
+
+  struct System {
+    SystemModel model;
+    CoupledResult result;
+    SystemBinding binding;
+    std::string verilog;
+  };
+
+  System Build(SystemModel model) {
+    System sys{std::move(model), {}, {}, {}};
+    EXPECT_TRUE(sys.model.Validate().ok());
+    CoupledScheduler scheduler(sys.model, CoupledParams{});
+    auto run = scheduler.Run();
+    EXPECT_TRUE(run.ok());
+    sys.result = std::move(run).value();
+    auto binding =
+        BindSystem(sys.model, sys.result.schedule, sys.result.allocation);
+    EXPECT_TRUE(binding.ok());
+    sys.binding = std::move(binding).value();
+    auto design = GenerateRtl(sys.model, sys.result.schedule,
+                              sys.result.allocation, sys.binding);
+    EXPECT_TRUE(design.ok());
+    sys.verilog = std::move(design).value().source;
+    return sys;
+  }
+
+  static std::string Sane(const std::string& s) { return s; }
+
+  /// Drives every data input port of `proc` for `block` with the same
+  /// synthesized values the reference evaluation uses.
+  void PokeInputs(VerilogSimulator& sim, const System&,
+                  const Process& proc, const Block& block,
+                  std::uint64_t seed) {
+    for (const Operation& op : block.graph.ops()) {
+      const std::size_t preds = block.graph.preds(op.id).size();
+      for (std::size_t k = preds; k < 2; ++k) {
+        const std::string port = proc.name + "_in_" + block.name + "_" +
+                                 std::to_string(op.id.value()) + "_" +
+                                 std::to_string(k);
+        ASSERT_TRUE(sim.Poke(port, static_cast<std::uint64_t>(
+                                       SynthesizedInput(seed, op.id, k)) &
+                                       kMask)
+                        .ok())
+            << port;
+      }
+    }
+  }
+
+  /// Expected sink values from the data-flow reference, masked.
+  std::map<int, std::uint64_t> ExpectedOutputs(const System& sys,
+                                               const Block& block,
+                                               std::uint64_t seed) {
+    ValueExecOptions options;
+    options.input_seed = seed;
+    const auto ref =
+        EvaluateGraph(block, sys.model.library(), options);
+    std::map<int, std::uint64_t> out;
+    for (OpId sink : block.graph.SinkOps())
+      out[sink.value()] =
+          static_cast<std::uint64_t>(ref[sink.index()]) & kMask;
+    return out;
+  }
+};
+
+TEST_F(RtlLoopTest, SingleProcessComputesReferenceValues) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  const ProcessId p = model.AddProcess("deq", 12);
+  const BlockId b = model.AddBlock(p, "main", BuildDiffeq(t), 12);
+  System sys = Build(std::move(model));
+
+  auto sim_or = VerilogSimulator::Elaborate(sys.verilog, "mshls_system");
+  ASSERT_TRUE(sim_or.ok()) << sim_or.status().ToString();
+  VerilogSimulator sim = std::move(sim_or).value();
+
+  const std::uint64_t seed = 42;
+  ASSERT_TRUE(sim.Poke("rst", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("rst", 0).ok());
+  const Process& proc = sys.model.process(p);
+  const Block& block = sys.model.block(b);
+  PokeInputs(sim, sys, proc, block, seed);
+
+  ASSERT_TRUE(sim.Poke("start_deq_main", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("start_deq_main", 0).ok());
+  ASSERT_TRUE(sim.Settle().ok());
+  EXPECT_EQ(sim.Peek("busy_deq").value(), 1u);
+  for (int c = 0; c < block.time_range; ++c) ASSERT_TRUE(sim.Step().ok());
+  EXPECT_EQ(sim.Peek("busy_deq").value(), 0u);
+
+  for (const auto& [sink, expected] : ExpectedOutputs(sys, block, seed)) {
+    const std::string port =
+        "deq_out_main_" + std::to_string(sink);
+    auto got = sim.Peek(port);
+    ASSERT_TRUE(got.ok()) << port;
+    EXPECT_EQ(got.value(), expected) << port;
+  }
+}
+
+TEST_F(RtlLoopTest, TwoProcessesShareOneMultiplierPoolCorrectly) {
+  // The crown test: two concurrent processes, one shared multiplier, the
+  // residue counter drives the pool mux — and both still compute their
+  // reference values through the real generated hardware description.
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  std::vector<ProcessId> procs;
+  for (int i = 0; i < 2; ++i) {
+    DataFlowGraph g;
+    const OpId m1 = g.AddOp(t.mult, "m1");
+    const OpId m2 = g.AddOp(t.mult, "m2");
+    const OpId a1 = g.AddOp(t.add, "a1");
+    g.AddEdge(m1, a1);
+    g.AddEdge(m2, a1);
+    EXPECT_TRUE(g.Validate().ok());
+    const ProcessId p = model.AddProcess("p" + std::to_string(i), 8);
+    model.AddBlock(p, "blk", std::move(g), 8);
+    procs.push_back(p);
+  }
+  model.MakeGlobal(t.mult, procs);
+  model.SetPeriod(t.mult, 4);
+  System sys = Build(std::move(model));
+  ASSERT_EQ(sys.result.allocation.FindGlobal(t.mult)->instances, 1);
+
+  auto sim_or = VerilogSimulator::Elaborate(sys.verilog, "mshls_system");
+  ASSERT_TRUE(sim_or.ok()) << sim_or.status().ToString();
+  VerilogSimulator sim = std::move(sim_or).value();
+
+  const std::uint64_t seed = 7;
+  ASSERT_TRUE(sim.Poke("rst", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("rst", 0).ok());
+  for (ProcessId pid : procs)
+    PokeInputs(sim, sys, sys.model.process(pid),
+               sys.model.block(sys.model.process(pid).blocks[0]), seed);
+
+  // Align the joint start with residue 0 of the pool counter: pulse start
+  // during the cycle whose NEXT edge wraps cnt_mult to 0.
+  for (int guard = 0; guard < 8; ++guard) {
+    if (sim.Peek("cnt_mult").value() == 3) break;
+    ASSERT_TRUE(sim.Step().ok());
+  }
+  ASSERT_EQ(sim.Peek("cnt_mult").value(), 3u);
+  ASSERT_TRUE(sim.Poke("start_p0_blk", 1).ok());
+  ASSERT_TRUE(sim.Poke("start_p1_blk", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("start_p0_blk", 0).ok());
+  ASSERT_TRUE(sim.Poke("start_p1_blk", 0).ok());
+  EXPECT_EQ(sim.Peek("cnt_mult").value(), 0u);  // aligned
+
+  for (int c = 0; c < 8; ++c) ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Settle().ok());
+  EXPECT_EQ(sim.Peek("busy_p0").value(), 0u);
+  EXPECT_EQ(sim.Peek("busy_p1").value(), 0u);
+
+  for (int i = 0; i < 2; ++i) {
+    const Process& proc = sys.model.process(procs[static_cast<std::size_t>(
+        i)]);
+    const Block& block = sys.model.block(proc.blocks[0]);
+    for (const auto& [sink, expected] :
+         ExpectedOutputs(sys, block, seed)) {
+      const std::string port =
+          proc.name + "_out_blk_" + std::to_string(sink);
+      auto got = sim.Peek(port);
+      ASSERT_TRUE(got.ok()) << port;
+      EXPECT_EQ(got.value(), expected)
+          << proc.name << " sink " << sink
+          << " (shared-pool datapath corrupted)";
+    }
+  }
+}
+
+class RtlLoopProperty : public RtlLoopTest,
+                        public ::testing::WithParamInterface<std::uint64_t> {
+};
+
+TEST_P(RtlLoopProperty, RandomGraphsComputeReferenceValues) {
+  // Property sweep: random DFG -> schedule -> bind -> Verilog -> parse ->
+  // simulate -> compare every sink with the reference.
+  Rng rng(GetParam() * 7919 + 5);
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  RandomDfgOptions options;
+  options.ops = rng.NextInt(5, 16);
+  options.layers = rng.NextInt(2, 4);
+  options.mult_probability = 0.3;
+  DataFlowGraph g = BuildRandomDfg(t, rng, options);
+  const DelayFn delay = [&](OpId op) {
+    return model.library().type(g.op(op).type).delay;
+  };
+  const int range = g.CriticalPathLength(delay) + rng.NextInt(1, 6);
+  const ProcessId p = model.AddProcess("rnd", range);
+  const BlockId b = model.AddBlock(p, "blk", std::move(g), range);
+  System sys = Build(std::move(model));
+
+  auto sim_or = VerilogSimulator::Elaborate(sys.verilog, "mshls_system");
+  ASSERT_TRUE(sim_or.ok()) << sim_or.status().ToString();
+  VerilogSimulator sim = std::move(sim_or).value();
+  const std::uint64_t seed = GetParam();
+  ASSERT_TRUE(sim.Poke("rst", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("rst", 0).ok());
+  const Block& block = sys.model.block(b);
+  PokeInputs(sim, sys, sys.model.process(p), block, seed);
+  ASSERT_TRUE(sim.Poke("start_rnd_blk", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("start_rnd_blk", 0).ok());
+  for (int c = 0; c < block.time_range; ++c) ASSERT_TRUE(sim.Step().ok());
+  for (const auto& [sink, expected] : ExpectedOutputs(sys, block, seed)) {
+    auto got = sim.Peek("rnd_out_blk_" + std::to_string(sink));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), expected) << "sink " << sink;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtlLoopProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST_F(RtlLoopTest, EwfThroughGeneratedHardware) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  const ProcessId p = model.AddProcess("ewf", 20);
+  const BlockId b = model.AddBlock(p, "main", BuildEwf(t), 20);
+  System sys = Build(std::move(model));
+
+  auto sim_or = VerilogSimulator::Elaborate(sys.verilog, "mshls_system");
+  ASSERT_TRUE(sim_or.ok()) << sim_or.status().ToString();
+  VerilogSimulator sim = std::move(sim_or).value();
+  const std::uint64_t seed = 3;
+  ASSERT_TRUE(sim.Poke("rst", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("rst", 0).ok());
+  const Block& block = sys.model.block(b);
+  PokeInputs(sim, sys, sys.model.process(p), block, seed);
+  ASSERT_TRUE(sim.Poke("start_ewf_main", 1).ok());
+  ASSERT_TRUE(sim.Step().ok());
+  ASSERT_TRUE(sim.Poke("start_ewf_main", 0).ok());
+  for (int c = 0; c < block.time_range; ++c) ASSERT_TRUE(sim.Step().ok());
+
+  int checked = 0;
+  for (const auto& [sink, expected] : ExpectedOutputs(sys, block, seed)) {
+    auto got = sim.Peek("ewf_out_main_" + std::to_string(sink));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), expected) << "sink " << sink;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);  // EWF has five write-back sinks
+}
+
+}  // namespace
+}  // namespace mshls
