@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_periods.dir/bench_periods.cpp.o"
+  "CMakeFiles/bench_periods.dir/bench_periods.cpp.o.d"
+  "bench_periods"
+  "bench_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

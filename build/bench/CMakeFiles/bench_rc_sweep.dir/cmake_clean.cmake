@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rc_sweep.dir/bench_rc_sweep.cpp.o"
+  "CMakeFiles/bench_rc_sweep.dir/bench_rc_sweep.cpp.o.d"
+  "bench_rc_sweep"
+  "bench_rc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

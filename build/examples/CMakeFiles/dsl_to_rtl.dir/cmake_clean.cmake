@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_to_rtl.dir/dsl_to_rtl.cpp.o"
+  "CMakeFiles/dsl_to_rtl.dir/dsl_to_rtl.cpp.o.d"
+  "dsl_to_rtl"
+  "dsl_to_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_to_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_process_reactive.dir/multi_process_reactive.cpp.o"
+  "CMakeFiles/multi_process_reactive.dir/multi_process_reactive.cpp.o.d"
+  "multi_process_reactive"
+  "multi_process_reactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_process_reactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multi_process_reactive.
+# This may be replaced when dependencies are built.

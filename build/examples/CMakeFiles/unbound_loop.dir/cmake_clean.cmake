@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbound_loop.dir/unbound_loop.cpp.o"
+  "CMakeFiles/unbound_loop.dir/unbound_loop.cpp.o.d"
+  "unbound_loop"
+  "unbound_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbound_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

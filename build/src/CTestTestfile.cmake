@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dfg")
+subdirs("model")
+subdirs("sched")
+subdirs("fds")
+subdirs("modulo")
+subdirs("bind")
+subdirs("sim")
+subdirs("workloads")
+subdirs("frontend")
+subdirs("rtl")
+subdirs("report")
+subdirs("vsim")
+subdirs("tools")

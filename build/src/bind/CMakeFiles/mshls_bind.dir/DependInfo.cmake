@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bind/area_report.cpp" "src/bind/CMakeFiles/mshls_bind.dir/area_report.cpp.o" "gcc" "src/bind/CMakeFiles/mshls_bind.dir/area_report.cpp.o.d"
+  "/root/repo/src/bind/binding.cpp" "src/bind/CMakeFiles/mshls_bind.dir/binding.cpp.o" "gcc" "src/bind/CMakeFiles/mshls_bind.dir/binding.cpp.o.d"
+  "/root/repo/src/bind/registers.cpp" "src/bind/CMakeFiles/mshls_bind.dir/registers.cpp.o" "gcc" "src/bind/CMakeFiles/mshls_bind.dir/registers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mshls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mshls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mshls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/modulo/CMakeFiles/mshls_modulo.dir/DependInfo.cmake"
+  "/root/repo/build/src/fds/CMakeFiles/mshls_fds.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mshls_dfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_bind.dir/area_report.cpp.o"
+  "CMakeFiles/mshls_bind.dir/area_report.cpp.o.d"
+  "CMakeFiles/mshls_bind.dir/binding.cpp.o"
+  "CMakeFiles/mshls_bind.dir/binding.cpp.o.d"
+  "CMakeFiles/mshls_bind.dir/registers.cpp.o"
+  "CMakeFiles/mshls_bind.dir/registers.cpp.o.d"
+  "libmshls_bind.a"
+  "libmshls_bind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_bind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_common.dir/math_util.cpp.o"
+  "CMakeFiles/mshls_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/mshls_common.dir/status.cpp.o"
+  "CMakeFiles/mshls_common.dir/status.cpp.o.d"
+  "CMakeFiles/mshls_common.dir/text_table.cpp.o"
+  "CMakeFiles/mshls_common.dir/text_table.cpp.o.d"
+  "libmshls_common.a"
+  "libmshls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

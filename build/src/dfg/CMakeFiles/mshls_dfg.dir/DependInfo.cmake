@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/bus_insertion.cpp" "src/dfg/CMakeFiles/mshls_dfg.dir/bus_insertion.cpp.o" "gcc" "src/dfg/CMakeFiles/mshls_dfg.dir/bus_insertion.cpp.o.d"
+  "/root/repo/src/dfg/dot_export.cpp" "src/dfg/CMakeFiles/mshls_dfg.dir/dot_export.cpp.o" "gcc" "src/dfg/CMakeFiles/mshls_dfg.dir/dot_export.cpp.o.d"
+  "/root/repo/src/dfg/graph.cpp" "src/dfg/CMakeFiles/mshls_dfg.dir/graph.cpp.o" "gcc" "src/dfg/CMakeFiles/mshls_dfg.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mshls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

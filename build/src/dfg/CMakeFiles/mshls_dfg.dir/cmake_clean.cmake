@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_dfg.dir/bus_insertion.cpp.o"
+  "CMakeFiles/mshls_dfg.dir/bus_insertion.cpp.o.d"
+  "CMakeFiles/mshls_dfg.dir/dot_export.cpp.o"
+  "CMakeFiles/mshls_dfg.dir/dot_export.cpp.o.d"
+  "CMakeFiles/mshls_dfg.dir/graph.cpp.o"
+  "CMakeFiles/mshls_dfg.dir/graph.cpp.o.d"
+  "libmshls_dfg.a"
+  "libmshls_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

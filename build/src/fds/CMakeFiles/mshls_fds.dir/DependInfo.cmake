@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fds/distribution.cpp" "src/fds/CMakeFiles/mshls_fds.dir/distribution.cpp.o" "gcc" "src/fds/CMakeFiles/mshls_fds.dir/distribution.cpp.o.d"
+  "/root/repo/src/fds/fds_scheduler.cpp" "src/fds/CMakeFiles/mshls_fds.dir/fds_scheduler.cpp.o" "gcc" "src/fds/CMakeFiles/mshls_fds.dir/fds_scheduler.cpp.o.d"
+  "/root/repo/src/fds/force.cpp" "src/fds/CMakeFiles/mshls_fds.dir/force.cpp.o" "gcc" "src/fds/CMakeFiles/mshls_fds.dir/force.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mshls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mshls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mshls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mshls_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

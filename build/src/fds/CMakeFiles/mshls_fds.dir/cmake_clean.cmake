@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_fds.dir/distribution.cpp.o"
+  "CMakeFiles/mshls_fds.dir/distribution.cpp.o.d"
+  "CMakeFiles/mshls_fds.dir/fds_scheduler.cpp.o"
+  "CMakeFiles/mshls_fds.dir/fds_scheduler.cpp.o.d"
+  "CMakeFiles/mshls_fds.dir/force.cpp.o"
+  "CMakeFiles/mshls_fds.dir/force.cpp.o.d"
+  "libmshls_fds.a"
+  "libmshls_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

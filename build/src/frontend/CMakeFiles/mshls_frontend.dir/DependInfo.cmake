@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/emitter.cpp" "src/frontend/CMakeFiles/mshls_frontend.dir/emitter.cpp.o" "gcc" "src/frontend/CMakeFiles/mshls_frontend.dir/emitter.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/frontend/CMakeFiles/mshls_frontend.dir/lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/mshls_frontend.dir/lexer.cpp.o.d"
+  "/root/repo/src/frontend/lowering.cpp" "src/frontend/CMakeFiles/mshls_frontend.dir/lowering.cpp.o" "gcc" "src/frontend/CMakeFiles/mshls_frontend.dir/lowering.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/frontend/CMakeFiles/mshls_frontend.dir/parser.cpp.o" "gcc" "src/frontend/CMakeFiles/mshls_frontend.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mshls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mshls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mshls_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_frontend.dir/emitter.cpp.o"
+  "CMakeFiles/mshls_frontend.dir/emitter.cpp.o.d"
+  "CMakeFiles/mshls_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/mshls_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/mshls_frontend.dir/lowering.cpp.o"
+  "CMakeFiles/mshls_frontend.dir/lowering.cpp.o.d"
+  "CMakeFiles/mshls_frontend.dir/parser.cpp.o"
+  "CMakeFiles/mshls_frontend.dir/parser.cpp.o.d"
+  "libmshls_frontend.a"
+  "libmshls_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/process_merge.cpp" "src/model/CMakeFiles/mshls_model.dir/process_merge.cpp.o" "gcc" "src/model/CMakeFiles/mshls_model.dir/process_merge.cpp.o.d"
+  "/root/repo/src/model/resource.cpp" "src/model/CMakeFiles/mshls_model.dir/resource.cpp.o" "gcc" "src/model/CMakeFiles/mshls_model.dir/resource.cpp.o.d"
+  "/root/repo/src/model/system_model.cpp" "src/model/CMakeFiles/mshls_model.dir/system_model.cpp.o" "gcc" "src/model/CMakeFiles/mshls_model.dir/system_model.cpp.o.d"
+  "/root/repo/src/model/type_merge.cpp" "src/model/CMakeFiles/mshls_model.dir/type_merge.cpp.o" "gcc" "src/model/CMakeFiles/mshls_model.dir/type_merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mshls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mshls_dfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

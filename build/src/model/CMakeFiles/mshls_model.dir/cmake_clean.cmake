@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_model.dir/process_merge.cpp.o"
+  "CMakeFiles/mshls_model.dir/process_merge.cpp.o.d"
+  "CMakeFiles/mshls_model.dir/resource.cpp.o"
+  "CMakeFiles/mshls_model.dir/resource.cpp.o.d"
+  "CMakeFiles/mshls_model.dir/system_model.cpp.o"
+  "CMakeFiles/mshls_model.dir/system_model.cpp.o.d"
+  "CMakeFiles/mshls_model.dir/type_merge.cpp.o"
+  "CMakeFiles/mshls_model.dir/type_merge.cpp.o.d"
+  "libmshls_model.a"
+  "libmshls_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modulo/allocation.cpp" "src/modulo/CMakeFiles/mshls_modulo.dir/allocation.cpp.o" "gcc" "src/modulo/CMakeFiles/mshls_modulo.dir/allocation.cpp.o.d"
+  "/root/repo/src/modulo/assignment_search.cpp" "src/modulo/CMakeFiles/mshls_modulo.dir/assignment_search.cpp.o" "gcc" "src/modulo/CMakeFiles/mshls_modulo.dir/assignment_search.cpp.o.d"
+  "/root/repo/src/modulo/baseline.cpp" "src/modulo/CMakeFiles/mshls_modulo.dir/baseline.cpp.o" "gcc" "src/modulo/CMakeFiles/mshls_modulo.dir/baseline.cpp.o.d"
+  "/root/repo/src/modulo/coupled_scheduler.cpp" "src/modulo/CMakeFiles/mshls_modulo.dir/coupled_scheduler.cpp.o" "gcc" "src/modulo/CMakeFiles/mshls_modulo.dir/coupled_scheduler.cpp.o.d"
+  "/root/repo/src/modulo/modulo_map.cpp" "src/modulo/CMakeFiles/mshls_modulo.dir/modulo_map.cpp.o" "gcc" "src/modulo/CMakeFiles/mshls_modulo.dir/modulo_map.cpp.o.d"
+  "/root/repo/src/modulo/period_search.cpp" "src/modulo/CMakeFiles/mshls_modulo.dir/period_search.cpp.o" "gcc" "src/modulo/CMakeFiles/mshls_modulo.dir/period_search.cpp.o.d"
+  "/root/repo/src/modulo/refinement.cpp" "src/modulo/CMakeFiles/mshls_modulo.dir/refinement.cpp.o" "gcc" "src/modulo/CMakeFiles/mshls_modulo.dir/refinement.cpp.o.d"
+  "/root/repo/src/modulo/resource_constrained.cpp" "src/modulo/CMakeFiles/mshls_modulo.dir/resource_constrained.cpp.o" "gcc" "src/modulo/CMakeFiles/mshls_modulo.dir/resource_constrained.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mshls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mshls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mshls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mshls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fds/CMakeFiles/mshls_fds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

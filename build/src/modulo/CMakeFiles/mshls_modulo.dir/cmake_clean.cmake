@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_modulo.dir/allocation.cpp.o"
+  "CMakeFiles/mshls_modulo.dir/allocation.cpp.o.d"
+  "CMakeFiles/mshls_modulo.dir/assignment_search.cpp.o"
+  "CMakeFiles/mshls_modulo.dir/assignment_search.cpp.o.d"
+  "CMakeFiles/mshls_modulo.dir/baseline.cpp.o"
+  "CMakeFiles/mshls_modulo.dir/baseline.cpp.o.d"
+  "CMakeFiles/mshls_modulo.dir/coupled_scheduler.cpp.o"
+  "CMakeFiles/mshls_modulo.dir/coupled_scheduler.cpp.o.d"
+  "CMakeFiles/mshls_modulo.dir/modulo_map.cpp.o"
+  "CMakeFiles/mshls_modulo.dir/modulo_map.cpp.o.d"
+  "CMakeFiles/mshls_modulo.dir/period_search.cpp.o"
+  "CMakeFiles/mshls_modulo.dir/period_search.cpp.o.d"
+  "CMakeFiles/mshls_modulo.dir/refinement.cpp.o"
+  "CMakeFiles/mshls_modulo.dir/refinement.cpp.o.d"
+  "CMakeFiles/mshls_modulo.dir/resource_constrained.cpp.o"
+  "CMakeFiles/mshls_modulo.dir/resource_constrained.cpp.o.d"
+  "libmshls_modulo.a"
+  "libmshls_modulo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_modulo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_report.dir/experiment_report.cpp.o"
+  "CMakeFiles/mshls_report.dir/experiment_report.cpp.o.d"
+  "CMakeFiles/mshls_report.dir/gantt.cpp.o"
+  "CMakeFiles/mshls_report.dir/gantt.cpp.o.d"
+  "CMakeFiles/mshls_report.dir/json_export.cpp.o"
+  "CMakeFiles/mshls_report.dir/json_export.cpp.o.d"
+  "libmshls_report.a"
+  "libmshls_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmshls_report.a"
+)

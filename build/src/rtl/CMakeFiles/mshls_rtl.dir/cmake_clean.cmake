@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_rtl.dir/verilog_gen.cpp.o"
+  "CMakeFiles/mshls_rtl.dir/verilog_gen.cpp.o.d"
+  "libmshls_rtl.a"
+  "libmshls_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

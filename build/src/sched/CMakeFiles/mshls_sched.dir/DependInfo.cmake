@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/exact_scheduler.cpp" "src/sched/CMakeFiles/mshls_sched.dir/exact_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mshls_sched.dir/exact_scheduler.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/mshls_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mshls_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/mshls_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/mshls_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/time_frames.cpp" "src/sched/CMakeFiles/mshls_sched.dir/time_frames.cpp.o" "gcc" "src/sched/CMakeFiles/mshls_sched.dir/time_frames.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mshls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mshls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mshls_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_sched.dir/exact_scheduler.cpp.o"
+  "CMakeFiles/mshls_sched.dir/exact_scheduler.cpp.o.d"
+  "CMakeFiles/mshls_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/mshls_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/mshls_sched.dir/schedule.cpp.o"
+  "CMakeFiles/mshls_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/mshls_sched.dir/time_frames.cpp.o"
+  "CMakeFiles/mshls_sched.dir/time_frames.cpp.o.d"
+  "libmshls_sched.a"
+  "libmshls_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_sim.dir/datapath_simulator.cpp.o"
+  "CMakeFiles/mshls_sim.dir/datapath_simulator.cpp.o.d"
+  "CMakeFiles/mshls_sim.dir/op_semantics.cpp.o"
+  "CMakeFiles/mshls_sim.dir/op_semantics.cpp.o.d"
+  "CMakeFiles/mshls_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mshls_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mshls_sim.dir/value_executor.cpp.o"
+  "CMakeFiles/mshls_sim.dir/value_executor.cpp.o.d"
+  "libmshls_sim.a"
+  "libmshls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshlsc.dir/mshlsc.cpp.o"
+  "CMakeFiles/mshlsc.dir/mshlsc.cpp.o.d"
+  "mshlsc"
+  "mshlsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshlsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

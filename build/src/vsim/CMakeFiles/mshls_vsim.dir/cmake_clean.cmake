@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_vsim.dir/vsim.cpp.o"
+  "CMakeFiles/mshls_vsim.dir/vsim.cpp.o.d"
+  "libmshls_vsim.a"
+  "libmshls_vsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_vsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshls_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/mshls_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/mshls_workloads.dir/paper_system.cpp.o"
+  "CMakeFiles/mshls_workloads.dir/paper_system.cpp.o.d"
+  "libmshls_workloads.a"
+  "libmshls_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshls_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_search_test.dir/assignment_search_test.cpp.o"
+  "CMakeFiles/assignment_search_test.dir/assignment_search_test.cpp.o.d"
+  "assignment_search_test"
+  "assignment_search_test.pdb"
+  "assignment_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_insertion_test.dir/bus_insertion_test.cpp.o"
+  "CMakeFiles/bus_insertion_test.dir/bus_insertion_test.cpp.o.d"
+  "bus_insertion_test"
+  "bus_insertion_test.pdb"
+  "bus_insertion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_insertion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

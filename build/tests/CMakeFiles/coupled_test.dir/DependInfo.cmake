@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coupled_test.cpp" "tests/CMakeFiles/coupled_test.dir/coupled_test.cpp.o" "gcc" "tests/CMakeFiles/coupled_test.dir/coupled_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mshls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/mshls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mshls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mshls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fds/CMakeFiles/mshls_fds.dir/DependInfo.cmake"
+  "/root/repo/build/src/modulo/CMakeFiles/mshls_modulo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bind/CMakeFiles/mshls_bind.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mshls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mshls_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/mshls_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/mshls_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/mshls_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsim/CMakeFiles/mshls_vsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_test.dir/coupled_test.cpp.o"
+  "CMakeFiles/coupled_test.dir/coupled_test.cpp.o.d"
+  "coupled_test"
+  "coupled_test.pdb"
+  "coupled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

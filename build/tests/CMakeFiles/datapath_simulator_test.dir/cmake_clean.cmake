@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datapath_simulator_test.dir/datapath_simulator_test.cpp.o"
+  "CMakeFiles/datapath_simulator_test.dir/datapath_simulator_test.cpp.o.d"
+  "datapath_simulator_test"
+  "datapath_simulator_test.pdb"
+  "datapath_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datapath_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modulo_map_test.dir/modulo_map_test.cpp.o"
+  "CMakeFiles/modulo_map_test.dir/modulo_map_test.cpp.o.d"
+  "modulo_map_test"
+  "modulo_map_test.pdb"
+  "modulo_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modulo_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

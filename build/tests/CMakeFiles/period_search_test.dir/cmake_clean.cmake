@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/period_search_test.dir/period_search_test.cpp.o"
+  "CMakeFiles/period_search_test.dir/period_search_test.cpp.o.d"
+  "period_search_test"
+  "period_search_test.pdb"
+  "period_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/period_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_merge_test.dir/process_merge_test.cpp.o"
+  "CMakeFiles/process_merge_test.dir/process_merge_test.cpp.o.d"
+  "process_merge_test"
+  "process_merge_test.pdb"
+  "process_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_modulo_test.dir/rc_modulo_test.cpp.o"
+  "CMakeFiles/rc_modulo_test.dir/rc_modulo_test.cpp.o.d"
+  "rc_modulo_test"
+  "rc_modulo_test.pdb"
+  "rc_modulo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_modulo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

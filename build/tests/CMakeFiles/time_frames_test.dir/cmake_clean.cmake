@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_frames_test.dir/time_frames_test.cpp.o"
+  "CMakeFiles/time_frames_test.dir/time_frames_test.cpp.o.d"
+  "time_frames_test"
+  "time_frames_test.pdb"
+  "time_frames_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_frames_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_merge_test.dir/type_merge_test.cpp.o"
+  "CMakeFiles/type_merge_test.dir/type_merge_test.cpp.o.d"
+  "type_merge_test"
+  "type_merge_test.pdb"
+  "type_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

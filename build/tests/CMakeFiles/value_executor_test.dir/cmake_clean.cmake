@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_executor_test.dir/value_executor_test.cpp.o"
+  "CMakeFiles/value_executor_test.dir/value_executor_test.cpp.o.d"
+  "value_executor_test"
+  "value_executor_test.pdb"
+  "value_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

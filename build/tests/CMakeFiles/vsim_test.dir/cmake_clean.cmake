@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsim_test.dir/vsim_test.cpp.o"
+  "CMakeFiles/vsim_test.dir/vsim_test.cpp.o.d"
+  "vsim_test"
+  "vsim_test.pdb"
+  "vsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
