@@ -1,0 +1,186 @@
+// Experiment E1 — the concurrent scheduling engine on the A8-scale
+// workload (10 mixed processes, 253 ops, shared adder + multiplier
+// pools):
+//   1. period search fan-out: wall clock at --jobs 1 vs --jobs 2/4, with
+//      a bit-identity check of the parallel against the serial result;
+//   2. result cache: a repeated sweep (as a deadline re-tuning loop
+//      would issue) served from the cache;
+//   3. batch throughput: the job service scheduling many designs
+//      concurrently vs serially.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/text_table.h"
+#include "engine/job_service.h"
+#include "frontend/emitter.h"
+#include "modulo/period_search.h"
+#include "workloads/benchmarks.h"
+
+using namespace mshls;
+
+namespace {
+
+struct Kernel {
+  const char* name;
+  DataFlowGraph (*build)(const PaperTypes&);
+  int deadline;
+};
+
+constexpr Kernel kKernels[] = {
+    {"ewf_a", &BuildEwf, 40},      {"ewf_b", &BuildEwf, 30},
+    {"ewf_c", &BuildEwf, 20},      {"deq_a", &BuildDiffeq, 20},
+    {"deq_b", &BuildDiffeq, 10},   {"deq_c", &BuildDiffeq, 30},
+    {"fir_a", &BuildFir16, 10},    {"fir_b", &BuildFir16, 20},
+    {"ar_a", &BuildArLattice, 20}, {"ar_b", &BuildArLattice, 30},
+};
+
+/// The A8 system with add + mult global over all processes but the period
+/// left unset — exactly what SearchPeriods explores.
+SystemModel BuildSystem() {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  std::vector<ProcessId> procs;
+  for (const Kernel& k : kKernels) {
+    const ProcessId p = model.AddProcess(k.name, k.deadline);
+    model.AddBlock(p, std::string(k.name) + "_main", k.build(t), k.deadline);
+    procs.push_back(p);
+  }
+  model.MakeGlobal(t.add, procs);
+  model.MakeGlobal(t.mult, procs);
+  // Any eq.-3 compatible seed; the search overwrites it.
+  model.SetPeriod(t.add, 10);
+  model.SetPeriod(t.mult, 10);
+  if (Status s = model.Validate(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return model;
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool SameSchedule(const SystemSchedule& a, const SystemSchedule& b) {
+  if (a.blocks.size() != b.blocks.size()) return false;
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    if (a.blocks[i].size() != b.blocks[i].size()) return false;
+    for (std::size_t op = 0; op < a.blocks[i].size(); ++op)
+      if (a.blocks[i].start(OpId(op)) != b.blocks[i].start(OpId(op)))
+        return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E1: concurrent scheduling engine (A8-scale workload) ==\n\n");
+  std::printf("hardware concurrency: %u core(s) — fan-out speedup is bounded "
+              "by this\n\n",
+              std::thread::hardware_concurrency());
+
+  // --- 1. parallel period-search fan-out -------------------------------
+  PeriodSearchResult serial;
+  TextTable table;
+  table.SetHeader({"jobs", "wall [ms]", "speedup", "identical"});
+  table.AlignRight(1);
+  table.AlignRight(2);
+  double serial_ms = 0;
+  for (int jobs : {1, 2, 4}) {
+    SystemModel model = BuildSystem();
+    PeriodSearchOptions options;
+    options.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto search = SearchPeriods(model, CoupledParams{}, options);
+    const double ms = MsSince(t0);
+    if (!search.ok()) {
+      std::fprintf(stderr, "%s\n", search.status().ToString().c_str());
+      return 1;
+    }
+    bool identical = true;
+    if (jobs == 1) {
+      serial = std::move(search).value();
+      serial_ms = ms;
+    } else {
+      const PeriodSearchResult& r = search.value();
+      identical = r.periods == serial.periods && r.area == serial.area &&
+                  r.evaluated == serial.evaluated &&
+                  r.best.iterations == serial.best.iterations &&
+                  SameSchedule(r.best.schedule, serial.best.schedule);
+    }
+    table.AddRow({std::to_string(jobs), FormatDouble(ms, 0),
+                  FormatDouble(serial_ms / ms, 2),
+                  jobs == 1 ? "(reference)" : identical ? "yes" : "NO (bug!)"});
+    if (!identical) {
+      std::fprintf(stderr, "parallel result diverged from serial!\n");
+      return 1;
+    }
+  }
+  std::printf("period search, %ld candidates scheduled, best area %d, "
+              "periods (add=%d mult=%d):\n%s\n",
+              serial.evaluated, serial.area, serial.periods[0],
+              serial.periods[1], table.Render().c_str());
+
+  // --- 2. result cache over a repeated sweep ---------------------------
+  ScheduleCache cache;
+  for (int round = 0; round < 2; ++round) {
+    SystemModel model = BuildSystem();
+    PeriodSearchOptions options;
+    options.jobs = 4;
+    options.cache = &cache;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto search = SearchPeriods(model, CoupledParams{}, options);
+    const double ms = MsSince(t0);
+    if (!search.ok()) {
+      std::fprintf(stderr, "%s\n", search.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("sweep round %d: %ld scheduled, %ld cache hit(s), %.0f ms\n",
+                round + 1, search.value().evaluated,
+                search.value().cache_hits, ms);
+  }
+  const CacheStats stats = cache.stats();
+  std::printf("cache: %ld hits / %ld lookups (%.0f%% hit rate), "
+              "%ld entries\n\n",
+              stats.hits, stats.hits + stats.misses, 100 * stats.HitRate(),
+              stats.insertions - stats.evictions);
+
+  // --- 3. batch throughput through the job service ---------------------
+  // Each kernel as a standalone single-process design, round-tripped
+  // through the DSL like a --batch directory would be.
+  std::vector<SchedulingJob> jobs;
+  for (const Kernel& k : kKernels) {
+    SystemModel single;
+    const PaperTypes t = AddPaperTypes(single.library());
+    const ProcessId p = single.AddProcess(k.name, k.deadline);
+    single.AddBlock(p, std::string(k.name) + "_main", k.build(t), k.deadline);
+    if (Status s = single.Validate(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    SchedulingJob job;
+    job.name = k.name;
+    job.source = EmitSystemText(single);
+    jobs.push_back(std::move(job));
+  }
+  for (int workers : {1, 4}) {
+    JobServiceOptions options;
+    options.workers = workers;
+    JobService service(options);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<JobResult> results = service.RunBatch(jobs);
+    const double ms = MsSince(t0);
+    int failed = 0;
+    for (const JobResult& r : results)
+      if (!r.status.ok()) ++failed;
+    std::printf("batch of %zu designs, %d worker(s): %.0f ms, %d failure(s)\n",
+                jobs.size(), workers, ms, failed);
+    if (failed > 0) return 1;
+  }
+  return 0;
+}

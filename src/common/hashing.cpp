@@ -1,0 +1,50 @@
+#include "common/hashing.h"
+
+#include <cstring>
+
+namespace mshls {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t FnvByte(std::uint64_t state, unsigned char byte) {
+  return (state ^ byte) * kFnvPrime;
+}
+
+std::uint64_t Splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StableHasher& StableHasher::Mix(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    state_ = FnvByte(state_, static_cast<unsigned char>(value >> (8 * i)));
+  return *this;
+}
+
+StableHasher& StableHasher::Mix(double value) {
+  if (value == 0.0) value = 0.0;  // canonicalize -0.0
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return Mix(bits);
+}
+
+StableHasher& StableHasher::Mix(std::string_view value) {
+  Mix(static_cast<std::uint64_t>(value.size()));
+  for (char c : value) state_ = FnvByte(state_, static_cast<unsigned char>(c));
+  return *this;
+}
+
+std::uint64_t StableHasher::Digest() const { return Splitmix64(state_); }
+
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
+  return Splitmix64(seed ^ (Splitmix64(v) + 0x9e3779b97f4a7c15ull +
+                            (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace mshls

@@ -1,0 +1,41 @@
+// Stable (process- and platform-independent) hashing for cache keys and
+// fingerprints. std::hash gives no cross-run guarantee, so everything that
+// is persisted, compared across runs or used as a dedup key goes through
+// this 64-bit FNV-1a variant with a splitmix64 finalizer instead.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mshls {
+
+/// Incremental 64-bit hasher. Feed fields in a fixed canonical order; the
+/// digest only depends on the byte sequence fed, never on addresses or
+/// container layout.
+class StableHasher {
+ public:
+  StableHasher& Mix(std::uint64_t value);
+  StableHasher& Mix(std::int64_t value) {
+    return Mix(static_cast<std::uint64_t>(value));
+  }
+  StableHasher& Mix(int value) {
+    return Mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(value)));
+  }
+  StableHasher& Mix(bool value) {
+    return Mix(static_cast<std::uint64_t>(value ? 1 : 0));
+  }
+  /// Doubles are hashed by bit pattern (canonicalizing -0.0 to 0.0).
+  StableHasher& Mix(double value);
+  /// Length-prefixed so {"ab","c"} and {"a","bc"} differ.
+  StableHasher& Mix(std::string_view value);
+
+  [[nodiscard]] std::uint64_t Digest() const;
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+/// One-shot combine of two 64-bit hashes.
+[[nodiscard]] std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v);
+
+}  // namespace mshls

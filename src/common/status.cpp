@@ -11,6 +11,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

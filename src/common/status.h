@@ -19,6 +19,8 @@ enum class StatusCode {
   kNotFound,          // lookup by name/id failed
   kParseError,        // frontend syntax/semantic error
   kInternal,          // invariant violation that escaped an assert build
+  kCancelled,         // job aborted through a CancelToken
+  kDeadlineExceeded,  // job exceeded its wall-clock timeout
 };
 
 [[nodiscard]] const char* StatusCodeName(StatusCode code);

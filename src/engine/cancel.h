@@ -1,0 +1,76 @@
+// Cooperative cancellation and wall-clock deadlines for scheduling jobs.
+//
+// The coupled scheduler has no yield points of its own, but it invokes the
+// CoupledObserver once per IFDS iteration; the job runner installs an
+// observer that calls CancelToken::Check() there, turning a cancel or an
+// expired deadline into a CancelledError that unwinds Run() and is caught
+// at the job boundary (converted into kCancelled / kDeadlineExceeded).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/status.h"
+
+namespace mshls {
+
+/// Thrown from scheduler observers to abort a run; never escapes the
+/// engine layer (RunSchedulingJob catches it).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(StatusCode code)
+      : std::runtime_error(code == StatusCode::kDeadlineExceeded
+                               ? "job deadline exceeded"
+                               : "job cancelled"),
+        code_(code) {}
+  [[nodiscard]] StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+/// Shared flag + optional deadline. Thread-safe; Cancel() may be called
+/// from any thread while a job polls Check() from a worker.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `timeout_ms` from now; <= 0 disarms.
+  void SetTimeout(long timeout_ms) {
+    if (timeout_ms <= 0) {
+      has_deadline_ = false;
+      return;
+    }
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeout_ms);
+    has_deadline_ = true;
+  }
+
+  /// OK, kCancelled, or kDeadlineExceeded.
+  [[nodiscard]] Status Poll() const {
+    if (cancelled())
+      return Status{StatusCode::kCancelled, "cancelled by caller"};
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_)
+      return Status{StatusCode::kDeadlineExceeded, "job timeout expired"};
+    return Status::Ok();
+  }
+
+  /// Throws CancelledError when cancelled / past deadline. For use inside
+  /// observer callbacks where no Status channel exists.
+  void Check() const {
+    if (Status s = Poll(); !s.ok()) throw CancelledError(s.code());
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace mshls

@@ -1,0 +1,58 @@
+#include "engine/fingerprint.h"
+
+#include "common/hashing.h"
+
+namespace mshls {
+
+std::uint64_t GraphFingerprint(const DataFlowGraph& graph) {
+  StableHasher h;
+  h.Mix(static_cast<std::uint64_t>(graph.op_count()));
+  for (const Operation& op : graph.ops()) h.Mix(op.type.index());
+  h.Mix(static_cast<std::uint64_t>(graph.edge_count()));
+  for (const Edge& e : graph.edges()) {
+    h.Mix(e.from.index());
+    h.Mix(e.to.index());
+  }
+  return h.Digest();
+}
+
+std::uint64_t ModelFingerprint(const SystemModel& model) {
+  StableHasher h;
+
+  const ResourceLibrary& lib = model.library();
+  h.Mix(static_cast<std::uint64_t>(lib.size()));
+  for (const ResourceType& t : lib.types()) {
+    h.Mix(t.name);
+    h.Mix(t.delay);
+    h.Mix(t.dii);
+    h.Mix(t.area);
+  }
+
+  h.Mix(static_cast<std::uint64_t>(model.process_count()));
+  for (const Process& p : model.processes()) {
+    h.Mix(p.deadline);
+    h.Mix(static_cast<std::uint64_t>(p.blocks.size()));
+    for (BlockId bid : p.blocks) h.Mix(bid.index());
+  }
+
+  h.Mix(static_cast<std::uint64_t>(model.block_count()));
+  for (const Block& b : model.blocks()) {
+    h.Mix(b.process.index());
+    h.Mix(b.time_range);
+    h.Mix(b.phase);
+    h.Mix(GraphFingerprint(b.graph));
+  }
+
+  for (const ResourceType& t : lib.types()) {
+    const TypeAssignment& a = model.assignment(t.id);
+    h.Mix(a.scope == AssignmentScope::kGlobal);
+    if (a.scope == AssignmentScope::kGlobal) {
+      h.Mix(a.period);
+      h.Mix(static_cast<std::uint64_t>(a.group.size()));
+      for (ProcessId pid : a.group) h.Mix(pid.index());
+    }
+  }
+  return h.Digest();
+}
+
+}  // namespace mshls

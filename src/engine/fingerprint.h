@@ -1,0 +1,23 @@
+// Canonical fingerprints of scheduling inputs, used as result-cache keys.
+//
+// Two models produce the same fingerprint iff they describe the same
+// scheduling problem: resource library (delay/dii/area per type),
+// processes (deadlines), blocks (owning process, time range, phase, DFG
+// operations and edges) and the full S1/S2 state (scope, sharing group,
+// period per type). Names are included for library types (they select RTL
+// and report behavior) but process/block display names are excluded — two
+// sweeps over renamed copies of one system should share cache entries.
+#pragma once
+
+#include <cstdint>
+
+#include "model/system_model.h"
+
+namespace mshls {
+
+[[nodiscard]] std::uint64_t ModelFingerprint(const SystemModel& model);
+
+/// Fingerprint of one data-flow graph (ops + deduplicated edges).
+[[nodiscard]] std::uint64_t GraphFingerprint(const DataFlowGraph& graph);
+
+}  // namespace mshls

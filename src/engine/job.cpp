@@ -1,0 +1,153 @@
+#include "engine/job.h"
+
+#include <chrono>
+#include <utility>
+
+#include "bind/area_report.h"
+#include "bind/binding.h"
+#include "frontend/lowering.h"
+#include "modulo/allocation.h"
+#include "modulo/baseline.h"
+#include "sim/simulator.h"
+
+namespace mshls {
+namespace {
+
+/// Wraps the user observer (if any) with a cancellation probe so a cancel
+/// or timeout aborts the coupled scheduler at the next iteration.
+CoupledParams InstrumentParams(const SchedulingJob& job) {
+  CoupledParams params = job.params;
+  if (!job.cancel) return params;
+  CoupledObserver user = params.observer;
+  std::shared_ptr<CancelToken> token = job.cancel;
+  params.observer = [token, user](const CoupledIterationTrace& trace) {
+    token->Check();
+    if (user) user(trace);
+  };
+  return params;
+}
+
+}  // namespace
+
+const char* JobModeName(JobMode mode) {
+  switch (mode) {
+    case JobMode::kCoupled: return "coupled";
+    case JobMode::kSearchPeriods: return "search-periods";
+    case JobMode::kSearchAssignments: return "search-assignments";
+    case JobMode::kLocalBaseline: return "local-baseline";
+  }
+  return "unknown";
+}
+
+JobResult RunSchedulingJob(const SchedulingJob& job) {
+  JobResult out;
+  out.name = job.name;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto finish = [&](Status status) -> JobResult {
+    out.status = std::move(status);
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+  };
+  const auto poll = [&]() -> Status {
+    return job.cancel ? job.cancel->Poll() : Status::Ok();
+  };
+
+  if (job.cancel) job.cancel->SetTimeout(job.timeout_ms);
+
+  try {
+    // Stage 1 — compile.
+    if (Status s = poll(); !s.ok()) return finish(std::move(s));
+    SystemModel model;
+    if (job.model.has_value()) {
+      model = *job.model;
+    } else {
+      auto model_or = CompileSystem(job.source);
+      if (!model_or.ok()) return finish(model_or.status());
+      model = std::move(model_or).value();
+    }
+
+    // Stage 2 — schedule (with optional S1/S2 search).
+    if (Status s = poll(); !s.ok()) return finish(std::move(s));
+    const CoupledParams params = InstrumentParams(job);
+    switch (job.mode) {
+      case JobMode::kCoupled: {
+        bool hit = false;
+        auto run_or = ScheduleWithCache(model, params, job.cache, &hit);
+        if (!run_or.ok()) return finish(run_or.status());
+        out.result = std::move(run_or).value();
+        out.evaluated = 1;
+        out.cache_hits = hit ? 1 : 0;
+        break;
+      }
+      case JobMode::kSearchPeriods: {
+        PeriodSearchOptions options;
+        options.jobs = job.jobs;
+        options.cache = job.cache;
+        auto search = SearchPeriods(model, params, options);
+        if (!search.ok()) return finish(search.status());
+        out.evaluated = search.value().evaluated;
+        out.cache_hits = search.value().cache_hits;
+        out.result = std::move(search).value().best;
+        break;
+      }
+      case JobMode::kSearchAssignments: {
+        AssignmentSearchOptions options;
+        options.jobs = job.jobs;
+        options.cache = job.cache;
+        auto search = SearchAssignments(model, params, options);
+        if (!search.ok()) return finish(search.status());
+        out.evaluated = search.value().evaluated;
+        out.cache_hits = search.value().cache_hits;
+        out.result = std::move(search).value().best;
+        break;
+      }
+      case JobMode::kLocalBaseline: {
+        auto run = ScheduleLocalBaseline(model, params);
+        if (!run.ok()) return finish(run.status());
+        out.result = std::move(run).value();
+        out.evaluated = 1;
+        break;
+      }
+    }
+    out.area = out.result.allocation.TotalArea(model.library());
+
+    // Stage 3 — bind.
+    if (Status s = poll(); !s.ok()) return finish(std::move(s));
+    auto binding = BindSystem(model, out.result.schedule, out.result.allocation);
+    if (!binding.ok()) return finish(binding.status());
+    out.full_area = ComputeAreaBreakdown(model, out.result.schedule,
+                                         out.result.allocation,
+                                         binding.value())
+                        .total_area;
+
+    // Stage 4 — validate.
+    if (Status s = poll(); !s.ok()) return finish(std::move(s));
+    if (Status s = ValidateSystemSchedule(model, out.result.schedule); !s.ok())
+      return finish(std::move(s));
+    if (Status s = CheckAllocationCovers(model, out.result.schedule,
+                                         out.result.allocation);
+        !s.ok())
+      return finish(std::move(s));
+    if (job.simulate_activations > 0) {
+      SystemSimulator sim(model, out.result.schedule, out.result.allocation);
+      TraceOptions trace_options;
+      trace_options.activations_per_process = job.simulate_activations;
+      const SimReport report =
+          sim.Run(RandomActivationTrace(model, trace_options));
+      if (!report.ok)
+        return finish(Status{StatusCode::kInternal,
+                             "simulated activation trace hit a resource "
+                             "conflict"});
+    }
+    return finish(Status::Ok());
+  } catch (const CancelledError& e) {
+    return finish(Status{e.code(), e.what()});
+  } catch (const std::exception& e) {
+    return finish(Status{StatusCode::kInternal,
+                         std::string("uncaught exception in job: ") + e.what()});
+  }
+}
+
+}  // namespace mshls

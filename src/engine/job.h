@@ -1,0 +1,72 @@
+// SchedulingJob — one unit of work for the concurrent scheduling engine:
+// compile (DSL text -> model) -> optional S1/S2 search -> coupled schedule
+// -> bind -> validate, with per-job timeout / cancellation and a
+// structured result. Jobs are self-contained (they own their input and
+// never touch shared mutable state except the opt-in result cache), so a
+// JobService can run many of them concurrently on one thread pool.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "engine/cancel.h"
+#include "model/system_model.h"
+#include "modulo/assignment_search.h"
+#include "modulo/period_search.h"
+#include "modulo/schedule_cache.h"
+
+namespace mshls {
+
+enum class JobMode {
+  kCoupled,            // schedule the model as declared (S1/S2 from input)
+  kSearchPeriods,      // run S2 automatically (period search)
+  kSearchAssignments,  // run S1+S2 automatically (scope search)
+  kLocalBaseline,      // traditional pure-local comparison run
+};
+
+[[nodiscard]] const char* JobModeName(JobMode mode);
+
+struct SchedulingJob {
+  /// Display name (batch reports, logs); defaults to "job".
+  std::string name = "job";
+  /// DSL source text; used when `model` is not preset.
+  std::string source;
+  /// Pre-compiled model: skips the compile stage when set.
+  std::optional<SystemModel> model;
+
+  JobMode mode = JobMode::kCoupled;
+  CoupledParams params;
+  /// Inner fan-out width for the search modes (see the search options).
+  int jobs = 1;
+  /// Wall-clock budget in ms; 0 = unlimited. Checked between pipeline
+  /// stages and once per scheduler iteration.
+  long timeout_ms = 0;
+  /// Optional external cancellation; may be shared by many jobs.
+  std::shared_ptr<CancelToken> cancel;
+  /// Optional shared schedule cache.
+  ScheduleCache* cache = nullptr;
+  /// Run the conflict simulator on the result with this many random
+  /// activations per process (0 = skip).
+  int simulate_activations = 0;
+};
+
+struct JobResult {
+  std::string name;
+  Status status;  // OK iff every stage succeeded
+  /// Below fields are meaningful only when status.ok().
+  CoupledResult result;
+  int area = 0;          // functional-unit area
+  double full_area = 0;  // FUs + registers + muxes (from binding)
+  long evaluated = 0;    // search candidates scheduled (search modes)
+  long cache_hits = 0;   // of those, served from the cache
+  double wall_ms = 0;
+};
+
+/// Runs the whole pipeline synchronously on the calling thread. Never
+/// throws: worker exceptions (including cancellation) come back as the
+/// result's status.
+[[nodiscard]] JobResult RunSchedulingJob(const SchedulingJob& job);
+
+}  // namespace mshls

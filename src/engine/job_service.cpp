@@ -1,0 +1,29 @@
+#include "engine/job_service.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace mshls {
+
+JobService::JobService(const JobServiceOptions& options)
+    : workers_(std::max(1, options.workers)),
+      cache_(options.cache_capacity) {}
+
+std::vector<JobResult> JobService::RunBatch(std::vector<SchedulingJob> jobs) {
+  for (SchedulingJob& job : jobs)
+    if (job.cache == nullptr) job.cache = &cache_;
+
+  std::vector<JobResult> results(jobs.size());
+  std::optional<ThreadPool> pool;
+  if (workers_ > 1) pool.emplace(workers_);
+  // RunSchedulingJob never throws and each slot has a single writer, so
+  // the fan-out status is always OK; results are complete on return.
+  (void)ParallelFor(pool ? &*pool : nullptr, jobs.size(),
+                    [&](std::size_t i) -> Status {
+                      results[i] = RunSchedulingJob(jobs[i]);
+                      return Status::Ok();
+                    });
+  return results;
+}
+
+}  // namespace mshls

@@ -1,0 +1,43 @@
+// JobService — batch front of the scheduling engine: runs many
+// SchedulingJobs concurrently on one bounded thread pool, shares one
+// result cache across them, and returns results in submission order
+// (parallel batch output is position-identical to a serial run of the
+// same jobs).
+#pragma once
+
+#include <vector>
+
+#include "engine/job.h"
+#include "engine/result_cache.h"
+#include "engine/thread_pool.h"
+#include "modulo/schedule_cache.h"
+
+namespace mshls {
+
+struct JobServiceOptions {
+  /// Concurrent jobs; <= 1 runs the batch serially on the calling thread.
+  int workers = 1;
+  /// Schedule-cache capacity (entries); 0 = unbounded.
+  std::size_t cache_capacity = 0;
+};
+
+class JobService {
+ public:
+  explicit JobService(const JobServiceOptions& options = {});
+
+  /// Runs all jobs, blocking until every one finished (or failed);
+  /// results[i] always corresponds to jobs[i]. A job whose `cache` is
+  /// unset is wired to the service-wide cache. Per-job failures are
+  /// reported in the result's status, never thrown.
+  [[nodiscard]] std::vector<JobResult> RunBatch(std::vector<SchedulingJob> jobs);
+
+  [[nodiscard]] ScheduleCache& cache() { return cache_; }
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] int workers() const { return workers_; }
+
+ private:
+  int workers_;
+  ScheduleCache cache_;
+};
+
+}  // namespace mshls

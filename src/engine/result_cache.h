@@ -1,0 +1,90 @@
+// In-memory result cache for scheduling runs.
+//
+// Keys are canonical 64-bit fingerprints (see engine/fingerprint.h): two
+// models that hash equal are assumed identical, which is sound here
+// because every run is deterministic — a (vanishingly unlikely) collision
+// would still return a *valid* schedule for the colliding key, and the
+// determinism tests compare cached against recomputed results.
+//
+// The cache is shared by all workers of a fan-out, so Lookup/Insert are
+// guarded by a mutex; values are returned by copy so no reference escapes
+// the lock. Bounded capacity uses FIFO eviction — sweep workloads revisit
+// recent candidates, not ancient ones, and FIFO keeps eviction
+// deterministic under any insertion order interleaving of equal keys.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace mshls {
+
+struct CacheStats {
+  long hits = 0;
+  long misses = 0;
+  long insertions = 0;
+  long evictions = 0;
+
+  [[nodiscard]] double HitRate() const {
+    const long total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+template <typename V>
+class ResultCache {
+ public:
+  /// capacity 0 = unbounded.
+  explicit ResultCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  [[nodiscard]] std::optional<V> Lookup(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+  }
+
+  void Insert(std::uint64_t key, V value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = map_.try_emplace(key, std::move(value));
+    if (!inserted) return;  // first result wins; runs are deterministic
+    ++stats_.insertions;
+    order_.push_back(key);
+    if (capacity_ > 0 && map_.size() > capacity_) {
+      map_.erase(order_.front());
+      order_.pop_front();
+      ++stats_.evictions;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  [[nodiscard]] CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, V> map_;
+  std::deque<std::uint64_t> order_;
+  CacheStats stats_;
+};
+
+}  // namespace mshls

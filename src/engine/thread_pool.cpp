@@ -1,0 +1,113 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mshls {
+
+ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
+    : capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_ready_.wait(lock, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    space_ready_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+Status ParallelFor(ThreadPool* pool, std::size_t n,
+                   const std::function<Status(std::size_t)>& fn) {
+  std::vector<Status> statuses(n);
+  auto run_one = [&](std::size_t i) {
+    try {
+      statuses[i] = fn(i);
+    } catch (const std::exception& e) {
+      statuses[i] = Status{StatusCode::kInternal,
+                           std::string("uncaught exception in parallel task: ") +
+                               e.what()};
+    } catch (...) {
+      statuses[i] = Status{StatusCode::kInternal,
+                           "uncaught non-std exception in parallel task"};
+    }
+  };
+
+  if (pool == nullptr || pool->thread_count() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    // Claim indices through a shared counter: at most thread_count tasks
+    // are submitted, each draining indices until none remain. Results land
+    // in per-index slots, so claiming order never affects the outcome.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    const std::size_t lanes =
+        std::min(n, static_cast<std::size_t>(pool->thread_count()));
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      pool->Submit([&, next] {
+        for (;;) {
+          const std::size_t i = next->fetch_add(1);
+          if (i >= n) return;
+          run_one(i);
+        }
+      });
+    }
+    pool->Wait();
+  }
+
+  for (const Status& s : statuses)
+    if (!s.ok()) return s;
+  return Status::Ok();
+}
+
+}  // namespace mshls

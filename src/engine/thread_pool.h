@@ -1,0 +1,78 @@
+// Deterministic-by-construction thread pool for the scheduling engine.
+//
+// Design constraints (see DESIGN.md §2 row 23):
+//  * no work stealing, no per-thread queues: one FIFO queue, tasks are
+//    started in submission order, so task side effects that are confined
+//    to pre-assigned slots make any fan-out reproducible;
+//  * the queue is bounded — Submit() blocks when `queue_capacity` tasks
+//    are already waiting, providing natural backpressure for batch jobs;
+//  * worker exceptions never escape: ParallelFor converts them into
+//    Status (kInternal) per index, and plain Submit() tasks are expected
+//    to be noexcept at the boundary (enforced with a terminate-on-throw
+//    wrapper would hide bugs; instead Submit stores the first exception
+//    and rethrows it from Wait()).
+//
+// Determinism contract used by the parallel searches: every task writes
+// only to its own pre-allocated result slot; the *reduction* over slots is
+// then performed by the caller in canonical index order, making parallel
+// output bit-identical to a serial run of the same slots.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mshls {
+
+class ThreadPool {
+ public:
+  /// `threads` < 1 is clamped to 1. The pool starts immediately.
+  explicit ThreadPool(int threads, std::size_t queue_capacity = 1024);
+  /// Drains the queue, joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; blocks while the queue is at capacity. Tasks are
+  /// dequeued in FIFO order. A task that throws poisons the pool: the
+  /// first exception is rethrown from Wait().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; rethrows the first
+  /// exception a Submit()ed task leaked, if any.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;    // workers wait here
+  std::condition_variable space_ready_;   // Submit waits here
+  std::condition_variable idle_;          // Wait waits here
+  std::deque<std::function<void()>> queue_;
+  std::size_t capacity_;
+  std::size_t in_flight_ = 0;  // dequeued but not finished
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n), fanning out over `pool` (or inline
+/// when `pool` is null or single-threaded — the serial and parallel paths
+/// share this entry so they cannot diverge). Exceptions thrown by fn are
+/// captured as kInternal. Returns the first non-OK status in *index*
+/// order (not completion order), so error reporting is deterministic too.
+[[nodiscard]] Status ParallelFor(ThreadPool* pool, std::size_t n,
+                                 const std::function<Status(std::size_t)>& fn);
+
+}  // namespace mshls

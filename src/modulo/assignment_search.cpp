@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <optional>
+
+#include "engine/thread_pool.h"
 
 namespace mshls {
 namespace {
+
+int Popcount(long m) {
+  int c = 0;
+  while (m) {
+    c += static_cast<int>(m & 1);
+    m >>= 1;
+  }
+  return c;
+}
 
 /// Largest period that tiles every user's block time ranges: their gcd.
 int CompatiblePeriod(const SystemModel& model,
@@ -49,70 +61,78 @@ StatusOr<AssignmentSearchResult> SearchAssignments(
   AssignmentSearchResult result;
   result.combinations = 1L << shareable.size();
 
-  bool have_best = false;
-  std::vector<bool> best_mask;
-  for (long mask = 0; mask < result.combinations; ++mask) {
-    if (options.max_evaluations > 0 &&
-        result.evaluated >= options.max_evaluations)
-      break;
+  // Fixed work list: masks in ascending order, capped like the original
+  // interleaved loop (every mask is scheduled, so the cap is a prefix).
+  long mask_count = result.combinations;
+  if (options.max_evaluations > 0 &&
+      mask_count > static_cast<long>(options.max_evaluations))
+    mask_count = options.max_evaluations;
+
+  const auto apply_mask = [&shareable](SystemModel& m, long mask) {
     for (std::size_t i = 0; i < shareable.size(); ++i) {
       if (mask & (1L << i)) {
-        model.MakeGlobal(shareable[i].type, shareable[i].users);
-        model.SetPeriod(shareable[i].type, shareable[i].period);
+        m.MakeGlobal(shareable[i].type, shareable[i].users);
+        m.SetPeriod(shareable[i].type, shareable[i].period);
       } else {
-        model.MakeLocal(shareable[i].type);
+        m.MakeLocal(shareable[i].type);
       }
     }
-    if (Status s = model.Validate(); !s.ok()) return s;
-    CoupledScheduler scheduler(model, params);
-    auto run_or = scheduler.Run();
-    if (!run_or.ok()) return run_or.status();
-    CoupledResult run = std::move(run_or).value();
-    const int area = run.allocation.TotalArea(model.library());
+  };
+
+  // Fan-out: every mask is evaluated on its own model copy; serial and
+  // parallel runs share this path (see period_search.cpp for the
+  // determinism argument).
+  CoupledParams worker_params = params;
+  if (options.jobs > 1) worker_params.observer = nullptr;
+  std::vector<std::optional<CoupledResult>> runs(
+      static_cast<std::size_t>(mask_count));
+  std::vector<int> areas(static_cast<std::size_t>(mask_count), 0);
+  std::vector<char> hits(static_cast<std::size_t>(mask_count), 0);
+
+  std::optional<ThreadPool> pool;
+  if (options.jobs > 1) pool.emplace(options.jobs);
+  Status fan_out = ParallelFor(
+      pool ? &*pool : nullptr, static_cast<std::size_t>(mask_count),
+      [&](std::size_t i) -> Status {
+        SystemModel worker = model;
+        apply_mask(worker, static_cast<long>(i));
+        bool hit = false;
+        auto run_or =
+            ScheduleWithCache(worker, worker_params, options.cache, &hit);
+        if (!run_or.ok()) return run_or.status();
+        runs[i] = std::move(run_or).value();
+        areas[i] = runs[i]->allocation.TotalArea(model.library());
+        hits[i] = hit ? 1 : 0;
+        return Status::Ok();
+      });
+  if (!fan_out.ok()) return fan_out;
+
+  // Reduction in mask order. Ties: prefer MORE sharing (larger mask
+  // popcount) — fewer physical units to verify and place even at equal
+  // area; among equal popcounts the first mask encountered wins, exactly
+  // as in the serial loop.
+  long best_mask_bits = 0;
+  for (long mask = 0; mask < mask_count; ++mask) {
+    const std::size_t i = static_cast<std::size_t>(mask);
     ++result.evaluated;
-    // Ties: prefer MORE sharing (larger mask popcount) — fewer physical
-    // units to verify and place even at equal area.
-    auto popcount = [](long m) {
-      int c = 0;
-      while (m) {
-        c += static_cast<int>(m & 1);
-        m >>= 1;
-      }
-      return c;
-    };
+    if (hits[i]) ++result.cache_hits;
     const bool better =
-        !have_best || area < result.area ||
-        (area == result.area &&
-         popcount(mask) > popcount([&] {
-           long bm = 0;
-           for (std::size_t i = 0; i < best_mask.size(); ++i)
-             if (best_mask[i]) bm |= 1L << i;
-           return bm;
-         }()));
-    if (better) {
-      have_best = true;
-      result.area = area;
-      result.best = std::move(run);
-      best_mask.assign(shareable.size(), false);
-      for (std::size_t i = 0; i < shareable.size(); ++i)
-        best_mask[i] = (mask & (1L << i)) != 0;
-    }
+        mask == 0 || areas[i] < areas[static_cast<std::size_t>(best_mask_bits)] ||
+        (areas[i] == areas[static_cast<std::size_t>(best_mask_bits)] &&
+         Popcount(mask) > Popcount(best_mask_bits));
+    if (better) best_mask_bits = mask;
   }
-  assert(have_best);
+  result.area = areas[static_cast<std::size_t>(best_mask_bits)];
+  result.best = *std::move(runs[static_cast<std::size_t>(best_mask_bits)]);
 
   // Re-apply and report the winner.
   result.choices.clear();
+  apply_mask(model, best_mask_bits);
   for (std::size_t i = 0; i < shareable.size(); ++i) {
     AssignmentChoice choice;
     choice.type = shareable[i].type;
-    choice.global = best_mask[i];
-    if (choice.global) {
-      choice.period = shareable[i].period;
-      model.MakeGlobal(shareable[i].type, shareable[i].users);
-      model.SetPeriod(shareable[i].type, shareable[i].period);
-    } else {
-      model.MakeLocal(shareable[i].type);
-    }
+    choice.global = (best_mask_bits & (1L << i)) != 0;
+    if (choice.global) choice.period = shareable[i].period;
     result.choices.push_back(choice);
   }
   if (Status s = model.Validate(); !s.ok()) return s;

@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "modulo/coupled_scheduler.h"
+#include "modulo/schedule_cache.h"
 
 namespace mshls {
 
@@ -31,11 +32,20 @@ struct AssignmentSearchResult {
   int area = 0;
   long combinations = 0;
   long evaluated = 0;
+  /// Of `evaluated`, how many were served from the result cache.
+  long cache_hits = 0;
 };
 
 struct AssignmentSearchOptions {
   /// Cap on scheduled combinations; 0 = unlimited (2^T).
   int max_evaluations = 0;
+  /// Worker threads for the scope-combination fan-out; <= 1 runs serially.
+  /// Parallel output is bit-identical to serial (per-copy evaluation +
+  /// canonical-order reduction). With jobs > 1 any CoupledObserver in the
+  /// params is ignored.
+  int jobs = 1;
+  /// Optional shared result cache (see modulo/schedule_cache.h).
+  ScheduleCache* cache = nullptr;
 };
 
 /// Overwrites any existing S1/S2 state of `model`; on success the model is

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "common/math_util.h"
+#include "engine/thread_pool.h"
 
 namespace mshls {
 
@@ -61,10 +63,13 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
   for (const auto& c : candidates) result.combinations *= static_cast<long>(
       c.size());
 
+  // Pass 1 — enumerate in canonical mixed-radix order and filter by eq. 3.
+  // The filter only touches the period fields, so it runs on the caller's
+  // model; survivors are the fixed work list for the (possibly parallel)
+  // scheduling pass. The max_evaluations cap applies to survivors in
+  // enumeration order, exactly as the original interleaved loop did.
+  std::vector<std::vector<int>> survivors;
   std::vector<std::size_t> cursor(globals.size(), 0);
-  bool have_best = false;
-  std::vector<int> best_periods;
-
   for (;;) {
     for (std::size_t i = 0; i < globals.size(); ++i)
       model.SetPeriod(globals[i], candidates[i][cursor[i]]);
@@ -72,29 +77,14 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
     if (!PeriodsCompatible(model)) {
       ++result.filtered_out;
     } else if (options.max_evaluations > 0 &&
-               result.evaluated >= options.max_evaluations) {
+               static_cast<long>(survivors.size()) >=
+                   options.max_evaluations) {
       // Counted as a combination but not scheduled.
     } else {
-      if (Status s = model.Validate(); !s.ok()) return s;
-      CoupledScheduler scheduler(model, params);
-      auto run_or = scheduler.Run();
-      if (!run_or.ok()) return run_or.status();
-      CoupledResult run = std::move(run_or).value();
-      const int area = run.allocation.TotalArea(model.library());
-      ++result.evaluated;
-
       std::vector<int> periods(globals.size());
       for (std::size_t i = 0; i < globals.size(); ++i)
         periods[i] = candidates[i][cursor[i]];
-      const bool better =
-          !have_best || area < result.area ||
-          (area == result.area && periods > best_periods);
-      if (better) {
-        have_best = true;
-        result.area = area;
-        result.best = std::move(run);
-        best_periods = periods;
-      }
+      survivors.push_back(std::move(periods));
     }
 
     // Advance the mixed-radix cursor.
@@ -106,12 +96,56 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
     if (i == cursor.size()) break;
   }
 
-  if (!have_best)
+  if (survivors.empty())
     return Status{StatusCode::kInfeasible,
                   "no period combination passed the eq.-3 grid filter"};
-  result.periods = best_periods;
+
+  // Pass 2 — schedule every survivor on its own model copy. Serial and
+  // parallel runs share this code path; each slot is written only by its
+  // own task, so the reduction below is order-independent by construction.
+  CoupledParams worker_params = params;
+  if (options.jobs > 1) worker_params.observer = nullptr;
+  std::vector<std::optional<CoupledResult>> runs(survivors.size());
+  std::vector<int> areas(survivors.size(), 0);
+  std::vector<char> hits(survivors.size(), 0);
+
+  std::optional<ThreadPool> pool;
+  if (options.jobs > 1) pool.emplace(options.jobs);
+  Status fan_out = ParallelFor(
+      pool ? &*pool : nullptr, survivors.size(), [&](std::size_t i) -> Status {
+        SystemModel worker = model;
+        for (std::size_t g = 0; g < globals.size(); ++g)
+          worker.SetPeriod(globals[g], survivors[i][g]);
+        bool hit = false;
+        auto run_or =
+            ScheduleWithCache(worker, worker_params, options.cache, &hit);
+        if (!run_or.ok()) return run_or.status();
+        runs[i] = std::move(run_or).value();
+        areas[i] = runs[i]->allocation.TotalArea(model.library());
+        hits[i] = hit ? 1 : 0;
+        return Status::Ok();
+      });
+  if (!fan_out.ok()) return fan_out;
+
+  // Reduction in enumeration order: minimum area wins, ties go to the
+  // lexicographically larger period vector (larger periods let more
+  // processes share one instance, paper §3.2).
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    ++result.evaluated;
+    if (hits[i]) ++result.cache_hits;
+    const bool better = i == 0 || areas[i] < areas[best_index] ||
+                        (areas[i] == areas[best_index] &&
+                         survivors[i] > survivors[best_index]);
+    if (better) best_index = i;
+  }
+
+  result.area = areas[best_index];
+  result.best = *std::move(runs[best_index]);
+  result.periods = survivors[best_index];
   for (std::size_t i = 0; i < globals.size(); ++i)
-    model.SetPeriod(globals[i], best_periods[i]);
+    model.SetPeriod(globals[i], result.periods[i]);
+  if (Status s = model.Validate(); !s.ok()) return s;
   return result;
 }
 

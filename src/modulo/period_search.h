@@ -20,12 +20,23 @@
 
 #include "common/status.h"
 #include "modulo/coupled_scheduler.h"
+#include "modulo/schedule_cache.h"
 
 namespace mshls {
 
 struct PeriodSearchOptions {
   /// Cap on scheduled combinations (after filtering); 0 = unlimited.
   int max_evaluations = 0;
+  /// Worker threads for the candidate fan-out; <= 1 schedules serially.
+  /// Parallel output is bit-identical to serial: every candidate is
+  /// evaluated on its own model copy and the reduction runs in canonical
+  /// enumeration order. With jobs > 1 any CoupledObserver in the params is
+  /// ignored (it would be invoked concurrently).
+  int jobs = 1;
+  /// Optional shared result cache: candidates already scheduled (e.g. by a
+  /// previous sweep iteration) are served from the cache. May be shared
+  /// across threads and searches.
+  ScheduleCache* cache = nullptr;
 };
 
 struct PeriodSearchResult {
@@ -38,6 +49,8 @@ struct PeriodSearchResult {
   long combinations = 0;
   long filtered_out = 0;
   long evaluated = 0;
+  /// Of `evaluated`, how many were served from the result cache.
+  long cache_hits = 0;
 };
 
 /// Explores period assignments for the global types of `model` (S1 must be

@@ -1,0 +1,41 @@
+#include "modulo/schedule_cache.h"
+
+#include "common/hashing.h"
+#include "engine/fingerprint.h"
+
+namespace mshls {
+
+std::uint64_t ScheduleCacheKey(const SystemModel& model,
+                               const CoupledParams& params) {
+  StableHasher h;
+  h.Mix(ModelFingerprint(model));
+  h.Mix(params.fds.lookahead);
+  h.Mix(params.fds.global_spring_constant);
+  h.Mix(params.fds.area_weighting);
+  h.Mix(params.fds.mid_estimate);
+  h.Mix(static_cast<int>(params.mode));
+  return h.Digest();
+}
+
+StatusOr<CoupledResult> ScheduleWithCache(SystemModel& model,
+                                          const CoupledParams& params,
+                                          ScheduleCache* cache,
+                                          bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  std::uint64_t key = 0;
+  if (cache != nullptr) {
+    key = ScheduleCacheKey(model, params);
+    if (std::optional<CoupledResult> found = cache->Lookup(key)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *std::move(found);
+    }
+  }
+  if (Status s = model.Validate(); !s.ok()) return s;
+  CoupledScheduler scheduler(model, params);
+  auto run_or = scheduler.Run();
+  if (!run_or.ok()) return run_or.status();
+  if (cache != nullptr) cache->Insert(key, run_or.value());
+  return std::move(run_or).value();
+}
+
+}  // namespace mshls

@@ -1,0 +1,31 @@
+// Shared result cache for coupled-scheduler runs, used by both search
+// drivers (period search, assignment search) and the batch job service.
+//
+// The key covers everything a CoupledScheduler::Run() depends on: the
+// model fingerprint (library, blocks, full S1/S2 state — see
+// engine/fingerprint.h) combined with the force parameters. An observer
+// installed in CoupledParams does not affect the schedule and is excluded.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/result_cache.h"
+#include "modulo/coupled_scheduler.h"
+
+namespace mshls {
+
+using ScheduleCache = ResultCache<CoupledResult>;
+
+/// Cache key for scheduling `model` with `params`.
+[[nodiscard]] std::uint64_t ScheduleCacheKey(const SystemModel& model,
+                                             const CoupledParams& params);
+
+/// Schedules through the cache: on a hit returns the stored result, on a
+/// miss validates + runs the coupled scheduler and stores the result.
+/// `cache` may be null (always schedules). `cache_hit` (optional) reports
+/// whether the result came from the cache.
+[[nodiscard]] StatusOr<CoupledResult> ScheduleWithCache(
+    SystemModel& model, const CoupledParams& params, ScheduleCache* cache,
+    bool* cache_hit = nullptr);
+
+}  // namespace mshls

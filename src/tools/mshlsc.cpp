@@ -16,19 +16,30 @@
 //   --simulate <n>         run n random grid-aligned activations per
 //                          process through the conflict simulator
 //   --seed <s>             seed for --simulate (default 1)
+//   --jobs <n>             worker threads: fans the S1/S2 searches out
+//                          over n threads (results identical to -j 1) and
+//                          sets batch concurrency
+//   --batch <dir>          schedule every *.hls file under <dir>
+//                          concurrently through the job service (combines
+//                          with the mode flags above; per-file reports)
 //
 // Exit code 0 on success (including a conflict-free simulation), 1 on any
 // error or detected conflict.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bind/area_report.h"
 #include "bind/binding.h"
+#include "common/text_table.h"
 #include "dfg/dot_export.h"
+#include "engine/job_service.h"
 #include "frontend/lowering.h"
 #include "modulo/assignment_search.h"
 #include "modulo/baseline.h"
@@ -56,21 +67,32 @@ struct Args {
   std::string json_file;
   int simulate = 0;
   std::uint64_t seed = 1;
+  int jobs = 1;
+  std::string batch_dir;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <design.hls> [--search-periods] "
                "[--search-assignments] [--local] [--table] [--gantt] "
-               "[--dot <dir>] [--rtl <file>] [--json <file>] [--simulate <n>] [--seed <s>]\n",
-               argv0);
+               "[--dot <dir>] [--rtl <file>] [--json <file>] [--simulate <n>] [--seed <s>]\n"
+               "       [--jobs <n>]\n"
+               "   or: %s --batch <dir> [--jobs <n>] [mode flags] [--simulate <n>]\n",
+               argv0, argv0);
   return 1;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
-  args->input = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first = 2;
+  if (std::strcmp(argv[1], "--batch") == 0) {
+    if (argc < 3) return false;
+    args->batch_dir = argv[2];
+    first = 3;
+  } else {
+    args->input = argv[1];
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -100,6 +122,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      args->jobs = std::atoi(v);
+      if (args->jobs < 1) return false;
+    } else if (flag == "--batch") {
+      const char* v = next();
+      if (!v) return false;
+      args->batch_dir = v;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -108,11 +139,85 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
+JobMode ModeFromArgs(const Args& args) {
+  if (args.local) return JobMode::kLocalBaseline;
+  if (args.search_assignments) return JobMode::kSearchAssignments;
+  if (args.search_periods) return JobMode::kSearchPeriods;
+  return JobMode::kCoupled;
+}
+
+/// --batch: every *.hls under the directory becomes one SchedulingJob; the
+/// batch fans out over --jobs workers sharing one schedule cache.
+int RunBatch(const Args& args) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(args.batch_dir, ec))
+    if (entry.is_regular_file() && entry.path().extension() == ".hls")
+      inputs.push_back(entry.path());
+  if (ec) {
+    std::fprintf(stderr, "cannot read directory %s: %s\n",
+                 args.batch_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "no .hls files under %s\n", args.batch_dir.c_str());
+    return 1;
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  std::vector<SchedulingJob> jobs;
+  for (const fs::path& path : inputs) {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SchedulingJob job;
+    job.name = path.filename().string();
+    job.source = buf.str();
+    job.mode = ModeFromArgs(args);
+    job.simulate_activations = args.simulate;
+    jobs.push_back(std::move(job));
+  }
+
+  JobServiceOptions service_options;
+  service_options.workers = args.jobs;
+  JobService service(service_options);
+  std::printf("batch: %zu design(s), %d worker(s), mode %s\n", jobs.size(),
+              service.workers(), JobModeName(jobs.front().mode));
+  const std::vector<JobResult> results = service.RunBatch(std::move(jobs));
+
+  TextTable table;
+  table.SetHeader({"design", "status", "FU area", "full area", "ms"});
+  table.AlignRight(2);
+  table.AlignRight(3);
+  table.AlignRight(4);
+  int failures = 0;
+  for (const JobResult& r : results) {
+    if (!r.status.ok()) ++failures;
+    table.AddRow({r.name,
+                  r.status.ok() ? "ok" : r.status.ToString(),
+                  r.status.ok() ? std::to_string(r.area) : "-",
+                  r.status.ok() ? FormatDouble(r.full_area, 1) : "-",
+                  FormatDouble(r.wall_ms, 0)});
+  }
+  std::printf("%s", table.Render().c_str());
+  const CacheStats stats = service.cache_stats();
+  std::printf("cache: %ld hit(s) / %ld lookup(s)\n", stats.hits,
+              stats.hits + stats.misses);
+  if (failures > 0)
+    std::fprintf(stderr, "%d of %zu design(s) failed\n", failures,
+                 results.size());
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  if (!args.batch_dir.empty()) return RunBatch(args);
 
   std::ifstream in(args.input);
   if (!in) {
@@ -146,7 +251,9 @@ int main(int argc, char** argv) {
     result = std::move(run).value();
     std::printf("mode: traditional pure-local scheduling\n");
   } else if (args.search_assignments) {
-    auto search = SearchAssignments(model, CoupledParams{});
+    AssignmentSearchOptions search_options;
+    search_options.jobs = args.jobs;
+    auto search = SearchAssignments(model, CoupledParams{}, search_options);
     if (!search.ok()) {
       std::fprintf(stderr, "assignment search failed: %s\n",
                    search.status().ToString().c_str());
@@ -161,7 +268,9 @@ int main(int argc, char** argv) {
                   c.global ? std::to_string(c.period).c_str() : "");
     result = std::move(search.value().best);
   } else if (args.search_periods) {
-    auto search = SearchPeriods(model, CoupledParams{});
+    PeriodSearchOptions search_options;
+    search_options.jobs = args.jobs;
+    auto search = SearchPeriods(model, CoupledParams{}, search_options);
     if (!search.ok()) {
       std::fprintf(stderr, "period search failed: %s\n",
                    search.status().ToString().c_str());

@@ -1,0 +1,180 @@
+// Parallel fan-out determinism: period search and assignment search must
+// produce bit-identical results at --jobs 1 / 2 / 8, with and without the
+// result cache, including a warm-cache rerun. This is the contract that
+// lets every later scaling layer (batching, sharding) trust the engine.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "modulo/assignment_search.h"
+#include "modulo/period_search.h"
+#include "modulo/schedule_cache.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+/// Two diffeq processes sharing add + mult: small enough to search fast,
+/// rich enough that the searches schedule many candidates.
+SystemModel BuildSmallSharedSystem() {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  const ProcessId p1 = model.AddProcess("deq_a", 10);
+  model.AddBlock(p1, "deq_a_main", BuildDiffeq(t), 10);
+  const ProcessId p2 = model.AddProcess("deq_b", 10);
+  model.AddBlock(p2, "deq_b_main", BuildDiffeq(t), 10);
+  model.MakeGlobal(t.add, {p1, p2});
+  model.MakeGlobal(t.mult, {p1, p2});
+  model.SetPeriod(t.add, 5);
+  model.SetPeriod(t.mult, 5);
+  EXPECT_TRUE(model.Validate().ok());
+  return model;
+}
+
+void ExpectSameSchedule(const SystemSchedule& a, const SystemSchedule& b) {
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    ASSERT_EQ(a.blocks[i].size(), b.blocks[i].size());
+    for (std::size_t op = 0; op < a.blocks[i].size(); ++op)
+      EXPECT_EQ(a.blocks[i].start(OpId(op)), b.blocks[i].start(OpId(op)))
+          << "block " << i << " op " << op;
+  }
+}
+
+TEST(PeriodSearchDeterminism, JobsOneTwoEightBitIdentical) {
+  PeriodSearchResult reference;
+  for (int jobs : {1, 2, 8}) {
+    SystemModel model = BuildSmallSharedSystem();
+    PeriodSearchOptions options;
+    options.jobs = jobs;
+    auto search = SearchPeriods(model, CoupledParams{}, options);
+    ASSERT_TRUE(search.ok()) << search.status().ToString();
+    if (jobs == 1) {
+      reference = std::move(search).value();
+      continue;
+    }
+    const PeriodSearchResult& r = search.value();
+    EXPECT_EQ(r.periods, reference.periods) << "jobs=" << jobs;
+    EXPECT_EQ(r.area, reference.area) << "jobs=" << jobs;
+    EXPECT_EQ(r.combinations, reference.combinations);
+    EXPECT_EQ(r.filtered_out, reference.filtered_out);
+    EXPECT_EQ(r.evaluated, reference.evaluated);
+    EXPECT_EQ(r.best.iterations, reference.best.iterations);
+    ExpectSameSchedule(r.best.schedule, reference.best.schedule);
+  }
+}
+
+TEST(PeriodSearchDeterminism, CappedSearchStaysDeterministic) {
+  PeriodSearchResult reference;
+  for (int jobs : {1, 8}) {
+    SystemModel model = BuildSmallSharedSystem();
+    PeriodSearchOptions options;
+    options.jobs = jobs;
+    options.max_evaluations = 3;  // prefix of the canonical enumeration
+    auto search = SearchPeriods(model, CoupledParams{}, options);
+    ASSERT_TRUE(search.ok()) << search.status().ToString();
+    if (jobs == 1) {
+      reference = std::move(search).value();
+      continue;
+    }
+    EXPECT_EQ(search.value().evaluated, 3);
+    EXPECT_EQ(search.value().periods, reference.periods);
+    EXPECT_EQ(search.value().area, reference.area);
+    ExpectSameSchedule(search.value().best.schedule,
+                       reference.best.schedule);
+  }
+}
+
+TEST(PeriodSearchDeterminism, CacheDoesNotChangeResults) {
+  SystemModel plain_model = BuildSmallSharedSystem();
+  auto plain = SearchPeriods(plain_model, CoupledParams{}, {});
+  ASSERT_TRUE(plain.ok());
+
+  ScheduleCache cache;
+  for (int round = 0; round < 2; ++round) {
+    SystemModel model = BuildSmallSharedSystem();
+    PeriodSearchOptions options;
+    options.jobs = 2;
+    options.cache = &cache;
+    auto cached = SearchPeriods(model, CoupledParams{}, options);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    EXPECT_EQ(cached.value().periods, plain.value().periods);
+    EXPECT_EQ(cached.value().area, plain.value().area);
+    ExpectSameSchedule(cached.value().best.schedule,
+                       plain.value().best.schedule);
+    if (round == 0) {
+      EXPECT_EQ(cached.value().cache_hits, 0);
+    } else {
+      // Warm rerun: every candidate is served from the cache.
+      EXPECT_EQ(cached.value().cache_hits, cached.value().evaluated);
+    }
+  }
+  EXPECT_GT(cache.stats().hits, 0);
+}
+
+TEST(AssignmentSearchDeterminism, JobsOneTwoEightBitIdentical) {
+  AssignmentSearchResult reference;
+  for (int jobs : {1, 2, 8}) {
+    SystemModel model = BuildSmallSharedSystem();
+    AssignmentSearchOptions options;
+    options.jobs = jobs;
+    auto search = SearchAssignments(model, CoupledParams{}, options);
+    ASSERT_TRUE(search.ok()) << search.status().ToString();
+    if (jobs == 1) {
+      reference = std::move(search).value();
+      continue;
+    }
+    const AssignmentSearchResult& r = search.value();
+    ASSERT_EQ(r.choices.size(), reference.choices.size());
+    for (std::size_t i = 0; i < r.choices.size(); ++i) {
+      EXPECT_EQ(r.choices[i].type, reference.choices[i].type);
+      EXPECT_EQ(r.choices[i].global, reference.choices[i].global);
+      EXPECT_EQ(r.choices[i].period, reference.choices[i].period);
+    }
+    EXPECT_EQ(r.area, reference.area);
+    EXPECT_EQ(r.combinations, reference.combinations);
+    EXPECT_EQ(r.evaluated, reference.evaluated);
+    EXPECT_EQ(r.best.iterations, reference.best.iterations);
+    ExpectSameSchedule(r.best.schedule, reference.best.schedule);
+  }
+}
+
+TEST(AssignmentSearchDeterminism, CacheDoesNotChangeResults) {
+  SystemModel plain_model = BuildSmallSharedSystem();
+  auto plain = SearchAssignments(plain_model, CoupledParams{}, {});
+  ASSERT_TRUE(plain.ok());
+
+  ScheduleCache cache;
+  for (int round = 0; round < 2; ++round) {
+    SystemModel model = BuildSmallSharedSystem();
+    AssignmentSearchOptions options;
+    options.jobs = 8;
+    options.cache = &cache;
+    auto cached = SearchAssignments(model, CoupledParams{}, options);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    EXPECT_EQ(cached.value().area, plain.value().area);
+    ExpectSameSchedule(cached.value().best.schedule,
+                       plain.value().best.schedule);
+    if (round == 1)
+      EXPECT_EQ(cached.value().cache_hits, cached.value().evaluated);
+  }
+}
+
+TEST(SearchDeterminism, RepeatedRunsAreStable) {
+  // Same search twice at the same width: byte-for-byte equal chosen state.
+  for (int jobs : {1, 4}) {
+    SystemModel a = BuildSmallSharedSystem();
+    SystemModel b = BuildSmallSharedSystem();
+    PeriodSearchOptions options;
+    options.jobs = jobs;
+    auto ra = SearchPeriods(a, CoupledParams{}, options);
+    auto rb = SearchPeriods(b, CoupledParams{}, options);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.value().periods, rb.value().periods);
+    ExpectSameSchedule(ra.value().best.schedule, rb.value().best.schedule);
+  }
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,289 @@
+// Unit tests for the concurrent scheduling engine: thread pool, parallel
+// fan-out helper, cancellation, result cache, model fingerprints and the
+// SchedulingJob / JobService pipeline.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/cancel.h"
+#include "engine/fingerprint.h"
+#include "engine/job.h"
+#include "engine/job_service.h"
+#include "engine/result_cache.h"
+#include "engine/thread_pool.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+constexpr const char* kTinyDesign = R"(
+resource add  delay 1 area 1;
+resource mult delay 2 dii 1 area 4;
+
+process alpha deadline 10 {
+  block main time 10 {
+    m1 = a * b;
+    m2 = c * d;
+    s1 = m1 + m2;
+    y  = s1 + e;
+  }
+}
+process beta deadline 10 {
+  block main time 10 {
+    m1 = p * q;
+    y  = m1 + r;
+  }
+}
+share add  among alpha, beta period 5;
+share mult among alpha, beta period 5;
+)";
+
+// ---------------------------------------------------------------- pool --
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, BoundedQueueAcceptsMoreTasksThanCapacity) {
+  ThreadPool pool(2, /*queue_capacity=*/4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool survives: a later round still works.
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, ResultsLandInIndexOrderRegardlessOfSchedule) {
+  ThreadPool pool(8);
+  std::vector<int> out(200, -1);
+  Status s = ParallelFor(&pool, out.size(), [&](std::size_t i) -> Status {
+    out[i] = static_cast<int>(i) * 3;
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ParallelFor, InlineWhenPoolIsNull) {
+  std::vector<int> out(10, 0);
+  Status s = ParallelFor(nullptr, out.size(), [&](std::size_t i) -> Status {
+    out[i] = 1;
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  for (int v : out) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelFor, CapturesExceptionsAsInternalStatus) {
+  ThreadPool pool(4);
+  Status s = ParallelFor(&pool, 16, [&](std::size_t i) -> Status {
+    if (i == 7) throw std::runtime_error("kaboom");
+    return Status::Ok();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("kaboom"), std::string::npos);
+}
+
+TEST(ParallelFor, ReportsFirstErrorInIndexOrder) {
+  // Index 2 must win over index 9 no matter which finishes first.
+  ThreadPool pool(4);
+  Status s = ParallelFor(&pool, 16, [&](std::size_t i) -> Status {
+    if (i == 2) return Status{StatusCode::kInfeasible, "index 2"};
+    if (i == 9) return Status{StatusCode::kInvalidArgument, "index 9"};
+    return Status::Ok();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.message(), "index 2");
+}
+
+// -------------------------------------------------------------- cancel --
+
+TEST(CancelToken, PollReflectsCancelAndTimeout) {
+  CancelToken token;
+  EXPECT_TRUE(token.Poll().ok());
+  token.SetTimeout(0);  // disarmed
+  EXPECT_TRUE(token.Poll().ok());
+  token.Cancel();
+  EXPECT_EQ(token.Poll().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, CheckThrowsCancelledError) {
+  CancelToken token;
+  EXPECT_NO_THROW(token.Check());
+  token.Cancel();
+  EXPECT_THROW(token.Check(), CancelledError);
+}
+
+// --------------------------------------------------------------- cache --
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache<int> cache;
+  EXPECT_FALSE(cache.Lookup(42).has_value());
+  cache.Insert(42, 1234);
+  auto found = cache.Lookup(42);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 1234);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(ResultCache, FirstInsertWinsForEqualKeys) {
+  ResultCache<int> cache;
+  cache.Insert(7, 100);
+  cache.Insert(7, 200);  // deterministic runs: same key => same value
+  EXPECT_EQ(*cache.Lookup(7), 100);
+  EXPECT_EQ(cache.stats().insertions, 1);
+}
+
+TEST(ResultCache, FifoEvictionAtCapacity) {
+  ResultCache<int> cache(/*capacity=*/2);
+  cache.Insert(1, 1);
+  cache.Insert(2, 2);
+  cache.Insert(3, 3);  // evicts key 1
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+  EXPECT_TRUE(cache.Lookup(2).has_value());
+  EXPECT_TRUE(cache.Lookup(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// --------------------------------------------------------- fingerprint --
+
+TEST(Fingerprint, IdenticalModelsHashEqual) {
+  PaperSystem a = BuildPaperSystem();
+  PaperSystem b = BuildPaperSystem();
+  EXPECT_EQ(ModelFingerprint(a.model), ModelFingerprint(b.model));
+}
+
+TEST(Fingerprint, SensitiveToPeriodScopeAndDeadline) {
+  PaperSystem base = BuildPaperSystem();
+  const std::uint64_t h0 = ModelFingerprint(base.model);
+
+  PaperSystem changed_period = BuildPaperSystem();
+  changed_period.model.SetPeriod(changed_period.types.add, 1);
+  EXPECT_NE(ModelFingerprint(changed_period.model), h0);
+
+  PaperSystem changed_scope = BuildPaperSystem();
+  changed_scope.model.MakeLocal(changed_scope.types.sub);
+  EXPECT_NE(ModelFingerprint(changed_scope.model), h0);
+
+  PaperSystemOptions options;
+  options.ewf_deadline_b = 30;  // P3: 25 -> 30
+  PaperSystem changed_deadline = BuildPaperSystem(options);
+  EXPECT_NE(ModelFingerprint(changed_deadline.model), h0);
+}
+
+// ----------------------------------------------------------------- job --
+
+TEST(SchedulingJob, FullPipelineOnDslSource) {
+  SchedulingJob job;
+  job.name = "tiny";
+  job.source = kTinyDesign;
+  job.simulate_activations = 2;
+  const JobResult result = RunSchedulingJob(job);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(result.area, 0);
+  EXPECT_GT(result.full_area, 0.0);
+  EXPECT_EQ(result.evaluated, 1);
+}
+
+TEST(SchedulingJob, ParseErrorComesBackAsStatus) {
+  SchedulingJob job;
+  job.source = "process { this is not the language }";
+  const JobResult result = RunSchedulingJob(job);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kParseError);
+}
+
+TEST(SchedulingJob, PreCancelledTokenShortCircuits) {
+  SchedulingJob job;
+  job.source = kTinyDesign;
+  job.cancel = std::make_shared<CancelToken>();
+  job.cancel->Cancel();
+  const JobResult result = RunSchedulingJob(job);
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+}
+
+TEST(SchedulingJob, SearchModesReportEvaluations) {
+  SchedulingJob job;
+  job.source = kTinyDesign;
+  job.mode = JobMode::kSearchAssignments;
+  const JobResult result = RunSchedulingJob(job);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.evaluated, 4);  // 2 shareable types -> 2^2 combinations
+}
+
+TEST(JobService, BatchResultsStayInSubmissionOrder) {
+  std::vector<SchedulingJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    SchedulingJob job;
+    job.name = "job" + std::to_string(i);
+    job.source = kTinyDesign;
+    jobs.push_back(std::move(job));
+  }
+  JobServiceOptions options;
+  options.workers = 4;
+  JobService service(options);
+  const std::vector<JobResult> results = service.RunBatch(std::move(jobs));
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(results[i].name, "job" + std::to_string(i));
+    EXPECT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+  }
+  // Identical designs share one cache entry: 5 of 6 runs are hits.
+  EXPECT_EQ(service.cache_stats().hits, 5);
+}
+
+TEST(JobService, ParallelBatchMatchesSerialBatch) {
+  const auto make_jobs = [] {
+    std::vector<SchedulingJob> jobs;
+    for (int deadline : {10, 12, 14}) {
+      SchedulingJob job;
+      job.name = "d" + std::to_string(deadline);
+      PaperSystemOptions options;
+      options.diffeq_deadline = deadline;
+      options.period = 5;
+      job.model = BuildPaperSystem(options).model;
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+  JobServiceOptions serial_options;
+  serial_options.workers = 1;
+  JobService serial(serial_options);
+  JobServiceOptions parallel_options;
+  parallel_options.workers = 4;
+  JobService parallel(parallel_options);
+  const std::vector<JobResult> a = serial.RunBatch(make_jobs());
+  const std::vector<JobResult> b = parallel.RunBatch(make_jobs());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].status.ok()) << a[i].status.ToString();
+    ASSERT_TRUE(b[i].status.ok()) << b[i].status.ToString();
+    EXPECT_EQ(a[i].area, b[i].area);
+    EXPECT_DOUBLE_EQ(a[i].full_area, b[i].full_area);
+    EXPECT_EQ(a[i].result.iterations, b[i].result.iterations);
+  }
+}
+
+}  // namespace
+}  // namespace mshls
