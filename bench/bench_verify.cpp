@@ -1,0 +1,96 @@
+// Experiment V1 — certifier overhead and fault-detection round trip.
+//
+// Measures what the independent certificate costs on top of scheduling the
+// paper system (the answer motivates keeping `SchedulingJob::certify` on by
+// default), then runs the full injection matrix once and reports per-class
+// detection, as a smoke-level mirror of tests/verify_test.cpp that can be
+// eyeballed in a log.
+#include <chrono>
+#include <cstdio>
+
+#include "bind/binding.h"
+#include "common/text_table.h"
+#include "modulo/coupled_scheduler.h"
+#include "verify/certifier.h"
+#include "verify/fault_injection.h"
+#include "workloads/paper_system.h"
+
+using namespace mshls;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  PaperSystem sys = BuildPaperSystem();
+
+  auto t0 = std::chrono::steady_clock::now();
+  CoupledScheduler scheduler(sys.model, CoupledParams{});
+  auto run_or = scheduler.Run();
+  if (!run_or.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 run_or.status().ToString().c_str());
+    return 1;
+  }
+  CoupledResult result = std::move(run_or).value();
+  const double schedule_ms = MsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  auto binding_or = BindSystem(sys.model, result.schedule, result.allocation);
+  if (!binding_or.ok()) {
+    std::fprintf(stderr, "binding failed: %s\n",
+                 binding_or.status().ToString().c_str());
+    return 1;
+  }
+  const double bind_ms = MsSince(t0);
+
+  constexpr int kRounds = 100;
+  t0 = std::chrono::steady_clock::now();
+  long checks = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const CertificateReport report =
+        CertifySchedule(sys.model, result.schedule, result.allocation,
+                        &binding_or.value());
+    if (!report.ok()) {
+      std::fprintf(stderr, "clean schedule failed to certify:\n%s",
+                   report.ToString(sys.model).c_str());
+      return 1;
+    }
+    checks = report.stats.Total();
+  }
+  const double certify_ms = MsSince(t0) / kRounds;
+
+  std::printf("paper system: schedule %.2f ms, bind %.2f ms, certify "
+              "%.3f ms (%ld checks, x%d rounds)\n",
+              schedule_ms, bind_ms, certify_ms, checks, kRounds);
+
+  TextTable table;
+  table.SetHeader({"fault", "injected site", "detected as"});
+  bool all_detected = true;
+  for (FaultKind kind : AllFaultKinds()) {
+    SystemSchedule schedule = result.schedule;
+    Allocation allocation = result.allocation;
+    SystemBinding binding = binding_or.value();
+    auto fault_or = InjectFault(FaultPlan{kind, 1}, sys.model, schedule,
+                                allocation, &binding);
+    if (!fault_or.ok()) {
+      table.AddRow({FaultKindName(kind), fault_or.status().message(), "n/a"});
+      continue;
+    }
+    const CertificateReport report =
+        CertifySchedule(sys.model, schedule, allocation, &binding);
+    const bool hit = report.Has(fault_or.value().expected);
+    all_detected = all_detected && hit;
+    table.AddRow({FaultKindName(kind), fault_or.value().description,
+                  hit ? ViolationKindName(fault_or.value().expected)
+                      : "MISSED"});
+  }
+  std::printf("%s", table.Render().c_str());
+  return all_detected ? 0 : 1;
+}

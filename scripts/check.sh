@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Sanitizer sweep for the robustness-critical subsystems: builds the tree
+# with -DMSHLS_SANITIZE=address and =undefined and runs the `verify` and
+# `engine` ctest labels (certifier, fault injection, degradation ladder,
+# thread pool / job service) under each. The certifier's whole contract is
+# "never crash on corrupted artifacts", so it is exercised under the
+# sanitizers that would catch the silent out-of-bounds read behind a wrong
+# verdict.
+#
+# Usage: scripts/check.sh [jobs]     (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+for san in address undefined; do
+  build="build-${san:0:1}san"
+  echo "==> MSHLS_SANITIZE=${san} (${build})"
+  cmake -B "${build}" -S . -DMSHLS_SANITIZE="${san}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "${build}" -j "${jobs}" > /dev/null
+  ctest --test-dir "${build}" -L 'verify|engine' --output-on-failure \
+        -j "${jobs}"
+done
+echo "==> all sanitizer runs passed"

@@ -17,4 +17,19 @@ std::vector<std::int64_t> DivisorsOf(std::int64_t n) {
   return low;
 }
 
+StatusOr<std::int64_t> CheckedLcmOf(std::span<const std::int64_t> xs) {
+  std::int64_t l = 1;
+  for (std::int64_t x : xs) {
+    if (x <= 0)
+      return Status{StatusCode::kInvalidArgument,
+                    "lcm over non-positive value " + std::to_string(x)};
+    const std::optional<std::int64_t> next = CheckedLcm(l, x);
+    if (!next.has_value())
+      return Status{StatusCode::kInfeasible,
+                    "grid spacing (lcm of periods) overflows int64"};
+    l = *next;
+  }
+  return l;
+}
+
 }  // namespace mshls

@@ -4,8 +4,11 @@
 #include <cassert>
 #include <cstdint>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <vector>
+
+#include "common/status.h"
 
 namespace mshls {
 
@@ -17,6 +20,9 @@ namespace mshls {
 }
 
 /// lcm of a range; lcm({}) is defined as 1 (identity element).
+/// Assert-only fast path for trusted inner loops (validated periods with a
+/// proven-representable grid); period arithmetic on unvalidated input must
+/// go through CheckedLcmOf instead — std::lcm overflow is UB.
 [[nodiscard]] inline std::int64_t LcmOf(std::span<const std::int64_t> xs) {
   std::int64_t l = 1;
   for (std::int64_t x : xs) {
@@ -25,6 +31,22 @@ namespace mshls {
   }
   return l;
 }
+
+/// Overflow-checked lcm of two positive values; nullopt when the result
+/// does not fit int64.
+[[nodiscard]] inline std::optional<std::int64_t> CheckedLcm(std::int64_t a,
+                                                            std::int64_t b) {
+  assert(a > 0 && b > 0);
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a / std::gcd(a, b), b, &out)) return std::nullopt;
+  return out;
+}
+
+/// Checked lcm of a range (lcm({}) = 1). Unlike LcmOf this accepts untrusted
+/// input: non-positive values yield kInvalidArgument and an unrepresentable
+/// lcm yields kInfeasible (a grid spacing beyond int64 admits no schedule).
+[[nodiscard]] StatusOr<std::int64_t> CheckedLcmOf(
+    std::span<const std::int64_t> xs);
 
 /// All positive divisors of n (n > 0), ascending.
 [[nodiscard]] std::vector<std::int64_t> DivisorsOf(std::int64_t n);

@@ -1,0 +1,26 @@
+#include "engine/degradation.h"
+
+namespace mshls {
+
+const char* DegradationRungName(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kAsRequested: return "as-requested";
+    case DegradationRung::kRelaxPeriods: return "relax-periods";
+    case DegradationRung::kDemoteGlobals: return "demote-globals";
+    case DegradationRung::kLocalBaseline: return "local-baseline";
+  }
+  return "unknown";
+}
+
+std::vector<DegradationRung> DefaultLadder() {
+  return {DegradationRung::kAsRequested, DegradationRung::kRelaxPeriods,
+          DegradationRung::kDemoteGlobals, DegradationRung::kLocalBaseline};
+}
+
+bool IsDegradable(StatusCode code) {
+  return code == StatusCode::kInfeasible ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kInternal;
+}
+
+}  // namespace mshls

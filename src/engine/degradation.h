@@ -1,0 +1,54 @@
+// Graceful-degradation ladder for the scheduling pipeline.
+//
+// When a job fails with a recoverable status (kInfeasible,
+// kDeadlineExceeded, or a failed certificate surfacing as kInternal), the
+// pipeline retries on progressively weaker — but always well-defined —
+// problem formulations instead of surfacing a bare error:
+//
+//   kAsRequested   — the job exactly as submitted;
+//   kRelaxPeriods  — re-run S2 (period search) so an eq.-3-incompatible or
+//                    over-constrained period choice can be replaced;
+//   kDemoteGlobals — drop sharing: every global type becomes local and the
+//                    model is scheduled as declared (more area, no residue
+//                    or grid constraints left to violate);
+//   kLocalBaseline — the traditional pure-local baseline scheduler, the
+//                    weakest formulation that can still emit hardware.
+//
+// Every attempt is recorded in JobResult::attempts so a batch report can
+// show *why* a row ended on a lower rung; the rung that produced the final
+// result is JobResult::rung.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace mshls {
+
+enum class DegradationRung {
+  kAsRequested = 0,
+  kRelaxPeriods,
+  kDemoteGlobals,
+  kLocalBaseline,
+};
+
+[[nodiscard]] const char* DegradationRungName(DegradationRung rung);
+
+/// The full ladder in documented order. Jobs default to this; tests and
+/// callers may submit a shorter one (the first entry should normally be
+/// kAsRequested).
+[[nodiscard]] std::vector<DegradationRung> DefaultLadder();
+
+/// One tried rung and how it ended. attempts.back().status is the job
+/// status when every rung failed.
+struct RungAttempt {
+  DegradationRung rung = DegradationRung::kAsRequested;
+  Status status;
+};
+
+/// True for status codes the ladder may recover from by weakening the
+/// formulation; anything else (parse errors, cancellation, bad arguments)
+/// aborts the ladder immediately.
+[[nodiscard]] bool IsDegradable(StatusCode code);
+
+}  // namespace mshls

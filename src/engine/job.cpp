@@ -9,6 +9,7 @@
 #include "modulo/allocation.h"
 #include "modulo/baseline.h"
 #include "sim/simulator.h"
+#include "verify/certifier.h"
 
 namespace mshls {
 namespace {
@@ -25,6 +26,134 @@ CoupledParams InstrumentParams(const SchedulingJob& job) {
     if (user) user(trace);
   };
   return params;
+}
+
+/// A rung is skipped (not recorded) when it cannot change the outcome.
+bool RungApplicable(DegradationRung rung, const SchedulingJob& job,
+                    const SystemModel& model) {
+  const bool has_globals = !model.GlobalTypes().empty();
+  switch (rung) {
+    case DegradationRung::kAsRequested:
+      return true;
+    case DegradationRung::kRelaxPeriods:
+      // Pointless when the request already searches periods (or the wider
+      // S1+S2 space), or when there is no period to relax.
+      return has_globals && job.mode != JobMode::kSearchPeriods &&
+             job.mode != JobMode::kSearchAssignments;
+    case DegradationRung::kDemoteGlobals:
+      return has_globals;
+    case DegradationRung::kLocalBaseline:
+      return job.mode != JobMode::kLocalBaseline;
+  }
+  return false;
+}
+
+/// Runs schedule -> bind -> validate for one rung on a fresh model copy,
+/// writing the artifacts into `out` (meaningful only on Ok).
+Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
+                  const SystemModel& base_model, JobResult& out) {
+  const auto poll = [&]() -> Status {
+    return job.cancel ? job.cancel->Poll() : Status::Ok();
+  };
+
+  SystemModel model = base_model;
+  JobMode mode = job.mode;
+  switch (rung) {
+    case DegradationRung::kAsRequested:
+      break;
+    case DegradationRung::kRelaxPeriods:
+      mode = JobMode::kSearchPeriods;
+      break;
+    case DegradationRung::kDemoteGlobals:
+      for (ResourceTypeId g : model.GlobalTypes()) model.MakeLocal(g);
+      mode = JobMode::kCoupled;
+      break;
+    case DegradationRung::kLocalBaseline:
+      mode = JobMode::kLocalBaseline;
+      break;
+  }
+
+  // Stage 2 — schedule (with optional S1/S2 search).
+  if (Status s = poll(); !s.ok()) return s;
+  const CoupledParams params = InstrumentParams(job);
+  switch (mode) {
+    case JobMode::kCoupled: {
+      bool hit = false;
+      auto run_or = ScheduleWithCache(model, params, job.cache, &hit);
+      if (!run_or.ok()) return run_or.status();
+      out.result = std::move(run_or).value();
+      out.evaluated += 1;
+      out.cache_hits += hit ? 1 : 0;
+      break;
+    }
+    case JobMode::kSearchPeriods: {
+      PeriodSearchOptions options;
+      options.jobs = job.jobs;
+      options.cache = job.cache;
+      auto search = SearchPeriods(model, params, options);
+      if (!search.ok()) return search.status();
+      out.evaluated += search.value().evaluated;
+      out.cache_hits += search.value().cache_hits;
+      out.result = std::move(search).value().best;
+      break;
+    }
+    case JobMode::kSearchAssignments: {
+      AssignmentSearchOptions options;
+      options.jobs = job.jobs;
+      options.cache = job.cache;
+      auto search = SearchAssignments(model, params, options);
+      if (!search.ok()) return search.status();
+      out.evaluated += search.value().evaluated;
+      out.cache_hits += search.value().cache_hits;
+      out.result = std::move(search).value().best;
+      break;
+    }
+    case JobMode::kLocalBaseline: {
+      auto run = ScheduleLocalBaseline(model, params);
+      if (!run.ok()) return run.status();
+      out.result = std::move(run).value();
+      out.evaluated += 1;
+      break;
+    }
+  }
+  out.area = out.result.allocation.TotalArea(model.library());
+
+  // Stage 3 — bind.
+  if (Status s = poll(); !s.ok()) return s;
+  auto binding = BindSystem(model, out.result.schedule, out.result.allocation);
+  if (!binding.ok()) return binding.status();
+  out.full_area = ComputeAreaBreakdown(model, out.result.schedule,
+                                       out.result.allocation, binding.value())
+                      .total_area;
+
+  // Stage 4 — validate: the producer-side checks, then the independent
+  // certifier (a structurally different implementation; see verify/).
+  if (Status s = poll(); !s.ok()) return s;
+  if (Status s = ValidateSystemSchedule(model, out.result.schedule); !s.ok())
+    return s;
+  if (Status s = CheckAllocationCovers(model, out.result.schedule,
+                                       out.result.allocation);
+      !s.ok())
+    return s;
+  if (job.certify) {
+    const CertificateReport report =
+        CertifySchedule(model, out.result.schedule, out.result.allocation,
+                        &binding.value());
+    if (!report.ok())
+      return Status{StatusCode::kInternal,
+                    "certificate: " + report.Summary()};
+  }
+  if (job.simulate_activations > 0) {
+    SystemSimulator sim(model, out.result.schedule, out.result.allocation);
+    TraceOptions trace_options;
+    trace_options.activations_per_process = job.simulate_activations;
+    const SimReport report =
+        sim.Run(RandomActivationTrace(model, trace_options));
+    if (!report.ok)
+      return Status{StatusCode::kInternal,
+                    "simulated activation trace hit a resource conflict"};
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -50,15 +179,13 @@ JobResult RunSchedulingJob(const SchedulingJob& job) {
                       .count();
     return out;
   };
-  const auto poll = [&]() -> Status {
-    return job.cancel ? job.cancel->Poll() : Status::Ok();
-  };
-
-  if (job.cancel) job.cancel->SetTimeout(job.timeout_ms);
 
   try {
-    // Stage 1 — compile.
-    if (Status s = poll(); !s.ok()) return finish(std::move(s));
+    // Stage 1 — compile. Failures here are input problems; no weaker
+    // formulation exists, so the ladder never starts.
+    if (job.cancel) job.cancel->SetTimeout(job.timeout_ms);
+    if (Status s = job.cancel ? job.cancel->Poll() : Status::Ok(); !s.ok())
+      return finish(std::move(s));
     SystemModel model;
     if (job.model.has_value()) {
       model = *job.model;
@@ -68,80 +195,32 @@ JobResult RunSchedulingJob(const SchedulingJob& job) {
       model = std::move(model_or).value();
     }
 
-    // Stage 2 — schedule (with optional S1/S2 search).
-    if (Status s = poll(); !s.ok()) return finish(std::move(s));
-    const CoupledParams params = InstrumentParams(job);
-    switch (job.mode) {
-      case JobMode::kCoupled: {
-        bool hit = false;
-        auto run_or = ScheduleWithCache(model, params, job.cache, &hit);
-        if (!run_or.ok()) return finish(run_or.status());
-        out.result = std::move(run_or).value();
-        out.evaluated = 1;
-        out.cache_hits = hit ? 1 : 0;
-        break;
+    // Stages 2-4 under the degradation ladder: each rung gets a fresh model
+    // copy and a fresh timeout budget; the first clean attempt wins.
+    std::vector<DegradationRung> ladder = job.ladder;
+    if (ladder.empty()) ladder.push_back(DegradationRung::kAsRequested);
+    Status last = Status::Ok();
+    for (DegradationRung rung : ladder) {
+      if (rung != DegradationRung::kAsRequested &&
+          !RungApplicable(rung, job, model))
+        continue;
+      if (job.cancel) job.cancel->SetTimeout(job.timeout_ms);
+      Status attempt;
+      try {
+        attempt = RunAttempt(job, rung, model, out);
+      } catch (const CancelledError& e) {
+        attempt = Status{e.code(), e.what()};
       }
-      case JobMode::kSearchPeriods: {
-        PeriodSearchOptions options;
-        options.jobs = job.jobs;
-        options.cache = job.cache;
-        auto search = SearchPeriods(model, params, options);
-        if (!search.ok()) return finish(search.status());
-        out.evaluated = search.value().evaluated;
-        out.cache_hits = search.value().cache_hits;
-        out.result = std::move(search).value().best;
-        break;
+      out.attempts.push_back(RungAttempt{rung, attempt});
+      if (attempt.ok()) {
+        out.rung = rung;
+        return finish(Status::Ok());
       }
-      case JobMode::kSearchAssignments: {
-        AssignmentSearchOptions options;
-        options.jobs = job.jobs;
-        options.cache = job.cache;
-        auto search = SearchAssignments(model, params, options);
-        if (!search.ok()) return finish(search.status());
-        out.evaluated = search.value().evaluated;
-        out.cache_hits = search.value().cache_hits;
-        out.result = std::move(search).value().best;
-        break;
-      }
-      case JobMode::kLocalBaseline: {
-        auto run = ScheduleLocalBaseline(model, params);
-        if (!run.ok()) return finish(run.status());
-        out.result = std::move(run).value();
-        out.evaluated = 1;
-        break;
-      }
+      last = std::move(attempt);
+      // Cancellation and input errors are not recoverable by weakening.
+      if (!IsDegradable(last.code())) break;
     }
-    out.area = out.result.allocation.TotalArea(model.library());
-
-    // Stage 3 — bind.
-    if (Status s = poll(); !s.ok()) return finish(std::move(s));
-    auto binding = BindSystem(model, out.result.schedule, out.result.allocation);
-    if (!binding.ok()) return finish(binding.status());
-    out.full_area = ComputeAreaBreakdown(model, out.result.schedule,
-                                         out.result.allocation,
-                                         binding.value())
-                        .total_area;
-
-    // Stage 4 — validate.
-    if (Status s = poll(); !s.ok()) return finish(std::move(s));
-    if (Status s = ValidateSystemSchedule(model, out.result.schedule); !s.ok())
-      return finish(std::move(s));
-    if (Status s = CheckAllocationCovers(model, out.result.schedule,
-                                         out.result.allocation);
-        !s.ok())
-      return finish(std::move(s));
-    if (job.simulate_activations > 0) {
-      SystemSimulator sim(model, out.result.schedule, out.result.allocation);
-      TraceOptions trace_options;
-      trace_options.activations_per_process = job.simulate_activations;
-      const SimReport report =
-          sim.Run(RandomActivationTrace(model, trace_options));
-      if (!report.ok)
-        return finish(Status{StatusCode::kInternal,
-                             "simulated activation trace hit a resource "
-                             "conflict"});
-    }
-    return finish(Status::Ok());
+    return finish(std::move(last));
   } catch (const CancelledError& e) {
     return finish(Status{e.code(), e.what()});
   } catch (const std::exception& e) {

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "engine/cancel.h"
+#include "engine/degradation.h"
 #include "model/system_model.h"
 #include "modulo/assignment_search.h"
 #include "modulo/period_search.h"
@@ -50,6 +51,12 @@ struct SchedulingJob {
   /// Run the conflict simulator on the result with this many random
   /// activations per process (0 = skip).
   int simulate_activations = 0;
+  /// Run the independent certifier (verify/) on every attempt's result; a
+  /// failed certificate fails the attempt with kInternal.
+  bool certify = true;
+  /// Fallback rungs tried in order when an attempt fails with a degradable
+  /// status (see engine/degradation.h). {kAsRequested} disables fallback.
+  std::vector<DegradationRung> ladder = DefaultLadder();
 };
 
 struct JobResult {
@@ -62,6 +69,12 @@ struct JobResult {
   long evaluated = 0;    // search candidates scheduled (search modes)
   long cache_hits = 0;   // of those, served from the cache
   double wall_ms = 0;
+  /// Rung that produced the final result (kAsRequested when no fallback
+  /// was needed — including failure paths that never entered the ladder).
+  DegradationRung rung = DegradationRung::kAsRequested;
+  /// Every rung tried, in order, with its outcome; empty when the job
+  /// failed before scheduling (e.g. in the compile stage).
+  std::vector<RungAttempt> attempts;
 };
 
 /// Runs the whole pipeline synchronously on the calling thread. Never

@@ -154,9 +154,20 @@ Status SystemModel::Validate() {
   }
 
   // Phases must lie inside the process grid so that the residue of a block
-  // start is well defined.
+  // start is well defined. Periods are user input at this point, so the
+  // grid lcm is computed overflow-checked (GridSpacing itself is the
+  // assert-only fast path for post-validation callers).
   for (const Block& b : blocks_) {
-    const std::int64_t grid = GridSpacing(b.process);
+    std::vector<std::int64_t> periods;
+    for (ResourceTypeId g : GlobalTypesOf(b.process))
+      periods.push_back(assignment(g).period);
+    const StatusOr<std::int64_t> grid_or =
+        CheckedLcmOf(std::span<const std::int64_t>(periods));
+    if (!grid_or.ok())
+      return {StatusCode::kInfeasible,
+              "process '" + processes_[b.process.index()].name +
+                  "': " + grid_or.status().message()};
+    const std::int64_t grid = grid_or.value();
     if (b.phase >= grid && grid > 1)
       return {StatusCode::kInvalidArgument,
               "block '" + b.name + "': phase " + std::to_string(b.phase) +

@@ -36,7 +36,17 @@ std::vector<int> CandidatePeriods(const SystemModel& model,
 
 bool PeriodsCompatible(const SystemModel& model) {
   for (const Process& p : model.processes()) {
-    const std::int64_t grid = model.GridSpacing(p.id);
+    // Candidate periods are untrusted here: many large coprime periods can
+    // push the lcm past int64, which is UB through std::lcm. An
+    // unrepresentable grid admits no back-to-back activation, so such a
+    // combination is simply incompatible.
+    std::vector<std::int64_t> periods;
+    for (ResourceTypeId g : model.GlobalTypesOf(p.id))
+      periods.push_back(model.assignment(g).period);
+    const StatusOr<std::int64_t> grid_or =
+        CheckedLcmOf(std::span<const std::int64_t>(periods));
+    if (!grid_or.ok()) return false;
+    const std::int64_t grid = grid_or.value();
     if (grid == 1) continue;
     for (BlockId bid : p.blocks) {
       if (model.block(bid).time_range % grid != 0) return false;

@@ -21,10 +21,19 @@
 //                          sets batch concurrency
 //   --batch <dir>          schedule every *.hls file under <dir>
 //                          concurrently through the job service (combines
-//                          with the mode flags above; per-file reports)
+//                          with the mode flags above; per-file reports).
+//                          Unreadable or oversized files become warning
+//                          rows instead of aborting the batch
+//   --verify               run the independent certifier (verify/) on the
+//                          result and print its report; violations exit 1
+//   --inject-fault <spec>  self-test: corrupt the scheduled artifacts with
+//                          <kind>[:<seed>] (shift-op, drop-edge,
+//                          swap-binding, perturb-period,
+//                          oversubscribe-residue, corrupt-local), then
+//                          certify; exit 0 iff the fault is detected
 //
-// Exit code 0 on success (including a conflict-free simulation), 1 on any
-// error or detected conflict.
+// Exit code 0 on success (including a conflict-free simulation and a
+// detected injected fault), 1 on any error, violation or missed fault.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +59,8 @@
 #include "report/json_export.h"
 #include "rtl/verilog_gen.h"
 #include "sim/simulator.h"
+#include "verify/certifier.h"
+#include "verify/fault_injection.h"
 
 using namespace mshls;
 
@@ -69,6 +80,8 @@ struct Args {
   std::uint64_t seed = 1;
   int jobs = 1;
   std::string batch_dir;
+  bool verify = false;
+  std::string inject_fault;
 };
 
 int Usage(const char* argv0) {
@@ -76,7 +89,7 @@ int Usage(const char* argv0) {
                "usage: %s <design.hls> [--search-periods] "
                "[--search-assignments] [--local] [--table] [--gantt] "
                "[--dot <dir>] [--rtl <file>] [--json <file>] [--simulate <n>] [--seed <s>]\n"
-               "       [--jobs <n>]\n"
+               "       [--jobs <n>] [--verify] [--inject-fault <kind>[:<seed>]]\n"
                "   or: %s --batch <dir> [--jobs <n>] [mode flags] [--simulate <n>]\n",
                argv0, argv0);
   return 1;
@@ -131,6 +144,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->batch_dir = v;
+    } else if (flag == "--verify") {
+      args->verify = true;
+    } else if (flag == "--inject-fault") {
+      const char* v = next();
+      if (!v) return false;
+      args->inject_fault = v;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -146,20 +165,29 @@ JobMode ModeFromArgs(const Args& args) {
   return JobMode::kCoupled;
 }
 
+/// Input files larger than this are presumed not to be hand-written DSL
+/// sources and are skipped with a warning row (keeps a stray binary or log
+/// file in the batch directory from ballooning the parser).
+constexpr std::uintmax_t kMaxBatchFileBytes = 4u << 20;  // 4 MiB
+
 /// --batch: every *.hls under the directory becomes one SchedulingJob; the
-/// batch fans out over --jobs workers sharing one schedule cache.
+/// batch fans out over --jobs workers sharing one schedule cache. The scan
+/// is defensive: entries that vanish, cannot be read or exceed the size cap
+/// become per-file warning rows instead of aborting the whole batch.
 int RunBatch(const Args& args) {
   namespace fs = std::filesystem;
   std::vector<fs::path> inputs;
   std::error_code ec;
-  for (const fs::directory_entry& entry :
-       fs::directory_iterator(args.batch_dir, ec))
-    if (entry.is_regular_file() && entry.path().extension() == ".hls")
-      inputs.push_back(entry.path());
+  fs::directory_iterator it(args.batch_dir, ec);
   if (ec) {
     std::fprintf(stderr, "cannot read directory %s: %s\n",
                  args.batch_dir.c_str(), ec.message().c_str());
     return 1;
+  }
+  for (const fs::directory_entry& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    if (entry.path().extension() == ".hls") inputs.push_back(entry.path());
   }
   if (inputs.empty()) {
     std::fprintf(stderr, "no .hls files under %s\n", args.batch_dir.c_str());
@@ -167,44 +195,86 @@ int RunBatch(const Args& args) {
   }
   std::sort(inputs.begin(), inputs.end());
 
+  // Rows rejected by the scan keep their position in the (sorted) report
+  // but never reach the job service.
+  std::vector<JobResult> skipped;
   std::vector<SchedulingJob> jobs;
   for (const fs::path& path : inputs) {
+    const std::string name = path.filename().string();
+    std::error_code size_ec;
+    const std::uintmax_t bytes = fs::file_size(path, size_ec);
+    if (!size_ec && bytes > kMaxBatchFileBytes) {
+      JobResult r;
+      r.name = name;
+      r.status = Status{StatusCode::kInvalidArgument,
+                        "skipped: " + std::to_string(bytes) +
+                            " bytes exceeds the " +
+                            std::to_string(kMaxBatchFileBytes) +
+                            "-byte batch cap"};
+      skipped.push_back(std::move(r));
+      continue;
+    }
     std::ifstream in(path);
     std::ostringstream buf;
     buf << in.rdbuf();
+    if (!in) {
+      JobResult r;
+      r.name = name;
+      r.status = Status{StatusCode::kInvalidArgument,
+                        "skipped: file is unreadable"};
+      skipped.push_back(std::move(r));
+      continue;
+    }
     SchedulingJob job;
-    job.name = path.filename().string();
+    job.name = name;
     job.source = buf.str();
     job.mode = ModeFromArgs(args);
     job.simulate_activations = args.simulate;
     jobs.push_back(std::move(job));
   }
+  for (const JobResult& r : skipped)
+    std::fprintf(stderr, "warning: %s: %s\n", r.name.c_str(),
+                 r.status.message().c_str());
 
-  JobServiceOptions service_options;
-  service_options.workers = args.jobs;
-  JobService service(service_options);
-  std::printf("batch: %zu design(s), %d worker(s), mode %s\n", jobs.size(),
-              service.workers(), JobModeName(jobs.front().mode));
-  const std::vector<JobResult> results = service.RunBatch(std::move(jobs));
+  std::vector<JobResult> results;
+  if (!jobs.empty()) {
+    JobServiceOptions service_options;
+    service_options.workers = args.jobs;
+    JobService service(service_options);
+    std::printf("batch: %zu design(s), %d worker(s), mode %s\n", jobs.size(),
+                service.workers(), JobModeName(jobs.front().mode));
+    results = service.RunBatch(std::move(jobs));
+    const CacheStats stats = service.cache_stats();
+    std::printf("cache: %ld hit(s) / %ld lookup(s)\n", stats.hits,
+                stats.hits + stats.misses);
+  }
+  // Merge the warning rows back in name order (inputs were sorted, and the
+  // service returns results in submission order).
+  results.insert(results.end(), std::make_move_iterator(skipped.begin()),
+                 std::make_move_iterator(skipped.end()));
+  std::sort(results.begin(), results.end(),
+            [](const JobResult& a, const JobResult& b) {
+              return a.name < b.name;
+            });
 
   TextTable table;
-  table.SetHeader({"design", "status", "FU area", "full area", "ms"});
-  table.AlignRight(2);
-  table.AlignRight(3);
+  table.SetHeader({"design", "code", "rung", "detail", "FU area", "full area",
+                   "ms"});
   table.AlignRight(4);
+  table.AlignRight(5);
+  table.AlignRight(6);
   int failures = 0;
   for (const JobResult& r : results) {
     if (!r.status.ok()) ++failures;
     table.AddRow({r.name,
-                  r.status.ok() ? "ok" : r.status.ToString(),
+                  r.status.ok() ? "ok" : StatusCodeName(r.status.code()),
+                  r.status.ok() ? DegradationRungName(r.rung) : "-",
+                  r.status.ok() ? "" : r.status.message(),
                   r.status.ok() ? std::to_string(r.area) : "-",
                   r.status.ok() ? FormatDouble(r.full_area, 1) : "-",
                   FormatDouble(r.wall_ms, 0)});
   }
   std::printf("%s", table.Render().c_str());
-  const CacheStats stats = service.cache_stats();
-  std::printf("cache: %ld hit(s) / %ld lookup(s)\n", stats.hits,
-              stats.hits + stats.misses);
   if (failures > 0)
     std::fprintf(stderr, "%d of %zu design(s) failed\n", failures,
                  results.size());
@@ -308,6 +378,43 @@ int main(int argc, char** argv) {
   const AreaBreakdown area = ComputeAreaBreakdown(
       model, result.schedule, result.allocation, binding.value());
   std::printf("full area (FUs + registers + muxes): %.2f\n", area.total_area);
+
+  if (args.verify) {
+    const CertificateReport report = CertifySchedule(
+        model, result.schedule, result.allocation, &binding.value());
+    std::printf("%s", report.ToString(model).c_str());
+    if (!report.ok()) return 1;
+  }
+
+  if (!args.inject_fault.empty()) {
+    auto plan_or = ParseFaultSpec(args.inject_fault);
+    if (!plan_or.ok()) {
+      std::fprintf(stderr, "--inject-fault: %s\n",
+                   plan_or.status().ToString().c_str());
+      return 1;
+    }
+    SystemSchedule bad_schedule = result.schedule;
+    Allocation bad_allocation = result.allocation;
+    SystemBinding bad_binding = binding.value();
+    auto fault_or = InjectFault(plan_or.value(), model, bad_schedule,
+                                bad_allocation, &bad_binding);
+    if (!fault_or.ok()) {
+      std::fprintf(stderr, "fault injection failed: %s\n",
+                   fault_or.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("injected: %s\n", fault_or.value().description.c_str());
+    const CertificateReport report =
+        CertifySchedule(model, bad_schedule, bad_allocation, &bad_binding);
+    std::printf("%s", report.ToString(model).c_str());
+    if (!report.Has(fault_or.value().expected)) {
+      std::fprintf(stderr, "FAULT MISSED: expected a %s violation\n",
+                   ViolationKindName(fault_or.value().expected));
+      return 1;
+    }
+    std::printf("fault detected (%s)\n",
+                ViolationKindName(fault_or.value().expected));
+  }
 
   if (args.gantt) {
     for (const Block& b : model.blocks())

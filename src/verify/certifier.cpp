@@ -1,0 +1,724 @@
+#include "verify/certifier.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/math_util.h"
+
+namespace mshls {
+namespace {
+
+/// Eq. 1 extended to arbitrary int64 absolute times.
+int FoldResidue(std::int64_t t, int lambda) {
+  return static_cast<int>(FlooredMod(t, lambda));
+}
+
+/// Collection context: caps the violation list and tracks check counters.
+struct Ctx {
+  const SystemModel& model;
+  const CertifierOptions& options;
+  CertificateReport report;
+  bool full = false;
+
+  void Add(Violation v) {
+    if (full) return;
+    report.violations.push_back(std::move(v));
+    if (options.max_violations > 0 &&
+        static_cast<int>(report.violations.size()) >= options.max_violations)
+      full = true;
+  }
+};
+
+Violation Make(ViolationKind kind, std::string detail) {
+  Violation v;
+  v.kind = kind;
+  v.detail = std::move(detail);
+  return v;
+}
+
+/// Occupancy of `type` over the steps of `b`, derived directly from op
+/// starts and the library DII — intentionally not sched::OccupancyProfile.
+/// Out-of-range starts are clamped into the window (they are reported
+/// separately as range violations).
+std::vector<int> DeriveOccupancy(const Block& b, const ResourceLibrary& lib,
+                                 const BlockSchedule& schedule,
+                                 ResourceTypeId type) {
+  std::vector<int> occ(static_cast<std::size_t>(b.time_range), 0);
+  if (schedule.size() != b.graph.op_count()) return occ;
+  const int dii = lib.type(type).dii;
+  for (const Operation& op : b.graph.ops()) {
+    if (op.type != type) continue;
+    const int s = schedule.start(op.id);
+    if (s < 0) continue;
+    for (int t = std::max(s, 0); t < s + dii && t < b.time_range; ++t)
+      ++occ[static_cast<std::size_t>(t)];
+  }
+  return occ;
+}
+
+// ------------------------------------------------------------ schedule --
+
+void CheckBlockSchedules(Ctx& ctx, const SystemSchedule& schedule,
+                         std::vector<char>& block_usable) {
+  const SystemModel& model = ctx.model;
+  for (const Block& b : model.blocks()) {
+    const BlockSchedule& s = schedule.of(b.id);
+    if (s.size() != b.graph.op_count()) {
+      Violation v = Make(ViolationKind::kIncompleteSchedule,
+                         "schedule has " + std::to_string(s.size()) +
+                             " slots for " +
+                             std::to_string(b.graph.op_count()) + " ops");
+      v.block = b.id;
+      v.process = b.process;
+      ctx.Add(std::move(v));
+      block_usable[b.id.index()] = 0;
+      continue;
+    }
+    const Process& p = model.process(b.process);
+    for (const Operation& op : b.graph.ops()) {
+      ++ctx.report.stats.ops_checked;
+      const int start = s.start(op.id);
+      const int delay = model.library().type(op.type).delay;
+      if (start < 0) {
+        Violation v = Make(ViolationKind::kIncompleteSchedule,
+                           "op " + std::to_string(op.id.value()) +
+                               " is unscheduled");
+        v.block = b.id;
+        v.op = op.id;
+        v.process = b.process;
+        v.type = op.type;
+        ctx.Add(std::move(v));
+        continue;
+      }
+      if (start + delay > b.time_range) {
+        Violation v = Make(ViolationKind::kRangeViolation,
+                           "op " + std::to_string(op.id.value()) +
+                               " starts at " + std::to_string(start) +
+                               " and finishes after time range " +
+                               std::to_string(b.time_range));
+        v.block = b.id;
+        v.op = op.id;
+        v.process = b.process;
+        v.type = op.type;
+        v.cycle = start;
+        ctx.Add(std::move(v));
+      }
+      if (p.deadline > 0 && start + delay > p.deadline) {
+        Violation v = Make(ViolationKind::kDeadlineViolation,
+                           "op " + std::to_string(op.id.value()) +
+                               " finishes at " +
+                               std::to_string(start + delay) +
+                               " past deadline " +
+                               std::to_string(p.deadline));
+        v.block = b.id;
+        v.op = op.id;
+        v.process = b.process;
+        v.cycle = start;
+        ctx.Add(std::move(v));
+      }
+    }
+    for (const Edge& e : b.graph.edges()) {
+      ++ctx.report.stats.edges_checked;
+      const int from = s.start(e.from);
+      const int to = s.start(e.to);
+      if (from < 0 || to < 0) continue;  // already reported as incomplete
+      const int latency = model.library().type(b.graph.op(e.from).type).delay;
+      if (to < from + latency) {
+        Violation v = Make(ViolationKind::kDependenceViolation,
+                           "edge " + std::to_string(e.from.value()) + " -> " +
+                               std::to_string(e.to.value()) + ": consumer at " +
+                               std::to_string(to) +
+                               " before producer result at " +
+                               std::to_string(from + latency));
+        v.block = b.id;
+        v.op = e.to;
+        v.process = b.process;
+        v.cycle = to;
+        ctx.Add(std::move(v));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- allocation --
+
+/// Per-pool structural validity computed up front so the deep checks never
+/// index a corrupted table.
+struct PoolState {
+  bool usable = false;
+};
+
+void CheckAllocationStructure(Ctx& ctx, const Allocation& allocation,
+                              std::vector<PoolState>& pools) {
+  const SystemModel& model = ctx.model;
+  if (allocation.local.size() != model.process_count()) {
+    ctx.Add(Make(ViolationKind::kMalformedArtifact,
+                 "local allocation table has " +
+                     std::to_string(allocation.local.size()) +
+                     " process rows for " +
+                     std::to_string(model.process_count()) + " processes"));
+  } else {
+    for (std::size_t p = 0; p < allocation.local.size(); ++p) {
+      if (allocation.local[p].size() != model.library().size()) {
+        Violation v = Make(ViolationKind::kMalformedArtifact,
+                           "local allocation row has " +
+                               std::to_string(allocation.local[p].size()) +
+                               " type slots for " +
+                               std::to_string(model.library().size()) +
+                               " types");
+        v.process = ProcessId{static_cast<int>(p)};
+        ctx.Add(std::move(v));
+      }
+    }
+  }
+
+  pools.assign(allocation.global.size(), PoolState{});
+  for (std::size_t i = 0; i < allocation.global.size(); ++i) {
+    const GlobalTypeAllocation& ga = allocation.global[i];
+    const bool known_type = ga.type.valid() &&
+                            ga.type.index() < model.library().size();
+    if (!known_type) {
+      ctx.Add(Make(ViolationKind::kMalformedArtifact,
+                   "pool references unknown resource type " +
+                       std::to_string(ga.type.value())));
+      continue;
+    }
+    const TypeAssignment& a = model.assignment(ga.type);
+    if (a.scope != AssignmentScope::kGlobal) {
+      Violation v = Make(ViolationKind::kMalformedArtifact,
+                         "pool exists for a type the model assigns locally");
+      v.type = ga.type;
+      ctx.Add(std::move(v));
+      continue;
+    }
+    if (ga.period < 1 || ga.period != a.period) {
+      Violation v = Make(ViolationKind::kPeriodMismatch,
+                         "pool period " + std::to_string(ga.period) +
+                             " disagrees with declared lambda " +
+                             std::to_string(a.period));
+      v.type = ga.type;
+      ctx.Add(std::move(v));
+      // The declared period stays the reference for the residue checks;
+      // a pool with a foreign period cannot be certified further.
+      continue;
+    }
+    bool shape_ok = ga.authorization.size() == ga.users.size() &&
+                    ga.profile.size() == static_cast<std::size_t>(ga.period);
+    for (const std::vector<int>& row : ga.authorization)
+      shape_ok = shape_ok && row.size() == static_cast<std::size_t>(ga.period);
+    for (ProcessId u : ga.users)
+      shape_ok = shape_ok && u.valid() && u.index() < model.process_count();
+    if (!shape_ok) {
+      Violation v = Make(ViolationKind::kMalformedArtifact,
+                         "authorization tables do not match period " +
+                             std::to_string(ga.period) + " x " +
+                             std::to_string(ga.users.size()) + " users");
+      v.type = ga.type;
+      ctx.Add(std::move(v));
+      continue;
+    }
+    pools[i].usable = true;
+  }
+}
+
+/// Pool serving (process, type) in this allocation, or nullptr — the
+/// routing rule: a process is pool-served iff it appears in the user list.
+const GlobalTypeAllocation* PoolFor(const Allocation& allocation,
+                                    const std::vector<PoolState>& pools,
+                                    ProcessId process, ResourceTypeId type,
+                                    std::size_t* user_index = nullptr,
+                                    bool* found_unusable = nullptr) {
+  for (std::size_t i = 0; i < allocation.global.size(); ++i) {
+    const GlobalTypeAllocation& ga = allocation.global[i];
+    if (ga.type != type) continue;
+    for (std::size_t u = 0; u < ga.users.size(); ++u) {
+      if (ga.users[u] == process) {
+        if (!pools[i].usable) {
+          if (found_unusable != nullptr) *found_unusable = true;
+          return nullptr;
+        }
+        if (user_index != nullptr) *user_index = u;
+        return &ga;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void CheckResourceCover(Ctx& ctx, const SystemSchedule& schedule,
+                        const Allocation& allocation,
+                        const std::vector<PoolState>& pools,
+                        const std::vector<char>& block_usable) {
+  const SystemModel& model = ctx.model;
+  const ResourceLibrary& lib = model.library();
+  const bool local_shape_ok =
+      allocation.local.size() == model.process_count() &&
+      std::all_of(allocation.local.begin(), allocation.local.end(),
+                  [&](const std::vector<int>& row) {
+                    return row.size() == lib.size();
+                  });
+
+  for (const Process& p : model.processes()) {
+    for (const ResourceType& t : lib.types()) {
+      std::size_t user = 0;
+      bool pool_unusable = false;
+      const GlobalTypeAllocation* pool =
+          PoolFor(allocation, pools, p.id, t.id, &user, &pool_unusable);
+      if (pool_unusable) continue;  // already reported as malformed
+
+      for (BlockId bid : p.blocks) {
+        if (!block_usable[bid.index()]) continue;
+        const Block& b = model.block(bid);
+        const std::vector<int> occ =
+            DeriveOccupancy(b, lib, schedule.of(bid), t.id);
+
+        if (pool != nullptr) {
+          // Eq. 1: every occupied step must fit the process' authorization
+          // at its residue class.
+          for (int cycle = 0; cycle < b.time_range; ++cycle) {
+            const int demand = occ[static_cast<std::size_t>(cycle)];
+            if (demand == 0) continue;
+            ++ctx.report.stats.cycles_checked;
+            const int tau = FoldResidue(
+                static_cast<std::int64_t>(b.phase) + cycle, pool->period);
+            const int granted =
+                pool->authorization[user][static_cast<std::size_t>(tau)];
+            if (demand > granted) {
+              Violation v = Make(
+                  ViolationKind::kAuthorizationShortfall,
+                  "demand " + std::to_string(demand) + " exceeds A_p(" +
+                      std::to_string(tau) + ") = " + std::to_string(granted));
+              v.block = bid;
+              v.process = p.id;
+              v.type = t.id;
+              v.cycle = cycle;
+              v.residue = tau;
+              ctx.Add(std::move(v));
+            }
+          }
+          continue;
+        }
+
+        // Local cover (also the route for demoted / baseline allocations
+        // of model-global types: over-provisioning locally is safe).
+        const int granted =
+            local_shape_ok ? allocation.local[p.id.index()][t.id.index()] : 0;
+        for (int cycle = 0; cycle < b.time_range; ++cycle) {
+          const int demand = occ[static_cast<std::size_t>(cycle)];
+          if (demand == 0) continue;
+          ++ctx.report.stats.cycles_checked;
+          if (demand > granted) {
+            Violation v = Make(ViolationKind::kLocalOverSubscription,
+                               "demand " + std::to_string(demand) +
+                                   " exceeds the " + std::to_string(granted) +
+                                   " local instance(s)");
+            v.block = bid;
+            v.process = p.id;
+            v.type = t.id;
+            v.cycle = cycle;
+            ctx.Add(std::move(v));
+            break;  // one report per (block, type) is enough
+          }
+        }
+      }
+    }
+  }
+
+  // Eq. 1, pool side: the authorization sum must fit the built instances
+  // at every residue, and the stored group profile must be that sum.
+  for (std::size_t i = 0; i < allocation.global.size(); ++i) {
+    if (!pools[i].usable) continue;
+    const GlobalTypeAllocation& ga = allocation.global[i];
+    for (int tau = 0; tau < ga.period; ++tau) {
+      ++ctx.report.stats.residues_checked;
+      int sum = 0;
+      for (const std::vector<int>& row : ga.authorization)
+        sum += row[static_cast<std::size_t>(tau)];
+      if (sum > ga.instances) {
+        Violation v = Make(ViolationKind::kResidueOverSubscription,
+                           "authorizations grant " + std::to_string(sum) +
+                               " of " + std::to_string(ga.instances) +
+                               " pool instance(s)");
+        v.type = ga.type;
+        v.residue = tau;
+        ctx.Add(std::move(v));
+      }
+      if (ga.profile[static_cast<std::size_t>(tau)] != sum) {
+        Violation v = Make(ViolationKind::kMalformedArtifact,
+                           "group profile " +
+                               std::to_string(
+                                   ga.profile[static_cast<std::size_t>(tau)]) +
+                               " is not the authorization sum " +
+                               std::to_string(sum));
+        v.type = ga.type;
+        v.residue = tau;
+        ctx.Add(std::move(v));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- grid --
+
+void CheckGrid(Ctx& ctx, const SystemSchedule& schedule,
+               const Allocation& allocation,
+               const std::vector<PoolState>& pools,
+               const std::vector<char>& block_usable) {
+  const SystemModel& model = ctx.model;
+  for (const Process& p : model.processes()) {
+    // The grid constraint (eq. 3) binds exactly the processes that access a
+    // pool in *this* allocation: a demoted or pure-local result has no
+    // residue-mapped hardware, so its blocks may start anywhere. Usable
+    // pools carry the declared lambda_g (a foreign period was already
+    // reported as kPeriodMismatch and excluded).
+    std::vector<std::int64_t> periods;
+    for (std::size_t i = 0; i < allocation.global.size(); ++i) {
+      if (!pools[i].usable) continue;
+      const GlobalTypeAllocation& ga = allocation.global[i];
+      if (std::find(ga.users.begin(), ga.users.end(), p.id) != ga.users.end())
+        periods.push_back(ga.period);
+    }
+    if (periods.empty()) continue;
+    const StatusOr<std::int64_t> grid_or =
+        CheckedLcmOf(std::span<const std::int64_t>(periods));
+    if (!grid_or.ok()) {
+      Violation v =
+          Make(ViolationKind::kGridMisalignment, grid_or.status().message());
+      v.process = p.id;
+      ctx.Add(std::move(v));
+      continue;
+    }
+    const std::int64_t grid = grid_or.value();
+
+    for (BlockId bid : p.blocks) {
+      const Block& b = model.block(bid);
+      // Eq. 3: activations repeat on the grid, so the grid must tile the
+      // activation window and the start residue must lie inside it.
+      if (grid > 1 && b.time_range % grid != 0) {
+        Violation v = Make(ViolationKind::kGridMisalignment,
+                           "grid spacing " + std::to_string(grid) +
+                               " does not divide time range " +
+                               std::to_string(b.time_range));
+        v.block = bid;
+        v.process = p.id;
+        ctx.Add(std::move(v));
+      }
+      if (b.phase < 0 || (grid > 1 && b.phase >= grid)) {
+        Violation v = Make(ViolationKind::kGridMisalignment,
+                           "phase " + std::to_string(b.phase) +
+                               " outside grid spacing " +
+                               std::to_string(grid));
+        v.block = bid;
+        v.process = p.id;
+        ctx.Add(std::move(v));
+      }
+    }
+
+    // Eq. 2: shifting any block by k * grid must leave every pool residue
+    // profile bit-identical. Certified numerically against the *pool's*
+    // period — a corrupted period breaks the congruence and is caught here
+    // independently of the structural period check.
+    for (std::size_t i = 0; i < allocation.global.size(); ++i) {
+      if (!pools[i].usable) continue;
+      const GlobalTypeAllocation& ga = allocation.global[i];
+      if (std::find(ga.users.begin(), ga.users.end(), p.id) == ga.users.end())
+        continue;
+      for (BlockId bid : p.blocks) {
+        if (!block_usable[bid.index()]) continue;
+        const Block& b = model.block(bid);
+        const std::vector<int> occ =
+            DeriveOccupancy(b, model.library(), schedule.of(bid), ga.type);
+        for (int k = 1; k <= ctx.options.shift_multiples; ++k) {
+          ++ctx.report.stats.shifts_checked;
+          for (int t = 0; t < b.time_range; ++t) {
+            if (occ[static_cast<std::size_t>(t)] == 0) continue;
+            const std::int64_t base =
+                static_cast<std::int64_t>(b.phase) + t;
+            const int tau0 = FoldResidue(base, ga.period);
+            const int tau_k = FoldResidue(base + k * grid, ga.period);
+            if (tau_k != tau0) {
+              Violation v = Make(
+                  ViolationKind::kGridShiftVariance,
+                  "shift by " + std::to_string(k) + " * " +
+                      std::to_string(grid) + " moves step " +
+                      std::to_string(t) + " from residue " +
+                      std::to_string(tau0) + " to " + std::to_string(tau_k));
+              v.block = bid;
+              v.process = p.id;
+              v.type = ga.type;
+              v.cycle = t;
+              v.residue = tau0;
+              ctx.Add(std::move(v));
+              break;  // one step per (block, pool, k) is enough
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- binding --
+
+void CheckBinding(Ctx& ctx, const SystemSchedule& schedule,
+                  const Allocation& allocation,
+                  const std::vector<PoolState>& pools,
+                  const std::vector<char>& block_usable,
+                  const SystemBinding& binding) {
+  const SystemModel& model = ctx.model;
+  const ResourceLibrary& lib = model.library();
+  if (binding.op_instance.size() != model.block_count()) {
+    ctx.Add(Make(ViolationKind::kBindingIncomplete,
+                 "binding has " + std::to_string(binding.op_instance.size()) +
+                     " block rows for " +
+                     std::to_string(model.block_count()) + " blocks"));
+    return;
+  }
+  const bool local_shape_ok =
+      allocation.local.size() == model.process_count() &&
+      std::all_of(allocation.local.begin(), allocation.local.end(),
+                  [&](const std::vector<int>& row) {
+                    return row.size() == lib.size();
+                  });
+
+  for (const Block& b : model.blocks()) {
+    if (!block_usable[b.id.index()]) continue;
+    const BlockSchedule& sched = schedule.of(b.id);
+    const std::vector<InstanceId>& per_op = binding.op_instance[b.id.index()];
+    if (per_op.size() != b.graph.op_count()) {
+      Violation v = Make(ViolationKind::kBindingIncomplete,
+                         "binding row has " + std::to_string(per_op.size()) +
+                             " slots for " +
+                             std::to_string(b.graph.op_count()) + " ops");
+      v.block = b.id;
+      ctx.Add(std::move(v));
+      continue;
+    }
+    // Claimed (instance, step) cells of this block, re-derived from starts.
+    std::vector<std::vector<char>> busy(
+        binding.instances.size(),
+        std::vector<char>(static_cast<std::size_t>(b.time_range), 0));
+
+    for (const Operation& op : b.graph.ops()) {
+      ++ctx.report.stats.bindings_checked;
+      const InstanceId inst = per_op[op.id.index()];
+      if (!inst.valid() || inst.index() >= binding.instances.size()) {
+        Violation v = Make(ViolationKind::kBindingIncomplete,
+                           "op " + std::to_string(op.id.value()) +
+                               " is unbound or bound out of table");
+        v.block = b.id;
+        v.op = op.id;
+        v.process = b.process;
+        v.type = op.type;
+        ctx.Add(std::move(v));
+        continue;
+      }
+      const InstanceInfo& info = binding.instances[inst.index()];
+      if (info.type != op.type) {
+        Violation v = Make(ViolationKind::kBindingTypeMismatch,
+                           "op of type " + std::to_string(op.type.value()) +
+                               " bound to instance '" + info.name + "'");
+        v.block = b.id;
+        v.op = op.id;
+        v.process = b.process;
+        v.type = op.type;
+        v.instance = inst;
+        ctx.Add(std::move(v));
+        continue;
+      }
+      const int s = sched.start(op.id);
+      if (s < 0) continue;  // reported as incomplete already
+      const int dii = lib.type(op.type).dii;
+
+      for (int k = 0; k < dii && s + k < b.time_range; ++k) {
+        if (s + k < 0) continue;
+        auto cell = busy[inst.index()].begin() + (s + k);
+        if (*cell != 0) {
+          Violation v = Make(ViolationKind::kBindingDoubleBooking,
+                             "instance '" + info.name +
+                                 "' claimed twice at step " +
+                                 std::to_string(s + k));
+          v.block = b.id;
+          v.op = op.id;
+          v.process = b.process;
+          v.type = op.type;
+          v.instance = inst;
+          v.cycle = s + k;
+          ctx.Add(std::move(v));
+          break;
+        }
+        *cell = 1;
+      }
+
+      if (!info.global) {
+        const int count =
+            local_shape_ok
+                ? allocation.local[b.process.index()][op.type.index()]
+                : 0;
+        if (info.owner != b.process || info.local_index < 0 ||
+            info.local_index >= count) {
+          Violation v = Make(ViolationKind::kBindingOwnership,
+                             "local instance '" + info.name +
+                                 "' is not owned by the block's process");
+          v.block = b.id;
+          v.op = op.id;
+          v.process = b.process;
+          v.type = op.type;
+          v.instance = inst;
+          ctx.Add(std::move(v));
+        }
+        continue;
+      }
+
+      // Pool instance: the index must fall into the block process' prefix
+      // entitlement [sum_{v<u} A_v(tau), sum_{v<=u} A_v(tau)) at every
+      // residue the issue spans — re-derived from the authorization rows.
+      std::size_t user = 0;
+      bool pool_unusable = false;
+      const GlobalTypeAllocation* pool = PoolFor(
+          allocation, pools, b.process, op.type, &user, &pool_unusable);
+      if (pool_unusable) continue;
+      if (pool == nullptr) {
+        Violation v = Make(ViolationKind::kBindingOwnership,
+                           "pool instance '" + info.name +
+                               "' used by a process outside the pool");
+        v.block = b.id;
+        v.op = op.id;
+        v.process = b.process;
+        v.type = op.type;
+        v.instance = inst;
+        ctx.Add(std::move(v));
+        continue;
+      }
+      for (int k = 0; k < dii; ++k) {
+        const int tau = FoldResidue(
+            static_cast<std::int64_t>(b.phase) + s + k, pool->period);
+        int first = 0;
+        for (std::size_t v = 0; v < user; ++v)
+          first += pool->authorization[v][static_cast<std::size_t>(tau)];
+        const int count =
+            pool->authorization[user][static_cast<std::size_t>(tau)];
+        if (info.local_index < first || info.local_index >= first + count ||
+            info.local_index >= pool->instances) {
+          Violation v = Make(ViolationKind::kBindingEntitlement,
+                             "pool instance '" + info.name +
+                                 "' outside entitlement [" +
+                                 std::to_string(first) + ", " +
+                                 std::to_string(first + count) +
+                                 ") at residue " + std::to_string(tau));
+          v.block = b.id;
+          v.op = op.id;
+          v.process = b.process;
+          v.type = op.type;
+          v.instance = inst;
+          v.cycle = s + k;
+          v.residue = tau;
+          ctx.Add(std::move(v));
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kIncompleteSchedule: return "incomplete-schedule";
+    case ViolationKind::kRangeViolation: return "range-violation";
+    case ViolationKind::kDependenceViolation: return "dependence-violation";
+    case ViolationKind::kDeadlineViolation: return "deadline-violation";
+    case ViolationKind::kLocalOverSubscription:
+      return "local-oversubscription";
+    case ViolationKind::kAuthorizationShortfall:
+      return "authorization-shortfall";
+    case ViolationKind::kResidueOverSubscription:
+      return "residue-oversubscription";
+    case ViolationKind::kPeriodMismatch: return "period-mismatch";
+    case ViolationKind::kGridMisalignment: return "grid-misalignment";
+    case ViolationKind::kGridShiftVariance: return "grid-shift-variance";
+    case ViolationKind::kBindingIncomplete: return "binding-incomplete";
+    case ViolationKind::kBindingTypeMismatch: return "binding-type-mismatch";
+    case ViolationKind::kBindingOwnership: return "binding-ownership";
+    case ViolationKind::kBindingEntitlement: return "binding-entitlement";
+    case ViolationKind::kBindingDoubleBooking:
+      return "binding-double-booking";
+    case ViolationKind::kMalformedArtifact: return "malformed-artifact";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString(const SystemModel& model) const {
+  std::string out = ViolationKindName(kind);
+  if (process.valid() && process.index() < model.process_count())
+    out += " process '" + model.process(process).name + "'";
+  if (block.valid() && block.index() < model.block_count())
+    out += " block '" + model.block(block).name + "'";
+  if (op.valid()) out += " op " + std::to_string(op.value());
+  if (type.valid() && type.index() < model.library().size())
+    out += " type '" + model.library().type(type).name + "'";
+  if (cycle >= 0) out += " cycle " + std::to_string(cycle);
+  if (residue >= 0) out += " residue " + std::to_string(residue);
+  out += ": " + detail;
+  return out;
+}
+
+bool CertificateReport::Has(ViolationKind kind) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [kind](const Violation& v) { return v.kind == kind; });
+}
+
+std::string CertificateReport::Summary() const {
+  if (ok())
+    return "clean (" + std::to_string(stats.Total()) + " checks)";
+  std::string out = std::to_string(violations.size()) + " violation(s), first " +
+                    std::string(ViolationKindName(violations.front().kind)) +
+                    ": " + violations.front().detail;
+  return out;
+}
+
+std::string CertificateReport::ToString(const SystemModel& model) const {
+  if (ok()) return "certificate: " + Summary() + "\n";
+  std::string out = "certificate: " + std::to_string(violations.size()) +
+                    " violation(s) in " + std::to_string(stats.Total()) +
+                    " checks\n";
+  for (const Violation& v : violations)
+    out += "  " + v.ToString(model) + "\n";
+  return out;
+}
+
+CertificateReport CertifySchedule(const SystemModel& model,
+                                  const SystemSchedule& schedule,
+                                  const Allocation& allocation,
+                                  const SystemBinding* binding,
+                                  const CertifierOptions& options) {
+  Ctx ctx{model, options, {}, false};
+  if (schedule.blocks.size() != model.block_count()) {
+    ctx.Add(Make(ViolationKind::kIncompleteSchedule,
+                 "system schedule has " +
+                     std::to_string(schedule.blocks.size()) +
+                     " blocks for " + std::to_string(model.block_count())));
+    return std::move(ctx.report);
+  }
+  std::vector<char> block_usable(model.block_count(), 1);
+  CheckBlockSchedules(ctx, schedule, block_usable);
+
+  std::vector<PoolState> pools;
+  CheckAllocationStructure(ctx, allocation, pools);
+  CheckResourceCover(ctx, schedule, allocation, pools, block_usable);
+  CheckGrid(ctx, schedule, allocation, pools, block_usable);
+  if (binding != nullptr)
+    CheckBinding(ctx, schedule, allocation, pools, block_usable, *binding);
+  return std::move(ctx.report);
+}
+
+CertificateReport CertifyResult(const SystemModel& model,
+                                const CoupledResult& result,
+                                const SystemBinding* binding,
+                                const CertifierOptions& options) {
+  return CertifySchedule(model, result.schedule, result.allocation, binding,
+                         options);
+}
+
+}  // namespace mshls

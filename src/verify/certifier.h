@@ -1,0 +1,139 @@
+// Independent schedule certifier.
+//
+// Re-derives every safety invariant of an emitted schedule from first
+// principles, sharing no checking logic with the schedulers in fds/, sched/
+// or modulo/ (it consumes their *data structures* only). The point is
+// redundancy: the producer validates what it built; the certifier is a
+// second, structurally different implementation whose disagreement with the
+// producer is itself a bug report. Checks performed, each tied to the paper:
+//
+//  * completeness / time range     — every op scheduled inside [0, T_b]
+//                                    (condition C1, time-constrained input);
+//  * dependence edges              — start(to) >= start(from) + delay(from);
+//  * process deadlines             — every block finishes by the process
+//                                    deadline when one is declared;
+//  * local resource limits         — per (process, type, cycle) occupancy
+//                                    never exceeds the local instance count;
+//  * eq. 1 residue safety          — per global pool and residue
+//                                    tau = t mod lambda_g, each user's
+//                                    occupancy fits its authorization and
+//                                    the authorization sum fits the pool;
+//  * eq. 2/3 grid-shift invariance — re-folding every block shifted by
+//                                    k * lcm{lambda_g : g in G_p} yields the
+//                                    identical residue profile, and the grid
+//                                    spacing tiles every block time range;
+//  * binding consistency           — type match, ownership, per-residue pool
+//                                    entitlement and intra-block overlap
+//                                    freedom, re-derived from the
+//                                    authorization prefix sums.
+//
+// The certifier never asserts on malformed artifacts — corruption is the
+// expected input (see verify/fault_injection.h) and comes back as typed
+// violations with operation/resource/cycle coordinates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "modulo/allocation.h"
+#include "modulo/coupled_scheduler.h"
+#include "bind/binding.h"
+#include "model/system_model.h"
+#include "sched/schedule.h"
+
+namespace mshls {
+
+enum class ViolationKind {
+  kIncompleteSchedule,      // op unscheduled or schedule table malformed
+  kRangeViolation,          // op outside [0, time_range]
+  kDependenceViolation,     // precedence edge not honoured
+  kDeadlineViolation,       // block finishes after the process deadline
+  kLocalOverSubscription,   // local occupancy exceeds the allocated count
+  kAuthorizationShortfall,  // eq. 1: residue demand exceeds A_p(tau)
+  kResidueOverSubscription, // eq. 1: sum of A_p(tau) exceeds the pool
+  kPeriodMismatch,          // pool period disagrees with the model's S2 state
+  kGridMisalignment,        // eq. 3: grid spacing does not tile a time range
+                            // (or a phase lies outside the grid)
+  kGridShiftVariance,       // eq. 2/3: residue profile changes under a shift
+                            // by a multiple of the grid spacing
+  kBindingIncomplete,       // op unbound or binding table malformed
+  kBindingTypeMismatch,     // op bound to an instance of another type
+  kBindingOwnership,        // foreign local instance / out-of-range index
+  kBindingEntitlement,      // pool instance used outside its residue range
+  kBindingDoubleBooking,    // instance claimed twice at one step
+  kMalformedArtifact,       // allocation tables structurally inconsistent
+};
+
+[[nodiscard]] const char* ViolationKindName(ViolationKind kind);
+
+/// One certified invariant breach with full coordinates. Fields that do not
+/// apply to the kind stay invalid / negative.
+struct Violation {
+  ViolationKind kind;
+  BlockId block;
+  OpId op;
+  ProcessId process;
+  ResourceTypeId type;
+  InstanceId instance;
+  int cycle = -1;    // block-relative step
+  int residue = -1;  // tau, for eq.-1/eq.-2 kinds
+  std::string detail;
+
+  [[nodiscard]] std::string ToString(const SystemModel& model) const;
+};
+
+/// Number of independent checks evaluated, by family — evidence that a
+/// clean certificate actually exercised the invariants (a certifier that
+/// silently skips everything also reports zero violations).
+struct CertificateStats {
+  long ops_checked = 0;
+  long edges_checked = 0;
+  long cycles_checked = 0;    // (process, type, cycle) occupancy probes
+  long residues_checked = 0;  // (pool, residue) eq.-1 probes
+  long shifts_checked = 0;    // eq.-2/3 shifted re-foldings
+  long bindings_checked = 0;
+
+  [[nodiscard]] long Total() const {
+    return ops_checked + edges_checked + cycles_checked + residues_checked +
+           shifts_checked + bindings_checked;
+  }
+};
+
+struct CertificateReport {
+  std::vector<Violation> violations;
+  CertificateStats stats;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] bool Has(ViolationKind kind) const;
+  /// "clean (N checks)" or "K violation(s): <first>; ..." — for statuses.
+  [[nodiscard]] std::string Summary() const;
+  /// Full multi-line report with one line per violation.
+  [[nodiscard]] std::string ToString(const SystemModel& model) const;
+};
+
+struct CertifierOptions {
+  /// Stop after this many violations; 0 = collect all.
+  int max_violations = 0;
+  /// Grid-shift multiples k = 1..shift_multiples re-folded per block for
+  /// the eq.-2/3 invariance check.
+  int shift_multiples = 2;
+};
+
+/// Certifies a schedule + allocation (+ optional binding) against `model`.
+/// The model is the ground truth; every other artifact is untrusted. An
+/// allocation that routes a type through local instances even though the
+/// model declares it global (e.g. the pure-local baseline) is accepted as
+/// long as the local counts cover the demand — over-provisioning is safe,
+/// under-provisioning is a violation.
+[[nodiscard]] CertificateReport CertifySchedule(
+    const SystemModel& model, const SystemSchedule& schedule,
+    const Allocation& allocation, const SystemBinding* binding = nullptr,
+    const CertifierOptions& options = {});
+
+/// Convenience wrapper for the scheduler's result bundle.
+[[nodiscard]] CertificateReport CertifyResult(
+    const SystemModel& model, const CoupledResult& result,
+    const SystemBinding* binding = nullptr, const CertifierOptions& options = {});
+
+}  // namespace mshls

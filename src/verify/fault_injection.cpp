@@ -1,0 +1,294 @@
+#include "verify/fault_injection.h"
+
+#include <charconv>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace mshls {
+namespace {
+
+/// Uniform pick among eligible sites; deterministic per (plan.seed, n).
+std::size_t Pick(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(rng.NextU64() % n);
+}
+
+bool ScheduleUsable(const SystemModel& model, const SystemSchedule& schedule,
+                    BlockId bid) {
+  return bid.index() < schedule.blocks.size() &&
+         schedule.of(bid).size() == model.block(bid).graph.op_count();
+}
+
+StatusOr<InjectedFault> ShiftOp(Rng& rng, const SystemModel& model,
+                                SystemSchedule& schedule) {
+  std::vector<std::pair<BlockId, OpId>> sites;
+  for (const Block& b : model.blocks()) {
+    if (!ScheduleUsable(model, schedule, b.id)) continue;
+    for (const Operation& op : b.graph.ops())
+      if (schedule.of(b.id).start(op.id) >= 0) sites.emplace_back(b.id, op.id);
+  }
+  if (sites.empty())
+    return Status{StatusCode::kFailedPrecondition,
+                  "no scheduled op to shift"};
+  const auto [bid, op] = sites[Pick(rng, sites.size())];
+  const Block& b = model.block(bid);
+  const int delay = model.library().type(b.graph.op(op).type).delay;
+  // One past the last legal start: start + delay = time_range + 1.
+  const int start = b.time_range - delay + 1;
+  schedule.of(bid).set_start(op, start);
+  return InjectedFault{
+      FaultKind::kShiftOp,
+      "shifted op " + std::to_string(op.value()) + " of block '" + b.name +
+          "' to step " + std::to_string(start) + " (past time range " +
+          std::to_string(b.time_range) + ")",
+      ViolationKind::kRangeViolation};
+}
+
+StatusOr<InjectedFault> DropEdge(Rng& rng, const SystemModel& model,
+                                 SystemSchedule& schedule) {
+  struct Site {
+    BlockId block;
+    OpId from, to;
+  };
+  std::vector<Site> sites;
+  for (const Block& b : model.blocks()) {
+    if (!ScheduleUsable(model, schedule, b.id)) continue;
+    const BlockSchedule& s = schedule.of(b.id);
+    for (const Edge& e : b.graph.edges())
+      if (s.start(e.from) >= 0 && s.start(e.to) >= 0)
+        sites.push_back(Site{b.id, e.from, e.to});
+  }
+  if (sites.empty())
+    return Status{StatusCode::kFailedPrecondition,
+                  "no scheduled dependence edge to break"};
+  const Site site = sites[Pick(rng, sites.size())];
+  const Block& b = model.block(site.block);
+  const BlockSchedule& s = schedule.of(site.block);
+  const int delay = model.library().type(b.graph.op(site.from).type).delay;
+  // One step before the producer's result: always violates the edge (the
+  // clean consumer start is >= producer + delay > this), never negative
+  // because delay >= 1.
+  const int start = s.start(site.from) + delay - 1;
+  schedule.of(site.block).set_start(site.to, start);
+  return InjectedFault{
+      FaultKind::kDropEdge,
+      "rescheduled consumer op " + std::to_string(site.to.value()) +
+          " of block '" + b.name + "' to step " + std::to_string(start) +
+          ", before the result of op " + std::to_string(site.from.value()),
+      ViolationKind::kDependenceViolation};
+}
+
+StatusOr<InjectedFault> SwapBinding(Rng& rng, const SystemModel& model,
+                                    const SystemSchedule& schedule,
+                                    SystemBinding* binding) {
+  if (binding == nullptr)
+    return Status{StatusCode::kInvalidArgument,
+                  "swap-binding needs a binding artifact"};
+  // Preferred site: two same-type ops of one block issued at the same step
+  // on different instances — rebinding one onto the other collides at every
+  // claimed step, and (same process, same residues) keeps ownership and
+  // entitlement intact, so exactly the double-booking invariant breaks.
+  struct Pair {
+    BlockId block;
+    OpId victim;
+    InstanceId target;
+  };
+  std::vector<Pair> pairs;
+  for (const Block& b : model.blocks()) {
+    if (!ScheduleUsable(model, schedule, b.id)) continue;
+    if (b.id.index() >= binding->op_instance.size()) continue;
+    const std::vector<InstanceId>& per_op =
+        binding->op_instance[b.id.index()];
+    if (per_op.size() != b.graph.op_count()) continue;
+    const BlockSchedule& s = schedule.of(b.id);
+    for (const Operation& a : b.graph.ops()) {
+      for (const Operation& c : b.graph.ops()) {
+        if (a.id == c.id || a.type != c.type) continue;
+        if (s.start(a.id) < 0 || s.start(a.id) != s.start(c.id)) continue;
+        if (per_op[a.id.index()] == per_op[c.id.index()]) continue;
+        pairs.push_back(Pair{b.id, c.id, per_op[a.id.index()]});
+      }
+    }
+  }
+  if (!pairs.empty()) {
+    const Pair p = pairs[Pick(rng, pairs.size())];
+    binding->op_instance[p.block.index()][p.victim.index()] = p.target;
+    return InjectedFault{
+        FaultKind::kSwapBinding,
+        "rebound op " + std::to_string(p.victim.value()) + " of block '" +
+            model.block(p.block).name + "' onto busy instance '" +
+            binding->info(p.target).name + "'",
+        ViolationKind::kBindingDoubleBooking};
+  }
+  // Fallback: bind an op to an instance of a foreign type.
+  struct Mis {
+    BlockId block;
+    OpId op;
+    InstanceId target;
+  };
+  std::vector<Mis> mis;
+  for (const Block& b : model.blocks()) {
+    if (b.id.index() >= binding->op_instance.size()) continue;
+    if (binding->op_instance[b.id.index()].size() != b.graph.op_count())
+      continue;
+    for (const Operation& op : b.graph.ops())
+      for (const InstanceInfo& info : binding->instances)
+        if (info.type != op.type) mis.push_back(Mis{b.id, op.id, info.id});
+  }
+  if (!mis.empty()) {
+    const Mis m = mis[Pick(rng, mis.size())];
+    binding->op_instance[m.block.index()][m.op.index()] = m.target;
+    return InjectedFault{
+        FaultKind::kSwapBinding,
+        "rebound op " + std::to_string(m.op.value()) + " of block '" +
+            model.block(m.block).name + "' onto foreign-type instance '" +
+            binding->info(m.target).name + "'",
+        ViolationKind::kBindingTypeMismatch};
+  }
+  // Last resort (single type, single instance): unbind an op.
+  for (const Block& b : model.blocks()) {
+    if (b.id.index() >= binding->op_instance.size()) continue;
+    std::vector<InstanceId>& per_op = binding->op_instance[b.id.index()];
+    if (per_op.empty()) continue;
+    const std::size_t slot = Pick(rng, per_op.size());
+    per_op[slot] = InstanceId::invalid();
+    return InjectedFault{FaultKind::kSwapBinding,
+                         "unbound op " + std::to_string(slot) +
+                             " of block '" + b.name + "'",
+                         ViolationKind::kBindingIncomplete};
+  }
+  return Status{StatusCode::kFailedPrecondition, "no binding site to corrupt"};
+}
+
+StatusOr<InjectedFault> PerturbPeriod(Rng& rng, const SystemModel& model,
+                                      Allocation& allocation) {
+  std::vector<std::size_t> sites;
+  for (std::size_t i = 0; i < allocation.global.size(); ++i)
+    if (allocation.global[i].type.valid()) sites.push_back(i);
+  if (sites.empty())
+    return Status{StatusCode::kFailedPrecondition,
+                  "no global pool whose period could drift"};
+  GlobalTypeAllocation& ga = allocation.global[sites[Pick(rng, sites.size())]];
+  const int old_period = ga.period;
+  ga.period = old_period == 1 ? 2 : old_period - 1;
+  return InjectedFault{
+      FaultKind::kPerturbPeriod,
+      "changed the period of pool '" +
+          model.library().type(ga.type).name + "' from " +
+          std::to_string(old_period) + " to " + std::to_string(ga.period),
+      ViolationKind::kPeriodMismatch};
+}
+
+StatusOr<InjectedFault> OversubscribeResidue(Rng& rng,
+                                             const SystemModel& model,
+                                             Allocation& allocation) {
+  std::vector<std::size_t> sites;
+  for (std::size_t i = 0; i < allocation.global.size(); ++i)
+    if (allocation.global[i].instances >= 1) sites.push_back(i);
+  if (sites.empty())
+    return Status{StatusCode::kFailedPrecondition,
+                  "no populated global pool to shrink"};
+  GlobalTypeAllocation& ga = allocation.global[sites[Pick(rng, sites.size())]];
+  // N_g = max_tau sum_u A_u(tau) in a clean artifact, so the peak residue
+  // is now oversubscribed by exactly one instance.
+  --ga.instances;
+  return InjectedFault{
+      FaultKind::kOversubscribeResidue,
+      "shrank pool '" + model.library().type(ga.type).name + "' to " +
+          std::to_string(ga.instances) +
+          " instance(s), below its authorization peak",
+      ViolationKind::kResidueOverSubscription};
+}
+
+StatusOr<InjectedFault> CorruptLocalCount(Rng& rng, const SystemModel& model,
+                                          Allocation& allocation) {
+  std::vector<std::pair<std::size_t, std::size_t>> sites;
+  for (std::size_t p = 0; p < allocation.local.size(); ++p)
+    for (std::size_t t = 0; t < allocation.local[p].size(); ++t)
+      if (allocation.local[p][t] >= 1) sites.emplace_back(p, t);
+  if (sites.empty())
+    return Status{StatusCode::kFailedPrecondition,
+                  "no local allocation to shrink"};
+  const auto [p, t] = sites[Pick(rng, sites.size())];
+  // Local counts are peak occupancies in a clean artifact; one less no
+  // longer covers the peak cycle.
+  --allocation.local[p][t];
+  return InjectedFault{
+      FaultKind::kCorruptLocalCount,
+      "shrank local '" +
+          model.library().type(ResourceTypeId{static_cast<int>(t)}).name +
+          "' count of process '" +
+          model.process(ProcessId{static_cast<int>(p)}).name + "' to " +
+          std::to_string(allocation.local[p][t]),
+      ViolationKind::kLocalOverSubscription};
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kShiftOp: return "shift-op";
+    case FaultKind::kDropEdge: return "drop-edge";
+    case FaultKind::kSwapBinding: return "swap-binding";
+    case FaultKind::kPerturbPeriod: return "perturb-period";
+    case FaultKind::kOversubscribeResidue: return "oversubscribe-residue";
+    case FaultKind::kCorruptLocalCount: return "corrupt-local";
+  }
+  return "unknown";
+}
+
+std::vector<FaultKind> AllFaultKinds() {
+  return {FaultKind::kShiftOp,       FaultKind::kDropEdge,
+          FaultKind::kSwapBinding,   FaultKind::kPerturbPeriod,
+          FaultKind::kOversubscribeResidue, FaultKind::kCorruptLocalCount};
+}
+
+StatusOr<FaultPlan> ParseFaultSpec(std::string_view spec) {
+  FaultPlan plan;
+  std::string_view name = spec;
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    const std::string_view seed = spec.substr(colon + 1);
+    const auto [ptr, ec] = std::from_chars(
+        seed.data(), seed.data() + seed.size(), plan.seed);
+    if (ec != std::errc{} || ptr != seed.data() + seed.size())
+      return Status{StatusCode::kParseError,
+                    "bad fault seed '" + std::string(seed) + "'"};
+  }
+  for (FaultKind kind : AllFaultKinds()) {
+    if (name == FaultKindName(kind)) {
+      plan.kind = kind;
+      return plan;
+    }
+  }
+  return Status{StatusCode::kParseError,
+                "unknown fault kind '" + std::string(name) +
+                    "' (expected one of shift-op, drop-edge, swap-binding, "
+                    "perturb-period, oversubscribe-residue, corrupt-local)"};
+}
+
+StatusOr<InjectedFault> InjectFault(const FaultPlan& plan,
+                                    const SystemModel& model,
+                                    SystemSchedule& schedule,
+                                    Allocation& allocation,
+                                    SystemBinding* binding) {
+  Rng rng(plan.seed);
+  switch (plan.kind) {
+    case FaultKind::kShiftOp:
+      return ShiftOp(rng, model, schedule);
+    case FaultKind::kDropEdge:
+      return DropEdge(rng, model, schedule);
+    case FaultKind::kSwapBinding:
+      return SwapBinding(rng, model, schedule, binding);
+    case FaultKind::kPerturbPeriod:
+      return PerturbPeriod(rng, model, allocation);
+    case FaultKind::kOversubscribeResidue:
+      return OversubscribeResidue(rng, model, allocation);
+    case FaultKind::kCorruptLocalCount:
+      return CorruptLocalCount(rng, model, allocation);
+  }
+  return Status{StatusCode::kInvalidArgument, "unknown fault kind"};
+}
+
+}  // namespace mshls

@@ -1,0 +1,73 @@
+// Deterministic fault injection for the certifier's own test harness.
+//
+// Each FaultKind corrupts one invariant family of a (schedule, allocation,
+// binding) artifact in a way that is *guaranteed* to be illegal against the
+// pristine model — the construction never relies on luck (e.g. a shifted op
+// is moved past the end of its time range, not to a random step that might
+// happen to be legal). Injection is seeded and reproducible: the same
+// FaultPlan against the same artifact always corrupts the same site.
+//
+// The contract tested by tests/verify_test.cpp: for every fault kind that is
+// applicable to a workload, CertifySchedule must report at least one
+// violation of the expected kind — and zero violations when nothing was
+// injected. A fault kind can be inapplicable (e.g. perturb-period on a
+// design without global pools); InjectFault then returns
+// kFailedPrecondition so callers can skip rather than mis-count.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bind/binding.h"
+#include "common/status.h"
+#include "model/system_model.h"
+#include "modulo/allocation.h"
+#include "sched/schedule.h"
+#include "verify/certifier.h"
+
+namespace mshls {
+
+enum class FaultKind {
+  kShiftOp,               // move one op past its block time range
+  kDropEdge,              // reschedule a consumer before its producer
+  kSwapBinding,           // rebind an op onto a conflicting instance
+  kPerturbPeriod,         // change one pool's period away from lambda_g
+  kOversubscribeResidue,  // shrink a pool below its authorization sum
+  kCorruptLocalCount,     // shrink a local count below peak occupancy
+};
+
+[[nodiscard]] const char* FaultKindName(FaultKind kind);
+[[nodiscard]] std::vector<FaultKind> AllFaultKinds();
+
+/// One deterministic corruption: which family, and a seed selecting the
+/// site among all eligible ones.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kShiftOp;
+  std::uint64_t seed = 1;
+};
+
+/// Parses "<kind>[:<seed>]" where <kind> is a FaultKindName (e.g.
+/// "shift-op:7", "perturb-period"). Unknown kinds yield kParseError.
+[[nodiscard]] StatusOr<FaultPlan> ParseFaultSpec(std::string_view spec);
+
+/// What was corrupted, for reporting and for asserting detection.
+struct InjectedFault {
+  FaultKind kind;
+  std::string description;
+  /// The violation kind the certifier is expected to raise for it.
+  ViolationKind expected;
+};
+
+/// Applies `plan` to the artifacts in place. The model stays const — it is
+/// the ground truth the certifier judges against. Returns
+/// kFailedPrecondition when the fault class has no eligible site in this
+/// artifact (no pool, no multi-op type, ...); kInvalidArgument when a
+/// required artifact is missing (kSwapBinding with binding == nullptr).
+[[nodiscard]] StatusOr<InjectedFault> InjectFault(const FaultPlan& plan,
+                                                  const SystemModel& model,
+                                                  SystemSchedule& schedule,
+                                                  Allocation& allocation,
+                                                  SystemBinding* binding);
+
+}  // namespace mshls

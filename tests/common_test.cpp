@@ -194,5 +194,40 @@ TEST(FormatDoubleTest, FixedDigits) {
   EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
 }
 
+TEST(MathUtilTest, CheckedLcmMatchesLcmOnRepresentableInput) {
+  EXPECT_EQ(CheckedLcm(4, 6), 12);
+  EXPECT_EQ(CheckedLcm(1, 1), 1);
+  EXPECT_EQ(CheckedLcm(7, 13), 91);
+}
+
+TEST(MathUtilTest, CheckedLcmReportsOverflow) {
+  const std::int64_t big = (std::int64_t{1} << 62) + 1;  // odd, huge
+  EXPECT_FALSE(CheckedLcm(big, big - 2).has_value());
+}
+
+TEST(MathUtilTest, CheckedLcmOfMatchesLcmOfOnPeriods) {
+  const std::vector<std::int64_t> periods{5, 30, 25, 15};
+  auto checked = CheckedLcmOf(periods);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked.value(), LcmOf(periods));
+  EXPECT_EQ(checked.value(), 150);
+
+  const std::vector<std::int64_t> empty;
+  auto identity = CheckedLcmOf(empty);
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ(identity.value(), 1);
+}
+
+TEST(MathUtilTest, CheckedLcmOfRejectsNonPositiveAndOverflow) {
+  const std::vector<std::int64_t> with_zero{3, 0, 5};
+  EXPECT_EQ(CheckedLcmOf(with_zero).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Pairwise-coprime large primes: the true lcm is far beyond int64.
+  const std::vector<std::int64_t> primes{1000000007, 1000000009, 1000000021,
+                                         1000000033};
+  EXPECT_EQ(CheckedLcmOf(primes).status().code(), StatusCode::kInfeasible);
+}
+
 }  // namespace
 }  // namespace mshls

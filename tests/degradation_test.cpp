@@ -1,0 +1,198 @@
+// Tests for the graceful-degradation ladder in the scheduling pipeline:
+// failed attempts walk the documented rungs, the winning rung and every
+// attempt land in JobResult, and batch mode isolates poisoned inputs.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/degradation.h"
+#include "engine/job.h"
+#include "engine/job_service.h"
+
+namespace mshls {
+namespace {
+
+constexpr const char* kGoodDesign = R"(
+resource add  delay 1 area 1;
+resource mult delay 2 dii 1 area 4;
+
+process alpha deadline 10 {
+  block main time 10 {
+    m1 = a * b;
+    s1 = m1 + c;
+  }
+}
+process beta deadline 10 {
+  block main time 10 {
+    m1 = p * q;
+    y  = m1 + r;
+  }
+}
+share mult among alpha, beta period 5;
+)";
+
+// Period 3 does not divide the time range 10, so any pool built from this
+// declaration breaks the paper's eq. 3 — the producers do not re-check it
+// in plain coupled mode, but the certifier does.
+constexpr const char* kGridIncompatibleDesign = R"(
+resource add delay 1 area 1;
+
+process alpha deadline 10 {
+  block main time 10 {
+    x = a + b;
+    y = x + c;
+  }
+}
+process beta deadline 10 {
+  block main time 10 {
+    u = p + q;
+  }
+}
+share add among alpha, beta period 3;
+)";
+
+// Critical path 3 > time range 2: infeasible at compile time.
+constexpr const char* kCompileInfeasibleDesign = R"(
+resource add delay 1 area 1;
+process p deadline 2 {
+  block main time 2 {
+    a = b + c;
+    d = a + e;
+    f = d + g;
+  }
+}
+)";
+
+SchedulingJob MakeJob(const char* source,
+                      std::vector<DegradationRung> ladder = DefaultLadder()) {
+  SchedulingJob job;
+  job.source = source;
+  job.ladder = std::move(ladder);
+  return job;
+}
+
+TEST(Degradation, CleanJobStaysOnTheRequestedRung) {
+  const JobResult r = RunSchedulingJob(MakeJob(kGoodDesign));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rung, DegradationRung::kAsRequested);
+  ASSERT_EQ(r.attempts.size(), 1u);
+  EXPECT_TRUE(r.attempts[0].status.ok());
+}
+
+TEST(Degradation, CertificateFailureFallsToRelaxedPeriods) {
+  const JobResult r = RunSchedulingJob(MakeJob(kGridIncompatibleDesign));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rung, DegradationRung::kRelaxPeriods);
+  ASSERT_EQ(r.attempts.size(), 2u);
+  EXPECT_EQ(r.attempts[0].rung, DegradationRung::kAsRequested);
+  EXPECT_EQ(r.attempts[0].status.code(), StatusCode::kInternal);
+  EXPECT_NE(r.attempts[0].status.message().find("certificate"),
+            std::string::npos)
+      << r.attempts[0].status.ToString();
+  EXPECT_TRUE(r.attempts[1].status.ok());
+  // The relaxed run found eq.-3-compatible periods, so pools survived.
+  EXPECT_FALSE(r.result.allocation.global.empty());
+}
+
+TEST(Degradation, DemoteGlobalsRungDropsEveryPool) {
+  const JobResult r = RunSchedulingJob(
+      MakeJob(kGridIncompatibleDesign,
+              {DegradationRung::kAsRequested, DegradationRung::kDemoteGlobals}));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rung, DegradationRung::kDemoteGlobals);
+  EXPECT_TRUE(r.result.allocation.global.empty());
+}
+
+TEST(Degradation, LocalBaselineIsTheLastResort) {
+  const JobResult r = RunSchedulingJob(
+      MakeJob(kGridIncompatibleDesign,
+              {DegradationRung::kAsRequested, DegradationRung::kLocalBaseline}));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rung, DegradationRung::kLocalBaseline);
+  EXPECT_TRUE(r.result.allocation.global.empty());
+}
+
+TEST(Degradation, SingleRungLadderSurfacesTheCertificate) {
+  const JobResult r = RunSchedulingJob(
+      MakeJob(kGridIncompatibleDesign, {DegradationRung::kAsRequested}));
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  EXPECT_NE(r.status.message().find("certificate"), std::string::npos);
+  EXPECT_EQ(r.attempts.size(), 1u);
+}
+
+TEST(Degradation, DisablingCertificationSkipsTheIndependentCheck) {
+  // Without the certifier the producer-side validators accept the
+  // eq.-3-incompatible pool — which is exactly why the certifier exists.
+  SchedulingJob job =
+      MakeJob(kGridIncompatibleDesign, {DegradationRung::kAsRequested});
+  job.certify = false;
+  const JobResult r = RunSchedulingJob(job);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+}
+
+TEST(Degradation, CompileFailuresNeverEnterTheLadder) {
+  const JobResult infeasible =
+      RunSchedulingJob(MakeJob(kCompileInfeasibleDesign));
+  EXPECT_EQ(infeasible.status.code(), StatusCode::kInfeasible);
+  EXPECT_TRUE(infeasible.attempts.empty());
+
+  const JobResult garbage = RunSchedulingJob(MakeJob("definitely not hls"));
+  EXPECT_EQ(garbage.status.code(), StatusCode::kParseError);
+  EXPECT_TRUE(garbage.attempts.empty());
+}
+
+TEST(Degradation, RedundantRungsAreSkippedNotAttempted) {
+  // A local-baseline request has nothing to relax or demote; a failure
+  // would surface directly (here it succeeds, on its requested rung).
+  SchedulingJob job = MakeJob(kGoodDesign);
+  job.mode = JobMode::kLocalBaseline;
+  const JobResult r = RunSchedulingJob(job);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rung, DegradationRung::kAsRequested);
+  EXPECT_EQ(r.attempts.size(), 1u);
+}
+
+TEST(Degradation, BatchIsolatesPoisonedInputs) {
+  std::vector<SchedulingJob> jobs;
+  jobs.push_back(MakeJob(kGoodDesign));
+  jobs[0].name = "good";
+  jobs.push_back(MakeJob(kCompileInfeasibleDesign));
+  jobs[1].name = "infeasible";
+  jobs.push_back(MakeJob("syntax }{ error"));
+  jobs[2].name = "malformed";
+  jobs.push_back(MakeJob(kGridIncompatibleDesign));
+  jobs[3].name = "degraded";
+
+  JobServiceOptions options;
+  options.workers = 2;
+  JobService service(options);
+  const std::vector<JobResult> results = service.RunBatch(std::move(jobs));
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].name, "good");
+  EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(results[2].status.code(), StatusCode::kParseError);
+  EXPECT_TRUE(results[3].status.ok()) << results[3].status.ToString();
+  EXPECT_EQ(results[3].rung, DegradationRung::kRelaxPeriods);
+}
+
+TEST(Degradation, RungNamesAreStable) {
+  EXPECT_STREQ(DegradationRungName(DegradationRung::kAsRequested),
+               "as-requested");
+  EXPECT_STREQ(DegradationRungName(DegradationRung::kRelaxPeriods),
+               "relax-periods");
+  EXPECT_STREQ(DegradationRungName(DegradationRung::kDemoteGlobals),
+               "demote-globals");
+  EXPECT_STREQ(DegradationRungName(DegradationRung::kLocalBaseline),
+               "local-baseline");
+  EXPECT_FALSE(IsDegradable(StatusCode::kParseError));
+  EXPECT_FALSE(IsDegradable(StatusCode::kCancelled));
+  EXPECT_TRUE(IsDegradable(StatusCode::kInfeasible));
+  EXPECT_TRUE(IsDegradable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsDegradable(StatusCode::kInternal));
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,426 @@
+// Tests for the independent schedule certifier and the fault-injection
+// layer: a clean schedule from any seed workload certifies with zero
+// violations, and every applicable fault class is detected with the
+// expected violation kind.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bind/binding.h"
+#include "common/rng.h"
+#include "frontend/lowering.h"
+#include "modulo/coupled_scheduler.h"
+#include "verify/certifier.h"
+#include "verify/fault_injection.h"
+#include "workloads/benchmarks.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+constexpr const char* kTinyDesign = R"(
+resource add  delay 1 area 1;
+resource mult delay 2 dii 1 area 4;
+
+process alpha deadline 10 {
+  block main time 10 {
+    m1 = a * b;
+    m2 = c * d;
+    s1 = m1 + m2;
+    y  = s1 + e;
+  }
+}
+process beta deadline 10 {
+  block main time 10 {
+    m1 = p * q;
+    y  = m1 + r;
+  }
+}
+share add  among alpha, beta period 5;
+share mult among alpha, beta period 5;
+)";
+
+constexpr const char* kFusionDesign = R"(
+resource add  delay 1 area 1;
+resource sub  delay 1 area 1;
+resource mult delay 2 dii 1 area 4;
+
+process sensor deadline 12 {
+  block main time 12 {
+    g  = a * b;
+    h  = c * d;
+    s  = g + h;
+    t  = s - e;
+  }
+}
+process filter deadline 12 {
+  block main time 12 {
+    m  = x * y;
+    n  = m + z;
+    o  = n - w;
+  }
+}
+share mult among sensor, filter period 4;
+)";
+
+struct Workload {
+  std::string name;
+  SystemModel model;
+};
+
+SystemModel Compile(const char* source) {
+  auto model_or = CompileSystem(source);
+  EXPECT_TRUE(model_or.ok()) << model_or.status().ToString();
+  return std::move(model_or).value();
+}
+
+/// Two-process builder over the paper's types with one shared type.
+SystemModel SharedPair(DataFlowGraph (*build_a)(const PaperTypes&),
+                       int range_a, DataFlowGraph (*build_b)(const PaperTypes&),
+                       int range_b, int period, bool share_add) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  const ProcessId pa = model.AddProcess("pa", range_a);
+  const ProcessId pb = model.AddProcess("pb", range_b);
+  model.AddBlock(pa, "main_a", build_a(t), range_a);
+  model.AddBlock(pb, "main_b", build_b(t), range_b);
+  model.MakeGlobal(t.mult, {pa, pb});
+  model.SetPeriod(t.mult, period);
+  if (share_add) {
+    model.MakeGlobal(t.add, {pa, pb});
+    model.SetPeriod(t.add, period);
+  }
+  EXPECT_TRUE(model.Validate().ok());
+  return model;
+}
+
+/// The A1-A10 style seed suite: every flavour the pipeline produces —
+/// paper system, DSL designs, benchmark pairs, local-only and random DAGs.
+std::vector<Workload> SeedWorkloads() {
+  std::vector<Workload> out;
+  out.push_back({"paper-system", BuildPaperSystem().model});
+
+  PaperSystemOptions local;
+  local.make_global = false;
+  out.push_back({"paper-local", BuildPaperSystem(local).model});
+
+  out.push_back({"tiny-dsl", Compile(kTinyDesign)});
+  out.push_back({"fusion-dsl", Compile(kFusionDesign)});
+
+  out.push_back({"ewf-diffeq",
+                 SharedPair(BuildEwf, 30, BuildDiffeq, 25, 5, false)});
+  out.push_back({"fir-diffeq",
+                 SharedPair(BuildFir16, 9, BuildDiffeq, 12, 3, true)});
+
+  {
+    SystemModel model;  // single process, everything local
+    const PaperTypes t = AddPaperTypes(model.library());
+    const ProcessId p = model.AddProcess("lattice", 20);
+    model.AddBlock(p, "main", BuildArLattice(t), 20);
+    EXPECT_TRUE(model.Validate().ok());
+    out.push_back({"ar-lattice-local", std::move(model)});
+  }
+  {
+    Rng rng(7);
+    SystemModel model;  // random DAGs sharing the multiplier
+    const PaperTypes t = AddPaperTypes(model.library());
+    const ProcessId pa = model.AddProcess("rnd_a", 24);
+    const ProcessId pb = model.AddProcess("rnd_b", 24);
+    model.AddBlock(pa, "main_a", BuildRandomDfg(t, rng, {}), 24);
+    model.AddBlock(pb, "main_b", BuildRandomDfg(t, rng, {}), 24);
+    model.MakeGlobal(t.mult, {pa, pb});
+    model.SetPeriod(t.mult, 2);
+    EXPECT_TRUE(model.Validate().ok());
+    out.push_back({"random-shared", std::move(model)});
+  }
+  {
+    SystemModel model;  // period 1: residue mapping degenerates, grid = 1
+    const PaperTypes t = AddPaperTypes(model.library());
+    const ProcessId pa = model.AddProcess("dq_a", 15);
+    const ProcessId pb = model.AddProcess("dq_b", 15);
+    model.AddBlock(pa, "main_a", BuildDiffeq(t), 15);
+    model.AddBlock(pb, "main_b", BuildDiffeq(t), 15);
+    model.MakeGlobal(t.sub, {pa, pb});
+    model.SetPeriod(t.sub, 1);
+    EXPECT_TRUE(model.Validate().ok());
+    out.push_back({"diffeq-period1", std::move(model)});
+  }
+  {
+    SystemModel model;  // single-member sharing group
+    const PaperTypes t = AddPaperTypes(model.library());
+    const ProcessId p = model.AddProcess("ewf", 18);
+    model.AddBlock(p, "main", BuildEwf(t), 18);
+    model.MakeGlobal(t.mult, {p});
+    model.SetPeriod(t.mult, 2);
+    EXPECT_TRUE(model.Validate().ok());
+    out.push_back({"ewf-solo-global", std::move(model)});
+  }
+  return out;
+}
+
+struct Artifacts {
+  CoupledResult result;
+  SystemBinding binding;
+};
+
+Artifacts ScheduleAndBind(SystemModel& model) {
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto run_or = scheduler.Run();
+  EXPECT_TRUE(run_or.ok()) << run_or.status().ToString();
+  Artifacts out;
+  out.result = std::move(run_or).value();
+  auto binding_or =
+      BindSystem(model, out.result.schedule, out.result.allocation);
+  EXPECT_TRUE(binding_or.ok()) << binding_or.status().ToString();
+  out.binding = std::move(binding_or).value();
+  return out;
+}
+
+// ----------------------------------------------------- clean workloads --
+
+TEST(Certifier, CleanSeedWorkloadsCertifyWithZeroViolations) {
+  for (Workload& w : SeedWorkloads()) {
+    SCOPED_TRACE(w.name);
+    const Artifacts a = ScheduleAndBind(w.model);
+    const CertificateReport report = CertifySchedule(
+        w.model, a.result.schedule, a.result.allocation, &a.binding);
+    EXPECT_TRUE(report.ok()) << report.ToString(w.model);
+    EXPECT_GT(report.stats.ops_checked, 0);
+    EXPECT_GT(report.stats.edges_checked, 0);
+    EXPECT_GT(report.stats.cycles_checked, 0);
+    EXPECT_GT(report.stats.bindings_checked, 0);
+  }
+}
+
+TEST(Certifier, StatsCoverEveryCheckFamilyOnTheSharedSystem) {
+  PaperSystem sys = BuildPaperSystem();
+  const Artifacts a = ScheduleAndBind(sys.model);
+  const CertificateReport report = CertifySchedule(
+      sys.model, a.result.schedule, a.result.allocation, &a.binding);
+  ASSERT_TRUE(report.ok()) << report.ToString(sys.model);
+  EXPECT_GT(report.stats.residues_checked, 0);  // eq.-1 pool probes
+  EXPECT_GT(report.stats.shifts_checked, 0);    // eq.-2/3 re-foldings
+  EXPECT_EQ(report.Summary(),
+            "clean (" + std::to_string(report.stats.Total()) + " checks)");
+}
+
+TEST(Certifier, CertifyResultWrapperMatchesCertifySchedule) {
+  SystemModel model = Compile(kTinyDesign);
+  const Artifacts a = ScheduleAndBind(model);
+  const CertificateReport direct =
+      CertifySchedule(model, a.result.schedule, a.result.allocation);
+  const CertificateReport wrapped = CertifyResult(model, a.result);
+  EXPECT_TRUE(direct.ok());
+  EXPECT_TRUE(wrapped.ok());
+  EXPECT_EQ(direct.stats.Total(), wrapped.stats.Total());
+}
+
+// -------------------------------------------------------- fault matrix --
+
+TEST(FaultInjection, EveryApplicableFaultClassIsDetected) {
+  std::vector<Workload> workloads = SeedWorkloads();
+  std::vector<int> applicable(AllFaultKinds().size(), 0);
+  for (Workload& w : workloads) {
+    SystemModel& model = w.model;
+    const Artifacts clean = ScheduleAndBind(model);
+    for (FaultKind kind : AllFaultKinds()) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        SCOPED_TRACE(w.name + " / " + FaultKindName(kind) + ":" +
+                     std::to_string(seed));
+        SystemSchedule schedule = clean.result.schedule;
+        Allocation allocation = clean.result.allocation;
+        SystemBinding binding = clean.binding;
+        auto fault_or = InjectFault(FaultPlan{kind, seed}, model, schedule,
+                                    allocation, &binding);
+        if (!fault_or.ok()) {
+          EXPECT_EQ(fault_or.status().code(), StatusCode::kFailedPrecondition)
+              << fault_or.status().ToString();
+          continue;
+        }
+        ++applicable[static_cast<std::size_t>(kind)];
+        const CertificateReport report =
+            CertifySchedule(model, schedule, allocation, &binding);
+        EXPECT_FALSE(report.ok())
+            << "undetected: " << fault_or.value().description;
+        EXPECT_TRUE(report.Has(fault_or.value().expected))
+            << fault_or.value().description << "\n"
+            << report.ToString(model);
+      }
+    }
+  }
+  // The suite exercises every fault class somewhere — a kind that is never
+  // applicable would make the matrix silently vacuous.
+  for (FaultKind kind : AllFaultKinds())
+    EXPECT_GT(applicable[static_cast<std::size_t>(kind)], 0)
+        << FaultKindName(kind) << " never applicable in the seed suite";
+}
+
+TEST(FaultInjection, SameSeedCorruptsTheSameSite) {
+  PaperSystem sys = BuildPaperSystem();
+  const Artifacts clean = ScheduleAndBind(sys.model);
+  for (FaultKind kind : AllFaultKinds()) {
+    std::string first;
+    for (int round = 0; round < 2; ++round) {
+      SystemSchedule schedule = clean.result.schedule;
+      Allocation allocation = clean.result.allocation;
+      SystemBinding binding = clean.binding;
+      auto fault_or = InjectFault(FaultPlan{kind, 42}, sys.model, schedule,
+                                  allocation, &binding);
+      if (!fault_or.ok()) {
+        // Inapplicable here (e.g. corrupt-local on a fully shared system);
+        // the matrix test guarantees coverage elsewhere.
+        EXPECT_EQ(fault_or.status().code(), StatusCode::kFailedPrecondition);
+        break;
+      }
+      if (round == 0)
+        first = fault_or.value().description;
+      else
+        EXPECT_EQ(first, fault_or.value().description);
+    }
+  }
+}
+
+TEST(FaultInjection, SwapBindingNeedsABindingArtifact) {
+  SystemModel model = Compile(kTinyDesign);
+  Artifacts a = ScheduleAndBind(model);
+  auto fault_or =
+      InjectFault(FaultPlan{FaultKind::kSwapBinding, 1}, model,
+                  a.result.schedule, a.result.allocation, nullptr);
+  ASSERT_FALSE(fault_or.ok());
+  EXPECT_EQ(fault_or.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultInjection, PoolFaultsInapplicableOnLocalOnlyWorkloads) {
+  PaperSystemOptions local;
+  local.make_global = false;
+  PaperSystem sys = BuildPaperSystem(local);
+  Artifacts a = ScheduleAndBind(sys.model);
+  for (FaultKind kind :
+       {FaultKind::kPerturbPeriod, FaultKind::kOversubscribeResidue}) {
+    auto fault_or = InjectFault(FaultPlan{kind, 1}, sys.model,
+                                a.result.schedule, a.result.allocation,
+                                &a.binding);
+    ASSERT_FALSE(fault_or.ok()) << FaultKindName(kind);
+    EXPECT_EQ(fault_or.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+// ----------------------------------------------------- fault spec parse --
+
+TEST(FaultInjection, ParseFaultSpecAcceptsKindAndSeed) {
+  auto plan_or = ParseFaultSpec("perturb-period:99");
+  ASSERT_TRUE(plan_or.ok());
+  EXPECT_EQ(plan_or.value().kind, FaultKind::kPerturbPeriod);
+  EXPECT_EQ(plan_or.value().seed, 99u);
+
+  plan_or = ParseFaultSpec("shift-op");
+  ASSERT_TRUE(plan_or.ok());
+  EXPECT_EQ(plan_or.value().kind, FaultKind::kShiftOp);
+  EXPECT_EQ(plan_or.value().seed, 1u);
+}
+
+TEST(FaultInjection, ParseFaultSpecRejectsGarbage) {
+  EXPECT_EQ(ParseFaultSpec("melt-cpu").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseFaultSpec("shift-op:notanumber").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseFaultSpec("shift-op:12x").status().code(),
+            StatusCode::kParseError);
+}
+
+// ------------------------------------------------- structural certifier --
+
+TEST(Certifier, TruncatedSystemScheduleIsIncomplete) {
+  SystemModel model = Compile(kTinyDesign);
+  Artifacts a = ScheduleAndBind(model);
+  SystemSchedule truncated = a.result.schedule;
+  truncated.blocks.pop_back();
+  const CertificateReport report =
+      CertifySchedule(model, truncated, a.result.allocation);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(ViolationKind::kIncompleteSchedule));
+}
+
+TEST(Certifier, UnscheduledOpIsIncomplete) {
+  SystemModel model = Compile(kTinyDesign);
+  Artifacts a = ScheduleAndBind(model);
+  a.result.schedule.blocks[0].set_start(OpId{0}, -1);
+  const CertificateReport report =
+      CertifySchedule(model, a.result.schedule, a.result.allocation);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(ViolationKind::kIncompleteSchedule));
+}
+
+TEST(Certifier, MisshapenLocalTableIsMalformed) {
+  SystemModel model = Compile(kTinyDesign);
+  Artifacts a = ScheduleAndBind(model);
+  a.result.allocation.local.pop_back();
+  const CertificateReport report =
+      CertifySchedule(model, a.result.schedule, a.result.allocation);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(ViolationKind::kMalformedArtifact));
+}
+
+TEST(Certifier, DeadlineViolationIsReported) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  const ProcessId p = model.AddProcess("tight", /*deadline=*/8);
+  DataFlowGraph g;
+  const OpId a = g.AddOp(t.add);
+  const OpId b = g.AddOp(t.add);
+  g.AddEdge(a, b);
+  ASSERT_TRUE(g.Validate().ok());
+  const BlockId bid = model.AddBlock(p, "main", std::move(g), 10);
+  ASSERT_TRUE(model.Validate().ok());
+  Artifacts art = ScheduleAndBind(model);
+  // Finishing inside the time range but past the declared deadline.
+  art.result.schedule.of(bid).set_start(b, 9);
+  const CertificateReport report =
+      CertifySchedule(model, art.result.schedule, art.result.allocation);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(ViolationKind::kDeadlineViolation));
+  EXPECT_FALSE(report.Has(ViolationKind::kRangeViolation));
+}
+
+TEST(Certifier, PhaseOutsideGridIsMisaligned) {
+  SystemModel model = Compile(kTinyDesign);  // grid spacing 5
+  Artifacts a = ScheduleAndBind(model);
+  model.mutable_block(BlockId{0}).phase = 7;
+  const CertificateReport report =
+      CertifySchedule(model, a.result.schedule, a.result.allocation);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(ViolationKind::kGridMisalignment));
+}
+
+TEST(Certifier, MaxViolationsCapsTheReport) {
+  SystemModel model = Compile(kTinyDesign);
+  Artifacts a = ScheduleAndBind(model);
+  for (BlockSchedule& s : a.result.schedule.blocks)
+    for (std::size_t op = 0; op < s.size(); ++op)
+      s.set_start(OpId{static_cast<int>(op)}, -1);
+  CertifierOptions options;
+  options.max_violations = 3;
+  const CertificateReport report = CertifySchedule(
+      model, a.result.schedule, a.result.allocation, nullptr, options);
+  EXPECT_EQ(report.violations.size(), 3u);
+}
+
+TEST(Certifier, ViolationToStringNamesTheCoordinates) {
+  SystemModel model = Compile(kTinyDesign);
+  Artifacts a = ScheduleAndBind(model);
+  SystemSchedule bad = a.result.schedule;
+  Allocation alloc = a.result.allocation;
+  auto fault_or = InjectFault(FaultPlan{FaultKind::kShiftOp, 1}, model, bad,
+                              alloc, nullptr);
+  ASSERT_TRUE(fault_or.ok());
+  const CertificateReport report = CertifySchedule(model, bad, alloc);
+  ASSERT_FALSE(report.ok());
+  const std::string line = report.violations.front().ToString(model);
+  EXPECT_NE(line.find("range-violation"), std::string::npos) << line;
+  EXPECT_NE(line.find("block"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace mshls
