@@ -1,0 +1,86 @@
+// Experiment F3 — fuzz campaign throughput and oracle cost breakdown.
+//
+// Runs a fixed campaign (400 cases, seed 1) several times with different
+// oracle subsets enabled and reports cases/sec per configuration, so the
+// relative cost of each oracle family (certify, exact bound, metamorphic,
+// cache replay) can be eyeballed in a log. The last row is the full
+// battery — the configuration `mshlsc --fuzz` and scripts/check.sh run.
+#include <chrono>
+#include <cstdio>
+
+#include "common/text_table.h"
+#include "fuzz/fuzzer.h"
+
+using namespace mshls;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Config {
+  const char* name;
+  bool certify, exact, metamorphic, replay;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kCases = 400;
+  const Config configs[] = {
+      {"generate+schedule", false, false, false, false},
+      {"+certify", true, false, false, false},
+      {"+exact-bound", true, true, false, false},
+      {"+metamorphic", true, true, true, false},
+      {"+cache-replay (full)", true, true, true, true},
+  };
+
+  TextTable table;
+  table.SetHeader({"oracles", "cases", "failures", "ms", "cases/sec"});
+  for (const Config& cfg : configs) {
+    FuzzOptions options;
+    options.cases = kCases;
+    options.seed = 1;
+    options.jobs = 1;
+    options.repro_dir.clear();
+    options.oracles.run_certify = cfg.certify;
+    options.oracles.run_exact = cfg.exact;
+    options.oracles.run_metamorphic = cfg.metamorphic;
+    options.oracles.run_replay = cfg.replay;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto report = RunFuzz(options);
+    const double ms = MsSince(t0);
+    if (!report.ok()) {
+      std::fprintf(stderr, "campaign failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({cfg.name, std::to_string(kCases),
+                  std::to_string(report.value().failures),
+                  std::to_string(static_cast<long>(ms)),
+                  std::to_string(static_cast<long>(kCases * 1000.0 / ms))});
+  }
+  std::printf("%s", table.Render().c_str());
+
+  // Parallel fan-out: the same full battery at --jobs 8.
+  FuzzOptions options;
+  options.cases = kCases;
+  options.seed = 1;
+  options.jobs = 8;
+  options.repro_dir.clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = RunFuzz(options);
+  const double ms = MsSince(t0);
+  if (!report.ok() || !report.value().ok()) {
+    std::fprintf(stderr, "parallel campaign failed\n");
+    return 1;
+  }
+  std::printf("full battery at jobs=8: %ld ms (%ld cases/sec)\n",
+              static_cast<long>(ms),
+              static_cast<long>(kCases * 1000.0 / ms));
+  return 0;
+}

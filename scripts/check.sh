@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Sanitizer sweep for the robustness-critical subsystems: builds the tree
-# with -DMSHLS_SANITIZE=address and =undefined and runs the `verify` and
-# `engine` ctest labels (certifier, fault injection, degradation ladder,
-# thread pool / job service) under each. The certifier's whole contract is
-# "never crash on corrupted artifacts", so it is exercised under the
-# sanitizers that would catch the silent out-of-bounds read behind a wrong
-# verdict.
+# with -DMSHLS_SANITIZE=address and =undefined and runs the `verify`,
+# `engine` and `fuzz` ctest labels (certifier, fault injection, degradation
+# ladder, thread pool / job service, generative fuzzer) under each, plus a
+# bounded differential fuzz campaign through the CLI. The certifier's whole
+# contract is "never crash on corrupted artifacts", so it is exercised under
+# the sanitizers that would catch the silent out-of-bounds read behind a
+# wrong verdict; the fuzz campaign feeds both it and the frontend hundreds
+# of generated and mutated inputs while those sanitizers watch.
 #
 # Usage: scripts/check.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -19,7 +21,9 @@ for san in address undefined; do
   cmake -B "${build}" -S . -DMSHLS_SANITIZE="${san}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j "${jobs}" > /dev/null
-  ctest --test-dir "${build}" -L 'verify|engine' --output-on-failure \
+  ctest --test-dir "${build}" -L 'verify|engine|fuzz' --output-on-failure \
         -j "${jobs}"
+  "${build}/src/tools/mshlsc" --fuzz 50:1 --jobs 2 \
+        --fuzz-dir "${build}/fuzz-check"
 done
 echo "==> all sanitizer runs passed"

@@ -2,8 +2,18 @@
 // tests. A fixed, documented algorithm (splitmix64 + xoshiro-style mixing)
 // keeps generated graphs identical across platforms and standard libraries,
 // which std::mt19937 + distribution objects do not guarantee.
+//
+// Bounded draws use Lemire's multiply-shift rejection sampling (Lemire,
+// "Fast Random Integer Generation in an Interval", 2019) instead of the
+// classic `% span`, which is biased toward the low end of the range for
+// spans that do not divide 2^64. The bias is tiny at 64 bits, but the fuzz
+// generator leans on NextInt for every structural choice, so the draws are
+// exact. Changing the sampling changes every derived stream; all generated
+// corpora (workloads, fuzz cases, activation traces) regenerate from their
+// seeds, so no stored artifact depends on the old stream.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 namespace mshls {
@@ -20,10 +30,46 @@ class Rng {
     return z ^ (z >> 31);
   }
 
+  /// Uniform integer in [0, span), unbiased; requires span >= 1.
+  std::uint64_t NextBounded(std::uint64_t span) {
+    assert(span >= 1);
+#if defined(__SIZEOF_INT128__)
+    // Lemire multiply-shift: map x to x*span >> 64 and reject the draws
+    // whose low word falls under 2^64 mod span (the over-represented slice).
+    std::uint64_t x = NextU64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * span;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < span) {
+      const std::uint64_t threshold = (0 - span) % span;  // 2^64 mod span
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<unsigned __int128>(x) * span;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+#else
+    // Portable fallback: power-of-two mask rejection (also unbiased).
+    std::uint64_t mask = span - 1;
+    mask |= mask >> 1;
+    mask |= mask >> 2;
+    mask |= mask >> 4;
+    mask |= mask >> 8;
+    mask |= mask >> 16;
+    mask |= mask >> 32;
+    for (;;) {
+      const std::uint64_t v = NextU64() & mask;
+      if (v < span) return v;
+    }
+#endif
+  }
+
   /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
   int NextInt(int lo, int hi) {
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<int>(NextU64() % span);
+    assert(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+    return lo + static_cast<int>(NextBounded(span));
   }
 
   /// Uniform double in [0, 1).

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "model/system_model.h"
 
@@ -15,5 +16,11 @@ namespace mshls {
 /// than two predecessors use the call form with their resource name.
 /// Operands that are block inputs are named in<op>_<slot>.
 [[nodiscard]] std::string EmitSystemText(const SystemModel& model);
+
+/// Same, prefixed with one '#' comment line per entry of `header` — used by
+/// the fuzz harness to stamp repro files with their seed and failing oracle
+/// so a minimized case stays reproducible from its text alone.
+[[nodiscard]] std::string EmitSystemText(const SystemModel& model,
+                                         const std::vector<std::string>& header);
 
 }  // namespace mshls

@@ -1,6 +1,7 @@
 #include "frontend/lexer.h"
 
 #include <cctype>
+#include <limits>
 
 namespace mshls {
 
@@ -73,8 +74,14 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i;
       long value = 0;
+      constexpr long kMax = std::numeric_limits<long>::max();
       while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
-        value = value * 10 + (source[j] - '0');
+        const long digit = source[j] - '0';
+        if (value > (kMax - digit) / 10)
+          return Status{StatusCode::kParseError,
+                        "line " + std::to_string(line) +
+                            ": integer literal overflows"};
+        value = value * 10 + digit;
         ++j;
       }
       tok.kind = TokenKind::kInt;

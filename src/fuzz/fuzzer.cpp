@@ -1,0 +1,245 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "engine/thread_pool.h"
+#include "frontend/emitter.h"
+#include "fuzz/model_spec.h"
+
+namespace mshls {
+namespace {
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// Narrows the oracle battery to one failure family — the shrink predicate
+/// re-runs only the family being minimized (a full battery per candidate
+/// would dominate the shrink budget).
+OracleOptions NarrowTo(OracleOptions options, OracleKind kind) {
+  options.run_certify = kind == OracleKind::kCertify;
+  options.run_exact = kind == OracleKind::kExactBound;
+  options.run_metamorphic = kind == OracleKind::kMetamorphic;
+  options.run_replay = kind == OracleKind::kCacheReplay;
+  return options;
+}
+
+bool FailsWith(const CaseOutcome& outcome, OracleKind kind) {
+  for (const OracleFailure& f : outcome.failures)
+    if (f.kind == kind) return true;
+  return false;
+}
+
+struct Slot {
+  GeneratedCase gen;
+  CaseOutcome outcome;
+};
+
+/// Minimizes one finding and writes it as a replayable .hls design.
+/// Returns the path, or an error when the directory/file is unwritable.
+StatusOr<std::string> PersistFinding(const Slot& slot, int index,
+                                     const FuzzOptions& options,
+                                     int* shrink_attempts, int* final_ops) {
+  const std::uint64_t cs = slot.outcome.seed;
+  const CaseClass cls = slot.gen.cls;
+  const FaultPlan* plan =
+      options.inject.has_value() ? &*options.inject : nullptr;
+
+  SpecPredicate keep;
+  if (plan != nullptr) {
+    const OracleOptions narrowed =
+        NarrowTo(options.oracles, OracleKind::kCertify);
+    keep = [&, narrowed](const ModelSpec& s) {
+      StatusOr<SystemModel> m = BuildModel(s);
+      if (!m.ok()) return false;
+      const CaseOutcome co =
+          RunCaseOracles(m.value(), cs, cls, narrowed, plan);
+      return co.inject_applicable && co.inject_caught;
+    };
+  } else {
+    const OracleKind kind = slot.outcome.failures.front().kind;
+    const OracleOptions narrowed = NarrowTo(options.oracles, kind);
+    keep = [&, narrowed, kind](const ModelSpec& s) {
+      StatusOr<SystemModel> m = BuildModel(s);
+      if (!m.ok()) return false;
+      return FailsWith(RunCaseOracles(m.value(), cs, cls, narrowed, nullptr),
+                       kind);
+    };
+  }
+
+  // Shrink when the original spec is buildable and reproduces; otherwise
+  // (e.g. an infeasible-class model, which BuildModel rejects by design)
+  // the un-shrunk original is persisted.
+  const ModelSpec original = ExtractSpec(slot.gen.model);
+  const SystemModel* to_emit = &slot.gen.model;
+  SystemModel shrunk_model;
+  *shrink_attempts = 0;
+  if (options.shrink && BuildModel(original).ok() && keep(original)) {
+    ShrinkResult shrunk =
+        ShrinkSpec(original, keep, options.shrink_options);
+    *shrink_attempts = shrunk.attempts;
+    StatusOr<SystemModel> m = BuildModel(shrunk.spec);
+    if (m.ok()) {
+      shrunk_model = std::move(m).value();
+      to_emit = &shrunk_model;
+    }
+  }
+  int ops = 0;
+  for (const Block& b : to_emit->blocks())
+    ops += static_cast<int>(b.graph.op_count());
+  *final_ops = ops;
+
+  std::vector<std::string> header;
+  header.push_back("fuzz repro (replayable with: mshlsc <this file>)");
+  header.push_back("run seed " + std::to_string(options.seed) + ", case " +
+                   std::to_string(index) + ", case seed " +
+                   std::to_string(cs) + ", class " +
+                   std::string(CaseClassName(cls)));
+  if (plan != nullptr) {
+    header.push_back(
+        std::string("injected fault ") + FaultKindName(plan->kind) + ":" +
+        std::to_string(plan->seed) + " — certifier caught it; minimized " +
+        "while still caught");
+  }
+  for (const OracleFailure& f : slot.outcome.failures)
+    header.push_back(std::string("FAIL ") + OracleKindName(f.kind) + ": " +
+                     f.detail);
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.repro_dir, ec);
+  if (ec)
+    return Status{StatusCode::kInternal,
+                  "cannot create repro directory '" + options.repro_dir +
+                      "': " + ec.message()};
+  const std::string path =
+      (std::filesystem::path(options.repro_dir) /
+       ("fuzz-" + std::to_string(options.seed) + "-case" +
+        std::to_string(index) + ".hls"))
+          .string();
+  std::ofstream out(path, std::ios::trunc);
+  out << EmitSystemText(*to_emit, header);
+  if (!out.good())
+    return Status{StatusCode::kInternal, "cannot write '" + path + "'"};
+  return path;
+}
+
+}  // namespace
+
+std::uint64_t FuzzCaseSeed(std::uint64_t run_seed, int index) {
+  // One splitmix step over a run-seed-keyed counter: neighbouring indices
+  // map to unrelated generator streams.
+  Rng rng(run_seed + 0x9E3779B97F4A7C15ULL *
+                         static_cast<std::uint64_t>(index + 1));
+  return rng.NextU64();
+}
+
+Status ParseFuzzSpec(const std::string& spec, int* cases,
+                     std::uint64_t* seed) {
+  const std::size_t colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  std::uint64_t n = 0;
+  if (!ParseU64(head, &n) || n < 1 || n > 1'000'000'000)
+    return Status{StatusCode::kParseError,
+                  "bad fuzz case count '" + head + "' (want n >= 1)"};
+  *cases = static_cast<int>(n);
+  *seed = 1;
+  if (colon != std::string::npos &&
+      !ParseU64(spec.substr(colon + 1), seed))
+    return Status{StatusCode::kParseError,
+                  "bad fuzz seed in '" + spec + "' (want <n>[:<seed>])"};
+  return Status::Ok();
+}
+
+std::string FuzzReport::Summary() const {
+  std::string out = "fuzz: " + std::to_string(cases) + " cases (" +
+                    std::to_string(clean) + " clean, " +
+                    std::to_string(infeasible) + " infeasible, " +
+                    std::to_string(grid_hostile) + " grid-hostile), " +
+                    std::to_string(feasible) + " feasible, " +
+                    std::to_string(exact_checked) + " exact-checked, " +
+                    std::to_string(replay_checked) + " replay-checked";
+  if (inject_mode)
+    out += ", inject " + std::to_string(inject_caught) + "/" +
+           std::to_string(inject_applicable) + " caught";
+  out += ", " + std::to_string(failures) + " oracle failure(s)";
+  if (!repro_paths.empty())
+    out += ", " + std::to_string(repro_paths.size()) + " repro(s) written";
+  return out;
+}
+
+StatusOr<FuzzReport> RunFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  report.inject_mode = options.inject.has_value();
+  const int n = std::max(0, options.cases);
+  report.cases = n;
+
+  // Phase 1: each case runs independently into its own slot; with jobs > 1
+  // the engine pool fans out, and because nothing below depends on
+  // completion order the report stays bit-identical to the serial run.
+  std::vector<Slot> slots(static_cast<std::size_t>(n));
+  const FaultPlan* plan =
+      options.inject.has_value() ? &*options.inject : nullptr;
+  const auto run_case = [&](std::size_t i) -> Status {
+    const std::uint64_t cs =
+        FuzzCaseSeed(options.seed, static_cast<int>(i));
+    slots[i].gen = GenerateSystem(cs, options.gen);
+    slots[i].outcome = RunCaseOracles(slots[i].gen.model, cs,
+                                      slots[i].gen.cls, options.oracles, plan);
+    return Status::Ok();
+  };
+  if (options.jobs > 1) {
+    ThreadPool pool(options.jobs);
+    if (Status st = ParallelFor(&pool, slots.size(), run_case); !st.ok())
+      return st;
+  } else {
+    if (Status st = ParallelFor(nullptr, slots.size(), run_case); !st.ok())
+      return st;
+  }
+
+  // Phase 2: serial reduction in index order — log, counters, shrinking.
+  int persisted = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const CaseOutcome& o = slots[i].outcome;
+    report.log.push_back(o.LogLine(static_cast<int>(i)));
+    switch (slots[i].gen.cls) {
+      case CaseClass::kClean: ++report.clean; break;
+      case CaseClass::kInfeasible: ++report.infeasible; break;
+      case CaseClass::kGridHostile: ++report.grid_hostile; break;
+    }
+    if (o.feasible) ++report.feasible;
+    if (o.exact_checked) ++report.exact_checked;
+    if (o.replay_checked) ++report.replay_checked;
+    if (o.inject_applicable) ++report.inject_applicable;
+    if (o.inject_caught) ++report.inject_caught;
+    if (!o.ok()) ++report.failures;
+
+    // Differential mode persists failures; the injection drill persists
+    // caught faults (the miss IS the failure there).
+    const bool target = report.inject_mode
+                            ? (o.inject_applicable && o.inject_caught)
+                            : !o.ok();
+    if (target && persisted < options.max_repros &&
+        !options.repro_dir.empty()) {
+      ++persisted;
+      int attempts = 0;
+      int ops = 0;
+      StatusOr<std::string> path = PersistFinding(
+          slots[i], static_cast<int>(i), options, &attempts, &ops);
+      if (!path.ok()) return path.status();
+      report.repro_paths.push_back(path.value());
+      report.log.push_back("repro " + path.value() + " ops=" +
+                           std::to_string(ops) + " shrink-attempts=" +
+                           std::to_string(attempts));
+    }
+  }
+  return report;
+}
+
+}  // namespace mshls

@@ -1,0 +1,94 @@
+// Differential fuzz driver: generate -> oracle -> shrink -> persist.
+//
+// RunFuzz derives every case seed purely from (run seed, case index), runs
+// the oracle battery over the cases — fanning out over the engine's
+// deterministic thread pool when jobs > 1 — and serially post-processes the
+// per-index outcome slots in canonical order: the log, the failure counts
+// and the shrunken repro files are therefore byte-identical for any --jobs
+// width and across repeated runs (the determinism tests pin this down).
+//
+// A finding is minimized with the greedy delta-debugging shrinker under
+// "the same oracle family still fails" and written to `repro_dir` as a
+// self-contained .hls design (the frontend round-trips it), headed by the
+// run seed, case seed and failure description needed to replay it.
+//
+// With an injection plan the roles flip: every feasible clean case's
+// artifacts are corrupted post-schedule (a simulated scheduler defect) and
+// the certifier must catch the expected violation kind. A *miss* is the
+// failure; a catch is shrunk to a minimal still-caught repro — the
+// acceptance drill for "an intentionally reintroduced bug is found and
+// minimized".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrinker.h"
+#include "verify/fault_injection.h"
+
+namespace mshls {
+
+struct FuzzOptions {
+  int cases = 100;
+  std::uint64_t seed = 1;
+  /// Worker threads for the case fan-out; <= 1 runs serially. The report
+  /// is bit-identical for any width.
+  int jobs = 1;
+  FuzzGenOptions gen;
+  OracleOptions oracles;
+  /// Injection drill (see above); nullopt = differential mode.
+  std::optional<FaultPlan> inject;
+  /// Where shrunk repros are written; empty disables persistence.
+  std::string repro_dir = "fuzz-repros";
+  /// Cap on shrunk/persisted findings per run (shrinking is the expensive
+  /// part; later findings are still logged and counted).
+  int max_repros = 4;
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+};
+
+struct FuzzReport {
+  int cases = 0;
+  int clean = 0;
+  int infeasible = 0;
+  int grid_hostile = 0;
+  int feasible = 0;
+  int exact_checked = 0;
+  int replay_checked = 0;
+  int inject_applicable = 0;
+  int inject_caught = 0;
+  int failures = 0;  // cases with at least one oracle failure
+  bool inject_mode = false;
+  /// One deterministic line per case, in index order.
+  std::vector<std::string> log;
+  /// Repro files written (in case-index order).
+  std::vector<std::string> repro_paths;
+
+  /// Differential mode: no failures. Injection mode: additionally at least
+  /// one applicable fault must have been caught (a drill where the fault
+  /// never applied proves nothing).
+  [[nodiscard]] bool ok() const {
+    return failures == 0 && (!inject_mode || inject_caught > 0);
+  }
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Case seed for (run seed, index) — splitmix-derived so neighbouring
+/// indices land in unrelated regions of the generator's space.
+[[nodiscard]] std::uint64_t FuzzCaseSeed(std::uint64_t run_seed, int index);
+
+/// Parses "<n>[:<seed>]" (e.g. "500", "500:7"). n >= 1.
+[[nodiscard]] Status ParseFuzzSpec(const std::string& spec, int* cases,
+                                   std::uint64_t* seed);
+
+/// Runs the fuzz campaign. Only returns non-OK on environment errors
+/// (repro directory not writable); oracle failures are reported in the
+/// FuzzReport, not as a Status.
+[[nodiscard]] StatusOr<FuzzReport> RunFuzz(const FuzzOptions& options);
+
+}  // namespace mshls

@@ -1,0 +1,223 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/math_util.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+/// Blocks are generated before their process exists (the deadline depends
+/// on the block ranges and SystemModel has no process mutator), so they
+/// are staged here first.
+struct StagedBlock {
+  DataFlowGraph graph;
+  int time_range = 0;
+};
+
+int CriticalPath(const DataFlowGraph& g, const ResourceLibrary& lib) {
+  return g.CriticalPathLength(
+      [&](OpId op) { return lib.type(g.op(op).type).delay; });
+}
+
+}  // namespace
+
+const char* CaseClassName(CaseClass cls) {
+  switch (cls) {
+    case CaseClass::kClean: return "clean";
+    case CaseClass::kInfeasible: return "infeasible";
+    case CaseClass::kGridHostile: return "grid-hostile";
+  }
+  return "?";
+}
+
+GeneratedCase GenerateSystem(std::uint64_t seed,
+                             const FuzzGenOptions& options) {
+  Rng rng(seed);
+  GeneratedCase out;
+  out.seed = seed;
+  SystemModel& model = out.model;
+
+  // Library: the paper's add/sub/mult plus optional non-pipelined units so
+  // dii > 1 occupancy paths are swept too.
+  const PaperTypes t = AddPaperTypes(model.library());
+  std::vector<std::pair<ResourceTypeId, double>> mix = {
+      {t.add, 0.35}, {t.sub, 0.2}, {t.mult, options.mult_probability}};
+  if (rng.NextBool(options.div_probability))
+    mix.emplace_back(model.library().AddSimple("div", 3, 8), 0.12);
+  if (rng.NextBool(options.acc_probability))
+    mix.emplace_back(model.library().AddSimple("acc", 2, 6), 0.1);
+
+  // One system unit divides every block time range, so divisors of the
+  // unit are always eq.-3 compatible periods (lcm of divisors of u
+  // divides u, and u divides every range).
+  const int unit = rng.NextInt(2, 6);
+  const int nproc = rng.NextInt(1, std::max(1, options.max_processes));
+  for (int p = 0; p < nproc; ++p) {
+    const int nblocks =
+        rng.NextInt(1, std::max(1, options.max_blocks_per_process));
+    std::vector<StagedBlock> staged;
+    int max_range = 0;
+    for (int b = 0; b < nblocks; ++b) {
+      RandomDfgOptions ro;
+      ro.ops = rng.NextInt(options.min_ops_per_block,
+                           std::max(options.min_ops_per_block,
+                                    options.max_ops_per_block));
+      ro.layers = rng.NextInt(2, std::max(2, std::min(5, ro.ops)));
+      ro.edge_probability = options.edge_probability;
+      ro.type_mix = mix;
+      DataFlowGraph g = BuildRandomDfg(t, rng, ro);
+      const Status vs = g.Validate();
+      assert(vs.ok() && "layered random DAG must validate");
+      (void)vs;
+      const int cp = CriticalPath(g, model.library());
+      const int range = static_cast<int>(
+          CeilDiv(cp + rng.NextInt(0, std::max(0, options.max_stretch)),
+                  unit) *
+          unit);
+      staged.push_back(StagedBlock{std::move(g), std::max(range, unit)});
+      max_range = std::max(max_range, staged.back().time_range);
+    }
+    const int deadline = rng.NextBool(options.deadline_probability)
+                             ? max_range + unit * rng.NextInt(0, 2)
+                             : 0;
+    const ProcessId pid =
+        model.AddProcess("p" + std::to_string(p), deadline);
+    for (std::size_t b = 0; b < staged.size(); ++b)
+      model.AddBlock(pid, "p" + std::to_string(p) + "b" + std::to_string(b),
+                     std::move(staged[b].graph), staged[b].time_range);
+  }
+
+  // S1/S2: global assignment over a random subset of each type's users,
+  // periods drawn from the divisors of the unit (eq.-3 compatible).
+  const std::vector<std::int64_t> divisors = DivisorsOf(unit);
+  for (const ResourceType& type : model.library().types()) {
+    std::vector<ProcessId> users;
+    for (const Process& p : model.processes())
+      if (model.ProcessUsesType(p.id, type.id)) users.push_back(p.id);
+    if (users.size() < 2 || !rng.NextBool(options.share_probability))
+      continue;
+    if (users.size() > 2 && rng.NextBool(0.3))
+      users.erase(users.begin() + rng.NextInt(0, static_cast<int>(users.size()) - 1));
+    model.MakeGlobal(type.id, users);
+    model.SetPeriod(
+        type.id,
+        static_cast<int>(
+            divisors[rng.NextBounded(divisors.size())]));
+  }
+
+  // Phases on the resulting grid.
+  for (const Block& b : model.blocks()) {
+    const std::int64_t grid = model.GridSpacing(b.process);
+    if (grid > 1 && rng.NextBool(options.phase_probability))
+      model.mutable_block(b.id).phase =
+          rng.NextInt(0, static_cast<int>(grid) - 1);
+  }
+
+  // Adversarial class mutation.
+  const double class_draw = rng.NextDouble();
+  if (class_draw < options.infeasible_probability) {
+    // Squeeze one block below its critical path — must be rejected with a
+    // typed kInfeasible, never scheduled and never crashed on.
+    std::vector<BlockId> eligible;
+    for (const Block& b : model.blocks())
+      if (CriticalPath(b.graph, model.library()) >= 2)
+        eligible.push_back(b.id);
+    if (!eligible.empty()) {
+      const BlockId victim = eligible[rng.NextBounded(eligible.size())];
+      model.mutable_block(victim).time_range =
+          CriticalPath(model.block(victim).graph, model.library()) - 1;
+      out.cls = CaseClass::kInfeasible;
+      return out;
+    }
+  } else if (class_draw <
+             options.infeasible_probability + options.grid_hostile_probability) {
+    // Misdeclare one pool's period so the grid cannot tile the smallest
+    // user time range: the model validates and schedules, but eq. 2/3 is
+    // unsatisfiable and the certifier must say so (kGridMisalignment).
+    const std::vector<ResourceTypeId> globals = model.GlobalTypes();
+    if (!globals.empty()) {
+      const ResourceTypeId g = globals[rng.NextBounded(globals.size())];
+      int min_range = 0;
+      for (ProcessId p : model.GlobalUsers(g))
+        for (BlockId bid : model.process(p).blocks)
+          min_range = min_range == 0
+                          ? model.block(bid).time_range
+                          : std::min(min_range, model.block(bid).time_range);
+      if (min_range >= 1) {
+        model.SetPeriod(g, min_range + 1);
+        // The grid of affected processes changed; re-clamp phases so the
+        // model still validates (hostility lives in eq. 2/3, not in the
+        // phase range check).
+        for (const Block& b : model.blocks()) {
+          const std::int64_t grid = model.GridSpacing(b.process);
+          if (grid > 1)
+            model.mutable_block(b.id).phase =
+                static_cast<int>(model.block(b.id).phase % grid);
+          else
+            model.mutable_block(b.id).phase = 0;
+        }
+        out.cls = CaseClass::kGridHostile;
+        return out;
+      }
+    }
+  }
+  out.cls = CaseClass::kClean;
+  return out;
+}
+
+std::string MutateText(std::string text, Rng& rng) {
+  if (text.empty()) return text;
+  const int mutations = 1 + rng.NextInt(0, 2);
+  for (int m = 0; m < mutations; ++m) {
+    if (text.empty()) break;
+    const std::size_t n = text.size();
+    switch (rng.NextInt(0, 5)) {
+      case 0:  // truncate
+        text.resize(rng.NextBounded(n));
+        break;
+      case 1: {  // delete a chunk
+        const std::size_t at = rng.NextBounded(n);
+        text.erase(at, 1 + rng.NextBounded(std::min<std::size_t>(n - at, 24)));
+        break;
+      }
+      case 2: {  // duplicate a chunk
+        const std::size_t at = rng.NextBounded(n);
+        const std::size_t len =
+            1 + rng.NextBounded(std::min<std::size_t>(n - at, 24));
+        text.insert(at, text.substr(at, len));
+        break;
+      }
+      case 3: {  // arbitrary byte flips, including NUL and non-ASCII
+        const int flips = 1 + rng.NextInt(0, 7);
+        for (int i = 0; i < flips; ++i)
+          text[rng.NextBounded(text.size())] =
+              static_cast<char>(rng.NextBounded(256));
+        break;
+      }
+      case 4: {  // token soup: syntactically plausible fragments misplaced
+        static constexpr const char* kTokens[] = {
+            "{", "}", ";", "(", ")", ",", "=", "process ", "block ",
+            "share ", "resource ", "using ", "period ", "time ",
+            "99999999999999999999", "-", "*"};
+        text.insert(rng.NextBounded(n + 1),
+                    kTokens[rng.NextBounded(std::size(kTokens))]);
+        break;
+      }
+      case 5: {  // swap two bytes
+        const std::size_t a = rng.NextBounded(n);
+        const std::size_t b = rng.NextBounded(n);
+        std::swap(text[a], text[b]);
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+}  // namespace mshls

@@ -1,0 +1,82 @@
+// Seeded random system-model generator for the differential fuzzer.
+//
+// One uint64 seed fully determines a case (all draws go through
+// common/rng.h, whose stream is platform-stable), so every fuzz finding is
+// reproducible from `<run seed, case index>` alone. The generator sweeps
+// the structure space the paper's method lives in: layered DAGs with a
+// controllable depth/width/delay mix (pipelined and non-pipelined types),
+// multi-block processes, local/global type assignment over random sharing
+// groups, eq.-3 compatible periods and start phases, and deadline
+// tightness. Two adversarial case classes are produced on purpose:
+//  * kInfeasible — a block time range below its critical path; the model
+//    must be *rejected cleanly* (typed kInfeasible, no crash);
+//  * kGridHostile — a declared period whose grid does not tile a user's
+//    time range (legal to schedule, but eq. 2/3 cannot hold); the
+//    certifier must flag kGridMisalignment, making the certifier's
+//    misdeclaration net a fuzzed negative oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "model/system_model.h"
+
+namespace mshls {
+
+enum class CaseClass {
+  kClean,        // valid + eq.-3 compatible: all four oracles must hold
+  kInfeasible,   // critical path exceeds a time range: clean rejection
+  kGridHostile,  // period does not tile a time range: certifier must flag
+};
+
+[[nodiscard]] const char* CaseClassName(CaseClass cls);
+
+struct FuzzGenOptions {
+  int max_processes = 3;
+  int max_blocks_per_process = 2;
+  int min_ops_per_block = 2;
+  int max_ops_per_block = 10;
+  /// Edge probability between adjacent DAG layers.
+  double edge_probability = 0.45;
+  /// Share of multiplications in the op mix (delay 2, pipelined).
+  double mult_probability = 0.3;
+  /// Probability that the library additionally carries a non-pipelined
+  /// divider (delay 3 = dii 3) respectively a call-form accumulator type,
+  /// and that ops draw them.
+  double div_probability = 0.25;
+  double acc_probability = 0.2;
+  /// Per shareable type: probability of a global assignment (S1) over a
+  /// random subset of its users.
+  double share_probability = 0.65;
+  /// Probability that a block on a non-trivial grid gets a nonzero phase.
+  double phase_probability = 0.4;
+  /// Probability that a process declares a deadline.
+  double deadline_probability = 0.6;
+  /// Deadline tightness: slack steps added to the critical path before
+  /// rounding the time range up onto the system unit.
+  int max_stretch = 8;
+  /// Adversarial class rates (checked in this order).
+  double infeasible_probability = 0.06;
+  double grid_hostile_probability = 0.05;
+};
+
+struct GeneratedCase {
+  std::uint64_t seed = 0;
+  CaseClass cls = CaseClass::kClean;
+  SystemModel model;
+};
+
+/// Generates one case; deterministic per (seed, options). The model is NOT
+/// yet Validate()d — kInfeasible cases would fail — the oracle runner owns
+/// validation and its expected verdict.
+[[nodiscard]] GeneratedCase GenerateSystem(std::uint64_t seed,
+                                           const FuzzGenOptions& options = {});
+
+/// Byte-level corruption of DSL text for the frontend error-path fuzz:
+/// truncation, chunk deletion/duplication/swap, byte flips (including
+/// non-ASCII) and token-soup insertion. Always returns a changed string
+/// unless the input is empty.
+[[nodiscard]] std::string MutateText(std::string text, Rng& rng);
+
+}  // namespace mshls

@@ -1,0 +1,112 @@
+#include "fuzz/model_spec.h"
+
+#include <utility>
+
+namespace mshls {
+
+int ModelSpec::TotalOps() const {
+  int n = 0;
+  for (const SpecProcess& p : processes)
+    for (const SpecBlock& b : p.blocks) n += static_cast<int>(b.ops.size());
+  return n;
+}
+
+int ModelSpec::TotalEdges() const {
+  int n = 0;
+  for (const SpecProcess& p : processes)
+    for (const SpecBlock& b : p.blocks) n += static_cast<int>(b.edges.size());
+  return n;
+}
+
+ModelSpec ExtractSpec(const SystemModel& model) {
+  ModelSpec spec;
+  for (const ResourceType& t : model.library().types())
+    spec.types.push_back(SpecType{t.name, t.delay, t.dii, t.area});
+  for (const Process& p : model.processes()) {
+    SpecProcess sp;
+    sp.name = p.name;
+    sp.deadline = p.deadline;
+    for (BlockId bid : p.blocks) {
+      const Block& b = model.block(bid);
+      SpecBlock sb;
+      sb.name = b.name;
+      sb.time_range = b.time_range;
+      sb.phase = b.phase;
+      for (const Operation& op : b.graph.ops())
+        sb.ops.push_back(SpecOp{op.type.value(), op.name});
+      for (const Edge& e : b.graph.edges())
+        sb.edges.push_back(
+            SpecEdge{static_cast<int>(e.from.index()),
+                     static_cast<int>(e.to.index())});
+      sp.blocks.push_back(std::move(sb));
+    }
+    spec.processes.push_back(std::move(sp));
+  }
+  for (ResourceTypeId g : model.GlobalTypes()) {
+    const TypeAssignment& a = model.assignment(g);
+    SpecShare share;
+    share.type = g.value();
+    for (ProcessId p : a.group)
+      share.processes.push_back(static_cast<int>(p.index()));
+    share.period = a.period;
+    spec.shares.push_back(std::move(share));
+  }
+  return spec;
+}
+
+StatusOr<SystemModel> BuildModel(const ModelSpec& spec) {
+  SystemModel model;
+  std::vector<ResourceTypeId> types;
+  for (const SpecType& t : spec.types)
+    types.push_back(model.library().AddType(t.name, t.delay, t.dii, t.area));
+
+  std::vector<ProcessId> processes;
+  for (const SpecProcess& p : spec.processes) {
+    const ProcessId pid = model.AddProcess(p.name, p.deadline);
+    processes.push_back(pid);
+    for (const SpecBlock& b : p.blocks) {
+      DataFlowGraph g;
+      std::vector<OpId> ops;
+      for (const SpecOp& o : b.ops) {
+        if (o.type < 0 || o.type >= static_cast<int>(types.size()))
+          return Status{StatusCode::kInvalidArgument,
+                        "spec block '" + b.name +
+                            "' references unknown type index " +
+                            std::to_string(o.type)};
+        ops.push_back(g.AddOp(types[static_cast<std::size_t>(o.type)], o.name));
+      }
+      for (const SpecEdge& e : b.edges) {
+        if (e.from < 0 || e.to < 0 ||
+            e.from >= static_cast<int>(ops.size()) ||
+            e.to >= static_cast<int>(ops.size()))
+          return Status{StatusCode::kInvalidArgument,
+                        "spec block '" + b.name + "' has a dangling edge"};
+        g.AddEdge(ops[static_cast<std::size_t>(e.from)],
+                  ops[static_cast<std::size_t>(e.to)]);
+      }
+      model.AddBlock(pid, b.name, std::move(g), b.time_range, b.phase);
+    }
+  }
+
+  for (const SpecShare& s : spec.shares) {
+    if (s.type < 0 || s.type >= static_cast<int>(types.size()))
+      return Status{StatusCode::kInvalidArgument,
+                    "spec share references unknown type index " +
+                        std::to_string(s.type)};
+    std::vector<ProcessId> group;
+    for (int idx : s.processes) {
+      if (idx < 0 || idx >= static_cast<int>(processes.size()))
+        return Status{StatusCode::kInvalidArgument,
+                      "spec share references unknown process index " +
+                          std::to_string(idx)};
+      group.push_back(processes[static_cast<std::size_t>(idx)]);
+    }
+    model.MakeGlobal(types[static_cast<std::size_t>(s.type)], std::move(group));
+    model.SetPeriod(types[static_cast<std::size_t>(s.type)], s.period);
+  }
+
+  if (Status st = model.Validate(); !st.ok()) return st;
+  return model;
+}
+
+}  // namespace mshls

@@ -1,0 +1,75 @@
+// Editable, index-based description of a SystemModel.
+//
+// SystemModel is build-once (ids are handed out on insertion and woven into
+// graphs, groups and blocks), which is right for the schedulers but wrong
+// for the fuzz harness: metamorphic transforms permute processes and rotate
+// phases, and the shrinker deletes ops/edges/blocks/processes one at a time.
+// ModelSpec is the editable intermediate: plain vectors with positional
+// references, extracted from a model and materialized back into a fresh,
+// validated one. Round trip: BuildModel(ExtractSpec(m)) is structurally
+// identical to m (same types, graphs, ranges, phases, S1/S2 state).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/system_model.h"
+
+namespace mshls {
+
+struct SpecOp {
+  int type = 0;  // index into ModelSpec::types
+  std::string name;
+};
+
+struct SpecEdge {
+  int from = 0;  // op indices within the owning block
+  int to = 0;
+};
+
+struct SpecBlock {
+  std::string name;
+  int time_range = 0;
+  int phase = 0;
+  std::vector<SpecOp> ops;
+  std::vector<SpecEdge> edges;
+};
+
+struct SpecProcess {
+  std::string name;
+  int deadline = 0;
+  std::vector<SpecBlock> blocks;
+};
+
+struct SpecType {
+  std::string name;
+  int delay = 1;
+  int dii = 1;
+  int area = 1;
+};
+
+struct SpecShare {
+  int type = 0;                 // index into types
+  std::vector<int> processes;   // indices into processes
+  int period = 1;
+};
+
+struct ModelSpec {
+  std::vector<SpecType> types;
+  std::vector<SpecProcess> processes;
+  std::vector<SpecShare> shares;
+
+  [[nodiscard]] int TotalOps() const;
+  [[nodiscard]] int TotalEdges() const;
+};
+
+/// Snapshot of a model (the model need not have been Validate()d yet; the
+/// graphs are read structurally).
+[[nodiscard]] ModelSpec ExtractSpec(const SystemModel& model);
+
+/// Materializes and validates. Structural errors (dangling indices, empty
+/// blocks) and model-level infeasibility come back as the status.
+[[nodiscard]] StatusOr<SystemModel> BuildModel(const ModelSpec& spec);
+
+}  // namespace mshls

@@ -1,0 +1,452 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bind/binding.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "fuzz/model_spec.h"
+#include "modulo/allocation.h"
+#include "modulo/coupled_scheduler.h"
+#include "modulo/period_search.h"
+#include "modulo/schedule_cache.h"
+#include "sched/exact_scheduler.h"
+#include "verify/certifier.h"
+
+namespace mshls {
+namespace {
+
+int TotalOps(const SystemModel& model) {
+  int n = 0;
+  for (const Block& b : model.blocks())
+    n += static_cast<int>(b.graph.op_count());
+  return n;
+}
+
+/// Bit-identical start times over structurally identical models.
+bool SchedulesEqual(const SystemModel& model, const SystemSchedule& a,
+                    const SystemSchedule& b) {
+  if (a.blocks.size() != b.blocks.size()) return false;
+  for (const Block& blk : model.blocks()) {
+    const BlockSchedule& sa = a.of(blk.id);
+    const BlockSchedule& sb = b.of(blk.id);
+    if (sa.size() != sb.size()) return false;
+    for (const Operation& op : blk.graph.ops())
+      if (sa.start(op.id) != sb.start(op.id)) return false;
+  }
+  return true;
+}
+
+void Fail(CaseOutcome& out, OracleKind kind, std::string detail) {
+  out.failures.push_back(OracleFailure{kind, std::move(detail)});
+}
+
+/// Full pipeline on a model copy: validate + schedule. Used by the
+/// metamorphic variants, which only need the verdict/result.
+struct PipelineRun {
+  bool valid = false;
+  bool feasible = false;
+  StatusCode code = StatusCode::kOk;
+  CoupledResult result;
+};
+
+PipelineRun RunPipeline(SystemModel model) {
+  PipelineRun run;
+  if (Status st = model.Validate(); !st.ok()) {
+    run.code = st.code();
+    return run;
+  }
+  run.valid = true;
+  StatusOr<CoupledResult> res = CoupledScheduler(model, CoupledParams{}).Run();
+  if (!res.ok()) {
+    run.code = res.status().code();
+    return run;
+  }
+  run.feasible = true;
+  run.result = std::move(res).value();
+  return run;
+}
+
+// ---- oracle (b): exact lower bound on small local-only systems ----------
+
+void CheckExactBound(const SystemModel& model, const CoupledResult& result,
+                     const OracleOptions& options, CaseOutcome& out) {
+  if (!model.GlobalTypes().empty()) return;
+  if (TotalOps(model) > options.exact_max_ops) return;
+  for (const Process& p : model.processes())
+    if (p.blocks.size() != 1) return;  // sum-of-blocks bound needs C2-free sums
+  int bound = 0;
+  for (const Block& b : model.blocks()) {
+    StatusOr<ExactResult> exact = ScheduleBlockExact(
+        b, model.library(), ExactOptions{options.exact_max_nodes});
+    if (!exact.ok() || !exact.value().proven_optimal) return;  // no verdict
+    bound += exact.value().area;
+  }
+  out.exact_checked = true;
+  const int area = result.allocation.TotalArea(model.library());
+  if (area < bound)
+    Fail(out, OracleKind::kExactBound,
+         "heuristic area " + std::to_string(area) +
+             " beats proven optimum " + std::to_string(bound));
+}
+
+// ---- oracle (c): metamorphic transforms over ModelSpec ------------------
+
+void CheckMetamorphic(const SystemModel& model, const CoupledResult& result,
+                      std::uint64_t seed, CaseOutcome& out) {
+  const ModelSpec spec = ExtractSpec(model);
+  const int base_area = result.allocation.TotalArea(model.library());
+
+  // c1: op renaming — names are diagnostics, the schedule must not move.
+  {
+    ModelSpec renamed = spec;
+    int counter = 0;
+    for (SpecProcess& p : renamed.processes)
+      for (SpecBlock& b : p.blocks)
+        for (SpecOp& o : b.ops) o.name = "r" + std::to_string(counter++);
+    StatusOr<SystemModel> m = BuildModel(renamed);
+    if (!m.ok()) {
+      Fail(out, OracleKind::kMetamorphic,
+           "c1 rename: rebuild failed: " + m.status().message());
+    } else {
+      PipelineRun run = RunPipeline(std::move(m).value());
+      if (!run.feasible)
+        Fail(out, OracleKind::kMetamorphic,
+             "c1 rename: feasibility flipped (" +
+                 std::string(StatusCodeName(run.code)) + ")");
+      else if (!SchedulesEqual(model, result.schedule, run.result.schedule))
+        Fail(out, OracleKind::kMetamorphic, "c1 rename: schedule moved");
+      else if (run.result.allocation.TotalArea(model.library()) != base_area)
+        Fail(out, OracleKind::kMetamorphic, "c1 rename: area changed");
+    }
+  }
+
+  // c2: process reversal — enumeration order feeds IFDS tie-breaking, so
+  // only the verdict is compared: still feasible, still certifies clean.
+  {
+    ModelSpec reversed = spec;
+    std::reverse(reversed.processes.begin(), reversed.processes.end());
+    const int n = static_cast<int>(reversed.processes.size());
+    for (SpecShare& s : reversed.shares)
+      for (int& idx : s.processes) idx = n - 1 - idx;
+    StatusOr<SystemModel> m = BuildModel(reversed);
+    if (!m.ok()) {
+      Fail(out, OracleKind::kMetamorphic,
+           "c2 reverse: rebuild failed: " + m.status().message());
+    } else {
+      SystemModel reordered = std::move(m).value();
+      PipelineRun run = RunPipeline(reordered);
+      if (!run.feasible) {
+        Fail(out, OracleKind::kMetamorphic,
+             "c2 reverse: feasibility flipped (" +
+                 std::string(StatusCodeName(run.code)) + ")");
+      } else {
+        (void)reordered.Validate();
+        const CertificateReport report = CertifyResult(reordered, run.result);
+        if (!report.ok())
+          Fail(out, OracleKind::kMetamorphic,
+               "c2 reverse: certificate dirty: " + report.Summary());
+      }
+    }
+  }
+
+  // c3: uniform time-origin rotation. Shifting every activation by a shared
+  // offset rotates all phases on their grids and every eq.-1 residue profile
+  // rotates with them, so the rotated problem is isomorphic to the original
+  // — but neither the schedule nor the heuristic area is invariant: IFDS
+  // tie-breaking keys on absolute residue indices, so equal-force
+  // candidates resolve differently and the greedy outcome can land on a
+  // different (better or worse) area — both observed on real cases. What
+  // must survive is the *verdict*: the rotated model still schedules and
+  // the result still certifies clean. This is the non-vacuous form of the
+  // "shift by lcm{lambda_g}" invariance: a shift by exactly the lcm is the
+  // identity on phases, a shift by delta < lcm is not.
+  {
+    std::vector<std::int64_t> grids;
+    for (const Process& p : model.processes())
+      grids.push_back(model.GridSpacing(p.id));
+    const std::int64_t lcm = LcmOf(grids);
+    if (lcm > 1) {
+      Rng rot(seed ^ 0xC3C3C3C3C3C3C3C3ULL);
+      const std::int64_t delta = 1 + static_cast<std::int64_t>(rot.NextBounded(
+                                         static_cast<std::uint64_t>(lcm - 1)));
+      ModelSpec rotated = spec;
+      for (std::size_t pi = 0; pi < rotated.processes.size(); ++pi) {
+        const std::int64_t grid = grids[pi];
+        if (grid <= 1) continue;
+        for (SpecBlock& b : rotated.processes[pi].blocks)
+          b.phase = static_cast<int>((b.phase + delta) % grid);
+      }
+      StatusOr<SystemModel> m = BuildModel(rotated);
+      if (!m.ok()) {
+        Fail(out, OracleKind::kMetamorphic,
+             "c3 rotate: rebuild failed: " + m.status().message());
+      } else {
+        SystemModel rotated_model = std::move(m).value();
+        PipelineRun run = RunPipeline(rotated_model);
+        if (!run.feasible) {
+          Fail(out, OracleKind::kMetamorphic,
+               "c3 rotate(+" + std::to_string(delta) +
+                   "): feasibility flipped (" +
+                   std::string(StatusCodeName(run.code)) + ")");
+        } else {
+          (void)rotated_model.Validate();
+          const CertificateReport report =
+              CertifyResult(rotated_model, run.result);
+          if (!report.ok())
+            Fail(out, OracleKind::kMetamorphic,
+                 "c3 rotate(+" + std::to_string(delta) +
+                     "): certificate dirty: " + report.Summary());
+        }
+      }
+    }
+  }
+}
+
+// ---- oracle (d): warm cache and parallel search replay ------------------
+
+void CheckCacheReplay(const SystemModel& model, const CoupledResult& result,
+                      const OracleOptions& options, CaseOutcome& out) {
+  const CoupledParams params{};
+  // Cold vs. warm single-model replay.
+  {
+    ScheduleCache cache;
+    SystemModel cold_model = model;
+    bool hit = false;
+    StatusOr<CoupledResult> cold =
+        ScheduleWithCache(cold_model, params, &cache, &hit);
+    if (!cold.ok() || hit) {
+      Fail(out, OracleKind::kCacheReplay, "cold run failed or spuriously hit");
+      return;
+    }
+    SystemModel warm_model = model;
+    StatusOr<CoupledResult> warm =
+        ScheduleWithCache(warm_model, params, &cache, &hit);
+    if (!warm.ok() || !hit) {
+      Fail(out, OracleKind::kCacheReplay, "warm run failed or missed");
+      return;
+    }
+    if (!SchedulesEqual(model, cold.value().schedule, warm.value().schedule) ||
+        !SchedulesEqual(model, result.schedule, warm.value().schedule)) {
+      Fail(out, OracleKind::kCacheReplay, "warm replay is not bit-identical");
+      return;
+    }
+    out.replay_checked = true;
+  }
+  // Parallel period search across --jobs widths, cold and warm per width.
+  // Phases are cleared first: the search sweeps period combinations whose
+  // grid can be smaller than a phase drawn against the declared grid, and
+  // such combinations are rightly rejected at validation — the search
+  // replay oracle probes determinism and caching, not phase feasibility.
+  if (model.GlobalTypes().empty() || options.replay_jobs.empty()) return;
+  SystemModel search_base = model;
+  for (const Block& b : search_base.blocks())
+    search_base.mutable_block(b.id).phase = 0;
+  bool have_reference = false;
+  std::vector<int> ref_periods;
+  int ref_area = 0;
+  SystemSchedule ref_schedule;
+  for (int jobs : options.replay_jobs) {
+    ScheduleCache cache;
+    PeriodSearchOptions so;
+    so.max_evaluations = options.search_max_evaluations;
+    so.jobs = jobs;
+    so.cache = &cache;
+    SystemModel cold_model = search_base;
+    StatusOr<PeriodSearchResult> cold = SearchPeriods(cold_model, params, so);
+    if (!cold.ok()) {
+      Fail(out, OracleKind::kCacheReplay,
+           "period search failed at jobs=" + std::to_string(jobs) + ": " +
+               cold.status().message());
+      return;
+    }
+    SystemModel warm_model = search_base;
+    StatusOr<PeriodSearchResult> warm = SearchPeriods(warm_model, params, so);
+    if (!warm.ok() ||
+        warm.value().periods != cold.value().periods ||
+        warm.value().area != cold.value().area ||
+        !SchedulesEqual(model, cold.value().best.schedule,
+                        warm.value().best.schedule)) {
+      Fail(out, OracleKind::kCacheReplay,
+           "warm period search diverged at jobs=" + std::to_string(jobs));
+      return;
+    }
+    if (warm.value().cache_hits != warm.value().evaluated) {
+      Fail(out, OracleKind::kCacheReplay,
+           "warm period search missed the cache at jobs=" +
+               std::to_string(jobs));
+      return;
+    }
+    if (!have_reference) {
+      have_reference = true;
+      ref_periods = cold.value().periods;
+      ref_area = cold.value().area;
+      ref_schedule = cold.value().best.schedule;
+    } else if (cold.value().periods != ref_periods ||
+               cold.value().area != ref_area ||
+               !SchedulesEqual(model, cold.value().best.schedule,
+                               ref_schedule)) {
+      Fail(out, OracleKind::kCacheReplay,
+           "jobs=" + std::to_string(jobs) +
+               " search disagrees with jobs=" +
+               std::to_string(options.replay_jobs.front()));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const char* OracleKindName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kPipeline: return "pipeline";
+    case OracleKind::kCertify: return "certify";
+    case OracleKind::kExactBound: return "exact-bound";
+    case OracleKind::kMetamorphic: return "metamorphic";
+    case OracleKind::kCacheReplay: return "cache-replay";
+  }
+  return "?";
+}
+
+std::string CaseOutcome::LogLine(int index) const {
+  std::string line = "[" + std::to_string(index) + "] seed=" +
+                     std::to_string(seed) + " " + CaseClassName(cls) +
+                     " ops=" + std::to_string(ops);
+  if (!valid || !feasible) {
+    line += " reject=" + std::string(StatusCodeName(reject_code));
+  } else {
+    line += " area=" + std::to_string(area);
+    if (exact_checked) line += " exact";
+    if (replay_checked) line += " replay";
+    if (inject_applicable)
+      line += inject_caught ? " inject=caught" : " inject=MISSED";
+  }
+  if (ok()) {
+    line += " ok";
+  } else {
+    for (const OracleFailure& f : failures)
+      line += std::string(" FAIL ") + OracleKindName(f.kind) + ": " + f.detail;
+  }
+  return line;
+}
+
+CaseOutcome RunCaseOracles(const SystemModel& model_in, std::uint64_t seed,
+                           CaseClass cls, const OracleOptions& options,
+                           const FaultPlan* inject) {
+  CaseOutcome out;
+  out.seed = seed;
+  out.cls = cls;
+  out.ops = TotalOps(model_in);
+
+  SystemModel model = model_in;
+  if (Status st = model.Validate(); !st.ok()) {
+    out.reject_code = st.code();
+    if (cls == CaseClass::kInfeasible) {
+      if (st.code() != StatusCode::kInfeasible)
+        Fail(out, OracleKind::kPipeline,
+             "expected typed kInfeasible, got " +
+                 std::string(StatusCodeName(st.code())) + ": " + st.message());
+    } else {
+      Fail(out, OracleKind::kPipeline,
+           std::string(CaseClassName(cls)) +
+               " case rejected: " + st.message());
+    }
+    return out;
+  }
+  out.valid = true;
+  if (cls == CaseClass::kInfeasible) {
+    Fail(out, OracleKind::kPipeline,
+         "infeasible case passed validation");
+    return out;
+  }
+
+  StatusOr<CoupledResult> res = CoupledScheduler(model, CoupledParams{}).Run();
+  if (!res.ok()) {
+    out.reject_code = res.status().code();
+    // A grid-hostile model may be rejected up front instead of certified
+    // dirty; any typed rejection counts as a correct verdict for it.
+    if (cls != CaseClass::kGridHostile)
+      Fail(out, OracleKind::kPipeline,
+           "scheduling failed: " + res.status().message());
+    return out;
+  }
+  out.feasible = true;
+  const CoupledResult result = std::move(res).value();
+  out.area = result.allocation.TotalArea(model.library());
+
+  // Binding: a global non-pipelined type can be unbindable by the greedy
+  // prefix partition (documented limitation in bind/binding.h) — certify
+  // without the binding in that case.
+  SystemBinding binding;
+  const SystemBinding* binding_ptr = nullptr;
+  {
+    StatusOr<SystemBinding> bound =
+        BindSystem(model, result.schedule, result.allocation);
+    if (bound.ok()) {
+      binding = std::move(bound).value();
+      binding_ptr = &binding;
+    } else if (bound.status().code() != StatusCode::kInfeasible) {
+      Fail(out, OracleKind::kPipeline,
+           "binding failed: " + bound.status().message());
+      return out;
+    }
+  }
+
+  // Oracle (a): certification (positive for clean, negative for hostile).
+  if (options.run_certify) {
+    const CertificateReport report = CertifySchedule(
+        model, result.schedule, result.allocation, binding_ptr);
+    if (cls == CaseClass::kGridHostile) {
+      if (!report.Has(ViolationKind::kGridMisalignment))
+        Fail(out, OracleKind::kCertify,
+             "grid-hostile case not flagged kGridMisalignment: " +
+                 report.Summary());
+    } else if (!report.ok()) {
+      Fail(out, OracleKind::kCertify, report.Summary());
+    }
+  }
+
+  // Injection drill: corrupt copies of the certified artifacts and demand
+  // detection. Only meaningful on clean cases (hostile certificates are
+  // dirty by design).
+  if (inject != nullptr) {
+    if (cls == CaseClass::kClean) {
+      SystemSchedule schedule = result.schedule;
+      Allocation allocation = result.allocation;
+      SystemBinding fb = binding;
+      StatusOr<InjectedFault> injected =
+          InjectFault(*inject, model, schedule, allocation,
+                      binding_ptr != nullptr ? &fb : nullptr);
+      if (injected.ok()) {
+        out.inject_applicable = true;
+        const CertificateReport report = CertifySchedule(
+            model, schedule, allocation,
+            binding_ptr != nullptr ? &fb : nullptr);
+        out.inject_caught = report.Has(injected.value().expected);
+        if (!out.inject_caught)
+          Fail(out, OracleKind::kCertify,
+               "injected fault missed (" + injected.value().description +
+                   "; expected " +
+                   ViolationKindName(injected.value().expected) + ")");
+      } else if (injected.status().code() != StatusCode::kFailedPrecondition &&
+                 injected.status().code() != StatusCode::kInvalidArgument) {
+        Fail(out, OracleKind::kPipeline,
+             "fault injection errored: " + injected.status().message());
+      }
+    }
+    return out;  // injection runs narrow the oracle set on purpose
+  }
+
+  if (cls != CaseClass::kClean) return out;
+
+  if (options.run_exact) CheckExactBound(model, result, options, out);
+  if (options.run_metamorphic) CheckMetamorphic(model, result, seed, out);
+  if (options.run_replay) CheckCacheReplay(model, result, options, out);
+  return out;
+}
+
+}  // namespace mshls

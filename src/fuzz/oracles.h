@@ -1,0 +1,94 @@
+// Differential and metamorphic oracles evaluated per fuzz case.
+//
+// A generated model carries an expected verdict (its CaseClass); the oracle
+// runner drives the full pipeline — validate, coupled-schedule, allocate,
+// bind — and judges the artifacts with checks that are *independent* of the
+// code under test:
+//  (a) certification: every feasible result passes CertifySchedule; a
+//      grid-hostile model must instead be flagged kGridMisalignment and an
+//      infeasible one rejected with a typed kInfeasible (negative oracles);
+//  (b) exact bound: on small local-only systems the heuristic area must not
+//      beat the branch-and-bound optimum (differential vs. sched/exact);
+//  (c) metamorphic invariance: op renaming and a uniform phase rotation by
+//      a shared offset must reproduce the schedule bit-identically at equal
+//      area; process reordering must preserve feasibility and certify
+//      cleanly (IFDS tie-breaking is enumeration-order sensitive, so only
+//      the verdict is compared there);
+//  (d) cache/parallel replay: a warm schedule_cache replays bit-identically
+//      to cold, and SearchPeriods agrees bit-for-bit across --jobs widths.
+//
+// With an injection plan the runner additionally corrupts the (pristine,
+// already certified) artifacts and demands the certifier catch the expected
+// violation kind — the end-to-end "reintroduced scheduler bug" drill.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzz/generator.h"
+#include "model/system_model.h"
+#include "verify/fault_injection.h"
+
+namespace mshls {
+
+enum class OracleKind {
+  kPipeline,     // validate/schedule/allocate/bind verdict vs. expectation
+  kCertify,      // oracle (a) and injected-fault detection
+  kExactBound,   // oracle (b)
+  kMetamorphic,  // oracle (c)
+  kCacheReplay,  // oracle (d)
+};
+
+[[nodiscard]] const char* OracleKindName(OracleKind kind);
+
+struct OracleOptions {
+  /// Oracle (b) eligibility: total ops cap and search-node budget.
+  int exact_max_ops = 12;
+  std::int64_t exact_max_nodes = 300'000;
+  /// Oracle (d): evaluation cap per period search and the widths compared.
+  int search_max_evaluations = 6;
+  std::vector<int> replay_jobs = {1, 2, 8};
+  /// Family switches (the shrinker narrows to one family for speed).
+  bool run_certify = true;
+  bool run_exact = true;
+  bool run_metamorphic = true;
+  bool run_replay = true;
+};
+
+struct OracleFailure {
+  OracleKind kind;
+  std::string detail;
+};
+
+struct CaseOutcome {
+  std::uint64_t seed = 0;
+  CaseClass cls = CaseClass::kClean;
+  int ops = 0;
+  bool valid = false;     // Validate() accepted the model
+  bool feasible = false;  // coupled scheduler produced a result
+  StatusCode reject_code = StatusCode::kOk;  // when !valid or !feasible
+  int area = 0;
+  bool exact_checked = false;
+  bool replay_checked = false;
+  bool inject_applicable = false;
+  bool inject_caught = false;
+  std::vector<OracleFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  /// One deterministic line per case (no timings — the fuzz log is part of
+  /// the determinism contract).
+  [[nodiscard]] std::string LogLine(int index) const;
+};
+
+/// Runs every enabled oracle against one generated case. `model_in` is
+/// copied — callers keep a pristine model for shrinking. With `inject`
+/// non-null only the pipeline + certification oracles run, followed by the
+/// corruption/detection drill (inject_applicable / inject_caught).
+[[nodiscard]] CaseOutcome RunCaseOracles(const SystemModel& model_in,
+                                         std::uint64_t seed, CaseClass cls,
+                                         const OracleOptions& options = {},
+                                         const FaultPlan* inject = nullptr);
+
+}  // namespace mshls

@@ -1,0 +1,118 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace mshls {
+namespace {
+
+ModelSpec RemoveProcess(ModelSpec s, std::size_t pi) {
+  s.processes.erase(s.processes.begin() + static_cast<std::ptrdiff_t>(pi));
+  for (auto it = s.shares.begin(); it != s.shares.end();) {
+    std::vector<int>& procs = it->processes;
+    procs.erase(std::remove(procs.begin(), procs.end(), static_cast<int>(pi)),
+                procs.end());
+    for (int& idx : procs)
+      if (idx > static_cast<int>(pi)) --idx;
+    it = procs.empty() ? s.shares.erase(it) : std::next(it);
+  }
+  return s;
+}
+
+ModelSpec RemoveBlock(ModelSpec s, std::size_t pi, std::size_t bi) {
+  std::vector<SpecBlock>& blocks = s.processes[pi].blocks;
+  blocks.erase(blocks.begin() + static_cast<std::ptrdiff_t>(bi));
+  return s;
+}
+
+ModelSpec RemoveShare(ModelSpec s, std::size_t si) {
+  s.shares.erase(s.shares.begin() + static_cast<std::ptrdiff_t>(si));
+  return s;
+}
+
+ModelSpec RemoveOp(ModelSpec s, std::size_t pi, std::size_t bi,
+                   std::size_t oi) {
+  SpecBlock& b = s.processes[pi].blocks[bi];
+  b.ops.erase(b.ops.begin() + static_cast<std::ptrdiff_t>(oi));
+  std::vector<SpecEdge> kept;
+  for (const SpecEdge& e : b.edges) {
+    if (e.from == static_cast<int>(oi) || e.to == static_cast<int>(oi))
+      continue;
+    SpecEdge r = e;
+    if (r.from > static_cast<int>(oi)) --r.from;
+    if (r.to > static_cast<int>(oi)) --r.to;
+    kept.push_back(r);
+  }
+  b.edges = std::move(kept);
+  return s;
+}
+
+ModelSpec RemoveEdge(ModelSpec s, std::size_t pi, std::size_t bi,
+                     std::size_t ei) {
+  std::vector<SpecEdge>& edges = s.processes[pi].blocks[bi].edges;
+  edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(ei));
+  return s;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkSpec(ModelSpec spec, const SpecPredicate& keep,
+                        const ShrinkOptions& options) {
+  ShrinkResult out;
+  bool progress = true;
+  // `consider` evaluates one deletion candidate; acceptance replaces the
+  // current spec, and the caller's loop stays at the same index (the next
+  // element has shifted into place).
+  const auto consider = [&](ModelSpec cand) -> bool {
+    if (out.attempts >= options.max_attempts) return false;
+    if (!BuildModel(cand).ok()) return false;  // structurally dead end
+    ++out.attempts;
+    if (!keep(cand)) return false;
+    spec = std::move(cand);
+    ++out.removed;
+    progress = true;
+    return true;
+  };
+
+  while (progress && out.attempts < options.max_attempts) {
+    progress = false;
+    // Largest deletions first: each accepted process/block removal saves
+    // many op-level attempts later.
+    for (std::size_t pi = 0; pi < spec.processes.size();) {
+      if (spec.processes.size() > 1 && consider(RemoveProcess(spec, pi)))
+        continue;
+      ++pi;
+    }
+    for (std::size_t pi = 0; pi < spec.processes.size(); ++pi)
+      for (std::size_t bi = 0; bi < spec.processes[pi].blocks.size();) {
+        if (spec.processes[pi].blocks.size() > 1 &&
+            consider(RemoveBlock(spec, pi, bi)))
+          continue;
+        ++bi;
+      }
+    for (std::size_t si = 0; si < spec.shares.size();) {
+      if (consider(RemoveShare(spec, si))) continue;
+      ++si;
+    }
+    for (std::size_t pi = 0; pi < spec.processes.size(); ++pi)
+      for (std::size_t bi = 0; bi < spec.processes[pi].blocks.size(); ++bi)
+        for (std::size_t oi = 0; oi < spec.processes[pi].blocks[bi].ops.size();) {
+          if (spec.processes[pi].blocks[bi].ops.size() > 1 &&
+              consider(RemoveOp(spec, pi, bi, oi)))
+            continue;
+          ++oi;
+        }
+    for (std::size_t pi = 0; pi < spec.processes.size(); ++pi)
+      for (std::size_t bi = 0; bi < spec.processes[pi].blocks.size(); ++bi)
+        for (std::size_t ei = 0;
+             ei < spec.processes[pi].blocks[bi].edges.size();) {
+          if (consider(RemoveEdge(spec, pi, bi, ei))) continue;
+          ++ei;
+        }
+  }
+  out.spec = std::move(spec);
+  return out;
+}
+
+}  // namespace mshls

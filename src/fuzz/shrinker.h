@@ -1,0 +1,42 @@
+// Greedy delta-debugging shrinker for fuzz findings.
+//
+// Given a ModelSpec that exhibits a property (an oracle failure, or "the
+// injected fault is still caught"), the shrinker repeatedly tries the
+// smallest structural deletions — drop a process, a block, a share, an op
+// (with its incident edges), an edge — keeping a candidate only when the
+// property still holds, until a full pass makes no progress or the attempt
+// budget runs out. One-at-a-time passes instead of ddmin's chunked splits:
+// system models are small (tens of ops) and every candidate costs a full
+// schedule + certify cycle, so the simple greedy loop is both fast enough
+// and easier to reason about for reproducibility — the pass order is fixed,
+// so the same finding always shrinks to the same repro.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/model_spec.h"
+
+namespace mshls {
+
+/// Returns true when `spec` still exhibits the property being minimized.
+/// Candidates that fail BuildModel are skipped by the shrinker itself and
+/// never reach the predicate.
+using SpecPredicate = std::function<bool(const ModelSpec&)>;
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations (a full scheduling pipeline each).
+  int max_attempts = 400;
+};
+
+struct ShrinkResult {
+  ModelSpec spec;
+  int attempts = 0;   // predicate evaluations spent
+  int removed = 0;    // accepted deletions
+};
+
+/// Minimizes `spec` under `keep`. `spec` itself must satisfy the predicate;
+/// the result always does.
+[[nodiscard]] ShrinkResult ShrinkSpec(ModelSpec spec, const SpecPredicate& keep,
+                                      const ShrinkOptions& options = {});
+
+}  // namespace mshls

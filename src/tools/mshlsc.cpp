@@ -31,6 +31,15 @@
 //                          swap-binding, perturb-period,
 //                          oversubscribe-residue, corrupt-local), then
 //                          certify; exit 0 iff the fault is detected
+//   --fuzz <n>[:<seed>]    differential fuzzing: generate n random system
+//                          models and run the metamorphic/differential
+//                          oracle battery on each; failures are shrunk to
+//                          minimal .hls repros. Combines with --jobs (the
+//                          report is bit-identical for any width) and with
+//                          --inject-fault (every clean case's artifacts are
+//                          corrupted and the certifier must catch it;
+//                          caught faults are shrunk, misses exit 1)
+//   --fuzz-dir <dir>       where --fuzz writes repros (default fuzz-repros)
 //
 // Exit code 0 on success (including a conflict-free simulation and a
 // detected injected fault), 1 on any error, violation or missed fault.
@@ -50,6 +59,7 @@
 #include "dfg/dot_export.h"
 #include "engine/job_service.h"
 #include "frontend/lowering.h"
+#include "fuzz/fuzzer.h"
 #include "modulo/assignment_search.h"
 #include "modulo/baseline.h"
 #include "modulo/coupled_scheduler.h"
@@ -82,6 +92,8 @@ struct Args {
   std::string batch_dir;
   bool verify = false;
   std::string inject_fault;
+  std::string fuzz_spec;
+  std::string fuzz_dir = "fuzz-repros";
 };
 
 int Usage(const char* argv0) {
@@ -90,8 +102,10 @@ int Usage(const char* argv0) {
                "[--search-assignments] [--local] [--table] [--gantt] "
                "[--dot <dir>] [--rtl <file>] [--json <file>] [--simulate <n>] [--seed <s>]\n"
                "       [--jobs <n>] [--verify] [--inject-fault <kind>[:<seed>]]\n"
-               "   or: %s --batch <dir> [--jobs <n>] [mode flags] [--simulate <n>]\n",
-               argv0, argv0);
+               "   or: %s --batch <dir> [--jobs <n>] [mode flags] [--simulate <n>]\n"
+               "   or: %s --fuzz <n>[:<seed>] [--jobs <n>] "
+               "[--inject-fault <spec>] [--fuzz-dir <dir>]\n",
+               argv0, argv0, argv0);
   return 1;
 }
 
@@ -101,6 +115,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (std::strcmp(argv[1], "--batch") == 0) {
     if (argc < 3) return false;
     args->batch_dir = argv[2];
+    first = 3;
+  } else if (std::strcmp(argv[1], "--fuzz") == 0) {
+    if (argc < 3) return false;
+    args->fuzz_spec = argv[2];
     first = 3;
   } else {
     args->input = argv[1];
@@ -150,6 +168,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->inject_fault = v;
+    } else if (flag == "--fuzz") {
+      const char* v = next();
+      if (!v) return false;
+      args->fuzz_spec = v;
+    } else if (flag == "--fuzz-dir") {
+      const char* v = next();
+      if (!v) return false;
+      args->fuzz_dir = v;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -281,12 +307,58 @@ int RunBatch(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+/// --fuzz: the generative differential campaign (src/fuzz). Every case line
+/// and the summary are deterministic per (spec, flags) — timings stay out of
+/// the log on purpose so two runs diff clean.
+int RunFuzzMode(const Args& args) {
+  FuzzOptions options;
+  options.jobs = args.jobs;
+  options.repro_dir = args.fuzz_dir;
+  if (Status st = ParseFuzzSpec(args.fuzz_spec, &options.cases, &options.seed);
+      !st.ok()) {
+    std::fprintf(stderr, "--fuzz: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!args.inject_fault.empty()) {
+    auto plan_or = ParseFaultSpec(args.inject_fault);
+    if (!plan_or.ok()) {
+      std::fprintf(stderr, "--inject-fault: %s\n",
+                   plan_or.status().ToString().c_str());
+      return 1;
+    }
+    options.inject = plan_or.value();
+  }
+  std::printf("fuzz: %d case(s), seed %llu, %d job(s)%s%s\n", options.cases,
+              static_cast<unsigned long long>(options.seed), options.jobs,
+              options.inject.has_value() ? ", injecting " : "",
+              options.inject.has_value() ? args.inject_fault.c_str() : "");
+  auto report_or = RunFuzz(options);
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "fuzz failed: %s\n",
+                 report_or.status().ToString().c_str());
+    return 1;
+  }
+  const FuzzReport& report = report_or.value();
+  for (const std::string& line : report.log)
+    std::printf("%s\n", line.c_str());
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.ok()) {
+    std::fprintf(stderr, "FUZZ FAILURES: %d case(s)%s\n", report.failures,
+                 report.inject_mode && report.inject_caught == 0
+                     ? " (and no injected fault was ever caught)"
+                     : "");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
 
+  if (!args.fuzz_spec.empty()) return RunFuzzMode(args);
   if (!args.batch_dir.empty()) return RunBatch(args);
 
   std::ifstream in(args.input);

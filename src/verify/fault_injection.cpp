@@ -10,7 +10,7 @@ namespace {
 
 /// Uniform pick among eligible sites; deterministic per (plan.seed, n).
 std::size_t Pick(Rng& rng, std::size_t n) {
-  return static_cast<std::size_t>(rng.NextU64() % n);
+  return static_cast<std::size_t>(rng.NextBounded(n));
 }
 
 bool ScheduleUsable(const SystemModel& model, const SystemSchedule& schedule,

@@ -186,10 +186,25 @@ DataFlowGraph BuildRandomDfg(const PaperTypes& t, Rng& rng,
   DataFlowGraph g;
   std::vector<std::vector<OpId>> layers(
       static_cast<std::size_t>(options.layers));
+  double mix_total = 0;
+  for (const auto& [type, weight] : options.type_mix) mix_total += weight;
   for (int i = 0; i < options.ops; ++i) {
     ResourceTypeId type;
-    if (rng.NextBool(options.mult_probability)) type = t.mult;
-    else type = rng.NextBool(0.5) ? t.add : t.sub;
+    if (!options.type_mix.empty() && mix_total > 0) {
+      double draw = rng.NextDouble() * mix_total;
+      type = options.type_mix.back().first;
+      for (const auto& [candidate, weight] : options.type_mix) {
+        draw -= weight;
+        if (draw < 0) {
+          type = candidate;
+          break;
+        }
+      }
+    } else if (rng.NextBool(options.mult_probability)) {
+      type = t.mult;
+    } else {
+      type = rng.NextBool(0.5) ? t.add : t.sub;
+    }
     const OpId id = g.AddOp(type, "r" + std::to_string(i));
     layers[static_cast<std::size_t>(
         rng.NextInt(0, options.layers - 1))].push_back(id);

@@ -13,6 +13,9 @@
 // benches, plus a deterministic random-graph generator for property tests.
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
 #include "dfg/graph.h"
 #include "model/resource.h"
@@ -53,6 +56,11 @@ struct RandomDfgOptions {
   double edge_probability = 0.4;
   /// Probability that an op is a multiplication (else add/sub evenly).
   double mult_probability = 0.3;
+  /// Optional weighted type mix: when non-empty it replaces the
+  /// mult_probability draw and each op's type is sampled from these
+  /// (type, weight) pairs — lets generators (e.g. the fuzz harness) mix
+  /// arbitrary libraries, including non-pipelined types, into one graph.
+  std::vector<std::pair<ResourceTypeId, double>> type_mix;
 };
 
 /// Deterministic layered random DAG over the paper's types.

@@ -1,11 +1,14 @@
-// Parallel fan-out determinism: period search and assignment search must
-// produce bit-identical results at --jobs 1 / 2 / 8, with and without the
-// result cache, including a warm-cache rerun. This is the contract that
-// lets every later scaling layer (batching, sharding) trust the engine.
+// Parallel fan-out determinism: period search, assignment search and the
+// fuzz campaign driver must produce bit-identical results at --jobs
+// 1 / 2 / 8, with and without the result cache, including a warm-cache
+// rerun. This is the contract that lets every later scaling layer
+// (batching, sharding, fuzzing) trust the engine.
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "fuzz/fuzzer.h"
 #include "modulo/assignment_search.h"
 #include "modulo/period_search.h"
 #include "modulo/schedule_cache.h"
@@ -157,6 +160,37 @@ TEST(AssignmentSearchDeterminism, CacheDoesNotChangeResults) {
                        plain.value().best.schedule);
     if (round == 1)
       EXPECT_EQ(cached.value().cache_hits, cached.value().evaluated);
+  }
+}
+
+FuzzReport RunSmallCampaign(int jobs) {
+  FuzzOptions options;
+  options.cases = 25;
+  options.seed = 9;
+  options.jobs = jobs;
+  options.repro_dir.clear();  // log determinism is what is under test
+  auto report = RunFuzz(options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report.value() : FuzzReport{};
+}
+
+TEST(FuzzDeterminism, RepeatedRunsProduceIdenticalLogs) {
+  const FuzzReport a = RunSmallCampaign(1);
+  const FuzzReport b = RunSmallCampaign(1);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+TEST(FuzzDeterminism, JobsOneAndEightProduceIdenticalLogs) {
+  // The per-case fan-out writes into pre-assigned slots and the reduction
+  // (log, counters, repro selection) runs serially in index order, so the
+  // whole campaign report is independent of the worker count.
+  const FuzzReport serial = RunSmallCampaign(1);
+  for (int jobs : {2, 8}) {
+    const FuzzReport parallel = RunSmallCampaign(jobs);
+    EXPECT_EQ(parallel.log, serial.log) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.failures, serial.failures);
+    EXPECT_EQ(parallel.Summary(), serial.Summary()) << "jobs=" << jobs;
   }
 }
 

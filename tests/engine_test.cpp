@@ -249,8 +249,11 @@ TEST(JobService, BatchResultsStayInSubmissionOrder) {
     EXPECT_EQ(results[i].name, "job" + std::to_string(i));
     EXPECT_TRUE(results[i].status.ok()) << results[i].status.ToString();
   }
-  // Identical designs share one cache entry: 5 of 6 runs are hits.
-  EXPECT_EQ(service.cache_stats().hits, 5);
+  // Identical designs share one cache entry. Workers that start before the
+  // first result lands each miss once, so with 4 workers anywhere from 2 to
+  // 5 of the 6 runs are hits — only the lower bound is deterministic.
+  EXPECT_GE(service.cache_stats().hits, 2);
+  EXPECT_LE(service.cache_stats().hits, 5);
 }
 
 TEST(JobService, ParallelBatchMatchesSerialBatch) {

@@ -1,0 +1,60 @@
+// Replays the committed fuzz corpus (tests/data/fuzz_corpus/*.hls) through
+// the full oracle battery as part of tier-1. The corpus pins interesting
+// generated systems — global pools, nonzero phases, mixed libraries — as
+// plain DSL files, so a behaviour change in scheduler, certifier, cache or
+// frontend shows up here even without running a fuzz campaign. Files are
+// regenerated from their header seeds if the generator stream ever changes.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "frontend/lowering.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+
+namespace mshls {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  const std::filesystem::path dir =
+      std::filesystem::path(MSHLS_SOURCE_DIR) / "tests" / "data" /
+      "fuzz_corpus";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".hls") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpus, EveryCasePassesAllFourOracles) {
+  const std::vector<std::filesystem::path> files = CorpusFiles();
+  ASSERT_GE(files.size(), 4u) << "corpus missing";
+  int with_globals = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::ifstream in(files[i]);
+    ASSERT_TRUE(in.good()) << files[i];
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto model = CompileSystem(buf.str());
+    ASSERT_TRUE(model.ok())
+        << files[i] << ": " << model.status().ToString();
+    if (!model.value().GlobalTypes().empty()) ++with_globals;
+    const CaseOutcome out = RunCaseOracles(
+        model.value(), /*seed=*/static_cast<std::uint64_t>(i) + 1,
+        CaseClass::kClean);
+    EXPECT_TRUE(out.ok()) << files[i].filename() << ": "
+                          << out.LogLine(static_cast<int>(i));
+    EXPECT_TRUE(out.feasible) << files[i].filename();
+  }
+  // The corpus must keep exercising the sharing machinery, not only the
+  // classic local path.
+  EXPECT_GE(with_globals, 2);
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,286 @@
+// Tests for the generative differential fuzzer (src/fuzz): generator
+// determinism and class coverage, ModelSpec round-tripping, the oracle
+// battery on generated cases, the delta-debugging shrinker, the campaign
+// driver, and the end-to-end acceptance drill — an injected fault must be
+// caught by the certifier and shrunk to a minimal on-disk repro.
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "frontend/emitter.h"
+#include "frontend/lowering.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/generator.h"
+#include "fuzz/model_spec.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrinker.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+int TotalOps(const SystemModel& model) {
+  int n = 0;
+  for (const Block& b : model.blocks())
+    n += static_cast<int>(b.graph.op_count());
+  return n;
+}
+
+TEST(FuzzGenerator, IsDeterministicPerSeed) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+    GeneratedCase a = GenerateSystem(seed);
+    GeneratedCase b = GenerateSystem(seed);
+    EXPECT_EQ(a.cls, b.cls);
+    // The emitted DSL text is a full structural fingerprint.
+    EXPECT_EQ(EmitSystemText(a.model), EmitSystemText(b.model));
+  }
+  EXPECT_NE(EmitSystemText(GenerateSystem(1).model),
+            EmitSystemText(GenerateSystem(2).model));
+}
+
+TEST(FuzzGenerator, CoversAllCaseClassesAndStructures) {
+  int clean = 0, infeasible = 0, hostile = 0, with_globals = 0,
+      with_phases = 0, multi_process = 0;
+  for (int i = 0; i < 300; ++i) {
+    const GeneratedCase c = GenerateSystem(FuzzCaseSeed(1, i));
+    switch (c.cls) {
+      case CaseClass::kClean: ++clean; break;
+      case CaseClass::kInfeasible: ++infeasible; break;
+      case CaseClass::kGridHostile: ++hostile; break;
+    }
+    if (!c.model.GlobalTypes().empty()) ++with_globals;
+    for (const Block& b : c.model.blocks())
+      if (b.phase != 0) {
+        ++with_phases;
+        break;
+      }
+    if (c.model.process_count() > 1) ++multi_process;
+  }
+  EXPECT_GT(clean, 200);
+  EXPECT_GT(infeasible, 0);
+  EXPECT_GT(hostile, 0);
+  EXPECT_GT(with_globals, 100);
+  EXPECT_GT(with_phases, 10);
+  EXPECT_GT(multi_process, 150);
+}
+
+TEST(ModelSpec, RoundTripsGeneratedModels) {
+  int round_tripped = 0;
+  for (int i = 0; i < 20; ++i) {
+    const GeneratedCase c = GenerateSystem(FuzzCaseSeed(3, i));
+    if (c.cls != CaseClass::kClean) continue;
+    StatusOr<SystemModel> rebuilt = BuildModel(ExtractSpec(c.model));
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    SystemModel original = c.model;
+    ASSERT_TRUE(original.Validate().ok());
+    EXPECT_EQ(EmitSystemText(original), EmitSystemText(rebuilt.value()))
+        << "case " << i;
+    ++round_tripped;
+  }
+  EXPECT_GT(round_tripped, 10);
+}
+
+TEST(ModelSpec, RejectsDanglingIndices) {
+  ModelSpec spec;
+  spec.types.push_back(SpecType{"add", 1, 1, 1});
+  SpecProcess p;
+  p.name = "p";
+  SpecBlock b;
+  b.name = "b";
+  b.time_range = 4;
+  b.ops.push_back(SpecOp{0, "x"});
+  b.ops.push_back(SpecOp{7, "bad type"});
+  p.blocks.push_back(b);
+  spec.processes.push_back(p);
+  EXPECT_EQ(BuildModel(spec).status().code(), StatusCode::kInvalidArgument);
+
+  spec.processes[0].blocks[0].ops[1].type = 0;
+  spec.processes[0].blocks[0].edges.push_back(SpecEdge{0, 9});
+  EXPECT_EQ(BuildModel(spec).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuzzOracles, CleanCasesPassTheFullBattery) {
+  int checked = 0;
+  for (int i = 0; i < 25; ++i) {
+    const std::uint64_t seed = FuzzCaseSeed(2, i);
+    const GeneratedCase c = GenerateSystem(seed);
+    const CaseOutcome out = RunCaseOracles(c.model, seed, c.cls);
+    EXPECT_TRUE(out.ok()) << out.LogLine(i);
+    if (c.cls == CaseClass::kClean && out.feasible) ++checked;
+  }
+  EXPECT_GT(checked, 15);
+}
+
+TEST(FuzzOracles, InfeasibleCasesAreRejectedTyped) {
+  int found = 0;
+  for (int i = 0; i < 400 && found < 3; ++i) {
+    const std::uint64_t seed = FuzzCaseSeed(4, i);
+    const GeneratedCase c = GenerateSystem(seed);
+    if (c.cls != CaseClass::kInfeasible) continue;
+    ++found;
+    const CaseOutcome out = RunCaseOracles(c.model, seed, c.cls);
+    EXPECT_TRUE(out.ok()) << out.LogLine(i);
+    EXPECT_FALSE(out.valid);
+    EXPECT_EQ(out.reject_code, StatusCode::kInfeasible);
+  }
+  EXPECT_EQ(found, 3);
+}
+
+TEST(FuzzOracles, GridHostileCasesAreFlaggedByTheCertifier) {
+  int found = 0;
+  for (int i = 0; i < 600 && found < 3; ++i) {
+    const std::uint64_t seed = FuzzCaseSeed(5, i);
+    const GeneratedCase c = GenerateSystem(seed);
+    if (c.cls != CaseClass::kGridHostile) continue;
+    ++found;
+    // ok() here means the negative oracle held: the misdeclared period was
+    // either rejected up front or certified dirty with kGridMisalignment.
+    const CaseOutcome out = RunCaseOracles(c.model, seed, c.cls);
+    EXPECT_TRUE(out.ok()) << out.LogLine(i);
+  }
+  EXPECT_EQ(found, 3);
+}
+
+TEST(Shrinker, MinimizesToThePredicateBoundary) {
+  // One process, one block, a 6-op chain; predicate: at least 3 ops. Block
+  // and process are the only containers, so the fixpoint is exactly 3 ops.
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  DataFlowGraph g;
+  OpId prev = g.AddOp(t.add, "a0");
+  for (int i = 1; i < 6; ++i) {
+    const OpId cur = g.AddOp(t.add, "a" + std::to_string(i));
+    g.AddEdge(prev, cur);
+    prev = cur;
+  }
+  ASSERT_TRUE(g.Validate().ok());
+  const ProcessId p = model.AddProcess("p");
+  model.AddBlock(p, "b", std::move(g), 8);
+  ASSERT_TRUE(model.Validate().ok());
+
+  const SpecPredicate keep = [](const ModelSpec& s) {
+    return s.TotalOps() >= 3;
+  };
+  const ShrinkResult shrunk = ShrinkSpec(ExtractSpec(model), keep);
+  EXPECT_EQ(shrunk.spec.TotalOps(), 3);
+  // `removed` counts every accepted removal action — the 3 ops plus any
+  // chain edges stripped as separate steps before their endpoints went.
+  EXPECT_GE(shrunk.removed, 3);
+  EXPECT_TRUE(keep(shrunk.spec));
+  EXPECT_TRUE(BuildModel(shrunk.spec).ok());
+}
+
+TEST(Shrinker, RespectsTheAttemptBudget) {
+  const GeneratedCase c = GenerateSystem(FuzzCaseSeed(6, 0));
+  ShrinkOptions options;
+  options.max_attempts = 5;
+  const ShrinkResult shrunk =
+      ShrinkSpec(ExtractSpec(c.model),
+                 [](const ModelSpec&) { return true; }, options);
+  EXPECT_LE(shrunk.attempts, 5);
+}
+
+TEST(FuzzDriver, ParsesTheFuzzSpec) {
+  int cases = 0;
+  std::uint64_t seed = 0;
+  ASSERT_TRUE(ParseFuzzSpec("500", &cases, &seed).ok());
+  EXPECT_EQ(cases, 500);
+  EXPECT_EQ(seed, 1u);
+  ASSERT_TRUE(ParseFuzzSpec("10:7", &cases, &seed).ok());
+  EXPECT_EQ(cases, 10);
+  EXPECT_EQ(seed, 7u);
+  EXPECT_EQ(ParseFuzzSpec("", &cases, &seed).code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseFuzzSpec("x", &cases, &seed).code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseFuzzSpec("0", &cases, &seed).code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseFuzzSpec("5:", &cases, &seed).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseFuzzSpec("5:abc", &cases, &seed).code(),
+            StatusCode::kParseError);
+}
+
+TEST(FuzzDriver, CaseSeedsAreDistinctAcrossIndicesAndRuns) {
+  std::set<std::uint64_t> seeds;
+  for (int i = 0; i < 100; ++i) {
+    seeds.insert(FuzzCaseSeed(1, i));
+    seeds.insert(FuzzCaseSeed(2, i));
+  }
+  EXPECT_EQ(seeds.size(), 200u);
+}
+
+TEST(FuzzDriver, SmallCampaignReportsCleanly) {
+  FuzzOptions options;
+  options.cases = 30;
+  options.seed = 1;
+  options.repro_dir.clear();  // nothing should need persisting
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().ok()) << report.value().Summary();
+  EXPECT_EQ(report.value().cases, 30);
+  EXPECT_EQ(report.value().clean + report.value().infeasible +
+                report.value().grid_hostile,
+            30);
+  EXPECT_EQ(static_cast<int>(report.value().log.size()), 30);
+  EXPECT_GT(report.value().replay_checked, 0);
+}
+
+// The acceptance drill: a deliberately "reintroduced scheduler bug"
+// (post-schedule artifact corruption) must be caught by the certifier on
+// generated inputs and minimized to a tiny replayable repro on disk.
+TEST(FuzzDriver, InjectedFaultCaughtAndShrunk) {
+  FuzzOptions options;
+  options.cases = 12;
+  options.seed = 1;
+  options.inject = FaultPlan{FaultKind::kShiftOp, 3};
+  options.repro_dir =
+      (std::filesystem::path(::testing::TempDir()) / "mshls_fuzz_inject")
+          .string();
+  options.max_repros = 2;
+  std::filesystem::remove_all(options.repro_dir);
+  auto report_or = RunFuzz(options);
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+  const FuzzReport& report = report_or.value();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.inject_caught, 0);
+  EXPECT_EQ(report.inject_caught, report.inject_applicable);
+  ASSERT_FALSE(report.repro_paths.empty());
+  for (const std::string& path : report.repro_paths) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto model = CompileSystem(buf.str());
+    ASSERT_TRUE(model.ok()) << path << ": " << model.status().ToString();
+    EXPECT_LE(TotalOps(model.value()), 6) << path << " is not minimal";
+  }
+}
+
+TEST(FuzzDriver, DifferentialModeWritesReproForARealFailure) {
+  // Starve the exact oracle's eligibility to fake nothing; instead force a
+  // failure deterministically by injecting nothing and flipping the class
+  // label: a clean feasible model declared kInfeasible must fail the
+  // pipeline oracle and be persisted (shrinking falls back to the original
+  // when the family cannot be reproduced on rebuilt models).
+  GeneratedCase c;
+  int index = -1;
+  for (int i = 0; i < 50; ++i) {
+    c = GenerateSystem(FuzzCaseSeed(1, i));
+    if (c.cls == CaseClass::kClean) {
+      index = i;
+      break;
+    }
+  }
+  ASSERT_GE(index, 0);
+  const std::uint64_t seed = FuzzCaseSeed(1, index);
+  const CaseOutcome out =
+      RunCaseOracles(c.model, seed, CaseClass::kInfeasible);
+  EXPECT_FALSE(out.ok());
+  ASSERT_FALSE(out.failures.empty());
+  EXPECT_EQ(out.failures.front().kind, OracleKind::kPipeline);
+}
+
+}  // namespace
+}  // namespace mshls
