@@ -1,0 +1,197 @@
+// Experiment C1 — incremental force engine speedup (DESIGN.md §2 row 26).
+//
+// Times the coupled scheduler on the A-series scaling workloads (the
+// bench_scaling system generator) in three configurations:
+//
+//   serial-naive   incremental=false: every iteration re-evaluates every
+//                  candidate and rebuilds all profiles from scratch (the
+//                  pre-row-26 cost shape, kept as the reference path)
+//   incremental    dirty-candidate caching + scoped profile updates, one
+//                  thread
+//   inc+jobs       the same engine with the candidate sweep fanned out
+//                  over worker threads
+//
+// All three must produce bit-identical schedules — the bench aborts with
+// exit 1 on any divergence, so it doubles as an end-to-end consistency
+// check. `--smoke` runs only the smallest workload (used by check.sh under
+// sanitizers); `--json <file>` writes the machine-readable BENCH_coupled
+// rows for scripts/bench_baseline.sh.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "modulo/coupled_scheduler.h"
+#include "workloads/benchmarks.h"
+
+using namespace mshls;
+
+namespace {
+
+/// Same generator as bench_scaling (A2): n processes of `ops` random ops
+/// each, global mult + add pools with period 4, deadlines 16.
+SystemModel MakeSystem(int n_processes, int ops) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  Rng rng(42);
+  std::vector<ProcessId> procs;
+  for (int i = 0; i < n_processes; ++i) {
+    RandomDfgOptions options;
+    options.ops = ops;
+    options.layers = 3;
+    options.mult_probability = 0.3;
+    DataFlowGraph g = BuildRandomDfg(t, rng, options);
+    const ProcessId p = model.AddProcess("p" + std::to_string(i), 16);
+    model.AddBlock(p, "b", std::move(g), 16);
+    procs.push_back(p);
+  }
+  model.MakeGlobal(t.mult, procs);
+  model.SetPeriod(t.mult, 4);
+  model.MakeGlobal(t.add, procs);
+  model.SetPeriod(t.add, 4);
+  const Status s = model.Validate();
+  if (!s.ok()) std::abort();
+  return model;
+}
+
+struct ModeResult {
+  double wall_ms = 0;
+  int iterations = 0;
+  SystemSchedule schedule;
+};
+
+ModeResult RunMode(const SystemModel& model, bool incremental, int jobs,
+                   int repeats) {
+  ModeResult out;
+  for (int r = 0; r < repeats; ++r) {
+    CoupledParams params;
+    params.incremental = incremental;
+    params.jobs = jobs;
+    CoupledScheduler scheduler(model, params);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = scheduler.Run();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "scheduling failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.iterations = result.value().iterations;
+    out.schedule = std::move(result.value().schedule);
+  }
+  out.wall_ms /= repeats;
+  return out;
+}
+
+bool SameSchedule(const SystemSchedule& a, const SystemSchedule& b) {
+  if (a.blocks.size() != b.blocks.size()) return false;
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    if (a.blocks[i].size() != b.blocks[i].size()) return false;
+    for (std::size_t o = 0; o < a.blocks[i].size(); ++o) {
+      const OpId op{static_cast<int>(o)};
+      if (a.blocks[i].start(op) != b.blocks[i].start(op)) return false;
+    }
+  }
+  return true;
+}
+
+struct Row {
+  int processes;
+  int ops;
+  int iterations;
+  double naive_ms;
+  double inc_ms;
+  double jobs_ms;
+  int jobs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_file = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <file>]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  struct Config { int processes; int ops; int repeats; };
+  std::vector<Config> configs;
+  if (smoke) {
+    configs = {{2, 10, 1}};
+  } else {
+    configs = {{2, 12, 3}, {4, 16, 3}, {6, 20, 2}, {10, 24, 1}};
+  }
+  const int jobs =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+
+  std::printf("C1 incremental force engine — coupled scheduler, %d sweep "
+              "job(s) in inc+jobs mode\n", jobs);
+  std::printf("%-14s %6s %12s %12s %12s %9s %9s\n", "workload", "iters",
+              "naive ms", "inc ms", "inc+jobs ms", "inc x", "jobs x");
+
+  std::vector<Row> rows;
+  for (const Config& c : configs) {
+    const SystemModel model = MakeSystem(c.processes, c.ops);
+    const ModeResult naive = RunMode(model, /*incremental=*/false, 1,
+                                     c.repeats);
+    const ModeResult inc = RunMode(model, /*incremental=*/true, 1, c.repeats);
+    const ModeResult par = RunMode(model, /*incremental=*/true, jobs,
+                                   c.repeats);
+    if (!SameSchedule(naive.schedule, inc.schedule) ||
+        !SameSchedule(naive.schedule, par.schedule) ||
+        naive.iterations != inc.iterations ||
+        naive.iterations != par.iterations) {
+      std::fprintf(stderr,
+                   "DIVERGENCE on %dx%d: the three modes must be "
+                   "bit-identical\n", c.processes, c.ops);
+      return 1;
+    }
+    const std::string name = std::to_string(c.processes) + "p x " +
+                             std::to_string(c.ops) + "ops";
+    std::printf("%-14s %6d %12.2f %12.2f %12.2f %8.2fx %8.2fx\n",
+                name.c_str(), naive.iterations, naive.wall_ms, inc.wall_ms,
+                par.wall_ms, naive.wall_ms / inc.wall_ms,
+                naive.wall_ms / par.wall_ms);
+    rows.push_back({c.processes, c.ops, naive.iterations, naive.wall_ms,
+                    inc.wall_ms, par.wall_ms, jobs});
+  }
+
+  if (!json_file.empty()) {
+    std::ofstream out(json_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_file.c_str());
+      return 1;
+    }
+    out << "{\n  \"experiment\": \"C1\",\n  \"jobs\": " << jobs
+        << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"processes\": %d, \"ops\": %d, \"iterations\": %d, "
+                    "\"naive_ms\": %.3f, \"incremental_ms\": %.3f, "
+                    "\"incremental_jobs_ms\": %.3f, \"speedup_incremental\": "
+                    "%.2f, \"speedup_jobs\": %.2f}%s\n",
+                    r.processes, r.ops, r.iterations, r.naive_ms, r.inc_ms,
+                    r.jobs_ms, r.naive_ms / r.inc_ms, r.naive_ms / r.jobs_ms,
+                    i + 1 < rows.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_file.c_str());
+  }
+  return 0;
+}

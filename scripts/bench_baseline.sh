@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the committed C1 baseline (BENCH_coupled.json at the repo
+# root): builds bench_coupled in the default RelWithDebInfo tree and runs
+# the full A-series scaling ladder in the three engine configurations
+# (serial-naive, incremental, incremental + jobs). The bench itself
+# cross-checks that all three produce bit-identical schedules and exits
+# non-zero on any divergence, so a regenerated baseline is also a
+# consistency run. Numbers are machine-dependent — re-record EXPERIMENTS.md
+# §C1 alongside when refreshing the file.
+#
+# Usage: scripts/bench_baseline.sh [build-dir]     (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+cmake -B "${build}" -S . > /dev/null
+cmake --build "${build}" --target bench_coupled -j "$(nproc)" > /dev/null
+"${build}/bench/bench_coupled" --json BENCH_coupled.json

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer sweep for the robustness-critical subsystems: builds the tree
 # with -DMSHLS_SANITIZE=address and =undefined and runs the `verify`,
-# `engine` and `fuzz` ctest labels (certifier, fault injection, degradation
-# ladder, thread pool / job service, generative fuzzer) under each, plus a
-# bounded differential fuzz campaign through the CLI. The certifier's whole
-# contract is "never crash on corrupted artifacts", so it is exercised under
-# the sanitizers that would catch the silent out-of-bounds read behind a
-# wrong verdict; the fuzz campaign feeds both it and the frontend hundreds
-# of generated and mutated inputs while those sanitizers watch.
+# `engine`, `fuzz` and `perf` ctest labels (certifier, fault injection,
+# degradation ladder, thread pool / job service, generative fuzzer,
+# incremental-force-engine consistency) under each, plus a bounded
+# differential fuzz campaign through the CLI and a bounded C1 bench smoke
+# (which cross-checks naive / incremental / parallel schedules for bit
+# identity). The certifier's whole contract is "never crash on corrupted
+# artifacts", so it is exercised under the sanitizers that would catch the
+# silent out-of-bounds read behind a wrong verdict; the fuzz campaign feeds
+# both it and the frontend hundreds of generated and mutated inputs while
+# those sanitizers watch.
 #
 # Usage: scripts/check.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -21,9 +24,10 @@ for san in address undefined; do
   cmake -B "${build}" -S . -DMSHLS_SANITIZE="${san}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j "${jobs}" > /dev/null
-  ctest --test-dir "${build}" -L 'verify|engine|fuzz' --output-on-failure \
-        -j "${jobs}"
+  ctest --test-dir "${build}" -L 'verify|engine|fuzz|perf' \
+        --output-on-failure -j "${jobs}"
   "${build}/src/tools/mshlsc" --fuzz 50:1 --jobs 2 \
         --fuzz-dir "${build}/fuzz-check"
+  MSHLS_CHECK_INCREMENTAL=1 "${build}/bench/bench_coupled" --smoke
 done
 echo "==> all sanitizer runs passed"

@@ -10,12 +10,14 @@ void AddOccupancyProbability(Profile& p, const TimeFrame& f, int dii,
   assert(dii >= 1);
   const double per_start = scale / f.width();
   // Occupancy of start s covers [s, s+dii); summed over all starts this is
-  // a trapezoid. Accumulate directly — frames are small.
-  for (int s = f.asap; s <= f.alap; ++s) {
-    for (int t = s; t < s + dii; ++t) {
-      assert(static_cast<std::size_t>(t) < p.size());
-      p[static_cast<std::size_t>(t)] += per_start;
-    }
+  // a trapezoid over [asap, alap+dii) whose height at t is the number of
+  // covering starts. One fused write per step with the closed-form count
+  // replaces the former O(width*dii) nested accumulation.
+  for (int t = f.asap; t < f.alap + dii; ++t) {
+    const int covering = std::min(t, f.alap) - std::max(t - dii + 1, f.asap)
+                         + 1;
+    assert(covering >= 1 && static_cast<std::size_t>(t) < p.size());
+    p[static_cast<std::size_t>(t)] += covering * per_start;
   }
 }
 

@@ -8,19 +8,6 @@
 namespace mshls {
 namespace {
 
-/// Applies `target` to a copy of `frames` and returns the copy. Narrowing
-/// to any sub-frame of a propagated frame set is always feasible, so a
-/// failure here indicates a bug, not an input problem.
-TimeFrameSet NarrowedCopy(const Block& block, const DelayFn& delay,
-                          const TimeFrameSet& frames, OpId op,
-                          TimeFrame target) {
-  TimeFrameSet next = frames;
-  const Status s = next.Narrow(block.graph, delay, op, target);
-  assert(s.ok() && "narrowing inside a propagated frame must stay feasible");
-  (void)s;
-  return next;
-}
-
 BlockSchedule ExtractSchedule(const TimeFrameSet& frames) {
   BlockSchedule schedule(frames.size());
   for (std::size_t i = 0; i < frames.size(); ++i) {
@@ -36,46 +23,94 @@ BlockSchedule ExtractSchedule(const TimeFrameSet& frames) {
 double EvaluateLocalNarrowForce(const Block& block, const ResourceLibrary& lib,
                                 const TimeFrameSet& frames,
                                 const std::vector<Profile>& profiles, OpId op,
-                                TimeFrame target, const FdsParams& params) {
+                                TimeFrame target, const FdsParams& params,
+                                FdsScratch& sc) {
   const DelayFn delay = [&](OpId o) {
     return lib.type(block.graph.op(o).type).delay;
   };
-  const TimeFrameSet next = NarrowedCopy(block, delay, frames, op, target);
+  // Apply `target` to a reused copy of `frames`. Narrowing to any sub-frame
+  // of a propagated frame set is always feasible, so a failure here
+  // indicates a bug, not an input problem.
+  sc.next = frames;
+  {
+    const Status s = sc.next.Narrow(block.graph, delay, op, target);
+    assert(s.ok() && "narrowing inside a propagated frame must stay feasible");
+    (void)s;
+  }
 
   // Collect per-type displacement from every op whose frame changed
   // (the op itself plus transitively constrained predecessors/successors).
-  std::vector<Profile> dq(lib.size());
-  std::vector<bool> touched(lib.size(), false);
+  sc.dq.resize(lib.size());
+  if (sc.touched.size() != lib.size()) sc.touched.assign(lib.size(), 0);
+  for (int k : sc.touched_list) {
+    sc.dq[static_cast<std::size_t>(k)].clear();
+    sc.touched[static_cast<std::size_t>(k)] = 0;
+  }
+  sc.touched_list.clear();
   for (const Operation& o : block.graph.ops()) {
     const TimeFrame& before = frames.frame(o.id);
-    const TimeFrame& after = next.frame(o.id);
+    const TimeFrame& after = sc.next.frame(o.id);
     if (before == after) continue;
-    auto& d = dq[o.type.index()];
+    const std::size_t k = o.type.index();
+    auto& d = sc.dq[k];
     if (d.empty()) d.assign(static_cast<std::size_t>(block.time_range), 0.0);
     const int dii = lib.type(o.type).dii;
     AddOccupancyProbability(d, before, dii, -1.0);
     AddOccupancyProbability(d, after, dii, +1.0);
-    touched[o.type.index()] = true;
+    if (!sc.touched[k]) {
+      sc.touched[k] = 1;
+      sc.touched_list.push_back(static_cast<int>(k));
+    }
   }
 
   double force = 0;
   for (const ResourceType& t : lib.types()) {
-    if (!touched[t.id.index()]) continue;
-    force += SpringForce(profiles[t.id.index()], dq[t.id.index()], params,
+    if (!sc.touched[t.id.index()]) continue;
+    force += SpringForce(profiles[t.id.index()], sc.dq[t.id.index()], params,
                          TypeWeight(lib, t.id, params));
   }
   return force;
 }
 
+double EvaluateLocalNarrowForce(const Block& block, const ResourceLibrary& lib,
+                                const TimeFrameSet& frames,
+                                const std::vector<Profile>& profiles, OpId op,
+                                TimeFrame target, const FdsParams& params) {
+  FdsScratch scratch;
+  return EvaluateLocalNarrowForce(block, lib, frames, profiles, op, target,
+                                  params, scratch);
+}
+
+void RefreshChangedTypeProfiles(const Block& block, const ResourceLibrary& lib,
+                                const TimeFrameSet& before,
+                                const TimeFrameSet& after,
+                                std::vector<Profile>& profiles) {
+  std::vector<char> changed(lib.size(), 0);
+  for (const Operation& o : block.graph.ops())
+    if (before.frame(o.id) != after.frame(o.id)) changed[o.type.index()] = 1;
+  for (const ResourceType& t : lib.types())
+    if (changed[t.id.index()])
+      profiles[t.id.index()] = BuildTypeProfile(block, lib, after, t.id);
+}
+
 std::vector<int> UsageOf(const Block& block, const ResourceLibrary& lib,
                          const BlockSchedule& schedule) {
-  std::vector<int> usage(lib.size(), 0);
-  for (const ResourceType& t : lib.types()) {
-    const std::vector<int> profile =
-        OccupancyProfile(block, lib, schedule, t.id);
-    for (int v : profile)
-      usage[t.id.index()] = std::max(usage[t.id.index()], v);
+  // One pass over the ops accumulating every type's occupancy profile at
+  // once (the former per-type OccupancyProfile calls rescanned all ops once
+  // per library entry).
+  std::vector<std::vector<int>> profiles(lib.size());
+  for (const Operation& op : block.graph.ops()) {
+    auto& p = profiles[op.type.index()];
+    if (p.empty()) p.assign(static_cast<std::size_t>(block.time_range), 0);
+    const int s = schedule.start(op.id);
+    if (s < 0) continue;
+    const int dii = lib.type(op.type).dii;
+    for (int t = s; t < s + dii && t < block.time_range; ++t)
+      ++p[static_cast<std::size_t>(t)];
   }
+  std::vector<int> usage(lib.size(), 0);
+  for (std::size_t k = 0; k < profiles.size(); ++k)
+    for (int v : profiles[k]) usage[k] = std::max(usage[k], v);
   return usage;
 }
 
@@ -89,9 +124,14 @@ StatusOr<FdsResult> ScheduleBlockFds(const Block& block,
   if (!frames_or.ok()) return frames_or.status();
   TimeFrameSet frames = std::move(frames_or).value();
 
+  // Profiles are maintained incrementally: after each narrow only the types
+  // whose ops moved are rebuilt (bit-identical to the former per-iteration
+  // BuildAllProfiles).
+  std::vector<Profile> profiles = BuildAllProfiles(block, lib, frames);
+  FdsScratch scratch;
+  TimeFrameSet prev;
   int iterations = 0;
   while (!frames.AllFixed()) {
-    const std::vector<Profile> profiles = BuildAllProfiles(block, lib, frames);
     double best_force = std::numeric_limits<double>::infinity();
     OpId best_op = OpId::invalid();
     int best_step = -1;
@@ -99,8 +139,9 @@ StatusOr<FdsResult> ScheduleBlockFds(const Block& block,
       const TimeFrame& f = frames.frame(op.id);
       if (f.fixed()) continue;
       for (int t = f.asap; t <= f.alap; ++t) {
-        const double force = EvaluateLocalNarrowForce(
-            block, lib, frames, profiles, op.id, TimeFrame{t, t}, params);
+        const double force =
+            EvaluateLocalNarrowForce(block, lib, frames, profiles, op.id,
+                                     TimeFrame{t, t}, params, scratch);
         if (force < best_force) {
           best_force = force;
           best_op = op.id;
@@ -109,10 +150,12 @@ StatusOr<FdsResult> ScheduleBlockFds(const Block& block,
       }
     }
     assert(best_op.valid());
+    prev = frames;
     if (Status s = frames.Narrow(block.graph, delay, best_op,
                                  TimeFrame{best_step, best_step});
         !s.ok())
       return s;
+    RefreshChangedTypeProfiles(block, lib, prev, frames, profiles);
     ++iterations;
   }
 
@@ -134,9 +177,11 @@ StatusOr<FdsResult> ScheduleBlockIfds(const Block& block,
   if (!frames_or.ok()) return frames_or.status();
   TimeFrameSet frames = std::move(frames_or).value();
 
+  std::vector<Profile> profiles = BuildAllProfiles(block, lib, frames);
+  FdsScratch scratch;
+  TimeFrameSet prev;
   int iterations = 0;
   while (!frames.AllFixed()) {
-    const std::vector<Profile> profiles = BuildAllProfiles(block, lib, frames);
     IterationTrace trace;
     trace.iteration = iterations;
     double best_diff = -1.0;
@@ -146,12 +191,12 @@ StatusOr<FdsResult> ScheduleBlockIfds(const Block& block,
       CandidateEval eval;
       eval.op = op.id;
       eval.frame = f;
-      eval.force_begin = EvaluateLocalNarrowForce(
-          block, lib, frames, profiles, op.id, TimeFrame{f.asap, f.asap},
-          params);
-      eval.force_end = EvaluateLocalNarrowForce(
-          block, lib, frames, profiles, op.id, TimeFrame{f.alap, f.alap},
-          params);
+      eval.force_begin =
+          EvaluateLocalNarrowForce(block, lib, frames, profiles, op.id,
+                                   TimeFrame{f.asap, f.asap}, params, scratch);
+      eval.force_end =
+          EvaluateLocalNarrowForce(block, lib, frames, profiles, op.id,
+                                   TimeFrame{f.alap, f.alap}, params, scratch);
       eval.diff = std::abs(eval.force_begin - eval.force_end);
       if (f.width() > 2) eval.diff *= params.mid_estimate;
       trace.candidates.push_back(eval);
@@ -167,9 +212,11 @@ StatusOr<FdsResult> ScheduleBlockIfds(const Block& block,
                                ? TimeFrame{f.asap + 1, f.alap}
                                : TimeFrame{f.asap, f.alap - 1};
     if (observer) observer(trace);
+    prev = frames;
     if (Status s = frames.Narrow(block.graph, delay, trace.chosen, next);
         !s.ok())
       return s;
+    RefreshChangedTypeProfiles(block, lib, prev, frames, profiles);
     ++iterations;
   }
 

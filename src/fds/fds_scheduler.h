@@ -57,6 +57,16 @@ using IterationObserver = std::function<void(const IterationTrace&)>;
     const Block& block, const ResourceLibrary& lib, const FdsParams& params,
     const IterationObserver& observer = {});
 
+/// Reusable buffers for EvaluateLocalNarrowForce: the tentative frame set
+/// and the per-type displacement profiles are assigned in place instead of
+/// being reallocated per candidate. One instance per worker thread.
+struct FdsScratch {
+  TimeFrameSet next;
+  std::vector<Profile> dq;       // per type id
+  std::vector<char> touched;     // per type id
+  std::vector<int> touched_list;
+};
+
 /// Force of tentatively narrowing `op` to `target`, measured on block-local
 /// distributions `profiles` (indexed by type id). Includes all implied
 /// predecessor/successor displacements via transitive frame propagation.
@@ -65,6 +75,21 @@ using IterationObserver = std::function<void(const IterationTrace&)>;
     const Block& block, const ResourceLibrary& lib, const TimeFrameSet& frames,
     const std::vector<Profile>& profiles, OpId op, TimeFrame target,
     const FdsParams& params);
+
+/// Allocation-free variant used by the scheduler inner loops; bit-identical
+/// to the plain overload.
+[[nodiscard]] double EvaluateLocalNarrowForce(
+    const Block& block, const ResourceLibrary& lib, const TimeFrameSet& frames,
+    const std::vector<Profile>& profiles, OpId op, TimeFrame target,
+    const FdsParams& params, FdsScratch& scratch);
+
+/// Rebuilds exactly the per-type entries of `profiles` whose operations'
+/// frames differ between `before` and `after` (the scoped equivalent of
+/// BuildAllProfiles after one narrow; bit-identical to a full rebuild).
+void RefreshChangedTypeProfiles(const Block& block, const ResourceLibrary& lib,
+                                const TimeFrameSet& before,
+                                const TimeFrameSet& after,
+                                std::vector<Profile>& profiles);
 
 /// Usage (max occupancy) per type id of a complete block schedule.
 [[nodiscard]] std::vector<int> UsageOf(const Block& block,

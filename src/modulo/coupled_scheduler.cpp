@@ -3,12 +3,41 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <string>
 
+#include "engine/thread_pool.h"
 #include "fds/distribution.h"
 #include "fds/force.h"
 #include "modulo/modulo_map.h"
 
 namespace mshls {
+
+namespace {
+
+/// Process-wide opt-in for the differential self-check: the CMake option
+/// bakes it in, the environment variable turns it on for any binary.
+bool CheckIncrementalGloballyEnabled() {
+#ifdef MSHLS_CHECK_INCREMENTAL
+  return true;
+#else
+  static const bool enabled = [] {
+    const char* v = std::getenv("MSHLS_CHECK_INCREMENTAL");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return enabled;
+#endif
+}
+
+}  // namespace
+
+void CoupledScheduler::EvalScratch::Prepare(std::size_t types) {
+  dq.resize(types);
+  touched.assign(types, 0);
+  touched_list.clear();
+  touched_list.reserve(types);
+}
 
 CoupledScheduler::CoupledScheduler(const SystemModel& model,
                                    CoupledParams params)
@@ -26,6 +55,10 @@ CoupledScheduler::CoupledScheduler(const SystemModel& model,
     state.frames = std::move(frames_or).value();
     state.local.resize(lib.size());
     state.modulo.resize(lib.size());
+    state.cache.assign(b.graph.op_count(), CandidateCache{});
+    for (const ResourceType& t : lib.types())
+      if (GlobalForBlock(t.id, b.id))
+        state.global_type_mask |= TypeBit(t.id.index());
     blocks_.push_back(std::move(state));
   }
   for (const Block& b : model_.blocks()) RebuildBlockState(b.id);
@@ -34,6 +67,8 @@ CoupledScheduler::CoupledScheduler(const SystemModel& model,
   group_.assign(lib.size(), {});
   RebuildProcessAndGroupProfiles();
 }
+
+CoupledScheduler::~CoupledScheduler() = default;
 
 bool CoupledScheduler::GlobalForBlock(ResourceTypeId type,
                                       BlockId block) const {
@@ -95,132 +130,457 @@ const Profile& CoupledScheduler::GroupProfile(ResourceTypeId type) const {
   return group_[type.index()];
 }
 
-double CoupledScheduler::EvaluateForce(BlockId bid, OpId op,
-                                       TimeFrame target) const {
+double CoupledScheduler::EvaluateForce(BlockId bid, OpId op, TimeFrame target,
+                                       EvalScratch& sc,
+                                       std::uint64_t* touched_mask,
+                                       std::vector<ForceTerm>* terms) const {
   const Block& b = model_.block(bid);
   const ResourceLibrary& lib = model_.library();
   const BlockState& state = blocks_[bid.index()];
 
-  TimeFrameSet next = state.frames;
+  sc.next = state.frames;
   {
-    const Status s = next.Narrow(b.graph, delays_[bid.index()], op, target);
+    const Status s =
+        sc.next.Narrow(b.graph, delays_[bid.index()], op, target);
     assert(s.ok() && "narrowing inside a propagated frame must be feasible");
     (void)s;
   }
 
-  // Per-type displacement of the block-local distribution.
-  std::vector<Profile> dq(lib.size());
-  std::vector<bool> touched(lib.size(), false);
+  // Per-type displacement of the block-local distribution; dq buffers are
+  // reused across evaluations (cleared lazily via the touched list).
+  for (int k : sc.touched_list) {
+    sc.dq[static_cast<std::size_t>(k)].clear();
+    sc.touched[static_cast<std::size_t>(k)] = 0;
+  }
+  sc.touched_list.clear();
   for (const Operation& o : b.graph.ops()) {
     const TimeFrame& before = state.frames.frame(o.id);
-    const TimeFrame& after = next.frame(o.id);
+    const TimeFrame& after = sc.next.frame(o.id);
     if (before == after) continue;
-    auto& d = dq[o.type.index()];
+    const std::size_t k = o.type.index();
+    auto& d = sc.dq[k];
     if (d.empty()) d.assign(static_cast<std::size_t>(b.time_range), 0.0);
     const int dii = lib.type(o.type).dii;
     AddOccupancyProbability(d, before, dii, -1.0);
     AddOccupancyProbability(d, after, dii, +1.0);
-    touched[o.type.index()] = true;
+    if (!sc.touched[k]) {
+      sc.touched[k] = 1;
+      sc.touched_list.push_back(static_cast<int>(k));
+    }
   }
+
+  // Reuse term slots in place so the cached Profile buffers keep their
+  // capacity across re-evaluations.
+  std::size_t term_count = 0;
+  const auto record = [&](ResourceTypeId type, bool global,
+                          double contribution,
+                          const Profile* modulo_next) -> void {
+    if (terms == nullptr) return;
+    if (term_count == terms->size()) terms->emplace_back();
+    ForceTerm& term = (*terms)[term_count++];
+    term.type = type;
+    term.global = global;
+    term.contribution = contribution;
+    if (global)
+      term.modulo_next = *modulo_next;
+    else
+      term.modulo_next.clear();
+  };
 
   double force = 0;
   for (const ResourceType& t : lib.types()) {
     const std::size_t k = t.id.index();
-    if (!touched[k]) continue;
+    if (!sc.touched[k]) continue;
+    if (touched_mask != nullptr) *touched_mask |= TypeBit(k);
     const double w = TypeWeight(lib, t.id, params_.fds);
 
     if (!GlobalForBlock(t.id, bid)) {
-      force += SpringForce(state.local[k], dq[k], params_.fds, w);
+      const double c = SpringForce(state.local[k], sc.dq[k], params_.fds, w);
+      record(t.id, false, c, nullptr);
+      force += c;
       continue;
     }
 
     // Displaced block distribution and its modulo-max transform (eq. 7/8).
     const int lambda = model_.assignment(t.id).period;
-    Profile d_next = state.local[k];
-    for (std::size_t i = 0; i < d_next.size(); ++i) d_next[i] += dq[k][i];
-    const Profile modulo_next = ModuloMaxTransform(
-        std::span<const double>(d_next), b.phase, lambda);
+    sc.d_next = state.local[k];
+    for (std::size_t i = 0; i < sc.d_next.size(); ++i)
+      sc.d_next[i] += sc.dq[k][i];
+    ModuloMaxTransformInto(std::span<const double>(sc.d_next), b.phase,
+                           lambda, sc.modulo_next);
     const Profile& modulo_cur = state.modulo[k];
 
     if (params_.mode == GlobalForceMode::kBlockModuloOnly) {
-      Profile delta(modulo_next.size());
-      for (std::size_t tau = 0; tau < delta.size(); ++tau)
-        delta[tau] = modulo_next[tau] - modulo_cur[tau];
-      force += SpringForce(modulo_cur, delta, params_.fds, w);
+      sc.delta.resize(sc.modulo_next.size());
+      for (std::size_t tau = 0; tau < sc.delta.size(); ++tau)
+        sc.delta[tau] = sc.modulo_next[tau] - modulo_cur[tau];
+      const double c = SpringForce(modulo_cur, sc.delta, params_.fds, w);
+      // Not re-priceable (no cross-block invalidation in this mode), so the
+      // term is recorded as a plain contribution.
+      record(t.id, false, c, nullptr);
+      force += c;
       continue;
     }
 
     // Full chain (eq. 9): new process max, displacement of the group sum.
     const ProcessId pid = b.process;
     const Profile& m_cur = mp_[pid.index()][k];
-    Profile m_next(modulo_next);
+    sc.m_next = sc.modulo_next;
     for (BlockId other : model_.process(pid).blocks) {
       if (other == bid) continue;
       const Profile& od = blocks_[other.index()].modulo[k];
       if (od.empty()) continue;
-      for (std::size_t tau = 0; tau < m_next.size(); ++tau)
-        m_next[tau] = std::max(m_next[tau], od[tau]);
+      for (std::size_t tau = 0; tau < sc.m_next.size(); ++tau)
+        sc.m_next[tau] = std::max(sc.m_next[tau], od[tau]);
     }
-    Profile delta(m_next.size());
-    for (std::size_t tau = 0; tau < delta.size(); ++tau)
-      delta[tau] = m_next[tau] - m_cur[tau];
-    force += SpringForce(group_[k], delta, params_.fds, w);
+    sc.delta.resize(sc.m_next.size());
+    for (std::size_t tau = 0; tau < sc.delta.size(); ++tau)
+      sc.delta[tau] = sc.m_next[tau] - m_cur[tau];
+    const double c = SpringForce(group_[k], sc.delta, params_.fds, w);
+    record(t.id, true, c, &sc.modulo_next);
+    force += c;
+  }
+  if (terms != nullptr) terms->resize(term_count);
+  return force;
+}
+
+double CoupledScheduler::RepriceGlobalTerms(BlockId bid,
+                                            std::vector<ForceTerm>& terms,
+                                            EvalScratch& sc) const {
+  const ResourceLibrary& lib = model_.library();
+  const ProcessId pid = model_.block(bid).process;
+  double force = 0;
+  for (ForceTerm& term : terms) {
+    if (!term.global) {
+      // Block-level inputs of this term are unchanged by construction
+      // (otherwise the candidate would be kInvalid, not kGlobalStale).
+      force += term.contribution;
+      continue;
+    }
+    // Same eq. 9 chain as EvaluateForce, restarted from the cached
+    // displaced modulo-max profile: identical loops over identical
+    // operands, so the bits match a full re-evaluation.
+    const std::size_t k = term.type.index();
+    const double w = TypeWeight(lib, term.type, params_.fds);
+    const Profile& m_cur = mp_[pid.index()][k];
+    sc.m_next = term.modulo_next;
+    for (BlockId other : model_.process(pid).blocks) {
+      if (other == bid) continue;
+      const Profile& od = blocks_[other.index()].modulo[k];
+      if (od.empty()) continue;
+      for (std::size_t tau = 0; tau < sc.m_next.size(); ++tau)
+        sc.m_next[tau] = std::max(sc.m_next[tau], od[tau]);
+    }
+    sc.delta.resize(sc.m_next.size());
+    for (std::size_t tau = 0; tau < sc.delta.size(); ++tau)
+      sc.delta[tau] = sc.m_next[tau] - m_cur[tau];
+    term.contribution = SpringForce(group_[k], sc.delta, params_.fds, w);
+    force += term.contribution;
   }
   return force;
 }
 
+void CoupledScheduler::RefreshBlock(BlockId bid, EvalScratch& sc) {
+  const Block& b = model_.block(bid);
+  BlockState& state = blocks_[bid.index()];
+  for (const Operation& op : b.graph.ops()) {
+    const TimeFrame& f = state.frames.frame(op.id);
+    if (f.fixed()) continue;
+    CandidateCache& c = state.cache[op.id.index()];
+    if (c.state == CandidateCache::State::kValid) continue;
+    if (c.state == CandidateCache::State::kGlobalStale) {
+      c.force_begin = RepriceGlobalTerms(bid, c.begin_terms, sc);
+      c.force_end = RepriceGlobalTerms(bid, c.end_terms, sc);
+    } else {
+      c.touched_types = 0;
+      c.force_begin = EvaluateForce(bid, op.id, TimeFrame{f.asap, f.asap},
+                                    sc, &c.touched_types, &c.begin_terms);
+      c.force_end = EvaluateForce(bid, op.id, TimeFrame{f.alap, f.alap}, sc,
+                                  &c.touched_types, &c.end_terms);
+    }
+    c.state = CandidateCache::State::kValid;
+  }
+}
+
+void CoupledScheduler::InvalidateAllCandidates() {
+  for (BlockState& state : blocks_)
+    for (CandidateCache& c : state.cache)
+      c.state = CandidateCache::State::kInvalid;
+}
+
+void CoupledScheduler::ApplyNarrowUpdate(BlockId chosen,
+                                         std::span<const TimeFrame> before) {
+  const Block& b = model_.block(chosen);
+  const ResourceLibrary& lib = model_.library();
+  BlockState& state = blocks_[chosen.index()];
+
+  // S = ops whose frames the committed narrow moved; T_S = their types.
+  std::vector<char> type_moved(lib.size(), 0);
+  std::uint64_t moved_mask = 0;
+  for (const Operation& o : b.graph.ops()) {
+    if (before[o.id.index()] == state.frames.frame(o.id)) continue;
+    type_moved[o.type.index()] = 1;
+    moved_mask |= TypeBit(o.type.index());
+  }
+
+  // Rebuild only the moved types' profiles, with the exact loops the full
+  // rebuild uses, so the incremental state is bit-identical to naive. The
+  // modulo-max / process-max / group cascades run only for types whose
+  // profile actually changed at this level (eq. 9 coupling scope).
+  std::uint64_t modulo_changed = 0;  // D_b(chosen) changed
+  std::uint64_t group_changed = 0;   // G changed (via M_p(chosen process))
+  const ProcessId pc = b.process;
+  for (const ResourceType& t : lib.types()) {
+    const std::size_t k = t.id.index();
+    if (!type_moved[k]) continue;
+    state.local[k] = BuildTypeProfile(b, lib, state.frames, t.id);
+    if (!GlobalForBlock(t.id, chosen)) continue;
+    const int lambda = model_.assignment(t.id).period;
+    Profile fresh = ModuloMaxTransform(
+        std::span<const double>(state.local[k]), b.phase, lambda);
+    if (fresh == state.modulo[k]) continue;
+    state.modulo[k] = std::move(fresh);
+    modulo_changed |= TypeBit(k);
+
+    // Process max of the chosen process (eq. 9 inner max, same loop as the
+    // full rebuild).
+    Profile m(static_cast<std::size_t>(lambda), 0.0);
+    for (BlockId bid : model_.process(pc).blocks) {
+      const Profile& d = blocks_[bid.index()].modulo[k];
+      if (d.empty()) continue;
+      for (std::size_t tau = 0; tau < m.size(); ++tau)
+        m[tau] = std::max(m[tau], d[tau]);
+    }
+    if (m == mp_[pc.index()][k]) continue;
+    mp_[pc.index()][k] = std::move(m);
+
+    // Group sum (eq. 9 outer sum) re-accumulated in process order — the
+    // same association order as the full rebuild, so the bits match. An
+    // incremental `group += m_next - m_cur` would round differently.
+    Profile g(static_cast<std::size_t>(lambda), 0.0);
+    for (const Process& p : model_.processes()) {
+      if (!model_.InGroup(t.id, p.id)) continue;
+      const Profile& pm = mp_[p.id.index()][k];
+      for (std::size_t tau = 0; tau < g.size(); ++tau) g[tau] += pm[tau];
+    }
+    if (g == group_[k]) continue;
+    group_[k] = std::move(g);
+    group_changed |= TypeBit(k);
+  }
+
+  // Invalidation. A cached candidate is stale iff one of its recorded
+  // input types changed at the level its force evaluation read it from:
+  //  * chosen block — local frames/profiles of any moved type (the moved
+  //    set of a tentative narrow can only change through ops of T_S);
+  //  * other blocks of the chosen process — the chosen block's modulo-max
+  //    profile feeds their eq. 9 process max directly;
+  //  * blocks of other group processes — only through the group sum.
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    BlockState& bs = blocks_[bi];
+    std::uint64_t stale_mask;
+    const bool block_level = BlockId{static_cast<int>(bi)} == chosen;
+    if (block_level) {
+      stale_mask = moved_mask;
+    } else if (params_.mode != GlobalForceMode::kFull) {
+      continue;  // no cross-block force coupling in the ablated modes
+    } else if (model_.block(BlockId{static_cast<int>(bi)}).process == pc) {
+      stale_mask = modulo_changed & bs.global_type_mask;
+    } else {
+      stale_mask = group_changed & bs.global_type_mask;
+    }
+    if (stale_mask == 0) continue;
+    for (CandidateCache& c : bs.cache) {
+      if ((c.touched_types & stale_mask) == 0) continue;
+      // Cross-block staleness only moves a kValid entry down to the cheap
+      // re-price tier; a kInvalid entry stays fully invalid.
+      if (block_level)
+        c.state = CandidateCache::State::kInvalid;
+      else if (c.state == CandidateCache::State::kValid)
+        c.state = CandidateCache::State::kGlobalStale;
+    }
+  }
+}
+
+Status CoupledScheduler::VerifyIncrementalState() {
+  const ResourceLibrary& lib = model_.library();
+  const auto fail = [](const std::string& what) {
+    return Status{StatusCode::kInternal,
+                  "MSHLS_CHECK_INCREMENTAL divergence: " + what};
+  };
+
+  // 1. Profiles: from-scratch block / process / group state must equal the
+  // incrementally maintained state bit for bit.
+  for (const Block& b : model_.blocks()) {
+    const BlockState& state = blocks_[b.id.index()];
+    for (const ResourceType& t : lib.types()) {
+      const std::size_t k = t.id.index();
+      const Profile local = BuildTypeProfile(b, lib, state.frames, t.id);
+      if (local != state.local[k])
+        return fail("local profile of type " + t.name + " in block " +
+                    b.name);
+      Profile modulo;
+      if (GlobalForBlock(t.id, b.id))
+        modulo = ModuloMaxTransform(std::span<const double>(local), b.phase,
+                                    model_.assignment(t.id).period);
+      if (modulo != state.modulo[k])
+        return fail("modulo profile of type " + t.name + " in block " +
+                    b.name);
+    }
+  }
+  for (const ResourceType& t : lib.types()) {
+    const std::size_t k = t.id.index();
+    if (!model_.is_global(t.id) ||
+        params_.mode == GlobalForceMode::kIgnoreGlobal) {
+      if (!group_[k].empty()) return fail("group profile of local type");
+      continue;
+    }
+    const int lambda = model_.assignment(t.id).period;
+    Profile g(static_cast<std::size_t>(lambda), 0.0);
+    for (const Process& p : model_.processes()) {
+      if (!model_.InGroup(t.id, p.id)) {
+        if (!mp_[p.id.index()][k].empty())
+          return fail("process profile of non-member process " + p.name);
+        continue;
+      }
+      Profile m(static_cast<std::size_t>(lambda), 0.0);
+      for (BlockId bid : p.blocks) {
+        const Profile& d = blocks_[bid.index()].modulo[k];
+        if (d.empty()) continue;
+        for (std::size_t tau = 0; tau < m.size(); ++tau)
+          m[tau] = std::max(m[tau], d[tau]);
+      }
+      if (m != mp_[p.id.index()][k])
+        return fail("process profile of type " + t.name + " in process " +
+                    p.name);
+      for (std::size_t tau = 0; tau < g.size(); ++tau) g[tau] += m[tau];
+    }
+    if (g != group_[k]) return fail("group profile of type " + t.name);
+  }
+
+  // 2. Forces: every cached candidate must equal a fresh evaluation.
+  EvalScratch sc;
+  sc.Prepare(lib.size());
+  for (const Block& b : model_.blocks()) {
+    const BlockState& state = blocks_[b.id.index()];
+    for (const Operation& op : b.graph.ops()) {
+      const TimeFrame& f = state.frames.frame(op.id);
+      if (f.fixed()) continue;
+      const CandidateCache& c = state.cache[op.id.index()];
+      if (c.state != CandidateCache::State::kValid)
+        return fail("unrefreshed candidate op " +
+                    std::to_string(op.id.value()) + " in block " + b.name);
+      const double begin = EvaluateForce(b.id, op.id,
+                                         TimeFrame{f.asap, f.asap}, sc,
+                                         nullptr, nullptr);
+      const double end = EvaluateForce(b.id, op.id, TimeFrame{f.alap, f.alap},
+                                       sc, nullptr, nullptr);
+      if (begin != c.force_begin || end != c.force_end)
+        return fail("stale force for op " + std::to_string(op.id.value()) +
+                    " in block " + b.name + " (cached " +
+                    std::to_string(c.force_begin) + "/" +
+                    std::to_string(c.force_end) + ", fresh " +
+                    std::to_string(begin) + "/" + std::to_string(end) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
 StatusOr<CoupledResult> CoupledScheduler::Run() {
+  const ResourceLibrary& lib = model_.library();
+  const bool check =
+      params_.check_incremental || CheckIncrementalGloballyEnabled();
+  const int jobs =
+      params_.incremental
+          ? std::min(params_.jobs, static_cast<int>(model_.block_count()))
+          : 1;
+  scratch_.resize(static_cast<std::size_t>(std::max(jobs, 1)));
+  for (EvalScratch& sc : scratch_) sc.Prepare(lib.size());
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+
+  std::vector<TimeFrame> before;  // chosen block's frames pre-narrow
   int iterations = 0;
   for (;;) {
-    bool all_fixed = true;
+    std::size_t unfixed = 0;
     for (const BlockState& s : blocks_)
-      if (!s.frames.AllFixed()) {
-        all_fixed = false;
-        break;
-      }
-    if (all_fixed) break;
+      for (const TimeFrame& f : s.frames.frames())
+        if (!f.fixed()) ++unfixed;
+    if (unfixed == 0) break;
 
+    // 1. Sweep: recompute every stale candidate, fanned out over per-shard
+    // block sets. Each worker writes only its own blocks' cache slots, so
+    // any shard count yields the same bits.
+    if (!params_.incremental) InvalidateAllCandidates();
+    if (pool) {
+      const Status sweep = ParallelFor(
+          &*pool, scratch_.size(), [&](std::size_t shard) -> Status {
+            for (std::size_t bi = shard; bi < blocks_.size();
+                 bi += scratch_.size())
+              RefreshBlock(BlockId{static_cast<int>(bi)}, scratch_[shard]);
+            return Status::Ok();
+          });
+      if (!sweep.ok()) return sweep;
+    } else {
+      for (std::size_t bi = 0; bi < blocks_.size(); ++bi)
+        RefreshBlock(BlockId{static_cast<int>(bi)}, scratch_[0]);
+    }
+
+    if (check) {
+      if (Status s = VerifyIncrementalState(); !s.ok()) return s;
+    }
+
+    // 2. Reduction in canonical (block, op) order over the cache.
     CoupledIterationTrace trace;
     trace.iteration = iterations;
+    if (params_.observer) trace.candidates.reserve(unfixed);
     double best_diff = -1.0;
     for (const Block& b : model_.blocks()) {
       const BlockState& state = blocks_[b.id.index()];
       for (const Operation& op : b.graph.ops()) {
         const TimeFrame& f = state.frames.frame(op.id);
         if (f.fixed()) continue;
-        CoupledCandidate c;
-        c.block = b.id;
-        c.op = op.id;
-        c.frame = f;
-        c.force_begin =
-            EvaluateForce(b.id, op.id, TimeFrame{f.asap, f.asap});
-        c.force_end = EvaluateForce(b.id, op.id, TimeFrame{f.alap, f.alap});
-        c.diff = std::abs(c.force_begin - c.force_end);
-        if (f.width() > 2) c.diff *= params_.fds.mid_estimate;
-        if (params_.observer) trace.candidates.push_back(c);
-        if (c.diff > best_diff) {
-          best_diff = c.diff;
-          trace.chosen_block = c.block;
-          trace.chosen_op = c.op;
+        const CandidateCache& c = state.cache[op.id.index()];
+        double diff = std::abs(c.force_begin - c.force_end);
+        if (f.width() > 2) diff *= params_.fds.mid_estimate;
+        if (params_.observer) {
+          CoupledCandidate& out = trace.candidates.emplace_back();
+          out.block = b.id;
+          out.op = op.id;
+          out.frame = f;
+          out.force_begin = c.force_begin;
+          out.force_end = c.force_end;
+          out.diff = diff;
+        }
+        if (diff > best_diff) {
+          best_diff = diff;
+          trace.chosen_block = b.id;
+          trace.chosen_op = op.id;
           trace.shrank_begin = c.force_begin > c.force_end;
         }
       }
     }
     assert(trace.chosen_op.valid());
 
+    // 3. Commit the gradual reduction and update scoped state.
     BlockState& chosen = blocks_[trace.chosen_block.index()];
     const TimeFrame f = chosen.frames.frame(trace.chosen_op);
     const TimeFrame next = trace.shrank_begin
                                ? TimeFrame{f.asap + 1, f.alap}
                                : TimeFrame{f.asap, f.alap - 1};
     if (params_.observer) params_.observer(trace);
+    before.assign(chosen.frames.frames().begin(),
+                  chosen.frames.frames().end());
     if (Status s = chosen.frames.Narrow(
             model_.block(trace.chosen_block).graph,
             delays_[trace.chosen_block.index()], trace.chosen_op, next);
         !s.ok())
       return s;
-    RebuildBlockState(trace.chosen_block);
-    RebuildProcessAndGroupProfiles();
+    if (params_.incremental) {
+      ApplyNarrowUpdate(trace.chosen_block, before);
+    } else {
+      RebuildBlockState(trace.chosen_block);
+      RebuildProcessAndGroupProfiles();
+    }
     ++iterations;
   }
 

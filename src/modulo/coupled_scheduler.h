@@ -19,9 +19,26 @@
 // Part 1 (periodic alignment) is the modulo-maximum transform D; part 2
 // (global balancing) is the max/sum chain to G. `GlobalForceMode` lets
 // benches ablate the parts.
+//
+// Incremental force engine (DESIGN.md §2 row 26): every candidate's
+// end-point forces are cached and only re-evaluated when an input of the
+// evaluation actually changed — ops of the narrowed block that share a
+// resource type with the transitively moved frames, plus (eq. 9 coupling)
+// candidates of other group blocks when the narrowed block's modulo-max /
+// process-max profile changed. Block, process and group profiles are
+// updated scope-by-scope with the same loops the full rebuild uses, so the
+// incremental state is bit-identical to a from-scratch recomputation; the
+// `check_incremental` debug mode (also the MSHLS_CHECK_INCREMENTAL CMake
+// option / env var) re-derives everything each iteration and fails with
+// kInternal on any divergence. The per-iteration candidate sweep can fan
+// out over `jobs` worker threads with bit-identical results (pre-assigned
+// cache slots, canonical-order reduction — same contract as the period
+// search fan-out).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -30,6 +47,8 @@
 #include "sched/time_frames.h"
 
 namespace mshls {
+
+class ThreadPool;
 
 enum class GlobalForceMode {
   /// Part 1 + part 2: forces on the group profile G (the paper's method).
@@ -52,6 +71,8 @@ struct CoupledCandidate {
 
 struct CoupledIterationTrace {
   int iteration = 0;
+  /// Filled only when an observer is installed (the copies are skipped
+  /// entirely otherwise).
   std::vector<CoupledCandidate> candidates;
   BlockId chosen_block;
   OpId chosen_op;
@@ -64,6 +85,21 @@ struct CoupledParams {
   FdsParams fds;
   GlobalForceMode mode = GlobalForceMode::kFull;
   CoupledObserver observer;
+  /// Worker threads for the per-iteration candidate sweep; <= 1 runs
+  /// serially. Any value produces bit-identical results: every worker
+  /// writes only its own blocks' pre-assigned cache slots and the
+  /// reduction runs in canonical (block, op) order.
+  int jobs = 1;
+  /// Dirty-candidate caching + scoped profile updates (the default).
+  /// false falls back to the naive full re-evaluation each iteration —
+  /// the reference path the incremental engine is differentially tested
+  /// against (and the bench_coupled baseline).
+  bool incremental = true;
+  /// Debug mode: re-derives all profiles and candidate forces from scratch
+  /// every iteration and fails the run with kInternal on any divergence
+  /// from the incremental state. Also enabled globally by the
+  /// MSHLS_CHECK_INCREMENTAL environment variable or CMake option.
+  bool check_incremental = false;
 };
 
 struct CoupledResult {
@@ -76,8 +112,9 @@ class CoupledScheduler {
  public:
   /// The model must have passed Validate().
   CoupledScheduler(const SystemModel& model, CoupledParams params);
+  ~CoupledScheduler();
 
-  /// Runs the coupled IFDS to completion. Deterministic.
+  /// Runs the coupled IFDS to completion. Deterministic for any `jobs`.
   [[nodiscard]] StatusOr<CoupledResult> Run();
 
   /// Current group demand profile of a global type (for tracing); only
@@ -85,6 +122,38 @@ class CoupledScheduler {
   [[nodiscard]] const Profile& GroupProfile(ResourceTypeId type) const;
 
  private:
+  /// One per-type summand of a cached end-point force, in library order.
+  /// Local terms keep only the final contribution; global (eq. 9) terms
+  /// also keep the candidate's displaced modulo-max profile so the term can
+  /// be re-priced against fresh process/group profiles without redoing the
+  /// frame propagation.
+  struct ForceTerm {
+    ResourceTypeId type;
+    bool global = false;
+    double contribution = 0;
+    Profile modulo_next;  // displaced D_b (global kFull terms only)
+  };
+
+  /// Cached end-point evaluation of one candidate (block, op). The type
+  /// mask remembers which resource types the two tentative narrows
+  /// displaced — the exact set of inputs the cached forces depend on.
+  struct CandidateCache {
+    /// kInvalid — a block-level input (this block's frames or local
+    /// profiles of a touched type) changed: full re-evaluation.
+    /// kGlobalStale — only eq. 9 inputs of other blocks (process max /
+    /// group sum) changed: the cached terms re-price in O(lambda).
+    /// kValid — reusable as is.
+    enum class State : std::uint8_t { kInvalid, kGlobalStale, kValid };
+    double force_begin = 0;
+    double force_end = 0;
+    /// Union over both end-point evaluations of TypeBit() of every type
+    /// with a displaced op.
+    std::uint64_t touched_types = 0;
+    State state = State::kInvalid;
+    std::vector<ForceTerm> begin_terms;
+    std::vector<ForceTerm> end_terms;
+  };
+
   struct BlockState {
     TimeFrameSet frames;
     /// Block-local distribution d per resource type id.
@@ -92,15 +161,67 @@ class CoupledScheduler {
     /// Modulo-max profile D per resource type id (empty when not global
     /// for this block's process).
     std::vector<Profile> modulo;
+    /// Dirty-candidate cache, by op id.
+    std::vector<CandidateCache> cache;
+    /// TypeBit mask of the types with GlobalForBlock() == true.
+    std::uint64_t global_type_mask = 0;
   };
+
+  /// Reusable per-worker buffers for EvaluateForce: no per-candidate
+  /// allocation once warm.
+  struct EvalScratch {
+    TimeFrameSet next;
+    std::vector<Profile> dq;       // per type id
+    std::vector<char> touched;     // per type id
+    std::vector<int> touched_list;
+    Profile d_next;
+    Profile modulo_next;
+    Profile delta;
+    Profile m_next;
+    void Prepare(std::size_t types);
+  };
+
+  /// Saturating type bit: types with index >= 64 share the top bit, which
+  /// only ever over-approximates an intersection (extra invalidation, never
+  /// a stale hit).
+  [[nodiscard]] static std::uint64_t TypeBit(std::size_t type_index) {
+    return std::uint64_t{1} << (type_index < 63 ? type_index : 63);
+  }
 
   void RebuildBlockState(BlockId b);
   void RebuildProcessAndGroupProfiles();
 
   /// Force of tentatively narrowing `op` of block `b` to `target` under the
-  /// configured mode.
-  [[nodiscard]] double EvaluateForce(BlockId b, OpId op,
-                                     TimeFrame target) const;
+  /// configured mode. Accumulates TypeBit() of every displaced type into
+  /// `touched_mask` when non-null and records the per-type summands into
+  /// `terms` when non-null (buffers are reused in place).
+  [[nodiscard]] double EvaluateForce(BlockId b, OpId op, TimeFrame target,
+                                     EvalScratch& scratch,
+                                     std::uint64_t* touched_mask,
+                                     std::vector<ForceTerm>* terms) const;
+
+  /// Re-sums cached terms of one endpoint, recomputing only the global
+  /// eq. 9 contributions from the cached displaced modulo-max profiles and
+  /// the current process/group state. Bit-identical to a fresh
+  /// EvaluateForce when no block-level input of the candidate changed.
+  [[nodiscard]] double RepriceGlobalTerms(BlockId b,
+                                          std::vector<ForceTerm>& terms,
+                                          EvalScratch& scratch) const;
+
+  /// Recomputes every invalid cache entry of `b`'s unfixed ops.
+  void RefreshBlock(BlockId b, EvalScratch& scratch);
+
+  /// Scoped post-narrow update: rebuilds only the (block, type) profiles
+  /// whose inputs moved, cascades to process/group profiles of changed
+  /// types, and invalidates exactly the candidates whose cached inputs
+  /// changed. `before` holds the chosen block's frames prior to Narrow().
+  void ApplyNarrowUpdate(BlockId chosen, std::span<const TimeFrame> before);
+
+  /// check_incremental: re-derives all profiles and forces from scratch
+  /// and compares bit-for-bit with the incremental state.
+  [[nodiscard]] Status VerifyIncrementalState();
+
+  void InvalidateAllCandidates();
 
   /// True if `type` participates in global force evaluation for `block`.
   [[nodiscard]] bool GlobalForBlock(ResourceTypeId type, BlockId block) const;
@@ -111,6 +232,7 @@ class CoupledScheduler {
   std::vector<std::vector<Profile>> mp_;    // [process][type] M_p
   std::vector<Profile> group_;              // [type] G
   std::vector<DelayFn> delays_;             // by block id
+  std::vector<EvalScratch> scratch_;        // one per sweep worker
 };
 
 }  // namespace mshls

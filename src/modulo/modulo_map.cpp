@@ -6,14 +6,20 @@
 namespace mshls {
 
 Profile ModuloMaxTransform(std::span<const double> d, int phase, int lambda) {
+  Profile out;
+  ModuloMaxTransformInto(d, phase, lambda, out);
+  return out;
+}
+
+void ModuloMaxTransformInto(std::span<const double> d, int phase, int lambda,
+                            Profile& out) {
   assert(lambda >= 1 && phase >= 0);
-  Profile out(static_cast<std::size_t>(lambda), 0.0);
+  out.assign(static_cast<std::size_t>(lambda), 0.0);
   for (std::size_t t = 0; t < d.size(); ++t) {
     const int tau = ResidueOf(static_cast<int>(t), phase, lambda);
     out[static_cast<std::size_t>(tau)] =
         std::max(out[static_cast<std::size_t>(tau)], d[t]);
   }
-  return out;
 }
 
 std::vector<int> ModuloMaxTransform(std::span<const int> d, int phase,

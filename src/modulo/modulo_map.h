@@ -29,6 +29,11 @@ namespace mshls {
 [[nodiscard]] Profile ModuloMaxTransform(std::span<const double> d, int phase,
                                          int lambda);
 
+/// In-place variant for allocation-free hot loops: `out` is resized to
+/// `lambda` and overwritten. Bit-identical to ModuloMaxTransform.
+void ModuloMaxTransformInto(std::span<const double> d, int phase, int lambda,
+                            Profile& out);
+
 /// Integer variant for final occupancy profiles.
 [[nodiscard]] std::vector<int> ModuloMaxTransform(std::span<const int> d,
                                                   int phase, int lambda);

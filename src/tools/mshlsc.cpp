@@ -16,9 +16,10 @@
 //   --simulate <n>         run n random grid-aligned activations per
 //                          process through the conflict simulator
 //   --seed <s>             seed for --simulate (default 1)
-//   --jobs <n>             worker threads: fans the S1/S2 searches out
-//                          over n threads (results identical to -j 1) and
-//                          sets batch concurrency
+//   --jobs <n>             worker threads: fans the S1/S2 searches, the
+//                          single-model coupled candidate sweep and batch
+//                          processing out over n threads (results are
+//                          bit-identical to -j 1)
 //   --batch <dir>          schedule every *.hls file under <dir>
 //                          concurrently through the job service (combines
 //                          with the mode flags above; per-file reports).
@@ -424,7 +425,9 @@ int main(int argc, char** argv) {
                 search.value().evaluated);
     result = std::move(search.value().best);
   } else {
-    CoupledScheduler scheduler(model, CoupledParams{});
+    CoupledParams coupled_params;
+    coupled_params.jobs = args.jobs;
+    CoupledScheduler scheduler(model, coupled_params);
     auto run = scheduler.Run();
     if (!run.ok()) {
       std::fprintf(stderr, "scheduling failed: %s\n",

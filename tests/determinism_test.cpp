@@ -10,6 +10,7 @@
 
 #include "fuzz/fuzzer.h"
 #include "modulo/assignment_search.h"
+#include "modulo/coupled_scheduler.h"
 #include "modulo/period_search.h"
 #include "modulo/schedule_cache.h"
 #include "workloads/benchmarks.h"
@@ -191,6 +192,67 @@ TEST(FuzzDeterminism, JobsOneAndEightProduceIdenticalLogs) {
     EXPECT_EQ(parallel.log, serial.log) << "jobs=" << jobs;
     EXPECT_EQ(parallel.failures, serial.failures);
     EXPECT_EQ(parallel.Summary(), serial.Summary()) << "jobs=" << jobs;
+  }
+}
+
+struct CoupledRun {
+  CoupledResult result;
+  std::vector<CoupledIterationTrace> traces;
+};
+
+CoupledRun RunCoupledWithJobs(int jobs) {
+  SystemModel model = BuildSmallSharedSystem();
+  CoupledRun run;
+  CoupledParams params;
+  params.jobs = jobs;
+  params.observer = [&](const CoupledIterationTrace& t) {
+    run.traces.push_back(t);
+  };
+  CoupledScheduler scheduler(model, params);
+  auto result = scheduler.Run();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (result.ok()) run.result = std::move(result).value();
+  return run;
+}
+
+TEST(CoupledSweepDeterminism, JobsOneTwoEightBitIdentical) {
+  // The per-iteration candidate sweep of the single-model coupled
+  // scheduler fans out over the thread pool: every worker refreshes only
+  // its own blocks' pre-assigned cache slots and the reduction runs
+  // serially in canonical (block, op) order, so any worker count must
+  // reproduce the serial run bit for bit — every candidate force of every
+  // iteration, not just the final schedule.
+  const CoupledRun reference = RunCoupledWithJobs(1);
+  EXPECT_GT(reference.traces.size(), 0u);
+  for (int jobs : {2, 8}) {
+    const CoupledRun run = RunCoupledWithJobs(jobs);
+    EXPECT_EQ(run.result.iterations, reference.result.iterations)
+        << "jobs=" << jobs;
+    ExpectSameSchedule(run.result.schedule, reference.result.schedule);
+    ASSERT_EQ(run.traces.size(), reference.traces.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < run.traces.size(); ++i) {
+      const CoupledIterationTrace& a = reference.traces[i];
+      const CoupledIterationTrace& b = run.traces[i];
+      EXPECT_EQ(a.chosen_block, b.chosen_block) << "iteration " << i;
+      EXPECT_EQ(a.chosen_op, b.chosen_op) << "iteration " << i;
+      EXPECT_EQ(a.shrank_begin, b.shrank_begin) << "iteration " << i;
+      ASSERT_EQ(a.candidates.size(), b.candidates.size());
+      for (std::size_t c = 0; c < a.candidates.size(); ++c) {
+        EXPECT_EQ(a.candidates[c].force_begin, b.candidates[c].force_begin)
+            << "jobs=" << jobs << " iteration " << i << " candidate " << c;
+        EXPECT_EQ(a.candidates[c].force_end, b.candidates[c].force_end)
+            << "jobs=" << jobs << " iteration " << i << " candidate " << c;
+      }
+    }
+  }
+}
+
+TEST(CoupledSweepDeterminism, RepeatedRunsAreStable) {
+  for (int jobs : {1, 4}) {
+    const CoupledRun a = RunCoupledWithJobs(jobs);
+    const CoupledRun b = RunCoupledWithJobs(jobs);
+    EXPECT_EQ(a.result.iterations, b.result.iterations);
+    ExpectSameSchedule(a.result.schedule, b.result.schedule);
   }
 }
 
