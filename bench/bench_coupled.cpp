@@ -1,7 +1,8 @@
-// Experiment C1 — incremental force engine speedup (DESIGN.md §2 row 26).
+// Experiment C1 — incremental force engine speedup (DESIGN.md §2 row 26)
+// and the observability overhead bound (row 27).
 //
 // Times the coupled scheduler on the A-series scaling workloads (the
-// bench_scaling system generator) in three configurations:
+// bench_scaling system generator) in four configurations:
 //
 //   serial-naive   incremental=false: every iteration re-evaluates every
 //                  candidate and rebuilds all profiles from scratch (the
@@ -10,23 +11,34 @@
 //                  thread
 //   inc+jobs       the same engine with the candidate sweep fanned out
 //                  over worker threads
+//   inc+trace      the incremental engine with obs recording enabled and a
+//                  live tracer (the decision log); its delta over
+//                  `incremental` is the *enabled* instrumentation cost.
+//                  The disabled-path cost (probes compiled in, recording
+//                  off) is what every other configuration pays; it is
+//                  measured honestly across build trees by
+//                  scripts/obs_overhead.sh.
 //
-// All three must produce bit-identical schedules — the bench aborts with
+// All four must produce bit-identical schedules — the bench aborts with
 // exit 1 on any divergence, so it doubles as an end-to-end consistency
 // check. `--smoke` runs only the smallest workload (used by check.sh under
-// sanitizers); `--json <file>` writes the machine-readable BENCH_coupled
-// rows for scripts/bench_baseline.sh.
+// sanitizers); `--json <file>` writes the shared mshls-bench-v1 rows for
+// scripts/bench_baseline.sh; `--assert-trace-overhead <pct>` exits
+// non-zero when the *enabled* tracing overhead on the last row exceeds the
+// bound (check.sh smoke).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "modulo/coupled_scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/bench_json.h"
 #include "workloads/benchmarks.h"
 
 using namespace mshls;
@@ -63,19 +75,29 @@ struct ModeResult {
   double wall_ms = 0;
   int iterations = 0;
   SystemSchedule schedule;
+  CoupledStats stats;
 };
 
 ModeResult RunMode(const SystemModel& model, bool incremental, int jobs,
-                   int repeats) {
+                   int repeats, bool traced = false) {
   ModeResult out;
   for (int r = 0; r < repeats; ++r) {
     CoupledParams params;
     params.incremental = incremental;
     params.jobs = jobs;
+    obs::Tracer tracer;
+    if (traced) {
+      obs::SetEnabled(true);
+      obs::InstallGlobalTracer(&tracer);
+    }
     CoupledScheduler scheduler(model, params);
     const auto t0 = std::chrono::steady_clock::now();
     auto result = scheduler.Run();
     const auto t1 = std::chrono::steady_clock::now();
+    if (traced) {
+      obs::UninstallGlobalTracer();
+      obs::SetEnabled(false);
+    }
     if (!result.ok()) {
       std::fprintf(stderr, "scheduling failed: %s\n",
                    result.status().ToString().c_str());
@@ -83,6 +105,7 @@ ModeResult RunMode(const SystemModel& model, bool incremental, int jobs,
     }
     out.wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
     out.iterations = result.value().iterations;
+    out.stats = result.value().stats;
     out.schedule = std::move(result.value().schedule);
   }
   out.wall_ms /= repeats;
@@ -101,28 +124,23 @@ bool SameSchedule(const SystemSchedule& a, const SystemSchedule& b) {
   return true;
 }
 
-struct Row {
-  int processes;
-  int ops;
-  int iterations;
-  double naive_ms;
-  double inc_ms;
-  double jobs_ms;
-  int jobs;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
   bool smoke = false;
-  std::string json_file;
+  double assert_overhead_pct = -1.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--assert-trace-overhead") == 0 &&
+               i + 1 < argc) {
+      assert_overhead_pct = std::atof(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json <file>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json <file>] "
+                   "[--assert-trace-overhead <pct>]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -138,11 +156,17 @@ int main(int argc, char** argv) {
       std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
 
   std::printf("C1 incremental force engine — coupled scheduler, %d sweep "
-              "job(s) in inc+jobs mode\n", jobs);
-  std::printf("%-14s %6s %12s %12s %12s %9s %9s\n", "workload", "iters",
-              "naive ms", "inc ms", "inc+jobs ms", "inc x", "jobs x");
+              "job(s) in inc+jobs mode, obs probes %s\n",
+              jobs, obs::kCompiledIn ? "compiled in" : "compiled out");
+  std::printf("%-14s %6s %12s %12s %12s %12s %9s %9s %8s\n", "workload",
+              "iters", "naive ms", "inc ms", "inc+jobs ms", "inc+trace ms",
+              "inc x", "jobs x", "trace %");
 
-  std::vector<Row> rows;
+  BenchJson json("C1", "coupled");
+  json.params().I("jobs", jobs).B("smoke", smoke).B(
+      "trace_compiled_in", obs::kCompiledIn);
+
+  double last_trace_overhead_pct = 0;
   for (const Config& c : configs) {
     const SystemModel model = MakeSystem(c.processes, c.ops);
     const ModeResult naive = RunMode(model, /*incremental=*/false, 1,
@@ -150,48 +174,55 @@ int main(int argc, char** argv) {
     const ModeResult inc = RunMode(model, /*incremental=*/true, 1, c.repeats);
     const ModeResult par = RunMode(model, /*incremental=*/true, jobs,
                                    c.repeats);
+    const ModeResult traced = RunMode(model, /*incremental=*/true, 1,
+                                      c.repeats, /*traced=*/true);
     if (!SameSchedule(naive.schedule, inc.schedule) ||
         !SameSchedule(naive.schedule, par.schedule) ||
+        !SameSchedule(naive.schedule, traced.schedule) ||
         naive.iterations != inc.iterations ||
-        naive.iterations != par.iterations) {
+        naive.iterations != par.iterations ||
+        naive.iterations != traced.iterations) {
       std::fprintf(stderr,
-                   "DIVERGENCE on %dx%d: the three modes must be "
+                   "DIVERGENCE on %dx%d: all engine modes must be "
                    "bit-identical\n", c.processes, c.ops);
       return 1;
     }
+    const double trace_overhead_pct =
+        (traced.wall_ms / inc.wall_ms - 1.0) * 100.0;
+    last_trace_overhead_pct = trace_overhead_pct;
     const std::string name = std::to_string(c.processes) + "p x " +
                              std::to_string(c.ops) + "ops";
-    std::printf("%-14s %6d %12.2f %12.2f %12.2f %8.2fx %8.2fx\n",
+    std::printf("%-14s %6d %12.2f %12.2f %12.2f %12.2f %8.2fx %8.2fx %7.1f%%\n",
                 name.c_str(), naive.iterations, naive.wall_ms, inc.wall_ms,
-                par.wall_ms, naive.wall_ms / inc.wall_ms,
-                naive.wall_ms / par.wall_ms);
-    rows.push_back({c.processes, c.ops, naive.iterations, naive.wall_ms,
-                    inc.wall_ms, par.wall_ms, jobs});
+                par.wall_ms, traced.wall_ms, naive.wall_ms / inc.wall_ms,
+                naive.wall_ms / par.wall_ms, trace_overhead_pct);
+    json.AddRow()
+        .I("processes", c.processes)
+        .I("ops", c.ops)
+        .I("repeats", c.repeats)
+        .I("iterations", naive.iterations)
+        .D("naive_ms", naive.wall_ms)
+        .D("incremental_ms", inc.wall_ms)
+        .D("incremental_jobs_ms", par.wall_ms)
+        .D("incremental_trace_ms", traced.wall_ms)
+        .D("speedup_incremental", naive.wall_ms / inc.wall_ms)
+        .D("speedup_jobs", naive.wall_ms / par.wall_ms)
+        .D("trace_overhead_pct", trace_overhead_pct)
+        .I("candidates_evaluated", inc.stats.candidates_evaluated)
+        .I("candidates_repriced", inc.stats.candidates_repriced)
+        .I("candidates_reused", inc.stats.candidates_reused)
+        .I("tier1_invalidations", inc.stats.tier1_invalidations)
+        .I("tier2_invalidations", inc.stats.tier2_invalidations);
   }
 
-  if (!json_file.empty()) {
-    std::ofstream out(json_file);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", json_file.c_str());
-      return 1;
-    }
-    out << "{\n  \"experiment\": \"C1\",\n  \"jobs\": " << jobs
-        << ",\n  \"rows\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      char buf[256];
-      std::snprintf(buf, sizeof buf,
-                    "    {\"processes\": %d, \"ops\": %d, \"iterations\": %d, "
-                    "\"naive_ms\": %.3f, \"incremental_ms\": %.3f, "
-                    "\"incremental_jobs_ms\": %.3f, \"speedup_incremental\": "
-                    "%.2f, \"speedup_jobs\": %.2f}%s\n",
-                    r.processes, r.ops, r.iterations, r.naive_ms, r.inc_ms,
-                    r.jobs_ms, r.naive_ms / r.inc_ms, r.naive_ms / r.jobs_ms,
-                    i + 1 < rows.size() ? "," : "");
-      out << buf;
-    }
-    out << "  ]\n}\n";
-    std::printf("wrote %s\n", json_file.c_str());
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
+
+  if (assert_overhead_pct >= 0 &&
+      last_trace_overhead_pct > assert_overhead_pct) {
+    std::fprintf(stderr,
+                 "enabled-tracing overhead %.1f%% exceeds the %.1f%% bound\n",
+                 last_trace_overhead_pct, assert_overhead_pct);
+    return 1;
   }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "engine/job_service.h"
 #include "frontend/emitter.h"
 #include "modulo/period_search.h"
+#include "report/bench_json.h"
 #include "workloads/benchmarks.h"
 
 using namespace mshls;
@@ -78,7 +79,9 @@ bool SameSchedule(const SystemSchedule& a, const SystemSchedule& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  BenchJson json("E1", "engine");
   std::printf("== E1: concurrent scheduling engine (A8-scale workload) ==\n\n");
   std::printf("hardware concurrency: %u core(s) — fan-out speedup is bounded "
               "by this\n\n",
@@ -116,6 +119,12 @@ int main() {
     table.AddRow({std::to_string(jobs), FormatDouble(ms, 0),
                   FormatDouble(serial_ms / ms, 2),
                   jobs == 1 ? "(reference)" : identical ? "yes" : "NO (bug!)"});
+    json.AddRow()
+        .S("variant", "period_search")
+        .I("jobs", jobs)
+        .D("wall_ms", ms)
+        .D("speedup", serial_ms / ms)
+        .B("identical", identical);
     if (!identical) {
       std::fprintf(stderr, "parallel result diverged from serial!\n");
       return 1;
@@ -143,6 +152,12 @@ int main() {
     std::printf("sweep round %d: %ld scheduled, %ld cache hit(s), %.0f ms\n",
                 round + 1, search.value().evaluated,
                 search.value().cache_hits, ms);
+    json.AddRow()
+        .S("variant", "cache_sweep")
+        .I("round", round + 1)
+        .I("evaluated", search.value().evaluated)
+        .I("cache_hits", search.value().cache_hits)
+        .D("wall_ms", ms);
   }
   const CacheStats stats = cache.stats();
   std::printf("cache: %ld hits / %ld lookups (%.0f%% hit rate), "
@@ -180,7 +195,14 @@ int main() {
       if (!r.status.ok()) ++failed;
     std::printf("batch of %zu designs, %d worker(s): %.0f ms, %d failure(s)\n",
                 jobs.size(), workers, ms, failed);
+    json.AddRow()
+        .S("variant", "batch")
+        .I("designs", static_cast<long long>(jobs.size()))
+        .I("workers", workers)
+        .D("wall_ms", ms)
+        .I("failed", failed);
     if (failed > 0) return 1;
   }
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

@@ -9,11 +9,13 @@
 
 #include "modulo/coupled_scheduler.h"
 #include "modulo/modulo_map.h"
+#include "report/bench_json.h"
 #include "workloads/benchmarks.h"
 
 using namespace mshls;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
   std::printf("== F1: Figure 1 — periodic access authorization (eq. 1) ==\n");
   const int lambda = 4;
   const int horizon = 16;
@@ -66,5 +68,15 @@ int main() {
               "same number of adds at all of them without increasing its "
               "requirement (paper §3.2).\n",
               ResidueOf(2, 0, lambda));
+
+  if (!json_file.empty()) {
+    BenchJson json("F1", "fig1");
+    json.params().I("lambda", lambda).I("horizon", horizon);
+    for (int tau = 0; tau < lambda; ++tau)
+      json.AddRow().I("tau", tau).I(
+          "authorization",
+          ga.authorization[0][static_cast<std::size_t>(tau)]);
+    if (!json.WriteFile(json_file)) return 1;
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "modulo/coupled_scheduler.h"
+#include "report/bench_json.h"
 #include "workloads/benchmarks.h"
 
 using namespace mshls;
@@ -76,12 +77,15 @@ SystemModel MakeModel(PaperTypes* out_types) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
   std::printf("== F2: Figure 2 — hiding effect of the modulo-maximum "
               "transform ==\n");
   std::printf("block: 2 ops of one global type, time range 4, period 2\n\n");
 
   PaperTypes types;
+  BenchJson json("F2", "fig2");
+  json.params().I("time_range", 4).I("lambda", 2);
 
   {
     SystemModel model = MakeModel(&types);
@@ -89,6 +93,14 @@ int main() {
     const CoupledResult result =
         Run(model, GlobalForceMode::kIgnoreGlobal, &log);
     PrintTrace("unmodified IFDS (block-local forces)", log, result);
+    const int s0 = result.schedule.of(BlockId{0}).start(OpId{0});
+    const int s1 = result.schedule.of(BlockId{0}).start(OpId{1});
+    json.AddRow()
+        .S("mode", "unmodified")
+        .I("op0_start", s0)
+        .I("op1_start", s1)
+        .B("same_residue", s0 % 2 == s1 % 2)
+        .I("iterations", result.iterations);
   }
   {
     SystemModel model = MakeModel(&types);
@@ -101,6 +113,15 @@ int main() {
                 "residue class is kept free for other processes (paper "
                 "Figure 2f).\n",
                 pool->profile[0], pool->profile[1]);
+    const int s0 = result.schedule.of(BlockId{0}).start(OpId{0});
+    const int s1 = result.schedule.of(BlockId{0}).start(OpId{1});
+    json.AddRow()
+        .S("mode", "modified")
+        .I("op0_start", s0)
+        .I("op1_start", s1)
+        .B("same_residue", s0 % 2 == s1 % 2)
+        .I("iterations", result.iterations);
   }
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

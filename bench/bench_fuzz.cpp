@@ -10,6 +10,7 @@
 
 #include "common/text_table.h"
 #include "fuzz/fuzzer.h"
+#include "report/bench_json.h"
 
 using namespace mshls;
 
@@ -28,8 +29,11 @@ struct Config {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
   constexpr int kCases = 400;
+  BenchJson json("F3", "fuzz");
+  json.params().I("cases", kCases).I("seed", 1);
   const Config configs[] = {
       {"generate+schedule", false, false, false, false},
       {"+certify", true, false, false, false},
@@ -63,6 +67,12 @@ int main() {
                   std::to_string(report.value().failures),
                   std::to_string(static_cast<long>(ms)),
                   std::to_string(static_cast<long>(kCases * 1000.0 / ms))});
+    json.AddRow()
+        .S("oracles", cfg.name)
+        .I("jobs", 1)
+        .I("failures", report.value().failures)
+        .D("wall_ms", ms)
+        .D("cases_per_sec", kCases * 1000.0 / ms);
   }
   std::printf("%s", table.Render().c_str());
 
@@ -82,5 +92,12 @@ int main() {
   std::printf("full battery at jobs=8: %ld ms (%ld cases/sec)\n",
               static_cast<long>(ms),
               static_cast<long>(kCases * 1000.0 / ms));
+  json.AddRow()
+      .S("oracles", "+cache-replay (full)")
+      .I("jobs", 8)
+      .I("failures", report.value().failures)
+      .D("wall_ms", ms)
+      .D("cases_per_sec", kCases * 1000.0 / ms);
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

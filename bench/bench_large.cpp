@@ -9,12 +9,14 @@
 #include "common/text_table.h"
 #include "modulo/baseline.h"
 #include "modulo/coupled_scheduler.h"
+#include "report/bench_json.h"
 #include "sim/simulator.h"
 #include "workloads/benchmarks.h"
 
 using namespace mshls;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
   std::printf("== A8: 10-process mixed system ==\n\n");
   SystemModel model;
   const PaperTypes t = AddPaperTypes(model.library());
@@ -103,5 +105,23 @@ int main() {
   const SimReport report = sim.Run(trace);
   std::printf("storm of %zu activations: %s\n", trace.size(),
               report.ok ? "conflict-free" : "CONFLICT (bug!)");
+
+  if (!json_file.empty()) {
+    BenchJson json("A8", "large");
+    json.params().I("processes", static_cast<long long>(procs.size()))
+        .I("total_ops", static_cast<long long>(total_ops));
+    auto add_row = [&](const char* mode, const Allocation& a, double ms) {
+      json.AddRow()
+          .S("mode", mode)
+          .I("adders", a.TotalInstances(t.add))
+          .I("subtracters", a.TotalInstances(t.sub))
+          .I("multipliers", a.TotalInstances(t.mult))
+          .I("area", a.TotalArea(model.library()))
+          .D("wall_ms", ms);
+    };
+    add_row("global", ga, global_ms);
+    add_row("local", la, local_ms);
+    if (!json.WriteFile(json_file)) return 1;
+  }
   return report.ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "common/text_table.h"
 #include "fds/fds_scheduler.h"
+#include "report/bench_json.h"
 #include "sched/exact_scheduler.h"
 #include "sched/list_scheduler.h"
 #include "workloads/benchmarks.h"
@@ -24,7 +25,9 @@ int AreaOf(const ResourceLibrary& lib, const std::vector<int>& usage) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  BenchJson json("A6", "optimality");
   std::printf("== A6: optimality gap of the scheduling heuristics ==\n\n");
   SystemModel model;
   const PaperTypes t = AddPaperTypes(model.library());
@@ -85,11 +88,21 @@ int main() {
                   std::to_string(la),
                   std::to_string(exact.value().nodes),
                   exact.value().proven_optimal ? "yes" : "cap"});
+    json.AddRow()
+        .S("graph", c.name)
+        .I("deadline", c.range)
+        .I("exact_area", ea)
+        .I("fds_area", fa)
+        .I("ifds_area", ia)
+        .I("list_area", la)
+        .I("nodes", exact.value().nodes)
+        .B("proven_optimal", exact.value().proven_optimal);
   }
   std::printf("%s", table.Render().c_str());
   std::printf("\nIFDS total area %ld vs exact %ld -> average gap %.1f%%\n",
               heuristic_total, exact_total,
               100.0 * (static_cast<double>(heuristic_total) / exact_total -
                        1.0));
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "common/text_table.h"
 #include "modulo/coupled_scheduler.h"
+#include "report/bench_json.h"
 #include "workloads/paper_system.h"
 
 using namespace mshls;
@@ -34,7 +35,9 @@ int RunWith(const FdsParams& fds, std::string* detail) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  BenchJson json("A7", "params");
   std::printf("== A7: force-parameter sensitivity on the paper system ==\n");
   std::printf("(defaults: lookahead 1/3, spring constant 1, damping 0.5, "
               "no area weighting -> area 17)\n\n");
@@ -49,6 +52,11 @@ int main() {
     const int area = RunWith(fds, &detail);
     table.AddRow({name, value, detail,
                   area < 0 ? "fail" : std::to_string(area)});
+    json.AddRow()
+        .S("parameter", name)
+        .S("value", value)
+        .S("instances", detail)
+        .I("area", area);
   };
 
   {
@@ -82,5 +90,6 @@ int main() {
   std::printf("%s", table.Render().c_str());
   std::printf("\nexpected shape: the result is robust around the defaults; "
               "extreme values may trade one adder against a multiplier.\n");
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

@@ -14,13 +14,14 @@
 #include "common/text_table.h"
 #include "modulo/baseline.h"
 #include "modulo/coupled_scheduler.h"
+#include "report/bench_json.h"
 #include "workloads/paper_system.h"
 
 using namespace mshls;
 
 namespace {
 
-void SweepPaperSystem() {
+void SweepPaperSystem(BenchJson& json) {
   std::printf("--- paper system (deadlines 30/30/25/15/15): eq.-3 "
               "compatible periods {1, 5} ---\n");
   TextTable table;
@@ -46,11 +47,20 @@ void SweepPaperSystem() {
                   std::to_string(a.TotalArea(sys.model.library())),
                   std::to_string(sys.model.GridSpacing(sys.ewf[0])),
                   std::to_string(sys.model.GridSpacing(sys.diffeq[0]))});
+    json.AddRow()
+        .S("variant", "paper")
+        .I("lambda", lambda)
+        .I("adders", a.TotalInstances(sys.types.add))
+        .I("subtracters", a.TotalInstances(sys.types.sub))
+        .I("multipliers", a.TotalInstances(sys.types.mult))
+        .I("area", a.TotalArea(sys.model.library()))
+        .I("grid_ewf", sys.model.GridSpacing(sys.ewf[0]))
+        .I("grid_diffeq", sys.model.GridSpacing(sys.diffeq[0]));
   }
   std::printf("%s\n", table.Render().c_str());
 }
 
-void SweepEqualDeadlines() {
+void SweepEqualDeadlines(BenchJson& json) {
   // Equal deadlines 24 for all five processes: divisors 1..24 give a dense
   // sweep of the trade-off curve.
   std::printf("--- scaled variant (all deadlines 24): lambda sweep over "
@@ -80,6 +90,14 @@ void SweepEqualDeadlines() {
                   std::to_string(a.TotalInstances(sys.types.mult)),
                   std::to_string(a.TotalArea(sys.model.library())),
                   std::to_string(sys.model.GridSpacing(sys.ewf[0]))});
+    json.AddRow()
+        .S("variant", "equal_deadlines")
+        .I("lambda", lambda)
+        .I("adders", a.TotalInstances(sys.types.add))
+        .I("subtracters", a.TotalInstances(sys.types.sub))
+        .I("multipliers", a.TotalInstances(sys.types.mult))
+        .I("area", a.TotalArea(sys.model.library()))
+        .I("grid", sys.model.GridSpacing(sys.ewf[0]));
   }
   std::printf("%s", table.Render().c_str());
   std::printf("expected shape: area falls (or holds) as lambda grows — more "
@@ -90,9 +108,12 @@ void SweepEqualDeadlines() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
   std::printf("== A1: period trade-off sweep (paper §3.2) ==\n\n");
-  SweepPaperSystem();
-  SweepEqualDeadlines();
+  BenchJson json("A1", "period_sweep");
+  SweepPaperSystem(json);
+  SweepEqualDeadlines(json);
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "common/text_table.h"
 #include "modulo/period_search.h"
+#include "report/bench_json.h"
 #include "workloads/benchmarks.h"
 #include "workloads/paper_system.h"
 
@@ -20,7 +21,7 @@ using namespace mshls;
 
 namespace {
 
-void Report(const char* name, SystemModel& model) {
+void Report(const char* name, SystemModel& model, BenchJson& json) {
   const auto t0 = std::chrono::steady_clock::now();
   auto result = SearchPeriods(model, CoupledParams{});
   const double ms = std::chrono::duration<double, std::milli>(
@@ -43,11 +44,21 @@ void Report(const char* name, SystemModel& model) {
               name, result.value().combinations, result.value().filtered_out,
               result.value().evaluated, result.value().area, periods.c_str(),
               ms);
+  json.AddRow()
+      .S("system", name)
+      .I("combinations", result.value().combinations)
+      .I("filtered_out", result.value().filtered_out)
+      .I("evaluated", result.value().evaluated)
+      .I("area", result.value().area)
+      .S("periods", periods)
+      .D("wall_ms", ms);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  BenchJson json("A4", "periods");
   std::printf("== A4: automatic period selection (step S2 search) ==\n\n");
 
   {
@@ -66,7 +77,7 @@ int main() {
     }
     model.MakeGlobal(t.add, procs);
     if (!model.Validate().ok()) return 1;
-    Report("2 procs / 1 type", model);
+    Report("2 procs / 1 type", model, json);
   }
 
   {
@@ -91,15 +102,16 @@ int main() {
     model.MakeGlobal(t.add, procs);
     model.MakeGlobal(t.mult, procs);
     if (!model.Validate().ok()) return 1;
-    Report("3 procs / 2 types", model);
+    Report("3 procs / 2 types", model, json);
   }
 
   {
     PaperSystem sys = BuildPaperSystem();
-    Report("paper system", sys.model);
+    Report("paper system", sys.model, json);
     std::printf("\n(the paper fixed all periods to 5 by hand; the search "
                 "confirms or beats that choice within the eq.-3 candidate "
                 "space)\n");
   }
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

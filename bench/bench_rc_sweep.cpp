@@ -7,11 +7,14 @@
 
 #include "common/text_table.h"
 #include "modulo/resource_constrained.h"
+#include "report/bench_json.h"
 #include "workloads/paper_system.h"
 
 using namespace mshls;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  BenchJson json("A5", "rc_sweep");
   std::printf("== A5: resource-constrained modulo scheduling "
               "(pool size vs latency) ==\n\n");
   PaperSystem sys = BuildPaperSystem();
@@ -41,6 +44,11 @@ int main() {
     std::vector<std::string> row = {std::to_string(pools.add),
                                     std::to_string(pools.sub),
                                     std::to_string(pools.mult)};
+    auto& jrow = json.AddRow()
+                     .I("adders", pools.add)
+                     .I("subtracters", pools.sub)
+                     .I("multipliers", pools.mult)
+                     .B("feasible", result.ok());
     if (!result.ok()) {
       row.push_back("infeasible: " + result.status().message());
       table.AddRow(row);
@@ -52,6 +60,7 @@ int main() {
       row.push_back(std::to_string(len));
       sum += len;
     }
+    jrow.I("length_sum", sum);
     row.push_back(std::to_string(sum));
     table.AddRow(row);
   }
@@ -60,5 +69,6 @@ int main() {
               "pools shrink; the paper's global allocation (4/1/3) keeps "
               "every process near its time-constrained deadline "
               "(30/30/25/15/15).\n");
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

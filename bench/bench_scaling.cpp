@@ -8,7 +8,10 @@
 // constant as the system grows) and (b) runtime growth over process count.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "modulo/coupled_scheduler.h"
+#include "report/bench_json.h"
 #include "workloads/benchmarks.h"
 
 using namespace mshls;
@@ -88,6 +91,40 @@ void BM_ModuloMaxOverheadPerForceEval(benchmark::State& state) {
 }
 BENCHMARK(BM_ModuloMaxOverheadPerForceEval)->DenseRange(1, 4);
 
+/// Forwards to the normal console output while mirroring every measured
+/// run into mshls-bench-v1 rows (big-O/RMS aggregate pseudo-runs are
+/// skipped: they carry fit coefficients, not timings).
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRowReporter(BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    if (json_ == nullptr) return;
+    for (const Run& run : runs) {
+      if (run.report_big_o || run.report_rms) continue;
+      json_->AddRow()
+          .S("benchmark", run.benchmark_name())
+          .I("iterations", run.iterations)
+          .D("real_time_ns", run.GetAdjustedRealTime())
+          .D("cpu_time_ns", run.GetAdjustedCPUTime());
+    }
+  }
+
+ private:
+  BenchJson* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchJson json("A2", "scaling");
+  JsonRowReporter reporter(json_file.empty() ? nullptr : &json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "common/text_table.h"
 #include "modulo/baseline.h"
 #include "modulo/coupled_scheduler.h"
+#include "report/bench_json.h"
 #include "report/experiment_report.h"
 #include "workloads/paper_system.h"
 
@@ -35,7 +36,8 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
   std::printf("== T1: Table 1 — multi-process example "
               "(3x EWF + 2x diffeq) ==\n");
   std::printf("deadlines: EWF 30/30/25, diffeq 15/15; period 5; "
@@ -102,6 +104,28 @@ int main() {
               static_cast<double>(la) / ga);
   std::printf("area saving by global sharing: %.0f%% (paper: ~40%%)\n\n",
               100.0 * (1.0 - static_cast<double>(ga) / la));
+
+  if (!json_file.empty()) {
+    BenchJson json("T1", "table1");
+    json.params().S("system", "3x EWF + 2x diffeq").I("period", 5);
+    json.AddRow()
+        .S("mode", "global")
+        .I("adders", global.allocation.TotalInstances(sys.types.add))
+        .I("subtracters", global.allocation.TotalInstances(sys.types.sub))
+        .I("multipliers", global.allocation.TotalInstances(sys.types.mult))
+        .I("area", ga)
+        .I("iterations", global.iterations)
+        .D("wall_ms", global_ms);
+    json.AddRow()
+        .S("mode", "local")
+        .I("adders", local.allocation.TotalInstances(sys.types.add))
+        .I("subtracters", local.allocation.TotalInstances(sys.types.sub))
+        .I("multipliers", local.allocation.TotalInstances(sys.types.mult))
+        .I("area", la)
+        .I("iterations", local.iterations)
+        .D("wall_ms", local_ms);
+    if (!json.WriteFile(json_file)) return 1;
+  }
 
   // Beyond the paper: does mux/register overhead eat the saving? (§7
   // leaves this open.)

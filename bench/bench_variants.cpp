@@ -9,12 +9,15 @@
 
 #include "common/text_table.h"
 #include "fds/fds_scheduler.h"
+#include "report/bench_json.h"
 #include "sched/list_scheduler.h"
 #include "workloads/benchmarks.h"
 
 using namespace mshls;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  BenchJson json("A3", "variants");
   std::printf("== A3: scheduler variants on the classic benchmarks ==\n\n");
   SystemModel model;
   const PaperTypes t = AddPaperTypes(model.library());
@@ -59,6 +62,15 @@ int main() {
                       std::to_string(usage[t.mult.index()]),
                       std::to_string(area),
                       iters >= 0 ? std::to_string(iters) : "-"});
+        json.AddRow()
+            .S("graph", graph.name)
+            .I("deadline", deadline)
+            .S("scheduler", name)
+            .I("adders", usage[t.add.index()])
+            .I("subtracters", usage[t.sub.index()])
+            .I("multipliers", usage[t.mult.index()])
+            .I("area", area)
+            .I("iterations", iters);
       };
 
       if (auto r = ScheduleBlockFds(block, model.library(), {}); r.ok())
@@ -75,5 +87,6 @@ int main() {
   std::printf("\nexpected shape: area falls with looser deadlines; fds/ifds "
               "<= list on area for most rows; EWF@17..21 lands in the "
               "published 2-3 adder / 1-3 pipelined-multiplier band.\n");
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "bind/binding.h"
 #include "common/text_table.h"
 #include "modulo/coupled_scheduler.h"
+#include "report/bench_json.h"
 #include "verify/certifier.h"
 #include "verify/fault_injection.h"
 #include "workloads/paper_system.h"
@@ -27,7 +28,9 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  BenchJson json("V1", "verify");
   PaperSystem sys = BuildPaperSystem();
 
   auto t0 = std::chrono::steady_clock::now();
@@ -69,6 +72,13 @@ int main() {
   std::printf("paper system: schedule %.2f ms, bind %.2f ms, certify "
               "%.3f ms (%ld checks, x%d rounds)\n",
               schedule_ms, bind_ms, certify_ms, checks, kRounds);
+  json.params().I("certify_rounds", kRounds);
+  json.AddRow()
+      .S("variant", "overhead")
+      .D("schedule_ms", schedule_ms)
+      .D("bind_ms", bind_ms)
+      .D("certify_ms", certify_ms)
+      .I("checks", checks);
 
   TextTable table;
   table.SetHeader({"fault", "injected site", "detected as"});
@@ -90,7 +100,12 @@ int main() {
     table.AddRow({FaultKindName(kind), fault_or.value().description,
                   hit ? ViolationKindName(fault_or.value().expected)
                       : "MISSED"});
+    json.AddRow()
+        .S("variant", "fault")
+        .S("fault", FaultKindName(kind))
+        .B("detected", hit);
   }
   std::printf("%s", table.Render().c_str());
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return all_detected ? 0 : 1;
 }

@@ -6,7 +6,10 @@
 # cross-checks that all three produce bit-identical schedules and exits
 # non-zero on any divergence, so a regenerated baseline is also a
 # consistency run. Numbers are machine-dependent — re-record EXPERIMENTS.md
-# §C1 alongside when refreshing the file.
+# §C1 alongside when refreshing the file. The emitted file is validated
+# against the shared mshls-bench-v1 schema (every bench binary emits the
+# same envelope via --json; see src/report/bench_json.h) before it is
+# accepted as the new baseline.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -17,3 +20,33 @@ build="${1:-build}"
 cmake -B "${build}" -S . > /dev/null
 cmake --build "${build}" --target bench_coupled -j "$(nproc)" > /dev/null
 "${build}/bench/bench_coupled" --json BENCH_coupled.json
+
+python3 - BENCH_coupled.json <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    sys.exit(f"{path}: schema violation: {msg}")
+
+if doc.get("schema") != "mshls-bench-v1":
+    fail(f"schema is {doc.get('schema')!r}, want 'mshls-bench-v1'")
+for key in ("experiment", "name", "build", "params", "rows"):
+    if key not in doc:
+        fail(f"missing top-level key {key!r}")
+build = doc["build"]
+for key in ("git_hash", "compiler", "build_type", "trace_compiled_in"):
+    if key not in build:
+        fail(f"missing build key {key!r}")
+if not isinstance(doc["rows"], list) or not doc["rows"]:
+    fail("rows must be a non-empty list")
+for i, row in enumerate(doc["rows"]):
+    for key in ("processes", "ops", "naive_ms", "incremental_ms",
+                "trace_overhead_pct", "candidates_evaluated"):
+        if key not in row:
+            fail(f"row {i} missing {key!r}")
+print(f"{path}: mshls-bench-v1 OK "
+      f"({doc['experiment']}/{doc['name']}, {len(doc['rows'])} row(s))")
+EOF

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Sanitizer sweep for the robustness-critical subsystems: builds the tree
 # with -DMSHLS_SANITIZE=address and =undefined and runs the `verify`,
-# `engine`, `fuzz` and `perf` ctest labels (certifier, fault injection,
-# degradation ladder, thread pool / job service, generative fuzzer,
-# incremental-force-engine consistency) under each, plus a bounded
-# differential fuzz campaign through the CLI and a bounded C1 bench smoke
-# (which cross-checks naive / incremental / parallel schedules for bit
-# identity). The certifier's whole contract is "never crash on corrupted
-# artifacts", so it is exercised under the sanitizers that would catch the
-# silent out-of-bounds read behind a wrong verdict; the fuzz campaign feeds
-# both it and the frontend hundreds of generated and mutated inputs while
-# those sanitizers watch.
+# `engine`, `fuzz`, `perf` and `obs` ctest labels (certifier, fault
+# injection, degradation ladder, thread pool / job service, generative
+# fuzzer, incremental-force-engine consistency, tracer/metrics and the
+# trace determinism contract) under each, plus a bounded differential fuzz
+# campaign through the CLI and a bounded C1 bench smoke (which
+# cross-checks naive / incremental / parallel / traced schedules for bit
+# identity and bounds the enabled-tracing overhead). The certifier's whole
+# contract is "never crash on corrupted artifacts", so it is exercised
+# under the sanitizers that would catch the silent out-of-bounds read
+# behind a wrong verdict; the fuzz campaign feeds both it and the frontend
+# hundreds of generated and mutated inputs while those sanitizers watch.
+# The tracer runs under the same labels because its merge path is the one
+# place where every worker thread writes into shared state.
 #
 # Usage: scripts/check.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -24,10 +27,17 @@ for san in address undefined; do
   cmake -B "${build}" -S . -DMSHLS_SANITIZE="${san}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j "${jobs}" > /dev/null
-  ctest --test-dir "${build}" -L 'verify|engine|fuzz|perf' \
+  ctest --test-dir "${build}" -L 'verify|engine|fuzz|perf|obs' \
         --output-on-failure -j "${jobs}"
   "${build}/src/tools/mshlsc" --fuzz 50:1 --jobs 2 \
         --fuzz-dir "${build}/fuzz-check"
-  MSHLS_CHECK_INCREMENTAL=1 "${build}/bench/bench_coupled" --smoke
+  # Trace-overhead smoke: the bound is deliberately generous (sanitized
+  # builds on a tiny workload, where the enabled tracer's fixed cost is a
+  # large fraction of a very short run) — it catches an accidental
+  # hot-path regression (e.g. a probe doing work while disabled), not the
+  # <2% disabled-path acceptance bound, which scripts/obs_overhead.sh
+  # measures on optimized builds.
+  MSHLS_CHECK_INCREMENTAL=1 "${build}/bench/bench_coupled" --smoke \
+        --assert-trace-overhead 150
 done
 echo "==> all sanitizer runs passed"

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Measures the disabled-path cost of the observability probes (DESIGN.md
+# row 27): the acceptance bound is that a tree built with MSHLS_TRACE=ON
+# but with recording left off (the shipping default) runs the C1 coupled
+# ladder within 2% of a tree where the probes are compiled out entirely
+# (-DMSHLS_TRACE=OFF). Every probe on the disabled path is one relaxed
+# atomic load, so the two builds should be indistinguishable; this script
+# proves it on real hardware rather than by inspection.
+#
+# Configures and builds two trees, then runs bench_coupled --json in both
+# `rounds` times, strictly alternating (ON, OFF, ON, OFF, ...) so a slow
+# phase of the machine hits both builds, and takes the per-workload
+# MINIMUM of incremental_ms across rounds — the standard noise-robust
+# wall-clock estimator (the minimum is the run least disturbed by
+# scheduling/frequency noise; on shared containers single-shot runs of
+# the *same binary* can differ by 20-40%, far above the bound being
+# asserted). The joined minima land in BENCH_obs_overhead.json
+# (mshls-bench-v1 envelope, experiment O1) and the aggregate overhead
+# over the whole ladder is asserted under the bound.
+#
+# Usage: scripts/obs_overhead.sh [bound-pct] [jobs] [rounds]
+#                                (default: 2 / nproc / 5)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bound="${1:-2}"
+jobs="${2:-$(nproc)}"
+rounds="${3:-5}"
+
+on_build="build-obs-on"
+off_build="build-obs-off"
+
+echo "==> MSHLS_TRACE=ON, recording off (${on_build})"
+cmake -B "${on_build}" -S . -DMSHLS_TRACE=ON \
+      -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${on_build}" --target bench_coupled -j "${jobs}" > /dev/null
+
+echo "==> MSHLS_TRACE=OFF, probes compiled out (${off_build})"
+cmake -B "${off_build}" -S . -DMSHLS_TRACE=OFF \
+      -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "${off_build}" --target bench_coupled -j "${jobs}" > /dev/null
+
+on_files=()
+off_files=()
+for round in $(seq 1 "${rounds}"); do
+  echo "==> measurement round ${round}/${rounds}"
+  "${on_build}/bench/bench_coupled" \
+      --json "${on_build}/coupled.${round}.json" > /dev/null
+  "${off_build}/bench/bench_coupled" \
+      --json "${off_build}/coupled.${round}.json" > /dev/null
+  on_files+=("${on_build}/coupled.${round}.json")
+  off_files+=("${off_build}/coupled.${round}.json")
+done
+
+python3 - BENCH_obs_overhead.json "${bound}" "${rounds}" \
+          "${on_files[@]}" "${off_files[@]}" <<'EOF'
+import json, sys
+
+out_path, bound, rounds = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+paths = sys.argv[4:]
+on_docs, off_docs = [], []
+for i, path in enumerate(paths):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "mshls-bench-v1":
+        sys.exit(f"{path}: not an mshls-bench-v1 file")
+    compiled_in = doc["build"]["trace_compiled_in"]
+    want_on = i < rounds
+    if compiled_in != want_on:
+        sys.exit(f"{path}: trace_compiled_in={compiled_in}, expected "
+                 f"{'a probes-on' if want_on else 'a probes-off'} tree")
+    (on_docs if want_on else off_docs).append(doc)
+
+def per_row_min(docs):
+    mins = {}
+    for doc in docs:
+        for row in doc["rows"]:
+            key = (row["processes"], row["ops"])
+            prev = mins.get(key)
+            if prev is None or row["incremental_ms"] < prev["incremental_ms"]:
+                mins[key] = row
+    return mins
+
+on_min, off_min = per_row_min(on_docs), per_row_min(off_docs)
+if sorted(on_min) != sorted(off_min):
+    sys.exit("workload ladders diverge between the two builds")
+
+rows = []
+on_total = off_total = 0.0
+for key in sorted(on_min):
+    r_on, r_off = on_min[key], off_min[key]
+    on_total += r_on["incremental_ms"]
+    off_total += r_off["incremental_ms"]
+    rows.append({
+        "processes": key[0],
+        "ops": key[1],
+        "iterations": r_on["iterations"],
+        "probes_on_ms": round(r_on["incremental_ms"], 3),
+        "probes_off_ms": round(r_off["incremental_ms"], 3),
+        "overhead_pct": round(
+            (r_on["incremental_ms"] / r_off["incremental_ms"] - 1) * 100, 2),
+    })
+
+aggregate_pct = (on_total / off_total - 1) * 100
+doc = {
+    "schema": "mshls-bench-v1",
+    "experiment": "O1",
+    "name": "obs_overhead",
+    "build": on_docs[0]["build"],
+    "params": {
+        "bound_pct": bound,
+        "rounds": rounds,
+        "estimator": "per-row min over alternating rounds",
+        "probes_on_total_ms": round(on_total, 3),
+        "probes_off_total_ms": round(off_total, 3),
+        "aggregate_overhead_pct": round(aggregate_pct, 2),
+    },
+    "rows": rows,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+
+for row in rows:
+    print(f"  {row['processes']}p x {row['ops']}ops: "
+          f"on {row['probes_on_ms']:.2f} ms, off {row['probes_off_ms']:.2f} ms "
+          f"({row['overhead_pct']:+.2f}%)")
+print(f"aggregate disabled-path overhead: {aggregate_pct:+.2f}% "
+      f"(bound {bound:.1f}%)")
+if aggregate_pct > bound:
+    sys.exit(f"disabled-path overhead {aggregate_pct:.2f}% exceeds "
+             f"the {bound:.1f}% bound")
+print(f"wrote {out_path}")
+EOF

@@ -1,0 +1,75 @@
+#include "common/build_info.h"
+
+#include <cstdio>
+
+#include "mshls/build_info_gen.h"
+
+namespace mshls {
+namespace {
+
+/// Local JSON string escaping: build_info sits below report/ in the
+/// dependency order, so it cannot use report/json_export's JsonEscape.
+std::string Escape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {
+      MSHLS_BUILD_VERSION,   MSHLS_BUILD_GIT_HASH, MSHLS_BUILD_COMPILER,
+      MSHLS_BUILD_CXX_FLAGS, MSHLS_BUILD_TYPE,     MSHLS_BUILD_SANITIZER,
+      MSHLS_BUILD_TRACE_COMPILED != 0,
+  };
+  return info;
+}
+
+std::string BuildInfoString() {
+  const BuildInfo& b = GetBuildInfo();
+  std::string out;
+  out += "version:    " + std::string(b.version) + "\n";
+  out += "git:        " + std::string(b.git_hash) + "\n";
+  out += "compiler:   " + std::string(b.compiler) + "\n";
+  out += "flags:      " + std::string(b.cxx_flags) + "\n";
+  out += "build type: " + std::string(b.build_type) + "\n";
+  out += "sanitizer:  " + std::string(b.sanitizer) + "\n";
+  out += "obs probes: " + std::string(b.trace_compiled_in ? "compiled in"
+                                                          : "compiled out") +
+         "\n";
+  return out;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& b = GetBuildInfo();
+  std::string out = "{";
+  out += "\"build_type\":\"" + Escape(b.build_type) + "\",";
+  out += "\"compiler\":\"" + Escape(b.compiler) + "\",";
+  out += "\"cxx_flags\":\"" + Escape(b.cxx_flags) + "\",";
+  out += "\"git_hash\":\"" + Escape(b.git_hash) + "\",";
+  out += "\"sanitizer\":\"" + Escape(b.sanitizer) + "\",";
+  out += std::string("\"trace_compiled_in\":") +
+         (b.trace_compiled_in ? "true" : "false") + ",";
+  out += "\"version\":\"" + Escape(b.version) + "\"}";
+  return out;
+}
+
+}  // namespace mshls

@@ -1,0 +1,37 @@
+// Build provenance — which binary produced an artifact. The fields are
+// captured by CMake at configure time (src/common/build_info_gen.h.in) and
+// stamped into trace headers (obs/trace), `mshlsc --version` and every
+// bench JSON block, so a perf-trajectory row or a committed trace is
+// attributable to an exact commit, compiler and flag set.
+//
+// Deliberately no timestamp: build info must not break the bit-identity
+// contract of deterministic trace/metrics exports (same binary, same
+// workload => same bytes).
+#pragma once
+
+#include <string>
+
+namespace mshls {
+
+struct BuildInfo {
+  const char* version;    // project version (CMake PROJECT_VERSION)
+  const char* git_hash;   // short hash, "-dirty" suffixed, or "unknown"
+  const char* compiler;   // "<id> <version>"
+  const char* cxx_flags;  // base + build-type flags
+  const char* build_type; // CMAKE_BUILD_TYPE
+  const char* sanitizer;  // MSHLS_SANITIZE or "none"
+  bool trace_compiled_in; // MSHLS_TRACE option state (src/obs probes)
+};
+
+/// The build this binary came from; all pointers are static storage.
+[[nodiscard]] const BuildInfo& GetBuildInfo();
+
+/// Multi-line human rendering (for --version).
+[[nodiscard]] std::string BuildInfoString();
+
+/// One JSON object, keys sorted:
+/// {"build_type":..,"compiler":..,"cxx_flags":..,"git_hash":..,
+///  "sanitizer":..,"trace_compiled_in":..,"version":..}
+[[nodiscard]] std::string BuildInfoJson();
+
+}  // namespace mshls

@@ -8,6 +8,8 @@
 #include "frontend/lowering.h"
 #include "modulo/allocation.h"
 #include "modulo/baseline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "verify/certifier.h"
 
@@ -49,9 +51,12 @@ bool RungApplicable(DegradationRung rung, const SchedulingJob& job,
 }
 
 /// Runs schedule -> bind -> validate for one rung on a fresh model copy,
-/// writing the artifacts into `out` (meaningful only on Ok).
+/// writing the artifacts into `out` (meaningful only on Ok). `track` is
+/// the job's single-owner trace track (or null); attempts run serially
+/// within a job, so appending here is race-free.
 Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
-                  const SystemModel& base_model, JobResult& out) {
+                  const SystemModel& base_model, JobResult& out,
+                  obs::TraceTrack* track) {
   const auto poll = [&]() -> Status {
     return job.cancel ? job.cancel->Poll() : Status::Ok();
   };
@@ -76,6 +81,10 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
   // Stage 2 — schedule (with optional S1/S2 search).
   if (Status s = poll(); !s.ok()) return s;
   const CoupledParams params = InstrumentParams(job);
+  {
+    obs::ScopedSpan schedule_span(
+        track, "schedule",
+        obs::TraceArgs().S("mode", JobModeName(mode)).Json());
   switch (mode) {
     case JobMode::kCoupled: {
       bool hit = false;
@@ -116,19 +125,23 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
       break;
     }
   }
+  }  // schedule span
   out.area = out.result.allocation.TotalArea(model.library());
 
   // Stage 3 — bind.
   if (Status s = poll(); !s.ok()) return s;
+  obs::ScopedSpan bind_span(track, "bind");
   auto binding = BindSystem(model, out.result.schedule, out.result.allocation);
   if (!binding.ok()) return binding.status();
   out.full_area = ComputeAreaBreakdown(model, out.result.schedule,
                                        out.result.allocation, binding.value())
                       .total_area;
+  bind_span.Close();
 
   // Stage 4 — validate: the producer-side checks, then the independent
   // certifier (a structurally different implementation; see verify/).
   if (Status s = poll(); !s.ok()) return s;
+  obs::ScopedSpan validate_span(track, "validate");
   if (Status s = ValidateSystemSchedule(model, out.result.schedule); !s.ok())
     return s;
   if (Status s = CheckAllocationCovers(model, out.result.schedule,
@@ -172,11 +185,43 @@ JobResult RunSchedulingJob(const SchedulingJob& job) {
   JobResult out;
   out.name = job.name;
   const auto t0 = std::chrono::steady_clock::now();
+
+  // One single-owner track per job run: the "#N" suffix keeps concurrent
+  // batch jobs (or repeated runs of one name) off each other's tracks.
+  obs::TraceTrack* track = nullptr;
+  if (obs::Tracer* tracer = obs::GlobalTracer())
+    track = &tracer->NewTrack("job:" + job.name);
+  obs::ScopedSpan job_span(track, "job",
+                           obs::TraceArgs().S("mode", JobModeName(job.mode)).Json());
+
   const auto finish = [&](Status status) -> JobResult {
     out.status = std::move(status);
     out.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+    if (track != nullptr)
+      track->Instant("done",
+                     obs::TraceArgs()
+                         .S("status", StatusCodeName(out.status.code()))
+                         .S("rung", DegradationRungName(out.rung))
+                         .I("area", out.area)
+                         .I("evaluated", out.evaluated)
+                         .I("cache_hits", out.cache_hits)
+                         .Json());
+    if (obs::Enabled()) {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      const obs::MetricKind kS = obs::MetricKind::kStable;
+      reg.GetCounter(out.status.ok() ? "job.completed" : "job.failed", kS)
+          .Add();
+      reg.GetCounter("job.attempts", kS)
+          .Add(static_cast<long long>(out.attempts.size()));
+      if (out.status.ok())
+        reg.GetCounter(std::string("job.rung.") + DegradationRungName(out.rung),
+                       kS)
+            .Add();
+      reg.GetHistogram("job.wall_us", obs::MetricKind::kTiming)
+          .Observe(static_cast<long long>(out.wall_ms * 1000.0));
+    }
     return out;
   };
 
@@ -190,6 +235,7 @@ JobResult RunSchedulingJob(const SchedulingJob& job) {
     if (job.model.has_value()) {
       model = *job.model;
     } else {
+      obs::ScopedSpan compile_span(track, "compile");
       auto model_or = CompileSystem(job.source);
       if (!model_or.ok()) return finish(model_or.status());
       model = std::move(model_or).value();
@@ -207,7 +253,10 @@ JobResult RunSchedulingJob(const SchedulingJob& job) {
       if (job.cancel) job.cancel->SetTimeout(job.timeout_ms);
       Status attempt;
       try {
-        attempt = RunAttempt(job, rung, model, out);
+        obs::ScopedSpan attempt_span(
+            track, "attempt",
+            obs::TraceArgs().S("rung", DegradationRungName(rung)).Json());
+        attempt = RunAttempt(job, rung, model, out, track);
       } catch (const CancelledError& e) {
         attempt = Status{e.code(), e.what()};
       }

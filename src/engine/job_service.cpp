@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mshls {
+
+BatchSummary SummarizeBatch(const std::vector<JobResult>& results,
+                            const CacheStats& cache_stats) {
+  BatchSummary s;
+  s.total = results.size();
+  s.cache = cache_stats;
+  for (const JobResult& r : results) {
+    s.attempts += r.attempts.size();
+    s.evaluated += r.evaluated;
+    s.cache_hits += r.cache_hits;
+    s.wall_ms_sum += r.wall_ms;
+    if (r.status.ok()) {
+      ++s.succeeded;
+      ++s.rung_counts[static_cast<std::size_t>(r.rung)];
+    } else {
+      ++s.failed;
+    }
+  }
+  return s;
+}
 
 JobService::JobService(const JobServiceOptions& options)
     : workers_(std::max(1, options.workers)),
@@ -16,6 +39,17 @@ std::vector<JobResult> JobService::RunBatch(std::vector<SchedulingJob> jobs) {
   std::vector<JobResult> results(jobs.size());
   std::optional<ThreadPool> pool;
   if (workers_ > 1) pool.emplace(workers_);
+
+  obs::TraceTrack* track = nullptr;
+  if (obs::Tracer* tracer = obs::GlobalTracer())
+    track = &tracer->NewTrack("batch");
+  obs::ScopedSpan batch_span(
+      track, "batch",
+      obs::TraceArgs()
+          .I("jobs", static_cast<long long>(jobs.size()))
+          .I("workers", workers_)
+          .Json());
+
   // RunSchedulingJob never throws and each slot has a single writer, so
   // the fan-out status is always OK; results are complete on return.
   (void)ParallelFor(pool ? &*pool : nullptr, jobs.size(),
@@ -23,6 +57,22 @@ std::vector<JobResult> JobService::RunBatch(std::vector<SchedulingJob> jobs) {
                       results[i] = RunSchedulingJob(jobs[i]);
                       return Status::Ok();
                     });
+
+  // Publish the shared cache's lifetime counters once per batch (the
+  // cache itself stays metrics-free; it is a template below the obs
+  // layer). Counters only move forward, so the deltas add up correctly
+  // across consecutive batches.
+  if (obs::Enabled()) {
+    const CacheStats cs = cache_.stats();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    const obs::MetricKind kS = obs::MetricKind::kStable;
+    reg.GetCounter("result_cache.hits", kS).Add(cs.hits - published_.hits);
+    reg.GetCounter("result_cache.misses", kS)
+        .Add(cs.misses - published_.misses);
+    reg.GetCounter("result_cache.evictions", kS)
+        .Add(cs.evictions - published_.evictions);
+    published_ = cs;
+  }
   return results;
 }
 

@@ -5,6 +5,7 @@
 // same jobs).
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "engine/job.h"
@@ -13,6 +14,39 @@
 #include "modulo/schedule_cache.h"
 
 namespace mshls {
+
+/// Number of DegradationRung values (for per-rung accounting arrays).
+inline constexpr std::size_t kDegradationRungCount = 4;
+
+/// Aggregate view of one finished batch: success/failure split, per-rung
+/// degradation counts, search-candidate totals and the shared schedule
+/// cache's hit ratio. All fields are order-independent sums, so a summary
+/// of a parallel batch equals the serial one.
+struct BatchSummary {
+  std::size_t total = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  /// Successful jobs that finished on each rung, indexed by
+  /// static_cast<std::size_t>(DegradationRung).
+  std::array<std::size_t, kDegradationRungCount> rung_counts{};
+  /// Rung attempts actually run across all jobs (>= total: fallback jobs
+  /// try several).
+  std::size_t attempts = 0;
+  long evaluated = 0;    // search candidates scheduled across the batch
+  long cache_hits = 0;   // of those, served from the schedule cache
+  CacheStats cache;      // the shared cache's own counters
+  double wall_ms_sum = 0;
+
+  [[nodiscard]] double HitRate() const {
+    return evaluated == 0 ? 0.0
+                          : static_cast<double>(cache_hits) /
+                                static_cast<double>(evaluated);
+  }
+};
+
+/// Folds per-job results and the shared cache's stats into a BatchSummary.
+[[nodiscard]] BatchSummary SummarizeBatch(const std::vector<JobResult>& results,
+                                          const CacheStats& cache_stats);
 
 struct JobServiceOptions {
   /// Concurrent jobs; <= 1 runs the batch serially on the calling thread.
@@ -38,6 +72,9 @@ class JobService {
  private:
   int workers_;
   ScheduleCache cache_;
+  /// Cache counters already mirrored into the metrics registry, so
+  /// consecutive RunBatch calls publish deltas, not lifetime totals twice.
+  CacheStats published_;
 };
 
 }  // namespace mshls

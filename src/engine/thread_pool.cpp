@@ -2,8 +2,43 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace mshls {
+
+namespace {
+
+long long NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Pool metrics are kTiming: queue depth and wait times depend on the
+// machine and the interleaving, and even the task counts depend on how a
+// run was fanned out. They surface through `mshlsc --stats`, never through
+// the deterministic exports.
+obs::Counter& TasksCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "pool.tasks", obs::MetricKind::kTiming);
+  return c;
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "pool.queue_depth.max", obs::MetricKind::kTiming);
+  return g;
+}
+
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "pool.queue_wait_us", obs::MetricKind::kTiming);
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
     : capacity_(std::max<std::size_t>(1, queue_capacity)) {
@@ -24,10 +59,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const bool observed = obs::Enabled();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     space_ready_.wait(lock, [this] { return queue_.size() < capacity_; });
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), observed ? NowNs() : 0});
+    if (observed) {
+      TasksCounter().Add();
+      QueueDepthGauge().UpdateMax(static_cast<long long>(queue_.size()));
+    }
   }
   task_ready_.notify_one();
 }
@@ -44,7 +84,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -54,8 +94,10 @@ void ThreadPool::WorkerLoop() {
       ++in_flight_;
     }
     space_ready_.notify_one();
+    if (task.enqueue_ns != 0 && obs::Enabled())
+      QueueWaitHistogram().Observe((NowNs() - task.enqueue_ns) / 1000);
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();

@@ -53,13 +53,20 @@ class ThreadPool {
   void Wait();
 
  private:
+  /// Queue entry; `enqueue_ns` is only populated while observability
+  /// recording is on (it feeds the pool.queue_wait_us timing histogram).
+  struct QueuedTask {
+    std::function<void()> fn;
+    long long enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mutex_;
   std::condition_variable task_ready_;    // workers wait here
   std::condition_variable space_ready_;   // Submit waits here
   std::condition_variable idle_;          // Wait waits here
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::size_t capacity_;
   std::size_t in_flight_ = 0;  // dequeued but not finished
   bool stopping_ = false;

@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mshls {
 namespace {
@@ -82,8 +84,21 @@ StatusOr<AssignmentSearchResult> SearchAssignments(
   // Fan-out: every mask is evaluated on its own model copy; serial and
   // parallel runs share this path (see period_search.cpp for the
   // determinism argument).
+  // Worker runs never trace (see period_search.cpp); the search logs each
+  // mask canonically from the reduction loop below.
   CoupledParams worker_params = params;
   if (options.jobs > 1) worker_params.observer = nullptr;
+  worker_params.trace = false;
+  obs::TraceTrack* track = nullptr;
+  if (obs::Tracer* tracer = obs::GlobalTracer())
+    track = &tracer->NewTrack("assignment_search");
+  obs::ScopedSpan search_span(
+      track, "assignment_search",
+      obs::TraceArgs()
+          .I("shareable", static_cast<long long>(shareable.size()))
+          .I("combinations", result.combinations)
+          .I("scheduled", mask_count)
+          .Json());
   std::vector<std::optional<CoupledResult>> runs(
       static_cast<std::size_t>(mask_count));
   std::vector<int> areas(static_cast<std::size_t>(mask_count), 0);
@@ -121,6 +136,23 @@ StatusOr<AssignmentSearchResult> SearchAssignments(
         (areas[i] == areas[static_cast<std::size_t>(best_mask_bits)] &&
          Popcount(mask) > Popcount(best_mask_bits));
     if (better) best_mask_bits = mask;
+    if (track != nullptr)
+      track->Instant("candidate", obs::TraceArgs()
+                                      .I("mask", mask)
+                                      .I("area", areas[i])
+                                      .I("cache_hit", hits[i] ? 1 : 0)
+                                      .I("best", better ? 1 : 0)
+                                      .Json());
+  }
+
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    const obs::MetricKind kS = obs::MetricKind::kStable;
+    reg.GetCounter("assignment_search.combinations", kS)
+        .Add(result.combinations);
+    reg.GetCounter("assignment_search.evaluated", kS).Add(result.evaluated);
+    reg.GetCounter("assignment_search.cache_hits", kS)
+        .Add(result.cache_hits);
   }
   result.area = areas[static_cast<std::size_t>(best_mask_bits)];
   result.best = *std::move(runs[static_cast<std::size_t>(best_mask_bits)]);

@@ -11,6 +11,8 @@
 #include "fds/distribution.h"
 #include "fds/force.h"
 #include "modulo/modulo_map.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mshls {
 
@@ -287,11 +289,16 @@ void CoupledScheduler::RefreshBlock(BlockId bid, EvalScratch& sc) {
     const TimeFrame& f = state.frames.frame(op.id);
     if (f.fixed()) continue;
     CandidateCache& c = state.cache[op.id.index()];
-    if (c.state == CandidateCache::State::kValid) continue;
+    if (c.state == CandidateCache::State::kValid) {
+      ++sc.reused;
+      continue;
+    }
     if (c.state == CandidateCache::State::kGlobalStale) {
+      ++sc.repriced;
       c.force_begin = RepriceGlobalTerms(bid, c.begin_terms, sc);
       c.force_end = RepriceGlobalTerms(bid, c.end_terms, sc);
     } else {
+      ++sc.evaluated;
       c.touched_types = 0;
       c.force_begin = EvaluateForce(bid, op.id, TimeFrame{f.asap, f.asap},
                                     sc, &c.touched_types, &c.begin_terms);
@@ -393,10 +400,14 @@ void CoupledScheduler::ApplyNarrowUpdate(BlockId chosen,
       if ((c.touched_types & stale_mask) == 0) continue;
       // Cross-block staleness only moves a kValid entry down to the cheap
       // re-price tier; a kInvalid entry stays fully invalid.
-      if (block_level)
+      if (block_level) {
+        if (c.state != CandidateCache::State::kInvalid)
+          ++stats_.tier1_invalidations;
         c.state = CandidateCache::State::kInvalid;
-      else if (c.state == CandidateCache::State::kValid)
+      } else if (c.state == CandidateCache::State::kValid) {
+        ++stats_.tier2_invalidations;
         c.state = CandidateCache::State::kGlobalStale;
+      }
     }
   }
 }
@@ -498,6 +509,24 @@ StatusOr<CoupledResult> CoupledScheduler::Run() {
   std::optional<ThreadPool> pool;
   if (jobs > 1) pool.emplace(jobs);
 
+  stats_ = CoupledStats{};
+  track_ = nullptr;
+  if (obs::Tracer* tracer = obs::GlobalTracer();
+      tracer != nullptr && params_.trace)
+    track_ = &tracer->NewTrack("coupled");
+  obs::ScopedSpan run_span(
+      track_, "coupled.run",
+      obs::TraceArgs()
+          .I("blocks", static_cast<long long>(model_.block_count()))
+          .I("processes", static_cast<long long>(model_.process_count()))
+          .S("mode", params_.mode == GlobalForceMode::kFull
+                         ? "full"
+                         : params_.mode == GlobalForceMode::kBlockModuloOnly
+                               ? "block_modulo"
+                               : "ignore_global")
+          .I("incremental", params_.incremental ? 1 : 0)
+          .Json());
+
   std::vector<TimeFrame> before;  // chosen block's frames pre-narrow
   int iterations = 0;
   for (;;) {
@@ -524,6 +553,22 @@ StatusOr<CoupledResult> CoupledScheduler::Run() {
       for (std::size_t bi = 0; bi < blocks_.size(); ++bi)
         RefreshBlock(BlockId{static_cast<int>(bi)}, scratch_[0]);
     }
+
+    // Fold per-worker sweep counters into the run totals at the serial
+    // point, in shard index order; integer sums over the same candidate
+    // multiset, so any shard count produces the same totals.
+    long long swept_evaluated = 0;
+    long long swept_repriced = 0;
+    long long swept_reused = 0;
+    for (EvalScratch& sc : scratch_) {
+      swept_evaluated += sc.evaluated;
+      swept_repriced += sc.repriced;
+      swept_reused += sc.reused;
+      sc.evaluated = sc.repriced = sc.reused = 0;
+    }
+    stats_.candidates_evaluated += swept_evaluated;
+    stats_.candidates_repriced += swept_repriced;
+    stats_.candidates_reused += swept_reused;
 
     if (check) {
       if (Status s = VerifyIncrementalState(); !s.ok()) return s;
@@ -575,17 +620,61 @@ StatusOr<CoupledResult> CoupledScheduler::Run() {
             delays_[trace.chosen_block.index()], trace.chosen_op, next);
         !s.ok())
       return s;
+    const long long tier1_before = stats_.tier1_invalidations;
+    const long long tier2_before = stats_.tier2_invalidations;
     if (params_.incremental) {
       ApplyNarrowUpdate(trace.chosen_block, before);
     } else {
       RebuildBlockState(trace.chosen_block);
       RebuildProcessAndGroupProfiles();
     }
+    if (track_ != nullptr) {
+      // Decision log: one instant per iteration, emitted at the serial
+      // point so the event sequence is identical at any sweep worker
+      // count. `best` is the winning |force_begin - force_end| spread;
+      // the counters are this iteration's sweep outcomes and the
+      // invalidation fan-out of the committed narrow.
+      track_->Instant(
+          "narrow",
+          obs::TraceArgs()
+              .I("iter", iterations)
+              .I("block", trace.chosen_block.value())
+              .I("op", trace.chosen_op.value())
+              .I("begin", trace.shrank_begin ? 1 : 0)
+              .D("best", best_diff)
+              .I("evaluated", swept_evaluated)
+              .I("repriced", swept_repriced)
+              .I("reused", swept_reused)
+              .I("tier1", stats_.tier1_invalidations - tier1_before)
+              .I("tier2", stats_.tier2_invalidations - tier2_before)
+              .Json());
+    }
     ++iterations;
+  }
+
+  stats_.iterations = iterations;
+
+  // Mirror the run's totals into the global registry once (the hot loops
+  // above only touch plain locals / members).
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    const obs::MetricKind kS = obs::MetricKind::kStable;
+    reg.GetCounter("coupled.iterations", kS).Add(stats_.iterations);
+    reg.GetCounter("coupled.candidates.evaluated", kS)
+        .Add(stats_.candidates_evaluated);
+    reg.GetCounter("coupled.candidates.repriced", kS)
+        .Add(stats_.candidates_repriced);
+    reg.GetCounter("coupled.candidates.reused", kS)
+        .Add(stats_.candidates_reused);
+    reg.GetCounter("coupled.invalidations.tier1", kS)
+        .Add(stats_.tier1_invalidations);
+    reg.GetCounter("coupled.invalidations.tier2", kS)
+        .Add(stats_.tier2_invalidations);
   }
 
   CoupledResult result;
   result.iterations = iterations;
+  result.stats = stats_;
   result.schedule.blocks.resize(model_.block_count());
   for (const Block& b : model_.blocks()) {
     BlockSchedule sched(b.graph.op_count());

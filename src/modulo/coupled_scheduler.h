@@ -50,6 +50,10 @@ namespace mshls {
 
 class ThreadPool;
 
+namespace obs {
+class TraceTrack;
+}  // namespace obs
+
 enum class GlobalForceMode {
   /// Part 1 + part 2: forces on the group profile G (the paper's method).
   kFull,
@@ -100,12 +104,37 @@ struct CoupledParams {
   /// from the incremental state. Also enabled globally by the
   /// MSHLS_CHECK_INCREMENTAL environment variable or CMake option.
   bool check_incremental = false;
+  /// Emit a per-iteration decision log to the installed obs tracer (one
+  /// single-owner "coupled#N" track per run). The searches turn this off
+  /// for their fanned-out worker runs and log canonically from the
+  /// reduction loop instead, keeping traces bit-identical at any --jobs.
+  bool trace = true;
+};
+
+/// Incremental-engine work accounting for one Run(). Every field is a
+/// semantic total that is invariant under the sweep worker count, so the
+/// struct is safe to expose through deterministic exports (and through the
+/// schedule cache: a replayed result carries the stats of the original
+/// run).
+struct CoupledStats {
+  long long iterations = 0;
+  /// Sweep outcomes per candidate refresh: full end-point re-evaluations,
+  /// cheap eq. 9 re-prices, and cache entries reused as-is.
+  long long candidates_evaluated = 0;
+  long long candidates_repriced = 0;
+  long long candidates_reused = 0;
+  /// Invalidation transitions applied after each narrow: tier 1 knocks an
+  /// entry to kInvalid (block-level input moved), tier 2 demotes kValid to
+  /// kGlobalStale (only eq. 9 inputs of other blocks changed).
+  long long tier1_invalidations = 0;
+  long long tier2_invalidations = 0;
 };
 
 struct CoupledResult {
   SystemSchedule schedule;
   Allocation allocation;
   int iterations = 0;
+  CoupledStats stats;
 };
 
 class CoupledScheduler {
@@ -178,6 +207,12 @@ class CoupledScheduler {
     Profile modulo_next;
     Profile delta;
     Profile m_next;
+    /// Per-worker sweep outcome counters, summed into stats_ in shard
+    /// index order after each sweep (integer totals, so any partitioning
+    /// yields the same sums).
+    long long evaluated = 0;
+    long long repriced = 0;
+    long long reused = 0;
     void Prepare(std::size_t types);
   };
 
@@ -233,6 +268,8 @@ class CoupledScheduler {
   std::vector<Profile> group_;              // [type] G
   std::vector<DelayFn> delays_;             // by block id
   std::vector<EvalScratch> scratch_;        // one per sweep worker
+  CoupledStats stats_;                      // accounting for the active Run()
+  obs::TraceTrack* track_ = nullptr;        // decision log (may stay null)
 };
 
 }  // namespace mshls

@@ -6,6 +6,8 @@
 
 #include "common/math_util.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mshls {
 
@@ -113,8 +115,22 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
   // Pass 2 — schedule every survivor on its own model copy. Serial and
   // parallel runs share this code path; each slot is written only by its
   // own task, so the reduction below is order-independent by construction.
+  // Worker runs never trace (their interleaving depends on the job count);
+  // the search logs each candidate canonically from the reduction loop.
   CoupledParams worker_params = params;
   if (options.jobs > 1) worker_params.observer = nullptr;
+  worker_params.trace = false;
+  obs::TraceTrack* track = nullptr;
+  if (obs::Tracer* tracer = obs::GlobalTracer())
+    track = &tracer->NewTrack("period_search");
+  obs::ScopedSpan search_span(
+      track, "period_search",
+      obs::TraceArgs()
+          .I("globals", static_cast<long long>(globals.size()))
+          .I("combinations", result.combinations)
+          .I("filtered_out", result.filtered_out)
+          .I("survivors", static_cast<long long>(survivors.size()))
+          .Json());
   std::vector<std::optional<CoupledResult>> runs(survivors.size());
   std::vector<int> areas(survivors.size(), 0);
   std::vector<char> hits(survivors.size(), 0);
@@ -148,6 +164,30 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
                         (areas[i] == areas[best_index] &&
                          survivors[i] > survivors[best_index]);
     if (better) best_index = i;
+    if (track != nullptr) {
+      std::string periods;
+      for (std::size_t g = 0; g < survivors[i].size(); ++g) {
+        if (g != 0) periods += ',';
+        periods += std::to_string(survivors[i][g]);
+      }
+      track->Instant("candidate", obs::TraceArgs()
+                                      .S("periods", periods)
+                                      .I("area", areas[i])
+                                      .I("cache_hit", hits[i] ? 1 : 0)
+                                      .I("best", better ? 1 : 0)
+                                      .Json());
+    }
+  }
+
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    const obs::MetricKind kS = obs::MetricKind::kStable;
+    reg.GetCounter("period_search.combinations", kS)
+        .Add(result.combinations);
+    reg.GetCounter("period_search.filtered_out", kS)
+        .Add(result.filtered_out);
+    reg.GetCounter("period_search.evaluated", kS).Add(result.evaluated);
+    reg.GetCounter("period_search.cache_hits", kS).Add(result.cache_hits);
   }
 
   result.area = areas[best_index];

@@ -2,6 +2,7 @@
 
 #include "common/hashing.h"
 #include "engine/fingerprint.h"
+#include "obs/metrics.h"
 
 namespace mshls {
 
@@ -27,8 +28,16 @@ StatusOr<CoupledResult> ScheduleWithCache(SystemModel& model,
     key = ScheduleCacheKey(model, params);
     if (std::optional<CoupledResult> found = cache->Lookup(key)) {
       if (cache_hit != nullptr) *cache_hit = true;
+      if (obs::Enabled())
+        obs::MetricsRegistry::Global()
+            .GetCounter("schedule_cache.hits", obs::MetricKind::kStable)
+            .Add();
       return *std::move(found);
     }
+    if (obs::Enabled())
+      obs::MetricsRegistry::Global()
+          .GetCounter("schedule_cache.misses", obs::MetricKind::kStable)
+          .Add();
   }
   if (Status s = model.Validate(); !s.ok()) return s;
   CoupledScheduler scheduler(model, params);

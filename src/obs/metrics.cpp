@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace mshls::obs {
+
+#if !defined(MSHLS_OBS_DISABLED)
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kStable: return "stable";
+    case MetricKind::kTiming: return "timing";
+  }
+  return "unknown";
+}
+
+int Histogram::BucketIndex(long long v) {
+  if (v <= 0) return 0;
+  const int width = std::bit_width(static_cast<unsigned long long>(v));
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+long long Histogram::BucketUpperEdge(int i) {
+  if (i >= 62) return (1LL << 62);
+  return 1LL << i;
+}
+
+void Histogram::Observe(long long v) {
+  if (!Enabled()) return;
+  counts_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counters_.try_emplace(name, kind, nullptr);
+  if (inserted) it->second.second = std::make_unique<Counter>();
+  return *it->second.second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(name, kind, nullptr);
+  if (inserted) it->second.second = std::make_unique<Gauge>();
+  return *it->second.second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(name, kind, nullptr);
+  if (inserted) it->second.second = std::make_unique<Histogram>();
+  return *it->second.second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : counters_) entry.second->Reset();
+  for (auto& [name, entry] : gauges_) entry.second->Reset();
+  for (auto& [name, entry] : histograms_) entry.second->Reset();
+}
+
+std::string MetricsRegistry::RenderText(bool include_timing) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char buf[160];
+  const auto keep = [&](MetricKind kind) {
+    return include_timing || kind == MetricKind::kStable;
+  };
+  for (const auto& [name, entry] : counters_) {
+    if (!keep(entry.first)) continue;
+    std::snprintf(buf, sizeof(buf), "counter   %-44s %-7s %lld\n",
+                  name.c_str(), MetricKindName(entry.first),
+                  entry.second->value());
+    out += buf;
+  }
+  for (const auto& [name, entry] : gauges_) {
+    if (!keep(entry.first)) continue;
+    std::snprintf(buf, sizeof(buf), "gauge     %-44s %-7s %lld\n",
+                  name.c_str(), MetricKindName(entry.first),
+                  entry.second->value());
+    out += buf;
+  }
+  for (const auto& [name, entry] : histograms_) {
+    if (!keep(entry.first)) continue;
+    const Histogram& h = *entry.second;
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %-44s %-7s count=%lld sum=%lld", name.c_str(),
+                  MetricKindName(entry.first), h.count(), h.sum());
+    out += buf;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      std::snprintf(buf, sizeof(buf), " le%lld=%lld",
+                    Histogram::BucketUpperEdge(i), h.bucket(i));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson(bool include_timing) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":[";
+  char buf[96];
+  const auto keep = [&](MetricKind kind) {
+    return include_timing || kind == MetricKind::kStable;
+  };
+  // Metric names are restricted identifiers ([a-z0-9._-]) by convention,
+  // but escape defensively anyway.
+  const auto escaped = [](const std::string& s) {
+    std::string e;
+    for (char c : s) {
+      if (c == '"' || c == '\\') e += '\\';
+      e += c;
+    }
+    return e;
+  };
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    if (!keep(entry.first)) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"kind\":\"" + std::string(MetricKindName(entry.first)) +
+           "\",\"name\":\"" + escaped(name) + "\",\"value\":" +
+           std::to_string(entry.second->value()) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    if (!keep(entry.first)) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"kind\":\"" + std::string(MetricKindName(entry.first)) +
+           "\",\"name\":\"" + escaped(name) + "\",\"value\":" +
+           std::to_string(entry.second->value()) + "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    if (!keep(entry.first)) continue;
+    if (!first) out += ',';
+    first = false;
+    const Histogram& h = *entry.second;
+    out += "{\"buckets\":[";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      std::snprintf(buf, sizeof(buf), "{\"count\":%lld,\"le\":%lld}",
+                    h.bucket(i), Histogram::BucketUpperEdge(i));
+      out += buf;
+    }
+    out += "],\"count\":" + std::to_string(h.count()) + ",\"kind\":\"" +
+           MetricKindName(entry.first) + "\",\"name\":\"" + escaped(name) +
+           "\",\"sum\":" + std::to_string(h.sum()) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mshls::obs

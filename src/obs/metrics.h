@@ -1,0 +1,140 @@
+// Deterministic metrics registry: named counters, gauges and fixed
+// log-scale-bucket histograms, shared process-wide and exported in sorted
+// name order so output is reproducible.
+//
+// Determinism contract: every metric is registered with a kind.
+//  * kStable metrics carry semantic totals (cache hits, candidates
+//    pruned, iterations, degradation rungs) that are invariant under the
+//    worker count — the parallel fan-outs compute the same multisets and
+//    integer sums are associative — so a stable-only export is bitwise
+//    identical at --jobs 1/2/8.
+//  * kTiming metrics (queue depth, wait/latency histograms) depend on the
+//    machine and the interleaving; they are excluded from stable exports
+//    and surface through `mshlsc --stats` and wall-clock traces instead.
+//
+// Recording is thread-safe (relaxed atomics) and gated on obs::Enabled();
+// handle lookup takes a mutex, so call sites cache the reference
+// (`static obs::Counter& c = ...`). Values are owned by the registry and
+// survive Reset() (which zeroes in place), so cached handles never dangle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace mshls::obs {
+
+enum class MetricKind { kStable, kTiming };
+
+[[nodiscard]] const char* MetricKindName(MetricKind kind);
+
+class Counter {
+ public:
+  void Add(long long delta = 1) {
+    if (Enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<long long> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(long long v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  /// Monotone high-water mark (e.g. peak queue depth).
+  void UpdateMax(long long v) {
+    if (!Enabled()) return;
+    long long cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] long long value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<long long> value_{0};
+};
+
+/// Histogram over non-negative integers with fixed log2 buckets: bucket i
+/// holds values whose bit width is i (i.e. [2^(i-1), 2^i)); bucket 0 holds
+/// v <= 0 and the last bucket saturates. Fixed buckets keep the export
+/// layout independent of the data, so two runs always line up row by row.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Observe(long long v);
+
+  [[nodiscard]] long long count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long bucket(int i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  /// Exclusive upper edge of bucket i (2^i; bucket 0 edge is 1).
+  [[nodiscard]] static long long BucketUpperEdge(int i);
+  [[nodiscard]] static int BucketIndex(long long v);
+
+ private:
+  friend class MetricsRegistry;
+  void Reset();
+  std::atomic<long long> counts_[kBuckets]{};
+  std::atomic<long long> count_{0};
+  std::atomic<long long> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (never destroyed, so metric handles cached
+  /// in static storage stay valid through shutdown).
+  [[nodiscard]] static MetricsRegistry& Global();
+
+  /// Gets or creates; the kind of the first registration wins.
+  [[nodiscard]] Counter& GetCounter(const std::string& name, MetricKind kind);
+  [[nodiscard]] Gauge& GetGauge(const std::string& name, MetricKind kind);
+  [[nodiscard]] Histogram& GetHistogram(const std::string& name,
+                                        MetricKind kind);
+
+  /// Zeroes every value in place; registrations (and cached handles)
+  /// survive.
+  void Reset();
+
+  /// Human text, one metric per line, sorted by name.
+  [[nodiscard]] std::string RenderText(bool include_timing = true) const;
+
+  /// {"counters":[{"kind":..,"name":..,"value":..}],"gauges":[...],
+  ///  "histograms":[{"buckets":[{"count":..,"le":..}],"count":..,...}]}
+  /// Sorted by name; include_timing=false keeps only kStable metrics,
+  /// which makes the output bitwise identical at any worker count.
+  [[nodiscard]] std::string ToJson(bool include_timing = true) const;
+
+ private:
+  template <typename M>
+  using Map = std::map<std::string, std::pair<MetricKind, std::unique_ptr<M>>>;
+
+  mutable std::mutex mutex_;
+  Map<Counter> counters_;
+  Map<Gauge> gauges_;
+  Map<Histogram> histograms_;
+};
+
+}  // namespace mshls::obs

@@ -1,0 +1,51 @@
+// Observability switchboard (DESIGN.md row 27).
+//
+// Two gates stack so the instrumentation threaded through the hot layers
+// (thread pool, job service, caches, searches, coupled scheduler) is free
+// when nobody is looking:
+//
+//  * compile time — the CMake option MSHLS_TRACE=OFF defines
+//    MSHLS_OBS_DISABLED and every probe constant-folds to nothing
+//    (Enabled() is `constexpr false`); scripts/obs_overhead.sh measures
+//    the ON-but-disabled build against this tree to bound the residual
+//    cost of the runtime gate;
+//  * run time — with the probes compiled in, nothing is recorded until
+//    obs::SetEnabled(true). The check is one relaxed atomic load; hot
+//    loops (the coupled sweep) keep plain local counters and publish them
+//    through the gate once per run instead of per candidate.
+//
+// Recording APIs live in obs/metrics.h (counters, gauges, histograms) and
+// obs/trace.h (span tracer + Chrome trace_event export).
+#pragma once
+
+#include <atomic>
+
+namespace mshls::obs {
+
+#if defined(MSHLS_OBS_DISABLED)
+
+inline constexpr bool kCompiledIn = false;
+constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+
+#else
+
+inline constexpr bool kCompiledIn = true;
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when recording is on; every probe checks this first.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on or off process-wide. Flipping mid-run is safe
+/// (probes are individually atomic) but partial data results; callers
+/// normally enable once before the pipeline starts.
+void SetEnabled(bool on);
+
+#endif
+
+}  // namespace mshls::obs

@@ -1,0 +1,263 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/build_info.h"
+
+namespace mshls::obs {
+namespace {
+
+long long NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+#if !defined(MSHLS_OBS_DISABLED)
+namespace internal {
+std::atomic<Tracer*> g_tracer{nullptr};
+}  // namespace internal
+
+void InstallGlobalTracer(Tracer* tracer) {
+  internal::g_tracer.store(tracer, std::memory_order_release);
+}
+#endif
+
+TraceArgs& TraceArgs::I(const char* key, long long v) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += key;
+  body_ += "\":";
+  body_ += std::to_string(v);
+  return *this;
+}
+
+TraceArgs& TraceArgs::D(const char* key, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += key;
+  body_ += "\":";
+  body_ += buf;
+  return *this;
+}
+
+TraceArgs& TraceArgs::S(const char* key, const std::string& v) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += key;
+  body_ += "\":\"";
+  body_ += JsonEscape(v);
+  body_ += '"';
+  return *this;
+}
+
+std::string TraceArgs::Json() {
+  if (body_.empty()) return {};
+  std::string out;
+  out.reserve(body_.size() + 2);
+  out += '{';
+  out += body_;
+  out += '}';
+  body_.clear();
+  return out;
+}
+
+void TraceTrack::Begin(std::string name, std::string args_json) {
+  events_.push_back(
+      TraceEvent{'B', NowNs(), std::move(name), std::move(args_json)});
+}
+
+void TraceTrack::End() {
+  events_.push_back(TraceEvent{'E', NowNs(), {}, {}});
+}
+
+void TraceTrack::Instant(std::string name, std::string args_json) {
+  events_.push_back(
+      TraceEvent{'i', NowNs(), std::move(name), std::move(args_json)});
+}
+
+TraceTrack& Tracer::GetTrack(const std::string& name, bool wall_only) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = named_.find(name);
+  if (it != named_.end()) return *it->second;
+  tracks_.push_back(
+      std::unique_ptr<TraceTrack>(new TraceTrack(name, wall_only)));
+  named_[name] = tracks_.back().get();
+  return *tracks_.back();
+}
+
+TraceTrack& Tracer::NewTrack(const std::string& base, bool wall_only) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int serial = ++next_serial_[base];
+  std::string name = base + "#" + std::to_string(serial);
+  tracks_.push_back(
+      std::unique_ptr<TraceTrack>(new TraceTrack(std::move(name), wall_only)));
+  return *tracks_.back();
+}
+
+long long Tracer::TotalEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  long long n = 0;
+  for (const auto& t : tracks_) n += static_cast<long long>(t->events().size());
+  return n;
+}
+
+std::string Tracer::ToChromeJson(TraceClock clock) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Canonical track order: sorted by name, independent of creation
+  // interleaving.
+  std::vector<const TraceTrack*> tracks;
+  tracks.reserve(tracks_.size());
+  for (const auto& t : tracks_) {
+    if (clock == TraceClock::kLogical && t->wall_only()) continue;
+    tracks.push_back(t.get());
+  }
+  std::sort(tracks.begin(), tracks.end(),
+            [](const TraceTrack* a, const TraceTrack* b) {
+              return a->name() < b->name();
+            });
+
+  long long min_ns = 0;
+  if (clock == TraceClock::kWall) {
+    bool seen = false;
+    for (const TraceTrack* t : tracks) {
+      for (const TraceEvent& e : t->events()) {
+        if (!seen || e.wall_ns < min_ns) min_ns = e.wall_ns;
+        seen = true;
+      }
+    }
+  }
+
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"build\":";
+  out += BuildInfoJson();
+  out += ",\"clock\":\"";
+  out += clock == TraceClock::kLogical ? "logical" : "wall";
+  out += "\"},\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"mshls\"}}";
+
+  char buf[64];
+  long long logical_ts = 0;
+  for (size_t ti = 0; ti < tracks.size(); ++ti) {
+    const TraceTrack& t = *tracks[ti];
+    const int tid = static_cast<int>(ti) + 1;
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           JsonEscape(t.name()) + "\"}}";
+    for (const TraceEvent& e : t.events()) {
+      out += ",\n{\"ph\":\"";
+      out += e.phase;
+      out += "\",\"pid\":1,\"tid\":" + std::to_string(tid) + ",\"ts\":";
+      if (clock == TraceClock::kLogical) {
+        out += std::to_string(logical_ts++);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      static_cast<double>(e.wall_ns - min_ns) / 1000.0);
+        out += buf;
+      }
+      if (e.phase != 'E') {
+        out += ",\"name\":\"" + JsonEscape(e.name) + "\"";
+      }
+      if (e.phase == 'i') out += ",\"s\":\"t\"";
+      if (!e.args_json.empty()) out += ",\"args\":" + e.args_json;
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::SummaryText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  std::vector<const TraceTrack*> tracks;
+  tracks.reserve(tracks_.size());
+  for (const auto& t : tracks_) tracks.push_back(t.get());
+  std::sort(tracks.begin(), tracks.end(),
+            [](const TraceTrack* a, const TraceTrack* b) {
+              return a->name() < b->name();
+            });
+
+  std::string out;
+  char buf[192];
+  for (const TraceTrack* t : tracks) {
+    // Aggregate per span name: count and inclusive wall time (matching
+    // B/E pairs via a stack); instants count separately.
+    struct Agg {
+      long long spans = 0;
+      long long instants = 0;
+      long long wall_ns = 0;
+    };
+    std::map<std::string, Agg> by_name;
+    std::vector<std::pair<const std::string*, long long>> stack;
+    for (const TraceEvent& e : t->events()) {
+      switch (e.phase) {
+        case 'B': {
+          Agg& a = by_name[e.name];
+          ++a.spans;
+          stack.emplace_back(&e.name, e.wall_ns);
+          break;
+        }
+        case 'E':
+          if (!stack.empty()) {
+            by_name[*stack.back().first].wall_ns +=
+                e.wall_ns - stack.back().second;
+            stack.pop_back();
+          }
+          break;
+        case 'i': ++by_name[e.name].instants; break;
+        default: break;
+      }
+    }
+    std::snprintf(buf, sizeof(buf), "track %-28s %8zu events%s\n",
+                  t->name().c_str(), t->events().size(),
+                  t->wall_only() ? "  (wall-only)" : "");
+    out += buf;
+    for (const auto& [name, agg] : by_name) {
+      if (agg.spans > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-30s %8lld spans   %12.3f ms\n", name.c_str(),
+                      agg.spans, static_cast<double>(agg.wall_ns) / 1e6);
+      } else {
+        std::snprintf(buf, sizeof(buf), "  %-30s %8lld instants\n",
+                      name.c_str(), agg.instants);
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace mshls::obs

@@ -1,0 +1,160 @@
+// Span tracer with Chrome trace_event JSON export (load the file in
+// Perfetto / chrome://tracing) and a compact text summary.
+//
+// Model: a Tracer owns named TraceTracks; each track is a totally ordered
+// event sequence (Begin/End spans nest, Instant marks a point) and renders
+// as one "thread" row in the viewer. Thread safety is by ownership, not by
+// locking the hot path: a track is appended to by exactly one logical
+// owner at a time — either a shared named track whose caller already
+// serializes (the batch driver, a scheduler's serial reduction loop), or a
+// single-owner track minted with NewTrack() (unique "base#N" name) so
+// concurrent jobs never share one. Track creation takes the tracer mutex;
+// appends are lock-free.
+//
+// Determinism contract: the default export clock is kLogical — timestamps
+// are sequence numbers assigned at export time in canonical (sorted track
+// name) order, and wall_only tracks (thread-pool worker timelines) are
+// skipped — so the trace content depends only on what the run computed,
+// and `mshlsc --trace` output is bitwise identical at --jobs 1/2/8.
+// kWall (`--trace-wall`) exports real steady_clock timestamps and every
+// track, for actual profiling; it is machine- and interleaving-dependent
+// by nature.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace mshls::obs {
+
+enum class TraceClock { kLogical, kWall };
+
+struct TraceEvent {
+  char phase = 'i';       // 'B' span begin, 'E' span end, 'i' instant
+  long long wall_ns = 0;  // steady_clock at record time
+  std::string name;       // empty for 'E'
+  std::string args_json;  // "" or a complete JSON object "{...}"
+};
+
+/// Incremental builder for a trace event's "args" object. Keys appear in
+/// call order; values are JSON-escaped. Doubles use %.17g (round-trip
+/// exact, so logical traces stay bit-identical).
+class TraceArgs {
+ public:
+  TraceArgs& I(const char* key, long long v);
+  TraceArgs& D(const char* key, double v);
+  TraceArgs& S(const char* key, const std::string& v);
+  /// Renders "{...}" (or "" when no keys were added); consumes the builder.
+  [[nodiscard]] std::string Json();
+
+ private:
+  std::string body_;
+};
+
+class TraceTrack {
+ public:
+  void Begin(std::string name, std::string args_json = {});
+  void End();
+  void Instant(std::string name, std::string args_json = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool wall_only() const { return wall_only_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  friend class Tracer;
+  TraceTrack(std::string name, bool wall_only)
+      : name_(std::move(name)), wall_only_(wall_only) {}
+
+  std::string name_;
+  bool wall_only_;
+  std::vector<TraceEvent> events_;
+};
+
+class Tracer {
+ public:
+  /// Shared named track; repeated calls with the same name return the same
+  /// track. The caller is responsible for serializing appends to it.
+  TraceTrack& GetTrack(const std::string& name, bool wall_only = false);
+
+  /// Mints a fresh single-owner track named "base#N" (N counts per base
+  /// under the tracer mutex), so concurrent owners never share a track.
+  TraceTrack& NewTrack(const std::string& base, bool wall_only = false);
+
+  /// Chrome trace_event JSON (the object form with "traceEvents"). The
+  /// header carries build info and the clock mode under "otherData".
+  [[nodiscard]] std::string ToChromeJson(TraceClock clock) const;
+
+  /// Per-track and per-span-name aggregate counts (and wall-time totals)
+  /// for terminal display.
+  [[nodiscard]] std::string SummaryText() const;
+
+  [[nodiscard]] long long TotalEvents() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceTrack>> tracks_;
+  std::map<std::string, TraceTrack*> named_;
+  std::map<std::string, int> next_serial_;
+};
+
+/// RAII span; tolerates a null track so call sites can write
+/// `ScopedSpan s(tracer ? &tracer->GetTrack(..) : nullptr, ...)`.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(TraceTrack* track, std::string name,
+                      std::string args_json = {})
+      : track_(track) {
+    if (track_ != nullptr) track_->Begin(std::move(name), std::move(args_json));
+  }
+  ~ScopedSpan() { Close(); }
+  /// Ends the span early; idempotent (the destructor becomes a no-op).
+  void Close() {
+    if (track_ != nullptr) track_->End();
+    track_ = nullptr;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceTrack* track_;
+};
+
+#if defined(MSHLS_OBS_DISABLED)
+
+/// With the probes compiled out no tracer is ever visible to the
+/// instrumentation, so every `if (auto* t = GlobalTracer())` guard folds
+/// to dead code.
+constexpr Tracer* GlobalTracer() { return nullptr; }
+inline void InstallGlobalTracer(Tracer*) {}
+inline void UninstallGlobalTracer() {}
+
+#else
+
+namespace internal {
+extern std::atomic<Tracer*> g_tracer;
+}  // namespace internal
+
+/// The installed tracer, or nullptr when tracing is off. One relaxed
+/// atomic load; instrumentation guards every probe with it.
+inline Tracer* GlobalTracer() {
+  return internal::g_tracer.load(std::memory_order_acquire);
+}
+
+/// Installs (or, with nullptr, clears) the process-wide tracer. Not
+/// synchronized against in-flight probes; install before the pipeline
+/// starts and uninstall after it drains (the CLI does both).
+void InstallGlobalTracer(Tracer* tracer);
+inline void UninstallGlobalTracer() { InstallGlobalTracer(nullptr); }
+
+#endif
+
+}  // namespace mshls::obs

@@ -1,0 +1,107 @@
+#include "report/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/build_info.h"
+#include "report/json_export.h"
+
+namespace mshls {
+
+BenchFields& BenchFields::I(const std::string& key, long long v) {
+  fields_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+BenchFields& BenchFields::D(const std::string& key, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+BenchFields& BenchFields::S(const std::string& key, const std::string& v) {
+  // Built with reserve/append: GCC 12's -Wrestrict trips on the
+  // temporary-heavy operator+ chain at -O3.
+  const std::string escaped = JsonEscape(v);
+  std::string quoted;
+  quoted.reserve(escaped.size() + 2);
+  quoted += '"';
+  quoted += escaped;
+  quoted += '"';
+  fields_.emplace_back(key, std::move(quoted));
+  return *this;
+}
+
+BenchFields& BenchFields::B(const std::string& key, bool v) {
+  fields_.emplace_back(key, v ? "true" : "false");
+  return *this;
+}
+
+std::string BenchFields::Render() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    out += JsonEscape(fields_[i].first);
+    out += "\": ";
+    out += fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+BenchJson::BenchJson(std::string experiment, std::string name)
+    : experiment_(std::move(experiment)), name_(std::move(name)) {}
+
+BenchFields& BenchJson::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string BenchJson::Render() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"mshls-bench-v1\",\n";
+  out += "  \"experiment\": \"" + JsonEscape(experiment_) + "\",\n";
+  out += "  \"name\": \"" + JsonEscape(name_) + "\",\n";
+  out += "  \"build\": " + BuildInfoJson() + ",\n";
+  out += "  \"params\": " + params_.Render() + ",\n";
+  out += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += "    " + rows_[i].Render();
+    if (i + 1 < rows_.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << Render();
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+std::string TakeJsonFlag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "--json requires a file argument\n");
+      std::exit(2);
+    }
+    std::string file = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return file;
+  }
+  return {};
+}
+
+}  // namespace mshls

@@ -1,0 +1,67 @@
+// Shared machine-readable bench output — every bench_* binary emits the
+// same JSON shape ("mshls-bench-v1") next to its text table, so
+// scripts/bench_baseline.sh and the perf-trajectory tooling parse one
+// schema instead of scraping 17 different tables:
+//
+//   {
+//     "schema": "mshls-bench-v1",
+//     "experiment": "C1",            // DESIGN.md experiment id
+//     "name": "coupled",             // short bench name
+//     "build": { ... },              // common/build_info (attribution)
+//     "params": { ... },             // bench-wide knobs (jobs, repeats, ...)
+//     "rows": [ { ... }, ... ]       // one object per measured row
+//   }
+//
+// Row/param values keep insertion order; doubles render with %.6g (these
+// are measurements, not determinism-critical data).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mshls {
+
+/// One flat JSON object whose keys keep insertion order.
+class BenchFields {
+ public:
+  BenchFields& I(const std::string& key, long long v);
+  BenchFields& D(const std::string& key, double v);
+  BenchFields& S(const std::string& key, const std::string& v);
+  BenchFields& B(const std::string& key, bool v);
+
+  [[nodiscard]] bool empty() const { return fields_.empty(); }
+  /// Renders "{...}".
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key, raw json
+};
+
+class BenchJson {
+ public:
+  BenchJson(std::string experiment, std::string name);
+
+  /// Bench-wide parameters ("params" object).
+  BenchFields& params() { return params_; }
+  /// Appends a row and returns it for filling.
+  BenchFields& AddRow();
+
+  [[nodiscard]] std::string Render() const;
+  /// Writes Render() to `path`; returns false (with a message on stderr)
+  /// when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string experiment_;
+  std::string name_;
+  BenchFields params_;
+  std::vector<BenchFields> rows_;
+};
+
+/// Scans argv for `--json <file>`, removes the pair from argv/argc and
+/// returns the file name ("" when absent) — so every bench supports the
+/// flag without touching its own argument handling.
+[[nodiscard]] std::string TakeJsonFlag(int& argc, char** argv);
+
+}  // namespace mshls

@@ -172,6 +172,25 @@ std::string ResultToJson(const SystemModel& model,
   j.Int(result.allocation.TotalArea(lib));
   j.Key("iterations");
   j.Int(result.iterations);
+
+  // Incremental-engine accounting of the run that produced this result
+  // (carried through the schedule cache, so a replay reports the original
+  // run's work).
+  j.Key("stats");
+  j.BeginObject();
+  j.Key("iterations");
+  j.Int(result.stats.iterations);
+  j.Key("candidates_evaluated");
+  j.Int(result.stats.candidates_evaluated);
+  j.Key("candidates_repriced");
+  j.Int(result.stats.candidates_repriced);
+  j.Key("candidates_reused");
+  j.Int(result.stats.candidates_reused);
+  j.Key("tier1_invalidations");
+  j.Int(result.stats.tier1_invalidations);
+  j.Key("tier2_invalidations");
+  j.Int(result.stats.tier2_invalidations);
+  j.EndObject();
   j.EndObject();
   return j.Take();
 }

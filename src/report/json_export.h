@@ -15,7 +15,9 @@ namespace mshls {
 ///  "allocation":{"local":[{process,type,instances}],
 ///    "global":[{type, period, instances,
 ///      users:[{process, authorization:[...]}], profile:[...]}]},
-///  "area": N, "iterations": N}
+///  "area": N, "iterations": N,
+///  "stats":{iterations, candidates_evaluated, candidates_repriced,
+///    candidates_reused, tier1_invalidations, tier2_invalidations}}
 [[nodiscard]] std::string ResultToJson(const SystemModel& model,
                                        const CoupledResult& result);
 

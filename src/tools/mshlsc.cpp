@@ -41,6 +41,17 @@
 //                          corrupted and the certifier must catch it;
 //                          caught faults are shrunk, misses exit 1)
 //   --fuzz-dir <dir>       where --fuzz writes repros (default fuzz-repros)
+//   --trace <file>         write a Chrome trace_event JSON of the run
+//                          (open in Perfetto / chrome://tracing). Uses the
+//                          logical clock: the file is bit-identical for any
+//                          --jobs value
+//   --trace-wall <file>    the same trace on the wall clock (real
+//                          timestamps; NOT deterministic across runs)
+//   --metrics <file>       write the stable metric counters as JSON
+//                          (deterministic semantic totals only)
+//   --stats                print all metrics (including timing ones) and a
+//                          per-track trace summary to stdout at exit
+//   --version              print the build stamp and exit
 //
 // Exit code 0 on success (including a conflict-free simulation and a
 // detected injected fault), 1 on any error, violation or missed fault.
@@ -56,6 +67,7 @@
 
 #include "bind/area_report.h"
 #include "bind/binding.h"
+#include "common/build_info.h"
 #include "common/text_table.h"
 #include "dfg/dot_export.h"
 #include "engine/job_service.h"
@@ -65,6 +77,8 @@
 #include "modulo/baseline.h"
 #include "modulo/coupled_scheduler.h"
 #include "modulo/period_search.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "report/experiment_report.h"
 #include "report/gantt.h"
 #include "report/json_export.h"
@@ -95,6 +109,10 @@ struct Args {
   std::string inject_fault;
   std::string fuzz_spec;
   std::string fuzz_dir = "fuzz-repros";
+  std::string trace_file;
+  std::string trace_wall_file;
+  std::string metrics_file;
+  bool stats = false;
 };
 
 int Usage(const char* argv0) {
@@ -105,8 +123,11 @@ int Usage(const char* argv0) {
                "       [--jobs <n>] [--verify] [--inject-fault <kind>[:<seed>]]\n"
                "   or: %s --batch <dir> [--jobs <n>] [mode flags] [--simulate <n>]\n"
                "   or: %s --fuzz <n>[:<seed>] [--jobs <n>] "
-               "[--inject-fault <spec>] [--fuzz-dir <dir>]\n",
-               argv0, argv0, argv0);
+               "[--inject-fault <spec>] [--fuzz-dir <dir>]\n"
+               "observability (any mode): [--trace <file>] "
+               "[--trace-wall <file>] [--metrics <file>] [--stats]\n"
+               "   or: %s --version\n",
+               argv0, argv0, argv0, argv0);
   return 1;
 }
 
@@ -177,6 +198,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->fuzz_dir = v;
+    } else if (flag == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_file = v;
+    } else if (flag == "--trace-wall") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_wall_file = v;
+    } else if (flag == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      args->metrics_file = v;
+    } else if (flag == "--stats") {
+      args->stats = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -191,6 +226,70 @@ JobMode ModeFromArgs(const Args& args) {
   if (args.search_periods) return JobMode::kSearchPeriods;
   return JobMode::kCoupled;
 }
+
+/// Turns recording on for the whole run when any observability output was
+/// requested, and exports/prints everything on destruction — which runs on
+/// every exit path of main, so early `return 1`s still leave a usable
+/// trace behind.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : trace_file_(args.trace_file),
+        trace_wall_file_(args.trace_wall_file),
+        metrics_file_(args.metrics_file),
+        stats_(args.stats),
+        active_(!args.trace_file.empty() || !args.trace_wall_file.empty() ||
+                !args.metrics_file.empty() || args.stats) {
+    if (!active_) return;
+    if (!obs::kCompiledIn)
+      std::fprintf(stderr,
+                   "warning: probes were compiled out (MSHLS_TRACE=OFF); "
+                   "traces and metrics will be empty\n");
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+    obs::InstallGlobalTracer(&tracer_);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (!active_) return;
+    obs::UninstallGlobalTracer();
+    obs::SetEnabled(false);
+    WriteIfSet(trace_file_, tracer_.ToChromeJson(obs::TraceClock::kLogical));
+    WriteIfSet(trace_wall_file_,
+               tracer_.ToChromeJson(obs::TraceClock::kWall));
+    WriteIfSet(metrics_file_,
+               obs::MetricsRegistry::Global().ToJson(
+                   /*include_timing=*/false));
+    if (stats_) {
+      std::printf("\n--- metrics ---\n%s",
+                  obs::MetricsRegistry::Global().RenderText().c_str());
+      std::printf("\n--- trace summary (%lld events) ---\n%s",
+                  tracer_.TotalEvents(), tracer_.SummaryText().c_str());
+    }
+  }
+
+ private:
+  static void WriteIfSet(const std::string& path, std::string&& content) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    out << content;
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  std::string trace_file_;
+  std::string trace_wall_file_;
+  std::string metrics_file_;
+  bool stats_;
+  bool active_;
+  obs::Tracer tracer_;
+};
 
 /// Input files larger than this are presumed not to be hand-written DSL
 /// sources and are skipped with a warning row (keeps a stray binary or log
@@ -264,6 +363,7 @@ int RunBatch(const Args& args) {
                  r.status.message().c_str());
 
   std::vector<JobResult> results;
+  CacheStats cache_stats;
   if (!jobs.empty()) {
     JobServiceOptions service_options;
     service_options.workers = args.jobs;
@@ -271,9 +371,7 @@ int RunBatch(const Args& args) {
     std::printf("batch: %zu design(s), %d worker(s), mode %s\n", jobs.size(),
                 service.workers(), JobModeName(jobs.front().mode));
     results = service.RunBatch(std::move(jobs));
-    const CacheStats stats = service.cache_stats();
-    std::printf("cache: %ld hit(s) / %ld lookup(s)\n", stats.hits,
-                stats.hits + stats.misses);
+    cache_stats = service.cache_stats();
   }
   // Merge the warning rows back in name order (inputs were sorted, and the
   // service returns results in submission order).
@@ -286,22 +384,44 @@ int RunBatch(const Args& args) {
 
   TextTable table;
   table.SetHeader({"design", "code", "rung", "detail", "FU area", "full area",
-                   "ms"});
-  table.AlignRight(4);
-  table.AlignRight(5);
-  table.AlignRight(6);
+                   "evals", "hit %", "ms"});
+  for (std::size_t c = 4; c < 9; ++c) table.AlignRight(c);
   int failures = 0;
   for (const JobResult& r : results) {
     if (!r.status.ok()) ++failures;
+    const double hit_pct =
+        r.evaluated == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.cache_hits) /
+                  static_cast<double>(r.evaluated);
     table.AddRow({r.name,
                   r.status.ok() ? "ok" : StatusCodeName(r.status.code()),
                   r.status.ok() ? DegradationRungName(r.rung) : "-",
                   r.status.ok() ? "" : r.status.message(),
                   r.status.ok() ? std::to_string(r.area) : "-",
                   r.status.ok() ? FormatDouble(r.full_area, 1) : "-",
+                  r.status.ok() ? std::to_string(r.evaluated) : "-",
+                  r.status.ok() && r.evaluated > 0 ? FormatDouble(hit_pct, 0)
+                                                   : "-",
                   FormatDouble(r.wall_ms, 0)});
   }
   std::printf("%s", table.Render().c_str());
+
+  const BatchSummary summary = SummarizeBatch(results, cache_stats);
+  std::printf("summary: %zu ok / %zu failed of %zu; rungs:", summary.succeeded,
+              summary.failed, summary.total);
+  for (std::size_t i = 0; i < kDegradationRungCount; ++i)
+    std::printf(" %s=%zu",
+                DegradationRungName(static_cast<DegradationRung>(i)),
+                summary.rung_counts[i]);
+  std::printf(" (%zu attempt(s))\n", summary.attempts);
+  std::printf("search candidates: %ld scheduled, %ld cache hit(s) "
+              "(%.0f%% hit rate)\n",
+              summary.evaluated, summary.cache_hits, 100 * summary.HitRate());
+  std::printf("schedule cache: %ld hit(s) / %ld lookup(s), %ld insertion(s), "
+              "%ld eviction(s)\n",
+              summary.cache.hits, summary.cache.hits + summary.cache.misses,
+              summary.cache.insertions, summary.cache.evictions);
   if (failures > 0)
     std::fprintf(stderr, "%d of %zu design(s) failed\n", failures,
                  results.size());
@@ -356,9 +476,16 @@ int RunFuzzMode(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", BuildInfoString().c_str());
+      return 0;
+    }
+
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
 
+  ObsSession obs_session(args);
   if (!args.fuzz_spec.empty()) return RunFuzzMode(args);
   if (!args.batch_dir.empty()) return RunBatch(args);
 

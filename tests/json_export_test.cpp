@@ -2,6 +2,7 @@
 
 #include "bind/binding.h"
 #include "modulo/coupled_scheduler.h"
+#include "modulo/schedule_cache.h"
 #include "report/json_export.h"
 #include "workloads/benchmarks.h"
 
@@ -91,6 +92,40 @@ TEST_F(JsonExportTest, ScheduleStartsMatch) {
       EXPECT_NE(json.find(needle), std::string::npos) << needle;
     }
   }
+}
+
+TEST_F(JsonExportTest, StatsBlockRoundTripsEngineCounters) {
+  const std::string json = ResultToJson(model_, result_);
+  // The scheduler populates its CoupledStats unconditionally; the export
+  // must carry the exact values so a reader recovers the engine accounting
+  // of the run that produced the result.
+  const CoupledStats& s = result_.stats;
+  EXPECT_GT(s.iterations, 0);
+  EXPECT_GT(s.candidates_evaluated, 0);
+  const std::string needle =
+      "\"stats\":{\"iterations\":" + std::to_string(s.iterations) +
+      ",\"candidates_evaluated\":" + std::to_string(s.candidates_evaluated) +
+      ",\"candidates_repriced\":" + std::to_string(s.candidates_repriced) +
+      ",\"candidates_reused\":" + std::to_string(s.candidates_reused) +
+      ",\"tier1_invalidations\":" + std::to_string(s.tier1_invalidations) +
+      ",\"tier2_invalidations\":" + std::to_string(s.tier2_invalidations) +
+      "}";
+  EXPECT_NE(json.find(needle), std::string::npos) << json;
+}
+
+TEST_F(JsonExportTest, StatsBlockSurvivesTheScheduleCache) {
+  // A cache replay must report the original run's stats, not zeros.
+  ScheduleCache cache;
+  CoupledParams params;
+  auto first = ScheduleWithCache(model_, params, &cache);
+  ASSERT_TRUE(first.ok());
+  auto replay = ScheduleWithCache(model_, params, &cache);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(replay.value().stats.candidates_evaluated,
+            first.value().stats.candidates_evaluated);
+  EXPECT_EQ(ResultToJson(model_, replay.value()),
+            ResultToJson(model_, first.value()));
 }
 
 TEST_F(JsonExportTest, BindingJsonListsAllInstancesAndOps) {

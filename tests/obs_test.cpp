@@ -1,0 +1,291 @@
+// Observability subsystem (src/obs, DESIGN.md §2 row 27): metrics
+// registry semantics, trace model and Chrome JSON export, and the
+// determinism contract — recording on, the coupled scheduler produces a
+// bit-identical logical-clock trace and identical stable counters for any
+// --jobs value, on fuzz-generated models and the C1-scale workload alike.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/build_info.h"
+#include "engine/job_service.h"
+#include "fuzz/generator.h"
+#include "modulo/coupled_scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workloads/benchmarks.h"
+
+namespace mshls {
+namespace {
+
+/// Every test runs with recording on and a clean registry, and leaves the
+/// process-global switch off again (other suites expect probes dormant).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::UninstallGlobalTracer();
+    obs::SetEnabled(false);
+    obs::MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(ObsTest, ProbesAreCompiledInForThisSuite) {
+  // The determinism tests below are vacuous with MSHLS_TRACE=OFF; the
+  // obs label is only added to test trees that compile the probes in.
+  EXPECT_TRUE(obs::kCompiledIn);
+  EXPECT_TRUE(obs::Enabled());
+}
+
+TEST_F(ObsTest, CounterRespectsTheEnableSwitch) {
+  obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "test.counter", obs::MetricKind::kStable);
+  c.Add(3);
+  c.Add();
+  EXPECT_EQ(c.value(), 4);
+  obs::SetEnabled(false);
+  c.Add(100);
+  EXPECT_EQ(c.value(), 4) << "disabled probes must not record";
+  obs::SetEnabled(true);
+}
+
+TEST_F(ObsTest, GaugeTracksMaximum) {
+  obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "test.gauge", obs::MetricKind::kTiming);
+  g.UpdateMax(7);
+  g.UpdateMax(3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(2);
+  EXPECT_EQ(g.value(), 2);
+}
+
+TEST_F(ObsTest, HistogramUsesLogScaleBuckets) {
+  obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "test.histogram", obs::MetricKind::kStable);
+  // Bucket i holds values of bit-width i; bucket 0 is the <= 0 sink.
+  h.Observe(0);   // bucket 0
+  h.Observe(1);   // bucket 1
+  h.Observe(2);   // bucket 2
+  h.Observe(3);   // bucket 2
+  h.Observe(4);   // bucket 3
+  h.Observe(1'000'000);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum(), 1'000'010);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(3), 1);
+  EXPECT_EQ(h.bucket(obs::Histogram::BucketIndex(1'000'000)), 1);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1'000'000), 20);  // bit width of 1e6
+  EXPECT_EQ(obs::Histogram::BucketUpperEdge(3), 8);
+}
+
+TEST_F(ObsTest, MetricsJsonFiltersTimingKind) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("stable.one", obs::MetricKind::kStable).Add(5);
+  reg.GetCounter("timing.one", obs::MetricKind::kTiming).Add(9);
+  const std::string stable_only = reg.ToJson(/*include_timing=*/false);
+  EXPECT_NE(stable_only.find("stable.one"), std::string::npos);
+  EXPECT_EQ(stable_only.find("timing.one"), std::string::npos)
+      << "timing metrics are machine-dependent and must stay out of the "
+         "deterministic export";
+  const std::string all = reg.ToJson(/*include_timing=*/true);
+  EXPECT_NE(all.find("timing.one"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceArgsRendersTypedJson) {
+  const std::string json = obs::TraceArgs()
+                               .I("count", 42)
+                               .D("score", 1.5)
+                               .S("name", "a\"b")
+                               .Json();
+  EXPECT_EQ(json, "{\"count\":42,\"score\":1.5,\"name\":\"a\\\"b\"}");
+}
+
+TEST_F(ObsTest, TracerProducesBalancedChromeJson) {
+  obs::Tracer tracer;
+  obs::TraceTrack* track = &tracer.GetTrack("main");
+  {
+    obs::ScopedSpan outer(track, "outer",
+                          obs::TraceArgs().I("level", 0).Json());
+    obs::ScopedSpan inner(track, "inner");
+    track->Instant("marker", obs::TraceArgs().S("why", "test").Json());
+  }
+  EXPECT_EQ(tracer.TotalEvents(), 5);  // 2 x B/E + 1 x i
+  const std::string json = tracer.ToChromeJson(obs::TraceClock::kLogical);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"logical\""), std::string::npos);
+  // The build stamp rides in the header.
+  EXPECT_NE(json.find("\"git_hash\""), std::string::npos);
+  const std::string summary = tracer.SummaryText();
+  EXPECT_NE(summary.find("main"), std::string::npos);
+}
+
+TEST_F(ObsTest, WallOnlyTracksStayOutOfTheLogicalExport) {
+  obs::Tracer tracer;
+  tracer.GetTrack("semantic").Instant("kept");
+  tracer.NewTrack("timing", /*wall_only=*/true).Instant("dropped");
+  const std::string logical = tracer.ToChromeJson(obs::TraceClock::kLogical);
+  EXPECT_NE(logical.find("kept"), std::string::npos);
+  EXPECT_EQ(logical.find("dropped"), std::string::npos);
+  const std::string wall = tracer.ToChromeJson(obs::TraceClock::kWall);
+  EXPECT_NE(wall.find("dropped"), std::string::npos);
+}
+
+TEST_F(ObsTest, NewTrackHandsOutUniqueNames) {
+  obs::Tracer tracer;
+  obs::TraceTrack& a = tracer.NewTrack("job");
+  obs::TraceTrack& b = tracer.NewTrack("job");
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(a.name(), b.name());
+}
+
+/// The C1-scale generator (bench_coupled): n processes of `ops` random ops
+/// each, global mult + add pools with period 4.
+SystemModel MakeCoupledSystem(int n_processes, int ops) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  Rng rng(42);
+  std::vector<ProcessId> procs;
+  for (int i = 0; i < n_processes; ++i) {
+    RandomDfgOptions options;
+    options.ops = ops;
+    options.layers = 3;
+    options.mult_probability = 0.3;
+    DataFlowGraph g = BuildRandomDfg(t, rng, options);
+    const ProcessId p = model.AddProcess("p" + std::to_string(i), 16);
+    model.AddBlock(p, "b", std::move(g), 16);
+    procs.push_back(p);
+  }
+  model.MakeGlobal(t.mult, procs);
+  model.SetPeriod(t.mult, 4);
+  model.MakeGlobal(t.add, procs);
+  model.SetPeriod(t.add, 4);
+  EXPECT_TRUE(model.Validate().ok());
+  return model;
+}
+
+/// Runs the coupled scheduler with a fresh tracer + registry and returns
+/// (logical trace JSON, stable metrics JSON).
+std::pair<std::string, std::string> TracedRun(const SystemModel& model,
+                                              int jobs) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer tracer;
+  obs::InstallGlobalTracer(&tracer);
+  CoupledParams params;
+  params.jobs = jobs;
+  CoupledScheduler scheduler(model, params);
+  auto result = scheduler.Run();
+  obs::UninstallGlobalTracer();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return {tracer.ToChromeJson(obs::TraceClock::kLogical),
+          obs::MetricsRegistry::Global().ToJson(/*include_timing=*/false)};
+}
+
+TEST_F(ObsTest, TraceIsBitIdenticalAcrossJobCounts) {
+  // The acceptance workload: 10 processes x 24 ops.
+  const SystemModel model = MakeCoupledSystem(10, 24);
+  const auto reference = TracedRun(model, 1);
+  EXPECT_NE(reference.first.find("\"name\":\"narrow\""), std::string::npos)
+      << "the decision log must appear in the trace";
+  for (int jobs : {2, 8}) {
+    const auto run = TracedRun(model, jobs);
+    EXPECT_EQ(reference.first, run.first)
+        << "logical trace diverged at jobs=" << jobs;
+    EXPECT_EQ(reference.second, run.second)
+        << "stable metrics diverged at jobs=" << jobs;
+  }
+}
+
+TEST_F(ObsTest, TraceIsBitIdenticalOnFuzzedModels) {
+  FuzzGenOptions options;
+  options.infeasible_probability = 0;
+  options.grid_hostile_probability = 0;
+  int covered = 0;
+  for (std::uint64_t seed = 1; seed <= 12 && covered < 5; ++seed) {
+    GeneratedCase c = GenerateSystem(seed, options);
+    if (c.cls != CaseClass::kClean) continue;
+    if (!c.model.Validate().ok()) continue;
+    const auto reference = TracedRun(c.model, 1);
+    const auto parallel = TracedRun(c.model, 4);
+    EXPECT_EQ(reference.first, parallel.first) << "seed " << seed;
+    EXPECT_EQ(reference.second, parallel.second) << "seed " << seed;
+    ++covered;
+  }
+  EXPECT_GE(covered, 3) << "generator produced too few clean cases";
+}
+
+TEST_F(ObsTest, SchedulerMirrorsStatsIntoTheRegistry) {
+  const SystemModel model = MakeCoupledSystem(2, 8);
+  obs::MetricsRegistry::Global().Reset();
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto result = scheduler.Run();
+  ASSERT_TRUE(result.ok());
+  const CoupledStats& stats = result.value().stats;
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_EQ(stats.iterations, result.value().iterations);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetCounter("coupled.iterations", obs::MetricKind::kStable)
+                .value(),
+            stats.iterations);
+  EXPECT_EQ(reg.GetCounter("coupled.candidates.evaluated",
+                           obs::MetricKind::kStable)
+                .value(),
+            stats.candidates_evaluated);
+}
+
+TEST_F(ObsTest, BatchSummaryFoldsResults) {
+  std::vector<JobResult> results(3);
+  results[0].status = Status::Ok();
+  results[0].rung = DegradationRung::kAsRequested;
+  results[0].evaluated = 10;
+  results[0].cache_hits = 4;
+  results[0].wall_ms = 1.5;
+  results[0].attempts.resize(1);
+  results[1].status = Status::Ok();
+  results[1].rung = DegradationRung::kLocalBaseline;
+  results[1].evaluated = 6;
+  results[1].cache_hits = 2;
+  results[1].attempts.resize(3);
+  results[2].status = Status{StatusCode::kInfeasible, "too tight"};
+  results[2].attempts.resize(2);
+  CacheStats cache;
+  cache.hits = 6;
+  cache.misses = 10;
+  const BatchSummary summary = SummarizeBatch(results, cache);
+  EXPECT_EQ(summary.total, 3u);
+  EXPECT_EQ(summary.succeeded, 2u);
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_EQ(summary.rung_counts[static_cast<std::size_t>(
+                DegradationRung::kAsRequested)],
+            1u);
+  EXPECT_EQ(summary.rung_counts[static_cast<std::size_t>(
+                DegradationRung::kLocalBaseline)],
+            1u);
+  EXPECT_EQ(summary.attempts, 6u);
+  EXPECT_EQ(summary.evaluated, 16);
+  EXPECT_EQ(summary.cache_hits, 6);
+  EXPECT_DOUBLE_EQ(summary.HitRate(), 6.0 / 16.0);
+  EXPECT_DOUBLE_EQ(summary.wall_ms_sum, 1.5);
+}
+
+TEST_F(ObsTest, BuildInfoIsPopulated) {
+  const BuildInfo& info = GetBuildInfo();
+  EXPECT_STRNE(info.version, "");
+  EXPECT_STRNE(info.compiler, "");
+  EXPECT_NE(BuildInfoString().find("git"), std::string::npos);
+  const std::string json = BuildInfoJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"trace_compiled_in\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mshls
