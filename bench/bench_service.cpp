@@ -1,0 +1,346 @@
+// Experiment S1 — the scheduling service end to end over its unix
+// socket: an in-process mshlsd core (serve/server.h) fed by concurrent
+// clients speaking the real wire protocol.
+//
+//   1. cold: distinct fuzz-generated designs, nothing cached — baseline
+//      jobs/sec and p50/p99 latency;
+//   2. warm (memory): the same designs against the same server — served
+//      from the in-memory schedule cache;
+//   3. warm (disk): the server is torn down and a fresh one opens the
+//      same cache directory — a restarted daemon warm-starts from the
+//      persistent fingerprint store (and every payload must be
+//      byte-identical to the cold response);
+//   4. overload: admission limit 1 under 16 concurrent clients — the
+//      bounded queue must answer with typed `overloaded` rejections,
+//      never block or crash, and drain cleanly.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/text_table.h"
+#include "frontend/emitter.h"
+#include "fuzz/generator.h"
+#include "report/bench_json.h"
+#include "serve/client.h"
+#include "serve/disk_cache.h"
+#include "serve/server.h"
+
+using namespace mshls;
+
+namespace {
+
+constexpr const char* kSocketPath = "bench_service.sock";
+constexpr const char* kCacheDir = "bench_service_cache";
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// kClean designs only: the service phases compare like against like
+/// (a rejected-infeasible case would skew the latency mix).
+std::vector<std::string> GenerateDesigns(int count) {
+  FuzzGenOptions options;
+  options.infeasible_probability = 0;
+  options.grid_hostile_probability = 0;
+  std::vector<std::string> sources;
+  sources.reserve(static_cast<std::size_t>(count));
+  std::uint64_t seed = 1;
+  while (static_cast<int>(sources.size()) < count) {
+    GeneratedCase generated = GenerateSystem(seed++, options);
+    if (!generated.model.Validate().ok()) continue;  // belt and braces
+    sources.push_back(EmitSystemText(generated.model));
+  }
+  return sources;
+}
+
+struct PhaseResult {
+  long long ok = 0;
+  long long failed = 0;
+  long long rejected = 0;  // typed admission rejections
+  long long cache_hits = 0;
+  long long store_hits = 0;
+  double wall_ms = 0;
+  std::vector<double> latencies_ms;
+  /// source index -> response payload (for the bit-identity check).
+  std::map<int, std::string> payloads;
+
+  [[nodiscard]] double Percentile(double p) const {
+    if (latencies_ms.empty()) return 0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[idx];
+  }
+  [[nodiscard]] double JobsPerSec() const {
+    return wall_ms <= 0 ? 0 : 1000.0 * static_cast<double>(ok) / wall_ms;
+  }
+  [[nodiscard]] double HitRatio() const {
+    return ok == 0 ? 0 : static_cast<double>(cache_hits) / static_cast<double>(ok);
+  }
+};
+
+/// Submits every design once, `clients` concurrent connections pulling
+/// from one shared index. `keep_payloads` records responses for the
+/// cold-vs-warm identity check.
+PhaseResult RunPhase(const std::vector<std::string>& sources, int clients,
+                     bool keep_payloads) {
+  PhaseResult result;
+  std::atomic<int> next{0};
+  std::mutex merge_mutex;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&] {
+      serve::Client client;
+      if (!client.Connect(kSocketPath).ok()) return;
+      PhaseResult local;
+      for (int i = next.fetch_add(1); i < static_cast<int>(sources.size());
+           i = next.fetch_add(1)) {
+        serve::ServeRequest request;
+        request.source = sources[static_cast<std::size_t>(i)];
+        const auto r0 = std::chrono::steady_clock::now();
+        auto response_or = client.Submit(request);
+        const double ms = MsSince(r0);
+        if (!response_or.ok()) {
+          ++local.failed;
+          continue;
+        }
+        const serve::ServeResponse& response = response_or.value();
+        if (response.status == serve::ServeStatus::kOk) {
+          ++local.ok;
+          local.latencies_ms.push_back(ms);
+          if (response.cache_hit()) ++local.cache_hits;
+          if (response.store_hit()) ++local.store_hits;
+          if (keep_payloads) local.payloads.emplace(i, response.payload);
+        } else if (serve::IsRejection(response.status)) {
+          ++local.rejected;
+        } else {
+          ++local.failed;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      result.ok += local.ok;
+      result.failed += local.failed;
+      result.rejected += local.rejected;
+      result.cache_hits += local.cache_hits;
+      result.store_hits += local.store_hits;
+      result.latencies_ms.insert(result.latencies_ms.end(),
+                                 local.latencies_ms.begin(),
+                                 local.latencies_ms.end());
+      for (auto& [idx, payload] : local.payloads)
+        result.payloads.emplace(idx, std::move(payload));
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  result.wall_ms = MsSince(t0);
+  return result;
+}
+
+/// Overload: every client hammers the service as fast as responses come
+/// back; with admission limit 1 most submissions must bounce with a typed
+/// `overloaded` — and zero may hang, crash or come back malformed.
+PhaseResult RunOverload(const std::vector<std::string>& sources, int clients,
+                        int rounds) {
+  PhaseResult result;
+  std::mutex merge_mutex;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      serve::Client client;
+      if (!client.Connect(kSocketPath).ok()) return;
+      PhaseResult local;
+      for (int r = 0; r < rounds; ++r) {
+        const std::size_t idx =
+            static_cast<std::size_t>(c * rounds + r) % sources.size();
+        serve::ServeRequest request;
+        request.source = sources[idx];
+        auto response_or = client.Submit(request);
+        if (!response_or.ok()) {
+          ++local.failed;
+          continue;
+        }
+        switch (response_or.value().status) {
+          case serve::ServeStatus::kOk: ++local.ok; break;
+          case serve::ServeStatus::kOverloaded: ++local.rejected; break;
+          default: ++local.failed; break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      result.ok += local.ok;
+      result.failed += local.failed;
+      result.rejected += local.rejected;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  result.wall_ms = MsSince(t0);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  int designs = 24;
+  int clients = 4;
+  int workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--designs" && i + 1 < argc) designs = std::atoi(argv[++i]);
+    else if (flag == "--clients" && i + 1 < argc) clients = std::atoi(argv[++i]);
+    else if (flag == "--workers" && i + 1 < argc) workers = std::atoi(argv[++i]);
+    else {
+      std::fprintf(stderr, "usage: %s [--designs n] [--clients n] "
+                   "[--workers n] [--json file]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  BenchJson json("S1", "service");
+  json.params().I("designs", designs).I("clients", clients).I("workers",
+                                                              workers);
+  std::printf("== S1: scheduling service (daemon core over unix socket) ==\n\n");
+  std::printf("%d design(s), %d client(s), %d worker(s)\n\n", designs, clients,
+              workers);
+
+  std::filesystem::remove_all(kCacheDir);
+  const std::vector<std::string> sources = GenerateDesigns(designs);
+
+  TextTable table;
+  table.SetHeader({"phase", "ok", "rej", "fail", "jobs/s", "p50 [ms]",
+                   "p99 [ms]", "hit %", "disk %"});
+  for (std::size_t c = 1; c < 9; ++c) table.AlignRight(c);
+  auto add_result = [&](const char* phase, const PhaseResult& r) {
+    table.AddRow({phase, std::to_string(r.ok), std::to_string(r.rejected),
+                  std::to_string(r.failed), FormatDouble(r.JobsPerSec(), 1),
+                  FormatDouble(r.Percentile(0.50), 2),
+                  FormatDouble(r.Percentile(0.99), 2),
+                  FormatDouble(100 * r.HitRatio(), 0),
+                  r.ok == 0 ? "0" : FormatDouble(100 *
+                      static_cast<double>(r.store_hits) /
+                      static_cast<double>(r.ok), 0)});
+    json.AddRow()
+        .S("phase", phase)
+        .I("ok", r.ok)
+        .I("rejected", r.rejected)
+        .I("failed", r.failed)
+        .D("jobs_per_sec", r.JobsPerSec())
+        .D("p50_ms", r.Percentile(0.50))
+        .D("p99_ms", r.Percentile(0.99))
+        .D("hit_ratio", r.HitRatio())
+        .D("store_hit_ratio",
+           r.ok == 0 ? 0 : static_cast<double>(r.store_hits) /
+                               static_cast<double>(r.ok));
+  };
+
+  PhaseResult cold, warm, disk_warm;
+  {
+    serve::DiskCacheOptions disk_options;
+    disk_options.dir = kCacheDir;
+    serve::DiskCache disk(disk_options);
+    if (Status s = disk.Open(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    serve::ServerOptions options;
+    options.socket_path = kSocketPath;
+    options.workers = workers;
+    options.queue_limit = 2 * clients;
+    options.store = &disk;
+    serve::Server server(options);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    cold = RunPhase(sources, clients, /*keep_payloads=*/true);
+    add_result("cold", cold);
+    warm = RunPhase(sources, clients, /*keep_payloads=*/false);
+    add_result("warm-mem", warm);
+    server.RequestStop();
+    server.Wait();
+  }
+  {
+    // Fresh server + fresh DiskCache over the same directory: everything
+    // the warm phase can hit now comes from disk.
+    serve::DiskCacheOptions disk_options;
+    disk_options.dir = kCacheDir;
+    serve::DiskCache disk(disk_options);
+    if (Status s = disk.Open(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    serve::ServerOptions options;
+    options.socket_path = kSocketPath;
+    options.workers = workers;
+    options.queue_limit = 2 * clients;
+    options.store = &disk;
+    serve::Server server(options);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    disk_warm = RunPhase(sources, clients, /*keep_payloads=*/true);
+    add_result("warm-disk", disk_warm);
+    server.RequestStop();
+    server.Wait();
+  }
+
+  bool identical = cold.payloads.size() == disk_warm.payloads.size();
+  if (identical)
+    for (const auto& [idx, payload] : cold.payloads) {
+      auto it = disk_warm.payloads.find(idx);
+      if (it == disk_warm.payloads.end() || it->second != payload) {
+        identical = false;
+        break;
+      }
+    }
+  std::printf("\ncold vs warm-disk payloads: %s\n",
+              identical ? "byte-identical" : "DIFFER");
+
+  PhaseResult overload;
+  {
+    serve::ServerOptions options;
+    options.socket_path = kSocketPath;
+    options.workers = 1;
+    options.queue_limit = 0;  // admission limit 1 — rejections guaranteed
+    serve::Server server(options);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return 1;
+    }
+    overload = RunOverload(sources, /*clients=*/16, /*rounds=*/8);
+    add_result("overload", overload);
+    server.RequestStop();
+    server.Wait();
+  }
+
+  std::printf("\n%s\n", table.Render().c_str());
+  json.AddRow()
+      .S("phase", "identity")
+      .B("cold_equals_warm_disk", identical);
+
+  const bool ok = identical && cold.failed == 0 && warm.failed == 0 &&
+                  disk_warm.failed == 0 && overload.failed == 0 &&
+                  warm.cache_hits == warm.ok &&
+                  disk_warm.store_hits == disk_warm.ok &&
+                  overload.rejected > 0;
+  std::printf("warm hit ratio: %.0f%% (memory), %.0f%% (disk after restart); "
+              "overload: %lld ok / %lld rejected — %s\n",
+              100 * warm.HitRatio(), 100 * disk_warm.HitRatio(),
+              overload.ok, overload.rejected, ok ? "PASS" : "FAIL");
+  if (!json_file.empty()) json.WriteFile(json_file);
+  std::filesystem::remove_all(kCacheDir);
+  return ok ? 0 : 1;
+}

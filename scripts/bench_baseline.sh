@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Regenerates the committed C1 baseline (BENCH_coupled.json at the repo
-# root): builds bench_coupled in the default RelWithDebInfo tree and runs
-# the full A-series scaling ladder in the three engine configurations
-# (serial-naive, incremental, incremental + jobs). The bench itself
-# cross-checks that all three produce bit-identical schedules and exits
-# non-zero on any divergence, so a regenerated baseline is also a
-# consistency run. Numbers are machine-dependent — re-record EXPERIMENTS.md
-# §C1 alongside when refreshing the file. The emitted file is validated
-# against the shared mshls-bench-v1 schema (every bench binary emits the
-# same envelope via --json; see src/report/bench_json.h) before it is
-# accepted as the new baseline.
+# Regenerates the committed performance baselines (BENCH_coupled.json and
+# BENCH_service.json at the repo root) in the default RelWithDebInfo tree.
+#
+# C1 (bench_coupled) runs the full A-series scaling ladder in the three
+# engine configurations (serial-naive, incremental, incremental + jobs)
+# and cross-checks that all three produce bit-identical schedules.
+#
+# S1 (bench_service) runs the scheduling service end to end — cold solve,
+# memory-tier warm, daemon restart onto the persistent tier, and an
+# overload phase — and cross-checks that cold and warm-restart payloads
+# are byte-identical and that overload produces only typed rejections.
+#
+# Both benches exit non-zero on any divergence, so a regenerated baseline
+# is also a consistency run. Numbers are machine-dependent — re-record
+# EXPERIMENTS.md §C1/§S1 alongside when refreshing the files. Each emitted
+# file is validated against the shared mshls-bench-v1 schema (every bench
+# binary emits the same envelope via --json; see src/report/bench_json.h)
+# before it is accepted as the new baseline.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -18,35 +25,55 @@ cd "$(dirname "$0")/.."
 build="${1:-build}"
 
 cmake -B "${build}" -S . > /dev/null
-cmake --build "${build}" --target bench_coupled -j "$(nproc)" > /dev/null
+cmake --build "${build}" --target bench_coupled bench_service \
+      -j "$(nproc)" > /dev/null
 "${build}/bench/bench_coupled" --json BENCH_coupled.json
+# bench_service binds its socket next to its cwd (sun_path is short);
+# run it from the build tree and move the baseline into place.
+(cd "${build}/bench" && ./bench_service --json BENCH_service.json)
+mv "${build}/bench/BENCH_service.json" BENCH_service.json
 
-python3 - BENCH_coupled.json <<'EOF'
+python3 - BENCH_coupled.json BENCH_service.json <<'EOF'
 import json, sys
 
-path = sys.argv[1]
-with open(path) as f:
-    doc = json.load(f)
+# Per-experiment required row keys on top of the shared envelope.
+ROW_KEYS = {
+    "C1": ("processes", "ops", "naive_ms", "incremental_ms",
+           "trace_overhead_pct", "candidates_evaluated"),
+    "S1": ("phase", "ok", "rejected", "failed", "jobs_per_sec",
+           "p50_ms", "p99_ms"),
+}
 
-def fail(msg):
-    sys.exit(f"{path}: schema violation: {msg}")
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
 
-if doc.get("schema") != "mshls-bench-v1":
-    fail(f"schema is {doc.get('schema')!r}, want 'mshls-bench-v1'")
-for key in ("experiment", "name", "build", "params", "rows"):
-    if key not in doc:
-        fail(f"missing top-level key {key!r}")
-build = doc["build"]
-for key in ("git_hash", "compiler", "build_type", "trace_compiled_in"):
-    if key not in build:
-        fail(f"missing build key {key!r}")
-if not isinstance(doc["rows"], list) or not doc["rows"]:
-    fail("rows must be a non-empty list")
-for i, row in enumerate(doc["rows"]):
-    for key in ("processes", "ops", "naive_ms", "incremental_ms",
-                "trace_overhead_pct", "candidates_evaluated"):
-        if key not in row:
-            fail(f"row {i} missing {key!r}")
-print(f"{path}: mshls-bench-v1 OK "
-      f"({doc['experiment']}/{doc['name']}, {len(doc['rows'])} row(s))")
+    def fail(msg):
+        sys.exit(f"{path}: schema violation: {msg}")
+
+    if doc.get("schema") != "mshls-bench-v1":
+        fail(f"schema is {doc.get('schema')!r}, want 'mshls-bench-v1'")
+    for key in ("experiment", "name", "build", "params", "rows"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    build = doc["build"]
+    for key in ("git_hash", "compiler", "build_type", "trace_compiled_in"):
+        if key not in build:
+            fail(f"missing build key {key!r}")
+    if not isinstance(doc["rows"], list) or not doc["rows"]:
+        fail("rows must be a non-empty list")
+    row_keys = ROW_KEYS.get(doc["experiment"], ())
+    for i, row in enumerate(doc["rows"]):
+        if doc["experiment"] == "S1":
+            if "phase" not in row:
+                fail(f"row {i} missing 'phase'")
+            if row["phase"] == "identity":  # the bit-identity verdict row
+                if "cold_equals_warm_disk" not in row:
+                    fail(f"row {i} missing 'cold_equals_warm_disk'")
+                continue
+        for key in row_keys:
+            if key not in row:
+                fail(f"row {i} missing {key!r}")
+    print(f"{path}: mshls-bench-v1 OK "
+          f"({doc['experiment']}/{doc['name']}, {len(doc['rows'])} row(s))")
 EOF

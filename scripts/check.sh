@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Sanitizer sweep for the robustness-critical subsystems: builds the tree
 # with -DMSHLS_SANITIZE=address and =undefined and runs the `verify`,
-# `engine`, `fuzz`, `perf` and `obs` ctest labels (certifier, fault
+# `engine`, `fuzz`, `perf`, `obs` and `serve` ctest labels (certifier, fault
 # injection, degradation ladder, thread pool / job service, generative
 # fuzzer, incremental-force-engine consistency, tracer/metrics and the
 # trace determinism contract) under each, plus a bounded differential fuzz
@@ -13,7 +13,11 @@
 # behind a wrong verdict; the fuzz campaign feeds both it and the frontend
 # hundreds of generated and mutated inputs while those sanitizers watch.
 # The tracer runs under the same labels because its merge path is the one
-# place where every worker thread writes into shared state.
+# place where every worker thread writes into shared state. The serve
+# label plus a bounded daemon smoke (cold batch -> SIGTERM -> restart ->
+# all-persistent-hits batch) put the wire framing, the admission path and
+# the on-disk cache codec — the three places that parse untrusted or
+# crash-torn bytes — under the same sanitizers.
 #
 # Usage: scripts/check.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -27,7 +31,7 @@ for san in address undefined; do
   cmake -B "${build}" -S . -DMSHLS_SANITIZE="${san}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j "${jobs}" > /dev/null
-  ctest --test-dir "${build}" -L 'verify|engine|fuzz|perf|obs' \
+  ctest --test-dir "${build}" -L 'verify|engine|fuzz|perf|obs|serve' \
         --output-on-failure -j "${jobs}"
   "${build}/src/tools/mshlsc" --fuzz 50:1 --jobs 2 \
         --fuzz-dir "${build}/fuzz-check"
@@ -39,5 +43,40 @@ for san in address undefined; do
   # measures on optimized builds.
   MSHLS_CHECK_INCREMENTAL=1 "${build}/bench/bench_coupled" --smoke \
         --assert-trace-overhead 150
+  # Bounded daemon smoke: serve the committed fuzz corpus cold, drain on
+  # SIGTERM, restart over the same cache directory and require every job
+  # to come back from the persistent tier.
+  work="${build}/serve-check"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  "${build}/src/tools/mshlsd" --socket "${work}/d.sock" --jobs 2 \
+        --cache-dir "${work}/cache" 2> "${work}/daemon1.log" &
+  daemon=$!
+  for _ in $(seq 1 100); do
+    [ -S "${work}/d.sock" ] && break
+    sleep 0.1
+  done
+  "${build}/src/tools/mshlsc" --batch tests/data/fuzz_corpus \
+        --connect "${work}/d.sock" > "${work}/cold.out"
+  kill -TERM "${daemon}"
+  wait "${daemon}"
+  "${build}/src/tools/mshlsd" --socket "${work}/d.sock" --jobs 2 \
+        --cache-dir "${work}/cache" 2> "${work}/daemon2.log" &
+  daemon=$!
+  for _ in $(seq 1 100); do
+    [ -S "${work}/d.sock" ] && break
+    sleep 0.1
+  done
+  "${build}/src/tools/mshlsc" --batch tests/data/fuzz_corpus \
+        --connect "${work}/d.sock" > "${work}/warm.out"
+  kill -TERM "${daemon}"
+  wait "${daemon}"
+  total=$(grep -c 'cache=' "${work}/warm.out" || true)
+  hits=$(grep -c 'cache=hit (persistent)' "${work}/warm.out" || true)
+  echo "serve smoke: ${hits}/${total} persistent hit(s) after restart"
+  if [ "${hits}" -ne "${total}" ] || [ "${total}" -eq 0 ]; then
+    echo "serve smoke FAILED: restarted daemon missed its persistent cache"
+    exit 1
+  fi
 done
 echo "==> all sanitizer runs passed"

@@ -88,21 +88,26 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
   switch (mode) {
     case JobMode::kCoupled: {
       bool hit = false;
-      auto run_or = ScheduleWithCache(model, params, job.cache, &hit);
+      bool store_hit = false;
+      auto run_or = ScheduleWithCache(model, params, job.cache, &hit,
+                                      job.store, &store_hit);
       if (!run_or.ok()) return run_or.status();
       out.result = std::move(run_or).value();
       out.evaluated += 1;
       out.cache_hits += hit ? 1 : 0;
+      out.store_hits += store_hit ? 1 : 0;
       break;
     }
     case JobMode::kSearchPeriods: {
       PeriodSearchOptions options;
       options.jobs = job.jobs;
       options.cache = job.cache;
+      options.store = job.store;
       auto search = SearchPeriods(model, params, options);
       if (!search.ok()) return search.status();
       out.evaluated += search.value().evaluated;
       out.cache_hits += search.value().cache_hits;
+      out.store_hits += search.value().store_hits;
       out.result = std::move(search).value().best;
       break;
     }
@@ -110,10 +115,12 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
       AssignmentSearchOptions options;
       options.jobs = job.jobs;
       options.cache = job.cache;
+      options.store = job.store;
       auto search = SearchAssignments(model, params, options);
       if (!search.ok()) return search.status();
       out.evaluated += search.value().evaluated;
       out.cache_hits += search.value().cache_hits;
+      out.store_hits += search.value().store_hits;
       out.result = std::move(search).value().best;
       break;
     }
@@ -166,6 +173,8 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
       return Status{StatusCode::kInternal,
                     "simulated activation trace hit a resource conflict"};
   }
+  if (job.keep_model)
+    out.model = std::make_shared<const SystemModel>(std::move(model));
   return Status::Ok();
 }
 

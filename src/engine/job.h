@@ -48,6 +48,14 @@ struct SchedulingJob {
   std::shared_ptr<CancelToken> cancel;
   /// Optional shared schedule cache.
   ScheduleCache* cache = nullptr;
+  /// Optional persistent second cache tier behind `cache` (thread-safe;
+  /// see modulo/schedule_cache.h). Lets repeated jobs warm-start across
+  /// process restarts.
+  ScheduleStore* store = nullptr;
+  /// Keep the (possibly rung-modified) model the winning attempt was
+  /// scheduled on in JobResult::model — needed by consumers that export
+  /// the result (e.g. the serving layer's JSON payload).
+  bool keep_model = false;
   /// Run the conflict simulator on the result with this many random
   /// activations per process (0 = skip).
   int simulate_activations = 0;
@@ -68,7 +76,12 @@ struct JobResult {
   double full_area = 0;  // FUs + registers + muxes (from binding)
   long evaluated = 0;    // search candidates scheduled (search modes)
   long cache_hits = 0;   // of those, served from the cache
+  long store_hits = 0;   // of the cache hits, served from the persistent tier
   double wall_ms = 0;
+  /// The model the winning attempt was scheduled on (set only when
+  /// job.keep_model and the job succeeded). Shared_ptr: results are copied
+  /// around by the batch machinery and models are heavy.
+  std::shared_ptr<const SystemModel> model;
   /// Rung that produced the final result (kAsRequested when no fallback
   /// was needed — including failure paths that never entered the ladder).
   DegradationRung rung = DegradationRung::kAsRequested;

@@ -30,11 +30,14 @@ BatchSummary SummarizeBatch(const std::vector<JobResult>& results,
 
 JobService::JobService(const JobServiceOptions& options)
     : workers_(std::max(1, options.workers)),
-      cache_(options.cache_capacity) {}
+      cache_(options.cache_capacity),
+      store_(options.store) {}
 
 std::vector<JobResult> JobService::RunBatch(std::vector<SchedulingJob> jobs) {
-  for (SchedulingJob& job : jobs)
+  for (SchedulingJob& job : jobs) {
     if (job.cache == nullptr) job.cache = &cache_;
+    if (job.store == nullptr) job.store = store_;
+  }
 
   std::vector<JobResult> results(jobs.size());
   std::optional<ThreadPool> pool;
@@ -62,18 +65,40 @@ std::vector<JobResult> JobService::RunBatch(std::vector<SchedulingJob> jobs) {
   // cache itself stays metrics-free; it is a template below the obs
   // layer). Counters only move forward, so the deltas add up correctly
   // across consecutive batches.
-  if (obs::Enabled()) {
-    const CacheStats cs = cache_.stats();
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-    const obs::MetricKind kS = obs::MetricKind::kStable;
-    reg.GetCounter("result_cache.hits", kS).Add(cs.hits - published_.hits);
-    reg.GetCounter("result_cache.misses", kS)
-        .Add(cs.misses - published_.misses);
-    reg.GetCounter("result_cache.evictions", kS)
-        .Add(cs.evictions - published_.evictions);
-    published_ = cs;
-  }
+  PublishCacheMetrics();
   return results;
+}
+
+std::future<JobResult> JobService::SubmitJob(SchedulingJob job) {
+  if (job.cache == nullptr) job.cache = &cache_;
+  if (job.store == nullptr) job.store = store_;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    // A 1-thread pool still runs the job off the caller's thread: the
+    // daemon's connection handlers block on the future while the bounded
+    // pool provides the actual execution width.
+    if (!streaming_pool_.has_value()) streaming_pool_.emplace(workers_);
+  }
+  auto task = std::make_shared<std::packaged_task<JobResult()>>(
+      [job = std::move(job)]() mutable { return RunSchedulingJob(job); });
+  std::future<JobResult> future = task->get_future();
+  streaming_pool_->Submit([task]() { (*task)(); });
+  return future;
+}
+
+void JobService::PublishCacheMetrics() {
+  if (!obs::Enabled()) return;
+  const CacheStats cs = cache_.stats();
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const obs::MetricKind kS = obs::MetricKind::kStable;
+  reg.GetCounter("result_cache.hits", kS).Add(cs.hits - published_.hits);
+  reg.GetCounter("result_cache.misses", kS).Add(cs.misses - published_.misses);
+  reg.GetCounter("result_cache.insertions", kS)
+      .Add(cs.insertions - published_.insertions);
+  reg.GetCounter("result_cache.evictions", kS)
+      .Add(cs.evictions - published_.evictions);
+  published_ = cs;
 }
 
 }  // namespace mshls

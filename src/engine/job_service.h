@@ -6,6 +6,9 @@
 #pragma once
 
 #include <array>
+#include <future>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "engine/job.h"
@@ -53,6 +56,10 @@ struct JobServiceOptions {
   int workers = 1;
   /// Schedule-cache capacity (entries); 0 = unbounded.
   std::size_t cache_capacity = 0;
+  /// Optional persistent second cache tier (not owned; must outlive the
+  /// service). Jobs whose `store` is unset are wired to it, exactly like
+  /// the in-memory cache.
+  ScheduleStore* store = nullptr;
 };
 
 class JobService {
@@ -65,6 +72,19 @@ class JobService {
   /// reported in the result's status, never thrown.
   [[nodiscard]] std::vector<JobResult> RunBatch(std::vector<SchedulingJob> jobs);
 
+  /// Streaming entry for the scheduling daemon: runs `job` asynchronously
+  /// on a persistent pool of `workers` threads (started lazily on first
+  /// use) and returns a future for its result. Unlike RunBatch the pool
+  /// outlives the call, so a long-running server pays thread start-up once.
+  /// The future never carries an exception (RunSchedulingJob converts
+  /// failures into the result's status). Safe to call from many threads.
+  [[nodiscard]] std::future<JobResult> SubmitJob(SchedulingJob job);
+
+  /// Mirrors the shared cache's counter deltas into the metrics registry
+  /// (RunBatch does this automatically; streaming callers invoke it at
+  /// reporting points). Thread-safe.
+  void PublishCacheMetrics();
+
   [[nodiscard]] ScheduleCache& cache() { return cache_; }
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   [[nodiscard]] int workers() const { return workers_; }
@@ -72,8 +92,14 @@ class JobService {
  private:
   int workers_;
   ScheduleCache cache_;
+  ScheduleStore* store_;
+  /// Pool backing SubmitJob; RunBatch keeps its per-call pool so batch
+  /// determinism properties are unchanged.
+  std::mutex pool_mutex_;
+  std::optional<ThreadPool> streaming_pool_;
   /// Cache counters already mirrored into the metrics registry, so
   /// consecutive RunBatch calls publish deltas, not lifetime totals twice.
+  std::mutex publish_mutex_;
   CacheStats published_;
 };
 

@@ -103,6 +103,7 @@ StatusOr<AssignmentSearchResult> SearchAssignments(
       static_cast<std::size_t>(mask_count));
   std::vector<int> areas(static_cast<std::size_t>(mask_count), 0);
   std::vector<char> hits(static_cast<std::size_t>(mask_count), 0);
+  std::vector<char> store_hits(static_cast<std::size_t>(mask_count), 0);
 
   std::optional<ThreadPool> pool;
   if (options.jobs > 1) pool.emplace(options.jobs);
@@ -112,12 +113,14 @@ StatusOr<AssignmentSearchResult> SearchAssignments(
         SystemModel worker = model;
         apply_mask(worker, static_cast<long>(i));
         bool hit = false;
-        auto run_or =
-            ScheduleWithCache(worker, worker_params, options.cache, &hit);
+        bool store_hit = false;
+        auto run_or = ScheduleWithCache(worker, worker_params, options.cache,
+                                        &hit, options.store, &store_hit);
         if (!run_or.ok()) return run_or.status();
         runs[i] = std::move(run_or).value();
         areas[i] = runs[i]->allocation.TotalArea(model.library());
         hits[i] = hit ? 1 : 0;
+        store_hits[i] = store_hit ? 1 : 0;
         return Status::Ok();
       });
   if (!fan_out.ok()) return fan_out;
@@ -131,6 +134,7 @@ StatusOr<AssignmentSearchResult> SearchAssignments(
     const std::size_t i = static_cast<std::size_t>(mask);
     ++result.evaluated;
     if (hits[i]) ++result.cache_hits;
+    if (store_hits[i]) ++result.store_hits;
     const bool better =
         mask == 0 || areas[i] < areas[static_cast<std::size_t>(best_mask_bits)] ||
         (areas[i] == areas[static_cast<std::size_t>(best_mask_bits)] &&

@@ -34,6 +34,8 @@ struct AssignmentSearchResult {
   long evaluated = 0;
   /// Of `evaluated`, how many were served from the result cache.
   long cache_hits = 0;
+  /// Of `cache_hits`, how many came from the persistent second tier.
+  long store_hits = 0;
 };
 
 struct AssignmentSearchOptions {
@@ -46,6 +48,8 @@ struct AssignmentSearchOptions {
   int jobs = 1;
   /// Optional shared result cache (see modulo/schedule_cache.h).
   ScheduleCache* cache = nullptr;
+  /// Optional persistent second tier behind `cache` (must be thread-safe).
+  ScheduleStore* store = nullptr;
 };
 
 /// Overwrites any existing S1/S2 state of `model`; on success the model is

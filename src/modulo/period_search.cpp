@@ -134,6 +134,7 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
   std::vector<std::optional<CoupledResult>> runs(survivors.size());
   std::vector<int> areas(survivors.size(), 0);
   std::vector<char> hits(survivors.size(), 0);
+  std::vector<char> store_hits(survivors.size(), 0);
 
   std::optional<ThreadPool> pool;
   if (options.jobs > 1) pool.emplace(options.jobs);
@@ -143,12 +144,14 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
         for (std::size_t g = 0; g < globals.size(); ++g)
           worker.SetPeriod(globals[g], survivors[i][g]);
         bool hit = false;
-        auto run_or =
-            ScheduleWithCache(worker, worker_params, options.cache, &hit);
+        bool store_hit = false;
+        auto run_or = ScheduleWithCache(worker, worker_params, options.cache,
+                                        &hit, options.store, &store_hit);
         if (!run_or.ok()) return run_or.status();
         runs[i] = std::move(run_or).value();
         areas[i] = runs[i]->allocation.TotalArea(model.library());
         hits[i] = hit ? 1 : 0;
+        store_hits[i] = store_hit ? 1 : 0;
         return Status::Ok();
       });
   if (!fan_out.ok()) return fan_out;
@@ -160,6 +163,7 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
   for (std::size_t i = 0; i < survivors.size(); ++i) {
     ++result.evaluated;
     if (hits[i]) ++result.cache_hits;
+    if (store_hits[i]) ++result.store_hits;
     const bool better = i == 0 || areas[i] < areas[best_index] ||
                         (areas[i] == areas[best_index] &&
                          survivors[i] > survivors[best_index]);

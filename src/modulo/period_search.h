@@ -37,6 +37,10 @@ struct PeriodSearchOptions {
   /// previous sweep iteration) are served from the cache. May be shared
   /// across threads and searches.
   ScheduleCache* cache = nullptr;
+  /// Optional persistent second tier behind `cache` (must be thread-safe;
+  /// see modulo/schedule_cache.h). Warm-starts the search across process
+  /// restarts.
+  ScheduleStore* store = nullptr;
 };
 
 struct PeriodSearchResult {
@@ -51,6 +55,8 @@ struct PeriodSearchResult {
   long evaluated = 0;
   /// Of `evaluated`, how many were served from the result cache.
   long cache_hits = 0;
+  /// Of `cache_hits`, how many came from the persistent second tier.
+  long store_hits = 0;
 };
 
 /// Explores period assignments for the global types of `model` (S1 must be

@@ -5,6 +5,16 @@
 #include "obs/metrics.h"
 
 namespace mshls {
+namespace {
+
+void Count(const char* name) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetCounter(name, obs::MetricKind::kStable)
+      .Add();
+}
+
+}  // namespace
 
 std::uint64_t ScheduleCacheKey(const SystemModel& model,
                                const CoupledParams& params) {
@@ -21,29 +31,38 @@ std::uint64_t ScheduleCacheKey(const SystemModel& model,
 StatusOr<CoupledResult> ScheduleWithCache(SystemModel& model,
                                           const CoupledParams& params,
                                           ScheduleCache* cache,
-                                          bool* cache_hit) {
+                                          bool* cache_hit,
+                                          ScheduleStore* store,
+                                          bool* store_hit) {
   if (cache_hit != nullptr) *cache_hit = false;
+  if (store_hit != nullptr) *store_hit = false;
   std::uint64_t key = 0;
-  if (cache != nullptr) {
+  if (cache != nullptr || store != nullptr)
     key = ScheduleCacheKey(model, params);
+  if (cache != nullptr) {
     if (std::optional<CoupledResult> found = cache->Lookup(key)) {
       if (cache_hit != nullptr) *cache_hit = true;
-      if (obs::Enabled())
-        obs::MetricsRegistry::Global()
-            .GetCounter("schedule_cache.hits", obs::MetricKind::kStable)
-            .Add();
+      Count("schedule_cache.hits");
       return *std::move(found);
     }
-    if (obs::Enabled())
-      obs::MetricsRegistry::Global()
-          .GetCounter("schedule_cache.misses", obs::MetricKind::kStable)
-          .Add();
+    Count("schedule_cache.misses");
+  }
+  if (store != nullptr) {
+    if (std::optional<CoupledResult> found = store->Load(key, model)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      if (store_hit != nullptr) *store_hit = true;
+      Count("schedule_cache.store_hits");
+      // Promote into the memory tier so repeats stay off the disk path.
+      if (cache != nullptr) cache->Insert(key, *found);
+      return *std::move(found);
+    }
   }
   if (Status s = model.Validate(); !s.ok()) return s;
   CoupledScheduler scheduler(model, params);
   auto run_or = scheduler.Run();
   if (!run_or.ok()) return run_or.status();
   if (cache != nullptr) cache->Insert(key, run_or.value());
+  if (store != nullptr) store->Store(key, model, run_or.value());
   return std::move(run_or).value();
 }
 

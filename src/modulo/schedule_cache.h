@@ -5,9 +5,16 @@
 // model fingerprint (library, blocks, full S1/S2 state — see
 // engine/fingerprint.h) combined with the force parameters. An observer
 // installed in CoupledParams does not affect the schedule and is excluded.
+//
+// Two tiers: the in-memory ScheduleCache (engine/result_cache.h) in front
+// of an optional ScheduleStore — a durable second tier (the persistent
+// on-disk fingerprint cache in src/serve) that survives process restarts.
+// Lookup order is memory -> store -> solve; a store hit is promoted into
+// the memory tier, and every solved result is written through to both.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "engine/result_cache.h"
 #include "modulo/coupled_scheduler.h"
@@ -16,16 +23,39 @@ namespace mshls {
 
 using ScheduleCache = ResultCache<CoupledResult>;
 
+/// Durable second cache tier behind the in-memory ScheduleCache.
+/// Implementations must be thread-safe (the search fan-outs call Load and
+/// Store from many workers) and must never throw across this boundary: a
+/// broken backing store degrades to a miss, not a failed run.
+class ScheduleStore {
+ public:
+  virtual ~ScheduleStore() = default;
+
+  /// Returns the stored result for `key` when present and valid for
+  /// `model` (the model re-validates a deserialized schedule and re-derives
+  /// its allocation); any decode/validation problem is a miss.
+  [[nodiscard]] virtual std::optional<CoupledResult> Load(
+      std::uint64_t key, const SystemModel& model) = 0;
+
+  /// Persists `result` under `key`. Best-effort: failures are recorded in
+  /// the store's own counters, never reported to the scheduling path.
+  virtual void Store(std::uint64_t key, const SystemModel& model,
+                     const CoupledResult& result) = 0;
+};
+
 /// Cache key for scheduling `model` with `params`.
 [[nodiscard]] std::uint64_t ScheduleCacheKey(const SystemModel& model,
                                              const CoupledParams& params);
 
-/// Schedules through the cache: on a hit returns the stored result, on a
-/// miss validates + runs the coupled scheduler and stores the result.
-/// `cache` may be null (always schedules). `cache_hit` (optional) reports
-/// whether the result came from the cache.
+/// Schedules through the cache tiers: memory hit -> stored result; store
+/// hit -> promoted into `cache` and returned; miss -> validates + runs the
+/// coupled scheduler and writes the result through both tiers. `cache` and
+/// `store` may each be null. `cache_hit` (optional) reports whether the
+/// result was served from either tier; `store_hit` (optional) reports a
+/// second-tier (persistent) hit specifically.
 [[nodiscard]] StatusOr<CoupledResult> ScheduleWithCache(
     SystemModel& model, const CoupledParams& params, ScheduleCache* cache,
-    bool* cache_hit = nullptr);
+    bool* cache_hit = nullptr, ScheduleStore* store = nullptr,
+    bool* store_hit = nullptr);
 
 }  // namespace mshls

@@ -1,0 +1,50 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace mshls::serve {
+
+bool AdmissionController::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (limit_ > 0 && in_flight_ >= limit_) {
+    ++stats_.rejected;
+    return false;
+  }
+  ++in_flight_;
+  ++stats_.admitted;
+  stats_.peak_in_flight = std::max<long long>(stats_.peak_in_flight, in_flight_);
+  return true;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_ > 0) --in_flight_;
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AdmissionController::PublishMetrics() {
+  if (!obs::Enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  // Admission counts and depth depend on client timing, so they are
+  // kTiming — never part of the stable (bit-identical) export.
+  const obs::MetricKind kT = obs::MetricKind::kTiming;
+  reg.GetCounter("serve.admitted", kT).Add(stats_.admitted - published_.admitted);
+  reg.GetCounter("serve.rejected_overloaded", kT)
+      .Add(stats_.rejected - published_.rejected);
+  reg.GetGauge("serve.queue_depth", kT).Set(in_flight_);
+  published_ = stats_;
+}
+
+}  // namespace mshls::serve

@@ -1,0 +1,45 @@
+// Admission control for the scheduling daemon: a bounded count of jobs
+// allowed past the socket layer at once (executing on the pool or waiting
+// in its queue). The engine's ThreadPool applies *blocking* backpressure
+// on Submit — correct for batch runs, wrong for a server, where a full
+// queue must turn into an immediate typed `overloaded` rejection the
+// client can act on instead of an unbounded pile of blocked connections.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace mshls::serve {
+
+struct AdmissionStats {
+  long long admitted = 0;
+  long long rejected = 0;  // TryAcquire refusals (=> kOverloaded)
+  /// High-water mark of concurrently admitted jobs.
+  long long peak_in_flight = 0;
+};
+
+class AdmissionController {
+ public:
+  /// `limit` = workers + queue slots; <= 0 admits everything.
+  explicit AdmissionController(int limit) : limit_(limit) {}
+
+  /// True iff the job may proceed; pair every success with Release().
+  [[nodiscard]] bool TryAcquire();
+  void Release();
+
+  [[nodiscard]] int in_flight() const;
+  [[nodiscard]] AdmissionStats stats() const;
+
+  /// Mirrors counters + the current depth into the obs metrics registry
+  /// (`serve.admitted`, `serve.rejected_overloaded`, `serve.queue_depth`).
+  void PublishMetrics();
+
+ private:
+  const int limit_;
+  mutable std::mutex mutex_;
+  int in_flight_ = 0;
+  AdmissionStats stats_;
+  AdmissionStats published_;
+};
+
+}  // namespace mshls::serve

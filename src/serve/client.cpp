@@ -1,0 +1,71 @@
+#include "serve/client.h"
+
+#include <csignal>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/wire.h"
+
+namespace mshls::serve {
+
+Status Client::Connect(const std::string& socket_path) {
+  std::signal(SIGPIPE, SIG_IGN);
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+    return Status{StatusCode::kInvalidArgument,
+                  "socket path empty or longer than sun_path allows: " +
+                      socket_path};
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    return Status{StatusCode::kInternal,
+                  std::string("socket: ") + std::strerror(errno)};
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s{StatusCode::kFailedPrecondition,
+             "connect " + socket_path + ": " + std::strerror(errno)};
+    Close();
+    return s;
+  }
+  return Status::Ok();
+}
+
+StatusOr<ServeResponse> Client::Submit(const ServeRequest& request,
+                                       long timeout_ms) {
+  if (fd_ < 0)
+    return Status{StatusCode::kInvalidArgument, "client is not connected"};
+  if (Status s = WriteFrame(fd_, EncodeRequest(request)); !s.ok()) return s;
+  const FrameRead frame = ReadFrame(fd_, kAbsoluteMaxFrameBytes, timeout_ms);
+  switch (frame.outcome) {
+    case FrameRead::Outcome::kFrame:
+      return DecodeResponse(frame.payload);
+    case FrameRead::Outcome::kEof:
+    case FrameRead::Outcome::kMalformed:
+      return Status{StatusCode::kFailedPrecondition,
+                    "server closed the connection before responding"};
+    case FrameRead::Outcome::kTooLarge:
+      return Status{StatusCode::kInternal,
+                    "response frame exceeds the absolute cap (" +
+                        std::to_string(frame.declared) + " bytes)"};
+    case FrameRead::Outcome::kTimeout:
+      return Status{StatusCode::kDeadlineExceeded,
+                    "timed out waiting for the server's response"};
+    case FrameRead::Outcome::kIoError:
+      return Status{StatusCode::kInternal, "read: " + frame.error};
+  }
+  return Status{StatusCode::kInternal, "unreachable"};
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace mshls::serve

@@ -1,0 +1,39 @@
+// Client side of the mshlsd protocol: connect to the daemon's unix
+// socket, submit jobs, get typed responses. Used by `mshlsc --connect`,
+// the service benchmark and the serve tests.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace mshls::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+  /// Connects to the daemon at `socket_path`.
+  [[nodiscard]] Status Connect(const std::string& socket_path);
+
+  /// Sends one request and blocks for its response. `timeout_ms` bounds
+  /// each wait on the socket (< 0: forever) — jobs can take a while, so
+  /// it should comfortably exceed the job's own budget. The connection
+  /// stays open for further submissions, except after transport-level
+  /// rejections (too-large / malformed), where the server drops it.
+  [[nodiscard]] StatusOr<ServeResponse> Submit(const ServeRequest& request,
+                                               long timeout_ms = -1);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mshls::serve

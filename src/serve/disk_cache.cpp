@@ -1,0 +1,376 @@
+#include "serve/disk_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/build_info.h"
+#include "common/hashing.h"
+#include "obs/metrics.h"
+#include "serve/result_codec.h"
+#include "serve/wire.h"
+
+namespace mshls::serve {
+namespace {
+
+constexpr std::uint32_t kEntryMagic = 0x4348534du;  // "MSHC"
+/// On-disk envelope version (independent of the result payload's own
+/// format version inside serve/result_codec.h).
+constexpr std::uint32_t kEntryVersion = 1;
+constexpr const char* kEntrySuffix = ".msc";
+
+std::string BuildStamp() {
+  const BuildInfo& info = GetBuildInfo();
+  return std::string(info.version) + " " + info.git_hash;
+}
+
+/// Entry file bytes: magic, envelope version, key, build-stamp string
+/// (provenance only), payload, checksum over the payload.
+std::string EncodeEntry(std::uint64_t key, const std::string& payload) {
+  std::string out;
+  const std::string stamp = BuildStamp();
+  out.reserve(32 + stamp.size() + payload.size());
+  PutU32(out, kEntryMagic);
+  PutU32(out, kEntryVersion);
+  PutU64(out, key);
+  PutU32(out, static_cast<std::uint32_t>(stamp.size()));
+  out.append(stamp);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  StableHasher h;
+  h.Mix(std::string_view(payload));
+  PutU64(out, h.Digest());
+  return out;
+}
+
+enum class EntryProblem { kNone, kCorrupt, kVersion };
+
+/// Splits an entry file back into its payload; returns the problem class
+/// (kVersion only for a well-formed envelope of a different version).
+EntryProblem DecodeEntry(std::string_view bytes, std::uint64_t expected_key,
+                         std::string* payload, std::string* why) {
+  std::size_t cursor = 0;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t key = 0;
+  std::uint32_t stamp_len = 0;
+  if (!GetU32(bytes, cursor, &magic) || magic != kEntryMagic) {
+    *why = "bad magic";
+    return EntryProblem::kCorrupt;
+  }
+  if (!GetU32(bytes, cursor, &version)) {
+    *why = "truncated header";
+    return EntryProblem::kCorrupt;
+  }
+  if (version != kEntryVersion) {
+    *why = "envelope version " + std::to_string(version) + " != " +
+           std::to_string(kEntryVersion);
+    return EntryProblem::kVersion;
+  }
+  if (!GetU64(bytes, cursor, &key)) {
+    *why = "truncated header";
+    return EntryProblem::kCorrupt;
+  }
+  if (key != expected_key) {
+    *why = "key mismatch (file renamed?)";
+    return EntryProblem::kCorrupt;
+  }
+  if (!GetU32(bytes, cursor, &stamp_len) ||
+      cursor + stamp_len > bytes.size()) {
+    *why = "truncated build stamp";
+    return EntryProblem::kCorrupt;
+  }
+  cursor += stamp_len;  // provenance only; never compat-checked
+  std::uint32_t payload_len = 0;
+  if (!GetU32(bytes, cursor, &payload_len) ||
+      cursor + payload_len + 8 != bytes.size()) {
+    *why = "truncated payload";
+    return EntryProblem::kCorrupt;
+  }
+  const std::string_view body = bytes.substr(cursor, payload_len);
+  cursor += payload_len;
+  std::uint64_t checksum = 0;
+  (void)GetU64(bytes, cursor, &checksum);
+  StableHasher h;
+  h.Mix(body);
+  if (h.Digest() != checksum) {
+    *why = "checksum mismatch";
+    return EntryProblem::kCorrupt;
+  }
+  payload->assign(body);
+  return EntryProblem::kNone;
+}
+
+bool ReadFileBytes(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return false;
+  *out = std::move(bytes);
+  return true;
+}
+
+}  // namespace
+
+DiskCache::DiskCache(DiskCacheOptions options)
+    : options_(std::move(options)) {}
+
+std::string DiskCache::EntryFileName(std::uint64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return std::string(buf) + kEntrySuffix;
+}
+
+std::filesystem::path DiskCache::PathOf(std::uint64_t key) const {
+  return std::filesystem::path(options_.dir) / EntryFileName(key);
+}
+
+void DiskCache::Warn(const std::string& file, const std::string& why) const {
+  if (options_.warn_on_skip)
+    std::fprintf(stderr, "mshls disk cache: skipping %s: %s\n", file.c_str(),
+                 why.c_str());
+}
+
+Status DiskCache::Open() {
+  namespace fs = std::filesystem;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec)
+    return Status{StatusCode::kInvalidArgument,
+                  "cannot create cache dir " + options_.dir + ": " +
+                      ec.message()};
+
+  // Collect (mtime, name, key, size) of every plausible entry; everything
+  // else under the directory is either crash residue (tmp files — removed)
+  // or foreign (ignored).
+  struct Found {
+    fs::file_time_type mtime;
+    std::string name;
+    std::uint64_t key;
+    std::uint64_t bytes;
+  };
+  std::vector<Found> found;
+  fs::directory_iterator it(options_.dir, ec);
+  if (ec)
+    return Status{StatusCode::kInvalidArgument,
+                  "cannot read cache dir " + options_.dir + ": " +
+                      ec.message()};
+  for (const fs::directory_entry& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp") != std::string::npos) {
+      fs::remove(entry.path(), entry_ec);
+      ++stats_.dropped_tmp;
+      continue;
+    }
+    if (name.size() != 16 + 4 || name.substr(16) != kEntrySuffix) continue;
+    std::uint64_t key = 0;
+    bool hex_ok = true;
+    for (int i = 0; i < 16; ++i) {
+      const char c = name[static_cast<std::size_t>(i)];
+      key <<= 4;
+      if (c >= '0' && c <= '9') key |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        key |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else { hex_ok = false; break; }
+    }
+    if (!hex_ok) continue;
+    Found f;
+    f.mtime = entry.last_write_time(entry_ec);
+    if (entry_ec) continue;
+    f.bytes = entry.file_size(entry_ec);
+    if (entry_ec) continue;
+    f.name = name;
+    f.key = key;
+    found.push_back(std::move(f));
+  }
+
+  // Oldest first, name as the deterministic tie-break.
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.name < b.name;
+  });
+  index_.clear();
+  lru_.clear();
+  total_bytes_ = 0;
+  for (const Found& f : found) {
+    Entry e;
+    e.bytes = f.bytes;
+    lru_.push_back(f.key);
+    e.lru_pos = std::prev(lru_.end());
+    index_.emplace(f.key, e);
+    total_bytes_ += f.bytes;
+  }
+  EvictOverBudgetLocked();
+  return Status::Ok();
+}
+
+std::optional<CoupledResult> DiskCache::Load(std::uint64_t key,
+                                             const SystemModel& model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const std::filesystem::path path = PathOf(key);
+  std::string bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    Warn(path.filename().string(), "unreadable");
+    ++stats_.skipped_corrupt;
+    ++stats_.misses;
+    DropEntryLocked(key, /*count_as_eviction=*/false);
+    return std::nullopt;
+  }
+  std::string payload;
+  std::string why;
+  const EntryProblem problem = DecodeEntry(bytes, key, &payload, &why);
+  if (problem != EntryProblem::kNone) {
+    Warn(path.filename().string(), why);
+    ++(problem == EntryProblem::kVersion ? stats_.skipped_version
+                                         : stats_.skipped_corrupt);
+    ++stats_.misses;
+    DropEntryLocked(key, /*count_as_eviction=*/false);
+    return std::nullopt;
+  }
+  auto result_or = DecodeResult(payload, model);
+  if (!result_or.ok()) {
+    Warn(path.filename().string(), result_or.status().message());
+    ++stats_.skipped_corrupt;
+    ++stats_.misses;
+    DropEntryLocked(key, /*count_as_eviction=*/false);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  TouchLocked(key);
+  return std::move(result_or).value();
+}
+
+void DiskCache::Store(std::uint64_t key, const SystemModel& model,
+                      const CoupledResult& result) {
+  (void)model;  // the key already fingerprints the model
+  const std::string entry = EncodeEntry(key, EncodeResult(result));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.max_bytes > 0 && entry.size() > options_.max_bytes) {
+    ++stats_.rejected_oversize;
+    return;
+  }
+  if (index_.count(key) > 0) {
+    // First result wins, exactly like the memory tier: runs are
+    // deterministic, so rewriting only churns the disk.
+    TouchLocked(key);
+    return;
+  }
+  namespace fs = std::filesystem;
+  const fs::path path = PathOf(key);
+  const fs::path tmp =
+      fs::path(options_.dir) /
+      (EntryFileName(key) + ".tmp" + std::to_string(::getpid()) + "." +
+       std::to_string(++write_seq_));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out ||
+        !out.write(entry.data(), static_cast<std::streamsize>(entry.size()))) {
+      ++stats_.write_failures;
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    ++stats_.write_failures;
+    fs::remove(tmp, ec);
+    return;
+  }
+  Entry e;
+  e.bytes = entry.size();
+  lru_.push_back(key);
+  e.lru_pos = std::prev(lru_.end());
+  // A concurrent daemon sharing the directory may have published the same
+  // key between our index check and the rename; the rename simply
+  // replaced identical bytes, so only the bookkeeping needs the update.
+  auto [it, inserted] = index_.emplace(key, e);
+  if (!inserted) {
+    lru_.erase(e.lru_pos);
+    TouchLocked(key);
+    return;
+  }
+  total_bytes_ += e.bytes;
+  ++stats_.insertions;
+  EvictOverBudgetLocked();
+}
+
+void DiskCache::TouchLocked(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_back(key);
+  it->second.lru_pos = std::prev(lru_.end());
+  // Refresh mtime so LRU recency survives a restart (Open() rebuilds the
+  // order from mtimes).
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      PathOf(key), std::filesystem::file_time_type::clock::now(), ec);
+}
+
+void DiskCache::EvictOverBudgetLocked() {
+  if (options_.max_bytes == 0) return;
+  while (total_bytes_ > options_.max_bytes && lru_.size() > 1)
+    DropEntryLocked(lru_.front(), /*count_as_eviction=*/true);
+}
+
+void DiskCache::DropEntryLocked(std::uint64_t key, bool count_as_eviction) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  total_bytes_ -= it->second.bytes;
+  index_.erase(it);
+  std::error_code ec;
+  std::filesystem::remove(PathOf(key), ec);
+  if (count_as_eviction) ++stats_.evictions;
+}
+
+DiskCacheStats DiskCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t DiskCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+std::uint64_t DiskCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+void DiskCache::PublishMetrics() {
+  if (!obs::Enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const obs::MetricKind kS = obs::MetricKind::kStable;
+  reg.GetCounter("disk_cache.hits", kS).Add(stats_.hits - published_.hits);
+  reg.GetCounter("disk_cache.misses", kS)
+      .Add(stats_.misses - published_.misses);
+  reg.GetCounter("disk_cache.insertions", kS)
+      .Add(stats_.insertions - published_.insertions);
+  reg.GetCounter("disk_cache.evictions", kS)
+      .Add(stats_.evictions - published_.evictions);
+  reg.GetCounter("disk_cache.skipped_corrupt", kS)
+      .Add(stats_.skipped_corrupt - published_.skipped_corrupt);
+  reg.GetCounter("disk_cache.skipped_version", kS)
+      .Add(stats_.skipped_version - published_.skipped_version);
+  published_ = stats_;
+}
+
+}  // namespace mshls::serve

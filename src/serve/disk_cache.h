@@ -1,0 +1,127 @@
+// Persistent on-disk fingerprint cache — the durable second tier behind
+// the in-memory ScheduleCache (modulo/schedule_cache.h).
+//
+// Layout: file-per-entry under one directory, named by the 16-hex-digit
+// cache key (`<key>.msc`). Each file carries a versioned header with the
+// producing build's stamp (common/build_info) for provenance, the key
+// (cross-checked on load so a renamed file cannot alias another entry),
+// the encoded result (serve/result_codec.h) and a trailing checksum of
+// the encoded bytes (common/hashing — stable across builds/platforms).
+//
+// Durability rules:
+//  * writes go to `<name>.tmp<suffix>` and are published with an atomic
+//    rename(2) — a crash mid-write leaves a tmp file, never a torn entry;
+//    Open() sweeps leftover tmp files;
+//  * loads never trust the bytes: short files, bad magic, bad checksum,
+//    foreign format versions and schedules that do not validate against
+//    the requesting model are all counted + skipped (a warning through
+//    stderr once per entry), NEVER a crash — the scheduler simply re-solves
+//    and overwrites the bad entry;
+//  * eviction is LRU by file mtime under a total-size budget (mtime is
+//    refreshed on hit, so recency survives restarts); ties break on file
+//    name so eviction order is deterministic.
+//
+// Thread-safe: one mutex around the index; file I/O happens under it too —
+// simple and plenty for the job-sized payloads involved (entries are a
+// few KiB; the scheduler runs are milliseconds to seconds).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "modulo/schedule_cache.h"
+
+namespace mshls::serve {
+
+struct DiskCacheOptions {
+  std::string dir;
+  /// Total size budget in bytes; 0 = unbounded.
+  std::uint64_t max_bytes = 256u << 20;  // 256 MiB
+  /// Print one stderr warning per skipped (corrupt/foreign) entry.
+  bool warn_on_skip = true;
+};
+
+struct DiskCacheStats {
+  long long hits = 0;
+  long long misses = 0;
+  long long insertions = 0;
+  long long evictions = 0;
+  /// Entries skipped because their bytes were unusable (truncated, bad
+  /// magic/checksum, model mismatch) resp. written by another format
+  /// version — both are misses, kept apart for diagnosis.
+  long long skipped_corrupt = 0;
+  long long skipped_version = 0;
+  /// Leftover tmp files removed by Open() (crash-between-write residue).
+  long long dropped_tmp = 0;
+  /// Store() calls dropped because the encoded entry alone exceeds the
+  /// size budget.
+  long long rejected_oversize = 0;
+  /// Store() calls that failed on I/O (disk full, permissions, ...).
+  long long write_failures = 0;
+
+  [[nodiscard]] double HitRate() const {
+    const long long total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class DiskCache : public ScheduleStore {
+ public:
+  explicit DiskCache(DiskCacheOptions options);
+
+  /// Creates the directory if needed, sweeps tmp residue and indexes the
+  /// existing entries (unreadable directory => error; unreadable entries
+  /// are dropped from the index, not fatal). Must be called before use.
+  [[nodiscard]] Status Open();
+
+  // ScheduleStore:
+  [[nodiscard]] std::optional<CoupledResult> Load(
+      std::uint64_t key, const SystemModel& model) override;
+  void Store(std::uint64_t key, const SystemModel& model,
+             const CoupledResult& result) override;
+
+  [[nodiscard]] DiskCacheStats stats() const;
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] const std::string& dir() const { return options_.dir; }
+
+  /// Mirrors counter deltas into the obs metrics registry under
+  /// `disk_cache.*` (stable kind, like the memory tier's counters).
+  void PublishMetrics();
+
+  /// File name of `key`'s entry ("<16 hex>.msc").
+  [[nodiscard]] static std::string EntryFileName(std::uint64_t key);
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    /// Position in lru_ (most-recent at the back).
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  /// Both take the lock held.
+  void TouchLocked(std::uint64_t key);
+  void EvictOverBudgetLocked();
+  void DropEntryLocked(std::uint64_t key, bool count_as_eviction);
+  [[nodiscard]] std::filesystem::path PathOf(std::uint64_t key) const;
+  void Warn(const std::string& file, const std::string& why) const;
+
+  DiskCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> index_;
+  /// LRU order, least-recent first.
+  std::list<std::uint64_t> lru_;
+  std::uint64_t total_bytes_ = 0;
+  DiskCacheStats stats_;
+  DiskCacheStats published_;
+  /// Distinguishes tmp files of concurrent writers sharing a directory.
+  std::uint64_t write_seq_ = 0;
+};
+
+}  // namespace mshls::serve

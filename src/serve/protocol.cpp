@@ -1,0 +1,156 @@
+#include "serve/protocol.h"
+
+#include "engine/degradation.h"
+#include "report/json_export.h"
+#include "serve/wire.h"
+
+namespace mshls::serve {
+namespace {
+
+constexpr std::uint8_t kMaxMode =
+    static_cast<std::uint8_t>(JobMode::kLocalBaseline);
+
+}  // namespace
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kJobFailed: return "job-failed";
+    case ServeStatus::kOverloaded: return "overloaded";
+    case ServeStatus::kTooLarge: return "too-large";
+    case ServeStatus::kMalformedFrame: return "malformed-frame";
+    case ServeStatus::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
+bool IsRejection(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOverloaded:
+    case ServeStatus::kTooLarge:
+    case ServeStatus::kMalformedFrame:
+    case ServeStatus::kShuttingDown:
+      return true;
+    case ServeStatus::kOk:
+    case ServeStatus::kJobFailed:
+      return false;
+  }
+  return false;
+}
+
+std::string EncodeRequest(const ServeRequest& request) {
+  std::string out;
+  out.reserve(24 + request.source.size());
+  PutU32(out, kRequestMagic);
+  PutU32(out, kProtocolVersion);
+  out.push_back(static_cast<char>(request.mode));
+  out.push_back(static_cast<char>(request.flags));
+  out.push_back(0);
+  out.push_back(0);
+  PutU32(out, request.timeout_ms);
+  PutU32(out, static_cast<std::uint32_t>(request.source.size()));
+  out.append(request.source);
+  return out;
+}
+
+StatusOr<ServeRequest> DecodeRequest(std::string_view frame) {
+  std::size_t cursor = 0;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!GetU32(frame, cursor, &magic) || magic != kRequestMagic)
+    return Status{StatusCode::kInvalidArgument, "bad request magic"};
+  if (!GetU32(frame, cursor, &version) || version != kProtocolVersion)
+    return Status{StatusCode::kInvalidArgument,
+                  "unsupported protocol version " + std::to_string(version)};
+  if (cursor + 4 > frame.size())
+    return Status{StatusCode::kInvalidArgument, "truncated request header"};
+  const std::uint8_t mode = static_cast<std::uint8_t>(frame[cursor++]);
+  const std::uint8_t flags = static_cast<std::uint8_t>(frame[cursor++]);
+  cursor += 2;  // reserved
+  if (mode > kMaxMode)
+    return Status{StatusCode::kInvalidArgument,
+                  "unknown job mode " + std::to_string(mode)};
+  ServeRequest request;
+  request.mode = static_cast<JobMode>(mode);
+  request.flags = flags;
+  std::uint32_t source_len = 0;
+  if (!GetU32(frame, cursor, &request.timeout_ms) ||
+      !GetU32(frame, cursor, &source_len))
+    return Status{StatusCode::kInvalidArgument, "truncated request header"};
+  if (frame.size() - cursor != source_len)
+    return Status{StatusCode::kInvalidArgument,
+                  "request source length mismatch (declared " +
+                      std::to_string(source_len) + ", have " +
+                      std::to_string(frame.size() - cursor) + ")"};
+  if (source_len == 0)
+    return Status{StatusCode::kInvalidArgument, "empty job source"};
+  request.source.assign(frame.substr(cursor));
+  return request;
+}
+
+std::string EncodeResponse(const ServeResponse& response) {
+  std::string out;
+  out.reserve(32 + response.payload.size());
+  PutU32(out, kResponseMagic);
+  PutU32(out, kProtocolVersion);
+  out.push_back(static_cast<char>(response.status));
+  out.push_back(static_cast<char>(response.rung));
+  out.push_back(0);
+  out.push_back(0);
+  PutU32(out, response.evaluated);
+  PutU32(out, response.cache_hits);
+  PutU32(out, response.store_hits);
+  PutU32(out, static_cast<std::uint32_t>(response.payload.size()));
+  out.append(response.payload);
+  return out;
+}
+
+StatusOr<ServeResponse> DecodeResponse(std::string_view frame) {
+  std::size_t cursor = 0;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!GetU32(frame, cursor, &magic) || magic != kResponseMagic)
+    return Status{StatusCode::kInvalidArgument, "bad response magic"};
+  if (!GetU32(frame, cursor, &version) || version != kProtocolVersion)
+    return Status{StatusCode::kInvalidArgument,
+                  "unsupported protocol version " + std::to_string(version)};
+  if (cursor + 4 > frame.size())
+    return Status{StatusCode::kInvalidArgument, "truncated response header"};
+  const std::uint8_t status = static_cast<std::uint8_t>(frame[cursor++]);
+  const std::uint8_t rung = static_cast<std::uint8_t>(frame[cursor++]);
+  cursor += 2;  // reserved
+  if (status > static_cast<std::uint8_t>(ServeStatus::kShuttingDown))
+    return Status{StatusCode::kInvalidArgument,
+                  "unknown response status " + std::to_string(status)};
+  ServeResponse response;
+  response.status = static_cast<ServeStatus>(status);
+  response.rung = rung;
+  std::uint32_t payload_len = 0;
+  if (!GetU32(frame, cursor, &response.evaluated) ||
+      !GetU32(frame, cursor, &response.cache_hits) ||
+      !GetU32(frame, cursor, &response.store_hits) ||
+      !GetU32(frame, cursor, &payload_len) ||
+      frame.size() - cursor != payload_len)
+    return Status{StatusCode::kInvalidArgument,
+                  "response payload length mismatch"};
+  response.payload.assign(frame.substr(cursor));
+  return response;
+}
+
+std::string RenderJobPayload(const JobResult& result) {
+  std::string out = "{\"schema\":\"mshls-serve-v1\"";
+  out += ",\"name\":\"" + JsonEscape(result.name) + "\"";
+  out += ",\"rung\":\"";
+  out += DegradationRungName(result.rung);
+  out += "\"";
+  out += ",\"area\":" + std::to_string(result.area);
+  out += ",\"evaluated\":" + std::to_string(result.evaluated);
+  if (result.model != nullptr) {
+    out += ",\"result\":";
+    out += ResultToJson(*result.model, result.result);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mshls::serve

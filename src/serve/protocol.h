@@ -1,0 +1,98 @@
+// The mshlsd request/response protocol — what travels inside the wire
+// frames (serve/wire.h).
+//
+// Request payload (all integers little-endian):
+//   u32 magic "MSRQ"   u32 version (=kProtocolVersion)
+//   u8  mode (JobMode) u8 flags    u16 reserved (0)
+//   u32 timeout_ms     u32 source_len    source bytes (.hls text)
+//
+// Response payload:
+//   u32 magic "MSRS"   u32 version
+//   u8  status (ServeStatus)  u8 rung  u16 reserved (0)
+//   u32 evaluated  u32 cache_hits  u32 store_hits
+//   u32 payload_len    payload bytes
+//
+// Cache accounting lives in the *header*, never in the JSON payload: hit
+// counts depend on what a given server instance has already seen, while
+// the payload must be byte-identical for one job whether it was solved
+// cold, served from the memory tier, or warm-started from disk.
+//
+// The OK payload is the deterministic JSON job report (schedule +
+// allocation via report/json_export plus stable stats); it deliberately
+// carries no wall-clock fields, so a warm (cache-served) response is
+// byte-identical to the cold solve of the same job — the contract the
+// serve tests and the warm-restart acceptance check pin. Error payloads
+// carry the human-readable message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/job.h"
+
+namespace mshls::serve {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kRequestMagic = 0x5152534du;   // "MSRQ"
+inline constexpr std::uint32_t kResponseMagic = 0x5352534du;  // "MSRS"
+
+/// Request flags.
+inline constexpr std::uint8_t kFlagSkipCertify = 1u << 0;
+inline constexpr std::uint8_t kFlagLocalBaselineLadderOff = 1u << 1;
+
+struct ServeRequest {
+  JobMode mode = JobMode::kCoupled;
+  std::uint8_t flags = 0;
+  /// Per-job wall-clock budget; 0 = server default.
+  std::uint32_t timeout_ms = 0;
+  std::string source;  // .hls text
+};
+
+/// Typed outcome of one request. Everything except kOk is an error, but
+/// the admission-control kinds (kOverloaded/kTooLarge/kMalformedFrame/
+/// kShuttingDown) are *rejections*: the job never entered the engine and
+/// retrying later (or smaller) can succeed.
+enum class ServeStatus : std::uint8_t {
+  kOk = 0,
+  kJobFailed = 1,       // engine ran and reported a non-OK status
+  kOverloaded = 2,      // bounded accept queue full — retry later
+  kTooLarge = 3,        // frame above the server's request cap
+  kMalformedFrame = 4,  // unparseable frame or protocol payload
+  kShuttingDown = 5,    // server is draining — connection will close
+};
+
+[[nodiscard]] const char* ServeStatusName(ServeStatus status);
+
+/// True for the admission kinds that never reached the engine.
+[[nodiscard]] bool IsRejection(ServeStatus status);
+
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kMalformedFrame;
+  /// DegradationRung of the served result (meaningful when kOk).
+  std::uint8_t rung = 0;
+  /// Stable work/cache accounting of the job (header-only; see above).
+  std::uint32_t evaluated = 0;
+  std::uint32_t cache_hits = 0;  // served from either cache tier
+  std::uint32_t store_hits = 0;  // of those, from the persistent tier
+  /// kOk: deterministic JSON report; otherwise the error message.
+  std::string payload;
+
+  [[nodiscard]] bool cache_hit() const { return cache_hits > 0; }
+  [[nodiscard]] bool store_hit() const { return store_hits > 0; }
+};
+
+[[nodiscard]] std::string EncodeRequest(const ServeRequest& request);
+[[nodiscard]] StatusOr<ServeRequest> DecodeRequest(std::string_view frame);
+
+[[nodiscard]] std::string EncodeResponse(const ServeResponse& response);
+[[nodiscard]] StatusOr<ServeResponse> DecodeResponse(std::string_view frame);
+
+/// Renders the deterministic OK payload for a finished job: the existing
+/// --json schedule/allocation export wrapped with the job's stable stats
+/// (rung, area, evaluated/cache_hits/store_hits — never wall time).
+/// `result.model` must be set (jobs are run with keep_model).
+[[nodiscard]] std::string RenderJobPayload(const JobResult& result);
+
+}  // namespace mshls::serve

@@ -1,0 +1,92 @@
+#include "serve/result_codec.h"
+
+#include "modulo/allocation.h"
+#include "serve/wire.h"
+
+namespace mshls::serve {
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status{StatusCode::kInvalidArgument, "result decode: " + what};
+}
+
+}  // namespace
+
+std::string EncodeResult(const CoupledResult& result) {
+  std::string out;
+  PutU32(out, kResultFormatVersion);
+  PutU32(out, static_cast<std::uint32_t>(result.schedule.blocks.size()));
+  for (const BlockSchedule& block : result.schedule.blocks) {
+    PutU32(out, static_cast<std::uint32_t>(block.size()));
+    for (std::size_t op = 0; op < block.size(); ++op)
+      PutI64(out, block.start(OpId(static_cast<std::int32_t>(op))));
+  }
+  PutI64(out, result.iterations);
+  PutI64(out, result.stats.iterations);
+  PutI64(out, result.stats.candidates_evaluated);
+  PutI64(out, result.stats.candidates_repriced);
+  PutI64(out, result.stats.candidates_reused);
+  PutI64(out, result.stats.tier1_invalidations);
+  PutI64(out, result.stats.tier2_invalidations);
+  return out;
+}
+
+StatusOr<CoupledResult> DecodeResult(std::string_view bytes,
+                                     const SystemModel& model) {
+  std::size_t cursor = 0;
+  std::uint32_t version = 0;
+  if (!GetU32(bytes, cursor, &version)) return Corrupt("truncated header");
+  if (version != kResultFormatVersion)
+    return Corrupt("format version " + std::to_string(version) + " != " +
+                   std::to_string(kResultFormatVersion));
+  std::uint32_t block_count = 0;
+  if (!GetU32(bytes, cursor, &block_count)) return Corrupt("truncated header");
+  if (block_count != model.block_count())
+    return Corrupt("block count " + std::to_string(block_count) +
+                   " does not match the model's " +
+                   std::to_string(model.block_count()));
+
+  CoupledResult result;
+  result.schedule.blocks.reserve(block_count);
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    const Block& block = model.blocks()[b];
+    std::uint32_t op_count = 0;
+    if (!GetU32(bytes, cursor, &op_count)) return Corrupt("truncated block");
+    if (op_count != block.graph.op_count())
+      return Corrupt("block " + std::to_string(b) + " op count " +
+                     std::to_string(op_count) + " does not match the model's " +
+                     std::to_string(block.graph.op_count()));
+    BlockSchedule schedule(op_count);
+    for (std::uint32_t op = 0; op < op_count; ++op) {
+      std::int64_t start = 0;
+      if (!GetI64(bytes, cursor, &start)) return Corrupt("truncated starts");
+      if (start < 0 || start > (std::int64_t{1} << 24))
+        return Corrupt("start step " + std::to_string(start) +
+                       " out of range");
+      schedule.set_start(OpId(static_cast<std::int32_t>(op)),
+                         static_cast<int>(start));
+    }
+    result.schedule.blocks.push_back(std::move(schedule));
+  }
+
+  std::int64_t raw[7] = {};
+  for (std::int64_t& value : raw)
+    if (!GetI64(bytes, cursor, &value)) return Corrupt("truncated stats");
+  if (cursor != bytes.size()) return Corrupt("trailing bytes");
+  result.iterations = static_cast<int>(raw[0]);
+  result.stats.iterations = raw[1];
+  result.stats.candidates_evaluated = raw[2];
+  result.stats.candidates_repriced = raw[3];
+  result.stats.candidates_reused = raw[4];
+  result.stats.tier1_invalidations = raw[5];
+  result.stats.tier2_invalidations = raw[6];
+
+  // Semantic gate: the starts must form a valid schedule for this model
+  // before the allocation (and everything downstream) is derived from it.
+  if (Status s = ValidateSystemSchedule(model, result.schedule); !s.ok())
+    return Corrupt("stored schedule invalid for model: " + s.message());
+  result.allocation = ComputeAllocation(model, result.schedule);
+  return result;
+}
+
+}  // namespace mshls::serve

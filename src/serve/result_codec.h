@@ -1,0 +1,38 @@
+// Binary (de)serialization of a CoupledResult for the persistent
+// fingerprint cache (serve/disk_cache.h).
+//
+// Only the schedule's start steps and the run's stable stats are stored;
+// the allocation is *re-derived* from (model, schedule) on load via
+// ComputeAllocation — that is exactly how CoupledScheduler::Run produced
+// it, so a decoded result is bit-identical to the original, and the
+// format stays a few bytes per operation instead of persisting the whole
+// authorization machinery.
+//
+// Decoding trusts nothing: the byte stream is validated structurally
+// (length-checked reads), against the model (block/op counts must match)
+// and semantically (ValidateSystemSchedule) before the result is used.
+// Any mismatch is a typed error — the disk cache turns it into a skipped
+// entry, never a crash.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "modulo/coupled_scheduler.h"
+
+namespace mshls::serve {
+
+/// Bumped whenever the byte layout changes; entries written by another
+/// format version are skipped on load.
+inline constexpr std::uint32_t kResultFormatVersion = 1;
+
+[[nodiscard]] std::string EncodeResult(const CoupledResult& result);
+
+/// Rebuilds the result against `model` (the model the fingerprint key was
+/// derived from). Fails with kInvalidArgument on any structural or
+/// semantic mismatch.
+[[nodiscard]] StatusOr<CoupledResult> DecodeResult(std::string_view bytes,
+                                                   const SystemModel& model);
+
+}  // namespace mshls::serve

@@ -1,0 +1,281 @@
+#include "serve/server.h"
+
+#include <csignal>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "engine/degradation.h"
+#include "obs/trace.h"
+#include "serve/wire.h"
+
+namespace mshls::serve {
+namespace {
+
+/// Poll slice for idle connections: short enough that a drain request
+/// interrupts them quickly, long enough to stay off the CPU.
+constexpr long kReadSliceMs = 200;
+
+Status Errno(const std::string& what) {
+  return Status{StatusCode::kInternal, what + ": " + std::strerror(errno)};
+}
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+ServeResponse Reject(ServeStatus status, std::string message) {
+  ServeResponse response;
+  response.status = status;
+  response.payload = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      admission_(options_.queue_limit < 0
+                     ? 0
+                     : options_.workers + options_.queue_limit) {
+  JobServiceOptions service_options;
+  service_options.workers = options_.workers;
+  service_options.cache_capacity = options_.cache_capacity;
+  service_options.store = options_.store;
+  service_ = std::make_unique<JobService>(service_options);
+}
+
+Server::~Server() {
+  RequestStop();
+  Wait();
+}
+
+Status Server::Start() {
+  // A client vanishing mid-response must surface as EPIPE on write, not
+  // kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path))
+    return Status{StatusCode::kInvalidArgument,
+                  "socket path empty or longer than sun_path allows: " +
+                      options_.socket_path};
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  if (::pipe(wake_pipe_) != 0) return Errno("pipe");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  // A leftover socket file from a previous (crashed) daemon would make
+  // bind fail; connect-probing it would race, so the daemon owns the path.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status s = Errno("bind " + options_.socket_path);
+    CloseFd(listen_fd_);
+    return s;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status s = Errno("listen");
+    CloseFd(listen_fd_);
+    return s;
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::RequestStop() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    // Best effort: the accept loop also times out of poll on its own.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::Wait() {
+  if (!started_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Connections run detached; the counter + condvar is the join.
+    std::unique_lock<std::mutex> lock(threads_mutex_);
+    idle_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  CloseFd(listen_fd_);
+  CloseFd(wake_pipe_[0]);
+  CloseFd(wake_pipe_[1]);
+  ::unlink(options_.socket_path.c_str());
+  started_ = false;
+}
+
+void Server::AcceptLoop() {
+  obs::Tracer* tracer = obs::GlobalTracer();
+  obs::ScopedSpan loop_span(
+      tracer ? &tracer->GetTrack("serve", /*wall_only=*/true) : nullptr,
+      "accept_loop");
+  while (!draining()) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int ready = ::poll(fds, 2, static_cast<int>(kReadSliceMs));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (draining()) break;
+    if (ready == 0 || (fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections;
+    }
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      ++active_connections_;
+    }
+    // Detached: completion is tracked by the counter, so finished
+    // connections cost nothing while the daemon keeps running.
+    std::thread([this, fd] {
+      ServeConnection(fd);
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      if (--active_connections_ == 0) idle_cv_.notify_all();
+    }).detach();
+  }
+  // Stop accepting immediately so a drain can't race new connections in.
+  CloseFd(listen_fd_);
+}
+
+void Server::ServeConnection(int fd) {
+  obs::Tracer* tracer = obs::GlobalTracer();
+  obs::TraceTrack* track =
+      tracer ? &tracer->NewTrack("serve.conn", /*wall_only=*/true) : nullptr;
+  obs::ScopedSpan conn_span(track, "connection");
+  long idle_ms = 0;
+  while (true) {
+    // Short poll slices so a drain request interrupts an idle connection
+    // within ~200ms without any cross-thread signalling.
+    const FrameRead frame = ReadFrame(fd, options_.max_request_bytes,
+                                      kReadSliceMs);
+    if (frame.outcome == FrameRead::Outcome::kTimeout) {
+      if (draining()) break;
+      idle_ms += kReadSliceMs;
+      if (options_.idle_timeout_ms > 0 && idle_ms >= options_.idle_timeout_ms)
+        break;
+      continue;
+    }
+    idle_ms = 0;
+    if (frame.outcome == FrameRead::Outcome::kEof ||
+        frame.outcome == FrameRead::Outcome::kIoError)
+      break;
+
+    ServeResponse response;
+    if (frame.outcome == FrameRead::Outcome::kTooLarge) {
+      response = Reject(ServeStatus::kTooLarge,
+                        "frame of " + std::to_string(frame.declared) +
+                            " bytes exceeds the server cap of " +
+                            std::to_string(options_.max_request_bytes));
+    } else if (frame.outcome == FrameRead::Outcome::kMalformed) {
+      response = Reject(ServeStatus::kMalformedFrame, frame.error);
+    } else if (draining()) {
+      response = Reject(ServeStatus::kShuttingDown, "server is draining");
+    } else {
+      auto request_or = DecodeRequest(frame.payload);
+      if (!request_or.ok()) {
+        response =
+            Reject(ServeStatus::kMalformedFrame, request_or.status().message());
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.requests;
+        }
+        obs::ScopedSpan request_span(track, "request");
+        response = HandleRequest(request_or.value());
+      }
+    }
+    CountResponse(response.status);
+    if (!WriteFrame(fd, EncodeResponse(response)).ok()) break;
+    // After kTooLarge the oversized payload is still in flight on the
+    // socket and the stream cannot be resynchronized; a structurally bad
+    // frame is the same. Drop the connection — the rejection already told
+    // the client why. A merely unparseable *protocol* payload keeps the
+    // connection (frame boundaries are intact).
+    if (frame.outcome != FrameRead::Outcome::kFrame || draining()) break;
+  }
+  ::close(fd);
+}
+
+ServeResponse Server::HandleRequest(const ServeRequest& request) {
+  if (!admission_.TryAcquire())
+    return Reject(ServeStatus::kOverloaded,
+                  "admission queue full (" +
+                      std::to_string(admission_.in_flight()) +
+                      " jobs in flight) — retry later");
+
+  SchedulingJob job;
+  job.name = "serve";
+  job.source = request.source;
+  job.mode = request.mode;
+  job.keep_model = true;
+  job.certify = (request.flags & kFlagSkipCertify) == 0;
+  if ((request.flags & kFlagLocalBaselineLadderOff) != 0)
+    job.ladder = {DegradationRung::kAsRequested};
+  job.timeout_ms = request.timeout_ms != 0
+                       ? static_cast<long>(request.timeout_ms)
+                       : options_.default_timeout_ms;
+
+  JobResult result = service_->SubmitJob(std::move(job)).get();
+  admission_.Release();
+
+  ServeResponse response;
+  response.evaluated = static_cast<std::uint32_t>(result.evaluated);
+  response.cache_hits = static_cast<std::uint32_t>(result.cache_hits);
+  response.store_hits = static_cast<std::uint32_t>(result.store_hits);
+  if (!result.status.ok()) {
+    response.status = ServeStatus::kJobFailed;
+    response.payload = result.status.message();
+    return response;
+  }
+  response.status = ServeStatus::kOk;
+  response.rung = static_cast<std::uint8_t>(result.rung);
+  response.payload = RenderJobPayload(result);
+  return response;
+}
+
+void Server::CountResponse(ServeStatus status) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  switch (status) {
+    case ServeStatus::kOk: ++stats_.ok; break;
+    case ServeStatus::kJobFailed: ++stats_.job_failed; break;
+    case ServeStatus::kOverloaded: ++stats_.rejected_overloaded; break;
+    case ServeStatus::kTooLarge: ++stats_.rejected_too_large; break;
+    case ServeStatus::kMalformedFrame: ++stats_.rejected_malformed; break;
+    case ServeStatus::kShuttingDown: ++stats_.rejected_shutting_down; break;
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Server::PublishMetrics() {
+  admission_.PublishMetrics();
+  service_->PublishCacheMetrics();
+}
+
+}  // namespace mshls::serve

@@ -1,0 +1,131 @@
+// mshlsd's server core: a unix-domain stream socket accepting scheduling
+// jobs as length-prefixed frames (serve/wire.h + serve/protocol.h) and
+// dispatching them through engine::JobService onto its persistent thread
+// pool, with a two-tier schedule cache (in-memory ScheduleCache backed by
+// the persistent DiskCache) shared by every job.
+//
+// Concurrency model: one accept thread (poll on the listen socket + a
+// self-pipe so a drain request wakes it immediately), one thread per
+// connection (cheap: connections block on job futures most of the time),
+// and the JobService pool bounding actual scheduling parallelism.
+// Admission control (serve/admission.h) caps jobs past the socket layer
+// at workers + queue slots — beyond that clients get an immediate typed
+// `overloaded` rejection instead of a blocked connection.
+//
+// Shutdown is a graceful drain: RequestStop() (the daemon's SIGTERM
+// handler calls it, tests call it directly) stops the accept loop,
+// answers new requests on open connections with `shutting-down`, lets
+// in-flight jobs finish, then Wait() joins everything and removes the
+// socket file.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/job_service.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+
+namespace mshls::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; bound on Start(), unlinked on Wait(). Keep
+  /// it short — sun_path caps around 100 bytes.
+  std::string socket_path;
+  /// Scheduling worker threads (JobService pool width).
+  int workers = 1;
+  /// Extra admitted-but-waiting jobs beyond `workers`; total admission
+  /// limit is workers + queue_limit. <= -1 disables admission control.
+  int queue_limit = 8;
+  /// Per-request frame cap; larger frames get a typed `too-large`.
+  std::size_t max_request_bytes = 4u << 20;  // 4 MiB
+  /// Default per-job wall-clock budget when the request carries none
+  /// (0 = unlimited).
+  long default_timeout_ms = 0;
+  /// Idle budget for one read on an open connection; the connection is
+  /// closed when a client sends nothing for this long. <= 0: no limit.
+  long idle_timeout_ms = 0;
+  /// In-memory schedule-cache capacity (entries); 0 = unbounded.
+  std::size_t cache_capacity = 0;
+  /// Persistent second cache tier (not owned; may be null; must be
+  /// Open()ed by the caller and outlive the server).
+  ScheduleStore* store = nullptr;
+};
+
+struct ServerStats {
+  long long connections = 0;
+  long long requests = 0;  // frames that decoded into a request
+  long long ok = 0;
+  long long job_failed = 0;
+  long long rejected_overloaded = 0;
+  long long rejected_too_large = 0;
+  long long rejected_malformed = 0;
+  long long rejected_shutting_down = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens + starts the accept thread. Fails (typed) when the
+  /// path is too long for sun_path or the bind/listen fails.
+  [[nodiscard]] Status Start();
+
+  /// Begins the drain; safe from any thread and from a signal-handler
+  /// context via a prior self-pipe arrangement in the daemon binary.
+  /// Idempotent.
+  void RequestStop();
+
+  /// Blocks until the accept loop and every connection thread finished,
+  /// then unlinks the socket. Returns immediately if never started.
+  void Wait();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] JobService& service() { return *service_; }
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+  /// Mirrors admission + cache counters into the metrics registry.
+  void PublishMetrics();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  [[nodiscard]] ServeResponse HandleRequest(const ServeRequest& request);
+  void CountResponse(ServeStatus status);
+
+  ServerOptions options_;
+  std::unique_ptr<JobService> service_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+  std::thread accept_thread_;
+  /// Connections run on detached threads; Wait() joins them through this
+  /// counter instead of accumulating thread handles for the daemon's
+  /// whole lifetime.
+  std::mutex threads_mutex_;
+  std::condition_variable idle_cv_;
+  int active_connections_ = 0;
+  bool started_ = false;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace mshls::serve

@@ -1,0 +1,167 @@
+#include "serve/wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace mshls::serve {
+namespace {
+
+/// Waits for `fd` to become readable; 1 = readable, 0 = timeout, -1 = error.
+int WaitReadable(int fd, long timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms < 0
+                                       ? -1
+                                       : static_cast<int>(std::min<long>(
+                                             timeout_ms, 1 << 30)));
+    if (rc >= 0) return rc > 0 ? 1 : 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+/// Reads exactly `n` bytes into `out`; partial data before EOF or an error
+/// is reported through the outcome.
+FrameRead::Outcome ReadExact(int fd, std::size_t n, long timeout_ms,
+                             std::string* out, std::string* error) {
+  out->resize(n);
+  std::size_t have = 0;
+  while (have < n) {
+    const int ready = WaitReadable(fd, timeout_ms);
+    if (ready < 0) {
+      *error = std::strerror(errno);
+      return FrameRead::Outcome::kIoError;
+    }
+    if (ready == 0) return FrameRead::Outcome::kTimeout;
+    const ssize_t rc = ::read(fd, out->data() + have, n - have);
+    if (rc > 0) {
+      have += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0)  // peer closed mid-frame
+      return have == 0 ? FrameRead::Outcome::kEof
+                       : FrameRead::Outcome::kMalformed;
+    if (errno == EINTR) continue;
+    *error = std::strerror(errno);
+    return FrameRead::Outcome::kIoError;
+  }
+  return FrameRead::Outcome::kFrame;
+}
+
+}  // namespace
+
+const char* FrameOutcomeName(FrameRead::Outcome outcome) {
+  switch (outcome) {
+    case FrameRead::Outcome::kFrame: return "frame";
+    case FrameRead::Outcome::kEof: return "eof";
+    case FrameRead::Outcome::kMalformed: return "malformed";
+    case FrameRead::Outcome::kTooLarge: return "too-large";
+    case FrameRead::Outcome::kTimeout: return "timeout";
+    case FrameRead::Outcome::kIoError: return "io-error";
+  }
+  return "unknown";
+}
+
+FrameRead ReadFrame(int fd, std::size_t max_bytes, long timeout_ms) {
+  FrameRead result;
+  std::string prefix;
+  result.outcome = ReadExact(fd, 4, timeout_ms, &prefix, &result.error);
+  if (result.outcome == FrameRead::Outcome::kFrame) {
+    std::uint32_t declared = 0;
+    std::size_t cursor = 0;
+    (void)GetU32(prefix, cursor, &declared);  // 4 bytes are present
+    result.declared = declared;
+    const std::size_t cap =
+        std::min<std::size_t>(max_bytes, kAbsoluteMaxFrameBytes);
+    if (declared == 0) {
+      // A zero-length request can carry no job; treat it as malformed so
+      // the server answers with a typed rejection instead of looping.
+      result.outcome = FrameRead::Outcome::kMalformed;
+    } else if (declared > cap) {
+      result.outcome = FrameRead::Outcome::kTooLarge;
+    } else {
+      result.outcome =
+          ReadExact(fd, declared, timeout_ms, &result.payload, &result.error);
+      // EOF after a full prefix is a mid-frame disconnect, not a clean end.
+      if (result.outcome == FrameRead::Outcome::kEof)
+        result.outcome = FrameRead::Outcome::kMalformed;
+    }
+  }
+  if (result.outcome != FrameRead::Outcome::kFrame) result.payload.clear();
+  return result;
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.empty() || payload.size() > kAbsoluteMaxFrameBytes)
+    return Status{StatusCode::kInvalidArgument,
+                  "frame payload must be 1.." +
+                      std::to_string(kAbsoluteMaxFrameBytes) + " bytes"};
+  std::string wire;
+  wire.reserve(4 + payload.size());
+  PutU32(wire, static_cast<std::uint32_t>(payload.size()));
+  wire.append(payload);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t rc = ::write(fd, wire.data() + sent, wire.size() - sent);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return Status{StatusCode::kInternal,
+                  std::string("write failed: ") + std::strerror(errno)};
+  }
+  return Status::Ok();
+}
+
+void PutU32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void PutI64(std::string& out, std::int64_t value) {
+  PutU64(out, static_cast<std::uint64_t>(value));
+}
+
+bool GetU32(std::string_view in, std::size_t& cursor, std::uint32_t* value) {
+  if (cursor + 4 > in.size()) return false;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[cursor + i]))
+         << (8 * i);
+  cursor += 4;
+  *value = v;
+  return true;
+}
+
+bool GetU64(std::string_view in, std::size_t& cursor, std::uint64_t* value) {
+  if (cursor + 8 > in.size()) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[cursor + i]))
+         << (8 * i);
+  cursor += 8;
+  *value = v;
+  return true;
+}
+
+bool GetI64(std::string_view in, std::size_t& cursor, std::int64_t* value) {
+  std::uint64_t v = 0;
+  if (!GetU64(in, cursor, &v)) return false;
+  *value = static_cast<std::int64_t>(v);
+  return true;
+}
+
+}  // namespace mshls::serve

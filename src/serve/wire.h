@@ -1,0 +1,69 @@
+// Length-prefixed binary framing over POSIX stream sockets — the transport
+// under the mshlsd protocol (serve/protocol.h).
+//
+// A frame is a 4-byte little-endian payload length followed by that many
+// payload bytes. The reader is defensive by construction: a declared
+// length of zero or above the caller's cap, a disconnect in the middle of
+// a frame, or any socket error comes back as a *typed outcome*, never an
+// exception or a crash — the server turns these into typed protocol
+// rejections and the client into Status errors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mshls::serve {
+
+/// Hard ceiling on any frame this build will ever read, independent of the
+/// caller's cap (guards against a hostile 4 GiB length prefix).
+inline constexpr std::uint32_t kAbsoluteMaxFrameBytes = 64u << 20;  // 64 MiB
+
+struct FrameRead {
+  enum class Outcome {
+    kFrame,      // `payload` holds a complete frame
+    kEof,        // clean disconnect on a frame boundary
+    kMalformed,  // zero-length frame, or disconnect mid-frame
+    kTooLarge,   // declared length exceeds the cap; nothing consumed after
+                 // the prefix, `declared` holds the claimed size
+    kTimeout,    // poll deadline expired before a full frame arrived
+    kIoError,    // read(2)/poll(2) failed; `error` holds strerror text
+  };
+  Outcome outcome = Outcome::kIoError;
+  std::string payload;
+  std::uint64_t declared = 0;
+  std::string error;
+};
+
+[[nodiscard]] const char* FrameOutcomeName(FrameRead::Outcome outcome);
+
+/// Reads one frame from `fd`. `max_bytes` caps the accepted payload size
+/// (clamped to kAbsoluteMaxFrameBytes); `timeout_ms` < 0 blocks forever,
+/// otherwise it bounds the wait for *each* readable chunk.
+[[nodiscard]] FrameRead ReadFrame(int fd, std::size_t max_bytes,
+                                  long timeout_ms = -1);
+
+/// Writes one frame (length prefix + payload), retrying on short writes
+/// and EINTR. SIGPIPE must be blocked/ignored by the process (the server
+/// and client both install SIG_IGN); a closed peer surfaces as EPIPE.
+[[nodiscard]] Status WriteFrame(int fd, std::string_view payload);
+
+/// Appends `value` little-endian. Helpers shared by protocol + codec so
+/// every on-wire/on-disk integer has one byte order.
+void PutU32(std::string& out, std::uint32_t value);
+void PutU64(std::string& out, std::uint64_t value);
+void PutI64(std::string& out, std::int64_t value);
+
+/// Cursor-based readers: return false (leaving outputs untouched) when
+/// fewer than the needed bytes remain.
+[[nodiscard]] bool GetU32(std::string_view in, std::size_t& cursor,
+                          std::uint32_t* value);
+[[nodiscard]] bool GetU64(std::string_view in, std::size_t& cursor,
+                          std::uint64_t* value);
+[[nodiscard]] bool GetI64(std::string_view in, std::size_t& cursor,
+                          std::int64_t* value);
+
+}  // namespace mshls::serve

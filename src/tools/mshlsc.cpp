@@ -41,6 +41,17 @@
 //                          corrupted and the certifier must catch it;
 //                          caught faults are shrunk, misses exit 1)
 //   --fuzz-dir <dir>       where --fuzz writes repros (default fuzz-repros)
+//   --connect <sock>       submit the design (or the whole --batch
+//                          directory) to a running mshlsd daemon instead
+//                          of scheduling in-process; the response payload
+//                          is the daemon's deterministic JSON report
+//                          (printed, or written with --json <file>)
+//   --timeout-ms <n>       per-job wall-clock budget sent with --connect
+//                          submissions (0 = server default)
+//   --cache-dir <dir>      persistent schedule cache: one-shot runs and
+//                          batches warm-start from results of earlier
+//                          processes that used the same directory
+//   --cache-budget-mb <n>  size budget for --cache-dir (default 256)
 //   --trace <file>         write a Chrome trace_event JSON of the run
 //                          (open in Perfetto / chrome://tracing). Uses the
 //                          logical clock: the file is bit-identical for any
@@ -61,6 +72,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -82,7 +94,11 @@
 #include "report/experiment_report.h"
 #include "report/gantt.h"
 #include "report/json_export.h"
+#include "modulo/schedule_cache.h"
 #include "rtl/verilog_gen.h"
+#include "serve/client.h"
+#include "serve/disk_cache.h"
+#include "serve/protocol.h"
 #include "sim/simulator.h"
 #include "verify/certifier.h"
 #include "verify/fault_injection.h"
@@ -113,6 +129,10 @@ struct Args {
   std::string trace_wall_file;
   std::string metrics_file;
   bool stats = false;
+  std::string connect_sock;
+  long timeout_ms = 0;
+  std::string cache_dir;
+  long cache_budget_mb = 256;
 };
 
 int Usage(const char* argv0) {
@@ -124,10 +144,14 @@ int Usage(const char* argv0) {
                "   or: %s --batch <dir> [--jobs <n>] [mode flags] [--simulate <n>]\n"
                "   or: %s --fuzz <n>[:<seed>] [--jobs <n>] "
                "[--inject-fault <spec>] [--fuzz-dir <dir>]\n"
+               "   or: %s <design.hls> --connect <sock> [mode flags] "
+               "[--timeout-ms <n>] [--json <file>]\n"
+               "caching (single/batch): [--cache-dir <dir>] "
+               "[--cache-budget-mb <n>]\n"
                "observability (any mode): [--trace <file>] "
                "[--trace-wall <file>] [--metrics <file>] [--stats]\n"
                "   or: %s --version\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 1;
 }
 
@@ -212,6 +236,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->metrics_file = v;
     } else if (flag == "--stats") {
       args->stats = true;
+    } else if (flag == "--connect") {
+      const char* v = next();
+      if (!v) return false;
+      args->connect_sock = v;
+    } else if (flag == "--timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->timeout_ms = std::atol(v);
+      if (args->timeout_ms < 0) return false;
+    } else if (flag == "--cache-dir") {
+      const char* v = next();
+      if (!v) return false;
+      args->cache_dir = v;
+    } else if (flag == "--cache-budget-mb") {
+      const char* v = next();
+      if (!v) return false;
+      args->cache_budget_mb = std::atol(v);
+      if (args->cache_budget_mb < 0) return false;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return false;
@@ -296,11 +338,134 @@ class ObsSession {
 /// file in the batch directory from ballooning the parser).
 constexpr std::uintmax_t kMaxBatchFileBytes = 4u << 20;  // 4 MiB
 
+/// --connect: submit to a running mshlsd instead of scheduling in-process.
+/// One design (payload printed / --json'd) or a whole --batch directory
+/// (sequential submissions over one connection, compact per-file lines).
+int RunConnect(const Args& args) {
+  namespace fs = std::filesystem;
+  if (!args.cache_dir.empty())
+    std::fprintf(stderr,
+                 "note: --cache-dir is ignored with --connect (the daemon "
+                 "owns the persistent cache)\n");
+  std::vector<fs::path> inputs;
+  if (!args.batch_dir.empty()) {
+    std::error_code ec;
+    fs::directory_iterator it(args.batch_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot read directory %s: %s\n",
+                   args.batch_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    for (const fs::directory_entry& entry : it) {
+      std::error_code entry_ec;
+      if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+      if (entry.path().extension() == ".hls") inputs.push_back(entry.path());
+    }
+    std::sort(inputs.begin(), inputs.end());
+    if (inputs.empty()) {
+      std::fprintf(stderr, "no .hls files under %s\n", args.batch_dir.c_str());
+      return 1;
+    }
+  } else if (!args.input.empty()) {
+    inputs.emplace_back(args.input);
+  } else {
+    std::fprintf(stderr, "--connect needs <design.hls> or --batch <dir>\n");
+    return 1;
+  }
+  const bool single = args.batch_dir.empty();
+
+  serve::Client client;
+  if (Status s = client.Connect(args.connect_sock); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (const fs::path& path : inputs) {
+    const std::string name = path.filename().string();
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr, "%s: unreadable\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    serve::ServeRequest request;
+    request.mode = ModeFromArgs(args);
+    request.timeout_ms = static_cast<std::uint32_t>(args.timeout_ms);
+    request.source = buf.str();
+    auto response_or = client.Submit(request);
+    if (!response_or.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   response_or.status().message().c_str());
+      ++failures;
+      // Transport-level rejections close the connection server-side;
+      // without one there is nothing to resynchronize against.
+      break;
+    }
+    const serve::ServeResponse& response = response_or.value();
+    if (response.status != serve::ServeStatus::kOk) {
+      std::fprintf(stderr, "%s: %s: %s\n", name.c_str(),
+                   serve::ServeStatusName(response.status),
+                   response.payload.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok evaluated=%u cache=%s%s\n", name.c_str(),
+                response.evaluated,
+                response.cache_hit() ? "hit" : "miss",
+                response.store_hit() ? " (persistent)" : "");
+    if (single) {
+      if (!args.json_file.empty()) {
+        std::ofstream out(args.json_file);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", args.json_file.c_str());
+          return 1;
+        }
+        out << response.payload;
+        std::printf("wrote %s\n", args.json_file.c_str());
+      } else {
+        std::printf("%s\n", response.payload.c_str());
+      }
+    }
+  }
+  if (!single)
+    std::printf("submitted %zu design(s): %zu ok, %d failed\n", inputs.size(),
+                inputs.size() - static_cast<std::size_t>(failures), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+/// Opens the --cache-dir persistent store; null when the flag is unset.
+/// `*ok` turns false (with a message) when the directory cannot be used.
+std::unique_ptr<serve::DiskCache> OpenDiskCache(const Args& args, bool* ok) {
+  *ok = true;
+  if (args.cache_dir.empty()) return nullptr;
+  serve::DiskCacheOptions options;
+  options.dir = args.cache_dir;
+  options.max_bytes = static_cast<std::uint64_t>(args.cache_budget_mb) << 20;
+  auto disk = std::make_unique<serve::DiskCache>(options);
+  if (Status s = disk->Open(); !s.ok()) {
+    std::fprintf(stderr, "cannot open cache dir: %s\n", s.message().c_str());
+    *ok = false;
+    return nullptr;
+  }
+  return disk;
+}
+
+void PrintDiskCacheStats(const serve::DiskCache& disk) {
+  const serve::DiskCacheStats ds = disk.stats();
+  std::printf("persistent cache: %lld hit(s) / %lld lookup(s), "
+              "%lld insertion(s), %lld eviction(s), %lld skipped\n",
+              ds.hits, ds.hits + ds.misses, ds.insertions, ds.evictions,
+              ds.skipped_corrupt + ds.skipped_version);
+}
+
 /// --batch: every *.hls under the directory becomes one SchedulingJob; the
 /// batch fans out over --jobs workers sharing one schedule cache. The scan
 /// is defensive: entries that vanish, cannot be read or exceed the size cap
 /// become per-file warning rows instead of aborting the whole batch.
-int RunBatch(const Args& args) {
+int RunBatch(const Args& args, serve::DiskCache* disk) {
   namespace fs = std::filesystem;
   std::vector<fs::path> inputs;
   std::error_code ec;
@@ -367,6 +532,7 @@ int RunBatch(const Args& args) {
   if (!jobs.empty()) {
     JobServiceOptions service_options;
     service_options.workers = args.jobs;
+    service_options.store = disk;
     JobService service(service_options);
     std::printf("batch: %zu design(s), %d worker(s), mode %s\n", jobs.size(),
                 service.workers(), JobModeName(jobs.front().mode));
@@ -422,6 +588,7 @@ int RunBatch(const Args& args) {
               "%ld eviction(s)\n",
               summary.cache.hits, summary.cache.hits + summary.cache.misses,
               summary.cache.insertions, summary.cache.evictions);
+  if (disk != nullptr) PrintDiskCacheStats(*disk);
   if (failures > 0)
     std::fprintf(stderr, "%d of %zu design(s) failed\n", failures,
                  results.size());
@@ -486,8 +653,12 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
 
   ObsSession obs_session(args);
+  if (!args.connect_sock.empty()) return RunConnect(args);
   if (!args.fuzz_spec.empty()) return RunFuzzMode(args);
-  if (!args.batch_dir.empty()) return RunBatch(args);
+  bool disk_ok = true;
+  std::unique_ptr<serve::DiskCache> disk = OpenDiskCache(args, &disk_ok);
+  if (!disk_ok) return 1;
+  if (!args.batch_dir.empty()) return RunBatch(args, disk.get());
 
   std::ifstream in(args.input);
   if (!in) {
@@ -512,6 +683,10 @@ int main(int argc, char** argv) {
   // Schedule per the requested mode.
   CoupledResult result;
   if (args.local) {
+    if (disk != nullptr)
+      std::fprintf(stderr,
+                   "note: --cache-dir is ignored in --local mode (the "
+                   "baseline is not cached)\n");
     auto run = ScheduleLocalBaseline(model, CoupledParams{});
     if (!run.ok()) {
       std::fprintf(stderr, "scheduling failed: %s\n",
@@ -523,6 +698,7 @@ int main(int argc, char** argv) {
   } else if (args.search_assignments) {
     AssignmentSearchOptions search_options;
     search_options.jobs = args.jobs;
+    search_options.store = disk.get();
     auto search = SearchAssignments(model, CoupledParams{}, search_options);
     if (!search.ok()) {
       std::fprintf(stderr, "assignment search failed: %s\n",
@@ -540,6 +716,7 @@ int main(int argc, char** argv) {
   } else if (args.search_periods) {
     PeriodSearchOptions search_options;
     search_options.jobs = args.jobs;
+    search_options.store = disk.get();
     auto search = SearchPeriods(model, CoupledParams{}, search_options);
     if (!search.ok()) {
       std::fprintf(stderr, "period search failed: %s\n",
@@ -551,6 +728,24 @@ int main(int argc, char** argv) {
                 search.value().combinations, search.value().filtered_out,
                 search.value().evaluated);
     result = std::move(search.value().best);
+  } else if (disk != nullptr) {
+    // The persistent store sits behind a throwaway memory tier: a repeat
+    // of a design scheduled by any earlier process (or daemon) sharing
+    // the cache directory is decoded + re-validated instead of re-solved.
+    CoupledParams coupled_params;
+    coupled_params.jobs = args.jobs;
+    ScheduleCache cache;
+    bool store_hit = false;
+    auto run = ScheduleWithCache(model, coupled_params, &cache,
+                                 /*cache_hit=*/nullptr, disk.get(), &store_hit);
+    if (!run.ok()) {
+      std::fprintf(stderr, "scheduling failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(run).value();
+    if (store_hit)
+      std::printf("schedule warm-started from the persistent cache\n");
   } else {
     CoupledParams coupled_params;
     coupled_params.jobs = args.jobs;
@@ -566,6 +761,7 @@ int main(int argc, char** argv) {
   std::printf("allocation: %s  (%d iterations)\n",
               SummarizeAllocation(model, result.allocation).c_str(),
               result.iterations);
+  if (disk != nullptr) PrintDiskCacheStats(*disk);
 
   if (args.table)
     std::printf("\n%s", RenderTable1(model, result).c_str());

@@ -1,0 +1,238 @@
+// mshlsd — the scheduling daemon: accepts jobs over a unix-domain socket
+// (serve/server.h) and schedules them on a persistent worker pool behind
+// a two-tier schedule cache. Repeated submissions of the same design are
+// answered from memory; with --cache-dir even a restarted daemon
+// warm-starts from the persistent fingerprint store.
+//
+//   mshlsd --socket <path> [options]
+//
+//   --socket <path>         unix-domain socket to listen on (required;
+//                           keep it short — sun_path caps near 100 bytes)
+//   --jobs <n>              scheduling worker threads (default 1)
+//   --queue <n>             admitted-but-waiting jobs beyond --jobs before
+//                           clients get `overloaded` (default 8; -1 turns
+//                           admission control off)
+//   --cache-dir <dir>       persistent on-disk fingerprint cache
+//   --cache-budget-mb <n>   size budget for --cache-dir (default 256)
+//   --mem-cache <n>         in-memory schedule-cache entries (default 0 =
+//                           unbounded)
+//   --timeout-ms <n>        default per-job budget when the request sends
+//                           none (default 0 = unlimited)
+//   --idle-timeout-ms <n>   drop connections idle this long (default 0 =
+//                           keep them open)
+//   --max-request-bytes <n> request frame cap (default 4 MiB)
+//   --metrics <file>        write stable metric counters as JSON at exit
+//   --stats                 print all metrics at exit
+//   --version               print the build stamp and exit
+//
+// SIGTERM / SIGINT begin a graceful drain: the listener closes, open
+// connections get `shutting-down` for new requests, in-flight jobs
+// finish, then the daemon exits 0 with a final stats line on stderr.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/build_info.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/disk_cache.h"
+#include "serve/server.h"
+
+using namespace mshls;
+
+namespace {
+
+struct Args {
+  std::string socket_path;
+  int jobs = 1;
+  int queue = 8;
+  std::string cache_dir;
+  long cache_budget_mb = 256;
+  std::size_t mem_cache = 0;
+  long timeout_ms = 0;
+  long idle_timeout_ms = 0;
+  std::size_t max_request_bytes = 4u << 20;
+  std::string metrics_file;
+  bool stats = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket <path> [--jobs <n>] [--queue <n>]\n"
+      "       [--cache-dir <dir>] [--cache-budget-mb <n>] [--mem-cache <n>]\n"
+      "       [--timeout-ms <n>] [--idle-timeout-ms <n>]\n"
+      "       [--max-request-bytes <n>] [--metrics <file>] [--stats]\n"
+      "   or: %s --version\n",
+      argv0, argv0);
+  return 1;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--socket") {
+      const char* v = next();
+      if (!v) return false;
+      args->socket_path = v;
+    } else if (flag == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      args->jobs = std::atoi(v);
+      if (args->jobs < 1) return false;
+    } else if (flag == "--queue") {
+      const char* v = next();
+      if (!v) return false;
+      args->queue = std::atoi(v);
+    } else if (flag == "--cache-dir") {
+      const char* v = next();
+      if (!v) return false;
+      args->cache_dir = v;
+    } else if (flag == "--cache-budget-mb") {
+      const char* v = next();
+      if (!v) return false;
+      args->cache_budget_mb = std::atol(v);
+      if (args->cache_budget_mb < 0) return false;
+    } else if (flag == "--mem-cache") {
+      const char* v = next();
+      if (!v) return false;
+      args->mem_cache = static_cast<std::size_t>(std::atol(v));
+    } else if (flag == "--timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->timeout_ms = std::atol(v);
+    } else if (flag == "--idle-timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->idle_timeout_ms = std::atol(v);
+    } else if (flag == "--max-request-bytes") {
+      const char* v = next();
+      if (!v) return false;
+      args->max_request_bytes = static_cast<std::size_t>(std::atol(v));
+    } else if (flag == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      args->metrics_file = v;
+    } else if (flag == "--stats") {
+      args->stats = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->socket_path.empty();
+}
+
+serve::Server* g_server = nullptr;
+
+/// Only async-signal-safe calls: an atomic flag flip plus one write(2)
+/// into the server's wake pipe.
+void HandleStopSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", BuildInfoString().c_str());
+      return 0;
+    }
+
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  const bool want_obs = !args.metrics_file.empty() || args.stats;
+  if (want_obs) {
+    if (!obs::kCompiledIn)
+      std::fprintf(stderr,
+                   "warning: probes were compiled out (MSHLS_TRACE=OFF); "
+                   "metrics will be empty\n");
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+  }
+
+  std::unique_ptr<serve::DiskCache> disk;
+  if (!args.cache_dir.empty()) {
+    serve::DiskCacheOptions disk_options;
+    disk_options.dir = args.cache_dir;
+    disk_options.max_bytes =
+        static_cast<std::uint64_t>(args.cache_budget_mb) << 20;
+    disk = std::make_unique<serve::DiskCache>(disk_options);
+    if (Status s = disk->Open(); !s.ok()) {
+      std::fprintf(stderr, "cannot open cache dir: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "persistent cache: %s (%zu entries, %llu bytes)\n",
+                 disk->dir().c_str(), disk->entry_count(),
+                 static_cast<unsigned long long>(disk->total_bytes()));
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = args.socket_path;
+  options.workers = args.jobs;
+  options.queue_limit = args.queue;
+  options.max_request_bytes = args.max_request_bytes;
+  options.default_timeout_ms = args.timeout_ms;
+  options.idle_timeout_ms = args.idle_timeout_ms;
+  options.cache_capacity = args.mem_cache;
+  options.store = disk.get();
+
+  serve::Server server(options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", s.message().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  std::fprintf(stderr, "mshlsd listening on %s (%d worker(s), queue %d)\n",
+               args.socket_path.c_str(), args.jobs, args.queue);
+  server.Wait();
+  g_server = nullptr;
+
+  server.PublishMetrics();
+  if (disk != nullptr) disk->PublishMetrics();
+
+  const serve::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "mshlsd drained: %lld connection(s), %lld request(s) — "
+               "%lld ok, %lld failed, %lld overloaded, %lld too-large, "
+               "%lld malformed, %lld shutting-down\n",
+               stats.connections, stats.requests, stats.ok, stats.job_failed,
+               stats.rejected_overloaded, stats.rejected_too_large,
+               stats.rejected_malformed, stats.rejected_shutting_down);
+  if (disk != nullptr) {
+    const serve::DiskCacheStats ds = disk->stats();
+    std::fprintf(stderr,
+                 "persistent cache: %lld hit(s) / %lld lookup(s) "
+                 "(%.0f%% hit rate), %lld insertion(s), %lld eviction(s), "
+                 "%lld skipped\n",
+                 ds.hits, ds.hits + ds.misses, 100 * ds.HitRate(),
+                 ds.insertions, ds.evictions,
+                 ds.skipped_corrupt + ds.skipped_version);
+  }
+
+  if (!args.metrics_file.empty()) {
+    std::ofstream out(args.metrics_file);
+    if (out)
+      out << obs::MetricsRegistry::Global().ToJson(/*include_timing=*/false);
+    else
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_file.c_str());
+  }
+  if (args.stats)
+    std::printf("\n--- metrics ---\n%s",
+                obs::MetricsRegistry::Global().RenderText().c_str());
+  if (want_obs) obs::SetEnabled(false);
+  return 0;
+}

@@ -1,0 +1,43 @@
+# One-shot persistent cache through the CLI: the first run populates
+# --cache-dir, the second must warm-start from it and export a
+# byte-identical --json payload.
+#
+# cmake -DMSHLSC=... -DDESIGN=... -DWORK=... -P cli_cache_dir_warm_start.cmake
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+execute_process(
+  COMMAND "${MSHLSC}" "${DESIGN}" --cache-dir "${WORK}/cache"
+          --json "${WORK}/cold.json"
+  OUTPUT_VARIABLE cold_out ERROR_VARIABLE cold_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold run failed (${rc}):\n${cold_out}")
+endif()
+if(cold_out MATCHES "warm-started")
+  message(FATAL_ERROR "cold run claims a warm start:\n${cold_out}")
+endif()
+
+file(GLOB entries "${WORK}/cache/*.msc")
+if(entries STREQUAL "")
+  message(FATAL_ERROR "cold run left no persistent cache entry")
+endif()
+
+execute_process(
+  COMMAND "${MSHLSC}" "${DESIGN}" --cache-dir "${WORK}/cache"
+          --json "${WORK}/warm.json"
+  OUTPUT_VARIABLE warm_out ERROR_VARIABLE warm_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm run failed (${rc}):\n${warm_out}")
+endif()
+if(NOT warm_out MATCHES "warm-started from the persistent cache")
+  message(FATAL_ERROR "second run did not warm-start:\n${warm_out}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK}/cold.json" "${WORK}/warm.json"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "warm-start payload differs from the cold run")
+endif()
+message(STATUS "PASS: cold populate -> warm start, payloads byte-identical")

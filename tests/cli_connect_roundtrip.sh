@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Daemon round trip through the real binaries: start mshlsd with a
+# persistent cache, solve a design cold, solve it warm, SIGTERM the
+# daemon, restart it on the same cache directory and require a
+# persistent-tier hit with a byte-identical --json export.
+#
+# Usage: cli_connect_roundtrip.sh <mshlsd> <mshlsc> <design.hls> <workdir>
+set -u
+
+MSHLSD=$1
+MSHLSC=$2
+DESIGN=$3
+WORK=$4
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+SOCK="$WORK/d.sock"
+CACHE="$WORK/cache"
+DAEMON_PID=""
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  exit 1
+}
+
+start_daemon() {
+  "$MSHLSD" --socket "$SOCK" --jobs 2 --cache-dir "$CACHE" \
+    >"$WORK/daemon.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited at startup"
+    sleep 0.1
+  done
+  fail "daemon never created $SOCK"
+}
+
+stop_daemon() {
+  kill -TERM "$DAEMON_PID" 2>/dev/null || fail "daemon already gone"
+  for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || { DAEMON_PID=""; return 0; }
+    sleep 0.1
+  done
+  fail "daemon did not drain after SIGTERM"
+}
+
+start_daemon
+"$MSHLSC" "$DESIGN" --connect "$SOCK" --json "$WORK/cold.json" \
+  >"$WORK/cold.out" 2>&1 || fail "cold submit failed: $(cat "$WORK/cold.out")"
+grep -q "cache=miss" "$WORK/cold.out" || fail "first submit was not a miss"
+"$MSHLSC" "$DESIGN" --connect "$SOCK" --json "$WORK/warm.json" \
+  >"$WORK/warm.out" 2>&1 || fail "warm submit failed"
+grep -q "cache=hit" "$WORK/warm.out" || fail "second submit was not a hit"
+cmp -s "$WORK/cold.json" "$WORK/warm.json" || fail "warm payload differs"
+stop_daemon
+
+ls "$CACHE"/*.msc >/dev/null 2>&1 || fail "no persistent cache entry on disk"
+
+start_daemon
+"$MSHLSC" "$DESIGN" --connect "$SOCK" --json "$WORK/restart.json" \
+  >"$WORK/restart.out" 2>&1 || fail "post-restart submit failed"
+grep -q "cache=hit (persistent)" "$WORK/restart.out" \
+  || fail "restarted daemon did not hit the persistent tier"
+cmp -s "$WORK/cold.json" "$WORK/restart.json" \
+  || fail "post-restart payload differs from the cold run"
+stop_daemon
+
+echo "PASS: cold -> warm -> restart-warm, payloads byte-identical"

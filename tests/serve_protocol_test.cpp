@@ -1,0 +1,418 @@
+// Wire framing + protocol robustness and the daemon server end to end:
+// oversized / zero-length / torn frames come back as typed outcomes,
+// concurrent clients get bit-identical responses at any worker count,
+// overload produces typed rejections, and a server restart over the same
+// cache directory serves warm hits with byte-identical payloads.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+#include "serve/disk_cache.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace mshls {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kTinyDesign = R"(
+resource add  delay 1 area 1;
+resource mult delay 2 dii 1 area 4;
+
+process alpha deadline 10 {
+  block main time 10 {
+    m1 = a * b;
+    m2 = c * d;
+    s1 = m1 + m2;
+    y  = s1 + e;
+  }
+}
+process beta deadline 10 {
+  block main time 10 {
+    m1 = p * q;
+    y  = m1 + r;
+  }
+}
+share add  among alpha, beta period 5;
+share mult among alpha, beta period 5;
+)";
+
+constexpr const char* kSecondDesign = R"(
+resource add delay 1 area 1;
+process solo deadline 8 {
+  block main time 8 {
+    s1 = a + b;
+    s2 = s1 + c;
+    s3 = s2 + d;
+  }
+}
+)";
+
+// ---------------------------------------------------------------- wire --
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void CloseA() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+TEST(Wire, FrameRoundtrip) {
+  SocketPair pair;
+  ASSERT_TRUE(serve::WriteFrame(pair.a, "hello frame").ok());
+  const serve::FrameRead frame = serve::ReadFrame(pair.b, 1 << 20);
+  ASSERT_EQ(frame.outcome, serve::FrameRead::Outcome::kFrame);
+  EXPECT_EQ(frame.payload, "hello frame");
+}
+
+TEST(Wire, CleanEofOnFrameBoundary) {
+  SocketPair pair;
+  pair.CloseA();
+  EXPECT_EQ(serve::ReadFrame(pair.b, 1 << 20).outcome,
+            serve::FrameRead::Outcome::kEof);
+}
+
+TEST(Wire, ZeroLengthFrameIsMalformed) {
+  SocketPair pair;
+  std::string prefix;
+  serve::PutU32(prefix, 0);
+  ASSERT_EQ(::write(pair.a, prefix.data(), prefix.size()),
+            static_cast<ssize_t>(prefix.size()));
+  EXPECT_EQ(serve::ReadFrame(pair.b, 1 << 20).outcome,
+            serve::FrameRead::Outcome::kMalformed);
+}
+
+TEST(Wire, OversizedDeclarationIsTooLargeWithTheClaimedSize) {
+  SocketPair pair;
+  std::string prefix;
+  serve::PutU32(prefix, 5u << 20);
+  ASSERT_EQ(::write(pair.a, prefix.data(), prefix.size()),
+            static_cast<ssize_t>(prefix.size()));
+  const serve::FrameRead frame = serve::ReadFrame(pair.b, 1 << 20);
+  EXPECT_EQ(frame.outcome, serve::FrameRead::Outcome::kTooLarge);
+  EXPECT_EQ(frame.declared, 5u << 20);
+}
+
+TEST(Wire, MidFrameDisconnectIsMalformed) {
+  SocketPair pair;
+  std::string partial;
+  serve::PutU32(partial, 100);  // declares 100 bytes...
+  partial += "only a few";      // ...delivers 10, then hangs up
+  ASSERT_EQ(::write(pair.a, partial.data(), partial.size()),
+            static_cast<ssize_t>(partial.size()));
+  pair.CloseA();
+  EXPECT_EQ(serve::ReadFrame(pair.b, 1 << 20).outcome,
+            serve::FrameRead::Outcome::kMalformed);
+}
+
+TEST(Wire, TimeoutWhenNothingArrives) {
+  SocketPair pair;
+  EXPECT_EQ(serve::ReadFrame(pair.b, 1 << 20, /*timeout_ms=*/50).outcome,
+            serve::FrameRead::Outcome::kTimeout);
+}
+
+// ------------------------------------------------------------- protocol --
+
+TEST(Protocol, RequestRoundtrip) {
+  serve::ServeRequest request;
+  request.mode = JobMode::kSearchPeriods;
+  request.flags = serve::kFlagSkipCertify;
+  request.timeout_ms = 1234;
+  request.source = "process p {}";
+  auto decoded_or = serve::DecodeRequest(serve::EncodeRequest(request));
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  EXPECT_EQ(decoded_or.value().mode, request.mode);
+  EXPECT_EQ(decoded_or.value().flags, request.flags);
+  EXPECT_EQ(decoded_or.value().timeout_ms, request.timeout_ms);
+  EXPECT_EQ(decoded_or.value().source, request.source);
+}
+
+TEST(Protocol, ResponseRoundtripKeepsHitCountsInTheHeader) {
+  serve::ServeResponse response;
+  response.status = serve::ServeStatus::kOk;
+  response.rung = 2;
+  response.evaluated = 36;
+  response.cache_hits = 7;
+  response.store_hits = 3;
+  response.payload = "{\"schema\":\"mshls-serve-v1\"}";
+  auto decoded_or = serve::DecodeResponse(serve::EncodeResponse(response));
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  EXPECT_EQ(decoded_or.value().status, serve::ServeStatus::kOk);
+  EXPECT_EQ(decoded_or.value().rung, 2);
+  EXPECT_EQ(decoded_or.value().evaluated, 36u);
+  EXPECT_EQ(decoded_or.value().cache_hits, 7u);
+  EXPECT_EQ(decoded_or.value().store_hits, 3u);
+  EXPECT_EQ(decoded_or.value().payload, response.payload);
+}
+
+TEST(Protocol, RejectsBadMagicVersionModeAndLengths) {
+  serve::ServeRequest request;
+  request.source = "x";
+  std::string bytes = serve::EncodeRequest(request);
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_FALSE(serve::DecodeRequest(bad).ok());  // magic
+  bad = bytes;
+  bad[4] = static_cast<char>(bad[4] + 1);
+  EXPECT_FALSE(serve::DecodeRequest(bad).ok());  // version
+  bad = bytes;
+  bad[8] = 17;
+  EXPECT_FALSE(serve::DecodeRequest(bad).ok());  // mode out of range
+  bad = bytes + "trailing";
+  EXPECT_FALSE(serve::DecodeRequest(bad).ok());  // length mismatch
+  serve::ServeRequest empty;
+  EXPECT_FALSE(serve::DecodeRequest(serve::EncodeRequest(empty)).ok());
+}
+
+// --------------------------------------------------------------- server --
+
+/// Bounded-lifetime server fixture on a per-test relative socket path
+/// (ctest runs in the build tree; sun_path is too short for deep
+/// absolute paths).
+struct TestServer {
+  serve::Server server;
+  explicit TestServer(serve::ServerOptions options)
+      : server(std::move(options)) {}
+  ~TestServer() {
+    server.RequestStop();
+    server.Wait();
+  }
+};
+
+serve::ServerOptions Options(const char* socket_name) {
+  serve::ServerOptions options;
+  options.socket_path = socket_name;
+  options.workers = 2;
+  return options;
+}
+
+StatusOr<serve::ServeResponse> SubmitSource(const std::string& socket_path,
+                                            const std::string& source) {
+  serve::Client client;
+  if (Status s = client.Connect(socket_path); !s.ok()) return s;
+  serve::ServeRequest request;
+  request.source = source;
+  return client.Submit(request);
+}
+
+TEST(Server, SolvesAndThenServesFromTheMemoryTier) {
+  TestServer ts(Options("st_mem.sock"));
+  ASSERT_TRUE(ts.server.Start().ok());
+  auto cold_or = SubmitSource("st_mem.sock", kTinyDesign);
+  ASSERT_TRUE(cold_or.ok()) << cold_or.status().ToString();
+  ASSERT_EQ(cold_or.value().status, serve::ServeStatus::kOk);
+  EXPECT_FALSE(cold_or.value().cache_hit());
+  EXPECT_NE(cold_or.value().payload.find("mshls-serve-v1"), std::string::npos);
+
+  auto warm_or = SubmitSource("st_mem.sock", kTinyDesign);
+  ASSERT_TRUE(warm_or.ok());
+  ASSERT_EQ(warm_or.value().status, serve::ServeStatus::kOk);
+  EXPECT_TRUE(warm_or.value().cache_hit());
+  EXPECT_FALSE(warm_or.value().store_hit());
+  // The acceptance contract: a warm response's payload is byte-identical.
+  EXPECT_EQ(cold_or.value().payload, warm_or.value().payload);
+}
+
+TEST(Server, RestartServesFromThePersistentTierBitIdentically) {
+  const fs::path dir = "st_restart_cache";
+  fs::remove_all(dir);
+  std::string cold_payload;
+  {
+    serve::DiskCache disk({dir.string()});
+    ASSERT_TRUE(disk.Open().ok());
+    serve::ServerOptions options = Options("st_restart.sock");
+    options.store = &disk;
+    TestServer ts(std::move(options));
+    ASSERT_TRUE(ts.server.Start().ok());
+    auto cold_or = SubmitSource("st_restart.sock", kTinyDesign);
+    ASSERT_TRUE(cold_or.ok());
+    ASSERT_EQ(cold_or.value().status, serve::ServeStatus::kOk);
+    cold_payload = cold_or.value().payload;
+  }
+  // Full restart: new server, new DiskCache instance, same directory.
+  serve::DiskCache disk({dir.string()});
+  ASSERT_TRUE(disk.Open().ok());
+  ASSERT_EQ(disk.entry_count(), 1u);
+  serve::ServerOptions options = Options("st_restart.sock");
+  options.store = &disk;
+  TestServer ts(std::move(options));
+  ASSERT_TRUE(ts.server.Start().ok());
+  auto warm_or = SubmitSource("st_restart.sock", kTinyDesign);
+  ASSERT_TRUE(warm_or.ok());
+  ASSERT_EQ(warm_or.value().status, serve::ServeStatus::kOk);
+  EXPECT_TRUE(warm_or.value().cache_hit());
+  EXPECT_TRUE(warm_or.value().store_hit());
+  EXPECT_EQ(warm_or.value().payload, cold_payload);
+  EXPECT_GT(disk.stats().HitRate(), 0.0);
+}
+
+TEST(Server, TypedRejectionsForOversizedAndMalformedFrames) {
+  serve::ServerOptions options = Options("st_reject.sock");
+  options.max_request_bytes = 1024;
+  TestServer ts(std::move(options));
+  ASSERT_TRUE(ts.server.Start().ok());
+
+  {
+    serve::Client client;
+    ASSERT_TRUE(client.Connect("st_reject.sock").ok());
+    serve::ServeRequest request;
+    request.source = std::string(4096, 'x');  // over the 1 KiB cap
+    auto response_or = client.Submit(request);
+    ASSERT_TRUE(response_or.ok()) << response_or.status().ToString();
+    EXPECT_EQ(response_or.value().status, serve::ServeStatus::kTooLarge);
+    EXPECT_TRUE(serve::IsRejection(response_or.value().status));
+  }
+  {
+    // Raw garbage inside a well-formed frame: malformed-frame, typed.
+    serve::Client client;
+    ASSERT_TRUE(client.Connect("st_reject.sock").ok());
+    serve::ServeRequest probe;  // only used to reach the raw socket below
+    probe.source = "x";
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::string path = "st_reject.sock";
+    std::copy(path.begin(), path.end() + 1, addr.sun_path);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_TRUE(serve::WriteFrame(fd, "this is not a request").ok());
+    const serve::FrameRead frame =
+        serve::ReadFrame(fd, serve::kAbsoluteMaxFrameBytes, 10000);
+    ASSERT_EQ(frame.outcome, serve::FrameRead::Outcome::kFrame);
+    auto response_or = serve::DecodeResponse(frame.payload);
+    ASSERT_TRUE(response_or.ok());
+    EXPECT_EQ(response_or.value().status, serve::ServeStatus::kMalformedFrame);
+    ::close(fd);
+  }
+  // The server survived both: a normal job still works.
+  auto ok_or = SubmitSource("st_reject.sock", kSecondDesign);
+  ASSERT_TRUE(ok_or.ok());
+  EXPECT_EQ(ok_or.value().status, serve::ServeStatus::kOk);
+}
+
+TEST(Server, OverloadReturnsTypedRejectionsAndNeverHangs) {
+  serve::ServerOptions options = Options("st_load.sock");
+  options.workers = 1;
+  options.queue_limit = 0;  // admission limit 1
+  TestServer ts(std::move(options));
+  ASSERT_TRUE(ts.server.Start().ok());
+
+  constexpr int kClients = 12;
+  constexpr int kRounds = 6;
+  std::atomic<long> ok{0}, overloaded{0}, other{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&] {
+      serve::Client client;
+      if (!client.Connect("st_load.sock").ok()) {
+        ++other;
+        return;
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        serve::ServeRequest request;
+        request.source = kTinyDesign;
+        auto response_or = client.Submit(request);
+        if (!response_or.ok()) {
+          ++other;
+          continue;
+        }
+        switch (response_or.value().status) {
+          case serve::ServeStatus::kOk: ++ok; break;
+          case serve::ServeStatus::kOverloaded: ++overloaded; break;
+          default: ++other; break;
+        }
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok + overloaded + other, kClients * kRounds);
+  EXPECT_GT(ok.load(), 0);          // somebody always gets through
+  EXPECT_GT(overloaded.load(), 0);  // and the bound actually rejects
+  EXPECT_EQ(other.load(), 0);       // no crashes, hangs or malformed frames
+  EXPECT_GT(ts.server.stats().rejected_overloaded, 0);
+}
+
+TEST(Server, ConcurrentClientsGetBitIdenticalResponsesAtAnyWorkerCount) {
+  const std::vector<std::string> sources = {kTinyDesign, kSecondDesign};
+  // payloads[w][design index] for worker counts 1, 2, 8.
+  std::map<int, std::vector<std::string>> payloads;
+  for (int workers : {1, 2, 8}) {
+    serve::ServerOptions options = Options("st_jobs.sock");
+    options.workers = workers;
+    TestServer ts(std::move(options));
+    ASSERT_TRUE(ts.server.Start().ok());
+    std::vector<std::string> responses(sources.size());
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < sources.size(); ++i)
+      clients.emplace_back([&, i] {
+        auto response_or = SubmitSource("st_jobs.sock", sources[i]);
+        if (response_or.ok() &&
+            response_or.value().status == serve::ServeStatus::kOk)
+          responses[i] = response_or.value().payload;
+      });
+    for (std::thread& t : clients) t.join();
+    for (const std::string& payload : responses) EXPECT_FALSE(payload.empty());
+    payloads[workers] = std::move(responses);
+  }
+  EXPECT_EQ(payloads[1], payloads[2]);
+  EXPECT_EQ(payloads[1], payloads[8]);
+}
+
+TEST(Server, DrainAnswersShuttingDownAndRemovesTheSocket) {
+  serve::ServerOptions options = Options("st_drain.sock");
+  auto* ts = new TestServer(std::move(options));
+  ASSERT_TRUE(ts->server.Start().ok());
+
+  serve::Client client;
+  ASSERT_TRUE(client.Connect("st_drain.sock").ok());
+  ts->server.RequestStop();
+  // The open connection is answered with a typed shutting-down until the
+  // drain completes (or the connection is dropped — both are clean).
+  serve::ServeRequest request;
+  request.source = kTinyDesign;
+  auto response_or = client.Submit(request, /*timeout_ms=*/10000);
+  if (response_or.ok())
+    EXPECT_EQ(response_or.value().status, serve::ServeStatus::kShuttingDown);
+  delete ts;  // joins everything
+  EXPECT_FALSE(fs::exists("st_drain.sock"));
+}
+
+TEST(Server, JobFailureIsAFailureNotARejection) {
+  TestServer ts(Options("st_fail.sock"));
+  ASSERT_TRUE(ts.server.Start().ok());
+  auto response_or = SubmitSource("st_fail.sock", "this does not parse");
+  ASSERT_TRUE(response_or.ok());
+  EXPECT_EQ(response_or.value().status, serve::ServeStatus::kJobFailed);
+  EXPECT_FALSE(serve::IsRejection(response_or.value().status));
+  EXPECT_FALSE(response_or.value().payload.empty());
+}
+
+}  // namespace
+}  // namespace mshls

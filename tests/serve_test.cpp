@@ -1,0 +1,334 @@
+// Persistence layer of the scheduling service: the CoupledResult codec
+// and the on-disk fingerprint cache — roundtrips, crash-safety (torn /
+// corrupt / truncated / foreign-version entries are skipped, never
+// crash), warm restarts and LRU eviction under a size budget.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "frontend/lowering.h"
+#include "modulo/coupled_scheduler.h"
+#include "modulo/schedule_cache.h"
+#include "report/experiment_report.h"
+#include "serve/disk_cache.h"
+#include "serve/result_codec.h"
+
+namespace mshls {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kTinyDesign = R"(
+resource add  delay 1 area 1;
+resource mult delay 2 dii 1 area 4;
+
+process alpha deadline 10 {
+  block main time 10 {
+    m1 = a * b;
+    m2 = c * d;
+    s1 = m1 + m2;
+    y  = s1 + e;
+  }
+}
+process beta deadline 10 {
+  block main time 10 {
+    m1 = p * q;
+    y  = m1 + r;
+  }
+}
+share add  among alpha, beta period 5;
+share mult among alpha, beta period 5;
+)";
+
+constexpr const char* kOtherDesign = R"(
+resource add delay 1 area 1;
+process solo deadline 8 {
+  block main time 8 {
+    s1 = a + b;
+    s2 = s1 + c;
+  }
+}
+)";
+
+SystemModel Compile(const char* text) {
+  auto model_or = CompileSystem(text);
+  EXPECT_TRUE(model_or.ok()) << model_or.status().ToString();
+  return std::move(model_or).value();
+}
+
+CoupledResult Solve(SystemModel& model) {
+  CoupledScheduler scheduler(model, CoupledParams{});
+  auto run = scheduler.Run();
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return std::move(run).value();
+}
+
+bool SameSchedule(const SystemSchedule& a, const SystemSchedule& b) {
+  if (a.blocks.size() != b.blocks.size()) return false;
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    if (a.blocks[i].size() != b.blocks[i].size()) return false;
+    for (std::size_t op = 0; op < a.blocks[i].size(); ++op)
+      if (a.blocks[i].start(OpId(static_cast<std::int32_t>(op))) !=
+          b.blocks[i].start(OpId(static_cast<std::int32_t>(op))))
+        return false;
+  }
+  return true;
+}
+
+/// Fresh (pre-cleaned) per-test directory under the build tree.
+fs::path TestDir(const char* name) {
+  fs::path dir = fs::path("serve_test_tmp") / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// --------------------------------------------------------------- codec --
+
+TEST(ResultCodec, RoundtripsScheduleStatsAndAllocation) {
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  const CoupledResult original = Solve(model);
+
+  const std::string bytes = serve::EncodeResult(original);
+  auto decoded_or = serve::DecodeResult(bytes, model);
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  const CoupledResult& decoded = decoded_or.value();
+
+  EXPECT_TRUE(SameSchedule(original.schedule, decoded.schedule));
+  EXPECT_EQ(original.iterations, decoded.iterations);
+  EXPECT_EQ(original.stats.candidates_evaluated,
+            decoded.stats.candidates_evaluated);
+  // The allocation is re-derived, not stored — and must still match.
+  EXPECT_EQ(SummarizeAllocation(model, original.allocation),
+            SummarizeAllocation(model, decoded.allocation));
+  EXPECT_EQ(original.allocation.TotalArea(model.library()),
+            decoded.allocation.TotalArea(model.library()));
+}
+
+TEST(ResultCodec, RejectsTruncationAtEveryLength) {
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  const std::string bytes = serve::EncodeResult(Solve(model));
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_FALSE(serve::DecodeResult(bytes.substr(0, len), model).ok())
+        << "prefix of " << len << " bytes decoded";
+}
+
+TEST(ResultCodec, RejectsTrailingBytesForeignVersionAndWrongModel) {
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  const std::string bytes = serve::EncodeResult(Solve(model));
+
+  EXPECT_FALSE(serve::DecodeResult(bytes + "x", model).ok());
+
+  std::string versioned = bytes;
+  versioned[0] = static_cast<char>(versioned[0] + 1);  // format version LSB
+  EXPECT_FALSE(serve::DecodeResult(versioned, model).ok());
+
+  SystemModel other = Compile(kOtherDesign);
+  ASSERT_TRUE(other.Validate().ok());
+  EXPECT_FALSE(serve::DecodeResult(bytes, other).ok());
+}
+
+// ----------------------------------------------------------- disk cache --
+
+TEST(DiskCache, RoundtripsAndSurvivesRestart) {
+  const fs::path dir = TestDir("roundtrip");
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  const CoupledResult result = Solve(model);
+  const std::uint64_t key = ScheduleCacheKey(model, CoupledParams{});
+
+  {
+    serve::DiskCache cache({dir.string()});
+    ASSERT_TRUE(cache.Open().ok());
+    EXPECT_FALSE(cache.Load(key, model).has_value());  // cold miss
+    cache.Store(key, model, result);
+    EXPECT_EQ(cache.entry_count(), 1u);
+    auto hit = cache.Load(key, model);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(SameSchedule(result.schedule, hit->schedule));
+    EXPECT_EQ(cache.stats().hits, 1);
+    EXPECT_EQ(cache.stats().insertions, 1);
+  }
+  // A fresh instance over the same directory — the warm restart.
+  serve::DiskCache reopened({dir.string()});
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.entry_count(), 1u);
+  auto hit = reopened.Load(key, model);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(SameSchedule(result.schedule, hit->schedule));
+}
+
+TEST(DiskCache, SkipsCorruptTruncatedAndGarbageEntries) {
+  const fs::path dir = TestDir("corrupt");
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  const CoupledResult result = Solve(model);
+  const std::uint64_t key = ScheduleCacheKey(model, CoupledParams{});
+
+  serve::DiskCache writer({dir.string()});
+  ASSERT_TRUE(writer.Open().ok());
+  writer.Store(key, model, result);
+  const fs::path entry = dir / serve::DiskCache::EntryFileName(key);
+  ASSERT_TRUE(fs::exists(entry));
+  std::string bytes;
+  {
+    std::ifstream in(entry, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+
+  auto expect_skipped = [&](const std::string& mutated, const char* what) {
+    serve::DiskCache cache({dir.string(), /*max_bytes=*/256u << 20,
+                            /*warn_on_skip=*/false});
+    {
+      std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+    ASSERT_TRUE(cache.Open().ok());
+    EXPECT_FALSE(cache.Load(key, model).has_value()) << what;
+    EXPECT_EQ(cache.stats().skipped_corrupt, 1) << what;
+    // The bad entry was dropped; a later Store may rewrite it cleanly.
+    EXPECT_FALSE(fs::exists(entry)) << what;
+  };
+
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x5a);
+  expect_skipped(flipped, "bit flip");
+  expect_skipped(bytes.substr(0, bytes.size() / 2), "truncation");
+  expect_skipped("not a cache entry at all", "garbage");
+  expect_skipped("", "empty file");
+}
+
+TEST(DiskCache, SkipsForeignEnvelopeVersion) {
+  const fs::path dir = TestDir("version");
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  const std::uint64_t key = ScheduleCacheKey(model, CoupledParams{});
+  serve::DiskCache writer({dir.string()});
+  ASSERT_TRUE(writer.Open().ok());
+  writer.Store(key, model, Solve(model));
+
+  const fs::path entry = dir / serve::DiskCache::EntryFileName(key);
+  std::string bytes;
+  {
+    std::ifstream in(entry, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[4] = static_cast<char>(bytes[4] + 1);  // envelope version LSB
+  {
+    std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  serve::DiskCache cache({dir.string(), /*max_bytes=*/256u << 20,
+                          /*warn_on_skip=*/false});
+  ASSERT_TRUE(cache.Open().ok());
+  EXPECT_FALSE(cache.Load(key, model).has_value());
+  EXPECT_EQ(cache.stats().skipped_version, 1);
+  EXPECT_EQ(cache.stats().skipped_corrupt, 0);
+}
+
+TEST(DiskCache, SweepsTmpResidueFromKilledWriter) {
+  const fs::path dir = TestDir("tmp_residue");
+  // Simulate a writer killed between tmp write and rename.
+  {
+    std::ofstream out(dir / "0123456789abcdef.msc.tmp42.1", std::ios::binary);
+    out << "half-written entry";
+  }
+  serve::DiskCache cache({dir.string()});
+  ASSERT_TRUE(cache.Open().ok());
+  EXPECT_EQ(cache.stats().dropped_tmp, 1);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_FALSE(fs::exists(dir / "0123456789abcdef.msc.tmp42.1"));
+}
+
+TEST(DiskCache, EvictsLeastRecentlyUsedUnderBudget) {
+  const fs::path dir = TestDir("lru");
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  const CoupledResult result = Solve(model);
+  const std::uint64_t key = ScheduleCacheKey(model, CoupledParams{});
+
+  // Measure one entry, then budget for exactly two.
+  serve::DiskCache probe({dir.string()});
+  ASSERT_TRUE(probe.Open().ok());
+  probe.Store(key, model, result);
+  const std::uint64_t entry_bytes = probe.total_bytes();
+  ASSERT_GT(entry_bytes, 0u);
+  fs::remove_all(dir);
+
+  serve::DiskCache cache({dir.string(), /*max_bytes=*/2 * entry_bytes + 1});
+  ASSERT_TRUE(cache.Open().ok());
+  // Distinct keys, same payload (the cache never cross-checks key vs
+  // content on Store — the key IS the fingerprint upstream).
+  cache.Store(key, model, result);
+  cache.Store(key + 1, model, result);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  // Touch the oldest so the *other* one is now least-recent.
+  EXPECT_TRUE(cache.Load(key, model).has_value());
+  cache.Store(key + 2, model, result);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(fs::exists(dir / serve::DiskCache::EntryFileName(key)));
+  EXPECT_FALSE(fs::exists(dir / serve::DiskCache::EntryFileName(key + 1)));
+  EXPECT_TRUE(fs::exists(dir / serve::DiskCache::EntryFileName(key + 2)));
+}
+
+TEST(DiskCache, RejectsEntriesLargerThanTheWholeBudget) {
+  const fs::path dir = TestDir("oversize");
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  serve::DiskCache cache({dir.string(), /*max_bytes=*/16});
+  ASSERT_TRUE(cache.Open().ok());
+  cache.Store(7, model, Solve(model));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.stats().rejected_oversize, 1);
+}
+
+// -------------------------------------------------- two-tier integration --
+
+TEST(ScheduleWithCache, StoreHitSkipsTheSolverAndPromotes) {
+  const fs::path dir = TestDir("two_tier");
+  serve::DiskCache disk({dir.string()});
+  ASSERT_TRUE(disk.Open().ok());
+
+  SystemModel cold_model = Compile(kTinyDesign);
+  ScheduleCache cold_cache;
+  bool hit = true, store_hit = true;
+  auto cold = ScheduleWithCache(cold_model, CoupledParams{}, &cold_cache, &hit,
+                                &disk, &store_hit);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_FALSE(store_hit);
+
+  // New process simulation: fresh memory tier, same disk.
+  SystemModel warm_model = Compile(kTinyDesign);
+  ScheduleCache warm_cache;
+  auto warm = ScheduleWithCache(warm_model, CoupledParams{}, &warm_cache, &hit,
+                                &disk, &store_hit);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(store_hit);
+  EXPECT_TRUE(SameSchedule(cold.value().schedule, warm.value().schedule));
+  // Promoted: the next lookup hits the memory tier, not the disk.
+  EXPECT_EQ(warm_cache.stats().insertions, 1);
+  const long long disk_hits_before = disk.stats().hits;
+  bool hit2 = false, store_hit2 = true;
+  auto memory = ScheduleWithCache(warm_model, CoupledParams{}, &warm_cache,
+                                  &hit2, &disk, &store_hit2);
+  ASSERT_TRUE(memory.ok());
+  EXPECT_TRUE(hit2);
+  EXPECT_FALSE(store_hit2);
+  EXPECT_EQ(disk.stats().hits, disk_hits_before);
+}
+
+}  // namespace
+}  // namespace mshls
