@@ -1,0 +1,258 @@
+// Experiment R1 — online schedule repair vs resolving from scratch.
+//
+// The acceptance workload is the 10-process x 24-op coupled system (the
+// same generator recipe as C1 and the obs acceptance bound). For each
+// perturbation class the bench answers the delta twice:
+//
+//   fresh:  ApplyDelta, then the full cold pipeline on the post-delta
+//           model (schedule + bind + certify);
+//   repair: RepairSchedule off the certified base — untouched processes
+//           keep their start steps pinned, then the same certifier gate.
+//
+// Both sides end in a clean certificate, so the comparison is price for
+// the same artifact. The headline metric is the MEDIAN speedup across
+// the single-process perturbations (deadline / remove / add) — the
+// pool-level classes (retime / period / group) legally perturb every
+// member process, so repair approaches a full resolve there and they are
+// reported as context, not counted in the acceptance median.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bind/binding.h"
+#include "common/text_table.h"
+#include "modulo/coupled_scheduler.h"
+#include "modulo/repair.h"
+#include "report/bench_json.h"
+#include "verify/certifier.h"
+#include "workloads/benchmarks.h"
+
+using namespace mshls;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The C1/obs-scale generator: n processes of `ops` random ops each,
+/// global mult + add pools with period 4, deadline 16.
+SystemModel MakeCoupledSystem(int n_processes, int ops) {
+  SystemModel model;
+  const PaperTypes t = AddPaperTypes(model.library());
+  Rng rng(42);
+  std::vector<ProcessId> procs;
+  for (int i = 0; i < n_processes; ++i) {
+    RandomDfgOptions options;
+    options.ops = ops;
+    options.layers = 3;
+    options.mult_probability = 0.3;
+    DataFlowGraph g = BuildRandomDfg(t, rng, options);
+    const ProcessId p = model.AddProcess("p" + std::to_string(i), 16);
+    model.AddBlock(p, "b", std::move(g), 16);
+    procs.push_back(p);
+  }
+  model.MakeGlobal(t.mult, procs);
+  model.SetPeriod(t.mult, 4);
+  model.MakeGlobal(t.add, procs);
+  model.SetPeriod(t.add, 4);
+  return model;
+}
+
+struct DeltaCase {
+  const char* name;
+  const char* scope;  // "process" (counts toward the median) or "pool"
+  const char* text;   // sidecar delta source
+};
+
+constexpr DeltaCase kCases[] = {
+    {"deadline-tighten-p1", "process", "deadline p1 12 time 12;"},
+    {"deadline-tighten-p4", "process", "deadline p4 12 time 12;"},
+    {"deadline-loosen-p7", "process", "deadline p7 20;"},
+    {"remove-p2", "process", "remove process p2;"},
+    {"remove-p8", "process", "remove process p8;"},
+    {"add-process", "process",
+     "add process live deadline 16 {\n"
+     "  block b time 16 {\n"
+     "    m1 = a * b;\n"
+     "    m2 = m1 * c;\n"
+     "    s1 = m2 + d;\n"
+     "    s2 = s1 + e;\n"
+     "    m3 = s2 * f;\n"
+     "    s3 = m3 + g;\n"
+     "    s4 = s3 + h;\n"
+     "    s5 = s4 + i;\n"
+     "  }\n"
+     "}\n"},
+    {"retime-mult", "pool", "retime mult delay 3;"},
+    {"period-mult-2", "pool", "period mult 2;"},
+    {"group-shrink-mult", "pool",
+     "group mult p0, p1, p2, p3, p4, p5, p6, p7, p8;"},
+};
+
+struct Timed {
+  double ms = 0;
+  bool certified = false;
+};
+
+/// Median of the per-repeat times (both sides repeat the same work).
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0 : v[v.size() / 2];
+}
+
+/// The fresh side: the full cold pipeline on the post-delta model.
+Timed RunFresh(const SystemModel& base, const ModelDelta& delta) {
+  Timed timed;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto post_or = ApplyDelta(base, delta);
+  if (!post_or.ok()) return timed;
+  SystemModel post = std::move(post_or).value();
+  CoupledScheduler scheduler(post, CoupledParams{});
+  auto result_or = scheduler.Run();
+  if (!result_or.ok()) return timed;
+  CoupledResult result = std::move(result_or).value();
+  auto binding_or = BindSystem(post, result.schedule, result.allocation);
+  timed.certified =
+      binding_or.ok() &&
+      CertifyResult(post, result, &binding_or.value()).ok();
+  timed.ms = MsSince(t0);
+  return timed;
+}
+
+Timed RunRepair(const SystemModel& base, const CoupledResult& old,
+                const ModelDelta& delta, RepairRung* rung, int* pinned) {
+  Timed timed;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto repaired_or = RepairSchedule(base, old, delta);
+  if (!repaired_or.ok()) return timed;
+  const RepairResult& repaired = repaired_or.value();
+  // The independent gate: never trust repair's internal certificate.
+  timed.certified = repaired.certificate.ok() &&
+                    CertifyResult(*repaired.model, repaired.result).ok();
+  timed.ms = MsSince(t0);
+  *rung = repaired.rung;
+  *pinned = repaired.pinned_ops;
+  return timed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_file = TakeJsonFlag(argc, argv);
+  int processes = 10;
+  int ops = 24;
+  int repeats = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--processes" && i + 1 < argc)
+      processes = std::atoi(argv[++i]);
+    else if (flag == "--ops" && i + 1 < argc) ops = std::atoi(argv[++i]);
+    else if (flag == "--repeats" && i + 1 < argc)
+      repeats = std::atoi(argv[++i]);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--processes n] [--ops n] [--repeats n] "
+                   "[--json file]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("== R1: online repair vs fresh resolve ==\n\n");
+  std::printf("%d process(es) x %d op(s), %d repeat(s) per side\n\n",
+              processes, ops, repeats);
+
+  SystemModel base = MakeCoupledSystem(processes, ops);
+  if (!base.Validate().ok()) {
+    std::fprintf(stderr, "base workload failed validation\n");
+    return 1;
+  }
+  CoupledScheduler scheduler(base, CoupledParams{});
+  auto old_or = scheduler.Run();
+  if (!old_or.ok()) {
+    std::fprintf(stderr, "base solve failed: %s\n",
+                 old_or.status().ToString().c_str());
+    return 1;
+  }
+  const CoupledResult old = std::move(old_or).value();
+  if (!CertifyResult(base, old).ok()) {
+    std::fprintf(stderr, "base schedule failed certification\n");
+    return 1;
+  }
+
+  BenchJson json("R1", "repair");
+  json.params().I("processes", processes).I("ops", ops).I("repeats", repeats);
+
+  TextTable table;
+  table.SetHeader({"case", "scope", "fresh [ms]", "repair [ms]", "speedup",
+                   "rung", "pinned"});
+  for (std::size_t c = 2; c < 7; ++c) table.AlignRight(c);
+
+  std::vector<double> single_speedups;
+  bool all_certified = true;
+  for (const DeltaCase& dcase : kCases) {
+    auto delta_or = ParseDelta(dcase.text, base);
+    if (!delta_or.ok()) {
+      std::fprintf(stderr, "%s: bad delta: %s\n", dcase.name,
+                   delta_or.status().ToString().c_str());
+      return 1;
+    }
+    const ModelDelta& delta = delta_or.value();
+    std::vector<double> fresh_ms, repair_ms;
+    bool certified = true;
+    RepairRung rung = RepairRung::kInPlace;
+    int pinned = 0;
+    for (int r = 0; r < repeats; ++r) {
+      const Timed fresh = RunFresh(base, delta);
+      const Timed repair = RunRepair(base, old, delta, &rung, &pinned);
+      certified = certified && fresh.certified && repair.certified;
+      fresh_ms.push_back(fresh.ms);
+      repair_ms.push_back(repair.ms);
+    }
+    all_certified = all_certified && certified;
+    const double fresh = Median(fresh_ms);
+    const double repair = Median(repair_ms);
+    const double speedup = repair <= 0 ? 0 : fresh / repair;
+    if (std::string(dcase.scope) == "process")
+      single_speedups.push_back(speedup);
+    table.AddRow({dcase.name, dcase.scope, FormatDouble(fresh, 2),
+                  FormatDouble(repair, 2), FormatDouble(speedup, 1),
+                  RepairRungName(rung), std::to_string(pinned)});
+    json.AddRow()
+        .S("case", dcase.name)
+        .S("scope", dcase.scope)
+        .D("fresh_ms", fresh)
+        .D("repair_ms", repair)
+        .D("speedup", speedup)
+        .S("rung", RepairRungName(rung))
+        .I("pinned_ops", pinned)
+        .B("certified", certified);
+  }
+
+  const double median_speedup = Median(single_speedups);
+  json.params().D("median_speedup_single_process", median_speedup);
+  json.params().B("all_certified", all_certified);
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("median single-process speedup: %.1fx (acceptance floor 5x)\n",
+              median_speedup);
+  if (!all_certified) {
+    std::fprintf(stderr, "FAIL: a repaired or fresh schedule did not "
+                         "certify\n");
+    return 1;
+  }
+  if (median_speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: median single-process speedup %.2fx is "
+                         "below the 5x acceptance floor\n",
+                 median_speedup);
+    return 1;
+  }
+  if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
+  return 0;
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates the committed performance baselines (BENCH_coupled.json and
-# BENCH_service.json at the repo root) in the default RelWithDebInfo tree.
+# Regenerates the committed performance baselines (BENCH_coupled.json,
+# BENCH_service.json and BENCH_repair.json at the repo root) in the
+# default RelWithDebInfo tree.
 #
 # C1 (bench_coupled) runs the full A-series scaling ladder in the three
 # engine configurations (serial-naive, incremental, incremental + jobs)
@@ -11,9 +12,14 @@
 # overload phase — and cross-checks that cold and warm-restart payloads
 # are byte-identical and that overload produces only typed rejections.
 #
-# Both benches exit non-zero on any divergence, so a regenerated baseline
+# R1 (bench_repair) answers one perturbation per delta class twice —
+# fresh post-delta resolve vs RepairSchedule off the certified base — and
+# enforces the acceptance floor itself: a median single-process speedup
+# below 5x (or any uncertified schedule on either side) exits non-zero.
+#
+# All benches exit non-zero on any divergence, so a regenerated baseline
 # is also a consistency run. Numbers are machine-dependent — re-record
-# EXPERIMENTS.md §C1/§S1 alongside when refreshing the files. Each emitted
+# EXPERIMENTS.md §C1/§S1/§R1 alongside when refreshing the files. Each emitted
 # file is validated against the shared mshls-bench-v1 schema (every bench
 # binary emits the same envelope via --json; see src/report/bench_json.h)
 # before it is accepted as the new baseline.
@@ -26,14 +32,15 @@ build="${1:-build}"
 
 cmake -B "${build}" -S . > /dev/null
 cmake --build "${build}" --target bench_coupled bench_service \
-      -j "$(nproc)" > /dev/null
+      bench_repair -j "$(nproc)" > /dev/null
 "${build}/bench/bench_coupled" --json BENCH_coupled.json
 # bench_service binds its socket next to its cwd (sun_path is short);
 # run it from the build tree and move the baseline into place.
 (cd "${build}/bench" && ./bench_service --json BENCH_service.json)
 mv "${build}/bench/BENCH_service.json" BENCH_service.json
+"${build}/bench/bench_repair" --json BENCH_repair.json
 
-python3 - BENCH_coupled.json BENCH_service.json <<'EOF'
+python3 - BENCH_coupled.json BENCH_service.json BENCH_repair.json <<'EOF'
 import json, sys
 
 # Per-experiment required row keys on top of the shared envelope.
@@ -42,6 +49,8 @@ ROW_KEYS = {
            "trace_overhead_pct", "candidates_evaluated"),
     "S1": ("phase", "ok", "rejected", "failed", "jobs_per_sec",
            "p50_ms", "p99_ms"),
+    "R1": ("case", "scope", "fresh_ms", "repair_ms", "speedup", "rung",
+           "pinned_ops", "certified"),
 }
 
 for path in sys.argv[1:]:
@@ -74,6 +83,12 @@ for path in sys.argv[1:]:
         for key in row_keys:
             if key not in row:
                 fail(f"row {i} missing {key!r}")
+    if doc["experiment"] == "R1":
+        params = doc["params"]
+        if params.get("median_speedup_single_process", 0) < 5:
+            fail("median single-process repair speedup below the 5x floor")
+        if params.get("all_certified") is not True:
+            fail("a schedule on either side failed certification")
     print(f"{path}: mshls-bench-v1 OK "
           f"({doc['experiment']}/{doc['name']}, {len(doc['rows'])} row(s))")
 EOF

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Sanitizer sweep for the robustness-critical subsystems: builds the tree
 # with -DMSHLS_SANITIZE=address and =undefined and runs the `verify`,
-# `engine`, `fuzz`, `perf`, `obs` and `serve` ctest labels (certifier, fault
+# `engine`, `fuzz`, `perf`, `obs`, `serve` and `repair` ctest labels (certifier, fault
 # injection, degradation ladder, thread pool / job service, generative
 # fuzzer, incremental-force-engine consistency, tracer/metrics and the
 # trace determinism contract) under each, plus a bounded differential fuzz
@@ -31,7 +31,7 @@ for san in address undefined; do
   cmake -B "${build}" -S . -DMSHLS_SANITIZE="${san}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j "${jobs}" > /dev/null
-  ctest --test-dir "${build}" -L 'verify|engine|fuzz|perf|obs|serve' \
+  ctest --test-dir "${build}" -L 'verify|engine|fuzz|perf|obs|serve|repair' \
         --output-on-failure -j "${jobs}"
   "${build}/src/tools/mshlsc" --fuzz 50:1 --jobs 2 \
         --fuzz-dir "${build}/fuzz-check"
@@ -79,4 +79,21 @@ for san in address undefined; do
     exit 1
   fi
 done
+
+# TSan leg: the repair ladder reuses the coupled scheduler's parallel
+# candidate sweep under pinned starts, and the perturb campaign fans cases
+# out across a worker pool — the `repair` label pins bit-identity at
+# workers 1/2/8, so a data race would show up either as a TSan report or
+# as a divergence. The `perf` label rides along: it holds the
+# incremental-vs-recompute referee tests, the other place where worker
+# threads share scheduler state.
+build="build-tsan"
+echo "==> MSHLS_SANITIZE=thread (${build})"
+cmake -B "${build}" -S . -DMSHLS_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "${build}" -j "${jobs}" > /dev/null
+ctest --test-dir "${build}" -L 'perf|repair' \
+      --output-on-failure -j "${jobs}"
+"${build}/src/tools/mshlsc" --fuzz-repair 25:1 --jobs 4 \
+      --fuzz-dir "${build}/fuzz-repair-check"
 echo "==> all sanitizer runs passed"

@@ -178,6 +178,119 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
   return Status::Ok();
 }
 
+/// The repair pipeline (job.repair present): parse delta -> look the base
+/// schedule up in the cache tiers -> walk the repair ladder -> bind the
+/// winner for area accounting. Certification happens per rung inside
+/// RepairSchedule and cannot be switched off.
+Status RunRepair(const SchedulingJob& job, const SystemModel& base,
+                 JobResult& out, obs::TraceTrack* track) {
+  if (job.mode != JobMode::kCoupled)
+    return Status{StatusCode::kInvalidArgument,
+                  std::string("repair requires coupled mode, got ") +
+                      JobModeName(job.mode)};
+  const RepairRequest& request = *job.repair;
+
+  ModelDelta delta;
+  if (request.delta.has_value()) {
+    delta = *request.delta;
+  } else {
+    obs::ScopedSpan parse_span(track, "parse-delta");
+    auto delta_or = ParseDelta(request.delta_source, base);
+    if (!delta_or.ok()) return delta_or.status();
+    delta = std::move(delta_or).value();
+  }
+
+  const auto poll = [&]() -> Status {
+    return job.cancel ? job.cancel->Poll() : Status::Ok();
+  };
+  const CoupledParams params = InstrumentParams(job);
+
+  // The base schedule: served from a cache tier, or (CLI mode) solved on
+  // the spot. A daemon sets solve_base_if_missing=false so an evicted base
+  // comes back as a typed kNotFound rejection instead of a silent full
+  // solve under a repair label.
+  CoupledResult old;
+  bool have_old = false;
+  const std::uint64_t base_key = ScheduleCacheKey(base, params);
+  if (job.cache != nullptr) {
+    if (std::optional<CoupledResult> found = job.cache->Lookup(base_key)) {
+      old = *std::move(found);
+      have_old = true;
+    }
+  }
+  if (!have_old && job.store != nullptr) {
+    SystemModel base_copy = base;
+    if (std::optional<CoupledResult> found =
+            job.store->Load(base_key, base_copy)) {
+      old = *std::move(found);
+      have_old = true;
+      if (job.cache != nullptr) job.cache->Insert(base_key, old);
+    }
+  }
+  if (!have_old) {
+    if (!request.solve_base_if_missing)
+      return Status{StatusCode::kNotFound,
+                    "base schedule unknown (not in any cache tier): solve "
+                    "the base first or resubmit without --repair"};
+    if (Status s = poll(); !s.ok()) return s;
+    obs::ScopedSpan base_span(track, "solve-base");
+    SystemModel base_copy = base;
+    bool hit = false;
+    bool store_hit = false;
+    auto run_or = ScheduleWithCache(base_copy, params, job.cache, &hit,
+                                    job.store, &store_hit);
+    if (!run_or.ok())
+      return Status{run_or.status().code(),
+                    "base solve: " + run_or.status().message()};
+    old = std::move(run_or).value();
+    out.evaluated += 1;
+    out.cache_hits += hit ? 1 : 0;
+    out.store_hits += store_hit ? 1 : 0;
+  }
+
+  if (Status s = poll(); !s.ok()) return s;
+  RepairOptions options;
+  options.params = params;
+  options.cache = job.cache;
+  options.store = job.store;
+  options.jobs = job.jobs;
+  auto repaired_or = RepairSchedule(base, old, delta, options);
+  if (!repaired_or.ok()) return repaired_or.status();
+  RepairResult repaired = std::move(repaired_or).value();
+  out.evaluated += repaired.evaluated;
+  out.cache_hits += repaired.cache_hits;
+  out.store_hits += repaired.store_hits;
+  out.repaired = true;
+  out.repair_rung = repaired.rung;
+  out.repair_attempts = std::move(repaired.attempts);
+  out.result = std::move(repaired.result);
+
+  const SystemModel& model = *repaired.model;
+  out.area = out.result.allocation.TotalArea(model.library());
+
+  if (Status s = poll(); !s.ok()) return s;
+  obs::ScopedSpan bind_span(track, "bind");
+  auto binding = BindSystem(model, out.result.schedule, out.result.allocation);
+  if (!binding.ok()) return binding.status();
+  out.full_area = ComputeAreaBreakdown(model, out.result.schedule,
+                                       out.result.allocation, binding.value())
+                      .total_area;
+  bind_span.Close();
+
+  if (job.simulate_activations > 0) {
+    SystemSimulator sim(model, out.result.schedule, out.result.allocation);
+    TraceOptions trace_options;
+    trace_options.activations_per_process = job.simulate_activations;
+    const SimReport report =
+        sim.Run(RandomActivationTrace(model, trace_options));
+    if (!report.ok)
+      return Status{StatusCode::kInternal,
+                    "simulated activation trace hit a resource conflict"};
+  }
+  if (job.keep_model) out.model = repaired.model;
+  return Status::Ok();
+}
+
 }  // namespace
 
 const char* JobModeName(JobMode mode) {
@@ -248,6 +361,18 @@ JobResult RunSchedulingJob(const SchedulingJob& job) {
       auto model_or = CompileSystem(job.source);
       if (!model_or.ok()) return finish(model_or.status());
       model = std::move(model_or).value();
+    }
+
+    // Repair jobs bypass the degradation ladder: the repair pipeline walks
+    // its own certificate-gated ladder (modulo/repair.h).
+    if (job.repair.has_value()) {
+      Status attempt;
+      try {
+        attempt = RunRepair(job, model, out, track);
+      } catch (const CancelledError& e) {
+        attempt = Status{e.code(), e.what()};
+      }
+      return finish(std::move(attempt));
     }
 
     // Stages 2-4 under the degradation ladder: each rung gets a fresh model

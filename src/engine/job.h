@@ -16,6 +16,7 @@
 #include "model/system_model.h"
 #include "modulo/assignment_search.h"
 #include "modulo/period_search.h"
+#include "modulo/repair.h"
 #include "modulo/schedule_cache.h"
 
 namespace mshls {
@@ -28,6 +29,23 @@ enum class JobMode {
 };
 
 [[nodiscard]] const char* JobModeName(JobMode mode);
+
+/// Turns a SchedulingJob into a *repair* job (modulo/repair.h): instead of
+/// solving `source` from scratch, the job treats it as the base system,
+/// looks its certified schedule up in the cache tiers by
+/// ScheduleCacheKey(base, params), applies the delta and walks the repair
+/// ladder. Requires JobMode::kCoupled.
+struct RepairRequest {
+  /// Sidecar delta text (see ParseDelta); used when `delta` is not preset.
+  std::string delta_source;
+  /// Pre-parsed delta: skips the parse stage when set.
+  std::optional<ModelDelta> delta;
+  /// When the base schedule is in no cache tier: true solves the base
+  /// first (CLI behaviour — always works, just slower); false fails the
+  /// job with kNotFound (daemon behaviour — an evicted/unknown base is a
+  /// typed rejection, the client must resubmit a full solve).
+  bool solve_base_if_missing = true;
+};
 
 struct SchedulingJob {
   /// Display name (batch reports, logs); defaults to "job".
@@ -65,6 +83,10 @@ struct SchedulingJob {
   /// Fallback rungs tried in order when an attempt fails with a degradable
   /// status (see engine/degradation.h). {kAsRequested} disables fallback.
   std::vector<DegradationRung> ladder = DefaultLadder();
+  /// Present => this is a repair job; the repair ladder replaces the
+  /// degradation ladder above (repairs have their own, always
+  /// certificate-gated — see modulo/repair.h).
+  std::optional<RepairRequest> repair;
 };
 
 struct JobResult {
@@ -88,6 +110,11 @@ struct JobResult {
   /// Every rung tried, in order, with its outcome; empty when the job
   /// failed before scheduling (e.g. in the compile stage).
   std::vector<RungAttempt> attempts;
+  /// Repair jobs only: true when the result came from the repair pipeline,
+  /// with the winning repair rung and every repair attempt in order.
+  bool repaired = false;
+  RepairRung repair_rung = RepairRung::kInPlace;
+  std::vector<RepairAttempt> repair_attempts;
 };
 
 /// Runs the whole pipeline synchronously on the calling thread. Never

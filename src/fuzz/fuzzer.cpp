@@ -8,7 +8,7 @@
 
 #include "engine/thread_pool.h"
 #include "frontend/emitter.h"
-#include "fuzz/model_spec.h"
+#include "model/model_spec.h"
 
 namespace mshls {
 namespace {

@@ -9,7 +9,7 @@
 #include "bind/binding.h"
 #include "common/math_util.h"
 #include "common/rng.h"
-#include "fuzz/model_spec.h"
+#include "model/model_spec.h"
 #include "modulo/allocation.h"
 #include "modulo/coupled_scheduler.h"
 #include "modulo/period_search.h"

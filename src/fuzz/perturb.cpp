@@ -1,0 +1,412 @@
+#include "fuzz/perturb.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "bind/binding.h"
+#include "common/rng.h"
+#include "engine/thread_pool.h"
+#include "frontend/emitter.h"
+#include "model/model_spec.h"
+#include "verify/certifier.h"
+
+namespace mshls {
+namespace {
+
+bool ProcessUsesType(const SpecProcess& process, int type) {
+  for (const SpecBlock& b : process.blocks)
+    for (const SpecOp& o : b.ops)
+      if (o.type == type) return true;
+  return false;
+}
+
+std::string UniqueProcessName(const ModelSpec& spec, std::uint64_t seed) {
+  std::string name = "fz_join" + std::to_string(seed % 1000);
+  auto taken = [&](const std::string& n) {
+    for (const SpecProcess& p : spec.processes)
+      if (p.name == n) return true;
+    return false;
+  };
+  while (taken(name)) name += "x";
+  return name;
+}
+
+/// Kinds the model's structure admits, with crude weights (repeats).
+std::vector<DeltaKind> AdmissibleKinds(const ModelSpec& spec) {
+  std::vector<DeltaKind> kinds;
+  kinds.insert(kinds.end(), 3, DeltaKind::kSetDeadline);
+  kinds.insert(kinds.end(), 3, DeltaKind::kRetimeType);
+  kinds.insert(kinds.end(), 2, DeltaKind::kAddProcess);
+  if (!spec.shares.empty()) {
+    kinds.insert(kinds.end(), 2, DeltaKind::kSetPeriod);
+    kinds.insert(kinds.end(), 2, DeltaKind::kResizeGroup);
+  }
+  if (spec.processes.size() >= 2)
+    kinds.insert(kinds.end(), 2, DeltaKind::kRemoveProcess);
+  return kinds;
+}
+
+DeltaOp DrawOp(const ModelSpec& spec, Rng& rng) {
+  const std::vector<DeltaKind> kinds = AdmissibleKinds(spec);
+  DeltaOp op;
+  op.kind = kinds[rng.NextBounded(kinds.size())];
+  switch (op.kind) {
+    case DeltaKind::kSetDeadline: {
+      const SpecProcess& p =
+          spec.processes[rng.NextBounded(spec.processes.size())];
+      int max_range = 1;
+      for (const SpecBlock& b : p.blocks)
+        max_range = std::max(max_range, b.time_range);
+      op.process = p.name;
+      // Around the block range: sometimes tight (stresses the ladder and
+      // the typed-rejection path), mostly survivable.
+      op.deadline = std::max(
+          1, max_range - 1 + static_cast<int>(rng.NextBounded(5)));
+      break;
+    }
+    case DeltaKind::kRetimeType: {
+      const SpecType& t = spec.types[rng.NextBounded(spec.types.size())];
+      op.type = t.name;
+      int delay = 1 + static_cast<int>(rng.NextBounded(3));
+      if (delay == t.delay) delay = t.delay == 3 ? 1 : t.delay + 1;
+      op.delay = delay;
+      break;
+    }
+    case DeltaKind::kSetPeriod: {
+      const SpecShare& s = spec.shares[rng.NextBounded(spec.shares.size())];
+      op.type = spec.types[static_cast<std::size_t>(s.type)].name;
+      int period = 1 + static_cast<int>(rng.NextBounded(4));
+      if (period == s.period) period = s.period == 1 ? 2 : 1;
+      op.period = period;
+      break;
+    }
+    case DeltaKind::kResizeGroup: {
+      const SpecShare& s = spec.shares[rng.NextBounded(spec.shares.size())];
+      op.type = spec.types[static_cast<std::size_t>(s.type)].name;
+      std::vector<int> members = s.processes;
+      // Grow toward an unlisted user of the type when one exists and a
+      // coin lands that way; otherwise shed a member (possibly demoting
+      // the type to local when only one was left).
+      std::vector<int> joinable;
+      for (std::size_t p = 0; p < spec.processes.size(); ++p)
+        if (std::find(members.begin(), members.end(), static_cast<int>(p)) ==
+                members.end() &&
+            ProcessUsesType(spec.processes[p], s.type))
+          joinable.push_back(static_cast<int>(p));
+      if (!joinable.empty() && rng.NextBounded(2) == 0) {
+        members.push_back(joinable[rng.NextBounded(joinable.size())]);
+      } else {
+        members.erase(members.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          rng.NextBounded(members.size())));
+      }
+      for (int m : members)
+        op.group.push_back(spec.processes[static_cast<std::size_t>(m)].name);
+      break;
+    }
+    case DeltaKind::kRemoveProcess: {
+      op.process =
+          spec.processes[rng.NextBounded(spec.processes.size())].name;
+      break;
+    }
+    case DeltaKind::kAddProcess: {
+      SpecProcess added;
+      added.name = UniqueProcessName(spec, rng.NextU64());
+      SpecBlock block;
+      block.name = "main";
+      const int ops = 2 + static_cast<int>(rng.NextBounded(3));
+      int critical_path = 0;
+      for (int i = 0; i < ops; ++i) {
+        SpecOp o;
+        o.type = static_cast<int>(rng.NextBounded(spec.types.size()));
+        o.name = "j" + std::to_string(i);
+        critical_path += spec.types[static_cast<std::size_t>(o.type)].delay;
+        block.ops.push_back(std::move(o));
+        if (i > 0) block.edges.push_back(SpecEdge{i - 1, i});
+      }
+      block.time_range =
+          critical_path + 1 + static_cast<int>(rng.NextBounded(4));
+      added.deadline = block.time_range;
+      added.blocks.push_back(std::move(block));
+      op.added = std::move(added);
+      break;
+    }
+  }
+  return op;
+}
+
+/// Fresh-solve verdict for a model: scheduled, bound AND certified — the
+/// same gate every repair rung passes through.
+bool FreshSolveCertifies(SystemModel model) {
+  if (!model.Validate().ok()) return false;
+  StatusOr<CoupledResult> run = CoupledScheduler(model, CoupledParams{}).Run();
+  if (!run.ok()) return false;
+  auto binding =
+      BindSystem(model, run.value().schedule, run.value().allocation);
+  if (!binding.ok()) return false;
+  return CertifySchedule(model, run.value().schedule, run.value().allocation,
+                         &binding.value())
+      .ok();
+}
+
+/// The fresh-vs-repair core, with the delta held fixed — shared by the
+/// per-case runner and the shrink predicate (which must replay the SAME
+/// delta against ever-smaller bases).
+void JudgeWithDelta(const SystemModel& base, const CoupledResult& certified,
+                    const ModelDelta& delta, const SystemModel& post,
+                    PerturbOutcome& out) {
+  out.delta_applied = true;
+  out.delta_summary = delta.Summary();
+  out.fresh_ok = FreshSolveCertifies(post);
+
+  StatusOr<RepairResult> repaired =
+      RepairSchedule(base, certified, delta, RepairOptions{});
+  if (repaired.ok()) {
+    out.repair_ok = true;
+    out.rung = repaired.value().rung;
+    // Independent re-check: do not trust the repair engine's own gate.
+    const RepairResult& r = repaired.value();
+    auto binding =
+        BindSystem(*r.model, r.result.schedule, r.result.allocation);
+    const bool recertified =
+        binding.ok() && CertifySchedule(*r.model, r.result.schedule,
+                                        r.result.allocation, &binding.value())
+                            .ok();
+    if (!recertified) {
+      out.diverged = true;
+      out.detail = "repaired schedule fails independent re-certification";
+    }
+  } else if (out.fresh_ok) {
+    out.diverged = true;
+    out.detail = "repair failed (" + repaired.status().message() +
+                 ") where the fresh solve succeeds";
+  }
+}
+
+/// Base pipeline: validate + schedule + bind + certify. Returns the result
+/// through `certified` iff every stage passed.
+bool PrepareBase(SystemModel& base, CoupledResult& certified) {
+  if (!base.Validate().ok()) return false;
+  StatusOr<CoupledResult> run = CoupledScheduler(base, CoupledParams{}).Run();
+  if (!run.ok()) return false;
+  auto binding =
+      BindSystem(base, run.value().schedule, run.value().allocation);
+  if (!binding.ok()) return false;
+  if (!CertifySchedule(base, run.value().schedule, run.value().allocation,
+                       &binding.value())
+           .ok())
+    return false;
+  certified = std::move(run).value();
+  return true;
+}
+
+struct Slot {
+  GeneratedCase gen;
+  PerturbOutcome outcome;
+  ModelDelta delta;  // the applied delta (valid when delta_applied)
+};
+
+StatusOr<std::string> PersistDivergence(const Slot& slot, int index,
+                                        const FuzzOptions& options,
+                                        int* shrink_attempts) {
+  const ModelDelta& delta = slot.delta;
+  const SpecPredicate keep = [&](const ModelSpec& s) {
+    StatusOr<SystemModel> m = BuildModel(s);
+    if (!m.ok()) return false;
+    SystemModel base = std::move(m).value();
+    CoupledResult certified;
+    if (!PrepareBase(base, certified)) return false;
+    StatusOr<SystemModel> post = ApplyDelta(base, delta);
+    if (!post.ok()) return false;  // a deletion broke the delta's names
+    PerturbOutcome probe;
+    JudgeWithDelta(base, certified, delta, post.value(), probe);
+    return probe.diverged;
+  };
+
+  const ModelSpec original = ExtractSpec(slot.gen.model);
+  const SystemModel* to_emit = &slot.gen.model;
+  SystemModel shrunk_model;
+  *shrink_attempts = 0;
+  if (options.shrink && keep(original)) {
+    ShrinkResult shrunk = ShrinkSpec(original, keep, options.shrink_options);
+    *shrink_attempts = shrunk.attempts;
+    StatusOr<SystemModel> m = BuildModel(shrunk.spec);
+    if (m.ok()) {
+      shrunk_model = std::move(m).value();
+      to_emit = &shrunk_model;
+    }
+  }
+
+  std::vector<std::string> header;
+  header.push_back(
+      "perturb-then-repair repro (replayable with: mshlsc <this file> "
+      "--repair <this file's .delta sidecar>)");
+  header.push_back("run seed " + std::to_string(options.seed) + ", case " +
+                   std::to_string(index) + ", case seed " +
+                   std::to_string(slot.outcome.seed));
+  header.push_back("DIVERGENCE " + slot.outcome.detail);
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.repro_dir, ec);
+  if (ec)
+    return Status{StatusCode::kInternal,
+                  "cannot create repro directory '" + options.repro_dir +
+                      "': " + ec.message()};
+  const std::string stem =
+      (std::filesystem::path(options.repro_dir) /
+       ("repair-" + std::to_string(options.seed) + "-case" +
+        std::to_string(index)))
+          .string();
+  {
+    std::ofstream out(stem + ".hls", std::ios::trunc);
+    out << EmitSystemText(*to_emit, header);
+    if (!out.good())
+      return Status{StatusCode::kInternal,
+                    "cannot write '" + stem + ".hls'"};
+  }
+  {
+    std::ofstream out(stem + ".delta", std::ios::trunc);
+    out << "# delta for " << stem << ".hls (" << slot.outcome.delta_summary
+        << ")\n"
+        << RenderDelta(delta, *to_emit);
+    if (!out.good())
+      return Status{StatusCode::kInternal,
+                    "cannot write '" + stem + ".delta'"};
+  }
+  return stem + ".hls";
+}
+
+}  // namespace
+
+ModelDelta GenerateDelta(const SystemModel& base, std::uint64_t seed) {
+  Rng rng(seed ^ 0x70657274757262ULL);  // "perturb"
+  const ModelSpec spec = ExtractSpec(base);
+  ModelDelta delta;
+  delta.ops.push_back(DrawOp(spec, rng));
+  return delta;
+}
+
+std::string PerturbOutcome::LogLine(int index) const {
+  std::string line = "case " + std::to_string(index) + " seed=" +
+                     std::to_string(seed);
+  if (!base_ready) return line + " skip=base";
+  if (!delta_applied) return line + " skip=delta";
+  line += " delta='" + delta_summary + "'";
+  line += std::string(" fresh=") + (fresh_ok ? "ok" : "fail");
+  line += std::string(" repair=") +
+          (repair_ok ? RepairRungName(rung) : "fail");
+  if (diverged) line += " DIVERGED: " + detail;
+  return line;
+}
+
+PerturbOutcome RunPerturbCase(const SystemModel& base_in,
+                              std::uint64_t seed) {
+  PerturbOutcome out;
+  out.seed = seed;
+  SystemModel base = base_in;
+  CoupledResult certified;
+  if (!PrepareBase(base, certified)) return out;
+  out.base_ready = true;
+
+  // Several draws: a single unlucky delta (e.g. an infeasible deadline
+  // ApplyDelta rejects) should not waste the whole case.
+  Rng draw(seed);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    ModelDelta delta = GenerateDelta(base, draw.NextU64());
+    StatusOr<SystemModel> post = ApplyDelta(base, delta);
+    if (!post.ok()) continue;
+    JudgeWithDelta(base, certified, delta, post.value(), out);
+    return out;
+  }
+  return out;  // delta_applied stays false
+}
+
+std::string PerturbReport::Summary() const {
+  std::string out = "perturb: " + std::to_string(cases) + " cases (" +
+                    std::to_string(base_skipped) + " base-skipped, " +
+                    std::to_string(delta_rejected) + " delta-rejected), " +
+                    std::to_string(repaired) + " repaired (in-place=" +
+                    std::to_string(rung_counts[0]) + ", widen=" +
+                    std::to_string(rung_counts[1]) + ", relax=" +
+                    std::to_string(rung_counts[2]) + ", resolve=" +
+                    std::to_string(rung_counts[3]) + "), " +
+                    std::to_string(both_failed) + " both-failed, " +
+                    std::to_string(divergences) + " divergence(s)";
+  if (!repro_paths.empty())
+    out += ", " + std::to_string(repro_paths.size()) + " repro(s) written";
+  return out;
+}
+
+StatusOr<PerturbReport> RunPerturbFuzz(const FuzzOptions& options) {
+  PerturbReport report;
+  const int n = std::max(0, options.cases);
+  report.cases = n;
+
+  // This campaign needs living bases: the adversarial generator classes
+  // (infeasible / grid-hostile) would only inflate base_skipped.
+  FuzzGenOptions gen = options.gen;
+  gen.infeasible_probability = 0;
+  gen.grid_hostile_probability = 0;
+
+  std::vector<Slot> slots(static_cast<std::size_t>(n));
+  const auto run_case = [&](std::size_t i) -> Status {
+    const std::uint64_t cs =
+        FuzzCaseSeed(options.seed, static_cast<int>(i));
+    slots[i].gen = GenerateSystem(cs, gen);
+    slots[i].outcome = RunPerturbCase(slots[i].gen.model, cs);
+    if (slots[i].outcome.delta_applied) {
+      // Re-derive the winning delta for persistence: same stream as
+      // RunPerturbCase (first draw that ApplyDelta accepts).
+      Rng draw(cs);
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        ModelDelta delta = GenerateDelta(slots[i].gen.model, draw.NextU64());
+        if (ApplyDelta(slots[i].gen.model, delta).ok()) {
+          slots[i].delta = std::move(delta);
+          break;
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  if (options.jobs > 1) {
+    ThreadPool pool(options.jobs);
+    if (Status st = ParallelFor(&pool, slots.size(), run_case); !st.ok())
+      return st;
+  } else {
+    if (Status st = ParallelFor(nullptr, slots.size(), run_case); !st.ok())
+      return st;
+  }
+
+  int persisted = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const PerturbOutcome& o = slots[i].outcome;
+    report.log.push_back(o.LogLine(static_cast<int>(i)));
+    if (!o.base_ready) ++report.base_skipped;
+    else if (!o.delta_applied) ++report.delta_rejected;
+    else if (o.repair_ok) {
+      ++report.repaired;
+      ++report.rung_counts[static_cast<int>(o.rung)];
+    } else if (!o.fresh_ok) {
+      ++report.both_failed;
+    }
+    if (o.diverged) {
+      ++report.divergences;
+      if (persisted < options.max_repros && !options.repro_dir.empty()) {
+        ++persisted;
+        int attempts = 0;
+        StatusOr<std::string> path = PersistDivergence(
+            slots[i], static_cast<int>(i), options, &attempts);
+        if (!path.ok()) return path.status();
+        report.repro_paths.push_back(path.value());
+        report.log.push_back("repro " + path.value() +
+                             " (+.delta) shrink-attempts=" +
+                             std::to_string(attempts));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mshls

@@ -1,0 +1,87 @@
+// Perturb-then-repair oracle (O4): the fuzz-side acceptance check for
+// online schedule repair (modulo/repair.h).
+//
+// Each case: generate a system, solve + certify it (the "running" base),
+// draw a random workload delta against it (GenerateDelta), then answer the
+// same perturbation twice — once with a fresh solve of the post-delta
+// model and once with RepairSchedule warm off the base schedule. The two
+// answers must agree on survivability:
+//   * a DIVERGENCE is a fresh solve that succeeds (schedules + certifies)
+//     while the repair ladder fails, or a repair whose result does not
+//     independently re-certify — repair must never be weaker than
+//     resolving from scratch;
+//   * repair succeeding where the fresh solve fails is ALLOWED: the
+//     kRelaxPeriods rung may legally trade the declared periods away,
+//     which a fresh as-declared solve cannot.
+// Divergent cases are shrunk (the delta is held fixed; base deletions that
+// break the delta's name references are rejected by the predicate) and
+// persisted as a replayable .hls + sidecar-delta pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzz/fuzzer.h"
+#include "model/system_model.h"
+#include "modulo/repair.h"
+
+namespace mshls {
+
+/// Draws one random, base-compatible workload delta. Deterministic per
+/// (model, seed); the kind mix covers every DeltaKind the model's
+/// structure admits (period/group edits need a share, removal needs a
+/// second process). The delta is *syntactically* valid against the base —
+/// ApplyDelta may still reject it semantically (e.g. an infeasible
+/// deadline), which the campaign counts as a rejected draw, not a failure.
+[[nodiscard]] ModelDelta GenerateDelta(const SystemModel& base,
+                                       std::uint64_t seed);
+
+/// Outcome of one perturb-then-repair case.
+struct PerturbOutcome {
+  std::uint64_t seed = 0;
+  /// Base never scheduled/certified — nothing to repair; case skipped.
+  bool base_ready = false;
+  /// No generated delta survived ApplyDelta; case skipped.
+  bool delta_applied = false;
+  std::string delta_summary;
+  bool fresh_ok = false;   // post-delta fresh solve scheduled + certified
+  bool repair_ok = false;  // repair ladder produced a certified schedule
+  RepairRung rung = RepairRung::kInPlace;  // winning rung when repair_ok
+  std::string detail;  // failure detail (divergences), empty otherwise
+  bool diverged = false;
+
+  [[nodiscard]] std::string LogLine(int index) const;
+};
+
+/// Runs one case end to end (base pipeline, delta draw, fresh-vs-repair).
+[[nodiscard]] PerturbOutcome RunPerturbCase(const SystemModel& base_in,
+                                            std::uint64_t seed);
+
+struct PerturbReport {
+  int cases = 0;
+  int base_skipped = 0;    // base infeasible or uncertified
+  int delta_rejected = 0;  // every delta draw failed ApplyDelta
+  int repaired = 0;        // repair produced a certified schedule
+  int both_failed = 0;     // fresh and repair agree the delta is fatal
+  int divergences = 0;
+  /// Winning-rung histogram over the repaired cases (RepairRung order).
+  int rung_counts[4] = {0, 0, 0, 0};
+  std::vector<std::string> log;
+  std::vector<std::string> repro_paths;
+
+  [[nodiscard]] bool ok() const { return divergences == 0; }
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Runs the perturb-then-repair campaign: `options.cases` cases derived
+/// from `options.seed` exactly like RunFuzz (FuzzCaseSeed), fanned out
+/// over `options.jobs` with a bit-identical report for any width. The
+/// generator's adversarial classes are disabled — this campaign needs
+/// schedulable bases. Only returns non-OK on environment errors (repro
+/// directory unwritable); divergences live in the report.
+[[nodiscard]] StatusOr<PerturbReport> RunPerturbFuzz(
+    const FuzzOptions& options);
+
+}  // namespace mshls

@@ -14,7 +14,7 @@
 
 #include <functional>
 
-#include "fuzz/model_spec.h"
+#include "model/model_spec.h"
 
 namespace mshls {
 

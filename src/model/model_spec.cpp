@@ -1,4 +1,4 @@
-#include "fuzz/model_spec.h"
+#include "model/model_spec.h"
 
 #include <utility>
 

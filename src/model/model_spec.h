@@ -2,8 +2,10 @@
 //
 // SystemModel is build-once (ids are handed out on insertion and woven into
 // graphs, groups and blocks), which is right for the schedulers but wrong
-// for the fuzz harness: metamorphic transforms permute processes and rotate
-// phases, and the shrinker deletes ops/edges/blocks/processes one at a time.
+// for anything that edits a system after the fact: the fuzz harness
+// permutes processes and rotates phases, the shrinker deletes
+// ops/edges/blocks/processes one at a time, and online repair
+// (modulo/repair.h) applies live workload deltas to a scheduled system.
 // ModelSpec is the editable intermediate: plain vectors with positional
 // references, extracted from a model and materialized back into a fresh,
 // validated one. Round trip: BuildModel(ExtractSpec(m)) is structurally

@@ -496,7 +496,58 @@ Status CoupledScheduler::VerifyIncrementalState() {
   return Status::Ok();
 }
 
+Status CoupledScheduler::ApplyPinnedStarts() {
+  if (params_.pinned_starts.empty()) return Status::Ok();
+  if (params_.pinned_starts.size() > model_.block_count())
+    return Status{StatusCode::kInvalidArgument,
+                  "pinned_starts has " +
+                      std::to_string(params_.pinned_starts.size()) +
+                      " rows but the model has " +
+                      std::to_string(model_.block_count()) + " blocks"};
+  bool any = false;
+  for (std::size_t bi = 0; bi < params_.pinned_starts.size(); ++bi) {
+    const std::vector<int>& pins = params_.pinned_starts[bi];
+    const Block& b = model_.blocks()[bi];
+    if (pins.size() > b.graph.op_count())
+      return Status{StatusCode::kInvalidArgument,
+                    "pinned_starts row for block '" + b.name + "' has " +
+                        std::to_string(pins.size()) + " entries but the block has " +
+                        std::to_string(b.graph.op_count()) + " ops"};
+    BlockState& state = blocks_[bi];
+    for (std::size_t oi = 0; oi < pins.size(); ++oi) {
+      const int step = pins[oi];
+      if (step < 0) continue;
+      const OpId op(static_cast<std::int32_t>(oi));
+      const TimeFrame f = state.frames.frame(op);
+      if (!f.contains(step))
+        return Status{StatusCode::kInfeasible,
+                      "pinned start " + std::to_string(step) + " of op " +
+                          std::to_string(oi) + " in block '" + b.name +
+                          "' lies outside its feasible frame [" +
+                          std::to_string(f.asap) + ", " +
+                          std::to_string(f.alap) + "]"};
+      if (f.fixed()) continue;
+      if (Status s = state.frames.Narrow(b.graph, delays_[bi], op,
+                                         TimeFrame{step, step});
+          !s.ok())
+        return Status{StatusCode::kInfeasible,
+                      "pinned starts conflict in block '" + b.name +
+                          "': " + s.message()};
+      any = true;
+    }
+  }
+  if (!any) return Status::Ok();
+  // Pins moved frames after construction: every profile derived from them
+  // (block-local, modulo-max, process/group) is stale, as is the whole
+  // candidate cache.
+  for (const Block& b : model_.blocks()) RebuildBlockState(b.id);
+  RebuildProcessAndGroupProfiles();
+  InvalidateAllCandidates();
+  return Status::Ok();
+}
+
 StatusOr<CoupledResult> CoupledScheduler::Run() {
+  if (Status s = ApplyPinnedStarts(); !s.ok()) return s;
   const ResourceLibrary& lib = model_.library();
   const bool check =
       params_.check_incremental || CheckIncrementalGloballyEnabled();

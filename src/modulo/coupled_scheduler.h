@@ -109,6 +109,14 @@ struct CoupledParams {
   /// for their fanned-out worker runs and log canonically from the
   /// reduction loop instead, keeping traces bit-identical at any --jobs.
   bool trace = true;
+  /// Online-repair pinning (modulo/repair.h): pinned_starts[block][op] >= 0
+  /// fixes that op's start step before the first iteration — narrowed to a
+  /// single-step frame and propagated like any committed reduction, so the
+  /// remaining free ops schedule around the pins. -1 leaves an op free;
+  /// missing inner entries (or an empty outer vector) mean no pin. An
+  /// unsatisfiable pin fails the run with kInfeasible. Participates in the
+  /// schedule cache key (modulo/schedule_cache.h).
+  std::vector<std::vector<int>> pinned_starts;
 };
 
 /// Incremental-engine work accounting for one Run(). Every field is a
@@ -225,6 +233,11 @@ class CoupledScheduler {
 
   void RebuildBlockState(BlockId b);
   void RebuildProcessAndGroupProfiles();
+
+  /// Commits params_.pinned_starts as pre-iteration frame reductions and
+  /// rebuilds every profile they moved. kInfeasible when a pin falls
+  /// outside its frame or pins conflict through precedence propagation.
+  [[nodiscard]] Status ApplyPinnedStarts();
 
   /// Force of tentatively narrowing `op` of block `b` to `target` under the
   /// configured mode. Accumulates TypeBit() of every displaced type into

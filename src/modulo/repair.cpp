@@ -1,0 +1,818 @@
+#include "modulo/repair.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <utility>
+
+#include "bind/binding.h"
+#include "common/hashing.h"
+#include "engine/degradation.h"
+#include "frontend/emitter.h"
+#include "frontend/lowering.h"
+#include "modulo/period_search.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mshls {
+namespace {
+
+int FindSpecType(const ModelSpec& spec, const std::string& name) {
+  for (std::size_t i = 0; i < spec.types.size(); ++i)
+    if (spec.types[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+int FindSpecProcess(const ModelSpec& spec, const std::string& name) {
+  for (std::size_t i = 0; i < spec.processes.size(); ++i)
+    if (spec.processes[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+Status UnknownType(const std::string& name) {
+  return Status{StatusCode::kNotFound,
+                "delta references unknown resource type '" + name + "'"};
+}
+
+Status UnknownProcess(const std::string& name) {
+  return Status{StatusCode::kNotFound,
+                "delta references unknown process '" + name + "'"};
+}
+
+/// The base model's resource declarations as .hls text — the preamble an
+/// add-process body is compiled against.
+std::string RenderResourceDecls(const SystemModel& base) {
+  std::string out;
+  for (const ResourceType& t : base.library().types()) {
+    out += "resource " + t.name + " delay " + std::to_string(t.delay);
+    if (t.dii != 1) out += " dii " + std::to_string(t.dii);
+    out += " area " + std::to_string(t.area) + ";\n";
+  }
+  return out;
+}
+
+/// Minimal token scanner for the sidecar format: words are identifier or
+/// number runs, punctuation (`,;{}`) is returned one char at a time, `#`
+/// comments run to end of line.
+class DeltaLexer {
+ public:
+  explicit DeltaLexer(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  /// Next word (empty at end). Punctuation comes back as a 1-char string.
+  std::string Word() {
+    SkipWs();
+    if (pos_ >= text_.size()) return "";
+    const char c = text_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '-')
+      return std::string(1, text_[pos_++]);
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char w = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(w)) != 0 || w == '_' ||
+          w == '-')
+        ++pos_;
+      else
+        break;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  [[nodiscard]] bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  void set_pos(std::size_t pos) { pos_ = pos; }
+  [[nodiscard]] std::string_view text() const { return text_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Status ParseError(const std::string& what) {
+  return Status{StatusCode::kParseError, "delta parse: " + what};
+}
+
+StatusOr<int> ParseInt(const std::string& word, const char* what) {
+  if (word.empty()) return ParseError(std::string("expected ") + what);
+  for (const char c : word)
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0)
+      return ParseError(std::string("bad ") + what + " '" + word + "'");
+  return std::stoi(word);
+}
+
+/// Compiles one `process ... { ... }` body against the base library and
+/// returns it as a SpecProcess with type indices in base library order.
+StatusOr<SpecProcess> CompileAddedProcess(std::string_view body,
+                                          const SystemModel& base) {
+  const std::string source =
+      RenderResourceDecls(base) + "\n" + std::string(body) + "\n";
+  auto model_or = CompileSystem(source);
+  if (!model_or.ok())
+    return Status{model_or.status().code(),
+                  "delta add process: " + model_or.status().message()};
+  const SystemModel& mini = model_or.value();
+  if (mini.library().size() != base.library().size())
+    return ParseError("add process body declares resources of its own");
+  const ModelSpec spec = ExtractSpec(mini);
+  if (spec.processes.size() != 1)
+    return ParseError("add process body must define exactly one process");
+  return spec.processes.front();
+}
+
+/// True when the named post-delta process has the same block structure as
+/// its base namesake — the precondition for pinning its old starts.
+bool SameBlockShape(const SystemModel& base, const Process& base_p,
+                    const SystemModel& post, const Process& post_p) {
+  if (base_p.blocks.size() != post_p.blocks.size()) return false;
+  for (std::size_t i = 0; i < base_p.blocks.size(); ++i) {
+    const Block& bb = base.block(base_p.blocks[i]);
+    const Block& pb = post.block(post_p.blocks[i]);
+    if (bb.name != pb.name || bb.time_range != pb.time_range ||
+        bb.phase != pb.phase ||
+        bb.graph.op_count() != pb.graph.op_count())
+      return false;
+  }
+  return true;
+}
+
+/// Transitive closure of `freed` over the post model's global sharing
+/// groups: a pinned group-mate may hold exactly the residues the freed
+/// slice needs, so widening frees the whole connected component.
+std::set<std::string> WidenScope(const SystemModel& post,
+                                 std::set<std::string> freed) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ResourceTypeId g : post.GlobalTypes()) {
+      const TypeAssignment& a = post.assignment(g);
+      bool touched = false;
+      for (ProcessId p : a.group)
+        if (freed.count(post.process(p).name) > 0) {
+          touched = true;
+          break;
+        }
+      if (!touched) continue;
+      for (ProcessId p : a.group)
+        if (freed.insert(post.process(p).name).second) changed = true;
+    }
+  }
+  return freed;
+}
+
+void CountMetric(const char* name) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetCounter(name, obs::MetricKind::kStable)
+      .Add();
+}
+
+/// Bind + certify gate shared by every rung: the repaired schedule is
+/// checked exactly as hard as a fresh job's (engine/job.cpp stage 4).
+Status GateAttempt(SystemModel model, CoupledResult result,
+                   const RepairOptions& options, RepairResult& out) {
+  auto binding = BindSystem(model, result.schedule, result.allocation);
+  if (!binding.ok()) return binding.status();
+  CertificateReport cert =
+      CertifySchedule(model, result.schedule, result.allocation,
+                      &binding.value(), options.certifier);
+  if (!cert.ok())
+    return Status{StatusCode::kInternal, "certificate: " + cert.Summary()};
+  out.result = std::move(result);
+  out.certificate = std::move(cert);
+  out.model = std::make_shared<const SystemModel>(std::move(model));
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* DeltaKindName(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kAddProcess: return "add-process";
+    case DeltaKind::kRemoveProcess: return "remove-process";
+    case DeltaKind::kRetimeType: return "retime";
+    case DeltaKind::kSetPeriod: return "period";
+    case DeltaKind::kSetDeadline: return "deadline";
+    case DeltaKind::kResizeGroup: return "group";
+  }
+  return "unknown";
+}
+
+const char* RepairRungName(RepairRung rung) {
+  switch (rung) {
+    case RepairRung::kInPlace: return "in-place";
+    case RepairRung::kWidenScope: return "widen-scope";
+    case RepairRung::kRelaxPeriods: return "relax-periods";
+    case RepairRung::kFullResolve: return "full-resolve";
+  }
+  return "unknown";
+}
+
+std::vector<RepairRung> DefaultRepairLadder() {
+  return {RepairRung::kInPlace, RepairRung::kWidenScope,
+          RepairRung::kRelaxPeriods, RepairRung::kFullResolve};
+}
+
+std::string ModelDelta::Summary() const {
+  std::string out;
+  for (const DeltaOp& op : ops) {
+    if (!out.empty()) out += ", ";
+    out += DeltaKindName(op.kind);
+    switch (op.kind) {
+      case DeltaKind::kAddProcess: out += " " + op.added.name; break;
+      case DeltaKind::kRemoveProcess:
+      case DeltaKind::kSetDeadline: out += " " + op.process; break;
+      case DeltaKind::kRetimeType:
+      case DeltaKind::kSetPeriod:
+      case DeltaKind::kResizeGroup: out += " " + op.type; break;
+    }
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+std::uint64_t DeltaFingerprint(const ModelDelta& delta) {
+  StableHasher h;
+  h.Mix(std::uint64_t{delta.ops.size()});
+  for (const DeltaOp& op : delta.ops) {
+    h.Mix(static_cast<int>(op.kind));
+    h.Mix(std::string_view(op.process));
+    h.Mix(std::string_view(op.type));
+    h.Mix(op.delay);
+    h.Mix(op.dii);
+    h.Mix(op.period);
+    h.Mix(op.deadline);
+    h.Mix(op.time_range);
+    h.Mix(std::uint64_t{op.group.size()});
+    for (const std::string& g : op.group) h.Mix(std::string_view(g));
+    h.Mix(std::string_view(op.added.name));
+    h.Mix(op.added.deadline);
+    h.Mix(std::uint64_t{op.added.blocks.size()});
+    for (const SpecBlock& b : op.added.blocks) {
+      h.Mix(std::string_view(b.name));
+      h.Mix(b.time_range);
+      h.Mix(b.phase);
+      h.Mix(std::uint64_t{b.ops.size()});
+      for (const SpecOp& o : b.ops) {
+        h.Mix(o.type);
+        h.Mix(std::string_view(o.name));
+      }
+      h.Mix(std::uint64_t{b.edges.size()});
+      for (const SpecEdge& e : b.edges) {
+        h.Mix(e.from);
+        h.Mix(e.to);
+      }
+    }
+  }
+  return h.Digest();
+}
+
+StatusOr<SystemModel> ApplyDelta(const SystemModel& base,
+                                 const ModelDelta& delta) {
+  ModelSpec spec = ExtractSpec(base);
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaKind::kAddProcess: {
+        if (op.added.name.empty() || op.added.blocks.empty())
+          return Status{StatusCode::kInvalidArgument,
+                        "delta adds an empty process"};
+        if (FindSpecProcess(spec, op.added.name) >= 0)
+          return Status{StatusCode::kInvalidArgument,
+                        "delta adds process '" + op.added.name +
+                            "' which already exists"};
+        for (const SpecBlock& b : op.added.blocks)
+          for (const SpecOp& o : b.ops)
+            if (o.type < 0 || o.type >= static_cast<int>(spec.types.size()))
+              return Status{StatusCode::kInvalidArgument,
+                            "added process '" + op.added.name +
+                                "' references a type outside the base "
+                                "library"};
+        spec.processes.push_back(op.added);
+        break;
+      }
+      case DeltaKind::kRemoveProcess: {
+        const int pi = FindSpecProcess(spec, op.process);
+        if (pi < 0) return UnknownProcess(op.process);
+        spec.processes.erase(spec.processes.begin() + pi);
+        // Shares shed the removed member; a share emptied by the removal
+        // disappears entirely — the type falls back to local assignment.
+        for (auto it = spec.shares.begin(); it != spec.shares.end();) {
+          std::vector<int>& members = it->processes;
+          members.erase(std::remove(members.begin(), members.end(), pi),
+                        members.end());
+          for (int& idx : members)
+            if (idx > pi) --idx;
+          if (members.empty())
+            it = spec.shares.erase(it);
+          else
+            ++it;
+        }
+        break;
+      }
+      case DeltaKind::kRetimeType: {
+        const int ti = FindSpecType(spec, op.type);
+        if (ti < 0) return UnknownType(op.type);
+        if (op.delay == -1 && op.dii == -1)
+          return Status{StatusCode::kInvalidArgument,
+                        "retime of '" + op.type + "' changes nothing"};
+        if (op.delay != -1) {
+          if (op.delay < 1)
+            return Status{StatusCode::kInvalidArgument,
+                          "retime delay must be >= 1"};
+          spec.types[static_cast<std::size_t>(ti)].delay = op.delay;
+        }
+        if (op.dii != -1) {
+          if (op.dii < 1)
+            return Status{StatusCode::kInvalidArgument,
+                          "retime dii must be >= 1"};
+          spec.types[static_cast<std::size_t>(ti)].dii = op.dii;
+        }
+        break;
+      }
+      case DeltaKind::kSetPeriod: {
+        const int ti = FindSpecType(spec, op.type);
+        if (ti < 0) return UnknownType(op.type);
+        if (op.period < 1)
+          return Status{StatusCode::kInvalidArgument,
+                        "period must be >= 1"};
+        bool found = false;
+        for (SpecShare& s : spec.shares)
+          if (s.type == ti) {
+            s.period = op.period;
+            found = true;
+          }
+        if (!found)
+          return Status{StatusCode::kFailedPrecondition,
+                        "type '" + op.type +
+                            "' is not globally shared; resize its group "
+                            "first"};
+        break;
+      }
+      case DeltaKind::kSetDeadline: {
+        const int pi = FindSpecProcess(spec, op.process);
+        if (pi < 0) return UnknownProcess(op.process);
+        SpecProcess& p = spec.processes[static_cast<std::size_t>(pi)];
+        if (op.deadline >= 0) p.deadline = op.deadline;
+        if (op.time_range > 0)
+          for (SpecBlock& b : p.blocks) b.time_range = op.time_range;
+        break;
+      }
+      case DeltaKind::kResizeGroup: {
+        const int ti = FindSpecType(spec, op.type);
+        if (ti < 0) return UnknownType(op.type);
+        auto share = spec.shares.end();
+        for (auto it = spec.shares.begin(); it != spec.shares.end(); ++it)
+          if (it->type == ti) share = it;
+        if (op.group.empty()) {
+          // Emptying the group demotes the type to local assignment.
+          if (share != spec.shares.end()) spec.shares.erase(share);
+          break;
+        }
+        std::vector<int> members;
+        for (const std::string& name : op.group) {
+          const int mi = FindSpecProcess(spec, name);
+          if (mi < 0) return UnknownProcess(name);
+          if (std::find(members.begin(), members.end(), mi) == members.end())
+            members.push_back(mi);
+        }
+        if (share == spec.shares.end()) {
+          // Promoting a local type: period defaults to 1 (always eq.-3
+          // compatible); compose with a `period` directive to choose one.
+          SpecShare fresh;
+          fresh.type = ti;
+          fresh.period = 1;
+          fresh.processes = std::move(members);
+          spec.shares.push_back(std::move(fresh));
+        } else {
+          share->processes = std::move(members);
+        }
+        break;
+      }
+    }
+  }
+  return BuildModel(spec);
+}
+
+std::vector<std::string> PerturbedProcesses(const SystemModel& base,
+                                            const ModelDelta& delta) {
+  std::set<std::string> names;
+  std::set<std::string> removed;
+  const auto base_type = [&](const std::string& name) -> ResourceTypeId {
+    for (const ResourceType& t : base.library().types())
+      if (t.name == name) return t.id;
+    return ResourceTypeId{};
+  };
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaKind::kAddProcess:
+        names.insert(op.added.name);
+        break;
+      case DeltaKind::kRemoveProcess:
+        removed.insert(op.process);
+        break;
+      case DeltaKind::kRetimeType: {
+        const ResourceTypeId t = base_type(op.type);
+        if (!t.valid()) break;
+        for (const Process& p : base.processes())
+          if (base.ProcessUsesType(p.id, t)) names.insert(p.name);
+        break;
+      }
+      case DeltaKind::kSetPeriod: {
+        const ResourceTypeId t = base_type(op.type);
+        if (!t.valid()) break;
+        for (ProcessId p : base.GlobalUsers(t)) names.insert(base.process(p).name);
+        break;
+      }
+      case DeltaKind::kSetDeadline:
+        names.insert(op.process);
+        break;
+      case DeltaKind::kResizeGroup: {
+        const ResourceTypeId t = base_type(op.type);
+        if (t.valid() && base.is_global(t))
+          for (ProcessId p : base.assignment(t).group)
+            names.insert(base.process(p).name);
+        for (const std::string& member : op.group) names.insert(member);
+        break;
+      }
+    }
+  }
+  for (const std::string& gone : removed) names.erase(gone);
+  return {names.begin(), names.end()};
+}
+
+StatusOr<ModelDelta> ParseDelta(std::string_view text,
+                                const SystemModel& base) {
+  ModelDelta delta;
+  DeltaLexer lex(text);
+  std::set<std::string> known_processes;
+  for (const Process& p : base.processes()) known_processes.insert(p.name);
+  std::set<std::string> known_types;
+  for (const ResourceType& t : base.library().types())
+    known_types.insert(t.name);
+
+  const auto require_process = [&](const std::string& name) -> Status {
+    if (known_processes.count(name) == 0) return UnknownProcess(name);
+    return Status::Ok();
+  };
+  const auto require_type = [&](const std::string& name) -> Status {
+    if (known_types.count(name) == 0) return UnknownType(name);
+    return Status::Ok();
+  };
+
+  while (!lex.AtEnd()) {
+    const std::string head = lex.Word();
+    DeltaOp op;
+    if (head == "remove") {
+      if (lex.Word() != "process")
+        return ParseError("expected 'remove process <name>;'");
+      op.kind = DeltaKind::kRemoveProcess;
+      op.process = lex.Word();
+      if (Status s = require_process(op.process); !s.ok()) return s;
+      known_processes.erase(op.process);
+      if (!lex.Eat(';')) return ParseError("missing ';' after remove");
+    } else if (head == "add") {
+      if (lex.Word() != "process")
+        return ParseError("expected 'add process <name> ... { ... }'");
+      // Capture the whole .hls process declaration (through the matching
+      // closing brace) and hand it to the frontend.
+      std::size_t depth = 0;
+      const std::string_view all = lex.text();
+      std::size_t start = lex.pos();
+      while (start > 0 && all.compare(start, 7, "process") != 0) --start;
+      std::size_t cursor = lex.pos();
+      std::size_t end = std::string_view::npos;
+      for (; cursor < all.size(); ++cursor) {
+        if (all[cursor] == '{') ++depth;
+        if (all[cursor] == '}') {
+          if (depth == 0) return ParseError("unbalanced '}' in add process");
+          if (--depth == 0) {
+            end = cursor + 1;
+            break;
+          }
+        }
+      }
+      if (end == std::string_view::npos)
+        return ParseError("unterminated add process body");
+      lex.set_pos(end);
+      (void)lex.Eat(';');
+      auto added_or = CompileAddedProcess(all.substr(start, end - start), base);
+      if (!added_or.ok()) return added_or.status();
+      op.kind = DeltaKind::kAddProcess;
+      op.added = std::move(added_or).value();
+      if (known_processes.count(op.added.name) > 0)
+        return ParseError("add process '" + op.added.name +
+                          "' collides with an existing process");
+      known_processes.insert(op.added.name);
+    } else if (head == "retime") {
+      op.kind = DeltaKind::kRetimeType;
+      op.type = lex.Word();
+      if (Status s = require_type(op.type); !s.ok()) return s;
+      bool saw = false;
+      for (;;) {
+        if (lex.Eat(';')) break;
+        const std::string field = lex.Word();
+        if (field == "delay") {
+          auto v = ParseInt(lex.Word(), "delay");
+          if (!v.ok()) return v.status();
+          op.delay = v.value();
+          saw = true;
+        } else if (field == "dii") {
+          auto v = ParseInt(lex.Word(), "dii");
+          if (!v.ok()) return v.status();
+          op.dii = v.value();
+          saw = true;
+        } else {
+          return ParseError("expected 'delay <d>' or 'dii <k>' in retime, "
+                            "got '" + field + "'");
+        }
+      }
+      if (!saw) return ParseError("retime needs 'delay' and/or 'dii'");
+    } else if (head == "period") {
+      op.kind = DeltaKind::kSetPeriod;
+      op.type = lex.Word();
+      if (Status s = require_type(op.type); !s.ok()) return s;
+      auto v = ParseInt(lex.Word(), "period");
+      if (!v.ok()) return v.status();
+      op.period = v.value();
+      if (!lex.Eat(';')) return ParseError("missing ';' after period");
+    } else if (head == "deadline") {
+      op.kind = DeltaKind::kSetDeadline;
+      op.process = lex.Word();
+      if (Status s = require_process(op.process); !s.ok()) return s;
+      auto v = ParseInt(lex.Word(), "deadline");
+      if (!v.ok()) return v.status();
+      op.deadline = v.value();
+      if (!lex.Eat(';')) {
+        if (lex.Word() != "time")
+          return ParseError("expected 'time <t>' or ';' after deadline");
+        auto t = ParseInt(lex.Word(), "time range");
+        if (!t.ok()) return t.status();
+        op.time_range = t.value();
+        if (!lex.Eat(';')) return ParseError("missing ';' after deadline");
+      }
+    } else if (head == "group") {
+      op.kind = DeltaKind::kResizeGroup;
+      op.type = lex.Word();
+      if (Status s = require_type(op.type); !s.ok()) return s;
+      while (!lex.Eat(';')) {
+        const std::string member = lex.Word();
+        if (member.empty()) return ParseError("missing ';' after group");
+        if (member == ",") continue;
+        if (Status s = require_process(member); !s.ok()) return s;
+        op.group.push_back(member);
+      }
+    } else {
+      return ParseError("unknown directive '" + head + "'");
+    }
+    delta.ops.push_back(std::move(op));
+  }
+  if (delta.ops.empty()) return ParseError("delta is empty");
+  return delta;
+}
+
+std::string RenderDelta(const ModelDelta& delta, const SystemModel& base) {
+  std::string out = "# mshls delta sidecar (apply with: mshlsc <base.hls> "
+                    "--repair <this file>)\n";
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaKind::kAddProcess: {
+        // Re-render the process body through the emitter: build a throwaway
+        // model holding just this process over the base library.
+        ModelSpec mini;
+        mini.types = ExtractSpec(base).types;
+        mini.processes.push_back(op.added);
+        auto model_or = BuildModel(mini);
+        if (!model_or.ok()) {
+          out += "# add process " + op.added.name + ": unrenderable (" +
+                 model_or.status().message() + ")\n";
+          break;
+        }
+        const std::string text = EmitSystemText(model_or.value());
+        const std::size_t at = text.find("process ");
+        out += "add " +
+               (at == std::string::npos ? text : text.substr(at));
+        if (out.back() != '\n') out += "\n";
+        break;
+      }
+      case DeltaKind::kRemoveProcess:
+        out += "remove process " + op.process + ";\n";
+        break;
+      case DeltaKind::kRetimeType:
+        out += "retime " + op.type;
+        if (op.delay != -1) out += " delay " + std::to_string(op.delay);
+        if (op.dii != -1) out += " dii " + std::to_string(op.dii);
+        out += ";\n";
+        break;
+      case DeltaKind::kSetPeriod:
+        out += "period " + op.type + " " + std::to_string(op.period) + ";\n";
+        break;
+      case DeltaKind::kSetDeadline:
+        out += "deadline " + op.process + " " + std::to_string(op.deadline);
+        if (op.time_range > 0)
+          out += " time " + std::to_string(op.time_range);
+        out += ";\n";
+        break;
+      case DeltaKind::kResizeGroup: {
+        out += "group " + op.type;
+        for (std::size_t i = 0; i < op.group.size(); ++i)
+          out += (i == 0 ? " " : ", ") + op.group[i];
+        out += ";\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<RepairResult> RepairSchedule(const SystemModel& base,
+                                      const CoupledResult& old_certified,
+                                      const ModelDelta& delta,
+                                      const RepairOptions& options) {
+  if (delta.empty())
+    return Status{StatusCode::kInvalidArgument, "empty delta"};
+  if (old_certified.schedule.blocks.size() != base.block_count())
+    return Status{StatusCode::kInvalidArgument,
+                  "base schedule does not match the base model"};
+
+  auto post_or = ApplyDelta(base, delta);
+  if (!post_or.ok()) return post_or.status();
+  const SystemModel post = std::move(post_or).value();
+
+  obs::TraceTrack* track = nullptr;
+  if (obs::Tracer* tracer = obs::GlobalTracer())
+    track = &tracer->NewTrack("repair");
+  obs::ScopedSpan repair_span(
+      track, "repair", obs::TraceArgs().S("delta", delta.Summary()).Json());
+
+  const std::vector<std::string> perturbed = PerturbedProcesses(base, delta);
+  const std::set<std::string> freed(perturbed.begin(), perturbed.end());
+
+  // Pin rows for a given freed set: every post process outside it with an
+  // unchanged block shape keeps its base starts; everything else floats.
+  const auto build_pins = [&](const std::set<std::string>& free_set,
+                              int* pinned_ops, int* freed_ops) {
+    std::vector<std::vector<int>> pins(post.block_count());
+    *pinned_ops = 0;
+    *freed_ops = 0;
+    for (const Process& p : post.processes()) {
+      const Process* base_p = nullptr;
+      for (const Process& candidate : base.processes())
+        if (candidate.name == p.name) {
+          base_p = &candidate;
+          break;
+        }
+      const bool pin = free_set.count(p.name) == 0 && base_p != nullptr &&
+                       SameBlockShape(base, *base_p, post, p);
+      for (std::size_t i = 0; i < p.blocks.size(); ++i) {
+        const Block& pb = post.block(p.blocks[i]);
+        const int ops = static_cast<int>(pb.graph.op_count());
+        if (!pin) {
+          *freed_ops += ops;
+          continue;
+        }
+        const BlockSchedule& starts =
+            old_certified.schedule.of(base_p->blocks[i]);
+        std::vector<int>& row = pins[p.blocks[i].index()];
+        row.resize(static_cast<std::size_t>(ops), -1);
+        for (int o = 0; o < ops; ++o)
+          row[static_cast<std::size_t>(o)] =
+              starts.start(OpId(static_cast<std::int32_t>(o)));
+        *pinned_ops += ops;
+      }
+    }
+    return pins;
+  };
+
+  RepairResult out;
+  std::vector<RepairRung> ladder = options.ladder;
+  if (ladder.empty()) ladder.push_back(RepairRung::kInPlace);
+
+  const std::set<std::string> widened = WidenScope(post, freed);
+  Status last{StatusCode::kInternal, "no applicable repair rung"};
+  for (const RepairRung rung : ladder) {
+    // Rungs that cannot change the outcome are skipped, not recorded.
+    if (rung == RepairRung::kWidenScope &&
+        (widened.size() == freed.size() ||
+         widened.size() == post.process_count()))
+      continue;
+    if (rung == RepairRung::kRelaxPeriods && post.GlobalTypes().empty())
+      continue;
+
+    obs::ScopedSpan attempt_span(
+        track, "attempt",
+        obs::TraceArgs().S("rung", RepairRungName(rung)).Json());
+    Status attempt;
+    int pinned_ops = 0;
+    int freed_ops = 0;
+    switch (rung) {
+      case RepairRung::kInPlace:
+      case RepairRung::kWidenScope: {
+        CoupledParams params = options.params;
+        params.pinned_starts = build_pins(
+            rung == RepairRung::kInPlace ? freed : widened, &pinned_ops,
+            &freed_ops);
+        SystemModel model = post;
+        bool hit = false;
+        bool store_hit = false;
+        auto run_or = ScheduleWithCache(model, params, options.cache, &hit,
+                                        options.store, &store_hit);
+        out.evaluated += 1;
+        out.cache_hits += hit ? 1 : 0;
+        out.store_hits += store_hit ? 1 : 0;
+        attempt = run_or.ok() ? GateAttempt(std::move(model),
+                                            std::move(run_or).value(),
+                                            options, out)
+                              : run_or.status();
+        break;
+      }
+      case RepairRung::kRelaxPeriods: {
+        CoupledParams params = options.params;
+        params.pinned_starts.clear();
+        SystemModel model = post;
+        PeriodSearchOptions search_options;
+        search_options.jobs = options.jobs;
+        search_options.cache = options.cache;
+        search_options.store = options.store;
+        auto search = SearchPeriods(model, params, search_options);
+        if (search.ok()) {
+          out.evaluated += search.value().evaluated;
+          out.cache_hits += search.value().cache_hits;
+          out.store_hits += search.value().store_hits;
+          attempt = GateAttempt(std::move(model),
+                                std::move(search).value().best, options, out);
+        } else {
+          attempt = search.status();
+        }
+        break;
+      }
+      case RepairRung::kFullResolve: {
+        CoupledParams params = options.params;
+        params.pinned_starts.clear();
+        SystemModel model = post;
+        bool hit = false;
+        bool store_hit = false;
+        auto run_or = ScheduleWithCache(model, params, options.cache, &hit,
+                                        options.store, &store_hit);
+        out.evaluated += 1;
+        out.cache_hits += hit ? 1 : 0;
+        out.store_hits += store_hit ? 1 : 0;
+        attempt = run_or.ok() ? GateAttempt(std::move(model),
+                                            std::move(run_or).value(),
+                                            options, out)
+                              : run_or.status();
+        break;
+      }
+    }
+    out.attempts.push_back(RepairAttempt{rung, attempt});
+    if (attempt.ok()) {
+      out.rung = rung;
+      out.pinned_ops = pinned_ops;
+      out.freed_ops = freed_ops;
+      CountMetric("repair.completed");
+      if (obs::Enabled())
+        obs::MetricsRegistry::Global()
+            .GetCounter(std::string("repair.rung.") + RepairRungName(rung),
+                        obs::MetricKind::kStable)
+            .Add();
+      if (track != nullptr)
+        track->Instant("done", obs::TraceArgs()
+                                   .S("rung", RepairRungName(rung))
+                                   .I("pinned_ops", pinned_ops)
+                                   .I("freed_ops", freed_ops)
+                                   .Json());
+      return out;
+    }
+    last = std::move(attempt);
+    // Only statuses a weaker formulation can fix keep the ladder going —
+    // same contract as the job-level degradation ladder.
+    if (!IsDegradable(last.code())) break;
+  }
+  CountMetric("repair.failed");
+  return last;
+}
+
+}  // namespace mshls

@@ -1,0 +1,185 @@
+// Online schedule repair (ROADMAP O4): survive live workload perturbations
+// without resolving from scratch.
+//
+// A running system holds a *certified* schedule. When the workload changes
+// — a process is added or removed, an op latency is retimed, a period or
+// deadline moves, a shared resource group is resized — RepairSchedule
+// re-schedules only the perturbed slice: every process the delta cannot
+// have affected keeps its start steps (and therefore its residues) pinned
+// as hard constraints (CoupledParams::pinned_starts), and the coupled IFDS
+// schedules the freed processes around them. Because the pinned starts are
+// exactly the old certified schedule and pins participate in the schedule
+// cache key, a repeated repair of the same (base, delta) pair warm-starts
+// from the two-tier schedule cache like any other job.
+//
+// Repairs walk their own degradation ladder, strictly from least to most
+// disruptive:
+//   kInPlace      — pin everything the delta did not touch;
+//   kWidenScope   — additionally free the transitive global-sharing
+//                   neighborhood of the perturbed processes (a pinned
+//                   neighbor may be hogging exactly the residues the
+//                   perturbed slice now needs);
+//   kRelaxPeriods — drop the pins and re-run S2 (period search) on the
+//                   post-delta model;
+//   kFullResolve  — a plain fresh solve of the post-delta model.
+// Every rung is gated by the independent certifier with binding checks —
+// a repaired schedule is never weaker-checked than a fresh one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "model/model_spec.h"
+#include "model/system_model.h"
+#include "modulo/coupled_scheduler.h"
+#include "modulo/schedule_cache.h"
+#include "verify/certifier.h"
+
+namespace mshls {
+
+enum class DeltaKind {
+  kAddProcess,     // a new process joins the running system
+  kRemoveProcess,  // a process leaves (shares shed its membership)
+  kRetimeType,     // a resource type's delay/dii changed (re-timed IP core)
+  kSetPeriod,      // lambda_g of a shared type changes (S2 perturbation)
+  kSetDeadline,    // a process deadline (and optionally time range) moves
+  kResizeGroup,    // the sharing group of a global type is re-drawn
+};
+
+[[nodiscard]] const char* DeltaKindName(DeltaKind kind);
+
+/// One perturbation. Processes and resource types are referenced by NAME —
+/// ids shift when the post-delta model is rebuilt, names are stable.
+struct DeltaOp {
+  DeltaKind kind = DeltaKind::kRemoveProcess;
+  /// Target process (kRemoveProcess / kSetDeadline).
+  std::string process;
+  /// Target resource type (kRetimeType / kSetPeriod / kResizeGroup).
+  std::string type;
+  /// kRetimeType: new delay / dii (-1 keeps the current value).
+  int delay = -1;
+  int dii = -1;
+  /// kSetPeriod: new lambda_g (>= 1).
+  int period = 0;
+  /// kSetDeadline: new deadline; time_range > 0 additionally re-ranges
+  /// every block of the process (-1 keeps block ranges untouched).
+  int deadline = 0;
+  int time_range = -1;
+  /// kResizeGroup: the new member list; empty demotes the type to local.
+  std::vector<std::string> group;
+  /// kAddProcess: the joining process. Op type indices refer to the BASE
+  /// model's library order (== ExtractSpec(base).types order).
+  SpecProcess added;
+};
+
+struct ModelDelta {
+  std::vector<DeltaOp> ops;
+
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+  /// "retime mult, remove process p3" — for logs and typed rejections.
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Stable 64-bit fingerprint of the delta content. Combined with the base
+/// model fingerprint it keys repair jobs across cache tiers.
+[[nodiscard]] std::uint64_t DeltaFingerprint(const ModelDelta& delta);
+
+/// Applies `delta` to `base` and returns the rebuilt, Validate()d
+/// post-delta model. Unknown names, a share emptied of processes by
+/// removals, or a post-delta model that fails validation all come back as
+/// typed statuses (kNotFound / kInvalidArgument / kInfeasible).
+[[nodiscard]] StatusOr<SystemModel> ApplyDelta(const SystemModel& base,
+                                               const ModelDelta& delta);
+
+/// Names of the post-delta processes whose base schedule can no longer be
+/// trusted under `delta` (sorted, unique): the slice a repair re-schedules.
+[[nodiscard]] std::vector<std::string> PerturbedProcesses(
+    const SystemModel& base, const ModelDelta& delta);
+
+/// Parses the sidecar delta format (one directive per line, `#` comments,
+/// `;` terminators; names resolved against `base`):
+///   remove process <name>;
+///   add process <name> [deadline N] { block <name> time N { ... } }
+///   retime <type> delay <d> [dii <k>];
+///   period <type> <lambda>;
+///   deadline <process> <d> [time <t>];
+///   group <type> [<p1>, <p2>, ...];     # empty list -> local
+/// The add-process body is full .hls process syntax, compiled against the
+/// base model's resource library.
+[[nodiscard]] StatusOr<ModelDelta> ParseDelta(std::string_view text,
+                                              const SystemModel& base);
+
+/// Renders `delta` back into the sidecar format (round-trips through
+/// ParseDelta against the same base). Used by the fuzz shrinker to persist
+/// perturb-then-repair repros as a .hls + delta pair.
+[[nodiscard]] std::string RenderDelta(const ModelDelta& delta,
+                                      const SystemModel& base);
+
+enum class RepairRung {
+  kInPlace = 0,
+  kWidenScope,
+  kRelaxPeriods,
+  kFullResolve,
+};
+
+[[nodiscard]] const char* RepairRungName(RepairRung rung);
+
+/// The full repair ladder in documented order.
+[[nodiscard]] std::vector<RepairRung> DefaultRepairLadder();
+
+/// One tried repair rung and how it ended.
+struct RepairAttempt {
+  RepairRung rung = RepairRung::kInPlace;
+  Status status;
+};
+
+struct RepairOptions {
+  /// Scheduling parameters for every rung (pinned_starts is owned by the
+  /// repair engine and overwritten per rung).
+  CoupledParams params;
+  /// Rungs tried in order; {kInPlace} disables fallback entirely.
+  std::vector<RepairRung> ladder = DefaultRepairLadder();
+  /// Optional shared cache tiers: each rung's solve goes through
+  /// ScheduleWithCache, so repeated repairs warm-start.
+  ScheduleCache* cache = nullptr;
+  ScheduleStore* store = nullptr;
+  /// Worker threads for the kRelaxPeriods period-search fan-out.
+  int jobs = 1;
+  CertifierOptions certifier;
+};
+
+struct RepairResult {
+  /// The post-delta model the winning attempt scheduled (period choices of
+  /// a kRelaxPeriods win are reflected here). Shared: models are heavy and
+  /// results are copied around by job machinery.
+  std::shared_ptr<const SystemModel> model;
+  CoupledResult result;
+  /// Certificate of the winning attempt — always clean (a dirty
+  /// certificate fails the rung instead).
+  CertificateReport certificate;
+  RepairRung rung = RepairRung::kInPlace;
+  std::vector<RepairAttempt> attempts;
+  /// Pin accounting of the winning rung (both 0 for kRelaxPeriods /
+  /// kFullResolve, which schedule unpinned).
+  int pinned_ops = 0;
+  int freed_ops = 0;
+  /// Cache accounting across all attempts.
+  long evaluated = 0;
+  long cache_hits = 0;
+  long store_hits = 0;
+};
+
+/// Repairs `old_certified` (the base model's certified schedule) under
+/// `delta`. Walks the repair ladder; the first rung whose schedule passes
+/// binding + certification wins. Statuses: input problems (bad delta,
+/// unknown names) surface as-is; an exhausted ladder returns the last
+/// rung's failure.
+[[nodiscard]] StatusOr<RepairResult> RepairSchedule(
+    const SystemModel& base, const CoupledResult& old_certified,
+    const ModelDelta& delta, const RepairOptions& options = {});
+
+}  // namespace mshls

@@ -25,6 +25,17 @@ std::uint64_t ScheduleCacheKey(const SystemModel& model,
   h.Mix(params.fds.area_weighting);
   h.Mix(params.fds.mid_estimate);
   h.Mix(static_cast<int>(params.mode));
+  // Repair pins constrain the result, so pinned and unpinned runs of one
+  // model must never share an entry. The tag keeps "no pinning" distinct
+  // from "all rows empty".
+  if (!params.pinned_starts.empty()) {
+    h.Mix(std::uint64_t{0x70696e6e65640aull});
+    h.Mix(params.pinned_starts.size());
+    for (const std::vector<int>& row : params.pinned_starts) {
+      h.Mix(row.size());
+      for (int step : row) h.Mix(step);
+    }
+  }
   return h.Digest();
 }
 

@@ -243,7 +243,12 @@ std::optional<CoupledResult> DiskCache::Load(std::uint64_t key,
   auto result_or = DecodeResult(payload, model);
   if (!result_or.ok()) {
     Warn(path.filename().string(), result_or.status().message());
-    ++stats_.skipped_corrupt;
+    // kFailedPrecondition marks a payload written by another result-codec
+    // format version (e.g. v1 entries after the v2 certificate-stats
+    // extension) — a compat skip, not corruption.
+    ++(result_or.status().code() == StatusCode::kFailedPrecondition
+           ? stats_.skipped_version
+           : stats_.skipped_corrupt);
     ++stats_.misses;
     DropEntryLocked(key, /*count_as_eviction=*/false);
     return std::nullopt;
@@ -255,8 +260,9 @@ std::optional<CoupledResult> DiskCache::Load(std::uint64_t key,
 
 void DiskCache::Store(std::uint64_t key, const SystemModel& model,
                       const CoupledResult& result) {
-  (void)model;  // the key already fingerprints the model
-  const std::string entry = EncodeEntry(key, EncodeResult(result));
+  // The key fingerprints the model; the model itself is still needed to
+  // take the certificate that travels with the entry (result_codec v2).
+  const std::string entry = EncodeEntry(key, EncodeResult(model, result));
   std::lock_guard<std::mutex> lock(mutex_);
   if (options_.max_bytes > 0 && entry.size() > options_.max_bytes) {
     ++stats_.rejected_oversize;

@@ -14,9 +14,11 @@
 //    Open() sweeps leftover tmp files;
 //  * loads never trust the bytes: short files, bad magic, bad checksum,
 //    foreign format versions and schedules that do not validate against
-//    the requesting model are all counted + skipped (a warning through
-//    stderr once per entry), NEVER a crash — the scheduler simply re-solves
-//    and overwrites the bad entry;
+//    the requesting model — or fail the load-time re-certification
+//    against the certificate stats stored with the entry (result_codec
+//    v2) — are all counted + skipped (a warning through stderr once per
+//    entry), NEVER a crash — the scheduler simply re-solves and
+//    overwrites the bad entry;
 //  * eviction is LRU by file mtime under a total-size budget (mtime is
 //    refreshed on hit, so recency survives restarts); ties break on file
 //    name so eviction order is deterministic.

@@ -20,6 +20,7 @@ const char* ServeStatusName(ServeStatus status) {
     case ServeStatus::kTooLarge: return "too-large";
     case ServeStatus::kMalformedFrame: return "malformed-frame";
     case ServeStatus::kShuttingDown: return "shutting-down";
+    case ServeStatus::kUnknownBase: return "unknown-base";
   }
   return "unknown";
 }
@@ -30,6 +31,7 @@ bool IsRejection(ServeStatus status) {
     case ServeStatus::kTooLarge:
     case ServeStatus::kMalformedFrame:
     case ServeStatus::kShuttingDown:
+    case ServeStatus::kUnknownBase:
       return true;
     case ServeStatus::kOk:
     case ServeStatus::kJobFailed:
@@ -50,6 +52,8 @@ std::string EncodeRequest(const ServeRequest& request) {
   PutU32(out, request.timeout_ms);
   PutU32(out, static_cast<std::uint32_t>(request.source.size()));
   out.append(request.source);
+  PutU32(out, static_cast<std::uint32_t>(request.delta.size()));
+  out.append(request.delta);
   return out;
 }
 
@@ -59,7 +63,8 @@ StatusOr<ServeRequest> DecodeRequest(std::string_view frame) {
   std::uint32_t version = 0;
   if (!GetU32(frame, cursor, &magic) || magic != kRequestMagic)
     return Status{StatusCode::kInvalidArgument, "bad request magic"};
-  if (!GetU32(frame, cursor, &version) || version != kProtocolVersion)
+  if (!GetU32(frame, cursor, &version) || version < kMinRequestVersion ||
+      version > kProtocolVersion)
     return Status{StatusCode::kInvalidArgument,
                   "unsupported protocol version " + std::to_string(version)};
   if (cursor + 4 > frame.size())
@@ -77,14 +82,30 @@ StatusOr<ServeRequest> DecodeRequest(std::string_view frame) {
   if (!GetU32(frame, cursor, &request.timeout_ms) ||
       !GetU32(frame, cursor, &source_len))
     return Status{StatusCode::kInvalidArgument, "truncated request header"};
-  if (frame.size() - cursor != source_len)
+  if (frame.size() - cursor < source_len)
     return Status{StatusCode::kInvalidArgument,
                   "request source length mismatch (declared " +
                       std::to_string(source_len) + ", have " +
                       std::to_string(frame.size() - cursor) + ")"};
   if (source_len == 0)
     return Status{StatusCode::kInvalidArgument, "empty job source"};
-  request.source.assign(frame.substr(cursor));
+  request.source.assign(frame.substr(cursor, source_len));
+  cursor += source_len;
+  if (version >= 2) {
+    std::uint32_t delta_len = 0;
+    if (!GetU32(frame, cursor, &delta_len) ||
+        frame.size() - cursor != delta_len)
+      return Status{StatusCode::kInvalidArgument,
+                    "request delta length mismatch"};
+    request.delta.assign(frame.substr(cursor, delta_len));
+  } else if (cursor != frame.size()) {
+    // v1 frames end right after the source bytes.
+    return Status{StatusCode::kInvalidArgument,
+                  "request source length mismatch (declared " +
+                      std::to_string(source_len) + ", have " +
+                      std::to_string(frame.size() - (cursor - source_len)) +
+                      ")"};
+  }
   return request;
 }
 
@@ -119,7 +140,7 @@ StatusOr<ServeResponse> DecodeResponse(std::string_view frame) {
   const std::uint8_t status = static_cast<std::uint8_t>(frame[cursor++]);
   const std::uint8_t rung = static_cast<std::uint8_t>(frame[cursor++]);
   cursor += 2;  // reserved
-  if (status > static_cast<std::uint8_t>(ServeStatus::kShuttingDown))
+  if (status > static_cast<std::uint8_t>(ServeStatus::kUnknownBase))
     return Status{StatusCode::kInvalidArgument,
                   "unknown response status " + std::to_string(status)};
   ServeResponse response;
@@ -141,8 +162,10 @@ std::string RenderJobPayload(const JobResult& result) {
   std::string out = "{\"schema\":\"mshls-serve-v1\"";
   out += ",\"name\":\"" + JsonEscape(result.name) + "\"";
   out += ",\"rung\":\"";
-  out += DegradationRungName(result.rung);
+  out += result.repaired ? RepairRungName(result.repair_rung)
+                         : DegradationRungName(result.rung);
   out += "\"";
+  if (result.repaired) out += ",\"repaired\":true";
   out += ",\"area\":" + std::to_string(result.area);
   out += ",\"evaluated\":" + std::to_string(result.evaluated);
   if (result.model != nullptr) {

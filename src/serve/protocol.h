@@ -5,12 +5,24 @@
 //   u32 magic "MSRQ"   u32 version (=kProtocolVersion)
 //   u8  mode (JobMode) u8 flags    u16 reserved (0)
 //   u32 timeout_ms     u32 source_len    source bytes (.hls text)
+//   u32 delta_len      delta bytes       (v2+; absent in v1 frames)
+//
+// Version history: v1 had no delta field; v1 frames are still accepted
+// (DecodeRequest) so old clients keep working against a v2 daemon. A
+// non-empty delta turns the job into an online *repair* of the source
+// system (engine/job.h RepairRequest); the daemon never solves the base
+// from scratch under a repair label — an unknown/evicted base schedule is
+// rejected with ServeStatus::kUnknownBase.
 //
 // Response payload:
 //   u32 magic "MSRS"   u32 version
 //   u8  status (ServeStatus)  u8 rung  u16 reserved (0)
 //   u32 evaluated  u32 cache_hits  u32 store_hits
 //   u32 payload_len    payload bytes
+//
+// For repair results the rung byte carries the RepairRung of the winning
+// repair attempt instead of a DegradationRung (the payload's "rung" field
+// is authoritative and spells out which ladder it came from).
 //
 // Cache accounting lives in the *header*, never in the JSON payload: hit
 // counts depend on what a given server instance has already seen, while
@@ -34,7 +46,9 @@
 
 namespace mshls::serve {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Oldest request version DecodeRequest still accepts (v1 = no delta).
+inline constexpr std::uint32_t kMinRequestVersion = 1;
 inline constexpr std::uint32_t kRequestMagic = 0x5152534du;   // "MSRQ"
 inline constexpr std::uint32_t kResponseMagic = 0x5352534du;  // "MSRS"
 
@@ -48,6 +62,10 @@ struct ServeRequest {
   /// Per-job wall-clock budget; 0 = server default.
   std::uint32_t timeout_ms = 0;
   std::string source;  // .hls text
+  /// Non-empty => repair request: sidecar delta text (modulo/repair.h
+  /// ParseDelta) applied to the base system in `source`. Requires
+  /// JobMode::kCoupled; the base schedule must still be cached server-side.
+  std::string delta;
 };
 
 /// Typed outcome of one request. Everything except kOk is an error, but
@@ -61,6 +79,11 @@ enum class ServeStatus : std::uint8_t {
   kTooLarge = 3,        // frame above the server's request cap
   kMalformedFrame = 4,  // unparseable frame or protocol payload
   kShuttingDown = 5,    // server is draining — connection will close
+  /// Repair rejection: the base schedule is in no cache tier (never
+  /// solved here, or evicted). The engine never ran; resubmitting the
+  /// base as a full solve and then repeating the repair will succeed, so
+  /// this counts as a rejection like the admission kinds above.
+  kUnknownBase = 6,
 };
 
 [[nodiscard]] const char* ServeStatusName(ServeStatus status);

@@ -2,6 +2,7 @@
 
 #include "modulo/allocation.h"
 #include "serve/wire.h"
+#include "verify/certifier.h"
 
 namespace mshls::serve {
 namespace {
@@ -12,7 +13,8 @@ Status Corrupt(const std::string& what) {
 
 }  // namespace
 
-std::string EncodeResult(const CoupledResult& result) {
+std::string EncodeResult(const SystemModel& model,
+                         const CoupledResult& result) {
   std::string out;
   PutU32(out, kResultFormatVersion);
   PutU32(out, static_cast<std::uint32_t>(result.schedule.blocks.size()));
@@ -28,6 +30,15 @@ std::string EncodeResult(const CoupledResult& result) {
   PutI64(out, result.stats.candidates_reused);
   PutI64(out, result.stats.tier1_invalidations);
   PutI64(out, result.stats.tier2_invalidations);
+  // v2: the certificate's check counts, pinned so the load side can prove
+  // it re-ran the same verification the store side did.
+  const CertificateStats cert = CertifyResult(model, result).stats;
+  PutI64(out, cert.ops_checked);
+  PutI64(out, cert.edges_checked);
+  PutI64(out, cert.cycles_checked);
+  PutI64(out, cert.residues_checked);
+  PutI64(out, cert.shifts_checked);
+  PutI64(out, cert.bindings_checked);
   return out;
 }
 
@@ -37,8 +48,9 @@ StatusOr<CoupledResult> DecodeResult(std::string_view bytes,
   std::uint32_t version = 0;
   if (!GetU32(bytes, cursor, &version)) return Corrupt("truncated header");
   if (version != kResultFormatVersion)
-    return Corrupt("format version " + std::to_string(version) + " != " +
-                   std::to_string(kResultFormatVersion));
+    return Status{StatusCode::kFailedPrecondition,
+                  "result decode: format version " + std::to_string(version) +
+                      " != " + std::to_string(kResultFormatVersion)};
   std::uint32_t block_count = 0;
   if (!GetU32(bytes, cursor, &block_count)) return Corrupt("truncated header");
   if (block_count != model.block_count())
@@ -72,6 +84,10 @@ StatusOr<CoupledResult> DecodeResult(std::string_view bytes,
   std::int64_t raw[7] = {};
   for (std::int64_t& value : raw)
     if (!GetI64(bytes, cursor, &value)) return Corrupt("truncated stats");
+  std::int64_t cert_raw[6] = {};
+  for (std::int64_t& value : cert_raw)
+    if (!GetI64(bytes, cursor, &value))
+      return Corrupt("truncated certificate stats");
   if (cursor != bytes.size()) return Corrupt("trailing bytes");
   result.iterations = static_cast<int>(raw[0]);
   result.stats.iterations = raw[1];
@@ -86,6 +102,25 @@ StatusOr<CoupledResult> DecodeResult(std::string_view bytes,
   if (Status s = ValidateSystemSchedule(model, result.schedule); !s.ok())
     return Corrupt("stored schedule invalid for model: " + s.message());
   result.allocation = ComputeAllocation(model, result.schedule);
+
+  // Certificate gate: re-run the independent certifier and demand both a
+  // clean report and the exact check counts taken at encode time. Starts
+  // that merely validate but were never certified (a tampered entry) stop
+  // here instead of reaching a consumer.
+  const CertificateReport report = CertifyResult(model, result);
+  if (!report.ok())
+    return Corrupt("stored schedule fails certification: " +
+                   report.Summary());
+  const CertificateStats& cs = report.stats;
+  const std::int64_t now[6] = {cs.ops_checked,      cs.edges_checked,
+                               cs.cycles_checked,   cs.residues_checked,
+                               cs.shifts_checked,   cs.bindings_checked};
+  for (int i = 0; i < 6; ++i)
+    if (now[i] != cert_raw[i])
+      return Corrupt("certificate stats mismatch (stored " +
+                     std::to_string(cert_raw[i]) + ", re-derived " +
+                     std::to_string(now[i]) + " at slot " +
+                     std::to_string(i) + ")");
   return result;
 }
 

@@ -9,10 +9,15 @@
 // authorization machinery.
 //
 // Decoding trusts nothing: the byte stream is validated structurally
-// (length-checked reads), against the model (block/op counts must match)
-// and semantically (ValidateSystemSchedule) before the result is used.
-// Any mismatch is a typed error — the disk cache turns it into a skipped
-// entry, never a crash.
+// (length-checked reads), against the model (block/op counts must match),
+// semantically (ValidateSystemSchedule) and — since v2 — against the
+// independent certifier (verify/certifier.h): the stats of the
+// certificate taken at encode time are stored with the entry, and
+// DecodeResult re-certifies the rebuilt result and requires a clean
+// certificate with the *same* stats. A tampered entry (edited starts that
+// still happen to validate, truncated/bit-flipped stats) therefore
+// downgrades to a miss instead of being served. Any mismatch is a typed
+// error — the disk cache turns it into a skipped entry, never a crash.
 #pragma once
 
 #include <string>
@@ -25,13 +30,21 @@ namespace mshls::serve {
 
 /// Bumped whenever the byte layout changes; entries written by another
 /// format version are skipped on load.
-inline constexpr std::uint32_t kResultFormatVersion = 1;
+/// v1: starts + stable stats. v2: + certificate stats, re-verified on load.
+inline constexpr std::uint32_t kResultFormatVersion = 2;
 
-[[nodiscard]] std::string EncodeResult(const CoupledResult& result);
+/// `model` must be the model the result was scheduled on: the entry
+/// embeds the stats of its certificate (CertifyResult) for the load-time
+/// re-verification.
+[[nodiscard]] std::string EncodeResult(const SystemModel& model,
+                                       const CoupledResult& result);
 
 /// Rebuilds the result against `model` (the model the fingerprint key was
 /// derived from). Fails with kInvalidArgument on any structural or
-/// semantic mismatch.
+/// semantic mismatch (including a certificate that is dirty or disagrees
+/// with the stored one) and with kFailedPrecondition when the entry was
+/// written by another format version — the disk cache counts the two
+/// apart (skipped_corrupt vs skipped_version).
 [[nodiscard]] StatusOr<CoupledResult> DecodeResult(std::string_view bytes,
                                                    const SystemModel& model);
 

@@ -237,6 +237,17 @@ ServeResponse Server::HandleRequest(const ServeRequest& request) {
   job.timeout_ms = request.timeout_ms != 0
                        ? static_cast<long>(request.timeout_ms)
                        : options_.default_timeout_ms;
+  const bool is_repair = !request.delta.empty();
+  if (is_repair) {
+    RepairRequest repair;
+    repair.delta_source = request.delta;
+    // The daemon never solves a base from scratch under a repair label: an
+    // unknown/evicted base is a typed rejection and the client resubmits a
+    // full solve (otherwise a "repair" could silently cost a cold solve).
+    repair.solve_base_if_missing = false;
+    job.name = "serve-repair";
+    job.repair = std::move(repair);
+  }
 
   JobResult result = service_->SubmitJob(std::move(job)).get();
   admission_.Release();
@@ -246,12 +257,22 @@ ServeResponse Server::HandleRequest(const ServeRequest& request) {
   response.cache_hits = static_cast<std::uint32_t>(result.cache_hits);
   response.store_hits = static_cast<std::uint32_t>(result.store_hits);
   if (!result.status.ok()) {
+    if (is_repair && result.status.code() == StatusCode::kNotFound) {
+      response.status = ServeStatus::kUnknownBase;
+      response.payload = result.status.message();
+      return response;
+    }
     response.status = ServeStatus::kJobFailed;
     response.payload = result.status.message();
     return response;
   }
   response.status = ServeStatus::kOk;
-  response.rung = static_cast<std::uint8_t>(result.rung);
+  response.rung = result.repaired ? static_cast<std::uint8_t>(result.repair_rung)
+                                  : static_cast<std::uint8_t>(result.rung);
+  if (result.repaired) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.repaired;
+  }
   response.payload = RenderJobPayload(result);
   return response;
 }
@@ -265,6 +286,7 @@ void Server::CountResponse(ServeStatus status) {
     case ServeStatus::kTooLarge: ++stats_.rejected_too_large; break;
     case ServeStatus::kMalformedFrame: ++stats_.rejected_malformed; break;
     case ServeStatus::kShuttingDown: ++stats_.rejected_shutting_down; break;
+    case ServeStatus::kUnknownBase: ++stats_.rejected_unknown_base; break;
   }
 }
 

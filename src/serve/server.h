@@ -62,11 +62,13 @@ struct ServerStats {
   long long connections = 0;
   long long requests = 0;  // frames that decoded into a request
   long long ok = 0;
+  long long repaired = 0;  // of `ok`, served by the repair pipeline
   long long job_failed = 0;
   long long rejected_overloaded = 0;
   long long rejected_too_large = 0;
   long long rejected_malformed = 0;
   long long rejected_shutting_down = 0;
+  long long rejected_unknown_base = 0;  // repair on an uncached base
 };
 
 class Server {

@@ -2,6 +2,9 @@
 //
 //   mshlsc <design.hls> [options]
 //
+// The design path and the flags may come in any order: the first non-flag
+// token is the input (`mshlsc --verify d.hls` == `mshlsc d.hls --verify`).
+//
 //   --search-periods       run step S2 automatically (default: use the
 //                          periods written in the source)
 //   --search-assignments   run step S1+S2 automatically (overrides any
@@ -41,6 +44,23 @@
 //                          corrupted and the certifier must catch it;
 //                          caught faults are shrunk, misses exit 1)
 //   --fuzz-dir <dir>       where --fuzz writes repros (default fuzz-repros)
+//   --repair <delta-file>  online schedule repair: treat <design.hls> as a
+//                          RUNNING system and apply the sidecar delta
+//                          (modulo/repair.h format: add/remove process,
+//                          retime, period, deadline, group). In-process the
+//                          base is solved (or warm-started from
+//                          --cache-dir) and then repaired; with --connect
+//                          the delta rides in the request and the daemon
+//                          must still hold the base schedule (an evicted or
+//                          never-solved base is a typed `unknown-base`
+//                          rejection). All outputs (--table, --json, ...)
+//                          describe the repaired post-delta system
+//   --fuzz-repair <n>[:<seed>]
+//                          perturb-then-repair campaign: n random systems,
+//                          each solved, perturbed by a random delta and
+//                          repaired; a repair that fails where a fresh
+//                          solve succeeds (or certifies dirty) is a
+//                          divergence, shrunk to a .hls + .delta repro pair
 //   --connect <sock>       submit the design (or the whole --batch
 //                          directory) to a running mshlsd daemon instead
 //                          of scheduling in-process; the response payload
@@ -82,9 +102,12 @@
 #include "common/build_info.h"
 #include "common/text_table.h"
 #include "dfg/dot_export.h"
+#include "engine/job.h"
 #include "engine/job_service.h"
 #include "frontend/lowering.h"
 #include "fuzz/fuzzer.h"
+#include "fuzz/perturb.h"
+#include "modulo/repair.h"
 #include "modulo/assignment_search.h"
 #include "modulo/baseline.h"
 #include "modulo/coupled_scheduler.h"
@@ -109,6 +132,8 @@ namespace {
 
 struct Args {
   std::string input;
+  std::string repair_delta_file;
+  std::string fuzz_repair_spec;
   bool search_periods = false;
   bool search_assignments = false;
   bool local = false;
@@ -141,39 +166,42 @@ int Usage(const char* argv0) {
                "[--search-assignments] [--local] [--table] [--gantt] "
                "[--dot <dir>] [--rtl <file>] [--json <file>] [--simulate <n>] [--seed <s>]\n"
                "       [--jobs <n>] [--verify] [--inject-fault <kind>[:<seed>]]\n"
+               "       (flags and the design path may come in any order)\n"
+               "   or: %s <design.hls> --repair <delta-file> [output flags]\n"
                "   or: %s --batch <dir> [--jobs <n>] [mode flags] [--simulate <n>]\n"
                "   or: %s --fuzz <n>[:<seed>] [--jobs <n>] "
                "[--inject-fault <spec>] [--fuzz-dir <dir>]\n"
+               "   or: %s --fuzz-repair <n>[:<seed>] [--jobs <n>] "
+               "[--fuzz-dir <dir>]\n"
                "   or: %s <design.hls> --connect <sock> [mode flags] "
-               "[--timeout-ms <n>] [--json <file>]\n"
+               "[--repair <delta-file>] [--timeout-ms <n>] [--json <file>]\n"
                "caching (single/batch): [--cache-dir <dir>] "
                "[--cache-budget-mb <n>]\n"
                "observability (any mode): [--trace <file>] "
                "[--trace-wall <file>] [--metrics <file>] [--stats]\n"
                "   or: %s --version\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 1;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
-  int first = 2;
-  if (std::strcmp(argv[1], "--batch") == 0) {
-    if (argc < 3) return false;
-    args->batch_dir = argv[2];
-    first = 3;
-  } else if (std::strcmp(argv[1], "--fuzz") == 0) {
-    if (argc < 3) return false;
-    args->fuzz_spec = argv[2];
-    first = 3;
-  } else {
-    args->input = argv[1];
-  }
-  for (int i = first; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // The first non-flag token anywhere on the line is the design path —
+    // flags may precede it (`mshlsc --verify d.hls` works).
+    if (flag.rfind("--", 0) != 0) {
+      if (!args->input.empty()) {
+        std::fprintf(stderr, "two inputs given: '%s' and '%s'\n",
+                     args->input.c_str(), flag.c_str());
+        return false;
+      }
+      args->input = flag;
+      continue;
+    }
     if (flag == "--search-periods") args->search_periods = true;
     else if (flag == "--search-assignments") args->search_assignments = true;
     else if (flag == "--local") args->local = true;
@@ -222,6 +250,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->fuzz_dir = v;
+    } else if (flag == "--repair") {
+      const char* v = next();
+      if (!v) return false;
+      args->repair_delta_file = v;
+    } else if (flag == "--fuzz-repair") {
+      const char* v = next();
+      if (!v) return false;
+      args->fuzz_repair_spec = v;
     } else if (flag == "--trace") {
       const char* v = next();
       if (!v) return false;
@@ -256,6 +292,31 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (args->cache_budget_mb < 0) return false;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+  }
+  // Exactly one job source: a design, a batch directory, or a campaign.
+  const int sources = (!args->input.empty() ? 1 : 0) +
+                      (!args->batch_dir.empty() ? 1 : 0) +
+                      (!args->fuzz_spec.empty() ? 1 : 0) +
+                      (!args->fuzz_repair_spec.empty() ? 1 : 0);
+  if (sources != 1) {
+    if (sources > 1)
+      std::fprintf(stderr,
+                   "give exactly one of: <design.hls>, --batch, --fuzz, "
+                   "--fuzz-repair\n");
+    return false;
+  }
+  if (!args->repair_delta_file.empty()) {
+    if (args->input.empty()) {
+      std::fprintf(stderr, "--repair needs a single <design.hls> input\n");
+      return false;
+    }
+    if (args->local || args->search_periods || args->search_assignments) {
+      std::fprintf(stderr,
+                   "--repair implies the coupled mode; drop --local / "
+                   "--search-* (the repair ladder relaxes periods on its "
+                   "own when it must)\n");
       return false;
     }
   }
@@ -374,6 +435,28 @@ int RunConnect(const Args& args) {
   }
   const bool single = args.batch_dir.empty();
 
+  std::string delta_text;
+  if (!args.repair_delta_file.empty()) {
+    if (!single) {
+      std::fprintf(stderr, "--repair does not combine with --batch\n");
+      return 1;
+    }
+    std::ifstream delta_in(args.repair_delta_file);
+    std::ostringstream delta_buf;
+    delta_buf << delta_in.rdbuf();
+    if (!delta_in) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   args.repair_delta_file.c_str());
+      return 1;
+    }
+    delta_text = delta_buf.str();
+    if (delta_text.empty()) {
+      std::fprintf(stderr, "%s: empty delta\n",
+                   args.repair_delta_file.c_str());
+      return 1;
+    }
+  }
+
   serve::Client client;
   if (Status s = client.Connect(args.connect_sock); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
@@ -395,6 +478,7 @@ int RunConnect(const Args& args) {
     request.mode = ModeFromArgs(args);
     request.timeout_ms = static_cast<std::uint32_t>(args.timeout_ms);
     request.source = buf.str();
+    request.delta = delta_text;
     auto response_or = client.Submit(request);
     if (!response_or.ok()) {
       std::fprintf(stderr, "%s: %s\n", name.c_str(),
@@ -640,6 +724,40 @@ int RunFuzzMode(const Args& args) {
   return 0;
 }
 
+/// --fuzz-repair: the perturb-then-repair campaign (src/fuzz/perturb.h).
+/// Same determinism contract as --fuzz: the log and summary are
+/// byte-identical per (spec, --jobs) across runs and widths.
+int RunPerturbFuzzMode(const Args& args) {
+  FuzzOptions options;
+  options.jobs = args.jobs;
+  options.repro_dir = args.fuzz_dir;
+  if (Status st =
+          ParseFuzzSpec(args.fuzz_repair_spec, &options.cases, &options.seed);
+      !st.ok()) {
+    std::fprintf(stderr, "--fuzz-repair: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("fuzz-repair: %d case(s), seed %llu, %d job(s)\n",
+              options.cases, static_cast<unsigned long long>(options.seed),
+              options.jobs);
+  auto report_or = RunPerturbFuzz(options);
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "fuzz-repair failed: %s\n",
+                 report_or.status().ToString().c_str());
+    return 1;
+  }
+  const PerturbReport& report = report_or.value();
+  for (const std::string& line : report.log)
+    std::printf("%s\n", line.c_str());
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.ok()) {
+    std::fprintf(stderr, "REPAIR DIVERGENCES: %d case(s)\n",
+                 report.divergences);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -655,6 +773,7 @@ int main(int argc, char** argv) {
   ObsSession obs_session(args);
   if (!args.connect_sock.empty()) return RunConnect(args);
   if (!args.fuzz_spec.empty()) return RunFuzzMode(args);
+  if (!args.fuzz_repair_spec.empty()) return RunPerturbFuzzMode(args);
   bool disk_ok = true;
   std::unique_ptr<serve::DiskCache> disk = OpenDiskCache(args, &disk_ok);
   if (!disk_ok) return 1;
@@ -682,7 +801,45 @@ int main(int argc, char** argv) {
 
   // Schedule per the requested mode.
   CoupledResult result;
-  if (args.local) {
+  if (!args.repair_delta_file.empty()) {
+    // Online repair: the input is the RUNNING base system. The engine job
+    // solves (or warm-starts) the base, applies the sidecar delta and
+    // walks the certificate-gated repair ladder; everything below (table,
+    // gantt, rtl, json, simulate) then describes the repaired post-delta
+    // system.
+    std::ifstream delta_in(args.repair_delta_file);
+    std::ostringstream delta_buf;
+    delta_buf << delta_in.rdbuf();
+    if (!delta_in) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   args.repair_delta_file.c_str());
+      return 1;
+    }
+    SchedulingJob job;
+    job.name = args.input;
+    job.model = model;
+    job.mode = JobMode::kCoupled;
+    job.jobs = args.jobs;
+    job.keep_model = true;
+    job.store = disk.get();
+    RepairRequest repair;
+    repair.delta_source = delta_buf.str();
+    repair.solve_base_if_missing = true;  // the CLI owns no daemon cache
+    job.repair = std::move(repair);
+    JobResult jr = RunSchedulingJob(job);
+    if (!jr.status.ok()) {
+      std::fprintf(stderr, "repair failed: %s\n",
+                   jr.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("repair: rung %s after %zu attempt(s)%s\n",
+                RepairRungName(jr.repair_rung), jr.repair_attempts.size(),
+                jr.store_hits > 0 ? " (warm-started from the persistent "
+                                    "cache)"
+                                  : "");
+    model = *jr.model;  // the post-delta (possibly period-relaxed) system
+    result = std::move(jr.result);
+  } else if (args.local) {
     if (disk != nullptr)
       std::fprintf(stderr,
                    "note: --cache-dir is ignored in --local mode (the "

@@ -207,11 +207,13 @@ int main(int argc, char** argv) {
   const serve::ServerStats stats = server.stats();
   std::fprintf(stderr,
                "mshlsd drained: %lld connection(s), %lld request(s) — "
-               "%lld ok, %lld failed, %lld overloaded, %lld too-large, "
-               "%lld malformed, %lld shutting-down\n",
-               stats.connections, stats.requests, stats.ok, stats.job_failed,
-               stats.rejected_overloaded, stats.rejected_too_large,
-               stats.rejected_malformed, stats.rejected_shutting_down);
+               "%lld ok (%lld repaired), %lld failed, %lld overloaded, "
+               "%lld too-large, %lld malformed, %lld shutting-down, "
+               "%lld unknown-base\n",
+               stats.connections, stats.requests, stats.ok, stats.repaired,
+               stats.job_failed, stats.rejected_overloaded,
+               stats.rejected_too_large, stats.rejected_malformed,
+               stats.rejected_shutting_down, stats.rejected_unknown_base);
   if (disk != nullptr) {
     const serve::DiskCacheStats ds = disk->stats();
     std::fprintf(stderr,

@@ -15,7 +15,7 @@
 #include "frontend/lowering.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/generator.h"
-#include "fuzz/model_spec.h"
+#include "model/model_spec.h"
 #include "fuzz/oracles.h"
 #include "fuzz/shrinker.h"
 #include "workloads/benchmarks.h"

@@ -1,0 +1,117 @@
+// Replays the committed repair corpus (tests/data/repair_corpus/
+// case_N.hls + case_N.delta) end to end as part of tier-1: compile the
+// base, solve + certify it, parse the sidecar delta, walk the repair
+// ladder, then re-certify the repaired schedule INDEPENDENTLY — the test
+// never trusts repair's own gate. The corpus pins one delta per kind
+// (deadline, retime, remove, add, period, group resize) plus a
+// grid-hostile period that must fall through to the relax-periods rung.
+// A bounded perturb-then-repair campaign rides along so generator or
+// oracle drift shows up in tier-1, not only in overnight fuzz runs.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "frontend/lowering.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/perturb.h"
+#include "modulo/repair.h"
+#include "modulo/schedule_cache.h"
+#include "verify/certifier.h"
+
+namespace mshls {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> CorpusBases() {
+  const fs::path dir =
+      fs::path(MSHLS_SOURCE_DIR) / "tests" / "data" / "repair_corpus";
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".hls") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string Slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(RepairCorpus, EveryCaseRepairsAndIndependentlyRecertifies) {
+  const std::vector<fs::path> bases = CorpusBases();
+  ASSERT_GE(bases.size(), 6u) << "repair corpus missing";
+  bool saw_relax = false;
+  for (const fs::path& base_path : bases) {
+    SCOPED_TRACE(base_path.filename().string());
+    fs::path delta_path = base_path;
+    delta_path.replace_extension(".delta");
+    ASSERT_TRUE(fs::exists(delta_path)) << delta_path;
+
+    auto model_or = CompileSystem(Slurp(base_path));
+    ASSERT_TRUE(model_or.ok()) << model_or.status().ToString();
+    SystemModel base = std::move(model_or).value();
+    auto old_or = ScheduleWithCache(base, CoupledParams{}, nullptr, nullptr,
+                                    nullptr, nullptr);
+    ASSERT_TRUE(old_or.ok()) << old_or.status().ToString();
+    const CoupledResult old = std::move(old_or).value();
+    ASSERT_TRUE(CertifyResult(base, old).ok()) << "base not certified";
+
+    auto delta_or = ParseDelta(Slurp(delta_path), base);
+    ASSERT_TRUE(delta_or.ok()) << delta_or.status().ToString();
+
+    auto repaired_or = RepairSchedule(base, old, delta_or.value());
+    ASSERT_TRUE(repaired_or.ok()) << repaired_or.status().ToString();
+    const RepairResult& repaired = repaired_or.value();
+    EXPECT_TRUE(repaired.certificate.ok()) << repaired.certificate.Summary();
+    // The independent gate: re-derive the certificate from scratch.
+    const CertificateReport again =
+        CertifyResult(*repaired.model, repaired.result);
+    EXPECT_TRUE(again.ok()) << again.Summary();
+    saw_relax |= repaired.rung == RepairRung::kRelaxPeriods;
+  }
+  // case_6 (grid-hostile period) must have exercised the fall-through.
+  EXPECT_TRUE(saw_relax);
+}
+
+TEST(RepairCorpus, BoundedPerturbCampaignHasZeroDivergences) {
+  FuzzOptions options;
+  options.cases = 25;
+  options.seed = 7;
+  options.jobs = 2;
+  auto report_or = RunPerturbFuzz(options);
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+  const PerturbReport& report = report_or.value();
+  EXPECT_EQ(report.divergences, 0) << report.Summary();
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.repaired, 0) << report.Summary();
+}
+
+TEST(RepairCorpus, PerturbReportIsBitIdenticalAcrossJobCounts) {
+  PerturbReport reports[3];
+  const int jobs[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    FuzzOptions options;
+    options.cases = 15;
+    options.seed = 11;
+    options.jobs = jobs[i];
+    auto report_or = RunPerturbFuzz(options);
+    ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+    reports[i] = std::move(report_or).value();
+  }
+  EXPECT_EQ(reports[0].log, reports[1].log);
+  EXPECT_EQ(reports[0].log, reports[2].log);
+  EXPECT_EQ(reports[0].Summary(), reports[1].Summary());
+  EXPECT_EQ(reports[0].Summary(), reports[2].Summary());
+}
+
+}  // namespace
+}  // namespace mshls

@@ -1,0 +1,542 @@
+// Online schedule repair (modulo/repair.h): delta application, the sidecar
+// format, pinned-start scheduling and the repair degradation ladder.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "frontend/lowering.h"
+#include "modulo/repair.h"
+#include "modulo/schedule_cache.h"
+#include "verify/certifier.h"
+
+namespace mshls {
+namespace {
+
+// Three reactive processes; alpha and beta share the multiplier pool,
+// gamma is adder-only (pure local) — so type-level deltas perturb a strict
+// subset of the system.
+constexpr const char* kBase = R"(
+resource add delay 1 area 1;
+resource mult delay 2 area 4;
+
+process alpha deadline 8 {
+  block main time 8 {
+    m1 = a * b;
+    s1 = m1 + c;
+    s2 = s1 + d;
+  }
+}
+process beta deadline 8 {
+  block main time 8 {
+    m1 = e * f;
+    s1 = m1 + g;
+  }
+}
+process gamma deadline 8 {
+  block main time 8 {
+    s1 = h + i;
+    s2 = s1 + j;
+  }
+}
+share mult among alpha, beta period 4;
+)";
+
+SystemModel Compile(const std::string& source) {
+  auto model_or = CompileSystem(source);
+  EXPECT_TRUE(model_or.ok()) << model_or.status().ToString();
+  return std::move(model_or).value();
+}
+
+CoupledResult Solve(SystemModel& model) {
+  auto run_or = ScheduleWithCache(model, CoupledParams{}, nullptr, nullptr,
+                                  nullptr, nullptr);
+  EXPECT_TRUE(run_or.ok()) << run_or.status().ToString();
+  return std::move(run_or).value();
+}
+
+ProcessId FindProcess(const SystemModel& model, const std::string& name) {
+  for (const Process& p : model.processes())
+    if (p.name == name) return p.id;
+  return ProcessId::invalid();
+}
+
+ResourceTypeId FindType(const SystemModel& model, const std::string& name) {
+  return model.library().FindByName(name);
+}
+
+DeltaOp RetimeOp(const std::string& type, int delay, int dii = -1) {
+  DeltaOp op;
+  op.kind = DeltaKind::kRetimeType;
+  op.type = type;
+  op.delay = delay;
+  op.dii = dii;
+  return op;
+}
+
+DeltaOp RemoveOp(const std::string& process) {
+  DeltaOp op;
+  op.kind = DeltaKind::kRemoveProcess;
+  op.process = process;
+  return op;
+}
+
+DeltaOp DeadlineOp(const std::string& process, int deadline,
+                   int time_range = -1) {
+  DeltaOp op;
+  op.kind = DeltaKind::kSetDeadline;
+  op.process = process;
+  op.deadline = deadline;
+  op.time_range = time_range;
+  return op;
+}
+
+DeltaOp PeriodOp(const std::string& type, int period) {
+  DeltaOp op;
+  op.kind = DeltaKind::kSetPeriod;
+  op.type = type;
+  op.period = period;
+  return op;
+}
+
+DeltaOp GroupOp(const std::string& type, std::vector<std::string> group) {
+  DeltaOp op;
+  op.kind = DeltaKind::kResizeGroup;
+  op.type = type;
+  op.group = std::move(group);
+  return op;
+}
+
+TEST(ApplyDelta, RetimeChangesLibrary) {
+  SystemModel base = Compile(kBase);
+  ModelDelta delta;
+  delta.ops.push_back(RetimeOp("mult", 3));
+  auto post_or = ApplyDelta(base, delta);
+  ASSERT_TRUE(post_or.ok()) << post_or.status().ToString();
+  const ResourceTypeId mult = FindType(post_or.value(), "mult");
+  EXPECT_EQ(post_or.value().library().type(mult).delay, 3);
+}
+
+TEST(ApplyDelta, RemoveProcessShedsShareMembership) {
+  SystemModel base = Compile(kBase);
+  ModelDelta delta;
+  delta.ops.push_back(RemoveOp("beta"));
+  auto post_or = ApplyDelta(base, delta);
+  ASSERT_TRUE(post_or.ok()) << post_or.status().ToString();
+  const SystemModel& post = post_or.value();
+  EXPECT_EQ(post.process_count(), 2u);
+  const ResourceTypeId mult = FindType(post, "mult");
+  ASSERT_TRUE(post.is_global(mult));
+  ASSERT_EQ(post.assignment(mult).group.size(), 1u);
+  EXPECT_EQ(post.process(post.assignment(mult).group[0]).name, "alpha");
+}
+
+TEST(ApplyDelta, RemovingEveryGroupMemberDemotesTypeToLocal) {
+  SystemModel base = Compile(kBase);
+  ModelDelta delta;
+  delta.ops.push_back(RemoveOp("alpha"));
+  delta.ops.push_back(RemoveOp("beta"));
+  auto post_or = ApplyDelta(base, delta);
+  ASSERT_TRUE(post_or.ok()) << post_or.status().ToString();
+  const SystemModel& post = post_or.value();
+  EXPECT_EQ(post.process_count(), 1u);
+  EXPECT_FALSE(post.is_global(FindType(post, "mult")));
+}
+
+TEST(ApplyDelta, EmptyGroupDemotesTypeToLocal) {
+  SystemModel base = Compile(kBase);
+  ModelDelta delta;
+  delta.ops.push_back(GroupOp("mult", {}));
+  auto post_or = ApplyDelta(base, delta);
+  ASSERT_TRUE(post_or.ok()) << post_or.status().ToString();
+  EXPECT_FALSE(post_or.value().is_global(FindType(post_or.value(), "mult")));
+  EXPECT_EQ(post_or.value().process_count(), 3u);
+}
+
+TEST(ApplyDelta, UnknownNamesComeBackTyped) {
+  SystemModel base = Compile(kBase);
+  ModelDelta delta;
+  delta.ops.push_back(RemoveOp("nonesuch"));
+  auto post_or = ApplyDelta(base, delta);
+  ASSERT_FALSE(post_or.ok());
+  EXPECT_EQ(post_or.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ApplyDelta, PeriodOnLocalTypeFailsPrecondition) {
+  SystemModel base = Compile(kBase);
+  ModelDelta delta;
+  delta.ops.push_back(PeriodOp("add", 4));
+  auto post_or = ApplyDelta(base, delta);
+  ASSERT_FALSE(post_or.ok());
+  EXPECT_EQ(post_or.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ApplyDelta, InfeasibleTimeRangeSurfacesFromValidation) {
+  SystemModel base = Compile(kBase);
+  ModelDelta delta;
+  // mult delay 2 + two chained adds cannot fit a 2-step range.
+  delta.ops.push_back(DeadlineOp("alpha", 2, /*time_range=*/2));
+  auto post_or = ApplyDelta(base, delta);
+  ASSERT_FALSE(post_or.ok());
+  EXPECT_EQ(post_or.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(PerturbedProcesses, PerKindSlices) {
+  SystemModel base = Compile(kBase);
+  {
+    ModelDelta delta;
+    delta.ops.push_back(RetimeOp("mult", 3));
+    EXPECT_EQ(PerturbedProcesses(base, delta),
+              (std::vector<std::string>{"alpha", "beta"}));
+  }
+  {
+    ModelDelta delta;
+    delta.ops.push_back(PeriodOp("mult", 2));
+    EXPECT_EQ(PerturbedProcesses(base, delta),
+              (std::vector<std::string>{"alpha", "beta"}));
+  }
+  {
+    ModelDelta delta;
+    delta.ops.push_back(DeadlineOp("gamma", 6));
+    EXPECT_EQ(PerturbedProcesses(base, delta),
+              (std::vector<std::string>{"gamma"}));
+  }
+  {
+    // A removal perturbs nobody that remains.
+    ModelDelta delta;
+    delta.ops.push_back(RemoveOp("beta"));
+    EXPECT_TRUE(PerturbedProcesses(base, delta).empty());
+  }
+  {
+    // Resize touches old and new members; removal filters the gone name.
+    ModelDelta delta;
+    delta.ops.push_back(GroupOp("mult", {"alpha", "gamma"}));
+    EXPECT_EQ(PerturbedProcesses(base, delta),
+              (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  }
+}
+
+TEST(DeltaFingerprint, StableAndDiscriminating) {
+  ModelDelta a;
+  a.ops.push_back(RetimeOp("mult", 3));
+  ModelDelta b;
+  b.ops.push_back(RetimeOp("mult", 4));
+  EXPECT_EQ(DeltaFingerprint(a), DeltaFingerprint(a));
+  EXPECT_NE(DeltaFingerprint(a), DeltaFingerprint(b));
+  EXPECT_NE(DeltaFingerprint(a), DeltaFingerprint(ModelDelta{}));
+}
+
+TEST(ParseDelta, ParsesEveryDirective) {
+  SystemModel base = Compile(kBase);
+  const std::string text = R"(
+# live perturbation
+retime mult delay 3 dii 2;
+period mult 2;
+deadline gamma 6 time 6;
+group mult alpha, beta, gamma;
+remove process beta;
+)";
+  auto delta_or = ParseDelta(text, base);
+  ASSERT_TRUE(delta_or.ok()) << delta_or.status().ToString();
+  const ModelDelta& delta = delta_or.value();
+  ASSERT_EQ(delta.ops.size(), 5u);
+  EXPECT_EQ(delta.ops[0].kind, DeltaKind::kRetimeType);
+  EXPECT_EQ(delta.ops[0].delay, 3);
+  EXPECT_EQ(delta.ops[0].dii, 2);
+  EXPECT_EQ(delta.ops[1].period, 2);
+  EXPECT_EQ(delta.ops[2].deadline, 6);
+  EXPECT_EQ(delta.ops[2].time_range, 6);
+  EXPECT_EQ(delta.ops[3].group,
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(delta.ops[4].process, "beta");
+}
+
+TEST(ParseDelta, AddProcessCompilesAgainstBaseLibrary) {
+  SystemModel base = Compile(kBase);
+  const std::string text = R"(
+add process fresh deadline 8 {
+  block main time 8 {
+    m1 = a * b;
+    s1 = m1 + c;
+  }
+}
+)";
+  auto delta_or = ParseDelta(text, base);
+  ASSERT_TRUE(delta_or.ok()) << delta_or.status().ToString();
+  ASSERT_EQ(delta_or.value().ops.size(), 1u);
+  const DeltaOp& op = delta_or.value().ops[0];
+  EXPECT_EQ(op.kind, DeltaKind::kAddProcess);
+  EXPECT_EQ(op.added.name, "fresh");
+  ASSERT_EQ(op.added.blocks.size(), 1u);
+  EXPECT_EQ(op.added.blocks[0].ops.size(), 2u);
+
+  auto post_or = ApplyDelta(base, delta_or.value());
+  ASSERT_TRUE(post_or.ok()) << post_or.status().ToString();
+  EXPECT_EQ(post_or.value().process_count(), 4u);
+  EXPECT_TRUE(FindProcess(post_or.value(), "fresh").valid());
+}
+
+TEST(ParseDelta, RejectsUnknownNamesAndGarbage) {
+  SystemModel base = Compile(kBase);
+  EXPECT_EQ(ParseDelta("remove process nope;", base).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseDelta("retime nope delay 3;", base).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseDelta("launch missiles;", base).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseDelta("", base).status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseDelta("retime mult;", base).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParseDelta, RenderRoundTripsAndFingerprintAgrees) {
+  SystemModel base = Compile(kBase);
+  const std::string text = R"(
+retime mult delay 3;
+deadline gamma 6;
+group mult alpha;
+add process fresh deadline 8 {
+  block main time 8 {
+    m1 = a * b;
+  }
+}
+)";
+  auto delta_or = ParseDelta(text, base);
+  ASSERT_TRUE(delta_or.ok()) << delta_or.status().ToString();
+  const std::string rendered = RenderDelta(delta_or.value(), base);
+  auto again_or = ParseDelta(rendered, base);
+  ASSERT_TRUE(again_or.ok())
+      << again_or.status().ToString() << "\nrendered:\n" << rendered;
+  EXPECT_EQ(DeltaFingerprint(delta_or.value()),
+            DeltaFingerprint(again_or.value()));
+}
+
+TEST(PinnedStarts, FullPinReproducesTheSchedule) {
+  SystemModel model = Compile(kBase);
+  const CoupledResult fresh = Solve(model);
+
+  CoupledParams params;
+  params.pinned_starts.resize(model.block_count());
+  for (std::size_t b = 0; b < model.block_count(); ++b) {
+    const std::size_t ops = model.blocks()[b].graph.op_count();
+    params.pinned_starts[b].resize(ops, -1);
+    for (std::size_t o = 0; o < ops; ++o)
+      params.pinned_starts[b][o] = fresh.schedule.blocks[b].start(
+          OpId(static_cast<std::int32_t>(o)));
+  }
+  SystemModel pinned_model = Compile(kBase);
+  auto pinned_or = ScheduleWithCache(pinned_model, params, nullptr, nullptr,
+                                     nullptr, nullptr);
+  ASSERT_TRUE(pinned_or.ok()) << pinned_or.status().ToString();
+  for (std::size_t b = 0; b < model.block_count(); ++b)
+    for (std::size_t o = 0; o < model.blocks()[b].graph.op_count(); ++o) {
+      const OpId op(static_cast<std::int32_t>(o));
+      EXPECT_EQ(pinned_or.value().schedule.blocks[b].start(op),
+                fresh.schedule.blocks[b].start(op));
+    }
+}
+
+TEST(PinnedStarts, InfeasiblePinIsTyped) {
+  SystemModel model = Compile(kBase);
+  CoupledParams params;
+  params.pinned_starts.resize(1);
+  params.pinned_starts[0] = {1000};  // far outside every frame
+  auto run_or =
+      ScheduleWithCache(model, params, nullptr, nullptr, nullptr, nullptr);
+  ASSERT_FALSE(run_or.ok());
+  EXPECT_EQ(run_or.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(PinnedStarts, ParticipateInTheCacheKey) {
+  SystemModel model = Compile(kBase);
+  CoupledParams plain;
+  CoupledParams pinned;
+  pinned.pinned_starts = {{0}};
+  EXPECT_NE(ScheduleCacheKey(model, plain), ScheduleCacheKey(model, pinned));
+  CoupledParams pinned2;
+  pinned2.pinned_starts = {{1}};
+  EXPECT_NE(ScheduleCacheKey(model, pinned), ScheduleCacheKey(model, pinned2));
+}
+
+TEST(RepairSchedule, DeadlineDeltaRepairsInPlaceAndKeepsOtherStarts) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+
+  ModelDelta delta;
+  delta.ops.push_back(DeadlineOp("gamma", 6, /*time_range=*/6));
+  auto repaired_or = RepairSchedule(base, old, delta);
+  ASSERT_TRUE(repaired_or.ok()) << repaired_or.status().ToString();
+  const RepairResult& repaired = repaired_or.value();
+  EXPECT_EQ(repaired.rung, RepairRung::kInPlace);
+  EXPECT_TRUE(repaired.certificate.ok()) << repaired.certificate.Summary();
+  EXPECT_GT(repaired.pinned_ops, 0);
+  ASSERT_EQ(repaired.attempts.size(), 1u);
+
+  // alpha and beta were untouched: every start step survives verbatim.
+  for (const std::string& name : {"alpha", "beta"}) {
+    const Process& bp = base.process(FindProcess(base, name));
+    const Process& rp =
+        repaired.model->process(FindProcess(*repaired.model, name));
+    ASSERT_EQ(bp.blocks.size(), rp.blocks.size());
+    for (std::size_t i = 0; i < bp.blocks.size(); ++i) {
+      const std::size_t ops =
+          base.block(bp.blocks[i]).graph.op_count();
+      for (std::size_t o = 0; o < ops; ++o) {
+        const OpId op(static_cast<std::int32_t>(o));
+        EXPECT_EQ(repaired.result.schedule.of(rp.blocks[i]).start(op),
+                  old.schedule.of(bp.blocks[i]).start(op));
+      }
+    }
+  }
+}
+
+TEST(RepairSchedule, RemoveProcessPinsEverythingRemaining) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+
+  ModelDelta delta;
+  delta.ops.push_back(RemoveOp("beta"));
+  auto repaired_or = RepairSchedule(base, old, delta);
+  ASSERT_TRUE(repaired_or.ok()) << repaired_or.status().ToString();
+  EXPECT_EQ(repaired_or.value().rung, RepairRung::kInPlace);
+  EXPECT_EQ(repaired_or.value().freed_ops, 0);
+  EXPECT_TRUE(repaired_or.value().certificate.ok());
+  EXPECT_EQ(repaired_or.value().model->process_count(), 2u);
+}
+
+TEST(RepairSchedule, AddedProcessSchedulesAroundPinnedSystem) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+
+  auto delta_or = ParseDelta(R"(
+add process fresh deadline 8 {
+  block main time 8 {
+    m1 = a * b;
+    s1 = m1 + c;
+  }
+}
+)",
+                             base);
+  ASSERT_TRUE(delta_or.ok()) << delta_or.status().ToString();
+  auto repaired_or = RepairSchedule(base, old, delta_or.value());
+  ASSERT_TRUE(repaired_or.ok()) << repaired_or.status().ToString();
+  const RepairResult& repaired = repaired_or.value();
+  EXPECT_EQ(repaired.rung, RepairRung::kInPlace);
+  EXPECT_TRUE(repaired.certificate.ok()) << repaired.certificate.Summary();
+  EXPECT_EQ(repaired.model->process_count(), 4u);
+  // Only the new process was free.
+  EXPECT_EQ(repaired.freed_ops, 2);
+}
+
+TEST(RepairSchedule, IncompatiblePeriodFallsToRelaxPeriodsViaCertificate) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+
+  // Period 3 does not tile the 8-step ranges (eq. 3): the pinned solve may
+  // still produce a schedule, but the certifier's grid check rejects it, so
+  // the ladder must fall through to the period-search rung, which replaces
+  // the bad period outright.
+  ModelDelta delta;
+  delta.ops.push_back(PeriodOp("mult", 3));
+  auto repaired_or = RepairSchedule(base, old, delta);
+  ASSERT_TRUE(repaired_or.ok()) << repaired_or.status().ToString();
+  const RepairResult& repaired = repaired_or.value();
+  EXPECT_EQ(repaired.rung, RepairRung::kRelaxPeriods);
+  EXPECT_TRUE(repaired.certificate.ok()) << repaired.certificate.Summary();
+  EXPECT_GT(repaired.attempts.size(), 1u);
+  const ResourceTypeId mult = FindType(*repaired.model, "mult");
+  EXPECT_NE(repaired.model->assignment(mult).period, 3);
+}
+
+TEST(RepairSchedule, LadderDisabledSurfacesTheRungFailure) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+
+  ModelDelta delta;
+  delta.ops.push_back(PeriodOp("mult", 3));
+  RepairOptions options;
+  options.ladder = {RepairRung::kInPlace};
+  auto repaired_or = RepairSchedule(base, old, delta, options);
+  ASSERT_FALSE(repaired_or.ok());
+  EXPECT_EQ(repaired_or.status().code(), StatusCode::kInternal);
+  EXPECT_NE(repaired_or.status().message().find("certificate"),
+            std::string::npos);
+}
+
+TEST(RepairSchedule, EmptyDeltaIsInvalid) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+  auto repaired_or = RepairSchedule(base, old, ModelDelta{});
+  ASSERT_FALSE(repaired_or.ok());
+  EXPECT_EQ(repaired_or.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RepairSchedule, GroupEmptiedByDeltaStillRepairs) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+  ModelDelta delta;
+  delta.ops.push_back(GroupOp("mult", {}));
+  auto repaired_or = RepairSchedule(base, old, delta);
+  ASSERT_TRUE(repaired_or.ok()) << repaired_or.status().ToString();
+  EXPECT_TRUE(repaired_or.value().certificate.ok());
+  EXPECT_FALSE(repaired_or.value().model->is_global(
+      FindType(*repaired_or.value().model, "mult")));
+}
+
+TEST(RepairSchedule, SurvivesIncrementalReferee) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+  ModelDelta delta;
+  delta.ops.push_back(DeadlineOp("gamma", 6, /*time_range=*/6));
+  RepairOptions options;
+  options.params.check_incremental = true;
+  auto repaired_or = RepairSchedule(base, old, delta, options);
+  ASSERT_TRUE(repaired_or.ok()) << repaired_or.status().ToString();
+  EXPECT_TRUE(repaired_or.value().certificate.ok());
+}
+
+TEST(RepairSchedule, RepairedScheduleIsBitIdenticalAcrossWorkerCounts) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+  ModelDelta delta;
+  delta.ops.push_back(RetimeOp("mult", 3));
+
+  std::vector<SystemSchedule> schedules;
+  for (const int jobs : {1, 2, 8}) {
+    RepairOptions options;
+    options.params.jobs = jobs;
+    options.jobs = jobs;
+    auto repaired_or = RepairSchedule(base, old, delta, options);
+    ASSERT_TRUE(repaired_or.ok()) << repaired_or.status().ToString();
+    schedules.push_back(repaired_or.value().result.schedule);
+  }
+  for (std::size_t s = 1; s < schedules.size(); ++s) {
+    ASSERT_EQ(schedules[s].blocks.size(), schedules[0].blocks.size());
+    for (std::size_t b = 0; b < schedules[0].blocks.size(); ++b)
+      for (std::size_t o = 0; o < schedules[0].blocks[b].size(); ++o) {
+        const OpId op(static_cast<std::int32_t>(o));
+        EXPECT_EQ(schedules[s].blocks[b].start(op),
+                  schedules[0].blocks[b].start(op));
+      }
+  }
+}
+
+TEST(RepairSchedule, WarmStartsFromTheScheduleCache) {
+  SystemModel base = Compile(kBase);
+  const CoupledResult old = Solve(base);
+  ModelDelta delta;
+  delta.ops.push_back(DeadlineOp("gamma", 6, /*time_range=*/6));
+
+  ScheduleCache cache(16);
+  RepairOptions options;
+  options.cache = &cache;
+  auto first_or = RepairSchedule(base, old, delta, options);
+  ASSERT_TRUE(first_or.ok()) << first_or.status().ToString();
+  EXPECT_EQ(first_or.value().cache_hits, 0);
+  auto second_or = RepairSchedule(base, old, delta, options);
+  ASSERT_TRUE(second_or.ok()) << second_or.status().ToString();
+  EXPECT_GT(second_or.value().cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace mshls

@@ -171,6 +171,56 @@ TEST(Protocol, ResponseRoundtripKeepsHitCountsInTheHeader) {
   EXPECT_EQ(decoded_or.value().payload, response.payload);
 }
 
+TEST(Protocol, RequestRoundtripCarriesTheRepairDelta) {
+  serve::ServeRequest request;
+  request.source = "process p {}";
+  request.delta = "deadline alpha 12;";
+  auto decoded_or = serve::DecodeRequest(serve::EncodeRequest(request));
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  EXPECT_EQ(decoded_or.value().source, request.source);
+  EXPECT_EQ(decoded_or.value().delta, request.delta);
+}
+
+TEST(Protocol, V1FrameWithoutDeltaStillDecodes) {
+  // A v1 client's frame ends right after the source bytes — no delta
+  // length field at all. A v2 daemon must keep accepting it.
+  const std::string source = "process p {}";
+  std::string frame;
+  serve::PutU32(frame, serve::kRequestMagic);
+  serve::PutU32(frame, 1);          // v1
+  frame.push_back(0);               // mode kCoupled
+  frame.push_back(0);               // flags
+  frame.push_back(0);               // reserved
+  frame.push_back(0);
+  serve::PutU32(frame, 750);        // timeout_ms
+  serve::PutU32(frame, static_cast<std::uint32_t>(source.size()));
+  frame += source;
+  auto decoded_or = serve::DecodeRequest(frame);
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  EXPECT_EQ(decoded_or.value().source, source);
+  EXPECT_EQ(decoded_or.value().timeout_ms, 750u);
+  EXPECT_TRUE(decoded_or.value().delta.empty());
+
+  // Trailing bytes after a v1 source are NOT silently read as a delta.
+  EXPECT_FALSE(serve::DecodeRequest(frame + "extra").ok());
+}
+
+TEST(Protocol, UnknownBaseIsATypedRejectionStatus) {
+  serve::ServeResponse response;
+  response.status = serve::ServeStatus::kUnknownBase;
+  response.payload = "no cached schedule for base";
+  auto decoded_or = serve::DecodeResponse(serve::EncodeResponse(response));
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  EXPECT_EQ(decoded_or.value().status, serve::ServeStatus::kUnknownBase);
+  EXPECT_TRUE(serve::IsRejection(decoded_or.value().status));
+
+  // One past the newest status is still unknown.
+  std::string bytes = serve::EncodeResponse(response);
+  bytes[8] = static_cast<char>(
+      static_cast<std::uint8_t>(serve::ServeStatus::kUnknownBase) + 1);
+  EXPECT_FALSE(serve::DecodeResponse(bytes).ok());
+}
+
 TEST(Protocol, RejectsBadMagicVersionModeAndLengths) {
   serve::ServeRequest request;
   request.source = "x";
@@ -402,6 +452,61 @@ TEST(Server, DrainAnswersShuttingDownAndRemovesTheSocket) {
     EXPECT_EQ(response_or.value().status, serve::ServeStatus::kShuttingDown);
   delete ts;  // joins everything
   EXPECT_FALSE(fs::exists("st_drain.sock"));
+}
+
+TEST(Server, RepairOnAnUnknownBaseIsATypedRejection) {
+  TestServer ts(Options("st_repair_cold.sock"));
+  ASSERT_TRUE(ts.server.Start().ok());
+  // Straight to repair on a fresh daemon: no cache tier holds the base
+  // schedule, and the daemon refuses to hide a cold solve under a repair
+  // label.
+  serve::Client client;
+  ASSERT_TRUE(client.Connect("st_repair_cold.sock").ok());
+  serve::ServeRequest request;
+  request.source = kTinyDesign;
+  request.delta = "deadline alpha 12;";
+  auto response_or = client.Submit(request);
+  ASSERT_TRUE(response_or.ok()) << response_or.status().ToString();
+  EXPECT_EQ(response_or.value().status, serve::ServeStatus::kUnknownBase);
+  EXPECT_TRUE(serve::IsRejection(response_or.value().status));
+  EXPECT_FALSE(response_or.value().payload.empty());
+  EXPECT_EQ(ts.server.stats().rejected_unknown_base, 1);
+
+  // The documented recovery: solve the base, then repeat the repair.
+  serve::ServeRequest solve;
+  solve.source = kTinyDesign;
+  auto solve_or = client.Submit(solve);
+  ASSERT_TRUE(solve_or.ok());
+  ASSERT_EQ(solve_or.value().status, serve::ServeStatus::kOk);
+  auto retry_or = client.Submit(request);
+  ASSERT_TRUE(retry_or.ok());
+  EXPECT_EQ(retry_or.value().status, serve::ServeStatus::kOk);
+}
+
+TEST(Server, RepairServesACertifiedRepairOffTheCachedBase) {
+  TestServer ts(Options("st_repair.sock"));
+  ASSERT_TRUE(ts.server.Start().ok());
+  serve::Client client;
+  ASSERT_TRUE(client.Connect("st_repair.sock").ok());
+
+  serve::ServeRequest solve;
+  solve.source = kTinyDesign;
+  auto solve_or = client.Submit(solve);
+  ASSERT_TRUE(solve_or.ok()) << solve_or.status().ToString();
+  ASSERT_EQ(solve_or.value().status, serve::ServeStatus::kOk);
+
+  serve::ServeRequest repair;
+  repair.source = kTinyDesign;
+  repair.delta = "deadline beta 9;";
+  auto repair_or = client.Submit(repair);
+  ASSERT_TRUE(repair_or.ok()) << repair_or.status().ToString();
+  ASSERT_EQ(repair_or.value().status, serve::ServeStatus::kOk);
+  // The payload spells out that this went through the repair pipeline,
+  // and the header rung byte carries the winning RepairRung.
+  EXPECT_NE(repair_or.value().payload.find("\"repaired\":true"),
+            std::string::npos);
+  EXPECT_EQ(ts.server.stats().repaired, 1);
+  EXPECT_EQ(ts.server.stats().rejected_unknown_base, 0);
 }
 
 TEST(Server, JobFailureIsAFailureNotARejection) {

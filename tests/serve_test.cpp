@@ -10,12 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/hashing.h"
 #include "frontend/lowering.h"
 #include "modulo/coupled_scheduler.h"
 #include "modulo/schedule_cache.h"
 #include "report/experiment_report.h"
 #include "serve/disk_cache.h"
 #include "serve/result_codec.h"
+#include "serve/wire.h"
 
 namespace mshls {
 namespace {
@@ -94,7 +96,7 @@ TEST(ResultCodec, RoundtripsScheduleStatsAndAllocation) {
   ASSERT_TRUE(model.Validate().ok());
   const CoupledResult original = Solve(model);
 
-  const std::string bytes = serve::EncodeResult(original);
+  const std::string bytes = serve::EncodeResult(model, original);
   auto decoded_or = serve::DecodeResult(bytes, model);
   ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
   const CoupledResult& decoded = decoded_or.value();
@@ -113,7 +115,7 @@ TEST(ResultCodec, RoundtripsScheduleStatsAndAllocation) {
 TEST(ResultCodec, RejectsTruncationAtEveryLength) {
   SystemModel model = Compile(kTinyDesign);
   ASSERT_TRUE(model.Validate().ok());
-  const std::string bytes = serve::EncodeResult(Solve(model));
+  const std::string bytes = serve::EncodeResult(model, Solve(model));
   for (std::size_t len = 0; len < bytes.size(); ++len)
     EXPECT_FALSE(serve::DecodeResult(bytes.substr(0, len), model).ok())
         << "prefix of " << len << " bytes decoded";
@@ -122,7 +124,7 @@ TEST(ResultCodec, RejectsTruncationAtEveryLength) {
 TEST(ResultCodec, RejectsTrailingBytesForeignVersionAndWrongModel) {
   SystemModel model = Compile(kTinyDesign);
   ASSERT_TRUE(model.Validate().ok());
-  const std::string bytes = serve::EncodeResult(Solve(model));
+  const std::string bytes = serve::EncodeResult(model, Solve(model));
 
   EXPECT_FALSE(serve::DecodeResult(bytes + "x", model).ok());
 
@@ -133,6 +135,33 @@ TEST(ResultCodec, RejectsTrailingBytesForeignVersionAndWrongModel) {
   SystemModel other = Compile(kOtherDesign);
   ASSERT_TRUE(other.Validate().ok());
   EXPECT_FALSE(serve::DecodeResult(bytes, other).ok());
+}
+
+TEST(ResultCodec, ForeignFormatVersionIsACompatSkipNotCorruption) {
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  std::string bytes = serve::EncodeResult(model, Solve(model));
+  bytes[0] = 1;  // rewrite the format version LSB to v1
+  const auto decoded = serve::DecodeResult(bytes, model);
+  ASSERT_FALSE(decoded.ok());
+  // The disk cache keys its skipped_version / skipped_corrupt split on
+  // this code.
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ResultCodec, TamperedCertificateStatsAreRejected) {
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  std::string bytes = serve::EncodeResult(model, Solve(model));
+  // The trailing 6x i64 are the stored certificate stats; nudging one must
+  // break the load-time re-certification agreement.
+  bytes[bytes.size() - 8] = static_cast<char>(bytes[bytes.size() - 8] + 1);
+  const auto decoded = serve::DecodeResult(bytes, model);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("certificate stats mismatch"),
+            std::string::npos)
+      << decoded.status().message();
 }
 
 // ----------------------------------------------------------- disk cache --
@@ -234,6 +263,56 @@ TEST(DiskCache, SkipsForeignEnvelopeVersion) {
   EXPECT_FALSE(cache.Load(key, model).has_value());
   EXPECT_EQ(cache.stats().skipped_version, 1);
   EXPECT_EQ(cache.stats().skipped_corrupt, 0);
+}
+
+TEST(DiskCache, TamperedEntryWithRepairedChecksumDowngradesToMiss) {
+  // An attacker (or a buggy sync job) that edits an entry *and* fixes the
+  // envelope checksum gets past the byte-integrity layer — the persisted
+  // certificate stats are the second line: the load-time re-certification
+  // disagrees and the entry is dropped as corrupt.
+  const fs::path dir = TestDir("tampered");
+  SystemModel model = Compile(kTinyDesign);
+  ASSERT_TRUE(model.Validate().ok());
+  const std::uint64_t key = ScheduleCacheKey(model, CoupledParams{});
+  serve::DiskCache writer({dir.string()});
+  ASSERT_TRUE(writer.Open().ok());
+  writer.Store(key, model, Solve(model));
+
+  const fs::path entry = dir / serve::DiskCache::EntryFileName(key);
+  std::string bytes;
+  {
+    std::ifstream in(entry, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  // Envelope: magic u32, version u32, key u64, stamp_len u32, stamp,
+  // payload_len u32, payload, checksum u64 over the payload.
+  std::size_t cursor = 4 + 4 + 8;  // skip magic u32, version u32, key u64
+  std::uint32_t stamp_len = 0;
+  ASSERT_TRUE(serve::GetU32(bytes, cursor, &stamp_len));
+  cursor += stamp_len;
+  std::uint32_t payload_len = 0;
+  ASSERT_TRUE(serve::GetU32(bytes, cursor, &payload_len));
+  std::string payload = bytes.substr(cursor, payload_len);
+  // Bump a stored certificate-stats long (the payload's trailing 48
+  // bytes), then recompute the checksum so the envelope still verifies.
+  payload[payload.size() - 8] =
+      static_cast<char>(payload[payload.size() - 8] + 1);
+  std::string tampered = bytes.substr(0, cursor) + payload;
+  StableHasher h;
+  h.Mix(std::string_view(payload));
+  serve::PutU64(tampered, h.Digest());
+  {
+    std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    out << tampered;
+  }
+
+  serve::DiskCache cache({dir.string(), /*max_bytes=*/256u << 20,
+                          /*warn_on_skip=*/false});
+  ASSERT_TRUE(cache.Open().ok());
+  EXPECT_FALSE(cache.Load(key, model).has_value());
+  EXPECT_EQ(cache.stats().skipped_corrupt, 1);
+  EXPECT_FALSE(fs::exists(entry));  // dropped, a re-solve overwrites it
 }
 
 TEST(DiskCache, SweepsTmpResidueFromKilledWriter) {
