@@ -1,25 +1,44 @@
-// Experiment A2 — complexity/scaling check for the paper's §6 claim:
-// "the complexity of the IFDS algorithm is not increased by the additional
-// computation of the modulo-maximum transformation [...] the additional
-// effort is bound by a constant multiple."
+// Experiment S2 — breaking the instance-size ceiling: hierarchical coupled
+// scheduling (modulo/hierarchy.h) on 50/100/200-process systems.
 //
-// google-benchmark timings of (a) unmodified coupled IFDS vs the fully
-// modified algorithm on identical systems (the ratio must stay roughly
-// constant as the system grows) and (b) runtime growth over process count.
-#include <benchmark/benchmark.h>
-
+// For each scale the bench builds one dense-sharing random system (global
+// add + mult pools spanning every process) and schedules it clustered
+// (cluster cap 16, the partitioner fan-out on --jobs threads). The flat
+// coupled run rides along up to --flat-limit processes (default 100) as
+// the price-of-clustering reference; past that the flat sweep is the
+// ceiling this experiment exists to break and is skipped.
+//
+// Every schedule — flat and clustered — must pass the independent
+// certifier; the acceptance gate is the headline row: 200 processes and
+// >= 5000 operations, clustered, certified, in under 60 s. The bench exits
+// nonzero when either fails, so wiring it into scripts/bench_baseline.sh
+// turns the scaling claim into a regression check.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "common/text_table.h"
 #include "modulo/coupled_scheduler.h"
+#include "modulo/hierarchy.h"
 #include "report/bench_json.h"
+#include "verify/certifier.h"
 #include "workloads/benchmarks.h"
 
 using namespace mshls;
 
 namespace {
 
-/// n processes of `ops` independent-ish random ops each, one global mult
-/// pool and one global add pool with period 4, deadlines 16.
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// n processes of `ops` random ops each, global mult + add pools with
+/// period 4 spanning every process, deadline 16 — the C1/R1 recipe scaled
+/// up, so S2 timings compare against the other experiments' workloads.
 SystemModel MakeSystem(int n_processes, int ops) {
   SystemModel model;
   const PaperTypes t = AddPaperTypes(model.library());
@@ -39,92 +58,140 @@ SystemModel MakeSystem(int n_processes, int ops) {
   model.SetPeriod(t.mult, 4);
   model.MakeGlobal(t.add, procs);
   model.SetPeriod(t.add, 4);
-  const Status s = model.Validate();
-  if (!s.ok()) std::abort();
+  if (!model.Validate().ok()) std::abort();
   return model;
 }
-
-void BM_CoupledModified(benchmark::State& state) {
-  SystemModel model = MakeSystem(static_cast<int>(state.range(0)), 12);
-  for (auto _ : state) {
-    CoupledScheduler scheduler(model, CoupledParams{});
-    auto result = scheduler.Run();
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_CoupledModified)->DenseRange(1, 6)->Complexity();
-
-void BM_CoupledUnmodified(benchmark::State& state) {
-  SystemModel model = MakeSystem(static_cast<int>(state.range(0)), 12);
-  CoupledParams params;
-  params.mode = GlobalForceMode::kIgnoreGlobal;
-  for (auto _ : state) {
-    CoupledScheduler scheduler(model, params);
-    auto result = scheduler.Run();
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_CoupledUnmodified)->DenseRange(1, 6)->Complexity();
-
-void BM_OpsScaling(benchmark::State& state) {
-  SystemModel model = MakeSystem(3, static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    CoupledScheduler scheduler(model, CoupledParams{});
-    auto result = scheduler.Run();
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_OpsScaling)->RangeMultiplier(2)->Range(4, 32)->Complexity();
-
-void BM_ModuloMaxOverheadPerForceEval(benchmark::State& state) {
-  // Isolated cost of one full-mode force evaluation relative to system
-  // size: dominated by frame propagation + profile deltas, with the
-  // modulo-max folding adding only O(T + lambda).
-  SystemModel model = MakeSystem(static_cast<int>(state.range(0)), 12);
-  for (auto _ : state) {
-    CoupledScheduler scheduler(model, CoupledParams{});
-    benchmark::DoNotOptimize(&scheduler);
-  }
-}
-BENCHMARK(BM_ModuloMaxOverheadPerForceEval)->DenseRange(1, 4);
-
-/// Forwards to the normal console output while mirroring every measured
-/// run into mshls-bench-v1 rows (big-O/RMS aggregate pseudo-runs are
-/// skipped: they carry fit coefficients, not timings).
-class JsonRowReporter : public benchmark::ConsoleReporter {
- public:
-  explicit JsonRowReporter(BenchJson* json) : json_(json) {}
-
-  void ReportRuns(const std::vector<Run>& runs) override {
-    benchmark::ConsoleReporter::ReportRuns(runs);
-    if (json_ == nullptr) return;
-    for (const Run& run : runs) {
-      if (run.report_big_o || run.report_rms) continue;
-      json_->AddRow()
-          .S("benchmark", run.benchmark_name())
-          .I("iterations", run.iterations)
-          .D("real_time_ns", run.GetAdjustedRealTime())
-          .D("cpu_time_ns", run.GetAdjustedCPUTime());
-    }
-  }
-
- private:
-  BenchJson* json_;
-};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_file = TakeJsonFlag(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  BenchJson json("A2", "scaling");
-  JsonRowReporter reporter(json_file.empty() ? nullptr : &json);
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
+  int ops = 26;
+  int jobs = 4;
+  int flat_limit = 100;
+  std::vector<int> scales = {50, 100, 200};
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--ops" && i + 1 < argc) ops = std::atoi(argv[++i]);
+    else if (flag == "--jobs" && i + 1 < argc) jobs = std::atoi(argv[++i]);
+    else if (flag == "--flat-limit" && i + 1 < argc)
+      flat_limit = std::atoi(argv[++i]);
+    else if (flag == "--smoke")
+      scales = {20};
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--ops n] [--jobs n] [--flat-limit n] "
+                   "[--smoke] [--json file]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("== S2: hierarchical scheduling past the flat ceiling ==\n\n");
+  std::printf("%d op(s)/process, cluster cap 16, --jobs %d, flat reference "
+              "up to %d process(es)\n\n",
+              ops, jobs, flat_limit);
+
+  BenchJson json("S2", "scaling");
+  json.params().I("ops_per_process", ops).I("jobs", jobs).I("flat_limit",
+                                                            flat_limit);
+
+  TextTable table;
+  table.SetHeader({"processes", "ops", "mode", "time [ms]", "area",
+                   "clusters", "cut pools", "adopted", "certified"});
+  for (std::size_t c = 3; c < 8; ++c) table.AlignRight(c);
+
+  bool all_certified = true;
+  bool headline_met = false;
+  for (const int n : scales) {
+    SystemModel model = MakeSystem(n, ops);
+    long total_ops = 0;
+    for (std::size_t b = 0; b < model.block_count(); ++b)
+      total_ops += static_cast<long>(model.block(BlockId(static_cast<int>(b)))
+                                         .graph.op_count());
+
+    if (n <= flat_limit) {
+      const auto t0 = std::chrono::steady_clock::now();
+      CoupledScheduler flat(model, CoupledParams{});
+      auto run = flat.Run();
+      const double ms = MsSince(t0);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%d processes: flat run failed: %s\n", n,
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      const bool certified =
+          CertifySchedule(model, run.value().schedule,
+                          run.value().allocation)
+              .ok();
+      all_certified = all_certified && certified;
+      const int area =
+          run.value().allocation.TotalArea(model.library());
+      table.AddRow({std::to_string(n), std::to_string(total_ops), "flat",
+                    FormatDouble(ms, 0), std::to_string(area), "-", "-", "-",
+                    certified ? "yes" : "NO"});
+      json.AddRow()
+          .I("processes", n)
+          .I("ops", total_ops)
+          .S("mode", "flat")
+          .D("ms", ms)
+          .I("area", area)
+          .B("certified", certified);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    HierarchyOptions options;
+    options.max_cluster_processes = 16;
+    options.jobs = jobs;
+    auto clustered = ScheduleHierarchical(model, CoupledParams{}, options);
+    const double ms = MsSince(t0);
+    if (!clustered.ok()) {
+      std::fprintf(stderr, "%d processes: clustered run failed: %s\n", n,
+                   clustered.status().ToString().c_str());
+      return 1;
+    }
+    const HierarchicalResult& h = clustered.value();
+    const bool certified =
+        CertifySchedule(model, h.schedule, h.allocation).ok();
+    all_certified = all_certified && certified;
+    if (n >= 200 && total_ops >= 5000 && certified && ms < 60000)
+      headline_met = true;
+    table.AddRow({std::to_string(n), std::to_string(total_ops), "clustered",
+                  FormatDouble(ms, 0), std::to_string(h.area),
+                  std::to_string(h.stats.clusters),
+                  std::to_string(h.stats.cut_types),
+                  std::to_string(h.stats.reconcile_adopted),
+                  certified ? "yes" : "NO"});
+    json.AddRow()
+        .I("processes", n)
+        .I("ops", total_ops)
+        .S("mode", "clustered")
+        .D("ms", ms)
+        .I("area", h.area)
+        .I("clusters", h.stats.clusters)
+        .I("cut_types", h.stats.cut_types)
+        .I("reconcile_adopted", h.stats.reconcile_adopted)
+        .B("certified", certified);
+  }
+
+  const bool smoke = scales.size() == 1 && scales[0] == 20;
+  json.params().B("all_certified", all_certified);
+  json.params().B("headline_200p_5000ops_under_60s", headline_met);
+
+  std::printf("%s\n", table.Render().c_str());
+  if (!all_certified) {
+    std::fprintf(stderr, "FAIL: a schedule did not certify\n");
+    return 1;
+  }
+  if (!smoke && !headline_met) {
+    std::fprintf(stderr,
+                 "FAIL: no certified clustered row with >= 200 processes "
+                 "and >= 5000 ops finished under 60 s\n");
+    return 1;
+  }
+  std::printf(smoke ? "smoke row certified\n"
+                    : "headline met: 200 processes / >= 5000 ops clustered, "
+                      "certified, under 60 s\n");
   if (!json_file.empty() && !json.WriteFile(json_file)) return 1;
   return 0;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the committed performance baselines (BENCH_coupled.json,
-# BENCH_service.json and BENCH_repair.json at the repo root) in the
-# default RelWithDebInfo tree.
+# BENCH_service.json, BENCH_repair.json and BENCH_scaling.json at the
+# repo root) in the default RelWithDebInfo tree.
 #
 # C1 (bench_coupled) runs the full A-series scaling ladder in the three
 # engine configurations (serial-naive, incremental, incremental + jobs)
@@ -17,9 +17,14 @@
 # enforces the acceptance floor itself: a median single-process speedup
 # below 5x (or any uncertified schedule on either side) exits non-zero.
 #
+# S2 (bench_scaling) schedules 50/100/200-process dense-sharing systems
+# hierarchically (flat reference up to 100) and enforces its acceptance
+# gate itself: every schedule certified and the 200-process/5000-op
+# clustered row under 60 s, else non-zero.
+#
 # All benches exit non-zero on any divergence, so a regenerated baseline
 # is also a consistency run. Numbers are machine-dependent — re-record
-# EXPERIMENTS.md §C1/§S1/§R1 alongside when refreshing the files. Each emitted
+# EXPERIMENTS.md §C1/§S1/§R1/§S2 alongside when refreshing the files. Each emitted
 # file is validated against the shared mshls-bench-v1 schema (every bench
 # binary emits the same envelope via --json; see src/report/bench_json.h)
 # before it is accepted as the new baseline.
@@ -32,15 +37,17 @@ build="${1:-build}"
 
 cmake -B "${build}" -S . > /dev/null
 cmake --build "${build}" --target bench_coupled bench_service \
-      bench_repair -j "$(nproc)" > /dev/null
+      bench_repair bench_scaling -j "$(nproc)" > /dev/null
 "${build}/bench/bench_coupled" --json BENCH_coupled.json
 # bench_service binds its socket next to its cwd (sun_path is short);
 # run it from the build tree and move the baseline into place.
 (cd "${build}/bench" && ./bench_service --json BENCH_service.json)
 mv "${build}/bench/BENCH_service.json" BENCH_service.json
 "${build}/bench/bench_repair" --json BENCH_repair.json
+"${build}/bench/bench_scaling" --json BENCH_scaling.json
 
-python3 - BENCH_coupled.json BENCH_service.json BENCH_repair.json <<'EOF'
+python3 - BENCH_coupled.json BENCH_service.json BENCH_repair.json \
+          BENCH_scaling.json <<'EOF'
 import json, sys
 
 # Per-experiment required row keys on top of the shared envelope.
@@ -51,6 +58,7 @@ ROW_KEYS = {
            "p50_ms", "p99_ms"),
     "R1": ("case", "scope", "fresh_ms", "repair_ms", "speedup", "rung",
            "pinned_ops", "certified"),
+    "S2": ("processes", "ops", "mode", "ms", "area", "certified"),
 }
 
 for path in sys.argv[1:]:
@@ -89,6 +97,12 @@ for path in sys.argv[1:]:
             fail("median single-process repair speedup below the 5x floor")
         if params.get("all_certified") is not True:
             fail("a schedule on either side failed certification")
+    if doc["experiment"] == "S2":
+        params = doc["params"]
+        if params.get("all_certified") is not True:
+            fail("a flat or clustered schedule failed certification")
+        if params.get("headline_200p_5000ops_under_60s") is not True:
+            fail("no certified 200-process/5000-op clustered row under 60 s")
     print(f"{path}: mshls-bench-v1 OK "
           f"({doc['experiment']}/{doc['name']}, {len(doc['rows'])} row(s))")
 EOF

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Sanitizer sweep for the robustness-critical subsystems: builds the tree
 # with -DMSHLS_SANITIZE=address and =undefined and runs the `verify`,
-# `engine`, `fuzz`, `perf`, `obs`, `serve` and `repair` ctest labels (certifier, fault
+# `engine`, `fuzz`, `perf`, `obs`, `serve`, `repair` and `scaling` ctest
+# labels (certifier, fault
 # injection, degradation ladder, thread pool / job service, generative
-# fuzzer, incremental-force-engine consistency, tracer/metrics and the
-# trace determinism contract) under each, plus a bounded differential fuzz
-# campaign through the CLI and a bounded C1 bench smoke (which
+# fuzzer, incremental-force-engine consistency, tracer/metrics, the
+# trace determinism contract and hierarchical clustered scheduling) under
+# each, plus a bounded differential fuzz
+# campaign through the CLI — both the default generator mix and a bounded
+# --fuzz-large leg (30–80-process clustered instances through the certify
+# and replay oracles) — and a bounded C1 bench smoke (which
 # cross-checks naive / incremental / parallel / traced schedules for bit
 # identity and bounds the enabled-tracing overhead). The certifier's whole
 # contract is "never crash on corrupted artifacts", so it is exercised
@@ -31,10 +35,13 @@ for san in address undefined; do
   cmake -B "${build}" -S . -DMSHLS_SANITIZE="${san}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "${build}" -j "${jobs}" > /dev/null
-  ctest --test-dir "${build}" -L 'verify|engine|fuzz|perf|obs|serve|repair' \
+  ctest --test-dir "${build}" \
+        -L 'verify|engine|fuzz|perf|obs|serve|repair|scaling' \
         --output-on-failure -j "${jobs}"
   "${build}/src/tools/mshlsc" --fuzz 50:1 --jobs 2 \
         --fuzz-dir "${build}/fuzz-check"
+  "${build}/src/tools/mshlsc" --fuzz-large 6:1 --jobs 2 \
+        --fuzz-dir "${build}/fuzz-large-check"
   # Trace-overhead smoke: the bound is deliberately generous (sanitized
   # builds on a tiny workload, where the enabled tracer's fixed cost is a
   # large fraction of a very short run) — it catches an accidental
@@ -86,14 +93,18 @@ done
 # workers 1/2/8, so a data race would show up either as a TSan report or
 # as a divergence. The `perf` label rides along: it holds the
 # incremental-vs-recompute referee tests, the other place where worker
-# threads share scheduler state.
+# threads share scheduler state. The `scaling` label adds the hierarchy
+# fan-out (independent per-cluster coupled runs on the shared thread
+# pool), and the clustered CLI run below drives the same path end to end.
 build="build-tsan"
 echo "==> MSHLS_SANITIZE=thread (${build})"
 cmake -B "${build}" -S . -DMSHLS_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build "${build}" -j "${jobs}" > /dev/null
-ctest --test-dir "${build}" -L 'perf|repair' \
+ctest --test-dir "${build}" -L 'perf|repair|scaling' \
       --output-on-failure -j "${jobs}"
 "${build}/src/tools/mshlsc" --fuzz-repair 25:1 --jobs 4 \
       --fuzz-dir "${build}/fuzz-repair-check"
+"${build}/src/tools/mshlsc" tests/data/scaling_corpus/case_2.hls \
+      --clusters 8 --jobs 4 --verify
 echo "==> all sanitizer runs passed"

@@ -87,6 +87,21 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
         obs::TraceArgs().S("mode", JobModeName(mode)).Json());
   switch (mode) {
     case JobMode::kCoupled: {
+      if (job.cluster_cap > 0 && rung != DegradationRung::kDemoteGlobals) {
+        HierarchyOptions hierarchy;
+        hierarchy.max_cluster_processes = job.cluster_cap;
+        hierarchy.jobs = job.jobs;
+        hierarchy.cache = job.cache;
+        hierarchy.store = job.store;
+        auto run_or = ScheduleHierarchical(model, params, hierarchy);
+        if (!run_or.ok()) return run_or.status();
+        out.result.schedule = std::move(run_or.value().schedule);
+        out.result.allocation = std::move(run_or.value().allocation);
+        out.result.iterations = run_or.value().iterations;
+        out.clusters = static_cast<long>(run_or.value().clusters.size());
+        out.evaluated += 1;
+        break;
+      }
       bool hit = false;
       bool store_hit = false;
       auto run_or = ScheduleWithCache(model, params, job.cache, &hit,
@@ -100,6 +115,7 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
     }
     case JobMode::kSearchPeriods: {
       PeriodSearchOptions options;
+      options.configurator = job.configurator;
       options.jobs = job.jobs;
       options.cache = job.cache;
       options.store = job.store;
@@ -113,6 +129,7 @@ Status RunAttempt(const SchedulingJob& job, DegradationRung rung,
     }
     case JobMode::kSearchAssignments: {
       AssignmentSearchOptions options;
+      options.configurator = job.configurator;
       options.jobs = job.jobs;
       options.cache = job.cache;
       options.store = job.store;

@@ -15,6 +15,7 @@
 #include "engine/degradation.h"
 #include "model/system_model.h"
 #include "modulo/assignment_search.h"
+#include "modulo/hierarchy.h"
 #include "modulo/period_search.h"
 #include "modulo/repair.h"
 #include "modulo/schedule_cache.h"
@@ -57,6 +58,14 @@ struct SchedulingJob {
 
   JobMode mode = JobMode::kCoupled;
   CoupledParams params;
+  /// Candidate-set configurator for the search modes: the harmonic default
+  /// prunes with utilization lower bounds (winner-identical, fewer
+  /// schedules); kExhaustive is the referee enumeration.
+  PeriodConfigurator configurator = PeriodConfigurator::kHarmonic;
+  /// > 0 routes kCoupled jobs through hierarchical scheduling
+  /// (modulo/hierarchy.h) with this cluster-size cap; 0 = flat coupled
+  /// run. Ignored by the search/baseline modes and repair jobs.
+  int cluster_cap = 0;
   /// Inner fan-out width for the search modes (see the search options).
   int jobs = 1;
   /// Wall-clock budget in ms; 0 = unlimited. Checked between pipeline
@@ -97,6 +106,7 @@ struct JobResult {
   int area = 0;          // functional-unit area
   double full_area = 0;  // FUs + registers + muxes (from binding)
   long evaluated = 0;    // search candidates scheduled (search modes)
+  long clusters = 0;     // hierarchical runs: clusters scheduled (else 0)
   long cache_hits = 0;   // of those, served from the cache
   long store_hits = 0;   // of the cache hits, served from the persistent tier
   double wall_ms = 0;

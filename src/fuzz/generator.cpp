@@ -57,7 +57,8 @@ GeneratedCase GenerateSystem(std::uint64_t seed,
   // unit are always eq.-3 compatible periods (lcm of divisors of u
   // divides u, and u divides every range).
   const int unit = rng.NextInt(2, 6);
-  const int nproc = rng.NextInt(1, std::max(1, options.max_processes));
+  const int min_proc = std::max(1, options.min_processes);
+  const int nproc = rng.NextInt(min_proc, std::max(min_proc, options.max_processes));
   for (int p = 0; p < nproc; ++p) {
     const int nblocks =
         rng.NextInt(1, std::max(1, options.max_blocks_per_process));

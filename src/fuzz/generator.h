@@ -33,6 +33,9 @@ enum class CaseClass {
 [[nodiscard]] const char* CaseClassName(CaseClass cls);
 
 struct FuzzGenOptions {
+  /// Process-count range (inclusive). The scaling campaign (--fuzz-large)
+  /// raises both bounds to reach hierarchical cluster territory.
+  int min_processes = 1;
   int max_processes = 3;
   int max_blocks_per_process = 2;
   int min_ops_per_block = 2;

@@ -104,41 +104,77 @@ StatusOr<AssignmentSearchResult> SearchAssignments(
   std::vector<int> areas(static_cast<std::size_t>(mask_count), 0);
   std::vector<char> hits(static_cast<std::size_t>(mask_count), 0);
   std::vector<char> store_hits(static_cast<std::size_t>(mask_count), 0);
+  std::vector<char> skipped(static_cast<std::size_t>(mask_count), 0);
+
+  const auto evaluate = [&](long mask) -> Status {
+    const std::size_t i = static_cast<std::size_t>(mask);
+    SystemModel worker = model;
+    apply_mask(worker, mask);
+    bool hit = false;
+    bool store_hit = false;
+    auto run_or = ScheduleWithCache(worker, worker_params, options.cache,
+                                    &hit, options.store, &store_hit);
+    if (!run_or.ok()) return run_or.status();
+    runs[i] = std::move(run_or).value();
+    areas[i] = runs[i]->allocation.TotalArea(model.library());
+    hits[i] = hit ? 1 : 0;
+    store_hits[i] = store_hit ? 1 : 0;
+    return Status::Ok();
+  };
+
+  // Utilization-bound prune (kHarmonic): schedule the probe — the last
+  // mask in the capped range, the most-global one without a cap — first,
+  // then skip every mask whose certified area floor (period_config.h)
+  // already exceeds the probe's achieved area. Exact: a pruned mask's area
+  // is strictly greater than the probe's, so it can never win or tie under
+  // the popcount tie-break. Bit-identical at any --jobs (the probe runs
+  // before the fan-out either way).
+  std::vector<long> todo;
+  todo.reserve(static_cast<std::size_t>(mask_count));
+  if (options.configurator == PeriodConfigurator::kHarmonic &&
+      mask_count > 1) {
+    const long probe = mask_count - 1;
+    if (Status s = evaluate(probe); !s.ok()) return s;
+    const int probe_area = areas[static_cast<std::size_t>(probe)];
+    for (long mask = 0; mask < probe; ++mask) {
+      SystemModel scoped = model;
+      apply_mask(scoped, mask);
+      if (AreaLowerBound(scoped) > probe_area) {
+        skipped[static_cast<std::size_t>(mask)] = 1;
+        ++result.pruned;
+      } else {
+        todo.push_back(mask);
+      }
+    }
+  } else {
+    for (long mask = 0; mask < mask_count; ++mask) todo.push_back(mask);
+  }
 
   std::optional<ThreadPool> pool;
-  if (options.jobs > 1) pool.emplace(options.jobs);
+  if (options.jobs > 1 && !todo.empty()) pool.emplace(options.jobs);
   Status fan_out = ParallelFor(
-      pool ? &*pool : nullptr, static_cast<std::size_t>(mask_count),
-      [&](std::size_t i) -> Status {
-        SystemModel worker = model;
-        apply_mask(worker, static_cast<long>(i));
-        bool hit = false;
-        bool store_hit = false;
-        auto run_or = ScheduleWithCache(worker, worker_params, options.cache,
-                                        &hit, options.store, &store_hit);
-        if (!run_or.ok()) return run_or.status();
-        runs[i] = std::move(run_or).value();
-        areas[i] = runs[i]->allocation.TotalArea(model.library());
-        hits[i] = hit ? 1 : 0;
-        store_hits[i] = store_hit ? 1 : 0;
-        return Status::Ok();
-      });
+      pool ? &*pool : nullptr, todo.size(),
+      [&](std::size_t j) -> Status { return evaluate(todo[j]); });
   if (!fan_out.ok()) return fan_out;
 
   // Reduction in mask order. Ties: prefer MORE sharing (larger mask
   // popcount) — fewer physical units to verify and place even at equal
   // area; among equal popcounts the first mask encountered wins, exactly
-  // as in the serial loop.
-  long best_mask_bits = 0;
+  // as in the serial loop. Pruned masks cannot win or tie and are skipped.
+  long best_mask_bits = mask_count - 1;
+  bool have_best = false;
   for (long mask = 0; mask < mask_count; ++mask) {
     const std::size_t i = static_cast<std::size_t>(mask);
+    if (skipped[i]) continue;
     ++result.evaluated;
     if (hits[i]) ++result.cache_hits;
     if (store_hits[i]) ++result.store_hits;
     const bool better =
-        mask == 0 || areas[i] < areas[static_cast<std::size_t>(best_mask_bits)] ||
+        !have_best ||
+        areas[i] < areas[static_cast<std::size_t>(best_mask_bits)] ||
         (areas[i] == areas[static_cast<std::size_t>(best_mask_bits)] &&
          Popcount(mask) > Popcount(best_mask_bits));
+    have_best = true;
     if (better) best_mask_bits = mask;
     if (track != nullptr)
       track->Instant("candidate", obs::TraceArgs()
@@ -157,6 +193,7 @@ StatusOr<AssignmentSearchResult> SearchAssignments(
     reg.GetCounter("assignment_search.evaluated", kS).Add(result.evaluated);
     reg.GetCounter("assignment_search.cache_hits", kS)
         .Add(result.cache_hits);
+    reg.GetCounter("assignment_search.pruned", kS).Add(result.pruned);
   }
   result.area = areas[static_cast<std::size_t>(best_mask_bits)];
   result.best = *std::move(runs[static_cast<std::size_t>(best_mask_bits)]);

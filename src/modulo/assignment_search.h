@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "modulo/coupled_scheduler.h"
+#include "modulo/period_config.h"
 #include "modulo/schedule_cache.h"
 
 namespace mshls {
@@ -32,6 +33,10 @@ struct AssignmentSearchResult {
   int area = 0;
   long combinations = 0;
   long evaluated = 0;
+  /// Scope combinations skipped by the utilization-bound prune (kHarmonic
+  /// only): their certified area floor already exceeded the evaluated
+  /// probe's area, so they can never win or tie.
+  long pruned = 0;
   /// Of `evaluated`, how many were served from the result cache.
   long cache_hits = 0;
   /// Of `cache_hits`, how many came from the persistent second tier.
@@ -39,6 +44,12 @@ struct AssignmentSearchResult {
 };
 
 struct AssignmentSearchOptions {
+  /// kHarmonic (default) keeps the exhaustive 2^T scope enumeration but
+  /// prunes masks whose certified utilization area floor
+  /// (period_config.h) exceeds the area of an evaluated probe — exact and
+  /// winner-identical to kExhaustive, which schedules every mask (the
+  /// referee path).
+  PeriodConfigurator configurator = PeriodConfigurator::kHarmonic;
   /// Cap on scheduled combinations; 0 = unlimited (2^T).
   int max_evaluations = 0;
   /// Worker threads for the scope-combination fan-out; <= 1 runs serially.

@@ -109,6 +109,7 @@ void CoupledScheduler::RebuildProcessAndGroupProfiles() {
     }
     const int lambda = model_.assignment(t.id).period;
     group_[k].assign(static_cast<std::size_t>(lambda), 0.0);
+    SeedExternalDemand(k, group_[k]);
     for (const Process& p : model_.processes()) {
       Profile& m = mp_[p.id.index()][k];
       if (!model_.InGroup(t.id, p.id)) {
@@ -130,6 +131,46 @@ void CoupledScheduler::RebuildProcessAndGroupProfiles() {
 
 const Profile& CoupledScheduler::GroupProfile(ResourceTypeId type) const {
   return group_[type.index()];
+}
+
+void CoupledScheduler::SeedExternalDemand(std::size_t type_index,
+                                          Profile& g) const {
+  if (type_index >= params_.external_demand.size()) return;
+  const Profile& ext = params_.external_demand[type_index];
+  const std::size_t n = std::min(ext.size(), g.size());
+  for (std::size_t tau = 0; tau < n; ++tau) g[tau] = ext[tau];
+}
+
+Status CoupledScheduler::ValidateExternalDemand() const {
+  if (params_.external_demand.empty()) return Status::Ok();
+  const ResourceLibrary& lib = model_.library();
+  if (params_.external_demand.size() > lib.size())
+    return Status{StatusCode::kInvalidArgument,
+                  "external_demand has " +
+                      std::to_string(params_.external_demand.size()) +
+                      " rows but the library has " +
+                      std::to_string(lib.size()) + " types"};
+  for (std::size_t k = 0; k < params_.external_demand.size(); ++k) {
+    const Profile& ext = params_.external_demand[k];
+    if (ext.empty()) continue;
+    const ResourceTypeId id{static_cast<int>(k)};
+    if (!model_.is_global(id))
+      return Status{StatusCode::kInvalidArgument,
+                    "external_demand for locally assigned type '" +
+                        lib.type(id).name + "'"};
+    const int lambda = model_.assignment(id).period;
+    if (ext.size() != static_cast<std::size_t>(lambda))
+      return Status{StatusCode::kInvalidArgument,
+                    "external_demand for type '" + lib.type(id).name +
+                        "' has " + std::to_string(ext.size()) +
+                        " residues but lambda is " + std::to_string(lambda)};
+    for (double v : ext)
+      if (!std::isfinite(v) || v < 0)
+        return Status{StatusCode::kInvalidArgument,
+                      "external_demand for type '" + lib.type(id).name +
+                          "' contains a negative or non-finite value"};
+  }
+  return Status::Ok();
 }
 
 double CoupledScheduler::EvaluateForce(BlockId bid, OpId op, TimeFrame target,
@@ -362,9 +403,11 @@ void CoupledScheduler::ApplyNarrowUpdate(BlockId chosen,
     mp_[pc.index()][k] = std::move(m);
 
     // Group sum (eq. 9 outer sum) re-accumulated in process order — the
-    // same association order as the full rebuild, so the bits match. An
-    // incremental `group += m_next - m_cur` would round differently.
+    // same association order as the full rebuild (external baseline first,
+    // then members), so the bits match. An incremental
+    // `group += m_next - m_cur` would round differently.
     Profile g(static_cast<std::size_t>(lambda), 0.0);
+    SeedExternalDemand(k, g);
     for (const Process& p : model_.processes()) {
       if (!model_.InGroup(t.id, p.id)) continue;
       const Profile& pm = mp_[p.id.index()][k];
@@ -447,6 +490,7 @@ Status CoupledScheduler::VerifyIncrementalState() {
     }
     const int lambda = model_.assignment(t.id).period;
     Profile g(static_cast<std::size_t>(lambda), 0.0);
+    SeedExternalDemand(k, g);
     for (const Process& p : model_.processes()) {
       if (!model_.InGroup(t.id, p.id)) {
         if (!mp_[p.id.index()][k].empty())
@@ -547,6 +591,7 @@ Status CoupledScheduler::ApplyPinnedStarts() {
 }
 
 StatusOr<CoupledResult> CoupledScheduler::Run() {
+  if (Status s = ValidateExternalDemand(); !s.ok()) return s;
   if (Status s = ApplyPinnedStarts(); !s.ok()) return s;
   const ResourceLibrary& lib = model_.library();
   const bool check =

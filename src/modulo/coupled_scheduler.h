@@ -117,6 +117,17 @@ struct CoupledParams {
   /// unsatisfiable pin fails the run with kInfeasible. Participates in the
   /// schedule cache key (modulo/schedule_cache.h).
   std::vector<std::vector<int>> pinned_starts;
+  /// Hierarchical boundary reconciliation (modulo/hierarchy.h): constant
+  /// per-residue demand other clusters place on a global pool, indexed by
+  /// resource type id. A non-empty entry must belong to a global type and
+  /// have exactly lambda_g values; it seeds the group profile G as a fixed
+  /// baseline before the per-process accumulation, biasing this run's
+  /// forces away from residues that are busy elsewhere. The baseline never
+  /// constrains feasibility — allocation still sizes pools to actual
+  /// demand — it only shapes the force model. Missing entries (or an empty
+  /// outer vector) mean no external demand. Participates in the schedule
+  /// cache key (modulo/schedule_cache.h).
+  std::vector<Profile> external_demand;
 };
 
 /// Incremental-engine work accounting for one Run(). Every field is a
@@ -233,6 +244,19 @@ class CoupledScheduler {
 
   void RebuildBlockState(BlockId b);
   void RebuildProcessAndGroupProfiles();
+
+  /// Copies params_.external_demand[type_index] (when present) into the
+  /// freshly zeroed group profile `g` before the per-process accumulation.
+  /// Called from all three group-profile derivations (full rebuild, scoped
+  /// narrow update, incremental self-check) so the seeded baseline is
+  /// bit-identical across them. Tolerates malformed entries by copying the
+  /// overlapping prefix — Run() rejects those before any real work.
+  void SeedExternalDemand(std::size_t type_index, Profile& g) const;
+
+  /// kInvalidArgument when external_demand names a local type, has more
+  /// rows than the library, a wrong-length profile, or non-finite/negative
+  /// values.
+  [[nodiscard]] Status ValidateExternalDemand() const;
 
   /// Commits params_.pinned_starts as pre-iteration frame reductions and
   /// rebuilds every profile they moved. kInfeasible when a pin falls

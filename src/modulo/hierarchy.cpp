@@ -1,0 +1,409 @@
+#include "modulo/hierarchy.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "verify/certifier.h"
+
+namespace mshls {
+namespace {
+
+constexpr int kDefaultClusterCap = 16;
+
+/// weight[p][q] = number of global pools both processes use. Group members
+/// that never issue an op of the type contribute nothing to its profile,
+/// so only actual users couple.
+std::vector<std::vector<int>> SharingWeights(const SystemModel& model) {
+  const std::size_t n = model.process_count();
+  std::vector<std::vector<int>> w(n, std::vector<int>(n, 0));
+  for (ResourceTypeId g : model.GlobalTypes()) {
+    const std::vector<ProcessId> users = model.GlobalUsers(g);
+    for (std::size_t i = 0; i < users.size(); ++i)
+      for (std::size_t j = i + 1; j < users.size(); ++j) {
+        ++w[users[i].index()][users[j].index()];
+        ++w[users[j].index()][users[i].index()];
+      }
+  }
+  return w;
+}
+
+/// Greedy min-cut-style bisection: grow side A from the lowest-id member
+/// by repeatedly pulling the process with the best attachment-to-A minus
+/// attachment-to-remainder score (lowest id on ties) until A holds half,
+/// then recurse until every part fits the cap. Deterministic by
+/// construction.
+void SplitComponent(std::vector<int> part,
+                    const std::vector<std::vector<int>>& w, int cap,
+                    std::vector<std::vector<int>>& out) {
+  if (static_cast<int>(part.size()) <= cap) {
+    out.push_back(std::move(part));
+    return;
+  }
+  const std::size_t half = (part.size() + 1) / 2;
+  std::vector<char> in_a(w.size(), 0);
+  std::vector<int> a{part[0]};
+  in_a[static_cast<std::size_t>(part[0])] = 1;
+  while (a.size() < half) {
+    int best = -1;
+    long best_score = 0;
+    for (int c : part) {
+      if (in_a[static_cast<std::size_t>(c)]) continue;
+      long score = 0;
+      for (int x : part) {
+        if (x == c) continue;
+        const int wcx = w[static_cast<std::size_t>(c)]
+                         [static_cast<std::size_t>(x)];
+        score += in_a[static_cast<std::size_t>(x)] ? wcx : -wcx;
+      }
+      if (best < 0 || score > best_score) {
+        best = c;
+        best_score = score;
+      }
+    }
+    a.push_back(best);
+    in_a[static_cast<std::size_t>(best)] = 1;
+  }
+  std::vector<int> b;
+  for (int c : part)
+    if (!in_a[static_cast<std::size_t>(c)]) b.push_back(c);
+  std::sort(a.begin(), a.end());
+  SplitComponent(std::move(a), w, cap, out);
+  SplitComponent(std::move(b), w, cap, out);
+}
+
+/// One cluster's sub-model plus the mapping back to full-model block ids
+/// (sub-model block index i corresponds to block_map[i]).
+struct ClusterModel {
+  SystemModel model;
+  std::vector<BlockId> block_map;
+  std::vector<char> member;  // by full-model process index
+};
+
+ClusterModel BuildClusterModel(const SystemModel& full,
+                               const std::vector<ProcessId>& cluster) {
+  ClusterModel out;
+  out.model.library() = full.library();
+  out.member.assign(full.process_count(), 0);
+  std::vector<ProcessId> pmap(full.process_count(), ProcessId::invalid());
+  for (ProcessId pid : cluster) {
+    const Process& p = full.process(pid);
+    const ProcessId np = out.model.AddProcess(p.name, p.deadline);
+    pmap[pid.index()] = np;
+    out.member[pid.index()] = 1;
+    for (BlockId bid : p.blocks) {
+      const Block& b = full.block(bid);
+      DataFlowGraph graph = b.graph;
+      out.model.AddBlock(np, b.name, std::move(graph), b.time_range,
+                         b.phase);
+      out.block_map.push_back(bid);
+    }
+  }
+  // Global groups intersect with the cluster; a singleton intersection
+  // STAYS global (same period), so every member process keeps the exact
+  // G_p set — and therefore the exact eq.-3 grid spacing and time frames —
+  // it has in the full model. That is what makes per-block schedules
+  // transfer verbatim into the stitched system.
+  for (ResourceTypeId t : full.GlobalTypes()) {
+    std::vector<ProcessId> group;
+    for (ProcessId pid : full.assignment(t).group)
+      if (pid.index() < pmap.size() && pmap[pid.index()].valid())
+        group.push_back(pmap[pid.index()]);
+    if (group.empty()) continue;
+    out.model.MakeGlobal(t, std::move(group));
+    out.model.SetPeriod(t, full.assignment(t).period);
+  }
+  return out;
+}
+
+/// Cluster-scoped copy of the caller's params: no tracing/observing from
+/// fan-out workers, pinned rows remapped onto the sub-model's block ids.
+CoupledParams ClusterParams(const CoupledParams& base,
+                            const ClusterModel& cm) {
+  CoupledParams p = base;
+  p.observer = nullptr;
+  p.trace = false;
+  p.external_demand.clear();
+  if (!base.pinned_starts.empty()) {
+    p.pinned_starts.assign(cm.block_map.size(), {});
+    bool any = false;
+    for (std::size_t j = 0; j < cm.block_map.size(); ++j) {
+      const std::size_t full_index = cm.block_map[j].index();
+      if (full_index < base.pinned_starts.size() &&
+          !base.pinned_starts[full_index].empty()) {
+        p.pinned_starts[j] = base.pinned_starts[full_index];
+        any = true;
+      }
+    }
+    if (!any) p.pinned_starts.clear();
+  }
+  return p;
+}
+
+/// Schedules one cluster through the cache tiers and gates the result on
+/// the certifier (against the cluster's own sub-model).
+StatusOr<CoupledResult> RunCluster(ClusterModel& cm, CoupledParams params,
+                                   const HierarchyOptions& options) {
+  auto run_or = ScheduleWithCache(cm.model, params, options.cache, nullptr,
+                                  options.store, nullptr);
+  if (!run_or.ok()) return run_or.status();
+  const CertificateReport cert = CertifySchedule(
+      cm.model, run_or.value().schedule, run_or.value().allocation);
+  if (!cert.ok())
+    return Status{StatusCode::kInternal,
+                  "cluster schedule failed certification: " +
+                      cert.Summary()};
+  return run_or;
+}
+
+}  // namespace
+
+std::vector<std::vector<ProcessId>> PartitionSharingGraph(
+    const SystemModel& model, int max_cluster_processes) {
+  const int cap =
+      max_cluster_processes > 0 ? max_cluster_processes : kDefaultClusterCap;
+  const std::size_t n = model.process_count();
+  const std::vector<std::vector<int>> w = SharingWeights(model);
+
+  std::vector<char> visited(n, 0);
+  std::vector<std::vector<int>> parts;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    // BFS component from the lowest unvisited id.
+    std::vector<int> component;
+    std::vector<int> frontier{static_cast<int>(start)};
+    visited[start] = 1;
+    while (!frontier.empty()) {
+      const int p = frontier.back();
+      frontier.pop_back();
+      component.push_back(p);
+      for (std::size_t q = 0; q < n; ++q) {
+        if (visited[q] || w[static_cast<std::size_t>(p)][q] == 0) continue;
+        visited[q] = 1;
+        frontier.push_back(static_cast<int>(q));
+      }
+    }
+    std::sort(component.begin(), component.end());
+    SplitComponent(std::move(component), w, cap, parts);
+  }
+
+  std::vector<std::vector<ProcessId>> out;
+  out.reserve(parts.size());
+  for (const std::vector<int>& part : parts) {
+    std::vector<ProcessId> cluster;
+    cluster.reserve(part.size());
+    for (int p : part) cluster.push_back(ProcessId{p});
+    out.push_back(std::move(cluster));
+  }
+  return out;
+}
+
+StatusOr<HierarchicalResult> ScheduleHierarchical(
+    const SystemModel& model, const CoupledParams& params,
+    const HierarchyOptions& options) {
+  if (!params.external_demand.empty())
+    return Status{StatusCode::kInvalidArgument,
+                  "external_demand is managed by the reconciliation pass "
+                  "and must be empty on entry"};
+
+  HierarchicalResult result;
+  const std::vector<std::vector<ProcessId>> partition =
+      PartitionSharingGraph(model, options.max_cluster_processes);
+  const std::size_t n = partition.size();
+  result.stats.clusters = static_cast<long long>(n);
+
+  obs::TraceTrack* track = nullptr;
+  if (obs::Tracer* tracer = obs::GlobalTracer())
+    track = &tracer->NewTrack("hierarchy");
+  obs::ScopedSpan run_span(
+      track, "hierarchy.run",
+      obs::TraceArgs()
+          .I("processes", static_cast<long long>(model.process_count()))
+          .I("clusters", static_cast<long long>(n))
+          .Json());
+
+  std::vector<ClusterModel> cms;
+  cms.reserve(n);
+  for (const std::vector<ProcessId>& cluster : partition)
+    cms.push_back(BuildClusterModel(model, cluster));
+
+  // Round 1: schedule every cluster independently, certified per cluster.
+  std::vector<std::optional<CoupledResult>> runs(n);
+  std::optional<ThreadPool> pool;
+  if (options.jobs > 1 && n > 1) pool.emplace(options.jobs);
+  Status fan_out = ParallelFor(
+      pool ? &*pool : nullptr, n, [&](std::size_t i) -> Status {
+        auto run_or =
+            RunCluster(cms[i], ClusterParams(params, cms[i]), options);
+        if (!run_or.ok()) return run_or.status();
+        runs[i] = std::move(run_or).value();
+        return Status::Ok();
+      });
+  if (!fan_out.ok()) return fan_out;
+  result.stats.certified += static_cast<long long>(n);
+
+  // Stitch: per-block schedules transfer verbatim (identical graphs, time
+  // ranges, phases and grid spacing); the allocation is re-derived on the
+  // FULL model so cross-cluster pools size to the true summed demand.
+  auto stitch = [&](const std::vector<std::optional<CoupledResult>>& rs) {
+    SystemSchedule s;
+    s.blocks.resize(model.block_count());
+    for (std::size_t ci = 0; ci < n; ++ci)
+      for (std::size_t j = 0; j < cms[ci].block_map.size(); ++j)
+        s.of(cms[ci].block_map[j]) = rs[ci]->schedule.blocks[j];
+    return s;
+  };
+  SystemSchedule stitched = stitch(runs);
+  if (Status s = ValidateSystemSchedule(model, stitched); !s.ok()) return s;
+  Allocation allocation = ComputeAllocation(model, stitched);
+  int area = allocation.TotalArea(model.library());
+
+  // Cut pools: global types whose users span clusters. Only these can
+  // benefit from reconciliation.
+  std::vector<int> cluster_of(model.process_count(), -1);
+  for (std::size_t ci = 0; ci < n; ++ci)
+    for (ProcessId pid : partition[ci])
+      cluster_of[pid.index()] = static_cast<int>(ci);
+  std::vector<ResourceTypeId> cut_types;
+  for (ResourceTypeId g : model.GlobalTypes()) {
+    const std::vector<ProcessId> users = model.GlobalUsers(g);
+    bool spans = false;
+    for (std::size_t u = 1; u < users.size() && !spans; ++u)
+      spans = cluster_of[users[u].index()] != cluster_of[users[0].index()];
+    if (spans) cut_types.push_back(g);
+  }
+  result.stats.cut_types = static_cast<long long>(cut_types.size());
+
+  std::vector<char> reconciled(n, 0);
+  for (int round = 0; round < options.reconcile_rounds && !cut_types.empty();
+       ++round) {
+    ++result.stats.reconcile_rounds;
+    // Jacobi step: every cluster sees the residue demand the OTHER
+    // clusters put on each cut pool in the CURRENT stitched allocation —
+    // the per-user authorization tables give it exactly.
+    std::vector<std::vector<Profile>> external(n);
+    std::vector<std::size_t> affected;
+    for (std::size_t ci = 0; ci < n; ++ci) {
+      std::vector<Profile> ext(model.library().size());
+      bool any = false;
+      for (ResourceTypeId g : cut_types) {
+        const GlobalTypeAllocation* ga = allocation.FindGlobal(g);
+        if (ga == nullptr) continue;
+        bool cluster_uses = false;
+        Profile demand(static_cast<std::size_t>(ga->period), 0.0);
+        bool nonzero = false;
+        for (std::size_t u = 0; u < ga->users.size(); ++u) {
+          if (cms[ci].member[ga->users[u].index()]) {
+            cluster_uses = true;
+            continue;
+          }
+          for (std::size_t tau = 0; tau < demand.size(); ++tau) {
+            demand[tau] += static_cast<double>(ga->authorization[u][tau]);
+            nonzero = nonzero || ga->authorization[u][tau] != 0;
+          }
+        }
+        if (!cluster_uses || !nonzero) continue;
+        ext[g.index()] = std::move(demand);
+        any = true;
+      }
+      if (!any) continue;
+      external[ci] = std::move(ext);
+      affected.push_back(ci);
+    }
+    if (affected.empty()) break;
+
+    std::vector<std::optional<CoupledResult>> reruns(n);
+    std::optional<ThreadPool> round_pool;
+    if (options.jobs > 1 && affected.size() > 1)
+      round_pool.emplace(options.jobs);
+    Status round_status = ParallelFor(
+        round_pool ? &*round_pool : nullptr, affected.size(),
+        [&](std::size_t j) -> Status {
+          const std::size_t ci = affected[j];
+          CoupledParams p = ClusterParams(params, cms[ci]);
+          p.external_demand = external[ci];
+          auto run_or = RunCluster(cms[ci], std::move(p), options);
+          if (!run_or.ok()) return run_or.status();
+          reruns[ci] = std::move(run_or).value();
+          return Status::Ok();
+        });
+    if (!round_status.ok()) return round_status;
+    result.stats.certified += static_cast<long long>(affected.size());
+
+    // Adoption in canonical cluster order: keep a re-schedule only when it
+    // strictly improves the stitched full-model area. Greedy and
+    // deterministic; rejected candidates leave no trace in the result.
+    long long adopted_this_round = 0;
+    for (std::size_t ci : affected) {
+      std::optional<CoupledResult> saved = std::move(runs[ci]);
+      runs[ci] = std::move(reruns[ci]);
+      SystemSchedule trial = stitch(runs);
+      Allocation trial_allocation = ComputeAllocation(model, trial);
+      const int trial_area = trial_allocation.TotalArea(model.library());
+      if (trial_area < area) {
+        stitched = std::move(trial);
+        allocation = std::move(trial_allocation);
+        area = trial_area;
+        reconciled[ci] = 1;
+        ++adopted_this_round;
+      } else {
+        runs[ci] = std::move(saved);
+      }
+    }
+    result.stats.reconcile_adopted += adopted_this_round;
+    if (adopted_this_round == 0) break;
+  }
+
+  // Final gate: the stitched system schedule must certify against the
+  // full model (eq. 1/2/3, dependences, occupancy) before it is returned.
+  const CertificateReport cert = CertifySchedule(model, stitched, allocation);
+  if (!cert.ok())
+    return Status{StatusCode::kInternal,
+                  "stitched schedule failed certification: " +
+                      cert.Summary()};
+  ++result.stats.certified;
+
+  result.schedule = std::move(stitched);
+  result.allocation = std::move(allocation);
+  result.area = area;
+  result.clusters.resize(n);
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    ClusterInfo& info = result.clusters[ci];
+    info.processes = partition[ci];
+    info.area = runs[ci]->allocation.TotalArea(model.library());
+    info.iterations = runs[ci]->iterations;
+    info.reconciled = reconciled[ci] != 0;
+    result.stats.cluster_iterations += runs[ci]->iterations;
+    result.iterations = std::max(result.iterations, info.iterations);
+    if (track != nullptr)
+      track->Instant("cluster",
+                     obs::TraceArgs()
+                         .I("index", static_cast<long long>(ci))
+                         .I("processes",
+                            static_cast<long long>(info.processes.size()))
+                         .I("area", info.area)
+                         .I("iterations", info.iterations)
+                         .I("reconciled", info.reconciled ? 1 : 0)
+                         .Json());
+  }
+
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    const obs::MetricKind kS = obs::MetricKind::kStable;
+    reg.GetCounter("hierarchy.clusters", kS).Add(result.stats.clusters);
+    reg.GetCounter("hierarchy.cut_types", kS).Add(result.stats.cut_types);
+    reg.GetCounter("hierarchy.reconcile_rounds", kS)
+        .Add(result.stats.reconcile_rounds);
+    reg.GetCounter("hierarchy.reconcile_adopted", kS)
+        .Add(result.stats.reconcile_adopted);
+    reg.GetCounter("hierarchy.cluster_iterations", kS)
+        .Add(result.stats.cluster_iterations);
+    reg.GetCounter("hierarchy.certified", kS).Add(result.stats.certified);
+  }
+  return result;
+}
+
+}  // namespace mshls

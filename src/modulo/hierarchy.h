@@ -1,0 +1,120 @@
+// Hierarchical coupled scheduling (DESIGN.md row 30, ROADMAP O2): break
+// the instance-size ceiling by sharding the coupled IFDS inner loop across
+// clusters of the process sharing graph.
+//
+// The coupled scheduler's per-iteration sweep is O(candidates x residues)
+// over the WHOLE system; past a few dozen processes the quadratic
+// cross-block coupling dominates. But the coupling has structure: two
+// processes interact only through the group profiles G of the global types
+// they share. This module exploits that:
+//
+//  1. Partition — build the process sharing graph (edge weight = number of
+//     global types two processes both use through a pool) and split it
+//     into clusters: connected components, then a deterministic greedy
+//     min-cut-style bisection of components larger than
+//     `max_cluster_processes` (seeded growth maximizing internal minus
+//     external edge weight, lowest process id on ties).
+//  2. Cluster scheduling — build a sub-model per cluster (same library,
+//     same blocks/time ranges/phases, global groups intersected with the
+//     cluster; singleton intersections STAY global so every process keeps
+//     its eq.-3 grid spacing and per-block schedules transfer exactly) and
+//     run the coupled scheduler on each, fanned out over the PR-2 thread
+//     pool. Every cluster result is certified against its sub-model.
+//  3. Stitch — copy the per-block schedules into a full-system schedule;
+//     allocation is re-derived on the FULL model, so cross-cluster pools
+//     size to the true summed demand (feasibility composes because pools
+//     size to demand — clustering can cost area, never feasibility).
+//  4. Boundary reconciliation — for every "cut" type (pool whose users
+//     span clusters) the stitched allocation's per-user authorization
+//     tables give each cluster the exact residue demand the OTHER clusters
+//     put on the pool. A Jacobi round re-schedules each affected cluster
+//     with that demand as CoupledParams::external_demand (a fixed baseline
+//     in G that steers forces away from residues that are busy elsewhere)
+//     and adopts the re-schedule, cluster by cluster in canonical order,
+//     iff the stitched full-model area improves. Adopted or not, every
+//     candidate passed through the same certifier gate.
+//
+// The final stitched schedule + allocation are certified against the full
+// model before they are returned. Results are bit-identical for any
+// `jobs` value: cluster runs are independent and deterministic, and every
+// reduction (partition, stitch, adoption) walks clusters in canonical
+// order.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "modulo/coupled_scheduler.h"
+#include "modulo/schedule_cache.h"
+
+namespace mshls {
+
+struct HierarchyOptions {
+  /// Cluster size cap: sharing-graph components with more processes are
+  /// split by the deterministic bisection. <= 0 restores the default.
+  int max_cluster_processes = 16;
+  /// Worker threads for the cluster fan-out; <= 1 runs serially. Any value
+  /// produces bit-identical results (independent per-cluster runs,
+  /// canonical-order stitch and adoption).
+  int jobs = 1;
+  /// Boundary-reconciliation rounds over the cut pools; 0 disables. Each
+  /// round stops early when no cluster's re-schedule improves the stitched
+  /// area.
+  int reconcile_rounds = 1;
+  /// Optional shared result cache / persistent store for the per-cluster
+  /// coupled runs (see modulo/schedule_cache.h).
+  ScheduleCache* cache = nullptr;
+  ScheduleStore* store = nullptr;
+};
+
+struct ClusterInfo {
+  /// Member processes, ascending by original ProcessId.
+  std::vector<ProcessId> processes;
+  /// Area of the cluster's own sub-model allocation (diagnostic; the
+  /// system area comes from the full-model allocation).
+  int area = 0;
+  /// Coupled iterations the cluster's adopted run took.
+  int iterations = 0;
+  /// True when a boundary-reconciliation re-schedule was adopted.
+  bool reconciled = false;
+};
+
+struct HierarchyStats {
+  long long clusters = 0;
+  /// Global pools whose users span more than one cluster.
+  long long cut_types = 0;
+  long long reconcile_rounds = 0;
+  /// Cluster re-schedules adopted because they improved the stitched area.
+  long long reconcile_adopted = 0;
+  /// Sum of coupled iterations over all adopted cluster runs.
+  long long cluster_iterations = 0;
+  /// Certifier gates passed (per-cluster rounds + the stitched system).
+  long long certified = 0;
+};
+
+struct HierarchicalResult {
+  /// Stitched full-system schedule and its full-model allocation.
+  SystemSchedule schedule;
+  Allocation allocation;
+  int area = 0;
+  int iterations = 0;  // max over clusters (critical path of the fan-out)
+  std::vector<ClusterInfo> clusters;
+  HierarchyStats stats;
+};
+
+/// Deterministic sharing-graph partition of the model's processes:
+/// connected components of the "shares a pool" graph in ascending order of
+/// their smallest member, each component split to at most
+/// `max_cluster_processes` members. Every process appears exactly once;
+/// members are ascending. Exposed for tests.
+[[nodiscard]] std::vector<std::vector<ProcessId>> PartitionSharingGraph(
+    const SystemModel& model, int max_cluster_processes);
+
+/// Schedules `model` hierarchically as described above. The model must
+/// have passed Validate(). Every cluster result and the stitched schedule
+/// must pass CertifySchedule — a violation fails the run with kInternal.
+[[nodiscard]] StatusOr<HierarchicalResult> ScheduleHierarchical(
+    const SystemModel& model, const CoupledParams& params,
+    const HierarchyOptions& options = {});
+
+}  // namespace mshls

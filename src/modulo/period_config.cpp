@@ -1,0 +1,81 @@
+#include "modulo/period_config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.h"
+#include "modulo/period_search.h"
+
+namespace mshls {
+namespace {
+
+/// max over blocks of `pid` of W_{b,type} / T_b — the utilization floor one
+/// instance pool sees from this process (max over residues of a modulo-max
+/// profile is at least the block mean; the process max dominates each
+/// block's profile).
+double MaxBlockWorkRatio(const SystemModel& model, ProcessId pid,
+                         ResourceTypeId type) {
+  const ResourceLibrary& lib = model.library();
+  double best = 0.0;
+  for (BlockId bid : model.process(pid).blocks) {
+    const Block& b = model.block(bid);
+    if (b.time_range <= 0) continue;
+    long work = 0;
+    for (const Operation& op : b.graph.ops())
+      if (op.type == type) work += lib.type(type).dii;
+    best = std::max(best,
+                    static_cast<double>(work) /
+                        static_cast<double>(b.time_range));
+  }
+  return best;
+}
+
+/// Integer ceiling with an epsilon guard: a ratio that is an integer up to
+/// floating-point noise must not round up (the bound would turn unsound the
+/// other way — rounding *down* only ever weakens it).
+int CeilEps(double x) {
+  return static_cast<int>(std::ceil(x - 1e-9));
+}
+
+}  // namespace
+
+std::vector<int> HarmonicCandidatePeriods(const SystemModel& model,
+                                          ResourceTypeId type) {
+  std::int64_t g = 0;
+  for (ProcessId pid : model.GlobalUsers(type))
+    for (BlockId bid : model.process(pid).blocks)
+      g = std::gcd(g, static_cast<std::int64_t>(
+                          model.block(bid).time_range));
+  if (g == 0) return CandidatePeriods(model, type);
+  std::vector<int> out;
+  for (std::int64_t d : DivisorsOf(g)) out.push_back(static_cast<int>(d));
+  return out;
+}
+
+int PoolInstanceLowerBound(const SystemModel& model, ResourceTypeId type) {
+  double demand = 0.0;
+  for (ProcessId pid : model.GlobalUsers(type))
+    demand += MaxBlockWorkRatio(model, pid, type);
+  return CeilEps(demand);
+}
+
+int AreaLowerBound(const SystemModel& model) {
+  const ResourceLibrary& lib = model.library();
+  long long total = 0;
+  for (const ResourceType& t : lib.types()) {
+    const bool global = model.is_global(t.id);
+    if (global)
+      total += static_cast<long long>(t.area) *
+               PoolInstanceLowerBound(model, t.id);
+    for (const Process& p : model.processes()) {
+      if (!model.ProcessUsesType(p.id, t.id)) continue;
+      if (global && model.InGroup(t.id, p.id)) continue;
+      total += static_cast<long long>(t.area) *
+               CeilEps(MaxBlockWorkRatio(model, p.id, t.id));
+    }
+  }
+  return static_cast<int>(total);
+}
+
+}  // namespace mshls

@@ -1,0 +1,73 @@
+// Scalable period configuration (DESIGN.md row 30): harmonic candidate
+// sets and utilization lower bounds for the S1/S2 searches.
+//
+// The exhaustive searches enumerate the full divisor-union candidate
+// product and let the eq.-3 grid filter discard incompatible sets — exact
+// but exponential in practice. Following the harmonic-period playbook
+// (Minaeva et al., "Scalable and Efficient Configuration of Time-Division
+// Multiplexed Resources"; Hanen/Hanzalek, "Periodic Scheduling and Packing
+// Problems"), this module restricts candidates per global type g to the
+// divisors of gcd{T_b : b in blocks of GlobalUsers(g)} — *exactly* the
+// per-type values that can appear in any eq.-3 survivor:
+//
+//  * soundness: lambda_g | gcd of every user's block ranges implies the
+//    grid s_p = lcm{lambda_g : g in G_p} divides every T_b of every user
+//    (the lcm of divisors of N divides N), so every harmonic combination
+//    passes the eq.-3 filter;
+//  * completeness: in a surviving combination, lambda_g divides s_p which
+//    divides every block range of every user p of g, hence lambda_g
+//    divides the gcd — so the harmonic product *is* the survivor set, and
+//    enumerating it in the same mixed-radix order yields the survivors in
+//    the same sequence (caps prefix identically, winners are identical).
+//
+// The utilization bounds give a certified floor under any schedule: the
+// paper's allocation takes max-over-residues of summed modulo-max
+// authorizations, and a max over an integer profile is at least its mean,
+// so pool and local instance counts — and therefore total area — are
+// bounded below by per-block work over time-range ratios. The searches use
+// the floor to prune candidates that provably cannot beat an already
+// evaluated probe (exact: a pruned candidate's area exceeds the probe's
+// strictly, so it can never win or tie under either search's tie-break).
+#pragma once
+
+#include <vector>
+
+#include "model/system_model.h"
+
+namespace mshls {
+
+/// Candidate-set generation policy for SearchPeriods/SearchAssignments.
+enum class PeriodConfigurator {
+  /// Harmonic divisor-of-gcd candidate sets + utilization-bound pruning.
+  /// Winner-identical to kExhaustive (see above), exponentially cheaper.
+  kHarmonic,
+  /// The original exhaustive enumeration — kept as the referee path the
+  /// configurator is differentially tested against.
+  kExhaustive,
+};
+
+/// Harmonic candidate periods of global `type`: the divisors of the gcd of
+/// all block time ranges of GlobalUsers(type), ascending. Falls back to the
+/// exhaustive CandidatePeriods() when the type has no user with a block
+/// (such a type constrains no process, so every candidate survives eq. 3
+/// and the fallback keeps the enumeration identical to the referee).
+[[nodiscard]] std::vector<int> HarmonicCandidatePeriods(
+    const SystemModel& model, ResourceTypeId type);
+
+/// Certified lower bound on the pool instance count N_g of global `type`
+/// under ANY complete schedule of `model`:
+///   N_g >= ceil( sum over users p of max_b W_{b,g} / T_b )
+/// where W_{b,g} is the occupancy work (sum of dii) of type-g ops in block
+/// b. Holds because N_g = max_tau G(tau) >= mean_tau G(tau) and each
+/// process' modulo-max profile sums to at least lambda * W_b / T_b.
+[[nodiscard]] int PoolInstanceLowerBound(const SystemModel& model,
+                                         ResourceTypeId type);
+
+/// Certified lower bound on Allocation::TotalArea of ANY complete schedule
+/// under the model's current S1 assignment (periods do not affect the
+/// bound): global pools via PoolInstanceLowerBound, plus the local floor
+/// ceil(max_b W_{b,t}/T_b) for every (process, type) pair served locally —
+/// including group non-members that use a global type.
+[[nodiscard]] int AreaLowerBound(const SystemModel& model);
+
+}  // namespace mshls

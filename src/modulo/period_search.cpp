@@ -65,10 +65,17 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
     return Status{StatusCode::kFailedPrecondition,
                   "no global resource types to assign periods to (run S1)"};
 
+  // kHarmonic restricts each type to the divisors of the gcd of its users'
+  // block ranges — exactly the values that can appear in an eq.-3 survivor
+  // (see modulo/period_config.h), so the product below IS the survivor set
+  // and the filter loop shrinks from the full divisor-union product to it.
+  const bool harmonic =
+      options.configurator == PeriodConfigurator::kHarmonic;
   std::vector<std::vector<int>> candidates;
   candidates.reserve(globals.size());
   for (ResourceTypeId g : globals)
-    candidates.push_back(CandidatePeriods(model, g));
+    candidates.push_back(harmonic ? HarmonicCandidatePeriods(model, g)
+                                  : CandidatePeriods(model, g));
 
   PeriodSearchResult result;
   result.combinations = 1;
@@ -135,38 +142,67 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
   std::vector<int> areas(survivors.size(), 0);
   std::vector<char> hits(survivors.size(), 0);
   std::vector<char> store_hits(survivors.size(), 0);
+  std::vector<char> skipped(survivors.size(), 0);
+
+  const auto evaluate = [&](std::size_t i) -> Status {
+    SystemModel worker = model;
+    for (std::size_t g = 0; g < globals.size(); ++g)
+      worker.SetPeriod(globals[g], survivors[i][g]);
+    bool hit = false;
+    bool store_hit = false;
+    auto run_or = ScheduleWithCache(worker, worker_params, options.cache,
+                                    &hit, options.store, &store_hit);
+    if (!run_or.ok()) return run_or.status();
+    runs[i] = std::move(run_or).value();
+    areas[i] = runs[i]->allocation.TotalArea(model.library());
+    hits[i] = hit ? 1 : 0;
+    store_hits[i] = store_hit ? 1 : 0;
+    return Status::Ok();
+  };
+
+  // Utilization-bound prune (kHarmonic): schedule the probe — the LAST
+  // survivor, the lexicographically largest period vector and therefore
+  // the tie-break favorite — first. If its area already meets the
+  // certified floor, no other combination can produce a smaller area, and
+  // any tie resolves to the probe: skip the rest. Exact, and bit-identical
+  // at any --jobs (the probe runs before the fan-out either way).
+  std::vector<std::size_t> todo;
+  todo.reserve(survivors.size());
+  if (harmonic && survivors.size() > 1) {
+    const std::size_t probe = survivors.size() - 1;
+    if (Status s = evaluate(probe); !s.ok()) return s;
+    if (areas[probe] <= AreaLowerBound(model)) {
+      for (std::size_t i = 0; i < probe; ++i) skipped[i] = 1;
+      result.pruned = static_cast<long>(probe);
+    } else {
+      for (std::size_t i = 0; i < probe; ++i) todo.push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < survivors.size(); ++i) todo.push_back(i);
+  }
 
   std::optional<ThreadPool> pool;
-  if (options.jobs > 1) pool.emplace(options.jobs);
+  if (options.jobs > 1 && !todo.empty()) pool.emplace(options.jobs);
   Status fan_out = ParallelFor(
-      pool ? &*pool : nullptr, survivors.size(), [&](std::size_t i) -> Status {
-        SystemModel worker = model;
-        for (std::size_t g = 0; g < globals.size(); ++g)
-          worker.SetPeriod(globals[g], survivors[i][g]);
-        bool hit = false;
-        bool store_hit = false;
-        auto run_or = ScheduleWithCache(worker, worker_params, options.cache,
-                                        &hit, options.store, &store_hit);
-        if (!run_or.ok()) return run_or.status();
-        runs[i] = std::move(run_or).value();
-        areas[i] = runs[i]->allocation.TotalArea(model.library());
-        hits[i] = hit ? 1 : 0;
-        store_hits[i] = store_hit ? 1 : 0;
-        return Status::Ok();
-      });
+      pool ? &*pool : nullptr, todo.size(),
+      [&](std::size_t j) -> Status { return evaluate(todo[j]); });
   if (!fan_out.ok()) return fan_out;
 
   // Reduction in enumeration order: minimum area wins, ties go to the
   // lexicographically larger period vector (larger periods let more
-  // processes share one instance, paper §3.2).
-  std::size_t best_index = 0;
+  // processes share one instance, paper §3.2). Pruned survivors cannot
+  // win or tie (their area strictly exceeds the probe's) and are skipped.
+  std::size_t best_index = survivors.size() - 1;
+  bool have_best = false;
   for (std::size_t i = 0; i < survivors.size(); ++i) {
+    if (skipped[i]) continue;
     ++result.evaluated;
     if (hits[i]) ++result.cache_hits;
     if (store_hits[i]) ++result.store_hits;
-    const bool better = i == 0 || areas[i] < areas[best_index] ||
+    const bool better = !have_best || areas[i] < areas[best_index] ||
                         (areas[i] == areas[best_index] &&
                          survivors[i] > survivors[best_index]);
+    have_best = true;
     if (better) best_index = i;
     if (track != nullptr) {
       std::string periods;
@@ -192,6 +228,7 @@ StatusOr<PeriodSearchResult> SearchPeriods(SystemModel& model,
         .Add(result.filtered_out);
     reg.GetCounter("period_search.evaluated", kS).Add(result.evaluated);
     reg.GetCounter("period_search.cache_hits", kS).Add(result.cache_hits);
+    reg.GetCounter("period_search.pruned", kS).Add(result.pruned);
   }
 
   result.area = areas[best_index];

@@ -20,11 +20,18 @@
 
 #include "common/status.h"
 #include "modulo/coupled_scheduler.h"
+#include "modulo/period_config.h"
 #include "modulo/schedule_cache.h"
 
 namespace mshls {
 
 struct PeriodSearchOptions {
+  /// Candidate-set generation: kHarmonic (default) enumerates only the
+  /// divisor-of-gcd sets that can survive eq. 3 and prunes by the
+  /// utilization area floor; kExhaustive is the original full divisor-union
+  /// enumeration kept as the referee. Both modes produce the same winner
+  /// (period vector, schedule, area) — see modulo/period_config.h.
+  PeriodConfigurator configurator = PeriodConfigurator::kHarmonic;
   /// Cap on scheduled combinations (after filtering); 0 = unlimited.
   int max_evaluations = 0;
   /// Worker threads for the candidate fan-out; <= 1 schedules serially.
@@ -53,6 +60,11 @@ struct PeriodSearchResult {
   long combinations = 0;
   long filtered_out = 0;
   long evaluated = 0;
+  /// Survivors skipped by the utilization-bound prune (kHarmonic only):
+  /// the probe — the lexicographically largest survivor, the tie-break
+  /// favorite — already met the certified area floor, so no other
+  /// combination can win or tie.
+  long pruned = 0;
   /// Of `evaluated`, how many were served from the result cache.
   long cache_hits = 0;
   /// Of `cache_hits`, how many came from the persistent second tier.

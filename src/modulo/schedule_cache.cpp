@@ -36,6 +36,17 @@ std::uint64_t ScheduleCacheKey(const SystemModel& model,
       for (int step : row) h.Mix(step);
     }
   }
+  // External boundary demand (hierarchy reconciliation) biases the force
+  // model, so seeded and unseeded runs of one model must never share an
+  // entry. Same tag discipline as the pins above.
+  if (!params.external_demand.empty()) {
+    h.Mix(std::uint64_t{0x65787464656d0aull});
+    h.Mix(params.external_demand.size());
+    for (const Profile& row : params.external_demand) {
+      h.Mix(row.size());
+      for (double v : row) h.Mix(v);
+    }
+  }
   return h.Digest();
 }
 

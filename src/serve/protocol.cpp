@@ -168,6 +168,8 @@ std::string RenderJobPayload(const JobResult& result) {
   if (result.repaired) out += ",\"repaired\":true";
   out += ",\"area\":" + std::to_string(result.area);
   out += ",\"evaluated\":" + std::to_string(result.evaluated);
+  if (result.clusters > 0)
+    out += ",\"clusters\":" + std::to_string(result.clusters);
   if (result.model != nullptr) {
     out += ",\"result\":";
     out += ResultToJson(*result.model, result.result);

@@ -231,6 +231,7 @@ ServeResponse Server::HandleRequest(const ServeRequest& request) {
   job.source = request.source;
   job.mode = request.mode;
   job.keep_model = true;
+  job.cluster_cap = options_.cluster_cap;
   job.certify = (request.flags & kFlagSkipCertify) == 0;
   if ((request.flags & kFlagLocalBaselineLadderOff) != 0)
     job.ladder = {DegradationRung::kAsRequested};

@@ -51,6 +51,11 @@ struct ServerOptions {
   /// Idle budget for one read on an open connection; the connection is
   /// closed when a client sends nothing for this long. <= 0: no limit.
   long idle_timeout_ms = 0;
+  /// > 0 routes coupled-mode jobs through hierarchical scheduling with
+  /// this cluster-size cap (modulo/hierarchy.h); 0 = flat coupled runs.
+  /// Server-side policy, no protocol change: payloads grow a "clusters"
+  /// field when it applies.
+  int cluster_cap = 0;
   /// In-memory schedule-cache capacity (entries); 0 = unbounded.
   std::size_t cache_capacity = 0;
   /// Persistent second cache tier (not owned; may be null; must be

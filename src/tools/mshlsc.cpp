@@ -44,6 +44,23 @@
 //                          corrupted and the certifier must catch it;
 //                          caught faults are shrunk, misses exit 1)
 //   --fuzz-dir <dir>       where --fuzz writes repros (default fuzz-repros)
+//   --fuzz-large <n>[:<seed>]
+//                          scaling campaign: n fuzz-generated LARGE systems
+//                          (30-80 processes with clustered sharing groups)
+//                          through the certificate + replay oracles (the
+//                          exact and metamorphic families are skipped —
+//                          they are sized for small instances)
+//   --clusters <n>         hierarchical coupled scheduling: partition the
+//                          process sharing graph into clusters of at most
+//                          n processes, schedule them concurrently (--jobs)
+//                          and stitch + reconcile the results. Coupled mode
+//                          only; every cluster and the stitched system pass
+//                          the certifier
+//   --configurator <c>     candidate-set configurator for the S1/S2
+//                          searches: 'harmonic' (default; divisor-closed
+//                          candidate sets + utilization-bound pruning,
+//                          winner-identical) or 'exhaustive' (the referee
+//                          enumeration)
 //   --repair <delta-file>  online schedule repair: treat <design.hls> as a
 //                          RUNNING system and apply the sidecar delta
 //                          (modulo/repair.h format: add/remove process,
@@ -111,6 +128,7 @@
 #include "modulo/assignment_search.h"
 #include "modulo/baseline.h"
 #include "modulo/coupled_scheduler.h"
+#include "modulo/hierarchy.h"
 #include "modulo/period_search.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -149,7 +167,10 @@ struct Args {
   bool verify = false;
   std::string inject_fault;
   std::string fuzz_spec;
+  std::string fuzz_large_spec;
   std::string fuzz_dir = "fuzz-repros";
+  int clusters = 0;
+  PeriodConfigurator configurator = PeriodConfigurator::kHarmonic;
   std::string trace_file;
   std::string trace_wall_file;
   std::string metrics_file;
@@ -171,8 +192,12 @@ int Usage(const char* argv0) {
                "   or: %s --batch <dir> [--jobs <n>] [mode flags] [--simulate <n>]\n"
                "   or: %s --fuzz <n>[:<seed>] [--jobs <n>] "
                "[--inject-fault <spec>] [--fuzz-dir <dir>]\n"
+               "   or: %s --fuzz-large <n>[:<seed>] [--jobs <n>] "
+               "[--clusters <n>] [--fuzz-dir <dir>]\n"
                "   or: %s --fuzz-repair <n>[:<seed>] [--jobs <n>] "
                "[--fuzz-dir <dir>]\n"
+               "scaling (coupled mode): [--clusters <n>]; searches: "
+               "[--configurator harmonic|exhaustive]\n"
                "   or: %s <design.hls> --connect <sock> [mode flags] "
                "[--repair <delta-file>] [--timeout-ms <n>] [--json <file>]\n"
                "caching (single/batch): [--cache-dir <dir>] "
@@ -180,7 +205,7 @@ int Usage(const char* argv0) {
                "observability (any mode): [--trace <file>] "
                "[--trace-wall <file>] [--metrics <file>] [--stats]\n"
                "   or: %s --version\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 1;
 }
 
@@ -246,10 +271,31 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->fuzz_spec = v;
+    } else if (flag == "--fuzz-large") {
+      const char* v = next();
+      if (!v) return false;
+      args->fuzz_large_spec = v;
     } else if (flag == "--fuzz-dir") {
       const char* v = next();
       if (!v) return false;
       args->fuzz_dir = v;
+    } else if (flag == "--clusters") {
+      const char* v = next();
+      if (!v) return false;
+      args->clusters = std::atoi(v);
+      if (args->clusters < 1) return false;
+    } else if (flag == "--configurator") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "harmonic") == 0) {
+        args->configurator = PeriodConfigurator::kHarmonic;
+      } else if (std::strcmp(v, "exhaustive") == 0) {
+        args->configurator = PeriodConfigurator::kExhaustive;
+      } else {
+        std::fprintf(stderr,
+                     "--configurator: '%s' is not harmonic|exhaustive\n", v);
+        return false;
+      }
     } else if (flag == "--repair") {
       const char* v = next();
       if (!v) return false;
@@ -299,12 +345,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   const int sources = (!args->input.empty() ? 1 : 0) +
                       (!args->batch_dir.empty() ? 1 : 0) +
                       (!args->fuzz_spec.empty() ? 1 : 0) +
+                      (!args->fuzz_large_spec.empty() ? 1 : 0) +
                       (!args->fuzz_repair_spec.empty() ? 1 : 0);
   if (sources != 1) {
     if (sources > 1)
       std::fprintf(stderr,
                    "give exactly one of: <design.hls>, --batch, --fuzz, "
-                   "--fuzz-repair\n");
+                   "--fuzz-large, --fuzz-repair\n");
+    return false;
+  }
+  if (args->clusters > 0 &&
+      (args->local || args->search_periods || args->search_assignments ||
+       !args->repair_delta_file.empty())) {
+    std::fprintf(stderr,
+                 "--clusters applies to the plain coupled mode; drop "
+                 "--local / --search-* / --repair\n");
     return false;
   }
   if (!args->repair_delta_file.empty()) {
@@ -724,6 +779,50 @@ int RunFuzzMode(const Args& args) {
   return 0;
 }
 
+/// --fuzz-large: the scaling campaign. Same driver as --fuzz but the
+/// generator is tuned for hierarchical cluster territory (30-80 processes,
+/// dense sharing groups) and only the oracles that scale run: certificate
+/// (every feasible schedule certifies; negatives flag cleanly) and
+/// cache/parallel replay. The exact branch-and-bound and metamorphic
+/// re-schedules are sized for small instances and are skipped.
+int RunFuzzLargeMode(const Args& args) {
+  FuzzOptions options;
+  options.jobs = args.jobs;
+  options.repro_dir = args.fuzz_dir;
+  if (Status st =
+          ParseFuzzSpec(args.fuzz_large_spec, &options.cases, &options.seed);
+      !st.ok()) {
+    std::fprintf(stderr, "--fuzz-large: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  options.gen.min_processes = 30;
+  options.gen.max_processes = 80;
+  options.gen.max_blocks_per_process = 1;
+  options.gen.max_ops_per_block = 8;
+  options.gen.share_probability = 0.9;  // clustered sharing is the point
+  options.oracles.run_exact = false;
+  options.oracles.run_metamorphic = false;
+  // Large shrinks are slow and the repro value is low (the seed replays).
+  options.shrink = false;
+  std::printf("fuzz-large: %d case(s), seed %llu, %d job(s)\n", options.cases,
+              static_cast<unsigned long long>(options.seed), options.jobs);
+  auto report_or = RunFuzz(options);
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "fuzz-large failed: %s\n",
+                 report_or.status().ToString().c_str());
+    return 1;
+  }
+  const FuzzReport& report = report_or.value();
+  for (const std::string& line : report.log)
+    std::printf("%s\n", line.c_str());
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.ok()) {
+    std::fprintf(stderr, "FUZZ-LARGE FAILURES: %d case(s)\n", report.failures);
+    return 1;
+  }
+  return 0;
+}
+
 /// --fuzz-repair: the perturb-then-repair campaign (src/fuzz/perturb.h).
 /// Same determinism contract as --fuzz: the log and summary are
 /// byte-identical per (spec, --jobs) across runs and widths.
@@ -773,6 +872,7 @@ int main(int argc, char** argv) {
   ObsSession obs_session(args);
   if (!args.connect_sock.empty()) return RunConnect(args);
   if (!args.fuzz_spec.empty()) return RunFuzzMode(args);
+  if (!args.fuzz_large_spec.empty()) return RunFuzzLargeMode(args);
   if (!args.fuzz_repair_spec.empty()) return RunPerturbFuzzMode(args);
   bool disk_ok = true;
   std::unique_ptr<serve::DiskCache> disk = OpenDiskCache(args, &disk_ok);
@@ -854,6 +954,7 @@ int main(int argc, char** argv) {
     std::printf("mode: traditional pure-local scheduling\n");
   } else if (args.search_assignments) {
     AssignmentSearchOptions search_options;
+    search_options.configurator = args.configurator;
     search_options.jobs = args.jobs;
     search_options.store = disk.get();
     auto search = SearchAssignments(model, CoupledParams{}, search_options);
@@ -872,6 +973,7 @@ int main(int argc, char** argv) {
     result = std::move(search.value().best);
   } else if (args.search_periods) {
     PeriodSearchOptions search_options;
+    search_options.configurator = args.configurator;
     search_options.jobs = args.jobs;
     search_options.store = disk.get();
     auto search = SearchPeriods(model, CoupledParams{}, search_options);
@@ -885,6 +987,25 @@ int main(int argc, char** argv) {
                 search.value().combinations, search.value().filtered_out,
                 search.value().evaluated);
     result = std::move(search.value().best);
+  } else if (args.clusters > 0) {
+    HierarchyOptions hierarchy;
+    hierarchy.max_cluster_processes = args.clusters;
+    hierarchy.jobs = args.jobs;
+    hierarchy.store = disk.get();
+    auto run = ScheduleHierarchical(model, CoupledParams{}, hierarchy);
+    if (!run.ok()) {
+      std::fprintf(stderr, "hierarchical scheduling failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    HierarchicalResult h = std::move(run).value();
+    std::printf("hierarchical: %lld cluster(s), %lld cut pool(s), "
+                "%lld reconcile adoption(s), %lld certificate(s)\n",
+                h.stats.clusters, h.stats.cut_types, h.stats.reconcile_adopted,
+                h.stats.certified);
+    result.schedule = std::move(h.schedule);
+    result.allocation = std::move(h.allocation);
+    result.iterations = h.iterations;
   } else if (disk != nullptr) {
     // The persistent store sits behind a throwaway memory tier: a repeat
     // of a design scheduled by any earlier process (or daemon) sharing

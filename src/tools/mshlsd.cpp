@@ -9,6 +9,9 @@
 //   --socket <path>         unix-domain socket to listen on (required;
 //                           keep it short — sun_path caps near 100 bytes)
 //   --jobs <n>              scheduling worker threads (default 1)
+//   --clusters <n>          route coupled-mode jobs through hierarchical
+//                           scheduling with this cluster-size cap
+//                           (default 0 = flat coupled runs)
 //   --queue <n>             admitted-but-waiting jobs beyond --jobs before
 //                           clients get `overloaded` (default 8; -1 turns
 //                           admission control off)
@@ -50,6 +53,7 @@ namespace {
 struct Args {
   std::string socket_path;
   int jobs = 1;
+  int clusters = 0;
   int queue = 8;
   std::string cache_dir;
   long cache_budget_mb = 256;
@@ -64,7 +68,8 @@ struct Args {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket <path> [--jobs <n>] [--queue <n>]\n"
+      "usage: %s --socket <path> [--jobs <n>] [--clusters <n>] "
+      "[--queue <n>]\n"
       "       [--cache-dir <dir>] [--cache-budget-mb <n>] [--mem-cache <n>]\n"
       "       [--timeout-ms <n>] [--idle-timeout-ms <n>]\n"
       "       [--max-request-bytes <n>] [--metrics <file>] [--stats]\n"
@@ -88,6 +93,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!v) return false;
       args->jobs = std::atoi(v);
       if (args->jobs < 1) return false;
+    } else if (flag == "--clusters") {
+      const char* v = next();
+      if (!v) return false;
+      args->clusters = std::atoi(v);
+      if (args->clusters < 1) return false;
     } else if (flag == "--queue") {
       const char* v = next();
       if (!v) return false;
@@ -180,6 +190,7 @@ int main(int argc, char** argv) {
   serve::ServerOptions options;
   options.socket_path = args.socket_path;
   options.workers = args.jobs;
+  options.cluster_cap = args.clusters;
   options.queue_limit = args.queue;
   options.max_request_bytes = args.max_request_bytes;
   options.default_timeout_ms = args.timeout_ms;

@@ -32,7 +32,12 @@ TEST_F(AssignmentSearchTest, PrefersSharingWhenItSavesArea) {
   AddProcessOf("p1", 2, 1, 8);
   AddProcessOf("p2", 2, 1, 8);
   ASSERT_TRUE(model_.Validate().ok());
-  auto result = SearchAssignments(model_, CoupledParams{});
+  // Exhaustive referee: assert the full enumeration is scheduled. The
+  // harmonic default may prune masks against the probe's area floor; its
+  // winner identity is covered by HarmonicSearchMatchesExhaustive below.
+  AssignmentSearchOptions options;
+  options.configurator = PeriodConfigurator::kExhaustive;
+  auto result = SearchAssignments(model_, CoupledParams{}, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().combinations, 4);  // 2 shareable types
   EXPECT_EQ(result.value().evaluated, 4);
@@ -79,6 +84,7 @@ TEST_F(AssignmentSearchTest, EvaluationCapRespected) {
   AddProcessOf("p2", 2, 1, 8);
   ASSERT_TRUE(model_.Validate().ok());
   AssignmentSearchOptions options;
+  options.configurator = PeriodConfigurator::kExhaustive;
   options.max_evaluations = 2;
   auto result = SearchAssignments(model_, CoupledParams{}, options);
   ASSERT_TRUE(result.ok());
@@ -126,6 +132,37 @@ TEST_F(AssignmentSearchTest, PaperSystemSharesTheExpensiveTypes) {
   EXPECT_TRUE(mult_global);
   EXPECT_GE(global_count, 2);
   EXPECT_LE(result.value().area, 17);
+}
+
+TEST_F(AssignmentSearchTest, HarmonicSearchMatchesExhaustive) {
+  // Differential referee for the harmonic configurator's per-mask area
+  // lower-bound prune: identical winner (choices, periods, area), and
+  // pruned masks strictly account for the evaluation savings.
+  AddProcessOf("p1", 2, 1, 8);
+  AddProcessOf("p2", 2, 1, 8);
+  ASSERT_TRUE(model_.Validate().ok());
+  SystemModel harmonic_model = model_;
+  AssignmentSearchOptions exhaustive_options;
+  exhaustive_options.configurator = PeriodConfigurator::kExhaustive;
+  auto exhaustive = SearchAssignments(model_, CoupledParams{},
+                                      exhaustive_options);
+  ASSERT_TRUE(exhaustive.ok());
+  auto harmonic = SearchAssignments(harmonic_model, CoupledParams{});
+  ASSERT_TRUE(harmonic.ok());
+  EXPECT_EQ(harmonic.value().area, exhaustive.value().area);
+  ASSERT_EQ(harmonic.value().choices.size(),
+            exhaustive.value().choices.size());
+  for (std::size_t i = 0; i < harmonic.value().choices.size(); ++i) {
+    EXPECT_EQ(harmonic.value().choices[i].global,
+              exhaustive.value().choices[i].global);
+    EXPECT_EQ(harmonic.value().choices[i].period,
+              exhaustive.value().choices[i].period);
+  }
+  EXPECT_EQ(harmonic.value().evaluated + harmonic.value().pruned,
+            exhaustive.value().evaluated);
+  // Both leave the model configured identically.
+  for (const AssignmentChoice& c : harmonic.value().choices)
+    EXPECT_EQ(harmonic_model.is_global(c.type), model_.is_global(c.type));
 }
 
 // ---- utilization heuristic ----

@@ -73,6 +73,7 @@ TEST(PeriodSearchDeterminism, CappedSearchStaysDeterministic) {
   for (int jobs : {1, 8}) {
     SystemModel model = BuildSmallSharedSystem();
     PeriodSearchOptions options;
+    options.configurator = PeriodConfigurator::kExhaustive;
     options.jobs = jobs;
     options.max_evaluations = 3;  // prefix of the canonical enumeration
     auto search = SearchPeriods(model, CoupledParams{}, options);

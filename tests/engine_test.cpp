@@ -227,9 +227,47 @@ TEST(SchedulingJob, SearchModesReportEvaluations) {
   SchedulingJob job;
   job.source = kTinyDesign;
   job.mode = JobMode::kSearchAssignments;
+  job.configurator = PeriodConfigurator::kExhaustive;  // referee enumeration
   const JobResult result = RunSchedulingJob(job);
   ASSERT_TRUE(result.status.ok()) << result.status.ToString();
   EXPECT_EQ(result.evaluated, 4);  // 2 shareable types -> 2^2 combinations
+}
+
+TEST(SchedulingJob, HarmonicConfiguratorMatchesExhaustiveWinner) {
+  SchedulingJob exhaustive;
+  exhaustive.source = kTinyDesign;
+  exhaustive.mode = JobMode::kSearchAssignments;
+  exhaustive.configurator = PeriodConfigurator::kExhaustive;
+  const JobResult referee = RunSchedulingJob(exhaustive);
+  ASSERT_TRUE(referee.status.ok()) << referee.status.ToString();
+
+  SchedulingJob harmonic;
+  harmonic.source = kTinyDesign;
+  harmonic.mode = JobMode::kSearchAssignments;  // default configurator
+  const JobResult result = RunSchedulingJob(harmonic);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.area, referee.area);
+  EXPECT_EQ(result.full_area, referee.full_area);
+  EXPECT_LE(result.evaluated, referee.evaluated);
+}
+
+TEST(SchedulingJob, ClusterCapRoutesThroughHierarchy) {
+  SchedulingJob flat;
+  flat.source = kTinyDesign;
+  const JobResult flat_result = RunSchedulingJob(flat);
+  ASSERT_TRUE(flat_result.status.ok()) << flat_result.status.ToString();
+  EXPECT_EQ(flat_result.clusters, 0);
+
+  SchedulingJob clustered;
+  clustered.source = kTinyDesign;
+  clustered.cluster_cap = 1;  // force every process into its own cluster
+  clustered.simulate_activations = 2;
+  const JobResult result = RunSchedulingJob(clustered);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GE(result.clusters, 1);
+  // The certify stage runs on the stitched schedule (job.certify default);
+  // feasibility must match the flat run even if the area differs.
+  EXPECT_GT(result.area, 0);
 }
 
 TEST(JobService, BatchResultsStayInSubmissionOrder) {

@@ -1,0 +1,269 @@
+// Scaling tier (`ctest -L scaling`): hierarchical coupled scheduling on
+// instances past the flat scheduler's comfort zone. The contract under
+// test, per modulo/hierarchy.h:
+//  * the sharing-graph partition is a deterministic exact cover;
+//  * clustered runs certify and agree with the flat path on feasibility
+//    (clustering may cost area, never feasibility);
+//  * the clustered report is bit-identical for any --jobs width.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/generator.h"
+#include "modulo/coupled_scheduler.h"
+#include "modulo/hierarchy.h"
+#include "verify/certifier.h"
+#include "workloads/paper_system.h"
+
+namespace mshls {
+namespace {
+
+/// Generator tuning for cluster territory: one block per process keeps a
+/// 50-process case schedulable in test time, the high share rate makes the
+/// sharing graph dense enough that the partitioner has real work.
+FuzzGenOptions LargeGen(int processes) {
+  FuzzGenOptions gen;
+  gen.min_processes = processes;
+  gen.max_processes = processes;
+  gen.max_blocks_per_process = 1;
+  gen.max_ops_per_block = 6;
+  gen.share_probability = 0.9;
+  gen.infeasible_probability = 0.0;
+  gen.grid_hostile_probability = 0.0;
+  return gen;
+}
+
+void ExpectSameSchedule(const SystemSchedule& a, const SystemSchedule& b) {
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    ASSERT_EQ(a.blocks[i].size(), b.blocks[i].size());
+    for (std::size_t op = 0; op < a.blocks[i].size(); ++op)
+      EXPECT_EQ(a.blocks[i].start(OpId(op)), b.blocks[i].start(OpId(op)))
+          << "block " << i << " op " << op;
+  }
+}
+
+TEST(PartitionSharingGraph, IsAnExactCoverWithinTheCap) {
+  GeneratedCase c = GenerateSystem(7, LargeGen(50));
+  ASSERT_EQ(c.cls, CaseClass::kClean);
+  ASSERT_TRUE(c.model.Validate().ok());
+  for (int cap : {4, 8, 16}) {
+    const auto clusters = PartitionSharingGraph(c.model, cap);
+    std::set<int> seen;
+    for (const std::vector<ProcessId>& cluster : clusters) {
+      EXPECT_FALSE(cluster.empty());
+      EXPECT_LE(static_cast<int>(cluster.size()), cap);
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        if (i > 0) {
+          EXPECT_LT(cluster[i - 1].value(), cluster[i].value());
+        }
+        EXPECT_TRUE(seen.insert(cluster[i].value()).second)
+            << "process " << cluster[i].value() << " in two clusters";
+      }
+    }
+    EXPECT_EQ(seen.size(), c.model.process_count());
+  }
+}
+
+TEST(PartitionSharingGraph, IsDeterministic) {
+  GeneratedCase c = GenerateSystem(9, LargeGen(40));
+  ASSERT_TRUE(c.model.Validate().ok());
+  const auto first = PartitionSharingGraph(c.model, 8);
+  const auto second = PartitionSharingGraph(c.model, 8);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first[i], second[i]);
+}
+
+TEST(PartitionSharingGraph, PaperSystemIsOneComponent) {
+  // The add/mult groups span all five processes, so under a roomy cap the
+  // whole system is one cluster; a cap of 2 forces bisection but still
+  // covers every process exactly once.
+  const PaperSystem sys = BuildPaperSystem();
+  const auto whole = PartitionSharingGraph(sys.model, 16);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0].size(), sys.model.process_count());
+  const auto split = PartitionSharingGraph(sys.model, 2);
+  std::size_t covered = 0;
+  for (const auto& cluster : split) {
+    EXPECT_LE(cluster.size(), 2u);
+    covered += cluster.size();
+  }
+  EXPECT_EQ(covered, sys.model.process_count());
+}
+
+TEST(PartitionSharingGraph, DisjointGroupsStaySeparate) {
+  // Two sharing islands: {p0,p1} share add, {p2,p3} share mult. No edge
+  // crosses, so even a huge cap yields two clusters.
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  auto add_proc = [&](const std::string& name, ResourceTypeId type) {
+    DataFlowGraph g;
+    g.AddOp(type, name + "_op");
+    EXPECT_TRUE(g.Validate().ok());
+    const ProcessId p = m.AddProcess(name, 8);
+    m.AddBlock(p, name + "_b", std::move(g), 8);
+    return p;
+  };
+  const ProcessId p0 = add_proc("p0", t.add);
+  const ProcessId p1 = add_proc("p1", t.add);
+  const ProcessId p2 = add_proc("p2", t.mult);
+  const ProcessId p3 = add_proc("p3", t.mult);
+  m.MakeGlobal(t.add, {p0, p1});
+  m.MakeGlobal(t.mult, {p2, p3});
+  ASSERT_TRUE(m.Validate().ok());
+  const auto clusters = PartitionSharingGraph(m, 16);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<ProcessId>{p0, p1}));
+  EXPECT_EQ(clusters[1], (std::vector<ProcessId>{p2, p3}));
+}
+
+TEST(ScheduleHierarchical, AgreesWithFlatOnFiftyProcesses) {
+  // The headline scaling contract: on 50-process fuzz-generated instances
+  // the clustered and flat paths agree on feasibility and both certify.
+  for (std::uint64_t seed : {11u, 23u}) {
+    GeneratedCase c = GenerateSystem(seed, LargeGen(50));
+    ASSERT_EQ(c.cls, CaseClass::kClean) << "seed " << seed;
+    ASSERT_TRUE(c.model.Validate().ok()) << "seed " << seed;
+
+    SystemModel flat_model = c.model;
+    CoupledScheduler flat(flat_model, CoupledParams{});
+    auto flat_run = flat.Run();
+
+    HierarchyOptions options;
+    options.max_cluster_processes = 8;
+    auto clustered = ScheduleHierarchical(c.model, CoupledParams{}, options);
+
+    ASSERT_EQ(flat_run.ok(), clustered.ok())
+        << "seed " << seed << ": flat="
+        << (flat_run.ok() ? "feasible" : flat_run.status().ToString())
+        << " clustered="
+        << (clustered.ok() ? "feasible" : clustered.status().ToString());
+    if (!clustered.ok()) continue;
+
+    const CertificateReport flat_cert = CertifySchedule(
+        flat_model, flat_run.value().schedule, flat_run.value().allocation);
+    EXPECT_TRUE(flat_cert.ok()) << flat_cert.Summary();
+    const CertificateReport cert = CertifySchedule(
+        c.model, clustered.value().schedule, clustered.value().allocation);
+    EXPECT_TRUE(cert.ok()) << cert.Summary();
+
+    const HierarchicalResult& h = clustered.value();
+    EXPECT_GE(h.stats.clusters, 2) << "cap 8 on 50 processes must split";
+    // Per-cluster gates + the stitched gate all passed.
+    EXPECT_GE(h.stats.certified, h.stats.clusters + 1);
+    EXPECT_EQ(h.area, h.allocation.TotalArea(c.model.library()));
+  }
+}
+
+TEST(ScheduleHierarchical, ClusteredReportBitIdenticalAcrossJobs) {
+  GeneratedCase c = GenerateSystem(31, LargeGen(50));
+  ASSERT_EQ(c.cls, CaseClass::kClean);
+  ASSERT_TRUE(c.model.Validate().ok());
+  HierarchicalResult reference;
+  for (int jobs : {1, 2, 8}) {
+    HierarchyOptions options;
+    options.max_cluster_processes = 8;
+    options.jobs = jobs;
+    auto run = ScheduleHierarchical(c.model, CoupledParams{}, options);
+    ASSERT_TRUE(run.ok()) << "jobs=" << jobs << ": "
+                          << run.status().ToString();
+    if (jobs == 1) {
+      reference = std::move(run).value();
+      continue;
+    }
+    const HierarchicalResult& r = run.value();
+    EXPECT_EQ(r.area, reference.area) << "jobs=" << jobs;
+    EXPECT_EQ(r.iterations, reference.iterations);
+    EXPECT_EQ(r.stats.clusters, reference.stats.clusters);
+    EXPECT_EQ(r.stats.cut_types, reference.stats.cut_types);
+    EXPECT_EQ(r.stats.reconcile_rounds, reference.stats.reconcile_rounds);
+    EXPECT_EQ(r.stats.reconcile_adopted, reference.stats.reconcile_adopted);
+    EXPECT_EQ(r.stats.cluster_iterations, reference.stats.cluster_iterations);
+    EXPECT_EQ(r.stats.certified, reference.stats.certified);
+    ASSERT_EQ(r.clusters.size(), reference.clusters.size());
+    for (std::size_t i = 0; i < r.clusters.size(); ++i) {
+      EXPECT_EQ(r.clusters[i].processes, reference.clusters[i].processes);
+      EXPECT_EQ(r.clusters[i].area, reference.clusters[i].area);
+      EXPECT_EQ(r.clusters[i].iterations, reference.clusters[i].iterations);
+      EXPECT_EQ(r.clusters[i].reconciled, reference.clusters[i].reconciled);
+    }
+    ExpectSameSchedule(r.schedule, reference.schedule);
+  }
+}
+
+TEST(ScheduleHierarchical, ReconciliationKeepsTheCertificate) {
+  // Four processes all sharing one adder pool, cap 2: the pool is a cut
+  // type, so the reconciliation pass runs with real cross-cluster demand.
+  // Adopted or not, the final stitched result must certify.
+  SystemModel m;
+  const PaperTypes t = AddPaperTypes(m.library());
+  std::vector<ProcessId> procs;
+  for (int i = 0; i < 4; ++i) {
+    DataFlowGraph g;
+    g.AddOp(t.add, "a" + std::to_string(i));
+    g.AddOp(t.add, "b" + std::to_string(i));
+    ASSERT_TRUE(g.Validate().ok());
+    const ProcessId p = m.AddProcess("p" + std::to_string(i), 8);
+    m.AddBlock(p, "blk" + std::to_string(i), std::move(g), 8);
+    procs.push_back(p);
+  }
+  m.MakeGlobal(t.add, procs);
+  m.SetPeriod(t.add, 4);
+  ASSERT_TRUE(m.Validate().ok());
+  HierarchyOptions options;
+  options.max_cluster_processes = 2;
+  options.reconcile_rounds = 2;
+  auto run = ScheduleHierarchical(m, CoupledParams{}, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().stats.clusters, 2);
+  EXPECT_EQ(run.value().stats.cut_types, 1);
+  const CertificateReport cert =
+      CertifySchedule(m, run.value().schedule, run.value().allocation);
+  EXPECT_TRUE(cert.ok()) << cert.Summary();
+}
+
+TEST(ScheduleHierarchical, RejectsPresetExternalDemand) {
+  // external_demand is the reconciliation pass's private channel; a caller
+  // preloading it would desynchronize the certifier-gated adoption logic.
+  const PaperSystem sys = BuildPaperSystem();
+  CoupledParams params;
+  params.external_demand.resize(1);
+  auto run = ScheduleHierarchical(sys.model, params, HierarchyOptions{});
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoupledScheduler, ValidatesExternalDemand) {
+  PaperSystem sys = BuildPaperSystem();
+  const int lambda = sys.model.assignment(sys.types.add).period;
+  ASSERT_GT(lambda, 0);
+
+  // Wrong profile length for a global type.
+  {
+    CoupledParams params;
+    params.external_demand.resize(sys.types.add.index() + 1);
+    params.external_demand[sys.types.add.index()] =
+        Profile(static_cast<std::size_t>(lambda) + 1, 0.5);
+    CoupledScheduler scheduler(sys.model, params);
+    auto run = scheduler.Run();
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  }
+  // A well-formed row biases forces but never breaks feasibility.
+  {
+    CoupledParams params;
+    params.external_demand.resize(sys.types.add.index() + 1);
+    params.external_demand[sys.types.add.index()] =
+        Profile(static_cast<std::size_t>(lambda), 0.75);
+    CoupledScheduler scheduler(sys.model, params);
+    auto run = scheduler.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const CertificateReport cert = CertifySchedule(
+        sys.model, run.value().schedule, run.value().allocation);
+    EXPECT_TRUE(cert.ok()) << cert.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace mshls

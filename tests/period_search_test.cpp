@@ -1,11 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "modulo/period_search.h"
 #include "workloads/benchmarks.h"
 #include "workloads/paper_system.h"
 
 namespace mshls {
 namespace {
+
+/// The exhaustive referee configuration: tests asserting raw enumeration
+/// statistics (combinations / filtered_out / evaluated) pin it explicitly;
+/// the harmonic default is covered by the configurator property tests
+/// below, which prove it winner-identical to this path.
+PeriodSearchOptions Exhaustive() {
+  PeriodSearchOptions options;
+  options.configurator = PeriodConfigurator::kExhaustive;
+  return options;
+}
 
 class PeriodSearchTest : public ::testing::Test {
  protected:
@@ -48,7 +60,7 @@ TEST_F(PeriodSearchTest, SearchRunsOnlySurvivingCombinations) {
   const ProcessId p2 = AddAddsProcess("p2", 2, 4);
   model_.MakeGlobal(types_.add, {p1, p2});
   ASSERT_TRUE(model_.Validate().ok());
-  auto result = SearchPeriods(model_, CoupledParams{});
+  auto result = SearchPeriods(model_, CoupledParams{}, Exhaustive());
   ASSERT_TRUE(result.ok());
   // Candidates div(6) u div(4) = {1,2,3,4,6}; only {1,2} tile both.
   EXPECT_EQ(result.value().combinations, 5);
@@ -92,7 +104,7 @@ TEST_F(PeriodSearchTest, SearchFindsCompatibleMinimumAreaAssignment) {
   const ProcessId p2 = AddAddsProcess("p2", 2, 4);
   model_.MakeGlobal(types_.add, {p1, p2});
   ASSERT_TRUE(model_.Validate().ok());
-  auto result = SearchPeriods(model_, CoupledParams{});
+  auto result = SearchPeriods(model_, CoupledParams{}, Exhaustive());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // Candidates {1,2,4}; period >= 2 lets one adder serve both processes.
   EXPECT_EQ(result.value().best.allocation.TotalInstances(types_.add), 1);
@@ -124,7 +136,7 @@ TEST_F(PeriodSearchTest, FilterPrunesBeforeScheduling) {
   model_.MakeGlobal(types_.add, {p1, p2});
   model_.MakeGlobal(types_.mult, {p3, p4});
   ASSERT_TRUE(model_.Validate().ok());
-  auto result = SearchPeriods(model_, CoupledParams{});
+  auto result = SearchPeriods(model_, CoupledParams{}, Exhaustive());
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().combinations, 25);
   // Survivors: add must tile both 6 and 9 -> {1,3}; mult must tile both 4
@@ -154,7 +166,7 @@ TEST_F(PeriodSearchTest, FilterHandlesSharedMemberAcrossGroups) {
   m.MakeGlobal(t.add, {q1, q2});  // candidates div(6) u div(4) = {1,2,3,4,6}
   m.MakeGlobal(t.mult, {q1});     // candidates div(6) = {1,2,3,6}
   ASSERT_TRUE(m.Validate().ok());
-  auto result = SearchPeriods(m, CoupledParams{});
+  auto result = SearchPeriods(m, CoupledParams{}, Exhaustive());
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().combinations, 20);
   // add must tile 4 and 6 -> {1,2}; mult anything tiling 6 -> 4 values;
@@ -168,7 +180,7 @@ TEST_F(PeriodSearchTest, MaxEvaluationsCapsWork) {
   const ProcessId p2 = AddAddsProcess("p2", 2, 12);
   model_.MakeGlobal(types_.add, {p1, p2});
   ASSERT_TRUE(model_.Validate().ok());
-  PeriodSearchOptions options;
+  PeriodSearchOptions options = Exhaustive();
   options.max_evaluations = 2;
   auto result = SearchPeriods(model_, CoupledParams{}, options);
   ASSERT_TRUE(result.ok());
@@ -199,6 +211,113 @@ TEST_F(PeriodSearchTest, PaperSystemCandidateSets) {
   sys.model.SetPeriod(sys.types.add, 2);
   EXPECT_FALSE(PeriodsCompatible(sys.model));
   sys.model.SetPeriod(sys.types.add, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Harmonic configurator properties (modulo/period_config.h).
+
+class PeriodConfigTest : public PeriodSearchTest {};
+
+TEST_F(PeriodConfigTest, HarmonicCandidatesAreDivisorClosed) {
+  const ProcessId p1 = AddAddsProcess("p1", 2, 30);
+  const ProcessId p2 = AddAddsProcess("p2", 2, 12);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  const std::vector<int> cands =
+      HarmonicCandidatePeriods(model_, types_.add);
+  // gcd(30, 12) = 6 -> {1, 2, 3, 6}; each element's divisors are present.
+  EXPECT_EQ(cands, (std::vector<int>{1, 2, 3, 6}));
+  for (int c : cands) {
+    for (int d = 1; d <= c; ++d) {
+      if (c % d != 0) continue;
+      EXPECT_TRUE(std::find(cands.begin(), cands.end(), d) != cands.end())
+          << "divisor " << d << " of " << c << " missing";
+    }
+  }
+}
+
+TEST_F(PeriodConfigTest, HarmonicCandidatesAreEq3FeasibleSubset) {
+  // Every harmonic candidate must be a CandidatePeriods member AND tile
+  // every user range (eq. 3 per-type restriction); every eq.-3-feasible
+  // exhaustive candidate must survive into the harmonic set — the
+  // configurator never excludes a period the exhaustive filter would keep.
+  const ProcessId p1 = AddAddsProcess("p1", 1, 30);
+  const ProcessId p2 = AddAddsProcess("p2", 1, 25);
+  const ProcessId p3 = AddAddsProcess("p3", 1, 15);
+  model_.MakeGlobal(types_.add, {p1, p2, p3});
+  const std::vector<int> harmonic =
+      HarmonicCandidatePeriods(model_, types_.add);
+  const std::vector<int> exhaustive = CandidatePeriods(model_, types_.add);
+  EXPECT_EQ(harmonic, (std::vector<int>{1, 5}));  // divisors of gcd = 5
+  for (int c : exhaustive) {
+    const bool tiles_all = 30 % c == 0 && 25 % c == 0 && 15 % c == 0;
+    const bool in_harmonic =
+        std::find(harmonic.begin(), harmonic.end(), c) != harmonic.end();
+    EXPECT_EQ(in_harmonic, tiles_all) << "candidate " << c;
+  }
+}
+
+TEST_F(PeriodConfigTest, HarmonicFallsBackWithoutUsers) {
+  // A global type nobody uses has no ranges to gcd; the configurator must
+  // fall back to the exhaustive candidate set so enumeration order (and
+  // winner identity) is preserved.
+  const ProcessId p1 = AddAddsProcess("p1", 2, 12);
+  model_.MakeGlobal(types_.mult, {p1});  // p1 has no mult ops
+  EXPECT_EQ(HarmonicCandidatePeriods(model_, types_.mult),
+            CandidatePeriods(model_, types_.mult));
+}
+
+TEST_F(PeriodConfigTest, UtilizationBoundsAreSound) {
+  // Two processes, each needing >1/2 of an adder per step at period-free
+  // utilization: the pool can never drop below the summed work ratio.
+  const ProcessId p1 = AddAddsProcess("p1", 3, 4);  // 3 adds in 4 steps
+  const ProcessId p2 = AddAddsProcess("p2", 3, 4);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  ASSERT_TRUE(model_.Validate().ok());
+  const int pool_lb = PoolInstanceLowerBound(model_, types_.add);
+  EXPECT_EQ(pool_lb, 2);  // ceil(3/4 + 3/4)
+  auto result = SearchPeriods(model_, CoupledParams{}, Exhaustive());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().best.allocation.TotalInstances(types_.add),
+            pool_lb);
+  EXPECT_GE(result.value().area, AreaLowerBound(model_));
+}
+
+TEST_F(PeriodConfigTest, HarmonicSearchMatchesExhaustiveWinner) {
+  // Differential referee: the harmonic configurator (with its probe prune)
+  // must land on the identical winner — periods, area, allocation shape.
+  const ProcessId p1 = AddAddsProcess("p1", 2, 6);
+  const ProcessId p2 = AddAddsProcess("p2", 2, 4);
+  model_.MakeGlobal(types_.add, {p1, p2});
+  ASSERT_TRUE(model_.Validate().ok());
+  SystemModel harmonic_model = model_;
+  auto exhaustive = SearchPeriods(model_, CoupledParams{}, Exhaustive());
+  ASSERT_TRUE(exhaustive.ok());
+  auto harmonic = SearchPeriods(harmonic_model, CoupledParams{});
+  ASSERT_TRUE(harmonic.ok());
+  EXPECT_EQ(harmonic.value().periods, exhaustive.value().periods);
+  EXPECT_EQ(harmonic.value().area, exhaustive.value().area);
+  EXPECT_EQ(harmonic.value().best.allocation.TotalInstances(types_.add),
+            exhaustive.value().best.allocation.TotalInstances(types_.add));
+  // Pruned + evaluated must still cover every eq.-3 survivor.
+  EXPECT_EQ(harmonic.value().evaluated + harmonic.value().pruned,
+            exhaustive.value().evaluated);
+  EXPECT_LE(harmonic.value().evaluated, exhaustive.value().evaluated);
+}
+
+TEST_F(PeriodConfigTest, PaperSystemWinnerIdenticalUnderHarmonic) {
+  PaperSystem flat = BuildPaperSystem();
+  PaperSystem harm = BuildPaperSystem();
+  auto exhaustive = SearchPeriods(flat.model, CoupledParams{}, Exhaustive());
+  ASSERT_TRUE(exhaustive.ok());
+  auto harmonic = SearchPeriods(harm.model, CoupledParams{});
+  ASSERT_TRUE(harmonic.ok());
+  EXPECT_EQ(harmonic.value().periods, exhaustive.value().periods);
+  EXPECT_EQ(harmonic.value().area, exhaustive.value().area);
+  // Harmonic product enumerates exactly the eq.-3 survivors, so nothing is
+  // filtered post-hoc and the filter statistic collapses to zero.
+  EXPECT_EQ(harmonic.value().filtered_out, 0);
+  EXPECT_EQ(harmonic.value().evaluated + harmonic.value().pruned,
+            exhaustive.value().evaluated);
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+// Replays the committed scaling corpus (tests/data/scaling_corpus/*.hls)
+// as part of tier-1: four large generated systems (30–60 processes, dense
+// global sharing) that each must schedule flat AND hierarchically, certify
+// on both paths, and agree on feasibility. This pins the size class the
+// hierarchy tier exists for into every plain `ctest` run — a regression in
+// the partitioner, the sub-model builder or the stitch shows up without
+// running a fuzz campaign. Files carry their generator seed in the header
+// and are regenerated from it if the generator stream ever changes.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "frontend/lowering.h"
+#include "modulo/coupled_scheduler.h"
+#include "modulo/hierarchy.h"
+#include "verify/certifier.h"
+
+namespace mshls {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  const std::filesystem::path dir =
+      std::filesystem::path(MSHLS_SOURCE_DIR) / "tests" / "data" /
+      "scaling_corpus";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".hls") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ScalingCorpus, EveryCaseSchedulesFlatAndClusteredAndCertifies) {
+  const std::vector<std::filesystem::path> files = CorpusFiles();
+  ASSERT_GE(files.size(), 4u) << "corpus missing";
+  for (const std::filesystem::path& file : files) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << file;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto model_or = CompileSystem(buf.str());
+    ASSERT_TRUE(model_or.ok()) << file << ": "
+                               << model_or.status().ToString();
+    SystemModel& model = model_or.value();
+    ASSERT_GE(model.process_count(), 30u) << file.filename();
+    ASSERT_FALSE(model.GlobalTypes().empty()) << file.filename();
+
+    CoupledScheduler flat(model, CoupledParams{});
+    auto flat_run = flat.Run();
+    ASSERT_TRUE(flat_run.ok())
+        << file.filename() << ": " << flat_run.status().ToString();
+    const CertificateReport flat_cert = CertifySchedule(
+        model, flat_run.value().schedule, flat_run.value().allocation);
+    EXPECT_TRUE(flat_cert.ok()) << file.filename() << ": "
+                                << flat_cert.Summary();
+
+    HierarchyOptions options;
+    options.max_cluster_processes = 8;
+    auto clustered = ScheduleHierarchical(model, CoupledParams{}, options);
+    ASSERT_TRUE(clustered.ok())
+        << file.filename() << ": " << clustered.status().ToString();
+    EXPECT_GE(clustered.value().stats.clusters, 2) << file.filename();
+    const CertificateReport cert =
+        CertifySchedule(model, clustered.value().schedule,
+                        clustered.value().allocation);
+    EXPECT_TRUE(cert.ok()) << file.filename() << ": " << cert.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace mshls
